@@ -1,0 +1,59 @@
+//! Ablation bench: cost of each design choice inside the locality-aware
+//! router (window search, assignment strategy, compaction, transpose).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qroute_core::local_grid::{main_procedure, AssignmentStrategy, LocalRouteOptions, WindowMode};
+use qroute_perm::generators;
+use qroute_topology::Grid;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_local");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    let grid = Grid::new(16, 16);
+    let pi = generators::random(grid.len(), 9);
+    let variants: Vec<(&str, LocalRouteOptions)> = vec![
+        ("default", LocalRouteOptions::default()),
+        (
+            "no-windows",
+            LocalRouteOptions { window: WindowMode::FullOnly, ..LocalRouteOptions::default() },
+        ),
+        (
+            "minsum",
+            LocalRouteOptions {
+                assignment: AssignmentStrategy::MinSum,
+                ..LocalRouteOptions::default()
+            },
+        ),
+        (
+            "inorder",
+            LocalRouteOptions {
+                assignment: AssignmentStrategy::InOrder,
+                ..LocalRouteOptions::default()
+            },
+        ),
+        (
+            "no-compact",
+            LocalRouteOptions { compact: false, ..LocalRouteOptions::default() },
+        ),
+        (
+            "no-transpose",
+            LocalRouteOptions { try_transpose: false, ..LocalRouteOptions::default() },
+        ),
+        ("paper-exact", LocalRouteOptions::paper()),
+    ];
+    for (label, opts) in variants {
+        group.bench_with_input(BenchmarkId::new("variant", label), &pi, |b, pi| {
+            b.iter(|| black_box(main_procedure(grid, black_box(pi), &opts).depth()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench backing Figure 4: routing one instance per
+//! (router × class) on a fixed grid. The measured quantity is wall time,
+//! but each iteration also sanity-checks the produced depth; use the
+//! `repro` binary for the actual depth tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qroute_bench::workloads::WorkloadClass;
+use qroute_core::{GridRouter, RouterKind};
+use qroute_topology::Grid;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_depth");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    let side = 16;
+    let grid = Grid::new(side, side);
+    for class in WorkloadClass::paper_classes() {
+        let pi = class.generate(grid, 0);
+        for router in [RouterKind::locality_aware(), RouterKind::Ats] {
+            let id = BenchmarkId::new(router.name(), class.label());
+            group.bench_with_input(id, &pi, |b, pi| {
+                b.iter(|| {
+                    let s = router.route(grid, black_box(pi));
+                    black_box(s.depth())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

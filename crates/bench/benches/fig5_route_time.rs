@@ -1,0 +1,46 @@
+//! Criterion bench backing Figure 5: routing-time scaling across grid
+//! sizes for the locality-aware router vs ATS on random permutations.
+//! The paper's claim: the locality-aware router is about an order of
+//! magnitude faster on larger grids.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qroute_bench::workloads::WorkloadClass;
+use qroute_core::{GridRouter, RouterKind};
+use qroute_perm::generators;
+use qroute_topology::Grid;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_route_time");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for side in [8usize, 16, 24, 32] {
+        let grid = Grid::new(side, side);
+        let pi = generators::random(grid.len(), 0);
+        group.throughput(Throughput::Elements(grid.len() as u64));
+        for router in [RouterKind::locality_aware(), RouterKind::Ats] {
+            let id = BenchmarkId::new(router.name(), side);
+            group.bench_with_input(id, &pi, |b, pi| {
+                b.iter(|| black_box(router.route(grid, black_box(pi)).depth()))
+            });
+        }
+    }
+    // The block-local class, where locality pays off most.
+    for side in [16usize, 32] {
+        let grid = Grid::new(side, side);
+        let pi = WorkloadClass::Block { b: 4 }.generate(grid, 0);
+        for router in [RouterKind::locality_aware(), RouterKind::Ats] {
+            let id = BenchmarkId::new(format!("{}-block4", router.name()), side);
+            group.bench_with_input(id, &pi, |b, pi| {
+                b.iter(|| black_box(router.route(grid, black_box(pi)).depth()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

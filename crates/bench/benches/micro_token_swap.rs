@@ -1,0 +1,43 @@
+//! Microbenchmarks for the ATS baseline: serial swap discovery and the
+//! greedy parallelization pass, separated so the Fig. 5 gap can be
+//! attributed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qroute_core::token_swap::{approximate_token_swapping, tree_route};
+use qroute_perm::generators;
+use qroute_topology::Grid;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_token_swap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_token_swap");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    for side in [8usize, 16, 24] {
+        let grid = Grid::new(side, side);
+        let graph = grid.to_graph();
+        let pi = generators::random(grid.len(), 5);
+
+        group.bench_with_input(BenchmarkId::new("ats_serial", side), &pi, |b, pi| {
+            b.iter(|| black_box(approximate_token_swapping(&graph, black_box(pi)).num_swaps()))
+        });
+
+        let outcome = approximate_token_swapping(&graph, &pi);
+        group.bench_with_input(
+            BenchmarkId::new("ats_parallelize", side),
+            &outcome,
+            |b, out| b.iter(|| black_box(out.parallelized(grid.len()).depth())),
+        );
+
+        group.bench_with_input(BenchmarkId::new("tree_route", side), &pi, |b, pi| {
+            b.iter(|| black_box(tree_route(&graph, black_box(pi)).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_token_swap);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! End-to-end transpilation bench: full mapping+routing pipeline on the
+//! motivating workloads, per router.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qroute_circuit::builders;
+use qroute_core::RouterKind;
+use qroute_topology::Grid;
+use qroute_transpiler::{InitialLayout, TranspileOptions, Transpiler};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_transpile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transpile_e2e");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+
+    let cases = vec![
+        ("qft16-4x4", Grid::new(4, 4), builders::qft(16)),
+        (
+            "trotter-diag-4x4",
+            Grid::new(4, 4),
+            builders::trotter_diagonal_step(4, 4, 0.1, 2),
+        ),
+        (
+            "random50-5x5",
+            Grid::new(5, 5),
+            builders::random_two_qubit_circuit(25, 50, 3),
+        ),
+    ];
+    for (name, grid, circuit) in &cases {
+        for router in [RouterKind::locality_aware(), RouterKind::naive(), RouterKind::Ats] {
+            use qroute_core::GridRouter as _;
+            let t = Transpiler::new(
+                *grid,
+                TranspileOptions {
+                    router: router.clone(),
+                    initial_layout: InitialLayout::Identity,
+                },
+            );
+            let id = BenchmarkId::new(*name, router.name());
+            group.bench_with_input(id, circuit, |b, circuit| {
+                b.iter(|| black_box(t.run(black_box(circuit)).swap_count))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transpile);
+criterion_main!(benches);

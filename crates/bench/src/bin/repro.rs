@@ -1,0 +1,166 @@
+//! Regenerate every figure/table of the paper's evaluation.
+//!
+//! ```text
+//! repro [fig4|fig5|hybrid|skinny|ablations|transpile|all] [--sides 4,8,16] [--seeds N] [--out DIR]
+//! ```
+//!
+//! Markdown tables print to stdout; CSV files land in `--out`
+//! (default `results/`).
+
+use qroute_bench::experiments;
+use qroute_bench::plot::{cells_to_chart, Scale};
+use qroute_bench::report;
+use std::path::PathBuf;
+
+struct Args {
+    command: String,
+    sides: Vec<usize>,
+    seeds: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut command = "all".to_string();
+    let mut sides = experiments::default_sides();
+    let mut seeds = 5u64;
+    let mut out = PathBuf::from("results");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--sides" => {
+                i += 1;
+                sides = argv[i]
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--sides wants integers"))
+                    .collect();
+            }
+            "--seeds" => {
+                i += 1;
+                seeds = argv[i].parse().expect("--seeds wants an integer");
+            }
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(&argv[i]);
+            }
+            c if !c.starts_with('-') => command = c.to_string(),
+            other => panic!("unknown flag {other}"),
+        }
+        i += 1;
+    }
+    Args { command, sides, seeds, out }
+}
+
+fn write_file(dir: &PathBuf, name: &str, contents: &str) {
+    std::fs::create_dir_all(dir).expect("create output dir");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("write output file");
+    eprintln!("wrote {}", path.display());
+}
+
+fn run_fig4(args: &Args) {
+    eprintln!("== Figure 4: depth of computed swap networks ==");
+    let cells = experiments::figure4(&args.sides, args.seeds);
+    println!("\n## Figure 4 — depth of computed swap networks\n");
+    println!("{}", report::depth_table_markdown(&cells));
+    write_file(&args.out, "fig4_depth.csv", &report::cells_to_csv(&cells));
+    let chart = cells_to_chart(
+        &cells,
+        "Figure 4: depth of computed swap networks",
+        "mean depth (layers, log scale)",
+        Scale::Log,
+        |c| c.mean_depth.max(1e-3),
+    );
+    write_file(&args.out, "fig4_depth.svg", &chart.to_svg());
+}
+
+fn run_fig5(args: &Args) {
+    eprintln!("== Figure 5: time spent finding swap networks ==");
+    let cells = experiments::figure5(&args.sides, args.seeds);
+    println!("\n## Figure 5 — time spent on finding swap networks\n");
+    println!("{}", report::time_table_markdown(&cells));
+    write_file(&args.out, "fig5_time.csv", &report::cells_to_csv(&cells));
+    let chart = cells_to_chart(
+        &cells,
+        "Figure 5: time spent on finding swap networks",
+        "mean time (ms, log scale)",
+        Scale::Log,
+        |c| c.mean_time_ms.max(1e-4),
+    );
+    write_file(&args.out, "fig5_time.svg", &chart.to_svg());
+}
+
+fn run_hybrid(args: &Args) {
+    eprintln!("== Hybrid clamp check (§V) ==");
+    let rows = experiments::hybrid_check(&args.sides, args.seeds);
+    println!("\n## Hybrid clamp (locality-aware ⊓ naive)\n");
+    println!("{}", report::hybrid_markdown(&rows));
+    let json = serde_json::to_string_pretty(&rows).expect("serialize hybrid rows");
+    write_file(&args.out, "hybrid.json", &json);
+}
+
+fn run_skinny(args: &Args) {
+    eprintln!("== Skinny orthogonal cycles (§V adversarial case) ==");
+    let cells = experiments::skinny_sweep(&args.sides, args.seeds);
+    println!("\n## Skinny orthogonal cycles — depth\n");
+    println!("{}", report::depth_table_markdown(&cells));
+    println!("\n## Skinny orthogonal cycles — time\n");
+    println!("{}", report::time_table_markdown(&cells));
+    write_file(&args.out, "skinny.csv", &report::cells_to_csv(&cells));
+}
+
+fn run_ablations(args: &Args) {
+    eprintln!("== Ablations of the locality-aware router ==");
+    let side = args.sides.iter().copied().max().unwrap_or(16).min(16);
+    let rows = experiments::ablations(side, args.seeds);
+    println!("\n## Ablations ({side}×{side})\n");
+    println!("{}", report::ablation_markdown(&rows));
+    let json = serde_json::to_string_pretty(&rows).expect("serialize ablation rows");
+    write_file(&args.out, "ablations.json", &json);
+}
+
+fn run_optgap(args: &Args) {
+    eprintln!("== Optimality gap vs exact BFS optimum (tiny grids) ==");
+    let rows = experiments::optimality_gap(args.seeds.max(5));
+    println!("\n## Optimality gap on tiny grids\n");
+    println!("{}", report::optgap_markdown(&rows));
+    let json = serde_json::to_string_pretty(&rows).expect("serialize optgap rows");
+    write_file(&args.out, "optgap.json", &json);
+}
+
+fn run_transpile(args: &Args) {
+    eprintln!("== End-to-end transpilation (extension) ==");
+    let rows = experiments::transpile_comparison();
+    println!("\n## End-to-end transpilation\n");
+    println!("{}", report::transpile_markdown(&rows));
+    let json = serde_json::to_string_pretty(&rows).expect("serialize transpile rows");
+    write_file(&args.out, "transpile.json", &json);
+}
+
+fn main() {
+    let args = parse_args();
+    match args.command.as_str() {
+        "fig4" => run_fig4(&args),
+        "fig5" => run_fig5(&args),
+        "hybrid" => run_hybrid(&args),
+        "skinny" => run_skinny(&args),
+        "ablations" => run_ablations(&args),
+        "optgap" => run_optgap(&args),
+        "transpile" => run_transpile(&args),
+        "all" => {
+            run_fig4(&args);
+            run_fig5(&args);
+            run_hybrid(&args);
+            run_skinny(&args);
+            run_ablations(&args);
+            run_optgap(&args);
+            run_transpile(&args);
+        }
+        other => {
+            eprintln!(
+                "unknown command {other}; expected fig4|fig5|hybrid|skinny|ablations|optgap|transpile|all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # qroute-bench
+//!
+//! The experiment harness reproducing the paper's evaluation (§V):
+//!
+//! * [`workloads`] — the permutation classes of Figures 4–5 (random,
+//!   disjoint blocks, overlapping blocks) plus the skinny-cycle
+//!   adversarial class discussed in the text;
+//! * [`experiments`] — sweep drivers measuring schedule depth (Fig. 4)
+//!   and routing computation time (Fig. 5), the hybrid clamp check, the
+//!   ablations, and the end-to-end transpile experiment;
+//! * [`report`] — CSV and markdown rendering of experiment tables.
+//!
+//! The `repro` binary drives everything:
+//!
+//! ```text
+//! cargo run -p qroute-bench --release --bin repro -- all
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod plot;
+pub mod report;
+pub mod workloads;

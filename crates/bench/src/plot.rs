@@ -1,0 +1,399 @@
+//! Minimal SVG line-chart rendering — regenerates Figures 4 and 5 as
+//! actual figures, not just tables.
+//!
+//! No plotting dependencies: the charts the paper shows are simple
+//! multi-series line plots with (optionally logarithmic) axes, which is a
+//! few hundred lines of SVG. The output is deterministic, so golden tests
+//! can pin structure.
+
+use crate::experiments::Cell;
+use std::fmt::Write as _;
+
+/// Axis scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear axis.
+    Linear,
+    /// Log10 axis (values must be positive).
+    Log,
+}
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in data coordinates, sorted by `x`.
+    pub points: Vec<(f64, f64)>,
+    /// Stroke color (any SVG color string).
+    pub color: String,
+}
+
+/// Chart configuration.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    /// Title drawn at the top.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Y-axis scale.
+    pub y_scale: Scale,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 160.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 48.0;
+
+/// A palette matching the paper's green/brown/blue/red feel.
+pub const PALETTE: [&str; 6] =
+    ["#2e8b57", "#8b5a2b", "#1f77b4", "#d62728", "#9467bd", "#111111"];
+
+fn nice_ticks(min: f64, max: f64, n: usize) -> Vec<f64> {
+    if max <= min {
+        return vec![min];
+    }
+    let span = max - min;
+    let raw = span / n as f64;
+    let mag = 10f64.powf(raw.log10().floor());
+    let norm = raw / mag;
+    let step = if norm < 1.5 {
+        1.0
+    } else if norm < 3.0 {
+        2.0
+    } else if norm < 7.0 {
+        5.0
+    } else {
+        10.0
+    } * mag;
+    let start = (min / step).ceil() * step;
+    let mut ticks = Vec::new();
+    let mut t = start;
+    while t <= max + 1e-9 {
+        ticks.push(t);
+        t += step;
+    }
+    ticks
+}
+
+impl Chart {
+    fn y_transformed(&self, y: f64) -> f64 {
+        match self.y_scale {
+            Scale::Linear => y,
+            Scale::Log => y.max(1e-12).log10(),
+        }
+    }
+
+    /// Render the chart as a standalone SVG document.
+    pub fn to_svg(&self) -> String {
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+
+        // Data bounds.
+        let xs: Vec<f64> = self.series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+        let ys: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| self.y_transformed(p.1)))
+            .collect();
+        let (xmin, xmax) = xs
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| (a.min(v), b.max(v)));
+        let (ymin, ymax) = ys
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| (a.min(v), b.max(v)));
+        let (xmin, xmax) = if xs.is_empty() { (0.0, 1.0) } else { (xmin, xmax) };
+        let (ymin, ymax) = if ys.is_empty() { (0.0, 1.0) } else { (ymin, ymax) };
+        let ypad = ((ymax - ymin) * 0.06).max(1e-9);
+        let (ymin, ymax) = (ymin - ypad, ymax + ypad);
+        let xspan = (xmax - xmin).max(1e-9);
+        let yspan = (ymax - ymin).max(1e-9);
+
+        let px = |x: f64| MARGIN_L + (x - xmin) / xspan * plot_w;
+        let py = |y: f64| MARGIN_T + plot_h - (self.y_transformed(y) - ymin) / yspan * plot_h;
+        let py_raw = |ty: f64| MARGIN_T + plot_h - (ty - ymin) / yspan * plot_h;
+
+        let mut svg = String::with_capacity(8192);
+        let _ = writeln!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">"#
+        );
+        let _ = writeln!(svg, r#"<rect width="100%" height="100%" fill="white"/>"#);
+        // Title and axis labels.
+        let _ = writeln!(
+            svg,
+            r#"<text x="{:.1}" y="22" font-family="sans-serif" font-size="15" text-anchor="middle">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            xml_escape(&self.title)
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="12" text-anchor="middle">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            HEIGHT - 10.0,
+            xml_escape(&self.x_label)
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="14" y="{:.1}" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 14 {:.1})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            xml_escape(&self.y_label)
+        );
+
+        // Plot frame.
+        let _ = writeln!(
+            svg,
+            r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#333" stroke-width="1"/>"##
+        );
+
+        // Y ticks (log scale: decades).
+        let ticks: Vec<(f64, String)> = match self.y_scale {
+            Scale::Linear => nice_ticks(ymin, ymax, 6)
+                .into_iter()
+                .map(|t| (t, format_tick(t)))
+                .collect(),
+            Scale::Log => {
+                let lo = ymin.floor() as i32;
+                let hi = ymax.ceil() as i32;
+                (lo..=hi)
+                    .map(|d| (d as f64, format_decade(d)))
+                    .filter(|&(t, _)| t >= ymin && t <= ymax)
+                    .collect()
+            }
+        };
+        for (t, label) in &ticks {
+            let y = py_raw(*t);
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd" stroke-width="0.7"/>"##,
+                MARGIN_L + plot_w
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{:.1}" y="{y:.1}" font-family="sans-serif" font-size="10" text-anchor="end" dy="3">{label}</text>"#,
+                MARGIN_L - 6.0
+            );
+        }
+        // X ticks at the data points of the longest series.
+        let mut xticks: Vec<f64> = xs.clone();
+        xticks.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xticks.dedup();
+        for t in &xticks {
+            let x = px(*t);
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{x:.1}" y1="{:.1}" x2="{x:.1}" y2="{:.1}" stroke="#333" stroke-width="1"/>"##,
+                MARGIN_T + plot_h,
+                MARGIN_T + plot_h + 4.0
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{x:.1}" y="{:.1}" font-family="sans-serif" font-size="10" text-anchor="middle">{}</text>"#,
+                MARGIN_T + plot_h + 16.0,
+                format_tick(*t)
+            );
+        }
+
+        // Series.
+        for s in &self.series {
+            if s.points.is_empty() {
+                continue;
+            }
+            let mut d = String::new();
+            for (k, &(x, y)) in s.points.iter().enumerate() {
+                let _ = write!(d, "{}{:.1},{:.1} ", if k == 0 { "M" } else { "L" }, px(x), py(y));
+            }
+            let _ = writeln!(
+                svg,
+                r#"<path d="{}" fill="none" stroke="{}" stroke-width="2"/>"#,
+                d.trim(),
+                s.color
+            );
+            for &(x, y) in &s.points {
+                let _ = writeln!(
+                    svg,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{}"/>"#,
+                    px(x),
+                    py(y),
+                    s.color
+                );
+            }
+        }
+
+        // Legend.
+        for (k, s) in self.series.iter().enumerate() {
+            let y = MARGIN_T + 14.0 + 18.0 * k as f64;
+            let x = MARGIN_L + plot_w + 10.0;
+            let _ = writeln!(
+                svg,
+                r#"<line x1="{x:.1}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="{}" stroke-width="2"/>"#,
+                x + 18.0,
+                s.color
+            );
+            let _ = writeln!(
+                svg,
+                r#"<text x="{:.1}" y="{y:.1}" font-family="sans-serif" font-size="11" dy="3">{}</text>"#,
+                x + 24.0,
+                xml_escape(&s.label)
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn format_tick(t: f64) -> String {
+    if (t - t.round()).abs() < 1e-9 {
+        format!("{}", t.round() as i64)
+    } else {
+        format!("{t:.2}")
+    }
+}
+
+fn format_decade(d: i32) -> String {
+    match d {
+        0 => "1".into(),
+        1 => "10".into(),
+        2 => "100".into(),
+        3 => "1k".into(),
+        4 => "10k".into(),
+        _ => format!("1e{d}"),
+    }
+}
+
+/// Build a figure from sweep cells: one series per `(class, router)`
+/// pair, x = grid side, y = extracted metric.
+pub fn cells_to_chart(
+    cells: &[Cell],
+    title: &str,
+    y_label: &str,
+    y_scale: Scale,
+    metric: impl Fn(&Cell) -> f64,
+) -> Chart {
+    let mut keys: Vec<(String, String)> = cells
+        .iter()
+        .map(|c| (c.class.clone(), c.router.clone()))
+        .collect();
+    keys.sort();
+    keys.dedup();
+    let series = keys
+        .iter()
+        .enumerate()
+        .map(|(k, (class, router))| {
+            let mut points: Vec<(f64, f64)> = cells
+                .iter()
+                .filter(|c| &c.class == class && &c.router == router)
+                .map(|c| (c.n as f64, metric(c)))
+                .collect();
+            points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            Series {
+                label: format!("{class}/{router}"),
+                points,
+                color: PALETTE[k % PALETTE.len()].to_string(),
+            }
+        })
+        .collect();
+    Chart {
+        title: title.to_string(),
+        x_label: "grid side n (n×n)".to_string(),
+        y_label: y_label.to_string(),
+        y_scale,
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_chart() -> Chart {
+        Chart {
+            title: "test <chart>".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            y_scale: Scale::Linear,
+            series: vec![
+                Series {
+                    label: "a".into(),
+                    points: vec![(4.0, 10.0), (8.0, 20.0), (16.0, 35.0)],
+                    color: "#2e8b57".into(),
+                },
+                Series {
+                    label: "b".into(),
+                    points: vec![(4.0, 12.0), (8.0, 60.0), (16.0, 300.0)],
+                    color: "#8b5a2b".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn svg_is_well_formed_ish() {
+        let svg = sample_chart().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains("test &lt;chart&gt;"), "title must be escaped");
+    }
+
+    #[test]
+    fn log_scale_renders_decades() {
+        let mut c = sample_chart();
+        c.y_scale = Scale::Log;
+        let svg = c.to_svg();
+        assert!(svg.contains(">10<") || svg.contains(">100<"), "decade ticks expected:\n{svg}");
+    }
+
+    #[test]
+    fn empty_chart_does_not_panic() {
+        let c = Chart {
+            title: "empty".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            y_scale: Scale::Linear,
+            series: vec![],
+        };
+        let svg = c.to_svg();
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn nice_ticks_cover_range() {
+        let t = nice_ticks(0.0, 100.0, 6);
+        assert!(t.len() >= 4 && t.len() <= 12);
+        assert!(t.first().copied().unwrap() >= 0.0);
+        assert!(t.last().copied().unwrap() <= 100.0 + 1e-9);
+        assert_eq!(nice_ticks(5.0, 5.0, 4), vec![5.0]);
+    }
+
+    #[test]
+    fn cells_to_chart_groups_series() {
+        use crate::experiments::measure_cell;
+        use crate::workloads::WorkloadClass;
+        use qroute_core::RouterKind;
+        let cells = vec![
+            measure_cell(4, WorkloadClass::Random, &RouterKind::locality_aware(), 1),
+            measure_cell(6, WorkloadClass::Random, &RouterKind::locality_aware(), 1),
+            measure_cell(4, WorkloadClass::Random, &RouterKind::Ats, 1),
+            measure_cell(6, WorkloadClass::Random, &RouterKind::Ats, 1),
+        ];
+        let chart = cells_to_chart(&cells, "t", "depth", Scale::Linear, |c| c.mean_depth);
+        assert_eq!(chart.series.len(), 2);
+        for s in &chart.series {
+            assert_eq!(s.points.len(), 2);
+            assert!(s.points[0].0 < s.points[1].0);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! CSV and markdown table rendering for experiment outputs.
+
+use crate::experiments::{AblationRow, Cell, HybridRow, TranspileRow};
+use std::fmt::Write as _;
+
+/// Render sweep cells as CSV (one row per cell).
+pub fn cells_to_csv(cells: &[Cell]) -> String {
+    let mut out = String::from("n,qubits,class,router,mean_depth,mean_size,mean_time_ms,mean_lower_bound,seeds\n");
+    for c in cells {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:.3},{:.3},{:.6},{:.3},{}",
+            c.n, c.qubits, c.class, c.router, c.mean_depth, c.mean_size, c.mean_time_ms,
+            c.mean_lower_bound, c.seeds
+        );
+    }
+    out
+}
+
+/// Render a depth table (Fig. 4 style): rows = grid side, columns =
+/// (class, router) pairs, entries = mean depth.
+pub fn depth_table_markdown(cells: &[Cell]) -> String {
+    table_markdown(cells, |c| format!("{:.1}", c.mean_depth), "mean swap-network depth")
+}
+
+/// Render a time table (Fig. 5 style): entries = mean routing time (ms).
+pub fn time_table_markdown(cells: &[Cell]) -> String {
+    table_markdown(cells, |c| format!("{:.3}", c.mean_time_ms), "mean routing time (ms)")
+}
+
+fn table_markdown(cells: &[Cell], value: impl Fn(&Cell) -> String, caption: &str) -> String {
+    let mut sides: Vec<usize> = cells.iter().map(|c| c.n).collect();
+    sides.sort_unstable();
+    sides.dedup();
+    let mut columns: Vec<(String, String)> = cells
+        .iter()
+        .map(|c| (c.class.clone(), c.router.clone()))
+        .collect();
+    columns.sort();
+    columns.dedup();
+
+    let mut out = format!("**{caption}**\n\n| n×n |");
+    for (class, router) in &columns {
+        let _ = write!(out, " {class}/{router} |");
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in &columns {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for side in sides {
+        let _ = write!(out, "| {side}×{side} |");
+        for (class, router) in &columns {
+            let cell = cells
+                .iter()
+                .find(|c| c.n == side && &c.class == class && &c.router == router);
+            match cell {
+                Some(c) => {
+                    let _ = write!(out, " {} |", value(c));
+                }
+                None => out.push_str(" – |"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the hybrid clamp rows.
+pub fn hybrid_markdown(rows: &[HybridRow]) -> String {
+    let mut out = String::from(
+        "| n×n | class | local | naive | hybrid | clamp held |\n|---|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "| {0}×{0} | {1} | {2:.1} | {3:.1} | {4:.1} | {5} |",
+            r.n, r.class, r.local, r.naive, r.hybrid, r.clamp_held
+        );
+    }
+    out
+}
+
+/// Render the ablation rows.
+pub fn ablation_markdown(rows: &[AblationRow]) -> String {
+    let mut out = String::from(
+        "| n×n | class | variant | mean depth | mean time (ms) |\n|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "| {0}×{0} | {1} | {2} | {3:.1} | {4:.3} |",
+            r.n, r.class, r.variant, r.mean_depth, r.mean_time_ms
+        );
+    }
+    out
+}
+
+/// Render the optimality-gap rows.
+pub fn optgap_markdown(rows: &[crate::experiments::OptGapRow]) -> String {
+    let mut out = String::from(
+        "| grid | router | mean optimal | mean router | worst ratio | instances |\n|---|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.2} | {:.2} | {:.2} | {} |",
+            r.grid, r.router, r.mean_opt, r.mean_router, r.max_ratio, r.instances
+        );
+    }
+    out
+}
+
+/// Render the transpile comparison rows.
+pub fn transpile_markdown(rows: &[TranspileRow]) -> String {
+    let mut out = String::from(
+        "| workload | grid | router | swaps | depth | rounds | time (ms) |\n|---|---|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {:.2} |",
+            r.workload, r.grid, r.router, r.swaps, r.depth, r.rounds, r.time_ms
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::measure_cell;
+    use crate::workloads::WorkloadClass;
+    use qroute_core::RouterKind;
+
+    fn sample_cells() -> Vec<Cell> {
+        vec![
+            measure_cell(4, WorkloadClass::Random, &RouterKind::locality_aware(), 1),
+            measure_cell(4, WorkloadClass::Random, &RouterKind::Ats, 1),
+            measure_cell(6, WorkloadClass::Random, &RouterKind::locality_aware(), 1),
+            measure_cell(6, WorkloadClass::Random, &RouterKind::Ats, 1),
+        ]
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let cells = sample_cells();
+        let csv = cells_to_csv(&cells);
+        assert_eq!(csv.lines().count(), 5);
+        assert!(csv.starts_with("n,qubits,class,router"));
+    }
+
+    #[test]
+    fn markdown_tables_are_complete() {
+        let cells = sample_cells();
+        let md = depth_table_markdown(&cells);
+        assert!(md.contains("| 4×4 |"));
+        assert!(md.contains("| 6×6 |"));
+        assert!(md.contains("random/ats"));
+        assert!(md.contains("random/locality-aware"));
+        assert!(!md.contains('–'), "no missing cells expected:\n{md}");
+        let tt = time_table_markdown(&cells);
+        assert!(tt.contains("routing time"));
+    }
+
+    #[test]
+    fn missing_cells_render_dashes() {
+        let cells = vec![
+            measure_cell(4, WorkloadClass::Random, &RouterKind::locality_aware(), 1),
+            measure_cell(6, WorkloadClass::Random, &RouterKind::Ats, 1),
+        ];
+        let md = depth_table_markdown(&cells);
+        assert!(md.contains('–'));
+    }
+}

@@ -1,0 +1,102 @@
+//! The permutation classes evaluated in §V.
+
+use qroute_perm::{generators, Permutation};
+use qroute_topology::Grid;
+
+/// A named permutation workload class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadClass {
+    /// Uniform random permutation of all vertices (the "global" mapping
+    /// scheme; green-vs-brown regime of Fig. 4).
+    Random,
+    /// Cycles confined to disjoint `b × b` blocks (blue-vs-red regime).
+    Block {
+        /// Block side length.
+        b: usize,
+    },
+    /// Random permutations composed across overlapping `b × b` windows
+    /// with stride `s < b` (the regime where ATS wins).
+    Overlap {
+        /// Window side length.
+        b: usize,
+        /// Stride between windows.
+        s: usize,
+    },
+    /// Long, skinny cycles in orthogonal directions (the adversarial case
+    /// §V singles out for the locality-aware router).
+    Skinny,
+}
+
+impl WorkloadClass {
+    /// Stable label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadClass::Random => "random".into(),
+            WorkloadClass::Block { b } => format!("block{b}"),
+            WorkloadClass::Overlap { b, s } => format!("overlap{b}s{s}"),
+            WorkloadClass::Skinny => "skinny".into(),
+        }
+    }
+
+    /// Generate the seeded instance on a grid.
+    pub fn generate(&self, grid: Grid, seed: u64) -> Permutation {
+        match *self {
+            WorkloadClass::Random => generators::random(grid.len(), seed),
+            WorkloadClass::Block { b } => generators::block_local(grid, b, b, seed),
+            WorkloadClass::Overlap { b, s } => {
+                generators::overlapping_blocks(grid, b, b, s, s, seed)
+            }
+            WorkloadClass::Skinny => generators::skinny_cycles(grid, seed),
+        }
+    }
+
+    /// The classes shown in Figure 4 / Figure 5.
+    pub fn paper_classes() -> Vec<WorkloadClass> {
+        vec![
+            WorkloadClass::Random,
+            WorkloadClass::Block { b: 4 },
+            WorkloadClass::Overlap { b: 8, s: 4 },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<String> = WorkloadClass::paper_classes()
+            .iter()
+            .map(|c| c.label())
+            .collect();
+        labels.push(WorkloadClass::Skinny.label());
+        let n = labels.len();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), n);
+    }
+
+    #[test]
+    fn generation_is_seeded() {
+        let grid = Grid::new(8, 8);
+        for class in WorkloadClass::paper_classes() {
+            assert_eq!(class.generate(grid, 3), class.generate(grid, 3));
+            assert_ne!(class.generate(grid, 3), class.generate(grid, 4), "{class:?}");
+        }
+    }
+
+    #[test]
+    fn all_classes_generate_valid_permutations() {
+        let grid = Grid::new(9, 9);
+        for class in [
+            WorkloadClass::Random,
+            WorkloadClass::Block { b: 3 },
+            WorkloadClass::Overlap { b: 4, s: 2 },
+            WorkloadClass::Skinny,
+        ] {
+            let p = class.generate(grid, 0);
+            assert_eq!(p.len(), 81);
+        }
+    }
+}

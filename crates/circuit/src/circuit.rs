@@ -1,0 +1,235 @@
+//! The circuit container.
+
+use crate::gate::Gate;
+
+/// A quantum circuit: an ordered gate list over `num_qubits` qubits.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    num_qubits: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// An empty circuit on `n` qubits.
+    pub fn new(n: usize) -> Circuit {
+        Circuit { num_qubits: n, gates: Vec::new() }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The gate list in program order.
+    #[inline]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Number of gates (circuit *size*).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// `true` when the circuit has no gates.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Append a gate.
+    ///
+    /// # Panics
+    /// Panics when a qubit index is out of range, or a 2-qubit gate
+    /// addresses the same qubit twice.
+    pub fn push(&mut self, gate: Gate) -> &mut Self {
+        let (a, b) = gate.qubits();
+        assert!(a < self.num_qubits, "qubit {a} out of range");
+        if let Some(b) = b {
+            assert!(b < self.num_qubits, "qubit {b} out of range");
+            assert_ne!(a, b, "two-qubit gate on a single qubit");
+        }
+        self.gates.push(gate);
+        self
+    }
+
+    /// Append all gates of `other` (must have the same qubit count).
+    pub fn append(&mut self, other: &Circuit) -> &mut Self {
+        assert_eq!(self.num_qubits, other.num_qubits, "qubit count mismatch");
+        self.gates.extend_from_slice(&other.gates);
+        self
+    }
+
+    /// Number of 2-qubit gates.
+    pub fn two_qubit_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_two_qubit()).count()
+    }
+
+    /// Circuit depth: the length of the longest per-qubit dependency chain
+    /// (every gate costs one time step).
+    pub fn depth(&self) -> usize {
+        let mut frontier = vec![0usize; self.num_qubits];
+        let mut depth = 0;
+        for g in &self.gates {
+            let (a, b) = g.qubits();
+            let t = match b {
+                Some(b) => frontier[a].max(frontier[b]) + 1,
+                None => frontier[a] + 1,
+            };
+            frontier[a] = t;
+            if let Some(b) = b {
+                frontier[b] = t;
+            }
+            depth = depth.max(t);
+        }
+        depth
+    }
+
+    /// Depth counting only 2-qubit gates (1-qubit gates are free) — the
+    /// metric routing overhead is usually reported in.
+    pub fn two_qubit_depth(&self) -> usize {
+        let mut frontier = vec![0usize; self.num_qubits];
+        let mut depth = 0;
+        for g in &self.gates {
+            if let (a, Some(b)) = g.qubits() {
+                let t = frontier[a].max(frontier[b]) + 1;
+                frontier[a] = t;
+                frontier[b] = t;
+                depth = depth.max(t);
+            }
+        }
+        depth
+    }
+
+    /// The inverse circuit (reversed gate order, each gate daggered).
+    pub fn inverse(&self) -> Circuit {
+        Circuit {
+            num_qubits: self.num_qubits,
+            gates: self.gates.iter().rev().map(Gate::dagger).collect(),
+        }
+    }
+
+    /// Rewrite all qubit indices through `f` (must be injective into
+    /// `0..new_n`).
+    pub fn relabeled(&self, new_n: usize, f: impl Fn(usize) -> usize) -> Circuit {
+        let mut out = Circuit::new(new_n);
+        for g in &self.gates {
+            out.push(g.relabel(&f));
+        }
+        out
+    }
+
+    /// Replace every `SWAP` with its three-`CX` decomposition, as executed
+    /// on hardware without a native SWAP.
+    pub fn decompose_swaps(&self) -> Circuit {
+        let mut out = Circuit::new(self.num_qubits);
+        for g in &self.gates {
+            if let Gate::Swap(a, b) = *g {
+                out.push(Gate::Cx(a, b));
+                out.push(Gate::Cx(b, a));
+                out.push(Gate::Cx(a, b));
+            } else {
+                out.push(*g);
+            }
+        }
+        out
+    }
+
+    /// `true` iff every 2-qubit gate acts on a coupled pair according to
+    /// `coupled(a, b)` — feasibility on a coupling graph (§II).
+    pub fn is_feasible(&self, coupled: impl Fn(usize, usize) -> bool) -> bool {
+        self.gates.iter().all(|g| match g.qubits() {
+            (a, Some(b)) => coupled(a, b),
+            _ => true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_accounting() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H(0)).push(Gate::H(1)).push(Gate::Cx(0, 1)).push(Gate::H(2));
+        assert_eq!(c.size(), 4);
+        assert_eq!(c.depth(), 2); // H's parallel, CX after.
+        assert_eq!(c.two_qubit_depth(), 1);
+        assert_eq!(c.two_qubit_count(), 1);
+    }
+
+    #[test]
+    fn empty_circuit() {
+        let c = Circuit::new(4);
+        assert_eq!(c.depth(), 0);
+        assert!(c.is_empty());
+        assert!(c.is_feasible(|_, _| false));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_validates_range() {
+        Circuit::new(2).push(Gate::H(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "single qubit")]
+    fn push_validates_distinct() {
+        Circuit::new(2).push(Gate::Cx(1, 1));
+    }
+
+    #[test]
+    fn inverse_reverses_and_daggers() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::S(0)).push(Gate::Cx(0, 1));
+        let inv = c.inverse();
+        assert_eq!(inv.gates(), &[Gate::Cx(0, 1), Gate::Sdg(0)]);
+    }
+
+    #[test]
+    fn swap_decomposition() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Swap(0, 1));
+        let d = c.decompose_swaps();
+        assert_eq!(d.size(), 3);
+        assert_eq!(d.gates()[0], Gate::Cx(0, 1));
+        assert_eq!(d.gates()[1], Gate::Cx(1, 0));
+        assert_eq!(d.gates()[2], Gate::Cx(0, 1));
+    }
+
+    #[test]
+    fn feasibility_checks_two_qubit_gates_only() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H(2)).push(Gate::Cx(0, 1));
+        assert!(c.is_feasible(|a, b| (a, b) == (0, 1) || (a, b) == (1, 0)));
+        assert!(!c.is_feasible(|_, _| false));
+    }
+
+    #[test]
+    fn relabeling_preserves_structure() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx(0, 1)).push(Gate::H(1));
+        let r = c.relabeled(4, |q| q + 2);
+        assert_eq!(r.num_qubits(), 4);
+        assert_eq!(r.gates(), &[Gate::Cx(2, 3), Gate::H(3)]);
+        assert_eq!(r.depth(), c.depth());
+    }
+
+    #[test]
+    fn figure_one_example_depths() {
+        // The paper's Figure 1: logical circuit with 5 gates, depth 3
+        // (gates: (1,2), (3) single, (2,4), (1,3), (2) single... we mirror
+        // the structure: depth must be 3).
+        let mut c = Circuit::new(4);
+        c.push(Gate::Cx(0, 1)); // (1,2)
+        c.push(Gate::T(2)); // (3)
+        c.push(Gate::Cx(1, 3)); // (2,4)
+        c.push(Gate::Cx(0, 2)); // (1,3)
+        c.push(Gate::H(1)); // (2)
+        assert_eq!(c.size(), 5);
+        assert_eq!(c.depth(), 3);
+    }
+}

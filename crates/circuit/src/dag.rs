@@ -1,0 +1,204 @@
+//! Gate dependency structure.
+//!
+//! Gates form a DAG: gate `g₂` depends on `g₁` when they share a qubit and
+//! `g₁` precedes `g₂` in program order (Figure 1-(b) of the paper). Since
+//! each qubit's gates are totally ordered, the DAG is exactly the union of
+//! per-qubit chains, which makes an incremental "ready front" cheap to
+//! maintain — that is what the transpiler consumes.
+
+use crate::circuit::Circuit;
+
+/// ASAP layering of a circuit: `layers[k]` holds the indices of gates that
+/// can execute at time step `k` (all predecessors in earlier layers).
+pub fn ascending_layers(circuit: &Circuit) -> Vec<Vec<usize>> {
+    let mut frontier = vec![0usize; circuit.num_qubits()];
+    let mut layers: Vec<Vec<usize>> = Vec::new();
+    for (idx, g) in circuit.gates().iter().enumerate() {
+        let (a, b) = g.qubits();
+        let t = match b {
+            Some(b) => frontier[a].max(frontier[b]),
+            None => frontier[a],
+        };
+        if t == layers.len() {
+            layers.push(Vec::new());
+        }
+        layers[t].push(idx);
+        frontier[a] = t + 1;
+        if let Some(b) = b {
+            frontier[b] = t + 1;
+        }
+    }
+    layers
+}
+
+/// Incremental dependency queue: per-qubit FIFOs of gate indices. A gate
+/// is *ready* when it is at the head of the FIFO of every qubit it acts
+/// on. Executing a ready gate pops it and may ready its successors.
+#[derive(Debug, Clone)]
+pub struct DependencyQueue {
+    /// For each qubit, the indices of its gates in program order.
+    per_qubit: Vec<Vec<usize>>,
+    /// Cursor into each per-qubit list.
+    head: Vec<usize>,
+    /// Number of gates not yet executed.
+    remaining: usize,
+    /// Gate table: qubits of each gate.
+    gate_qubits: Vec<(usize, Option<usize>)>,
+    /// Executed flags (guards against double execution).
+    done: Vec<bool>,
+}
+
+impl DependencyQueue {
+    /// Build the queue for a circuit.
+    pub fn new(circuit: &Circuit) -> DependencyQueue {
+        let n = circuit.num_qubits();
+        let mut per_qubit: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut gate_qubits = Vec::with_capacity(circuit.size());
+        for (idx, g) in circuit.gates().iter().enumerate() {
+            let (a, b) = g.qubits();
+            per_qubit[a].push(idx);
+            if let Some(b) = b {
+                per_qubit[b].push(idx);
+            }
+            gate_qubits.push((a, b));
+        }
+        DependencyQueue {
+            per_qubit,
+            head: vec![0; n],
+            remaining: circuit.size(),
+            gate_qubits,
+            done: vec![false; circuit.size()],
+        }
+    }
+
+    /// Number of unexecuted gates.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// `true` when every gate has been executed.
+    pub fn is_done(&self) -> bool {
+        self.remaining == 0
+    }
+
+    fn at_head(&self, gate: usize, qubit: usize) -> bool {
+        self.per_qubit[qubit]
+            .get(self.head[qubit])
+            .is_some_and(|&g| g == gate)
+    }
+
+    /// `true` when `gate` is ready (front of all its qubits' queues and
+    /// not yet executed).
+    pub fn is_ready(&self, gate: usize) -> bool {
+        if self.done[gate] {
+            return false;
+        }
+        let (a, b) = self.gate_qubits[gate];
+        self.at_head(gate, a) && b.is_none_or(|b| self.at_head(gate, b))
+    }
+
+    /// The current ready front (ascending gate indices).
+    pub fn ready_front(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for q in 0..self.per_qubit.len() {
+            if let Some(&g) = self.per_qubit[q].get(self.head[q]) {
+                if self.is_ready(g) && !out.contains(&g) {
+                    out.push(g);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Execute a ready gate, popping it from its qubits' queues.
+    ///
+    /// # Panics
+    /// Panics when the gate is not ready.
+    pub fn execute(&mut self, gate: usize) {
+        assert!(self.is_ready(gate), "gate {gate} is not ready");
+        let (a, b) = self.gate_qubits[gate];
+        self.head[a] += 1;
+        if let Some(b) = b {
+            self.head[b] += 1;
+        }
+        self.done[gate] = true;
+        self.remaining -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H(0)) // 0
+            .push(Gate::Cx(0, 1)) // 1
+            .push(Gate::Cx(1, 2)) // 2
+            .push(Gate::H(0)); // 3
+        c
+    }
+
+    #[test]
+    fn layers_respect_dependencies() {
+        let c = sample();
+        let layers = ascending_layers(&c);
+        assert_eq!(layers, vec![vec![0], vec![1], vec![2, 3]]);
+        assert_eq!(layers.len(), c.depth());
+    }
+
+    #[test]
+    fn empty_circuit_layers() {
+        assert!(ascending_layers(&Circuit::new(3)).is_empty());
+    }
+
+    #[test]
+    fn ready_front_progression() {
+        let c = sample();
+        let mut q = DependencyQueue::new(&c);
+        assert_eq!(q.ready_front(), vec![0]);
+        q.execute(0);
+        assert_eq!(q.ready_front(), vec![1]);
+        q.execute(1);
+        // Gate 3 (H on qubit 0) and gate 2 (CX 1,2) both ready now.
+        assert_eq!(q.ready_front(), vec![2, 3]);
+        q.execute(3);
+        q.execute(2);
+        assert!(q.is_done());
+    }
+
+    #[test]
+    #[should_panic(expected = "not ready")]
+    fn executing_blocked_gate_panics() {
+        let c = sample();
+        let mut q = DependencyQueue::new(&c);
+        q.execute(1); // blocked behind gate 0
+    }
+
+    #[test]
+    #[should_panic(expected = "not ready")]
+    fn double_execution_panics() {
+        let c = sample();
+        let mut q = DependencyQueue::new(&c);
+        q.execute(0);
+        q.execute(0);
+    }
+
+    #[test]
+    fn parallel_independent_gates_all_ready() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::Cx(0, 1)).push(Gate::Cx(2, 3));
+        let q = DependencyQueue::new(&c);
+        assert_eq!(q.ready_front(), vec![0, 1]);
+    }
+
+    #[test]
+    fn layer_count_matches_depth_on_random_circuits() {
+        use crate::builders;
+        let c = builders::random_two_qubit_circuit(6, 40, 7);
+        assert_eq!(ascending_layers(&c).len(), c.depth());
+    }
+}

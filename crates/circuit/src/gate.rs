@@ -1,0 +1,158 @@
+//! The gate set.
+
+use std::fmt;
+
+/// A quantum gate acting on one or two qubits (qubits are `usize`
+/// indices).
+///
+/// Angles are radians. `Swap` is the routing primitive; on hardware it
+/// decomposes into three `CX` gates ([`Gate::Swap`] →
+/// [`crate::circuit::Circuit::decompose_swaps`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// Hadamard.
+    H(usize),
+    /// Pauli-X.
+    X(usize),
+    /// Pauli-Y.
+    Y(usize),
+    /// Pauli-Z.
+    Z(usize),
+    /// Phase gate `S = diag(1, i)`.
+    S(usize),
+    /// Inverse phase gate.
+    Sdg(usize),
+    /// `T = diag(1, e^{iπ/4})`.
+    T(usize),
+    /// Inverse T.
+    Tdg(usize),
+    /// Rotation about X by the angle.
+    Rx(usize, f64),
+    /// Rotation about Y by the angle.
+    Ry(usize, f64),
+    /// Rotation about Z by the angle.
+    Rz(usize, f64),
+    /// Controlled-NOT (control, target).
+    Cx(usize, usize),
+    /// Controlled-Z (symmetric).
+    Cz(usize, usize),
+    /// SWAP (symmetric).
+    Swap(usize, usize),
+}
+
+impl Gate {
+    /// The qubits the gate acts on: `(first, second)` with `second = None`
+    /// for 1-qubit gates.
+    pub fn qubits(&self) -> (usize, Option<usize>) {
+        match *self {
+            Gate::H(q)
+            | Gate::X(q)
+            | Gate::Y(q)
+            | Gate::Z(q)
+            | Gate::S(q)
+            | Gate::Sdg(q)
+            | Gate::T(q)
+            | Gate::Tdg(q)
+            | Gate::Rx(q, _)
+            | Gate::Ry(q, _)
+            | Gate::Rz(q, _) => (q, None),
+            Gate::Cx(a, b) | Gate::Cz(a, b) | Gate::Swap(a, b) => (a, Some(b)),
+        }
+    }
+
+    /// `true` for 2-qubit gates.
+    pub fn is_two_qubit(&self) -> bool {
+        self.qubits().1.is_some()
+    }
+
+    /// The inverse gate.
+    pub fn dagger(&self) -> Gate {
+        match *self {
+            Gate::S(q) => Gate::Sdg(q),
+            Gate::Sdg(q) => Gate::S(q),
+            Gate::T(q) => Gate::Tdg(q),
+            Gate::Tdg(q) => Gate::T(q),
+            Gate::Rx(q, a) => Gate::Rx(q, -a),
+            Gate::Ry(q, a) => Gate::Ry(q, -a),
+            Gate::Rz(q, a) => Gate::Rz(q, -a),
+            g => g, // H, X, Y, Z, CX, CZ, SWAP are involutions
+        }
+    }
+
+    /// Rewrite qubit indices through `f`.
+    pub fn relabel(&self, f: impl Fn(usize) -> usize) -> Gate {
+        match *self {
+            Gate::H(q) => Gate::H(f(q)),
+            Gate::X(q) => Gate::X(f(q)),
+            Gate::Y(q) => Gate::Y(f(q)),
+            Gate::Z(q) => Gate::Z(f(q)),
+            Gate::S(q) => Gate::S(f(q)),
+            Gate::Sdg(q) => Gate::Sdg(f(q)),
+            Gate::T(q) => Gate::T(f(q)),
+            Gate::Tdg(q) => Gate::Tdg(f(q)),
+            Gate::Rx(q, a) => Gate::Rx(f(q), a),
+            Gate::Ry(q, a) => Gate::Ry(f(q), a),
+            Gate::Rz(q, a) => Gate::Rz(f(q), a),
+            Gate::Cx(a, b) => Gate::Cx(f(a), f(b)),
+            Gate::Cz(a, b) => Gate::Cz(f(a), f(b)),
+            Gate::Swap(a, b) => Gate::Swap(f(a), f(b)),
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Gate::H(q) => write!(f, "h q[{q}]"),
+            Gate::X(q) => write!(f, "x q[{q}]"),
+            Gate::Y(q) => write!(f, "y q[{q}]"),
+            Gate::Z(q) => write!(f, "z q[{q}]"),
+            Gate::S(q) => write!(f, "s q[{q}]"),
+            Gate::Sdg(q) => write!(f, "sdg q[{q}]"),
+            Gate::T(q) => write!(f, "t q[{q}]"),
+            Gate::Tdg(q) => write!(f, "tdg q[{q}]"),
+            Gate::Rx(q, a) => write!(f, "rx({a}) q[{q}]"),
+            Gate::Ry(q, a) => write!(f, "ry({a}) q[{q}]"),
+            Gate::Rz(q, a) => write!(f, "rz({a}) q[{q}]"),
+            Gate::Cx(a, b) => write!(f, "cx q[{a}],q[{b}]"),
+            Gate::Cz(a, b) => write!(f, "cz q[{a}],q[{b}]"),
+            Gate::Swap(a, b) => write!(f, "swap q[{a}],q[{b}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_extraction() {
+        assert_eq!(Gate::H(3).qubits(), (3, None));
+        assert_eq!(Gate::Cx(1, 2).qubits(), (1, Some(2)));
+        assert!(Gate::Swap(0, 1).is_two_qubit());
+        assert!(!Gate::Rz(0, 1.0).is_two_qubit());
+    }
+
+    #[test]
+    fn dagger_pairs() {
+        assert_eq!(Gate::S(0).dagger(), Gate::Sdg(0));
+        assert_eq!(Gate::Tdg(1).dagger(), Gate::T(1));
+        assert_eq!(Gate::Rx(0, 0.5).dagger(), Gate::Rx(0, -0.5));
+        assert_eq!(Gate::H(2).dagger(), Gate::H(2));
+        assert_eq!(Gate::Cx(0, 1).dagger(), Gate::Cx(0, 1));
+    }
+
+    #[test]
+    fn relabeling() {
+        let g = Gate::Cx(0, 1).relabel(|q| q + 10);
+        assert_eq!(g, Gate::Cx(10, 11));
+        assert_eq!(Gate::Rz(2, 0.3).relabel(|q| q * 2), Gate::Rz(4, 0.3));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Gate::H(0).to_string(), "h q[0]");
+        assert_eq!(Gate::Cx(0, 1).to_string(), "cx q[0],q[1]");
+        assert_eq!(Gate::Rz(1, 0.5).to_string(), "rz(0.5) q[1]");
+    }
+}

@@ -1,0 +1,30 @@
+//! # qroute-circuit
+//!
+//! A compact quantum-circuit intermediate representation, sufficient for
+//! the routing/transpilation pipeline:
+//!
+//! * [`gate`] — the gate set (common 1-qubit gates, rotations, `CX`/`CZ`/
+//!   `SWAP`);
+//! * [`circuit`] — [`Circuit`]: a gate list with qubit count, depth/size
+//!   accounting and structural editing (compose, invert, relabel);
+//! * [`dag`] — the dependency DAG (§II, Figure 1-(b)): ASAP layering and
+//!   an incremental ready-set used by the transpiler's scheduler;
+//! * [`builders`] — workload circuits: QFT, GHZ, random 2-qubit-gate
+//!   circuits, and Trotterized simulation of spatially-local Hamiltonians
+//!   on a 2-D lattice (the application class the paper's introduction
+//!   motivates: "simulation of spatially local Hamiltonians");
+//! * [`qasm`] — OpenQASM 2.0 emission for interoperability.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builders;
+pub mod circuit;
+pub mod dag;
+pub mod gate;
+pub mod parser;
+pub mod qasm;
+
+pub use circuit::Circuit;
+pub use dag::{ascending_layers, DependencyQueue};
+pub use gate::Gate;

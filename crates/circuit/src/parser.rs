@@ -1,0 +1,308 @@
+//! OpenQASM 2.0 parser (the subset emitted by [`crate::qasm`], i.e. the
+//! `qelib1.inc` gates this crate models, one register, no classical
+//! control). Enables round-tripping transpiled circuits through text.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Parse errors with 1-based line numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QasmError {
+    /// Missing or malformed `OPENQASM 2.0;` header.
+    BadHeader,
+    /// No `qreg` declaration before the first gate.
+    MissingQreg,
+    /// A second `qreg` (we support a single register).
+    MultipleQreg {
+        /// Offending line.
+        line: usize,
+    },
+    /// Unsupported or malformed statement.
+    BadStatement {
+        /// Offending line.
+        line: usize,
+        /// The statement text.
+        stmt: String,
+    },
+    /// Qubit index out of declared range.
+    QubitOutOfRange {
+        /// Offending line.
+        line: usize,
+        /// The index used.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for QasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QasmError::BadHeader => write!(f, "missing OPENQASM 2.0 header"),
+            QasmError::MissingQreg => write!(f, "no qreg declared before gates"),
+            QasmError::MultipleQreg { line } => {
+                write!(f, "line {line}: multiple qreg declarations unsupported")
+            }
+            QasmError::BadStatement { line, stmt } => {
+                write!(f, "line {line}: cannot parse statement `{stmt}`")
+            }
+            QasmError::QubitOutOfRange { line, index } => {
+                write!(f, "line {line}: qubit q[{index}] out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QasmError {}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(k) => &line[..k],
+        None => line,
+    }
+}
+
+/// Parse `q[3]` → `3`.
+fn parse_qubit(tok: &str, line: usize) -> Result<usize, QasmError> {
+    let tok = tok.trim();
+    let inner = tok
+        .strip_prefix("q[")
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| QasmError::BadStatement { line, stmt: tok.to_string() })?;
+    inner
+        .trim()
+        .parse()
+        .map_err(|_| QasmError::BadStatement { line, stmt: tok.to_string() })
+}
+
+/// Parse an angle expression: a float literal, optionally `pi`,
+/// `-pi`, `pi/2`, `2*pi`, `pi*0.5` forms (the shapes QASM emitters
+/// produce).
+fn parse_angle(expr: &str, line: usize) -> Result<f64, QasmError> {
+    let e = expr.trim().replace(' ', "");
+    let bad = || QasmError::BadStatement { line, stmt: expr.to_string() };
+    let atom = |s: &str| -> Result<f64, QasmError> {
+        let (sign, s) = match s.strip_prefix('-') {
+            Some(rest) => (-1.0, rest),
+            None => (1.0, s),
+        };
+        if s == "pi" {
+            Ok(sign * std::f64::consts::PI)
+        } else {
+            s.parse::<f64>().map(|v| sign * v).map_err(|_| bad())
+        }
+    };
+    if let Some((a, b)) = e.split_once('/') {
+        return Ok(atom(a)? / atom(b)?);
+    }
+    if let Some((a, b)) = e.split_once('*') {
+        return Ok(atom(a)? * atom(b)?);
+    }
+    atom(&e)
+}
+
+/// Parse an OpenQASM 2.0 program into a [`Circuit`].
+pub fn parse_qasm(src: &str) -> Result<Circuit, QasmError> {
+    let mut saw_header = false;
+    let mut circuit: Option<Circuit> = None;
+
+    // Statements end with ';'; they may share lines. Track line numbers
+    // by scanning per input line and splitting on ';'.
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        for stmt in strip_comment(raw).split(';') {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            if let Some(rest) = stmt.strip_prefix("OPENQASM") {
+                if rest.trim() != "2.0" {
+                    return Err(QasmError::BadHeader);
+                }
+                saw_header = true;
+                continue;
+            }
+            if stmt.starts_with("include") {
+                continue;
+            }
+            if let Some(rest) = stmt.strip_prefix("qreg") {
+                if circuit.is_some() {
+                    return Err(QasmError::MultipleQreg { line });
+                }
+                let n = parse_qubit(rest.trim(), line)?;
+                circuit = Some(Circuit::new(n));
+                continue;
+            }
+            if stmt.starts_with("creg") || stmt.starts_with("barrier") {
+                continue; // tolerated, ignored
+            }
+            if !saw_header {
+                return Err(QasmError::BadHeader);
+            }
+            let c = circuit.as_mut().ok_or(QasmError::MissingQreg)?;
+
+            // Gate statement: `name[(angle)] operand[,operand]`.
+            let (head, operands) = match stmt.find(char::is_whitespace) {
+                Some(k) => (stmt[..k].trim(), stmt[k..].trim()),
+                None => {
+                    return Err(QasmError::BadStatement { line, stmt: stmt.to_string() })
+                }
+            };
+            let (name, angle) = match head.find('(') {
+                Some(k) => {
+                    let inner = head[k + 1..]
+                        .strip_suffix(')')
+                        .ok_or_else(|| QasmError::BadStatement {
+                            line,
+                            stmt: stmt.to_string(),
+                        })?;
+                    (&head[..k], Some(parse_angle(inner, line)?))
+                }
+                None => (head, None),
+            };
+            let qubits: Vec<usize> = operands
+                .split(',')
+                .map(|t| parse_qubit(t, line))
+                .collect::<Result<_, _>>()?;
+            for &q in &qubits {
+                if q >= c.num_qubits() {
+                    return Err(QasmError::QubitOutOfRange { line, index: q });
+                }
+            }
+            let one = |qs: &[usize]| -> Result<usize, QasmError> {
+                if qs.len() == 1 {
+                    Ok(qs[0])
+                } else {
+                    Err(QasmError::BadStatement { line, stmt: stmt.to_string() })
+                }
+            };
+            let two = |qs: &[usize]| -> Result<(usize, usize), QasmError> {
+                if qs.len() == 2 && qs[0] != qs[1] {
+                    Ok((qs[0], qs[1]))
+                } else {
+                    Err(QasmError::BadStatement { line, stmt: stmt.to_string() })
+                }
+            };
+            let gate = match (name, angle) {
+                ("h", None) => Gate::H(one(&qubits)?),
+                ("x", None) => Gate::X(one(&qubits)?),
+                ("y", None) => Gate::Y(one(&qubits)?),
+                ("z", None) => Gate::Z(one(&qubits)?),
+                ("s", None) => Gate::S(one(&qubits)?),
+                ("sdg", None) => Gate::Sdg(one(&qubits)?),
+                ("t", None) => Gate::T(one(&qubits)?),
+                ("tdg", None) => Gate::Tdg(one(&qubits)?),
+                ("rx", Some(a)) => Gate::Rx(one(&qubits)?, a),
+                ("ry", Some(a)) => Gate::Ry(one(&qubits)?, a),
+                ("rz", Some(a)) => Gate::Rz(one(&qubits)?, a),
+                ("cx", None) => {
+                    let (a, b) = two(&qubits)?;
+                    Gate::Cx(a, b)
+                }
+                ("cz", None) => {
+                    let (a, b) = two(&qubits)?;
+                    Gate::Cz(a, b)
+                }
+                ("swap", None) => {
+                    let (a, b) = two(&qubits)?;
+                    Gate::Swap(a, b)
+                }
+                _ => return Err(QasmError::BadStatement { line, stmt: stmt.to_string() }),
+            };
+            c.push(gate);
+        }
+    }
+    if !saw_header {
+        return Err(QasmError::BadHeader);
+    }
+    circuit.ok_or(QasmError::MissingQreg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use crate::qasm::to_qasm;
+
+    #[test]
+    fn parses_minimal_program() {
+        let c = parse_qasm(
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n",
+        )
+        .unwrap();
+        assert_eq!(c.num_qubits(), 2);
+        assert_eq!(c.gates(), &[Gate::H(0), Gate::Cx(0, 1)]);
+    }
+
+    #[test]
+    fn round_trips_every_builder() {
+        for c in [
+            builders::qft(5),
+            builders::ghz(4),
+            builders::trotter_grid_step(2, 3, 0.37, 1),
+            builders::random_two_qubit_circuit(5, 20, 3),
+        ] {
+            let text = to_qasm(&c);
+            let parsed = parse_qasm(&text).unwrap();
+            assert_eq!(parsed.num_qubits(), c.num_qubits());
+            assert_eq!(parsed.size(), c.size());
+            // Angles survive the decimal round trip exactly for our
+            // emitter (Rust prints f64 round-trippably).
+            assert_eq!(parsed.gates(), c.gates());
+        }
+    }
+
+    #[test]
+    fn tolerates_comments_and_blank_lines() {
+        let src = "OPENQASM 2.0; // header\n\n// a comment\nqreg q[1];\nh q[0]; // flip\n";
+        let c = parse_qasm(src).unwrap();
+        assert_eq!(c.size(), 1);
+    }
+
+    #[test]
+    fn parses_pi_angles() {
+        let src = "OPENQASM 2.0;\nqreg q[1];\nrz(pi/2) q[0];\nrx(-pi) q[0];\nry(2*pi) q[0];\nrz(0.5) q[0];\n";
+        let c = parse_qasm(src).unwrap();
+        match c.gates()[0] {
+            Gate::Rz(0, a) => assert!((a - std::f64::consts::FRAC_PI_2).abs() < 1e-12),
+            ref g => panic!("unexpected {g:?}"),
+        }
+        match c.gates()[1] {
+            Gate::Rx(0, a) => assert!((a + std::f64::consts::PI).abs() < 1e-12),
+            ref g => panic!("unexpected {g:?}"),
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(parse_qasm("qreg q[2];"), Err(QasmError::BadHeader));
+        assert_eq!(parse_qasm("OPENQASM 2.0;\nh q[0];"), Err(QasmError::MissingQreg));
+        assert!(matches!(
+            parse_qasm("OPENQASM 2.0;\nqreg q[2];\nqreg q[3];"),
+            Err(QasmError::MultipleQreg { line: 3 })
+        ));
+        assert!(matches!(
+            parse_qasm("OPENQASM 2.0;\nqreg q[2];\nh q[5];"),
+            Err(QasmError::QubitOutOfRange { line: 3, index: 5 })
+        ));
+        assert!(matches!(
+            parse_qasm("OPENQASM 2.0;\nqreg q[2];\nfoo q[0];"),
+            Err(QasmError::BadStatement { line: 3, .. })
+        ));
+        assert!(matches!(
+            parse_qasm("OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[0];"),
+            Err(QasmError::BadStatement { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_statements_per_line() {
+        let c = parse_qasm("OPENQASM 2.0; qreg q[2]; h q[0]; cx q[0],q[1];").unwrap();
+        assert_eq!(c.size(), 2);
+    }
+
+    #[test]
+    fn barrier_and_creg_tolerated() {
+        let c = parse_qasm("OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nbarrier q;\nh q[1];\n")
+            .unwrap();
+        assert_eq!(c.size(), 1);
+    }
+}

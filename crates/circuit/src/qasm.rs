@@ -1,0 +1,63 @@
+//! OpenQASM 2.0 emission.
+
+use crate::circuit::Circuit;
+
+/// Serialize a circuit as an OpenQASM 2.0 program (gates map 1:1 onto the
+/// `qelib1.inc` standard library).
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let mut out = String::with_capacity(64 + circuit.size() * 16);
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    out.push_str(&format!("qreg q[{}];\n", circuit.num_qubits()));
+    for g in circuit.gates() {
+        out.push_str(&g.to_string());
+        out.push_str(";\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    #[test]
+    fn golden_output() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0)).push(Gate::Cx(0, 1));
+        assert_eq!(
+            to_qasm(&c),
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n"
+        );
+    }
+
+    #[test]
+    fn empty_circuit_has_header_only() {
+        let c = Circuit::new(3);
+        let q = to_qasm(&c);
+        assert!(q.ends_with("qreg q[3];\n"));
+        assert_eq!(q.lines().count(), 3);
+    }
+
+    #[test]
+    fn all_gate_kinds_serialize() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H(0))
+            .push(Gate::X(0))
+            .push(Gate::Y(0))
+            .push(Gate::Z(0))
+            .push(Gate::S(0))
+            .push(Gate::Sdg(0))
+            .push(Gate::T(0))
+            .push(Gate::Tdg(0))
+            .push(Gate::Rx(0, 0.25))
+            .push(Gate::Ry(1, 0.5))
+            .push(Gate::Rz(2, 0.75))
+            .push(Gate::Cx(0, 1))
+            .push(Gate::Cz(1, 2))
+            .push(Gate::Swap(0, 2));
+        let q = to_qasm(&c);
+        for needle in ["sdg q[0]", "rx(0.25) q[0]", "cz q[1],q[2]", "swap q[0],q[2]"] {
+            assert!(q.contains(needle), "missing {needle} in:\n{q}");
+        }
+    }
+}

@@ -1,0 +1,460 @@
+//! The 3-phase `GridRoute` of Alon, Chung and Graham, and the *naive* grid
+//! router baseline.
+//!
+//! `GridRoute(G, π; σ₁,…,σₙ)` routes in three rounds (§IV):
+//!
+//! 1. **columns** — in parallel, column `j` is permuted by `σⱼ`, staging
+//!    each qubit in a row from which its destination column is unique;
+//! 2. **rows** — in parallel, each row sends every staged qubit to its
+//!    destination column;
+//! 3. **columns** — each column sends every qubit to its destination row.
+//!
+//! Each round routes paths with odd–even transposition ([`crate::line`]).
+//! The σ's come from a decomposition of the column multigraph `G[1,m]`
+//! into `m` perfect matchings plus an assignment of matchings to staging
+//! rows; the *naive* baseline does both arbitrarily, which is exactly what
+//! the locality-aware algorithm (in [`crate::local_grid`]) improves.
+
+use crate::line::{route_line, route_line_best, FirstParity};
+use crate::schedule::{RoutingSchedule, SwapLayer};
+use qroute_matching::{decompose_regular, BipartiteMultigraph, LabeledEdge};
+use qroute_perm::Permutation;
+use qroute_topology::Grid;
+
+/// How each row/column line permutation is realized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LineStrategy {
+    /// Always start odd–even transposition with even-parity edges.
+    EvenFirst,
+    /// Run both parities and keep the shallower line schedule (default).
+    #[default]
+    BestParity,
+}
+
+fn route_one_line(targets: &[usize], strategy: LineStrategy) -> Vec<Vec<(usize, usize)>> {
+    match strategy {
+        LineStrategy::EvenFirst => route_line(targets, FirstParity::Even),
+        LineStrategy::BestParity => route_line_best(targets),
+    }
+}
+
+/// Route a set of vertex-disjoint lines in parallel; round `k` of every
+/// line is merged into one swap layer.
+///
+/// `lines` pairs each line's vertex ids (in path order) with the target
+/// positions of its tokens.
+pub(crate) fn route_parallel_lines(
+    lines: &[(Vec<usize>, Vec<usize>)],
+    strategy: LineStrategy,
+) -> RoutingSchedule {
+    let per_line: Vec<Vec<Vec<(usize, usize)>>> = lines
+        .iter()
+        .map(|(_, targets)| route_one_line(targets, strategy))
+        .collect();
+    let depth = per_line.iter().map(Vec::len).max().unwrap_or(0);
+    let mut layers = Vec::with_capacity(depth);
+    for k in 0..depth {
+        let mut layer = SwapLayer::default();
+        for (line_idx, rounds) in per_line.iter().enumerate() {
+            if let Some(round) = rounds.get(k) {
+                let verts = &lines[line_idx].0;
+                layer
+                    .swaps
+                    .extend(round.iter().map(|&(a, b)| (verts[a], verts[b])));
+            }
+        }
+        layers.push(layer);
+    }
+    RoutingSchedule::from_layers(layers)
+}
+
+/// Build the column multigraph `G[1,m]` of §IV-A for permutation `π`:
+/// one edge `j → j'` labeled `(i, i')` per qubit at `(i, j)` destined for
+/// `(i', j')`. Edges are inserted in row-major qubit order, making band
+/// extraction deterministic.
+pub fn build_column_multigraph(grid: Grid, pi: &Permutation) -> BipartiteMultigraph {
+    assert_eq!(grid.len(), pi.len(), "permutation size must match grid");
+    let mut mg = BipartiteMultigraph::new(grid.cols());
+    for i in 0..grid.rows() {
+        for j in 0..grid.cols() {
+            let (ip, jp) = grid.coords(pi.apply(grid.index(i, j)));
+            mg.add_edge(LabeledEdge { left: j, right: jp, src_row: i, dst_row: ip });
+        }
+    }
+    mg
+}
+
+/// `GridRoute(G, π; σ₁,…,σₙ)`: the 3-phase routing given staging
+/// permutations. `sigmas[j][i]` is the staging row of the qubit at
+/// `(i, j)`.
+///
+/// # Panics
+/// Panics when the σ's are not valid staging permutations (each `σⱼ` must
+/// permute rows, and staged rows must give each row one qubit per
+/// destination column — the Hall property of §IV).
+pub fn grid_route_with_sigmas(
+    grid: Grid,
+    pi: &Permutation,
+    sigmas: &[Vec<usize>],
+    strategy: LineStrategy,
+) -> RoutingSchedule {
+    let m = grid.rows();
+    let n = grid.cols();
+    assert_eq!(pi.len(), grid.len(), "permutation size must match grid");
+    assert_eq!(sigmas.len(), n, "need one σ per column");
+    for (j, sigma) in sigmas.iter().enumerate() {
+        assert_eq!(sigma.len(), m, "σ_{j} must cover all rows");
+        let mut seen = vec![false; m];
+        for &r in sigma {
+            assert!(r < m && !seen[r], "σ_{j} is not a permutation of rows");
+            seen[r] = true;
+        }
+    }
+
+    // Phase 2 targets: row_targets[r][j] = destination column of the qubit
+    // staged at (r, j).
+    let mut row_targets = vec![vec![usize::MAX; n]; m];
+    // Phase 3 targets: col_targets[j'][r] = destination row of the qubit
+    // sitting at (r, j') after phase 2.
+    let mut col_targets = vec![vec![usize::MAX; m]; n];
+    for j in 0..n {
+        for i in 0..m {
+            let r = sigmas[j][i];
+            let (ip, jp) = grid.coords(pi.apply(grid.index(i, j)));
+            assert_eq!(
+                row_targets[r][j],
+                usize::MAX,
+                "two qubits of column {j} staged in row {r}"
+            );
+            row_targets[r][j] = jp;
+            assert!(
+                col_targets[jp][r] == usize::MAX,
+                "σ's violate the matching property: row {r} sends two qubits to column {jp}"
+            );
+            col_targets[jp][r] = ip;
+        }
+    }
+
+    let mut schedule = RoutingSchedule::empty();
+    // Phase 1: columns permuted by σ.
+    let lines: Vec<(Vec<usize>, Vec<usize>)> =
+        (0..n).map(|j| (grid.column(j), sigmas[j].clone())).collect();
+    schedule.extend(route_parallel_lines(&lines, strategy));
+    // Phase 2: rows to destination columns.
+    let lines: Vec<(Vec<usize>, Vec<usize>)> =
+        (0..m).map(|r| (grid.row(r), row_targets[r].clone())).collect();
+    schedule.extend(route_parallel_lines(&lines, strategy));
+    // Phase 3: columns to destination rows.
+    let lines: Vec<(Vec<usize>, Vec<usize>)> =
+        (0..n).map(|j| (grid.column(j), col_targets[j].clone())).collect();
+    schedule.extend(route_parallel_lines(&lines, strategy));
+    schedule
+}
+
+/// Options for the naive grid router.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveOptions {
+    /// Line routing strategy for all three phases.
+    pub line: LineStrategy,
+    /// Apply ASAP depth compaction to the final schedule.
+    pub compact: bool,
+    /// Also route the transposed instance and keep the shallower result.
+    pub try_transpose: bool,
+    /// When set, matchings are extracted in a seeded-random edge order and
+    /// assigned to rows in seeded-random order — *adversarially* arbitrary
+    /// choices, the scenario Figure 3 of the paper warns about. When
+    /// `None`, the deterministic Hopcroft–Karp order is used, which turns
+    /// out to be "lucky arbitrary" (it favors low rows first).
+    pub randomize: Option<u64>,
+}
+
+impl NaiveOptions {
+    /// The configuration used as the paper's baseline: compaction off,
+    /// transpose off, even-first lines — the plain 3-phase algorithm.
+    pub fn plain() -> NaiveOptions {
+        NaiveOptions {
+            line: LineStrategy::EvenFirst,
+            compact: false,
+            try_transpose: false,
+            randomize: None,
+        }
+    }
+}
+
+/// Deterministic splitmix64 stream (no external RNG dependency in this
+/// crate; only used to make the naive baseline's arbitrary choices
+/// reproducibly random).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Fisher–Yates with a splitmix64 stream.
+fn seeded_shuffle<T>(v: &mut [T], seed: u64) {
+    let mut state = seed ^ 0xD1B54A32D192ED03;
+    for i in (1..v.len()).rev() {
+        let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+}
+
+/// Transpose a routing instance: `πᵀ(j, i) = (j', i')` iff
+/// `π(i, j) = (i', j')`.
+pub fn transpose_instance(grid: Grid, pi: &Permutation) -> (Grid, Permutation) {
+    let gt = grid.transpose();
+    let mut map = vec![0usize; pi.len()];
+    for v in 0..pi.len() {
+        map[grid.transpose_vertex(v)] = grid.transpose_vertex(pi.apply(v));
+    }
+    (gt, Permutation::from_vec_unchecked(map))
+}
+
+/// Map a schedule computed on the transposed grid back to original vertex
+/// ids.
+pub fn untranspose_schedule(grid_t: Grid, schedule: RoutingSchedule) -> RoutingSchedule {
+    let layers = schedule
+        .layers
+        .into_iter()
+        .map(|layer| {
+            SwapLayer::new(
+                layer
+                    .swaps
+                    .into_iter()
+                    .map(|(u, v)| (grid_t.transpose_vertex(u), grid_t.transpose_vertex(v)))
+                    .collect(),
+            )
+        })
+        .collect();
+    RoutingSchedule::from_layers(layers)
+}
+
+/// The naive 3-phase grid router: decompose `G[1,m]` into `m` perfect
+/// matchings *arbitrarily* and assign matching `k` to staging row `k` in
+/// extraction order — the Alon–Chung–Graham baseline the paper improves.
+pub fn naive_grid_route(grid: Grid, pi: &Permutation, opts: &NaiveOptions) -> RoutingSchedule {
+    let route_once = |grid: Grid, pi: &Permutation| -> RoutingSchedule {
+        let mut mg = build_column_multigraph(grid, pi);
+        let m = grid.rows();
+        let n = grid.cols();
+        let matchings = match opts.randomize {
+            None => decompose_regular(&mut mg).expect("column multigraph is always m-regular"),
+            Some(seed) => {
+                // Adversarially arbitrary: shuffle the candidate edge
+                // order so representative-edge choices (and therefore the
+                // matchings) are random; regularity still guarantees m
+                // perfect matchings.
+                let mut out = Vec::with_capacity(m);
+                while mg.num_alive() > 0 {
+                    let mut all = mg.alive_edges();
+                    seeded_shuffle(&mut all, seed ^ out.len() as u64);
+                    let found = mg.extract_perfect_matchings(&all);
+                    assert!(!found.is_empty(), "regular multigraph must keep matching");
+                    out.extend(found);
+                }
+                out
+            }
+        };
+        debug_assert_eq!(matchings.len(), m);
+        // Row assignment: extraction order, or random when randomized.
+        let mut row_of: Vec<usize> = (0..m).collect();
+        if let Some(seed) = opts.randomize {
+            seeded_shuffle(&mut row_of, seed ^ 0xABCD);
+        }
+        let mut sigmas = vec![vec![usize::MAX; m]; n];
+        for (k, matching) in matchings.iter().enumerate() {
+            for &id in matching {
+                let e = mg.edge(id);
+                sigmas[e.left][e.src_row] = row_of[k];
+            }
+        }
+        grid_route_with_sigmas(grid, pi, &sigmas, opts.line)
+    };
+
+    let mut best = route_once(grid, pi);
+    if opts.try_transpose {
+        let (gt, pit) = transpose_instance(grid, pi);
+        let alt = untranspose_schedule(gt, route_once(gt, &pit));
+        if alt.depth() < best.depth() {
+            best = alt;
+        }
+    }
+    if opts.compact {
+        best = best.compact(grid.len());
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qroute_perm::generators;
+
+    fn check_route(grid: Grid, pi: &Permutation, opts: &NaiveOptions) -> RoutingSchedule {
+        let s = naive_grid_route(grid, pi, opts);
+        assert!(s.realizes(pi), "schedule does not realize π on {grid:?}");
+        s.validate_on(&grid.to_graph()).expect("invalid layers");
+        s
+    }
+
+    #[test]
+    fn identity_routes_to_empty() {
+        let grid = Grid::new(4, 5);
+        let s = check_route(grid, &Permutation::identity(20), &NaiveOptions::default());
+        assert_eq!(s.depth(), 0);
+    }
+
+    #[test]
+    fn routes_random_permutations_on_many_shapes() {
+        for (m, n) in [(1, 1), (1, 8), (8, 1), (2, 2), (3, 4), (4, 3), (5, 5), (7, 3)] {
+            let grid = Grid::new(m, n);
+            for seed in 0..4 {
+                let pi = generators::random(grid.len(), seed);
+                for opts in [
+                    NaiveOptions::plain(),
+                    NaiveOptions { compact: true, try_transpose: true, ..Default::default() },
+                ] {
+                    check_route(grid, &pi, &opts);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth_bound_three_phases() {
+        // Each phase is at most max(m, n) rounds, so depth <= 2m + n (or
+        // with transpose min(2m+n, 2n+m)).
+        let grid = Grid::new(6, 6);
+        for seed in 0..8 {
+            let pi = generators::random(36, seed);
+            let s = naive_grid_route(grid, &pi, &NaiveOptions::plain());
+            assert!(s.depth() <= 2 * 6 + 6, "depth {} exceeds 3-phase bound", s.depth());
+        }
+    }
+
+    #[test]
+    fn compaction_never_hurts() {
+        let grid = Grid::new(5, 4);
+        for seed in 0..6 {
+            let pi = generators::random(20, seed);
+            let plain = naive_grid_route(grid, &pi, &NaiveOptions::plain());
+            let compacted = naive_grid_route(
+                grid,
+                &pi,
+                &NaiveOptions { compact: true, ..NaiveOptions::plain() },
+            );
+            assert!(compacted.depth() <= plain.depth());
+            assert!(compacted.realizes(&pi));
+        }
+    }
+
+    #[test]
+    fn transpose_instance_round_trip() {
+        let grid = Grid::new(3, 5);
+        let pi = generators::random(15, 9);
+        let (gt, pit) = transpose_instance(grid, &pi);
+        let (gtt, pitt) = transpose_instance(gt, &pit);
+        assert_eq!(gtt, grid);
+        assert_eq!(pitt, pi);
+    }
+
+    #[test]
+    fn grid_route_with_explicit_sigmas() {
+        // 2x2 grid, permutation = swap the two columns in row 0 only...
+        // Use a full column swap: (i, 0) <-> (i, 1).
+        let grid = Grid::new(2, 2);
+        let pi = Permutation::from_vec(vec![1, 0, 3, 2]).unwrap();
+        // Identity sigmas suffice: every row already has distinct dest
+        // columns.
+        let sigmas = vec![vec![0, 1], vec![0, 1]];
+        let s = grid_route_with_sigmas(grid, &pi, &sigmas, LineStrategy::BestParity);
+        assert!(s.realizes(&pi));
+        assert_eq!(s.depth(), 1, "pure row swap should take one layer");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation of rows")]
+    fn invalid_sigma_panics() {
+        let grid = Grid::new(2, 2);
+        let pi = Permutation::identity(4);
+        let sigmas = vec![vec![0, 0], vec![0, 1]];
+        let _ = grid_route_with_sigmas(grid, &pi, &sigmas, LineStrategy::EvenFirst);
+    }
+
+    #[test]
+    #[should_panic(expected = "matching property")]
+    fn sigma_violating_hall_panics() {
+        // Both columns stage their (0,*) qubit in row 0, but both qubits
+        // target column 0 -> phase 2 collision.
+        let grid = Grid::new(2, 2);
+        // π: (0,0)->(0,0), (0,1)->(1,0), (1,0)->(0,1), (1,1)->(1,1)
+        let pi = Permutation::from_vec(vec![0, 2, 1, 3]).unwrap();
+        let sigmas = vec![vec![0, 1], vec![0, 1]];
+        let _ = grid_route_with_sigmas(grid, &pi, &sigmas, LineStrategy::EvenFirst);
+    }
+
+    #[test]
+    fn randomized_naive_still_realizes() {
+        let grid = Grid::new(5, 4);
+        for seed in 0..4 {
+            let pi = generators::random(20, seed);
+            let opts = NaiveOptions { randomize: Some(seed), ..NaiveOptions::plain() };
+            let s = naive_grid_route(grid, &pi, &opts);
+            assert!(s.realizes(&pi), "seed {seed}");
+            s.validate_on(&grid.to_graph()).unwrap();
+        }
+    }
+
+    #[test]
+    fn randomized_naive_shows_figure3_overhead_on_local_workloads() {
+        // Figure 3 of the paper: arbitrary matching choices can route a
+        // nearby qubit the long way around. On block-local permutations
+        // the adversarially arbitrary naive router should be far deeper
+        // than the locality-aware one.
+        use crate::local_grid::local_grid_route;
+        let grid = Grid::new(12, 12);
+        let mut naive_total = 0usize;
+        let mut local_total = 0usize;
+        for seed in 0..5 {
+            let pi = generators::block_local(grid, 3, 3, seed);
+            let opts = NaiveOptions {
+                randomize: Some(seed),
+                compact: true,
+                try_transpose: true,
+                ..Default::default()
+            };
+            naive_total += naive_grid_route(grid, &pi, &opts).depth();
+            local_total += local_grid_route(grid, &pi).depth();
+        }
+        assert!(
+            naive_total >= 2 * local_total,
+            "random-arbitrary naive ({naive_total}) should dwarf locality-aware ({local_total})"
+        );
+    }
+
+    #[test]
+    fn single_row_grid_reduces_to_line_routing() {
+        let grid = Grid::new(1, 9);
+        let pi = generators::reversal(9);
+        let s = naive_grid_route(grid, &pi, &NaiveOptions::plain());
+        assert!(s.realizes(&pi));
+        assert!(s.depth() <= 9);
+        assert!(s.depth() >= 8);
+    }
+
+    #[test]
+    fn torus_shift_depth_reasonable() {
+        let grid = Grid::new(8, 8);
+        let pi = generators::torus_shift(grid, 0, 1);
+        let s = naive_grid_route(
+            grid,
+            &pi,
+            &NaiveOptions { compact: true, try_transpose: true, ..Default::default() },
+        );
+        assert!(s.realizes(&pi));
+        // A horizontal cyclic shift needs ~n layers on a path-row.
+        assert!(s.depth() <= 16, "depth {} too large for unit shift", s.depth());
+    }
+}

@@ -1,0 +1,52 @@
+//! # qroute-core
+//!
+//! The paper's primary contribution: **locality-aware qubit routing via
+//! matchings for grid and Cartesian-product ("grid-like") architectures**,
+//! plus the baselines it is evaluated against.
+//!
+//! Routing problem (§II): given a coupling graph `G` and a permutation `π`
+//! on its vertices, produce a sequence of *matchings* of `G`; each matching
+//! is a layer of disjoint SWAP gates executed in parallel, and after all
+//! layers the token starting at `v` must sit at `π(v)`. The objective is to
+//! minimize the number of layers (the *depth* added to the physical
+//! circuit).
+//!
+//! Modules:
+//!
+//! * [`schedule`] — [`SwapLayer`]/[`RoutingSchedule`]: application,
+//!   verification, matching-validity checks, and the ASAP depth-compaction
+//!   pass shared by all routers.
+//! * [`line`] — odd–even transposition routing on a path: the primitive
+//!   each phase of the 3-phase grid algorithm runs on rows/columns.
+//! * [`grid_route`] — `GridRoute(G, π; σ₁,…,σₙ)` (Alon–Chung–Graham
+//!   3-phase routing) and the *naive* baseline with arbitrary matchings.
+//! * [`local_grid`] — **`LocalGridRoute`** (Algorithm 2: doubling window
+//!   search + `Δ` metric + MCBBM row assignment) and the transpose-trying
+//!   main procedure (Algorithm 1).
+//! * [`token_swap`] — the approximate token swapping (ATS) baseline of
+//!   Miltzow et al. (4-approximation) with greedy parallelization, as used
+//!   in the transpiler of Childs–Schoute–Unsal that the paper compares
+//!   against; plus a simple serial cycle router.
+//! * [`product_route`] — the Cartesian-product extension (§IV): 3-phase
+//!   routing on `G1 □ G2` with pluggable factor routers (paths, cycles).
+//! * [`router`] — a uniform [`router::GridRouter`] trait over all of the
+//!   above plus the `Hybrid` clamp (§V: locality-aware output replaced by
+//!   the naive output whenever the latter is shallower).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod grid_route;
+pub mod line;
+pub mod local_grid;
+pub mod product_route;
+pub mod router;
+pub mod schedule;
+pub mod snake;
+pub mod stats;
+pub mod token_swap;
+
+pub use local_grid::{AssignmentStrategy, LocalRouteOptions, WindowMode};
+pub use router::{GridRouter, RouterKind};
+pub use schedule::{RoutingSchedule, ScheduleError, SwapLayer};

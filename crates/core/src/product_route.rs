@@ -1,0 +1,478 @@
+//! The Cartesian-product extension of §IV: 3-phase locality-aware routing
+//! on `G1 □ G2` with pluggable factor routers.
+//!
+//! The grid algorithm only uses two properties of rows/columns: each
+//! "column" is a copy of `G1`, each "row" a copy of `G2`, and both factors
+//! admit a permutation router. Replacing odd–even transposition with a
+//! router for the factor (and `|i − r|` with the factor's graph distance in
+//! the `Δ` metric) yields routing for cylinders (`P □ C`), tori (`C □ C`)
+//! and any other product. As the paper notes, the locality optimization is
+//! most meaningful when the factors are path-like.
+
+use crate::line::route_line_best;
+use crate::local_grid::AssignmentStrategy;
+use crate::schedule::{RoutingSchedule, SwapLayer};
+use qroute_matching::{
+    bottleneck_assignment, min_sum_assignment, BipartiteMultigraph, EdgeId, LabeledEdge,
+};
+use qroute_perm::Permutation;
+use qroute_topology::{Cycle, Path, Product};
+
+/// A permutation router for a one-dimensional factor graph.
+///
+/// `route(targets)` must return rounds of disjoint swaps over factor
+/// vertices (each swapped pair must be a factor edge), realizing
+/// `targets[p]` = destination of the token at factor vertex `p`.
+pub trait FactorRouter {
+    /// Number of vertices of the factor graph.
+    fn len(&self) -> usize;
+    /// `true` when the factor has no vertices (never, for paths/cycles).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Graph distance in the factor.
+    fn dist(&self, u: usize, v: usize) -> usize;
+    /// Route a permutation of the factor's vertices.
+    fn route(&self, targets: &[usize]) -> Vec<Vec<(usize, usize)>>;
+}
+
+/// Path factor routed by odd–even transposition.
+#[derive(Debug, Clone, Copy)]
+pub struct PathFactor(pub Path);
+
+impl FactorRouter for PathFactor {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn dist(&self, u: usize, v: usize) -> usize {
+        self.0.dist(u, v)
+    }
+    fn route(&self, targets: &[usize]) -> Vec<Vec<(usize, usize)>> {
+        route_line_best(targets)
+    }
+}
+
+/// Cycle factor routed by cutting one edge and running odd–even
+/// transposition on the remaining path.
+///
+/// Cut selection is a heuristic: we count, for every cycle edge, how many
+/// tokens' shorter arcs cross it, and cut the least-crossed edge (ties to
+/// the smallest index); we also try the trivial cut and keep the shallower
+/// routing. Any cut yields a correct routing.
+#[derive(Debug, Clone, Copy)]
+pub struct CycleFactor(pub Cycle);
+
+impl CycleFactor {
+    /// Route after cutting the edge `(c, c+1 mod n)`.
+    fn route_with_cut(&self, targets: &[usize], cut: usize) -> Vec<Vec<(usize, usize)>> {
+        let n = self.0.len();
+        // Path order after cutting (c, c+1): c+1, c+2, …, c.
+        let start = (cut + 1) % n;
+        let to_path = |v: usize| (v + n - start) % n;
+        let to_cycle = |p: usize| (p + start) % n;
+        let mut path_targets = vec![0usize; n];
+        for v in 0..n {
+            path_targets[to_path(v)] = to_path(targets[v]);
+        }
+        route_line_best(&path_targets)
+            .into_iter()
+            .map(|round| {
+                round
+                    .into_iter()
+                    .map(|(a, b)| (to_cycle(a), to_cycle(b)))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn least_crossed_cut(&self, targets: &[usize]) -> usize {
+        let n = self.0.len();
+        let mut crossings = vec![0usize; n]; // edge e = (e, e+1 mod n)
+        for (v, &t) in targets.iter().enumerate() {
+            if v == t {
+                continue;
+            }
+            let fwd = (t + n - v) % n;
+            if fwd <= n - fwd {
+                // Forward arc v -> t crosses edges v, v+1, …, t-1.
+                let mut e = v;
+                while e != t {
+                    crossings[e] += 1;
+                    e = (e + 1) % n;
+                }
+            } else {
+                // Backward arc crosses edges v-1, v-2, …, t.
+                let mut e = (v + n - 1) % n;
+                loop {
+                    crossings[e] += 1;
+                    if e == t {
+                        break;
+                    }
+                    e = (e + n - 1) % n;
+                }
+            }
+        }
+        (0..n).min_by_key(|&e| (crossings[e], e)).unwrap_or(0)
+    }
+}
+
+impl FactorRouter for CycleFactor {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn dist(&self, u: usize, v: usize) -> usize {
+        self.0.dist(u, v)
+    }
+    fn route(&self, targets: &[usize]) -> Vec<Vec<(usize, usize)>> {
+        let best_cut = self.least_crossed_cut(targets);
+        let a = self.route_with_cut(targets, best_cut);
+        if best_cut == self.len() - 1 {
+            return a;
+        }
+        let b = self.route_with_cut(targets, self.len() - 1);
+        if b.len() < a.len() {
+            b
+        } else {
+            a
+        }
+    }
+}
+
+/// Options for [`product_route`].
+#[derive(Debug, Clone, Copy)]
+pub struct ProductRouteOptions {
+    /// Row-assignment strategy for staging.
+    pub assignment: AssignmentStrategy,
+    /// Use the doubling band search (`true`) or extract matchings from the
+    /// whole multigraph (`false`).
+    pub doubling_windows: bool,
+    /// Apply ASAP depth compaction to the result.
+    pub compact: bool,
+}
+
+impl Default for ProductRouteOptions {
+    fn default() -> ProductRouteOptions {
+        ProductRouteOptions {
+            assignment: AssignmentStrategy::Bottleneck,
+            doubling_windows: true,
+            compact: true,
+        }
+    }
+}
+
+fn band_can_match(mg: &BipartiteMultigraph, band: &[EdgeId]) -> bool {
+    let n = mg.cols();
+    if band.len() < n {
+        return false;
+    }
+    let mut left = vec![false; n];
+    let mut right = vec![false; n];
+    let (mut lc, mut rc) = (0, 0);
+    for &id in band {
+        let e = mg.edge(id);
+        if !left[e.left] {
+            left[e.left] = true;
+            lc += 1;
+        }
+        if !right[e.right] {
+            right[e.right] = true;
+            rc += 1;
+        }
+    }
+    lc == n && rc == n
+}
+
+/// Locality-aware 3-phase routing on `G1 □ G2`.
+///
+/// `f1` routes within copies of `G1` (the "columns", indexed by the second
+/// coordinate); `f2` routes within copies of `G2` (the "rows").
+///
+/// # Panics
+/// Panics when factor sizes disagree with the product or the permutation.
+pub fn product_route<F1: FactorRouter, F2: FactorRouter>(
+    product: &Product,
+    f1: &F1,
+    f2: &F2,
+    pi: &Permutation,
+    opts: &ProductRouteOptions,
+) -> RoutingSchedule {
+    let m = f1.len();
+    let n = f2.len();
+    assert_eq!(m, product.factor1().len(), "f1 size mismatch");
+    assert_eq!(n, product.factor2().len(), "f2 size mismatch");
+    assert_eq!(pi.len(), product.len(), "permutation size mismatch");
+
+    // Column multigraph over second coordinates; labels are first
+    // coordinates.
+    let mut mg = BipartiteMultigraph::new(n);
+    for u in 0..m {
+        for v in 0..n {
+            let (up, vp) = product.coords(pi.apply(product.index(u, v)));
+            mg.add_edge(LabeledEdge { left: v, right: vp, src_row: u, dst_row: up });
+        }
+    }
+
+    // Matching search (bands over first-coordinate indices; for path-like
+    // factors index order is the natural linear order).
+    let mut matchings: Vec<Vec<EdgeId>> = Vec::with_capacity(m);
+    if opts.doubling_windows {
+        let mut w = 0usize;
+        while matchings.len() < m {
+            let mut r = 0usize;
+            while r < m {
+                let hi = (r + w).min(m - 1);
+                let band = mg.band_edges((r, hi));
+                if band_can_match(&mg, &band) {
+                    matchings.extend(mg.extract_perfect_matchings(&band));
+                }
+                r += w + 1;
+            }
+            w = if w == 0 { 1 } else { w * 2 };
+        }
+    } else {
+        let all = mg.alive_edges();
+        matchings = mg.extract_perfect_matchings(&all);
+    }
+    assert_eq!(matchings.len(), m, "regular multigraph must yield m matchings");
+
+    // Δ with factor-1 distances.
+    let delta = |matching: &[EdgeId], r: usize| -> u64 {
+        matching
+            .iter()
+            .map(|&id| {
+                let e = mg.edge(id);
+                (f1.dist(e.src_row, r) + f1.dist(e.dst_row, r)) as u64
+            })
+            .sum()
+    };
+    let row_of: Vec<usize> = match opts.assignment {
+        AssignmentStrategy::InOrder => (0..m).collect(),
+        AssignmentStrategy::Bottleneck => {
+            let weights: Vec<Vec<u64>> = matchings
+                .iter()
+                .map(|mt| (0..m).map(|r| delta(mt, r)).collect())
+                .collect();
+            bottleneck_assignment(&weights)
+                .assignment
+                .into_iter()
+                .map(|r| r.expect("complete H has a perfect assignment"))
+                .collect()
+        }
+        AssignmentStrategy::MinSum => {
+            let cost: Vec<Vec<i64>> = matchings
+                .iter()
+                .map(|mt| (0..m).map(|r| delta(mt, r) as i64).collect())
+                .collect();
+            min_sum_assignment(&cost).0
+        }
+    };
+
+    // σ's and phase targets.
+    let mut sigmas = vec![vec![usize::MAX; m]; n];
+    for (k, matching) in matchings.iter().enumerate() {
+        for &id in matching {
+            let e = mg.edge(id);
+            sigmas[e.left][e.src_row] = row_of[k];
+        }
+    }
+    let mut row_targets = vec![vec![usize::MAX; n]; m];
+    let mut col_targets = vec![vec![usize::MAX; m]; n];
+    for v in 0..n {
+        for u in 0..m {
+            let r = sigmas[v][u];
+            let (up, vp) = product.coords(pi.apply(product.index(u, v)));
+            assert_eq!(row_targets[r][v], usize::MAX, "staging collision");
+            row_targets[r][v] = vp;
+            assert_eq!(col_targets[vp][r], usize::MAX, "matching property violated");
+            col_targets[vp][r] = up;
+        }
+    }
+
+    // Assemble the three phases.
+    let mut schedule = RoutingSchedule::empty();
+    let merge = |rounds_per_line: Vec<Vec<Vec<(usize, usize)>>>,
+                 line_verts: &dyn Fn(usize) -> Vec<usize>|
+     -> RoutingSchedule {
+        let depth = rounds_per_line.iter().map(Vec::len).max().unwrap_or(0);
+        let mut layers = Vec::with_capacity(depth);
+        for k in 0..depth {
+            let mut layer = SwapLayer::default();
+            for (idx, rounds) in rounds_per_line.iter().enumerate() {
+                if let Some(round) = rounds.get(k) {
+                    let verts = line_verts(idx);
+                    layer
+                        .swaps
+                        .extend(round.iter().map(|&(a, b)| (verts[a], verts[b])));
+                }
+            }
+            layers.push(layer);
+        }
+        RoutingSchedule::from_layers(layers)
+    };
+
+    // Phase 1: columns by σ.
+    let rounds: Vec<_> = (0..n).map(|v| f1.route(&sigmas[v])).collect();
+    schedule.extend(merge(rounds, &|v| product.g1_copy(v)));
+    // Phase 2: rows to destination columns.
+    let rounds: Vec<_> = (0..m).map(|r| f2.route(&row_targets[r])).collect();
+    schedule.extend(merge(rounds, &|r| product.g2_copy(r)));
+    // Phase 3: columns to destination rows.
+    let rounds: Vec<_> = (0..n).map(|v| f1.route(&col_targets[v])).collect();
+    schedule.extend(merge(rounds, &|v| product.g1_copy(v)));
+
+    if opts.compact {
+        schedule = schedule.compact(product.len());
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qroute_perm::generators;
+    use qroute_topology::Grid;
+
+    #[test]
+    fn path_product_matches_grid_router_semantics() {
+        let (m, n) = (4, 5);
+        let product = Product::new(Path::new(m).to_graph(), Path::new(n).to_graph());
+        let f1 = PathFactor(Path::new(m));
+        let f2 = PathFactor(Path::new(n));
+        let graph = product.to_graph();
+        for seed in 0..5 {
+            let pi = generators::random(m * n, seed);
+            let s = product_route(&product, &f1, &f2, &pi, &ProductRouteOptions::default());
+            assert!(s.realizes(&pi), "seed {seed}");
+            s.validate_on(&graph).unwrap();
+        }
+    }
+
+    #[test]
+    fn grid_and_product_agree_on_depth_scale() {
+        // Not necessarily identical schedules, but same algorithm family:
+        // depths should be within the 3-phase bound of each other.
+        let grid = Grid::new(5, 5);
+        let product = Product::new(Path::new(5).to_graph(), Path::new(5).to_graph());
+        let f = PathFactor(Path::new(5));
+        for seed in 0..5 {
+            let pi = generators::random(25, seed);
+            let sp = product_route(&product, &f, &f, &pi, &ProductRouteOptions::default());
+            let sg = crate::local_grid::local_grid_route_single(
+                grid,
+                &pi,
+                &crate::local_grid::LocalRouteOptions::default(),
+            )
+            .compact(25);
+            assert!(sp.depth() <= 3 * 5, "product depth {}", sp.depth());
+            assert!(sg.depth() <= 3 * 5, "grid depth {}", sg.depth());
+        }
+    }
+
+    #[test]
+    fn routes_on_torus() {
+        let c1 = Cycle::new(4);
+        let c2 = Cycle::new(6);
+        let product = Product::new(c1.to_graph(), c2.to_graph());
+        let graph = product.to_graph();
+        for seed in 0..5 {
+            let pi = generators::random(24, seed);
+            let s = product_route(
+                &product,
+                &CycleFactor(c1),
+                &CycleFactor(c2),
+                &pi,
+                &ProductRouteOptions::default(),
+            );
+            assert!(s.realizes(&pi), "torus seed {seed}");
+            s.validate_on(&graph).unwrap();
+        }
+    }
+
+    #[test]
+    fn routes_on_cylinder() {
+        let p = Path::new(3);
+        let c = Cycle::new(7);
+        let product = Product::new(p.to_graph(), c.to_graph());
+        let graph = product.to_graph();
+        for seed in 0..5 {
+            let pi = generators::random(21, seed);
+            for opts in [
+                ProductRouteOptions::default(),
+                ProductRouteOptions {
+                    assignment: AssignmentStrategy::MinSum,
+                    doubling_windows: false,
+                    compact: false,
+                },
+            ] {
+                let s = product_route(&product, &PathFactor(p), &CycleFactor(c), &pi, &opts);
+                assert!(s.realizes(&pi), "cylinder seed {seed} opts {opts:?}");
+                s.validate_on(&graph).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_factor_routes_all_small_permutations() {
+        fn perms(n: usize) -> Vec<Vec<usize>> {
+            if n == 0 {
+                return vec![vec![]];
+            }
+            let mut out = Vec::new();
+            for p in perms(n - 1) {
+                for pos in 0..=p.len() {
+                    let mut q = p.clone();
+                    q.insert(pos, n - 1);
+                    out.push(q);
+                }
+            }
+            out
+        }
+        for n in [3, 4, 5] {
+            let f = CycleFactor(Cycle::new(n));
+            for t in perms(n) {
+                let rounds = f.route(&t);
+                let mut at: Vec<usize> = (0..n).collect();
+                for round in &rounds {
+                    let mut used = vec![false; n];
+                    for &(a, b) in round {
+                        assert_eq!(f.dist(a, b), 1, "swap on non-edge");
+                        assert!(!used[a] && !used[b]);
+                        used[a] = true;
+                        used[b] = true;
+                        at.swap(a, b);
+                    }
+                }
+                for (pos, &tok) in at.iter().enumerate() {
+                    assert_eq!(t[tok], pos, "targets {t:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_rotation_depth_is_near_the_conservation_bound() {
+        // Swaps conserve total signed displacement, so a rotation by +1 on
+        // C_n forces some token to travel n-1 steps the other way: depth is
+        // at least n-1 no matter the router. The cut router should land
+        // within one round of that bound (and never exceed the path bound).
+        let n = 16;
+        let f = CycleFactor(Cycle::new(n));
+        let targets: Vec<usize> = (0..n).map(|v| (v + 1) % n).collect();
+        let rounds = f.route(&targets);
+        assert!(rounds.len() >= n - 1, "impossible: beat the conservation bound");
+        assert!(rounds.len() <= n, "rotation took {} rounds", rounds.len());
+    }
+
+    #[test]
+    fn cycle_local_permutation_is_shallow() {
+        // Two far-apart adjacent transpositions across the wrap edge: the
+        // least-crossed cut avoids separating them.
+        let n = 12;
+        let f = CycleFactor(Cycle::new(n));
+        let mut targets: Vec<usize> = (0..n).collect();
+        targets.swap(0, 11); // swap across the wrap edge
+        targets.swap(5, 6);
+        let rounds = f.route(&targets);
+        assert!(rounds.len() <= 2, "local swaps took {} rounds", rounds.len());
+    }
+}

@@ -1,0 +1,201 @@
+//! A uniform interface over all grid routers, plus the hybrid clamp.
+//!
+//! §V: "Our locality-aware algorithm can always be made to produce a
+//! routing scheme with a smaller or equal depth as opposed to the naive
+//! grid routing algorithm. Otherwise, we can replace the output of the
+//! locality aware algorithm by that of the naive algorithm. This has
+//! virtually no computational overhead." — that is [`RouterKind::Hybrid`].
+
+use crate::grid_route::{naive_grid_route, NaiveOptions};
+use crate::local_grid::{main_procedure, LocalRouteOptions};
+use crate::schedule::RoutingSchedule;
+use crate::token_swap::{
+    approximate_token_swapping, ats_route_grid, serial_schedule, tree_route,
+};
+use qroute_perm::Permutation;
+use qroute_topology::Grid;
+
+/// An object-safe router interface for grid instances.
+pub trait GridRouter {
+    /// Short stable identifier (used in benchmark tables).
+    fn name(&self) -> &'static str;
+    /// Produce a schedule realizing `π` on `grid`.
+    fn route(&self, grid: Grid, pi: &Permutation) -> RoutingSchedule;
+}
+
+/// The routers evaluated in the paper (and our extra baselines), as a
+/// value type convenient for sweeps.
+#[derive(Debug, Clone)]
+pub enum RouterKind {
+    /// The paper's contribution: Algorithm 1/2.
+    LocalityAware(LocalRouteOptions),
+    /// Alon–Chung–Graham 3-phase with arbitrary matchings.
+    NaiveGrid(NaiveOptions),
+    /// Locality-aware clamped by the naive router (take the shallower).
+    Hybrid(LocalRouteOptions, NaiveOptions),
+    /// Parallel approximate token swapping (Miltzow et al. steps, happy
+    /// swaps batched into maximal disjoint layers) — the form benchmarked
+    /// in the paper's figures.
+    Ats,
+    /// Serial approximate token swapping, post-hoc parallelized with the
+    /// ASAP pass — much deeper; kept to expose how much the parallel
+    /// construction matters.
+    AtsSerial,
+    /// Guaranteed-terminating tree placement (crude baseline; serial
+    /// schedule parallelized by the ASAP pass).
+    Tree,
+    /// Odd–even transposition along the serpentine Hamiltonian path —
+    /// the 1-D emulation baseline showing why 2-D routing matters.
+    Snake,
+}
+
+impl RouterKind {
+    /// Default locality-aware configuration.
+    pub fn locality_aware() -> RouterKind {
+        RouterKind::LocalityAware(LocalRouteOptions::default())
+    }
+
+    /// Default naive configuration (with compaction and transpose, so the
+    /// comparison against the locality-aware router is apples-to-apples).
+    pub fn naive() -> RouterKind {
+        RouterKind::NaiveGrid(NaiveOptions {
+            compact: true,
+            try_transpose: true,
+            ..Default::default()
+        })
+    }
+
+    /// Default hybrid configuration.
+    pub fn hybrid() -> RouterKind {
+        RouterKind::Hybrid(
+            LocalRouteOptions::default(),
+            NaiveOptions { compact: true, try_transpose: true, ..Default::default() },
+        )
+    }
+}
+
+impl GridRouter for RouterKind {
+    fn name(&self) -> &'static str {
+        match self {
+            RouterKind::LocalityAware(_) => "locality-aware",
+            RouterKind::NaiveGrid(_) => "naive-grid",
+            RouterKind::Hybrid(_, _) => "hybrid",
+            RouterKind::Ats => "ats",
+            RouterKind::AtsSerial => "ats-serial",
+            RouterKind::Tree => "tree",
+            RouterKind::Snake => "snake",
+        }
+    }
+
+    fn route(&self, grid: Grid, pi: &Permutation) -> RoutingSchedule {
+        match self {
+            RouterKind::LocalityAware(opts) => main_procedure(grid, pi, opts),
+            RouterKind::NaiveGrid(opts) => naive_grid_route(grid, pi, opts),
+            RouterKind::Hybrid(lo, no) => {
+                let local = main_procedure(grid, pi, lo);
+                let naive = naive_grid_route(grid, pi, no);
+                if naive.depth() < local.depth() {
+                    naive
+                } else {
+                    local
+                }
+            }
+            RouterKind::Ats => ats_route_grid(grid, pi),
+            RouterKind::AtsSerial => {
+                let graph = grid.to_graph();
+                approximate_token_swapping(&graph, pi).parallelized(grid.len())
+            }
+            RouterKind::Tree => {
+                let graph = grid.to_graph();
+                serial_schedule(&tree_route(&graph, pi)).compact(grid.len())
+            }
+            RouterKind::Snake => crate::snake::snake_route(grid, pi).compact(grid.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qroute_perm::{generators, metrics};
+
+    fn all_routers() -> Vec<RouterKind> {
+        vec![
+            RouterKind::locality_aware(),
+            RouterKind::naive(),
+            RouterKind::hybrid(),
+            RouterKind::Ats,
+            RouterKind::AtsSerial,
+            RouterKind::Tree,
+            RouterKind::Snake,
+        ]
+    }
+
+    #[test]
+    fn every_router_realizes_every_workload() {
+        let grid = Grid::new(6, 5);
+        let graph = grid.to_graph();
+        let workloads = [Permutation::identity(30),
+            generators::random(30, 1),
+            generators::block_local(grid, 2, 2, 2),
+            generators::overlapping_blocks(grid, 3, 3, 2, 2, 3),
+            generators::skinny_cycles(grid, 4),
+            generators::reversal(30)];
+        for router in all_routers() {
+            for (k, pi) in workloads.iter().enumerate() {
+                let s = router.route(grid, pi);
+                assert!(s.realizes(pi), "{} failed workload {k}", router.name());
+                s.validate_on(&graph).unwrap();
+                assert!(s.depth() >= metrics::max_displacement(grid, pi));
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_never_deeper_than_naive() {
+        let grid = Grid::new(8, 8);
+        for seed in 0..8 {
+            let pi = generators::random(64, seed);
+            let hybrid = RouterKind::hybrid().route(grid, &pi);
+            let naive = RouterKind::naive().route(grid, &pi);
+            assert!(hybrid.depth() <= naive.depth(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn hybrid_never_deeper_than_local() {
+        let grid = Grid::new(8, 8);
+        for seed in 0..8 {
+            let pi = generators::overlapping_blocks(grid, 4, 4, 2, 2, seed);
+            let hybrid = RouterKind::hybrid().route(grid, &pi);
+            let local = RouterKind::locality_aware().route(grid, &pi);
+            assert!(hybrid.depth() <= local.depth(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let names: Vec<&str> = all_routers().iter().map(|r| r.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "locality-aware",
+                "naive-grid",
+                "hybrid",
+                "ats",
+                "ats-serial",
+                "tree",
+                "snake"
+            ]
+        );
+    }
+
+    #[test]
+    fn single_cell_grid() {
+        let grid = Grid::new(1, 1);
+        for router in all_routers() {
+            let s = router.route(grid, &Permutation::identity(1));
+            assert_eq!(s.depth(), 0, "{}", router.name());
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Schedule statistics: how well a routing schedule uses the hardware.
+//!
+//! Depth and size are the headline numbers; these diagnostics explain
+//! them — average layer occupancy (parallelism), the busiest qubit, and
+//! how close the schedule sits to its volume and distance lower bounds.
+
+use crate::schedule::RoutingSchedule;
+use qroute_perm::{metrics, Permutation};
+use qroute_topology::Grid;
+
+/// Aggregate statistics of a schedule for a given instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleStats {
+    /// Number of layers.
+    pub depth: usize,
+    /// Total swaps.
+    pub size: usize,
+    /// Mean swaps per layer (0 for empty schedules).
+    pub mean_layer_occupancy: f64,
+    /// Largest layer.
+    pub max_layer_occupancy: usize,
+    /// Swaps touching the busiest vertex.
+    pub max_vertex_load: usize,
+    /// `depth / max_displacement` (∞-norm stretch; 1.0 is optimal).
+    /// `None` when the permutation is the identity.
+    pub depth_stretch: Option<f64>,
+    /// `2 * size / total_displacement` (volume stretch; ≥ 1.0 since one
+    /// swap moves two tokens one step). `None` for the identity.
+    pub volume_stretch: Option<f64>,
+}
+
+/// Compute [`ScheduleStats`] for a schedule realizing `pi` on `grid`.
+pub fn schedule_stats(grid: Grid, pi: &Permutation, schedule: &RoutingSchedule) -> ScheduleStats {
+    let depth = schedule.depth();
+    let size = schedule.size();
+    let mut vertex_load = vec![0usize; grid.len()];
+    let mut max_layer = 0usize;
+    for layer in &schedule.layers {
+        max_layer = max_layer.max(layer.len());
+        for &(u, v) in &layer.swaps {
+            vertex_load[u] += 1;
+            vertex_load[v] += 1;
+        }
+    }
+    let maxd = metrics::max_displacement(grid, pi);
+    let total = metrics::total_displacement(grid, pi);
+    ScheduleStats {
+        depth,
+        size,
+        mean_layer_occupancy: if depth == 0 { 0.0 } else { size as f64 / depth as f64 },
+        max_layer_occupancy: max_layer,
+        max_vertex_load: vertex_load.iter().copied().max().unwrap_or(0),
+        depth_stretch: (maxd > 0).then(|| depth as f64 / maxd as f64),
+        volume_stretch: (total > 0).then(|| 2.0 * size as f64 / total as f64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{GridRouter, RouterKind};
+    use qroute_perm::generators;
+
+    #[test]
+    fn identity_stats() {
+        let grid = Grid::new(3, 3);
+        let pi = Permutation::identity(9);
+        let s = RouterKind::locality_aware().route(grid, &pi);
+        let st = schedule_stats(grid, &pi, &s);
+        assert_eq!(st.depth, 0);
+        assert_eq!(st.size, 0);
+        assert_eq!(st.depth_stretch, None);
+        assert_eq!(st.volume_stretch, None);
+        assert_eq!(st.mean_layer_occupancy, 0.0);
+    }
+
+    #[test]
+    fn stretch_bounds_hold() {
+        let grid = Grid::new(6, 6);
+        for seed in 0..4 {
+            let pi = generators::random(36, seed);
+            for router in [RouterKind::locality_aware(), RouterKind::Ats] {
+                let s = router.route(grid, &pi);
+                let st = schedule_stats(grid, &pi, &s);
+                assert!(st.depth_stretch.unwrap() >= 1.0, "{}", router.name());
+                assert!(st.volume_stretch.unwrap() >= 1.0, "{}", router.name());
+                assert!(st.max_layer_occupancy <= grid.len() / 2);
+                assert!(st.max_vertex_load <= st.depth);
+                assert!(st.mean_layer_occupancy <= st.max_layer_occupancy as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_router_has_higher_occupancy_than_serial() {
+        let grid = Grid::new(8, 8);
+        let pi = generators::random(64, 5);
+        let par = schedule_stats(grid, &pi, &RouterKind::locality_aware().route(grid, &pi));
+        let ser = schedule_stats(grid, &pi, &RouterKind::AtsSerial.route(grid, &pi));
+        assert!(
+            par.mean_layer_occupancy > ser.mean_layer_occupancy,
+            "3-phase ({:.2}) should pack layers better than serialized ATS ({:.2})",
+            par.mean_layer_occupancy,
+            ser.mean_layer_occupancy
+        );
+    }
+}

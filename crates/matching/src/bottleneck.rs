@@ -1,0 +1,350 @@
+//! Bottleneck and min-sum assignment on weighted bipartite graphs.
+//!
+//! [`bottleneck_assignment`] solves the **maximum cardinality bottleneck
+//! bipartite matching** problem of Algorithm 2 (line 20): among all
+//! maximum-cardinality matchings of `H(P, [m])`, find one minimizing the
+//! largest edge weight `Δ(M, r)`. We binary search over the sorted distinct
+//! weights and test feasibility with Hopcroft–Karp — `O(E √V log E)`,
+//! within a log factor of the Punnen–Nair bound quoted by the paper, and
+//! never the bottleneck of the router in practice.
+//!
+//! [`min_sum_assignment`] is the classic Hungarian/Jonker-Volgenant
+//! potential algorithm (`O(n³)`), used as an *ablation*: assigning
+//! matchings to rows by total (rather than worst-case) locality.
+
+use crate::hopcroft_karp::hopcroft_karp;
+
+/// Result of a bottleneck assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BottleneckResult {
+    /// `assignment[l] = Some(r)` when left vertex `l` is matched to `r`.
+    pub assignment: Vec<Option<usize>>,
+    /// Number of matched pairs (always the maximum cardinality).
+    pub cardinality: usize,
+    /// The minimized maximum weight over matched edges (`0` when nothing is
+    /// matched).
+    pub bottleneck: u64,
+}
+
+/// Solve MCBBM on a dense rectangular weight matrix
+/// (`weights[l][r]`, `nl × nr`): find a maximum-cardinality matching
+/// minimizing the maximum used weight.
+///
+/// All pairs are considered edges (the graph `H` of the paper is complete
+/// bipartite). For a sparse instance, set missing weights to `u64::MAX` and
+/// note that the bottleneck then reports `u64::MAX` if such an edge is
+/// forced.
+pub fn bottleneck_assignment(weights: &[Vec<u64>]) -> BottleneckResult {
+    let nl = weights.len();
+    let nr = weights.first().map_or(0, |row| row.len());
+    debug_assert!(weights.iter().all(|row| row.len() == nr), "ragged weight matrix");
+
+    if nl == 0 || nr == 0 {
+        return BottleneckResult { assignment: vec![None; nl], cardinality: 0, bottleneck: 0 };
+    }
+
+    // Distinct sorted weights for binary search.
+    let mut levels: Vec<u64> = weights.iter().flatten().copied().collect();
+    levels.sort_unstable();
+    levels.dedup();
+
+    let matching_at = |cap: u64| {
+        let adj: Vec<Vec<u32>> = weights
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .filter(|&(_, &w)| w <= cap)
+                    .map(|(r, _)| r as u32)
+                    .collect()
+            })
+            .collect();
+        hopcroft_karp(nl, nr, &adj)
+    };
+
+    let full = matching_at(u64::MAX);
+    let target = full.size();
+    if target == 0 {
+        return BottleneckResult { assignment: vec![None; nl], cardinality: 0, bottleneck: 0 };
+    }
+
+    // Smallest weight level admitting a matching of maximum cardinality.
+    let mut lo = 0usize; // candidate indices into `levels`
+    let mut hi = levels.len() - 1; // known feasible by construction? not yet
+    // Ensure hi is feasible: the max level admits every edge, hence target.
+    let mut best = matching_at(levels[hi]);
+    debug_assert_eq!(best.size(), target);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let m = matching_at(levels[mid]);
+        if m.size() == target {
+            best = m;
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+
+    let bottleneck = best
+        .pairs()
+        .map(|(l, r)| weights[l][r])
+        .max()
+        .expect("nonzero cardinality has at least one pair");
+    BottleneckResult {
+        assignment: best.pair_left.clone(),
+        cardinality: best.size(),
+        bottleneck,
+    }
+}
+
+/// Hungarian algorithm (potentials / Jonker–Volgenant form) for the
+/// min-*sum* assignment on an `n × m` cost matrix with `n <= m`.
+///
+/// Returns `(assignment, total)` where `assignment[l] = r`.
+///
+/// # Panics
+/// Panics when `n > m`.
+pub fn min_sum_assignment(cost: &[Vec<i64>]) -> (Vec<usize>, i64) {
+    let n = cost.len();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let m = cost[0].len();
+    assert!(n <= m, "min_sum_assignment requires rows <= cols");
+    debug_assert!(cost.iter().all(|row| row.len() == m), "ragged cost matrix");
+
+    const INF: i64 = i64::MAX / 4;
+    // 1-based arrays per the classic formulation.
+    let mut u = vec![0i64; n + 1];
+    let mut v = vec![0i64; m + 1];
+    let mut p = vec![0usize; m + 1]; // p[j] = row matched to column j
+    let mut way = vec![0usize; m + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if !used[j] {
+                    let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![usize::MAX; n];
+    for j in 1..=m {
+        if p[j] != 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    let total = assignment
+        .iter()
+        .enumerate()
+        .map(|(i, &j)| cost[i][j])
+        .sum();
+    (assignment, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Brute-force bottleneck over all permutations (square matrices).
+    fn brute_bottleneck(w: &[Vec<u64>]) -> u64 {
+        fn perms(n: usize) -> Vec<Vec<usize>> {
+            if n == 0 {
+                return vec![vec![]];
+            }
+            let mut out = Vec::new();
+            for p in perms(n - 1) {
+                for pos in 0..=p.len() {
+                    let mut q = p.clone();
+                    q.insert(pos, n - 1);
+                    out.push(q);
+                }
+            }
+            out
+        }
+        perms(w.len())
+            .into_iter()
+            .map(|p| {
+                p.iter()
+                    .enumerate()
+                    .map(|(l, &r)| w[l][r])
+                    .max()
+                    .unwrap_or(0)
+            })
+            .min()
+            .expect("some permutation exists")
+    }
+
+    /// Brute-force min-sum over all permutations (square matrices).
+    fn brute_min_sum(w: &[Vec<i64>]) -> i64 {
+        fn rec(l: usize, used: &mut Vec<bool>, w: &[Vec<i64>]) -> i64 {
+            if l == w.len() {
+                return 0;
+            }
+            let mut best = i64::MAX;
+            for r in 0..w.len() {
+                if !used[r] {
+                    used[r] = true;
+                    best = best.min(w[l][r] + rec(l + 1, used, w));
+                    used[r] = false;
+                }
+            }
+            best
+        }
+        rec(0, &mut vec![false; w.len()], w)
+    }
+
+    #[test]
+    fn bottleneck_simple() {
+        let w = vec![vec![5, 1], vec![1, 5]];
+        let r = bottleneck_assignment(&w);
+        assert_eq!(r.cardinality, 2);
+        assert_eq!(r.bottleneck, 1);
+        assert_eq!(r.assignment, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn bottleneck_forced_heavy_edge() {
+        // Any perfect assignment must use weight >= 7.
+        let w = vec![vec![7, 7], vec![1, 2]];
+        let r = bottleneck_assignment(&w);
+        assert_eq!(r.cardinality, 2);
+        assert_eq!(r.bottleneck, 7);
+    }
+
+    #[test]
+    fn bottleneck_empty() {
+        let r = bottleneck_assignment(&[]);
+        assert_eq!(r.cardinality, 0);
+        assert_eq!(r.bottleneck, 0);
+    }
+
+    #[test]
+    fn bottleneck_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..100 {
+            let n = rng.gen_range(1..6);
+            let w: Vec<Vec<u64>> =
+                (0..n).map(|_| (0..n).map(|_| rng.gen_range(0..20)).collect()).collect();
+            let r = bottleneck_assignment(&w);
+            assert_eq!(r.cardinality, n);
+            assert_eq!(r.bottleneck, brute_bottleneck(&w), "trial {trial}: {w:?}");
+            // And the reported assignment actually achieves it.
+            let achieved = r
+                .assignment
+                .iter()
+                .enumerate()
+                .map(|(l, r)| w[l][r.unwrap()])
+                .max()
+                .unwrap();
+            assert_eq!(achieved, r.bottleneck);
+        }
+    }
+
+    #[test]
+    fn bottleneck_rectangular() {
+        let w = vec![vec![9, 2, 9], vec![9, 9, 3]];
+        let r = bottleneck_assignment(&w);
+        assert_eq!(r.cardinality, 2);
+        assert_eq!(r.bottleneck, 3);
+    }
+
+    #[test]
+    fn hungarian_simple() {
+        let c = vec![vec![4, 1, 3], vec![2, 0, 5], vec![3, 2, 2]];
+        let (a, total) = min_sum_assignment(&c);
+        assert_eq!(total, 5); // 1 + 2 + 2
+        assert_eq!(a, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn hungarian_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..100 {
+            let n = rng.gen_range(1..6);
+            let c: Vec<Vec<i64>> =
+                (0..n).map(|_| (0..n).map(|_| rng.gen_range(0..30)).collect()).collect();
+            let (a, total) = min_sum_assignment(&c);
+            // Assignment is a permutation.
+            let mut seen = vec![false; n];
+            for &r in &a {
+                assert!(!seen[r]);
+                seen[r] = true;
+            }
+            assert_eq!(total, brute_min_sum(&c), "trial {trial}: {c:?}");
+        }
+    }
+
+    #[test]
+    fn hungarian_rectangular() {
+        let c = vec![vec![10, 1, 10, 10]];
+        let (a, total) = min_sum_assignment(&c);
+        assert_eq!(a, vec![1]);
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn hungarian_empty() {
+        let (a, total) = min_sum_assignment(&[]);
+        assert!(a.is_empty());
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn bottleneck_is_leq_minsum_max() {
+        // The bottleneck optimum never exceeds the max edge of the min-sum
+        // assignment.
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let n = rng.gen_range(2..7);
+            let w: Vec<Vec<u64>> =
+                (0..n).map(|_| (0..n).map(|_| rng.gen_range(0..50)).collect()).collect();
+            let b = bottleneck_assignment(&w);
+            let c: Vec<Vec<i64>> =
+                w.iter().map(|row| row.iter().map(|&x| x as i64).collect()).collect();
+            let (a, _) = min_sum_assignment(&c);
+            let minsum_max = a.iter().enumerate().map(|(l, &r)| w[l][r]).max().unwrap();
+            assert!(b.bottleneck <= minsum_max);
+        }
+    }
+}

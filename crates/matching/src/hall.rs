@@ -1,0 +1,110 @@
+//! Hall-condition checking with König certificates.
+//!
+//! The correctness of `GridRoute` rests on "successive applications of
+//! Hall's marriage theorem" (§IV): the column multigraph `G[1,m]` always
+//! satisfies Hall's condition because it is regular. These helpers verify
+//! the condition on arbitrary bipartite graphs and, when it fails, produce
+//! a *deficient set* `S` with `|N(S)| < |S|` as a certificate — used in
+//! tests and to produce good error messages from the router.
+
+use crate::hopcroft_karp::hopcroft_karp;
+
+/// `true` iff every subset of left vertices has enough neighbors, i.e. a
+/// left-saturating matching exists (checked via max matching, not subsets).
+pub fn hall_satisfied(nl: usize, nr: usize, adj: &[Vec<u32>]) -> bool {
+    hopcroft_karp(nl, nr, adj).size() == nl
+}
+
+/// If Hall's condition fails, return a deficient left set `S` (with
+/// `|N(S)| < |S|`); otherwise `None`.
+///
+/// Certificate construction: take a maximum matching, start from all
+/// unmatched left vertices, and alternate (left→right via any edge,
+/// right→left via matched edge). The left vertices reached form `S`; all
+/// their neighbors are reached and matched into `S`, giving
+/// `|N(S)| = |S| - (#unmatched seeds) < |S|`.
+pub fn deficient_set(nl: usize, nr: usize, adj: &[Vec<u32>]) -> Option<Vec<usize>> {
+    let m = hopcroft_karp(nl, nr, adj);
+    if m.size() == nl {
+        return None;
+    }
+    let mut left_seen = vec![false; nl];
+    let mut right_seen = vec![false; nr];
+    let mut stack: Vec<usize> = (0..nl).filter(|&l| m.pair_left[l].is_none()).collect();
+    for &l in &stack {
+        left_seen[l] = true;
+    }
+    while let Some(l) = stack.pop() {
+        for &r in &adj[l] {
+            let r = r as usize;
+            if !right_seen[r] {
+                right_seen[r] = true;
+                if let Some(l2) = m.pair_right[r] {
+                    if !left_seen[l2] {
+                        left_seen[l2] = true;
+                        stack.push(l2);
+                    }
+                }
+            }
+        }
+    }
+    let s: Vec<usize> = (0..nl).filter(|&l| left_seen[l]).collect();
+    debug_assert!(!s.is_empty());
+    Some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn neighborhood(adj: &[Vec<u32>], s: &[usize]) -> std::collections::BTreeSet<u32> {
+        s.iter().flat_map(|&l| adj[l].iter().copied()).collect()
+    }
+
+    #[test]
+    fn satisfied_on_perfect_matchable() {
+        let adj = vec![vec![0, 1], vec![1, 2], vec![2, 0]];
+        assert!(hall_satisfied(3, 3, &adj));
+        assert!(deficient_set(3, 3, &adj).is_none());
+    }
+
+    #[test]
+    fn violated_with_certificate() {
+        // Three left vertices share two right neighbors.
+        let adj = vec![vec![0, 1], vec![0, 1], vec![0, 1]];
+        assert!(!hall_satisfied(3, 2, &adj));
+        let s = deficient_set(3, 2, &adj).unwrap();
+        let nbrs = neighborhood(&adj, &s);
+        assert!(nbrs.len() < s.len(), "certificate not deficient: {s:?} -> {nbrs:?}");
+    }
+
+    #[test]
+    fn isolated_left_vertex() {
+        let adj = vec![vec![0], vec![]];
+        let s = deficient_set(2, 1, &adj).unwrap();
+        let nbrs = neighborhood(&adj, &s);
+        assert!(nbrs.len() < s.len());
+        assert!(s.contains(&1));
+    }
+
+    #[test]
+    fn certificate_on_random_deficient_graphs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let nl = rng.gen_range(1..8);
+            let nr = rng.gen_range(0..8);
+            let adj: Vec<Vec<u32>> = (0..nl)
+                .map(|_| (0..nr as u32).filter(|_| rng.gen_bool(0.3)).collect())
+                .collect();
+            match deficient_set(nl, nr, &adj) {
+                None => assert!(hall_satisfied(nl, nr, &adj)),
+                Some(s) => {
+                    let nbrs = neighborhood(&adj, &s);
+                    assert!(nbrs.len() < s.len(), "bad certificate {s:?} in {adj:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Hopcroft–Karp maximum-cardinality bipartite matching, `O(E √V)`.
+//!
+//! The bipartition is implicit: left vertices `0..nl`, right vertices
+//! `0..nr`, adjacency given from the left side only.
+
+/// A bipartite matching: `pair_left[l] = Some(r)` iff `l` is matched to `r`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matching {
+    /// Partner of each left vertex.
+    pub pair_left: Vec<Option<usize>>,
+    /// Partner of each right vertex.
+    pub pair_right: Vec<Option<usize>>,
+}
+
+impl Matching {
+    /// Number of matched pairs.
+    pub fn size(&self) -> usize {
+        self.pair_left.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// `true` iff every left *and* every right vertex is matched
+    /// (requires `nl == nr`).
+    pub fn is_perfect(&self) -> bool {
+        self.pair_left.len() == self.pair_right.len()
+            && self.pair_left.iter().all(|p| p.is_some())
+    }
+
+    /// The matched pairs `(l, r)` in order of `l`.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.pair_left
+            .iter()
+            .enumerate()
+            .filter_map(|(l, p)| p.map(|r| (l, r)))
+    }
+}
+
+const INF: u32 = u32::MAX;
+
+/// Compute a maximum matching of the bipartite graph with `nl` left
+/// vertices, `nr` right vertices and left-side adjacency lists `adj`
+/// (entries are right-vertex indices `< nr`).
+///
+/// # Panics
+/// Panics if `adj.len() != nl` or an adjacency entry is out of range
+/// (debug builds).
+pub fn hopcroft_karp(nl: usize, nr: usize, adj: &[Vec<u32>]) -> Matching {
+    assert_eq!(adj.len(), nl, "adjacency must cover all left vertices");
+    debug_assert!(adj.iter().flatten().all(|&r| (r as usize) < nr));
+
+    let mut pair_l: Vec<u32> = vec![INF; nl];
+    let mut pair_r: Vec<u32> = vec![INF; nr];
+    let mut dist: Vec<u32> = vec![INF; nl];
+    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+
+    // BFS phase: layer free left vertices; returns true when an augmenting
+    // path exists.
+    fn bfs(
+        adj: &[Vec<u32>],
+        pair_l: &[u32],
+        pair_r: &[u32],
+        dist: &mut [u32],
+        queue: &mut std::collections::VecDeque<usize>,
+    ) -> bool {
+        queue.clear();
+        for (l, &p) in pair_l.iter().enumerate() {
+            if p == INF {
+                dist[l] = 0;
+                queue.push_back(l);
+            } else {
+                dist[l] = INF;
+            }
+        }
+        let mut found = false;
+        while let Some(l) = queue.pop_front() {
+            for &r in &adj[l] {
+                let next = pair_r[r as usize];
+                if next == INF {
+                    found = true;
+                } else if dist[next as usize] == INF {
+                    dist[next as usize] = dist[l] + 1;
+                    queue.push_back(next as usize);
+                }
+            }
+        }
+        found
+    }
+
+    // DFS phase: extend augmenting paths along layered edges.
+    fn dfs(
+        l: usize,
+        adj: &[Vec<u32>],
+        pair_l: &mut [u32],
+        pair_r: &mut [u32],
+        dist: &mut [u32],
+    ) -> bool {
+        for i in 0..adj[l].len() {
+            let r = adj[l][i] as usize;
+            let next = pair_r[r];
+            if next == INF
+                || (dist[next as usize] == dist[l] + 1
+                    && dfs(next as usize, adj, pair_l, pair_r, dist))
+            {
+                pair_l[l] = r as u32;
+                pair_r[r] = l as u32;
+                return true;
+            }
+        }
+        dist[l] = INF;
+        false
+    }
+
+    while bfs(adj, &pair_l, &pair_r, &mut dist, &mut queue) {
+        for l in 0..nl {
+            if pair_l[l] == INF {
+                dfs(l, adj, &mut pair_l, &mut pair_r, &mut dist);
+            }
+        }
+    }
+
+    Matching {
+        pair_left: pair_l
+            .into_iter()
+            .map(|p| (p != INF).then_some(p as usize))
+            .collect(),
+        pair_right: pair_r
+            .into_iter()
+            .map(|p| (p != INF).then_some(p as usize))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Exponential-time exact maximum matching for cross-checking.
+    fn brute_force_max_matching(nl: usize, nr: usize, adj: &[Vec<u32>]) -> usize {
+        fn rec(l: usize, used: &mut [bool], adj: &[Vec<u32>]) -> usize {
+            if l == adj.len() {
+                return 0;
+            }
+            let mut best = rec(l + 1, used, adj); // skip l
+            for &r in &adj[l] {
+                if !used[r as usize] {
+                    used[r as usize] = true;
+                    best = best.max(1 + rec(l + 1, used, adj));
+                    used[r as usize] = false;
+                }
+            }
+            best
+        }
+        let _ = nl;
+        rec(0, &mut vec![false; nr], adj)
+    }
+
+    fn check_valid(nl: usize, nr: usize, adj: &[Vec<u32>], m: &Matching) {
+        assert_eq!(m.pair_left.len(), nl);
+        assert_eq!(m.pair_right.len(), nr);
+        for (l, r) in m.pairs() {
+            assert!(adj[l].contains(&(r as u32)), "matched pair not an edge");
+            assert_eq!(m.pair_right[r], Some(l), "pair arrays inconsistent");
+        }
+    }
+
+    #[test]
+    fn simple_perfect_matching() {
+        let adj = vec![vec![0, 1], vec![0], vec![2]];
+        let m = hopcroft_karp(3, 3, &adj);
+        assert_eq!(m.size(), 3);
+        assert!(m.is_perfect());
+        check_valid(3, 3, &adj, &m);
+    }
+
+    #[test]
+    fn no_edges() {
+        let m = hopcroft_karp(3, 3, &[vec![], vec![], vec![]]);
+        assert_eq!(m.size(), 0);
+        assert!(!m.is_perfect());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let m = hopcroft_karp(0, 0, &[]);
+        assert_eq!(m.size(), 0);
+        assert!(m.is_perfect()); // vacuously
+    }
+
+    #[test]
+    fn augmenting_path_needed() {
+        // Greedy l0->r0 blocks l1 unless augmented.
+        let adj = vec![vec![0], vec![0, 1]];
+        let m = hopcroft_karp(2, 2, &adj);
+        assert_eq!(m.size(), 2);
+    }
+
+    #[test]
+    fn deficient_graph() {
+        // Three left vertices all pointing at one right vertex.
+        let adj = vec![vec![0], vec![0], vec![0]];
+        let m = hopcroft_karp(3, 1, &adj);
+        assert_eq!(m.size(), 1);
+    }
+
+    #[test]
+    fn rectangular_sides() {
+        let adj = vec![vec![0, 1, 2, 3, 4]];
+        let m = hopcroft_karp(1, 5, &adj);
+        assert_eq!(m.size(), 1);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(12345);
+        for trial in 0..200 {
+            let nl = rng.gen_range(0..7);
+            let nr = rng.gen_range(0..7);
+            let p = rng.gen_range(0.1..0.9);
+            let adj: Vec<Vec<u32>> = (0..nl)
+                .map(|_| (0..nr as u32).filter(|_| rng.gen_bool(p)).collect())
+                .collect();
+            let m = hopcroft_karp(nl, nr, &adj);
+            check_valid(nl, nr, &adj, &m);
+            assert_eq!(
+                m.size(),
+                brute_force_max_matching(nl, nr, &adj),
+                "trial {trial}: nl={nl} nr={nr} adj={adj:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn large_regular_graph_is_perfect() {
+        // A d-regular bipartite graph always has a perfect matching.
+        let n = 200;
+        let d = 3;
+        let adj: Vec<Vec<u32>> = (0..n)
+            .map(|l| (0..d).map(|k| ((l + k * 37) % n) as u32).collect())
+            .collect();
+        let m = hopcroft_karp(n, n, &adj);
+        assert!(m.is_perfect());
+    }
+}

@@ -1,0 +1,262 @@
+//! The bipartite multigraph `G[a,b]` of §IV-A.
+//!
+//! Left and right vertex sets are both the columns `[n]` of the grid. For
+//! every qubit at `(i, j)` with destination `π(i, j) = (i', j')` and
+//! `i ∈ {a,…,b}` there is one parallel edge `j → j'` carrying the label
+//! `(i, i')` — the source and destination *rows* of that qubit. A perfect
+//! matching of the full `G[1,m]` selects, for each column, one qubit that
+//! will be staged in a common row.
+
+use crate::hopcroft_karp::{hopcroft_karp, Matching};
+
+/// Identifier of a parallel edge (index into the edge array).
+pub type EdgeId = usize;
+
+/// One parallel edge of the multigraph: a single qubit's column movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabeledEdge {
+    /// Source column `j`.
+    pub left: usize,
+    /// Destination column `j'`.
+    pub right: usize,
+    /// Source row `i` (the paper's band restriction filters on this).
+    pub src_row: usize,
+    /// Destination row `i'`.
+    pub dst_row: usize,
+}
+
+/// A bipartite multigraph on `cols + cols` vertices with labeled parallel
+/// edges and tombstone deletion.
+#[derive(Debug, Clone)]
+pub struct BipartiteMultigraph {
+    cols: usize,
+    edges: Vec<LabeledEdge>,
+    alive: Vec<bool>,
+    num_alive: usize,
+}
+
+impl BipartiteMultigraph {
+    /// Create an empty multigraph on `cols` columns per side.
+    pub fn new(cols: usize) -> BipartiteMultigraph {
+        BipartiteMultigraph { cols, edges: Vec::new(), alive: Vec::new(), num_alive: 0 }
+    }
+
+    /// Number of columns per side.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Add a labeled parallel edge; returns its id.
+    ///
+    /// # Panics
+    /// Panics when a column endpoint is out of range.
+    pub fn add_edge(&mut self, e: LabeledEdge) -> EdgeId {
+        assert!(e.left < self.cols && e.right < self.cols, "column out of range");
+        let id = self.edges.len();
+        self.edges.push(e);
+        self.alive.push(true);
+        self.num_alive += 1;
+        id
+    }
+
+    /// Total number of edges ever added.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of edges not yet removed.
+    #[inline]
+    pub fn num_alive(&self) -> usize {
+        self.num_alive
+    }
+
+    /// Edge data by id (dead edges remain accessible).
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> LabeledEdge {
+        self.edges[id]
+    }
+
+    /// `true` when the edge has not been removed.
+    #[inline]
+    pub fn is_alive(&self, id: EdgeId) -> bool {
+        self.alive[id]
+    }
+
+    /// Remove an edge (idempotent).
+    pub fn remove_edge(&mut self, id: EdgeId) {
+        if self.alive[id] {
+            self.alive[id] = false;
+            self.num_alive -= 1;
+        }
+    }
+
+    /// Ids of alive edges whose *source row* lies in `band` (inclusive),
+    /// the restriction `G[a,b]` of the paper.
+    pub fn band_edges(&self, band: (usize, usize)) -> Vec<EdgeId> {
+        let (a, b) = band;
+        (0..self.edges.len())
+            .filter(|&id| {
+                self.alive[id] && self.edges[id].src_row >= a && self.edges[id].src_row <= b
+            })
+            .collect()
+    }
+
+    /// Ids of all alive edges.
+    pub fn alive_edges(&self) -> Vec<EdgeId> {
+        (0..self.edges.len()).filter(|&id| self.alive[id]).collect()
+    }
+
+    /// Left-degree and right-degree arrays over alive edges.
+    pub fn degrees(&self) -> (Vec<usize>, Vec<usize>) {
+        let mut dl = vec![0usize; self.cols];
+        let mut dr = vec![0usize; self.cols];
+        for (id, e) in self.edges.iter().enumerate() {
+            if self.alive[id] {
+                dl[e.left] += 1;
+                dr[e.right] += 1;
+            }
+        }
+        (dl, dr)
+    }
+
+    /// Greedily extract *edge-disjoint perfect matchings* from the listed
+    /// edge subset: repeatedly run Hopcroft–Karp on the surviving subset
+    /// until no perfect matching exists. Extracted edges are removed from
+    /// the multigraph. Returns the extracted matchings as vectors of edge
+    /// ids (each of length `cols`).
+    ///
+    /// This implements line 8 of Algorithm 2 ("Find all perfect matchings
+    /// (if any) in `G[r, min(r+w, m)]`") together with the edge removal of
+    /// line 9.
+    pub fn extract_perfect_matchings(&mut self, candidate: &[EdgeId]) -> Vec<Vec<EdgeId>> {
+        let mut available: Vec<EdgeId> =
+            candidate.iter().copied().filter(|&id| self.alive[id]).collect();
+        let mut out = Vec::new();
+        loop {
+            // Collapse parallel edges; remember one representative edge id
+            // per (left, right) pair. Representative choice: the parallel
+            // edge whose source row is *closest to the band median* would
+            // be a refinement; we take the first listed, matching the
+            // paper's arbitrary choice within a band.
+            let mut rep: Vec<Vec<(u32, EdgeId)>> = vec![Vec::new(); self.cols];
+            for &id in &available {
+                let e = self.edges[id];
+                if !rep[e.left].iter().any(|&(r, _)| r == e.right as u32) {
+                    rep[e.left].push((e.right as u32, id));
+                }
+            }
+            let adj: Vec<Vec<u32>> =
+                rep.iter().map(|v| v.iter().map(|&(r, _)| r).collect()).collect();
+            let m: Matching = hopcroft_karp(self.cols, self.cols, &adj);
+            if !m.is_perfect() {
+                break;
+            }
+            let mut matching_ids = Vec::with_capacity(self.cols);
+            for (l, r) in m.pairs() {
+                let &(_, id) = rep[l]
+                    .iter()
+                    .find(|&&(rr, _)| rr as usize == r)
+                    .expect("matched pair must have a representative");
+                matching_ids.push(id);
+            }
+            for &id in &matching_ids {
+                self.remove_edge(id);
+            }
+            available.retain(|&id| self.alive[id]);
+            matching_ids.sort_unstable_by_key(|&id| self.edges[id].left);
+            out.push(matching_ids);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(left: usize, right: usize, src_row: usize, dst_row: usize) -> LabeledEdge {
+        LabeledEdge { left, right, src_row, dst_row }
+    }
+
+    #[test]
+    fn add_remove_band() {
+        let mut g = BipartiteMultigraph::new(3);
+        let a = g.add_edge(e(0, 1, 0, 2));
+        let b = g.add_edge(e(1, 2, 1, 0));
+        let c = g.add_edge(e(2, 0, 2, 1));
+        assert_eq!(g.num_alive(), 3);
+        assert_eq!(g.band_edges((0, 1)), vec![a, b]);
+        g.remove_edge(a);
+        g.remove_edge(a); // idempotent
+        assert_eq!(g.num_alive(), 2);
+        assert_eq!(g.band_edges((0, 2)), vec![b, c]);
+    }
+
+    #[test]
+    fn parallel_edges_allowed() {
+        let mut g = BipartiteMultigraph::new(2);
+        g.add_edge(e(0, 1, 0, 0));
+        g.add_edge(e(0, 1, 1, 1));
+        assert_eq!(g.num_edges(), 2);
+        let (dl, dr) = g.degrees();
+        assert_eq!(dl, vec![2, 0]);
+        assert_eq!(dr, vec![0, 2]);
+    }
+
+    #[test]
+    fn extract_from_identity_multigraph() {
+        // Two columns, two rows, identity permutation: edges (0,0) twice
+        // and (1,1) twice -> two perfect matchings.
+        let mut g = BipartiteMultigraph::new(2);
+        for row in 0..2 {
+            g.add_edge(e(0, 0, row, row));
+            g.add_edge(e(1, 1, row, row));
+        }
+        let all = g.alive_edges();
+        let ms = g.extract_perfect_matchings(&all);
+        assert_eq!(ms.len(), 2);
+        for m in &ms {
+            assert_eq!(m.len(), 2);
+        }
+        assert_eq!(g.num_alive(), 0);
+    }
+
+    #[test]
+    fn extract_respects_band() {
+        let mut g = BipartiteMultigraph::new(2);
+        g.add_edge(e(0, 0, 0, 0));
+        g.add_edge(e(1, 1, 0, 0));
+        g.add_edge(e(0, 1, 1, 1));
+        g.add_edge(e(1, 0, 1, 1));
+        // Band row 0 only: one perfect matching {(0,0),(1,1)}.
+        let band = g.band_edges((0, 0));
+        let ms = g.extract_perfect_matchings(&band);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(g.num_alive(), 2);
+        // Remaining band row 1: the crossing matching.
+        let band = g.band_edges((1, 1));
+        let ms = g.extract_perfect_matchings(&band);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(g.num_alive(), 0);
+    }
+
+    #[test]
+    fn no_perfect_matching_in_deficient_band() {
+        let mut g = BipartiteMultigraph::new(2);
+        g.add_edge(e(0, 0, 0, 0));
+        g.add_edge(e(1, 0, 0, 0)); // both columns target column 0
+        let band = g.alive_edges();
+        let ms = g.extract_perfect_matchings(&band);
+        assert!(ms.is_empty());
+        assert_eq!(g.num_alive(), 2, "failed extraction must not consume edges");
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_edge_panics() {
+        let mut g = BipartiteMultigraph::new(2);
+        g.add_edge(e(0, 5, 0, 0));
+    }
+}

@@ -1,0 +1,371 @@
+//! Seeded workload generators for the permutation classes evaluated in §V
+//! of the paper.
+//!
+//! The paper's experiments use "a wide range of grid sizes and multiple
+//! random mapping schemes (local and global)" and discusses three regimes:
+//!
+//! * **random** — a uniform random permutation of all grid vertices (the
+//!   regime where the locality-aware router beats ATS in depth);
+//! * **disjoint blocks** — cycles confined to disjoint sub-blocks of the
+//!   grid (both algorithms comparable);
+//! * **overlapping blocks** — cycles spanning overlapping blocks (ATS
+//!   better);
+//! * **long skinny cycles** in orthogonal directions — the adversarial case
+//!   called out in §V where the locality-aware scheme cannot optimize both
+//!   directions at once.
+//!
+//! All generators are deterministic given a seed.
+
+use crate::permutation::Permutation;
+use qroute_topology::Grid;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Uniform random permutation of all `n` vertices (Fisher–Yates).
+pub fn random(n: usize, seed: u64) -> Permutation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut map: Vec<usize> = (0..n).collect();
+    map.shuffle(&mut rng);
+    Permutation::from_vec_unchecked(map)
+}
+
+/// Random permutation whose cycles are confined to disjoint `bh × bw`
+/// blocks tiling the grid (ragged boundary blocks are allowed).
+///
+/// Each tile's vertices are shuffled independently, so no token ever leaves
+/// its tile — the "cycles … contained within small regions" workload.
+pub fn block_local(grid: Grid, bh: usize, bw: usize, seed: u64) -> Permutation {
+    assert!(bh >= 1 && bw >= 1, "block dimensions must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut map: Vec<usize> = (0..grid.len()).collect();
+    let mut block = Vec::with_capacity(bh * bw);
+    let mut i0 = 0;
+    while i0 < grid.rows() {
+        let mut j0 = 0;
+        while j0 < grid.cols() {
+            block.clear();
+            for i in i0..(i0 + bh).min(grid.rows()) {
+                for j in j0..(j0 + bw).min(grid.cols()) {
+                    block.push(grid.index(i, j));
+                }
+            }
+            let mut images = block.clone();
+            images.shuffle(&mut rng);
+            for (&src, &dst) in block.iter().zip(&images) {
+                map[src] = dst;
+            }
+            j0 += bw;
+        }
+        i0 += bh;
+    }
+    Permutation::from_vec_unchecked(map)
+}
+
+/// Random permutation built from *overlapping* blocks: `bh × bw` windows
+/// placed every `(sh, sw)` rows/columns (strides smaller than the block
+/// size make consecutive windows overlap). The permutations of successive
+/// windows are composed, so cycles leak across window boundaries — the
+/// regime where §V reports ATS ahead of the locality-aware router.
+pub fn overlapping_blocks(
+    grid: Grid,
+    bh: usize,
+    bw: usize,
+    sh: usize,
+    sw: usize,
+    seed: u64,
+) -> Permutation {
+    assert!(bh >= 1 && bw >= 1, "block dimensions must be positive");
+    assert!(sh >= 1 && sw >= 1, "strides must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // `map` is maintained as position -> token-destination; composing a
+    // window shuffle means permuting the *current images* of the window's
+    // positions.
+    let mut map: Vec<usize> = (0..grid.len()).collect();
+    let mut window = Vec::with_capacity(bh * bw);
+    let mut i0 = 0;
+    loop {
+        let mut j0 = 0;
+        loop {
+            window.clear();
+            for i in i0..(i0 + bh).min(grid.rows()) {
+                for j in j0..(j0 + bw).min(grid.cols()) {
+                    window.push(grid.index(i, j));
+                }
+            }
+            // Shuffle images currently attached to the window positions.
+            let mut imgs: Vec<usize> = window.iter().map(|&v| map[v]).collect();
+            imgs.shuffle(&mut rng);
+            for (&v, &img) in window.iter().zip(&imgs) {
+                map[v] = img;
+            }
+            if j0 + bw >= grid.cols() {
+                break;
+            }
+            j0 += sw;
+        }
+        if i0 + bh >= grid.rows() {
+            break;
+        }
+        i0 += sh;
+    }
+    Permutation::from_vec_unchecked(map)
+}
+
+/// Long, skinny cycles stretching in *orthogonal* directions: cyclic shifts
+/// along entire rows (for even-indexed rows) and entire columns (for
+/// odd-indexed columns not touched by a shifted row... see below).
+///
+/// Concretely: rows `0, 2, 4, …` are cyclically shifted right by one; of
+/// the remaining vertices, columns `1, 3, 5, …` restricted to odd rows are
+/// cyclically shifted down by one. This interleaves horizontal and vertical
+/// cycles of length `Θ(n)` and `Θ(m)` — the adversarial §V workload: a
+/// single staging row cannot serve both cycle orientations.
+pub fn skinny_cycles(grid: Grid, seed: u64) -> Permutation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cycles: Vec<Vec<usize>> = Vec::new();
+    // Horizontal cycles on even rows.
+    for i in (0..grid.rows()).step_by(2) {
+        if grid.cols() >= 2 {
+            cycles.push(grid.row(i));
+        }
+    }
+    // Vertical cycles on odd rows restricted to alternate columns.
+    for j in (1..grid.cols()).step_by(2) {
+        let col: Vec<usize> = (1..grid.rows()).step_by(2).map(|i| grid.index(i, j)).collect();
+        if col.len() >= 2 {
+            cycles.push(col);
+        }
+    }
+    // Randomize cycle phase so different seeds differ.
+    for c in cycles.iter_mut() {
+        let k = rng.gen_range(0..c.len());
+        c.rotate_left(k);
+    }
+    Permutation::from_cycles(grid.len(), &cycles)
+}
+
+/// Cyclic shift of the whole grid by `(dr, dc)` with wraparound — a
+/// structured global permutation with uniform displacement, useful for
+/// calibrating depth lower bounds.
+pub fn torus_shift(grid: Grid, dr: usize, dc: usize) -> Permutation {
+    let mut map = vec![0usize; grid.len()];
+    for i in 0..grid.rows() {
+        for j in 0..grid.cols() {
+            let ti = (i + dr) % grid.rows();
+            let tj = (j + dc) % grid.cols();
+            map[grid.index(i, j)] = grid.index(ti, tj);
+        }
+    }
+    Permutation::from_vec_unchecked(map)
+}
+
+/// The grid "transposition" permutation on a square grid:
+/// `(i, j) → (j, i)`. Maximally non-local along the anti-diagonal.
+///
+/// # Panics
+/// Panics when the grid is not square.
+pub fn grid_transposition(grid: Grid) -> Permutation {
+    assert_eq!(grid.rows(), grid.cols(), "grid transposition needs a square grid");
+    let mut map = vec![0usize; grid.len()];
+    for i in 0..grid.rows() {
+        for j in 0..grid.cols() {
+            map[grid.index(i, j)] = grid.index(j, i);
+        }
+    }
+    Permutation::from_vec_unchecked(map)
+}
+
+/// Full reversal `v → n-1-v` of the row-major order — on a grid this sends
+/// `(i, j)` to `(m-1-i, n-1-j)`, the worst case for total displacement.
+pub fn reversal(n: usize) -> Permutation {
+    Permutation::from_vec_unchecked((0..n).rev().collect())
+}
+
+/// A random permutation with the given cycle type: `cycle_lengths[i]`
+/// cycles are formed over a uniformly random arrangement of points (the
+/// lengths must sum to at most `n`; remaining points are fixed).
+///
+/// Useful for controlled studies of how cycle structure drives routing
+/// depth (ATS pays per cycle length; the 3-phase scheme does not).
+///
+/// # Panics
+/// Panics when lengths sum beyond `n` or any length is zero.
+pub fn with_cycle_type(n: usize, cycle_lengths: &[usize], seed: u64) -> Permutation {
+    let total: usize = cycle_lengths.iter().sum();
+    assert!(total <= n, "cycle lengths exceed the domain");
+    assert!(cycle_lengths.iter().all(|&l| l >= 1), "cycles must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut verts: Vec<usize> = (0..n).collect();
+    verts.shuffle(&mut rng);
+    let mut cycles = Vec::with_capacity(cycle_lengths.len());
+    let mut cursor = 0;
+    for &len in cycle_lengths {
+        cycles.push(verts[cursor..cursor + len].to_vec());
+        cursor += len;
+    }
+    Permutation::from_cycles(n, &cycles)
+}
+
+/// A random permutation that moves exactly `k` tokens (a uniformly chosen
+/// random derangement-ish shuffle on a random `k`-subset; the remaining
+/// `n - k` tokens are fixed). Useful for sparse-routing workloads.
+pub fn sparse_random(n: usize, k: usize, seed: u64) -> Permutation {
+    assert!(k <= n, "cannot move more tokens than exist");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut verts: Vec<usize> = (0..n).collect();
+    verts.shuffle(&mut rng);
+    let chosen = &verts[..k];
+    let mut images: Vec<usize> = chosen.to_vec();
+    // Shuffle until no chosen point is fixed (expected O(1) retries), so
+    // support size is exactly k (for k >= 2).
+    if k >= 2 {
+        loop {
+            images.shuffle(&mut rng);
+            if chosen.iter().zip(&images).all(|(a, b)| a != b) {
+                break;
+            }
+        }
+    }
+    let mut map: Vec<usize> = (0..n).collect();
+    for (&s, &d) in chosen.iter().zip(&images) {
+        map[s] = d;
+    }
+    Permutation::from_vec_unchecked(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    #[test]
+    fn random_is_seeded_and_valid() {
+        let a = random(64, 7);
+        let b = random(64, 7);
+        let c = random(64, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn block_local_never_leaves_block() {
+        let grid = Grid::new(8, 8);
+        let p = block_local(grid, 4, 4, 3);
+        for v in 0..grid.len() {
+            let (i, j) = grid.coords(v);
+            let (ti, tj) = grid.coords(p.apply(v));
+            assert_eq!(i / 4, ti / 4, "row block violated for {v}");
+            assert_eq!(j / 4, tj / 4, "col block violated for {v}");
+        }
+    }
+
+    #[test]
+    fn block_local_ragged_boundaries() {
+        let grid = Grid::new(5, 7);
+        let p = block_local(grid, 3, 3, 11);
+        // Validity is the key property for ragged tiles.
+        assert_eq!(p.len(), 35);
+        for v in 0..35 {
+            let d = grid.dist(v, p.apply(v));
+            assert!(d <= 4, "token moved {d} > block diameter");
+        }
+    }
+
+    #[test]
+    fn overlapping_blocks_leak_across_tiles() {
+        let grid = Grid::new(8, 8);
+        let p = overlapping_blocks(grid, 4, 4, 2, 2, 5);
+        // Some token should travel farther than a single 4x4 block diameter
+        // (6); with overlap the composition stretches cycles. This is a
+        // statistical property — check across a few seeds.
+        let stretched = (0..10u64).any(|s| {
+            let p = overlapping_blocks(grid, 4, 4, 2, 2, s);
+            (0..p.len()).any(|v| grid.dist(v, p.apply(v)) > 6)
+        });
+        assert!(stretched, "overlapping blocks never leaked");
+        assert_eq!(p.len(), 64);
+    }
+
+    #[test]
+    fn skinny_cycles_have_orthogonal_long_cycles() {
+        let grid = Grid::new(9, 9);
+        let p = skinny_cycles(grid, 1);
+        let cycles = p.cycles(false);
+        // Horizontal row cycles of length 9 exist.
+        assert!(cycles.iter().any(|c| {
+            c.len() == 9 && c.iter().all(|&v| grid.coords(v).0 == grid.coords(c[0]).0)
+        }));
+        // Vertical cycles exist too.
+        assert!(cycles.iter().any(|c| {
+            c.len() >= 2 && c.iter().all(|&v| grid.coords(v).1 == grid.coords(c[0]).1)
+                && c.iter().any(|&v| grid.coords(v).0 != grid.coords(c[0]).0)
+        }));
+    }
+
+    #[test]
+    fn torus_shift_displacement_uniform() {
+        let grid = Grid::new(4, 6);
+        let p = torus_shift(grid, 1, 2);
+        for v in 0..grid.len() {
+            let (i, j) = grid.coords(v);
+            assert_eq!(p.apply(v), grid.index((i + 1) % 4, (j + 2) % 6));
+        }
+        assert!(torus_shift(grid, 0, 0).is_identity());
+    }
+
+    #[test]
+    fn transposition_is_involution() {
+        let grid = Grid::new(5, 5);
+        let p = grid_transposition(grid);
+        assert!(p.compose(&p).is_identity());
+        assert_eq!(p.apply(grid.index(2, 2)), grid.index(2, 2));
+    }
+
+    #[test]
+    fn reversal_displacement() {
+        let p = reversal(10);
+        assert_eq!(p.apply(0), 9);
+        assert_eq!(p.apply(9), 0);
+        assert!(p.compose(&p).is_identity());
+    }
+
+    #[test]
+    fn sparse_random_support() {
+        let p = sparse_random(50, 10, 3);
+        assert_eq!(p.support_size(), 10);
+        let q = sparse_random(50, 0, 3);
+        assert!(q.is_identity());
+        let r = sparse_random(5, 5, 9);
+        assert_eq!(r.support_size(), 5);
+    }
+
+    #[test]
+    fn cycle_type_is_respected() {
+        let p = with_cycle_type(20, &[3, 5, 2], 7);
+        let mut lengths: Vec<usize> = p.cycles(false).iter().map(Vec::len).collect();
+        lengths.sort_unstable();
+        assert_eq!(lengths, vec![2, 3, 5]);
+        assert_eq!(p.support_size(), 10);
+        // Fixed-point-only type.
+        assert!(with_cycle_type(5, &[], 0).is_identity());
+        assert!(with_cycle_type(5, &[1, 1], 0).is_identity());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn cycle_type_validates_total() {
+        let _ = with_cycle_type(4, &[3, 3], 0);
+    }
+
+    #[test]
+    fn block_local_is_more_local_than_random() {
+        let grid = Grid::new(16, 16);
+        let pb = block_local(grid, 4, 4, 42);
+        let pr = random(grid.len(), 42);
+        assert!(
+            metrics::total_displacement(grid, &pb) < metrics::total_displacement(grid, &pr),
+            "block-local should have smaller total displacement"
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! # qroute-perm
+//!
+//! Permutations over physical qubits, partial permutations with completion
+//! strategies, the workload generators used in the paper's evaluation (§V),
+//! and locality metrics.
+//!
+//! The routing problem takes a permutation `π` on the vertices of the
+//! coupling graph: the qubit currently at vertex `v` must be moved to
+//! `π(v)`. Transpilers usually only constrain a subset of qubits (the
+//! *don't-care* qubits may land anywhere), which we model with
+//! [`PartialPermutation`] and extend to a full [`Permutation`] before
+//! routing, exactly as assumed in §II of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod metrics;
+pub mod partial;
+pub mod permutation;
+
+pub use partial::PartialPermutation;
+pub use permutation::{PermError, Permutation};

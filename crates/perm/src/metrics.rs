@@ -1,0 +1,171 @@
+//! Locality metrics of permutations on grids.
+//!
+//! These quantify "how local" a routing instance is and provide the depth
+//! lower bounds used in tests and experiment reports:
+//! any swap-layer schedule realizing `π` needs at least
+//! `max_v dist(v, π(v))` layers (a token moves at most one edge per layer),
+//! and at least `ceil(Σ_v dist(v, π(v)) / ⌊n/2⌋)` layers (each layer moves
+//! at most `⌊n/2⌋` tokens one step each... conservatively `Σ/2` per layer of
+//! swaps, since a layer on an n-vertex graph has at most ⌊n/2⌋ swaps and a
+//! swap reduces total remaining distance by at most 2).
+
+use crate::permutation::Permutation;
+use qroute_topology::{dist, Graph, Grid};
+
+/// Sum over all tokens of the L1 distance to their destination.
+pub fn total_displacement(grid: Grid, p: &Permutation) -> usize {
+    assert_eq!(grid.len(), p.len());
+    (0..p.len()).map(|v| grid.dist(v, p.apply(v))).sum()
+}
+
+/// Largest single-token L1 distance — a lower bound on routing depth.
+pub fn max_displacement(grid: Grid, p: &Permutation) -> usize {
+    assert_eq!(grid.len(), p.len());
+    (0..p.len()).map(|v| grid.dist(v, p.apply(v))).max().unwrap_or(0)
+}
+
+/// Depth lower bound on a grid: `max(max_displacement, ceil(total / 2*⌊n/2⌋))`.
+///
+/// A layer contains at most `⌊n/2⌋` swaps and each swap moves two tokens one
+/// step, so a layer reduces total remaining displacement by at most
+/// `2⌊n/2⌋`.
+pub fn depth_lower_bound(grid: Grid, p: &Permutation) -> usize {
+    let n = p.len();
+    if n == 0 {
+        return 0;
+    }
+    let total = total_displacement(grid, p);
+    let per_layer = 2 * (n / 2);
+    let volume_bound = if per_layer == 0 { 0 } else { total.div_ceil(per_layer) };
+    max_displacement(grid, p).max(volume_bound)
+}
+
+/// Same bounds on an arbitrary graph, using BFS distances.
+pub fn depth_lower_bound_graph(graph: &Graph, p: &Permutation) -> usize {
+    assert_eq!(graph.len(), p.len());
+    let n = p.len();
+    if n == 0 {
+        return 0;
+    }
+    let mut total = 0usize;
+    let mut maxd = 0usize;
+    for v in 0..n {
+        let d = dist::bfs(graph, v)[p.apply(v)];
+        assert_ne!(d, dist::UNREACHABLE, "destination unreachable from source");
+        total += d as usize;
+        maxd = maxd.max(d as usize);
+    }
+    let per_layer = 2 * (n / 2);
+    let volume_bound = if per_layer == 0 { 0 } else { total.div_ceil(per_layer) };
+    maxd.max(volume_bound)
+}
+
+/// Total distance on an arbitrary graph (the ATS potential function `Φ`).
+pub fn total_distance_graph(graph: &Graph, p: &Permutation) -> usize {
+    assert_eq!(graph.len(), p.len());
+    (0..p.len())
+        .map(|v| dist::bfs(graph, v)[p.apply(v)] as usize)
+        .sum()
+}
+
+/// Histogram of cycle lengths (index = length, value = count); index 0 is
+/// unused, index 1 counts fixed points.
+pub fn cycle_length_histogram(p: &Permutation) -> Vec<usize> {
+    let mut hist = vec![0usize; p.len() + 1];
+    for c in p.cycles(true) {
+        hist[c.len()] += 1;
+    }
+    hist
+}
+
+/// The *spread* of a cycle on the grid: the L1 diameter of its vertex set
+/// (max pairwise L1 distance). Local workloads have small spreads.
+pub fn cycle_spread(grid: Grid, cycle: &[usize]) -> usize {
+    let mut best = 0;
+    for (k, &u) in cycle.iter().enumerate() {
+        for &v in &cycle[k + 1..] {
+            best = best.max(grid.dist(u, v));
+        }
+    }
+    best
+}
+
+/// Maximum cycle spread over all non-trivial cycles of `p` — the paper's
+/// notion of "cycles contained within small regions" is `max_spread ≪
+/// diameter`.
+pub fn max_cycle_spread(grid: Grid, p: &Permutation) -> usize {
+    p.cycles(false)
+        .iter()
+        .map(|c| cycle_spread(grid, c))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn identity_metrics_are_zero() {
+        let grid = Grid::new(4, 4);
+        let p = Permutation::identity(16);
+        assert_eq!(total_displacement(grid, &p), 0);
+        assert_eq!(max_displacement(grid, &p), 0);
+        assert_eq!(depth_lower_bound(grid, &p), 0);
+        assert_eq!(max_cycle_spread(grid, &p), 0);
+    }
+
+    #[test]
+    fn reversal_bounds() {
+        let grid = Grid::new(1, 8);
+        let p = generators::reversal(8);
+        assert_eq!(max_displacement(grid, &p), 7);
+        // total = 2*(7+5+3+1) = 32; per layer 2*4 = 8 -> volume bound 4.
+        assert_eq!(total_displacement(grid, &p), 32);
+        assert_eq!(depth_lower_bound(grid, &p), 7);
+    }
+
+    #[test]
+    fn graph_and_grid_bounds_agree_on_grid() {
+        let grid = Grid::new(3, 5);
+        let g = grid.to_graph();
+        for seed in 0..5 {
+            let p = generators::random(grid.len(), seed);
+            assert_eq!(
+                depth_lower_bound(grid, &p),
+                depth_lower_bound_graph(&g, &p),
+                "seed {seed}"
+            );
+            assert_eq!(
+                total_displacement(grid, &p),
+                total_distance_graph(&g, &p),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn cycle_histogram_counts() {
+        let p = Permutation::from_cycles(6, &[vec![0, 1, 2], vec![3, 4]]);
+        let h = cycle_length_histogram(&p);
+        assert_eq!(h[1], 1); // fixed point 5
+        assert_eq!(h[2], 1);
+        assert_eq!(h[3], 1);
+    }
+
+    #[test]
+    fn block_local_has_bounded_spread() {
+        let grid = Grid::new(12, 12);
+        let p = generators::block_local(grid, 3, 3, 17);
+        // A 3x3 block has L1 diameter 4.
+        assert!(max_cycle_spread(grid, &p) <= 4);
+    }
+
+    #[test]
+    fn spread_of_explicit_cycle() {
+        let grid = Grid::new(4, 4);
+        let cycle = vec![grid.index(0, 0), grid.index(3, 3), grid.index(0, 3)];
+        assert_eq!(cycle_spread(grid, &cycle), 6);
+    }
+}

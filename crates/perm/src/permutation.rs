@@ -1,0 +1,297 @@
+//! Dense permutations on `0..n`.
+
+use std::fmt;
+
+/// Errors raised when validating permutation data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PermError {
+    /// An image was `>= n`.
+    ImageOutOfRange {
+        /// The domain point.
+        src: usize,
+        /// Its out-of-range image.
+        img: usize,
+        /// Size of the domain.
+        n: usize,
+    },
+    /// Two domain points mapped to the same image.
+    NotInjective {
+        /// The repeated image.
+        img: usize,
+    },
+}
+
+impl fmt::Display for PermError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PermError::ImageOutOfRange { src, img, n } => {
+                write!(f, "π({src}) = {img} out of range for n = {n}")
+            }
+            PermError::NotInjective { img } => {
+                write!(f, "image {img} is hit twice; not a permutation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PermError {}
+
+/// A permutation `π` of `0..n`, stored as the image table `map[v] = π(v)`.
+///
+/// In routing terms: the token (qubit) currently at vertex `v` must end at
+/// vertex `π(v)`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Permutation {
+    map: Vec<usize>,
+}
+
+impl fmt::Debug for Permutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Permutation({:?})", self.map)
+    }
+}
+
+impl Permutation {
+    /// The identity on `0..n`.
+    pub fn identity(n: usize) -> Permutation {
+        Permutation { map: (0..n).collect() }
+    }
+
+    /// Validate an image table and wrap it.
+    pub fn from_vec(map: Vec<usize>) -> Result<Permutation, PermError> {
+        let n = map.len();
+        let mut seen = vec![false; n];
+        for (src, &img) in map.iter().enumerate() {
+            if img >= n {
+                return Err(PermError::ImageOutOfRange { src, img, n });
+            }
+            if seen[img] {
+                return Err(PermError::NotInjective { img });
+            }
+            seen[img] = true;
+        }
+        Ok(Permutation { map })
+    }
+
+    /// Build from an image table without validation.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the table is not a permutation.
+    pub fn from_vec_unchecked(map: Vec<usize>) -> Permutation {
+        debug_assert!(Permutation::from_vec(map.clone()).is_ok());
+        Permutation { map }
+    }
+
+    /// Domain size `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` for the empty permutation.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Image `π(v)`.
+    #[inline]
+    pub fn apply(&self, v: usize) -> usize {
+        self.map[v]
+    }
+
+    /// The underlying image table.
+    #[inline]
+    pub fn as_slice(&self) -> &[usize] {
+        &self.map
+    }
+
+    /// `true` iff `π` is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.map.iter().enumerate().all(|(i, &x)| i == x)
+    }
+
+    /// The inverse permutation `π⁻¹`.
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0usize; self.map.len()];
+        for (v, &img) in self.map.iter().enumerate() {
+            inv[img] = v;
+        }
+        Permutation { map: inv }
+    }
+
+    /// Composition `(self ∘ other)(v) = self(other(v))`.
+    ///
+    /// # Panics
+    /// Panics when the two permutations have different sizes.
+    pub fn compose(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.len(), other.len(), "composing permutations of different sizes");
+        Permutation { map: other.map.iter().map(|&v| self.map[v]).collect() }
+    }
+
+    /// Apply a transposition `(a b)` on the *positions* of the mapping:
+    /// afterwards the token that was at `a` is at `b` and vice versa.
+    ///
+    /// Concretely this swaps the images of `a` and `b`.
+    pub fn swap_images(&mut self, a: usize, b: usize) {
+        self.map.swap(a, b);
+    }
+
+    /// Cycle decomposition; each cycle is listed starting from its smallest
+    /// element, cycles sorted by that element. Fixed points are included as
+    /// 1-cycles only when `include_fixed` is set.
+    pub fn cycles(&self, include_fixed: bool) -> Vec<Vec<usize>> {
+        let n = self.map.len();
+        let mut seen = vec![false; n];
+        let mut out = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut cycle = vec![start];
+            seen[start] = true;
+            let mut cur = self.map[start];
+            while cur != start {
+                seen[cur] = true;
+                cycle.push(cur);
+                cur = self.map[cur];
+            }
+            if cycle.len() > 1 || include_fixed {
+                out.push(cycle);
+            }
+        }
+        out
+    }
+
+    /// Number of non-fixed points.
+    pub fn support_size(&self) -> usize {
+        self.map.iter().enumerate().filter(|&(i, &x)| i != x).count()
+    }
+
+    /// Build a permutation from a list of cycles over `0..n`; unmentioned
+    /// points are fixed.
+    ///
+    /// # Panics
+    /// Panics if a point occurs twice or is out of range.
+    pub fn from_cycles(n: usize, cycles: &[Vec<usize>]) -> Permutation {
+        let mut map: Vec<usize> = (0..n).collect();
+        let mut used = vec![false; n];
+        for cycle in cycles {
+            for &v in cycle {
+                assert!(v < n, "cycle element {v} out of range");
+                assert!(!used[v], "cycle element {v} repeated");
+                used[v] = true;
+            }
+            for k in 0..cycle.len() {
+                map[cycle[k]] = cycle[(k + 1) % cycle.len()];
+            }
+        }
+        Permutation { map }
+    }
+
+    /// Conjugate by a relabeling `ρ`: returns `ρ ∘ π ∘ ρ⁻¹`, the same
+    /// permutation expressed in relabeled coordinates. Used to transport a
+    /// permutation from a grid to its transpose.
+    pub fn relabel(&self, rho: &Permutation) -> Permutation {
+        assert_eq!(self.len(), rho.len());
+        let mut map = vec![0usize; self.len()];
+        for v in 0..self.len() {
+            map[rho.apply(v)] = rho.apply(self.apply(v));
+        }
+        Permutation { map }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_properties() {
+        let p = Permutation::identity(5);
+        assert!(p.is_identity());
+        assert_eq!(p.support_size(), 0);
+        assert_eq!(p.inverse(), p);
+        assert!(p.cycles(false).is_empty());
+        assert_eq!(p.cycles(true).len(), 5);
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(Permutation::from_vec(vec![1, 0, 2]).is_ok());
+        assert_eq!(
+            Permutation::from_vec(vec![0, 3, 1]),
+            Err(PermError::ImageOutOfRange { src: 1, img: 3, n: 3 })
+        );
+        assert_eq!(
+            Permutation::from_vec(vec![0, 1, 1]),
+            Err(PermError::NotInjective { img: 1 })
+        );
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let p = Permutation::from_vec(vec![2, 0, 3, 1]).unwrap();
+        assert!(p.compose(&p.inverse()).is_identity());
+        assert!(p.inverse().compose(&p).is_identity());
+    }
+
+    #[test]
+    fn compose_order() {
+        // self(other(v)): other sends 0->1, self sends 1->2, so composite 0->2.
+        let other = Permutation::from_vec(vec![1, 0, 2]).unwrap();
+        let selfp = Permutation::from_vec(vec![0, 2, 1]).unwrap();
+        let c = selfp.compose(&other);
+        assert_eq!(c.apply(0), 2);
+    }
+
+    #[test]
+    fn cycle_decomposition_round_trip() {
+        let p = Permutation::from_vec(vec![1, 2, 0, 4, 3, 5]).unwrap();
+        let cycles = p.cycles(false);
+        assert_eq!(cycles, vec![vec![0, 1, 2], vec![3, 4]]);
+        let q = Permutation::from_cycles(6, &cycles);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn from_cycles_fixed_points() {
+        let p = Permutation::from_cycles(4, &[vec![1, 3]]);
+        assert_eq!(p.apply(0), 0);
+        assert_eq!(p.apply(1), 3);
+        assert_eq!(p.apply(3), 1);
+        assert_eq!(p.support_size(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_cycles_rejects_repeats() {
+        let _ = Permutation::from_cycles(4, &[vec![1, 2], vec![2, 3]]);
+    }
+
+    #[test]
+    fn swap_images_models_token_swap() {
+        // Tokens destined: at 0 -> 2, at 1 -> 0, at 2 -> 1.
+        let mut p = Permutation::from_vec(vec![2, 0, 1]).unwrap();
+        // Swap tokens at positions 0 and 1: now position 0 holds the token
+        // destined to 0, position 1 holds the token destined to 2.
+        p.swap_images(0, 1);
+        assert_eq!(p.as_slice(), &[0, 2, 1]);
+    }
+
+    #[test]
+    fn relabel_conjugation() {
+        let p = Permutation::from_vec(vec![1, 2, 0]).unwrap(); // cycle (0 1 2)
+        let rho = Permutation::from_vec(vec![2, 1, 0]).unwrap(); // reverse
+        let q = p.relabel(&rho);
+        // q(rho(v)) = rho(p(v)): q(2)=rho(1)=1, q(1)=rho(2)=0, q(0)=rho(0)=2.
+        assert_eq!(q.as_slice(), &[2, 0, 1]);
+    }
+
+    #[test]
+    fn empty_permutation() {
+        let p = Permutation::identity(0);
+        assert!(p.is_empty());
+        assert!(p.is_identity());
+    }
+}

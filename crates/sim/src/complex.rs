@@ -1,0 +1,152 @@
+//! A minimal complex number type (we implement our own rather than pull a
+//! numerics crate; the simulator needs only arithmetic, conjugation and
+//! `e^{iθ}`).
+
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub};
+
+/// A double-precision complex number.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// Construct from parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Complex64 {
+        Complex64 { re, im }
+    }
+
+    /// Zero.
+    pub const ZERO: Complex64 = Complex64::new(0.0, 0.0);
+    /// One.
+    pub const ONE: Complex64 = Complex64::new(1.0, 0.0);
+    /// The imaginary unit.
+    pub const I: Complex64 = Complex64::new(0.0, 1.0);
+
+    /// `e^{iθ}`.
+    #[inline]
+    pub fn expi(theta: f64) -> Complex64 {
+        Complex64::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Complex64 {
+        Complex64::new(self.re, -self.im)
+    }
+
+    /// `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// `|z|`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiply by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f64) -> Complex64 {
+        Complex64::new(self.re * s, self.im * s)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, o: Complex64) -> Complex64 {
+        Complex64::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, o: Complex64) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, o: Complex64) -> Complex64 {
+        Complex64::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, o: Complex64) -> Complex64 {
+        Complex64::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, o: Complex64) {
+        *self = *self * o;
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex64, b: Complex64) -> bool {
+        (a - b).norm() < 1e-12
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -1.0);
+        assert!(close(a + b, Complex64::new(4.0, 1.0)));
+        assert!(close(a - b, Complex64::new(-2.0, 3.0)));
+        assert!(close(a * b, Complex64::new(5.0, 5.0)));
+        assert!(close(-a, Complex64::new(-1.0, -2.0)));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!(close(Complex64::I * Complex64::I, -Complex64::ONE));
+    }
+
+    #[test]
+    fn euler_identity() {
+        assert!(close(Complex64::expi(std::f64::consts::PI), -Complex64::ONE));
+        assert!(close(Complex64::expi(0.0), Complex64::ONE));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let z = Complex64::new(3.0, 4.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.norm(), 5.0);
+        assert!(close(z * z.conj(), Complex64::new(25.0, 0.0)));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut z = Complex64::ONE;
+        z += Complex64::I;
+        z *= Complex64::I;
+        assert!(close(z, Complex64::new(-1.0, 1.0)));
+    }
+}

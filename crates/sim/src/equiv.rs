@@ -1,0 +1,116 @@
+//! Global-phase-insensitive circuit equivalence checks.
+
+use crate::state::State;
+use crate::statevector::run;
+use qroute_circuit::Circuit;
+
+/// Number of random probe states used by the equivalence checks. Two
+/// distinct `n`-qubit unitaries agree on `k` Haar-ish random states with
+/// probability vanishing in `k`; 4 probes at `1e-9` tolerance is far more
+/// discriminating than needed for gate-level bugs.
+pub const DEFAULT_PROBES: usize = 4;
+
+/// `true` iff the two circuits implement the same unitary up to global
+/// phase, tested on [`DEFAULT_PROBES`] random probe states.
+pub fn circuits_equivalent(a: &Circuit, b: &Circuit) -> bool {
+    assert_eq!(a.num_qubits(), b.num_qubits(), "qubit count mismatch");
+    (0..DEFAULT_PROBES as u64).all(|seed| {
+        let probe = State::random(a.num_qubits(), 0xC0FFEE ^ seed);
+        run(a, probe.clone()).fidelity(&run(b, probe)) > 1.0 - 1e-9
+    })
+}
+
+/// Layout-aware equivalence for transpiled circuits.
+///
+/// `initial[l]` / `final_[l]` give the physical wire holding logical qubit
+/// `l` before / after the physical circuit. The check asserts, on random
+/// probe states `|ψ⟩` over logical qubits:
+///
+/// ```text
+/// physical( embed_initial(|ψ⟩) )  ==  embed_final( logical(|ψ⟩) )
+/// ```
+///
+/// where `embed_map` relabels logical qubit `l` to physical wire `map[l]`.
+pub fn transpiled_equivalent(
+    logical: &Circuit,
+    physical: &Circuit,
+    initial: &[usize],
+    final_: &[usize],
+) -> bool {
+    assert_eq!(logical.num_qubits(), physical.num_qubits(), "1:1 mapping required");
+    assert_eq!(initial.len(), logical.num_qubits());
+    assert_eq!(final_.len(), logical.num_qubits());
+    (0..DEFAULT_PROBES as u64).all(|seed| {
+        let probe = State::random(logical.num_qubits(), 0xBEEF ^ seed);
+        let lhs = run(physical, probe.relabel_qubits(initial));
+        let rhs = run(logical, probe).relabel_qubits(final_);
+        lhs.fidelity(&rhs) > 1.0 - 1e-9
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qroute_circuit::{builders, Gate};
+
+    #[test]
+    fn circuit_equals_itself() {
+        let c = builders::random_two_qubit_circuit(4, 15, 3);
+        assert!(circuits_equivalent(&c, &c));
+    }
+
+    #[test]
+    fn swap_decomposition_is_equivalent() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H(0)).push(Gate::Swap(0, 2)).push(Gate::Cx(0, 1));
+        assert!(circuits_equivalent(&c, &c.decompose_swaps()));
+    }
+
+    #[test]
+    fn different_circuits_are_detected() {
+        let mut a = Circuit::new(2);
+        a.push(Gate::Cx(0, 1));
+        let mut b = Circuit::new(2);
+        b.push(Gate::Cx(1, 0));
+        assert!(!circuits_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn global_phase_is_ignored() {
+        // Rz(2π) = -I: differs from identity by a global phase only.
+        let mut a = Circuit::new(1);
+        a.push(Gate::Rz(0, 2.0 * std::f64::consts::PI));
+        let b = Circuit::new(1);
+        assert!(circuits_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn transpiled_identity_layouts() {
+        let c = builders::ghz(3);
+        let id = [0usize, 1, 2];
+        assert!(transpiled_equivalent(&c, &c, &id, &id));
+    }
+
+    #[test]
+    fn transpiled_with_final_swap() {
+        // Physical circuit = logical circuit followed by SWAP(0,1): the
+        // final layout absorbs the swap.
+        let logical = builders::ghz(3);
+        let mut physical = logical.clone();
+        physical.push(Gate::Swap(0, 1));
+        let initial = [0usize, 1, 2];
+        let final_ = [1usize, 0, 2];
+        assert!(transpiled_equivalent(&logical, &physical, &initial, &final_));
+        // Wrong final layout fails.
+        assert!(!transpiled_equivalent(&logical, &physical, &initial, &initial));
+    }
+
+    #[test]
+    fn transpiled_with_initial_relabel() {
+        // Physical runs the same gates on relabeled wires.
+        let logical = builders::random_two_qubit_circuit(3, 8, 5);
+        let layout = [2usize, 0, 1]; // logical l -> physical layout[l]
+        let physical = logical.relabeled(3, |q| layout[q]);
+        assert!(transpiled_equivalent(&logical, &physical, &layout, &layout));
+    }
+}

@@ -1,0 +1,30 @@
+//! # qroute-sim
+//!
+//! Simulators used to *verify* the routing/transpilation pipeline:
+//!
+//! * [`complex`] — a minimal `Complex64` (no external numerics crates);
+//! * [`state`] — statevectors with inner products, fidelity and qubit
+//!   relabeling;
+//! * [`statevector`] — a full statevector simulator for the
+//!   [`qroute_circuit::Gate`] set (practical to ~20 qubits);
+//! * [`permsim`] — an `O(size)` classical tracker for SWAP-only circuits;
+//! * [`equiv`] — global-phase-insensitive circuit equivalence checks,
+//!   including the layout-aware check for transpiled circuits (physical
+//!   circuit ≡ logical circuit up to initial and final qubit maps).
+//!
+//! Verification is the point of this crate: all equivalence helpers are
+//! fidelity-based, so the identities hold regardless of the global phases
+//! introduced by gate decompositions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod equiv;
+pub mod permsim;
+pub mod state;
+pub mod statevector;
+
+pub use complex::Complex64;
+pub use state::State;
+pub use statevector::run;

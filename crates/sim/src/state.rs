@@ -1,0 +1,196 @@
+//! Statevectors.
+//!
+//! Convention: little-endian — qubit `q` is bit `q` of the basis index.
+
+use crate::complex::Complex64;
+
+/// A pure state on `n` qubits: `2^n` amplitudes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct State {
+    n: usize,
+    amps: Vec<Complex64>,
+}
+
+impl State {
+    /// The computational basis state `|index⟩`.
+    ///
+    /// # Panics
+    /// Panics when `index >= 2^n` or `n` exceeds the simulable range.
+    pub fn basis(n: usize, index: usize) -> State {
+        assert!(n <= 26, "statevector simulator limited to 26 qubits");
+        let dim = 1usize << n;
+        assert!(index < dim, "basis index out of range");
+        let mut amps = vec![Complex64::ZERO; dim];
+        amps[index] = Complex64::ONE;
+        State { n, amps }
+    }
+
+    /// The all-zeros state `|0…0⟩`.
+    pub fn zero(n: usize) -> State {
+        State::basis(n, 0)
+    }
+
+    /// A deterministic pseudo-random normalized state (for equivalence
+    /// testing). Uses a simple splitmix64 stream — no external RNG needed.
+    pub fn random(n: usize, seed: u64) -> State {
+        assert!(n <= 26, "statevector simulator limited to 26 qubits");
+        let dim = 1usize << n;
+        let mut s = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut next = move || {
+            s = s.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let mut amps = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            // Map two u64 draws to (-1, 1) each.
+            let re = (next() >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0;
+            let im = (next() >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0;
+            amps.push(Complex64::new(re, im));
+        }
+        let mut st = State { n, amps };
+        st.normalize();
+        st
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Amplitude slice (length `2^n`).
+    #[inline]
+    pub fn amplitudes(&self) -> &[Complex64] {
+        &self.amps
+    }
+
+    /// Mutable amplitude slice.
+    #[inline]
+    pub fn amplitudes_mut(&mut self) -> &mut [Complex64] {
+        &mut self.amps
+    }
+
+    /// `Σ|a|²`.
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Rescale to unit norm.
+    pub fn normalize(&mut self) {
+        let norm = self.norm_sqr().sqrt();
+        assert!(norm > 0.0, "cannot normalize the zero vector");
+        let inv = 1.0 / norm;
+        for a in &mut self.amps {
+            *a = a.scale(inv);
+        }
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    pub fn inner(&self, other: &State) -> Complex64 {
+        assert_eq!(self.n, other.n, "qubit count mismatch");
+        let mut acc = Complex64::ZERO;
+        for (a, b) in self.amps.iter().zip(&other.amps) {
+            acc += a.conj() * *b;
+        }
+        acc
+    }
+
+    /// Fidelity `|⟨self|other⟩|²` — global-phase-insensitive overlap.
+    pub fn fidelity(&self, other: &State) -> f64 {
+        self.inner(other).norm_sqr()
+    }
+
+    /// Probability of measuring qubit `q` as 1.
+    pub fn prob_one(&self, q: usize) -> f64 {
+        assert!(q < self.n);
+        let mask = 1usize << q;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(b, _)| b & mask != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Relabel qubits: qubit `q` of `self` becomes qubit `map[q]` of the
+    /// result (`map` must be a permutation of `0..n`).
+    pub fn relabel_qubits(&self, map: &[usize]) -> State {
+        assert_eq!(map.len(), self.n, "map must cover all qubits");
+        let dim = self.amps.len();
+        let mut out = vec![Complex64::ZERO; dim];
+        for (b, &amp) in self.amps.iter().enumerate() {
+            let mut bp = 0usize;
+            for (q, &target) in map.iter().enumerate() {
+                if b & (1 << q) != 0 {
+                    bp |= 1 << target;
+                }
+            }
+            out[bp] = amp;
+        }
+        State { n: self.n, amps: out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_states_are_orthonormal() {
+        let a = State::basis(2, 1);
+        let b = State::basis(2, 2);
+        assert_eq!(a.norm_sqr(), 1.0);
+        assert_eq!(a.fidelity(&b), 0.0);
+        assert_eq!(a.fidelity(&a), 1.0);
+    }
+
+    #[test]
+    fn random_state_is_normalized_and_seeded() {
+        let a = State::random(5, 7);
+        let b = State::random(5, 7);
+        let c = State::random(5, 8);
+        assert!((a.norm_sqr() - 1.0).abs() < 1e-12);
+        assert_eq!(a, b);
+        assert!(a.fidelity(&c) < 0.99);
+    }
+
+    #[test]
+    fn prob_one_on_basis() {
+        let s = State::basis(3, 0b101);
+        assert_eq!(s.prob_one(0), 1.0);
+        assert_eq!(s.prob_one(1), 0.0);
+        assert_eq!(s.prob_one(2), 1.0);
+    }
+
+    #[test]
+    fn relabel_moves_bits() {
+        // |01⟩ (qubit 0 = 1) relabeled by swap becomes |10⟩ (qubit 1 = 1).
+        let s = State::basis(2, 0b01);
+        let r = s.relabel_qubits(&[1, 0]);
+        assert_eq!(r, State::basis(2, 0b10));
+    }
+
+    #[test]
+    fn relabel_identity_is_noop() {
+        let s = State::random(4, 3);
+        assert_eq!(s.relabel_qubits(&[0, 1, 2, 3]), s);
+    }
+
+    #[test]
+    fn relabel_composition() {
+        let s = State::random(3, 1);
+        let p = [2usize, 0, 1];
+        let q = [1usize, 2, 0]; // inverse of p
+        let r = s.relabel_qubits(&p).relabel_qubits(&q);
+        assert!(s.fidelity(&r) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn basis_index_checked() {
+        let _ = State::basis(2, 4);
+    }
+}

@@ -1,0 +1,259 @@
+//! Full statevector simulation of the gate set.
+
+use crate::complex::Complex64;
+use crate::state::State;
+use qroute_circuit::{Circuit, Gate};
+
+/// Apply a single 2×2 unitary `[[u00, u01], [u10, u11]]` to qubit `q`.
+fn apply_1q(state: &mut State, q: usize, u: [[Complex64; 2]; 2]) {
+    let mask = 1usize << q;
+    let amps = state.amplitudes_mut();
+    let dim = amps.len();
+    let mut b0 = 0usize;
+    while b0 < dim {
+        if b0 & mask == 0 {
+            let b1 = b0 | mask;
+            let a0 = amps[b0];
+            let a1 = amps[b1];
+            amps[b0] = u[0][0] * a0 + u[0][1] * a1;
+            amps[b1] = u[1][0] * a0 + u[1][1] * a1;
+        }
+        b0 += 1;
+    }
+}
+
+/// Apply one gate in place.
+pub fn apply_gate(state: &mut State, gate: &Gate) {
+    use std::f64::consts::FRAC_1_SQRT_2;
+    let o = Complex64::ZERO;
+    let l = Complex64::ONE;
+    match *gate {
+        Gate::H(q) => {
+            let h = Complex64::new(FRAC_1_SQRT_2, 0.0);
+            apply_1q(state, q, [[h, h], [h, -h]]);
+        }
+        Gate::X(q) => apply_1q(state, q, [[o, l], [l, o]]),
+        Gate::Y(q) => apply_1q(state, q, [[o, -Complex64::I], [Complex64::I, o]]),
+        Gate::Z(q) => apply_1q(state, q, [[l, o], [o, -l]]),
+        Gate::S(q) => apply_1q(state, q, [[l, o], [o, Complex64::I]]),
+        Gate::Sdg(q) => apply_1q(state, q, [[l, o], [o, -Complex64::I]]),
+        Gate::T(q) => {
+            apply_1q(state, q, [[l, o], [o, Complex64::expi(std::f64::consts::FRAC_PI_4)]])
+        }
+        Gate::Tdg(q) => {
+            apply_1q(state, q, [[l, o], [o, Complex64::expi(-std::f64::consts::FRAC_PI_4)]])
+        }
+        Gate::Rx(q, a) => {
+            let c = Complex64::new((a / 2.0).cos(), 0.0);
+            let s = Complex64::new(0.0, -(a / 2.0).sin());
+            apply_1q(state, q, [[c, s], [s, c]]);
+        }
+        Gate::Ry(q, a) => {
+            let c = Complex64::new((a / 2.0).cos(), 0.0);
+            let s = Complex64::new((a / 2.0).sin(), 0.0);
+            apply_1q(state, q, [[c, -s], [s, c]]);
+        }
+        Gate::Rz(q, a) => {
+            apply_1q(
+                state,
+                q,
+                [[Complex64::expi(-a / 2.0), o], [o, Complex64::expi(a / 2.0)]],
+            );
+        }
+        Gate::Cx(c, t) => {
+            let (cm, tm) = (1usize << c, 1usize << t);
+            let amps = state.amplitudes_mut();
+            for b in 0..amps.len() {
+                if b & cm != 0 && b & tm == 0 {
+                    amps.swap(b, b | tm);
+                }
+            }
+        }
+        Gate::Cz(a, b) => {
+            let m = (1usize << a) | (1usize << b);
+            let amps = state.amplitudes_mut();
+            for (idx, amp) in amps.iter_mut().enumerate() {
+                if idx & m == m {
+                    *amp = -*amp;
+                }
+            }
+        }
+        Gate::Swap(a, b) => {
+            let (am, bm) = (1usize << a, 1usize << b);
+            let amps = state.amplitudes_mut();
+            for idx in 0..amps.len() {
+                if idx & am != 0 && idx & bm == 0 {
+                    amps.swap(idx, (idx ^ am) | bm);
+                }
+            }
+        }
+    }
+}
+
+/// Run a whole circuit on an input state (the input is consumed and the
+/// output returned).
+pub fn run(circuit: &Circuit, mut state: State) -> State {
+    assert_eq!(
+        circuit.num_qubits(),
+        state.num_qubits(),
+        "circuit and state qubit counts differ"
+    );
+    for g in circuit.gates() {
+        apply_gate(&mut state, g);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qroute_circuit::builders;
+
+    fn run_on_zero(c: &Circuit) -> State {
+        run(c, State::zero(c.num_qubits()))
+    }
+
+    #[test]
+    fn x_flips() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::X(1));
+        assert_eq!(run_on_zero(&c).fidelity(&State::basis(2, 0b10)), 1.0);
+    }
+
+    #[test]
+    fn h_squared_is_identity() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::H(0)).push(Gate::H(0));
+        let out = run(&c, State::random(1, 5));
+        assert!(out.fidelity(&State::random(1, 5)) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn bell_state() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H(0)).push(Gate::Cx(0, 1));
+        let out = run_on_zero(&c);
+        let amps = out.amplitudes();
+        assert!((amps[0b00].norm_sqr() - 0.5).abs() < 1e-12);
+        assert!((amps[0b11].norm_sqr() - 0.5).abs() < 1e-12);
+        assert!(amps[0b01].norm() < 1e-12);
+        assert!(amps[0b10].norm() < 1e-12);
+    }
+
+    #[test]
+    fn swap_gate_exchanges_qubits() {
+        let mut prep = Circuit::new(2);
+        prep.push(Gate::X(0));
+        let mut c = prep.clone();
+        c.push(Gate::Swap(0, 1));
+        let out = run_on_zero(&c);
+        assert!(out.fidelity(&State::basis(2, 0b10)) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn swap_equals_three_cx() {
+        let mut a = Circuit::new(3);
+        a.push(Gate::Swap(0, 2));
+        let b = a.decompose_swaps();
+        for seed in 0..4 {
+            let input = State::random(3, seed);
+            let oa = run(&a, input.clone());
+            let ob = run(&b, input);
+            assert!(oa.fidelity(&ob) > 1.0 - 1e-10, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cz_is_symmetric_and_h_conjugate_of_cx() {
+        // CZ = (I ⊗ H) CX (I ⊗ H).
+        let mut a = Circuit::new(2);
+        a.push(Gate::Cz(0, 1));
+        let mut b = Circuit::new(2);
+        b.push(Gate::H(1)).push(Gate::Cx(0, 1)).push(Gate::H(1));
+        for seed in 0..4 {
+            let input = State::random(2, seed);
+            let oa = run(&a, input.clone());
+            let ob = run(&b, input);
+            assert!(oa.fidelity(&ob) > 1.0 - 1e-10);
+        }
+        // Symmetry.
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cz(1, 0));
+        for seed in 0..4 {
+            let input = State::random(2, seed);
+            assert!(run(&a, input.clone()).fidelity(&run(&c, input)) > 1.0 - 1e-10);
+        }
+    }
+
+    #[test]
+    fn s_is_t_squared() {
+        let mut a = Circuit::new(1);
+        a.push(Gate::S(0));
+        let mut b = Circuit::new(1);
+        b.push(Gate::T(0)).push(Gate::T(0));
+        for seed in 0..3 {
+            let input = State::random(1, seed);
+            assert!(run(&a, input.clone()).fidelity(&run(&b, input)) > 1.0 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn inverses_cancel() {
+        let c = builders::random_two_qubit_circuit(4, 20, 9);
+        let mut full = c.clone();
+        full.append(&c.inverse());
+        let input = State::random(4, 11);
+        let out = run(&full, input.clone());
+        assert!(out.fidelity(&input) > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn rotations_compose_additively() {
+        let mut a = Circuit::new(1);
+        a.push(Gate::Rz(0, 0.3)).push(Gate::Rz(0, 0.4));
+        let mut b = Circuit::new(1);
+        b.push(Gate::Rz(0, 0.7));
+        let input = State::random(1, 2);
+        assert!(run(&a, input.clone()).fidelity(&run(&b, input)) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn ghz_state_amplitudes() {
+        let out = run_on_zero(&builders::ghz(3));
+        let amps = out.amplitudes();
+        assert!((amps[0].norm_sqr() - 0.5).abs() < 1e-12);
+        assert!((amps[7].norm_sqr() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qft_matches_dft_on_basis_states() {
+        // QFT|k⟩ = (1/√N) Σ_j e^{2πi jk / N} |j⟩ up to global phase; our
+        // builder uses the little-endian convention with a final reversal,
+        // so the match is exact in magnitude and relative phase.
+        let n = 3;
+        let dim = 1usize << n;
+        let c = builders::qft(n);
+        for k in 0..dim {
+            let out = run(&c, State::basis(n, k));
+            let mut expected = State::zero(n);
+            {
+                let amps = expected.amplitudes_mut();
+                let scale = 1.0 / (dim as f64).sqrt();
+                for (j, a) in amps.iter_mut().enumerate() {
+                    let angle =
+                        2.0 * std::f64::consts::PI * (j as f64) * (k as f64) / dim as f64;
+                    *a = Complex64::expi(angle).scale(scale);
+                }
+            }
+            let f = out.fidelity(&expected);
+            assert!(f > 1.0 - 1e-9, "k={k}: fidelity {f}");
+        }
+    }
+
+    #[test]
+    fn trotter_preserves_norm() {
+        let c = builders::trotter_grid_step(2, 3, 0.37, 2);
+        let out = run(&c, State::random(6, 4));
+        assert!((out.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,89 @@
+//! The cycle graph `C_n` — the second 1-D factor we support for Cartesian
+//! products (cylinders `P □ C` and tori `C □ C` are "grid-like"
+//! architectures in the sense of §IV of the paper).
+
+use crate::graph::Graph;
+
+/// The cycle graph on `n >= 3` vertices `0 — 1 — … — n-1 — 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cycle {
+    n: usize,
+}
+
+impl Cycle {
+    /// Create `C_n`, `n >= 3`.
+    ///
+    /// # Panics
+    /// Panics when `n < 3` (smaller "cycles" would be multigraphs).
+    pub fn new(n: usize) -> Cycle {
+        assert!(n >= 3, "cycle must have at least three vertices");
+        Cycle { n }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Cycles are never empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Graph distance `min(|u-v|, n - |u-v|)`.
+    #[inline]
+    pub fn dist(&self, u: usize, v: usize) -> usize {
+        let d = u.abs_diff(v);
+        d.min(self.n - d)
+    }
+
+    /// Materialize as a generic [`Graph`].
+    pub fn to_graph(&self) -> Graph {
+        let edges = (0..self.n).map(|i| (i, (i + 1) % self.n));
+        Graph::from_edges(self.n, edges).expect("cycle edges are always valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_structure() {
+        let c = Cycle::new(6);
+        let g = c.to_graph();
+        assert_eq!(g.num_edges(), 6);
+        for v in 0..6 {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn wraparound_distance() {
+        let c = Cycle::new(8);
+        assert_eq!(c.dist(0, 7), 1);
+        assert_eq!(c.dist(0, 4), 4);
+        assert_eq!(c.dist(1, 6), 3);
+    }
+
+    #[test]
+    fn distance_matches_bfs() {
+        let c = Cycle::new(7);
+        let g = c.to_graph();
+        let apsp = crate::dist::all_pairs(&g);
+        for u in 0..7 {
+            for v in 0..7 {
+                assert_eq!(c.dist(u, v), apsp[u][v] as usize);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_cycle_panics() {
+        let _ = Cycle::new(2);
+    }
+}

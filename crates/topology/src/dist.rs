@@ -1,0 +1,145 @@
+//! Shortest-path distances via breadth-first search.
+//!
+//! The approximate token swapping baseline needs all-pairs shortest paths on
+//! the coupling graph; locality metrics need single-source distances. Both
+//! are plain BFS since coupling graphs are unweighted.
+
+use crate::graph::Graph;
+
+/// Distance value for unreachable vertices.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS distances from `src`. Unreachable vertices get
+/// [`UNREACHABLE`].
+pub fn bfs(graph: &Graph, src: usize) -> Vec<u32> {
+    let n = graph.len();
+    assert!(src < n, "BFS source out of range");
+    let mut dist = vec![UNREACHABLE; n];
+    let mut queue = std::collections::VecDeque::with_capacity(n);
+    dist[src] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v];
+        for w in graph.neighbors(v) {
+            if dist[w] == UNREACHABLE {
+                dist[w] = dv + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// All-pairs shortest path matrix (`n` BFS runs, O(n·(n+m))).
+pub fn all_pairs(graph: &Graph) -> Vec<Vec<u32>> {
+    (0..graph.len()).map(|v| bfs(graph, v)).collect()
+}
+
+/// One arbitrary shortest path from `src` to `dst` (inclusive of both), or
+/// `None` if unreachable. Ties broken toward lower vertex ids, making the
+/// output deterministic.
+pub fn shortest_path(graph: &Graph, src: usize, dst: usize) -> Option<Vec<usize>> {
+    let dist = bfs(graph, dst);
+    if dist[src] == UNREACHABLE {
+        return None;
+    }
+    let mut path = Vec::with_capacity(dist[src] as usize + 1);
+    let mut cur = src;
+    path.push(cur);
+    while cur != dst {
+        let next = graph
+            .neighbors(cur)
+            .find(|&w| dist[w] + 1 == dist[cur])
+            .expect("BFS predecessor must exist on a shortest path");
+        path.push(next);
+        cur = next;
+    }
+    Some(path)
+}
+
+/// Eccentricity-based graph diameter (max finite pairwise distance).
+/// Returns 0 for graphs with fewer than two vertices.
+pub fn diameter(graph: &Graph) -> usize {
+    let mut best = 0u32;
+    for v in 0..graph.len() {
+        for d in bfs(graph, v) {
+            if d != UNREACHABLE && d > best {
+                best = d;
+            }
+        }
+    }
+    best as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+    use crate::path::Path;
+
+    #[test]
+    fn bfs_on_path() {
+        let g = Path::new(5).to_graph();
+        assert_eq!(bfs(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_disconnected() {
+        let g = Graph::from_edges(4, [(0, 1)]).unwrap();
+        let d = bfs(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+    }
+
+    #[test]
+    fn all_pairs_symmetric() {
+        let g = Grid::new(3, 3).to_graph();
+        let apsp = all_pairs(&g);
+        for u in 0..9 {
+            for v in 0..9 {
+                assert_eq!(apsp[u][v], apsp[v][u]);
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_on_grid() {
+        let g = Grid::new(3, 4).to_graph();
+        let apsp = all_pairs(&g);
+        let n = g.len();
+        for u in 0..n {
+            for v in 0..n {
+                for w in 0..n {
+                    assert!(apsp[u][w] <= apsp[u][v] + apsp[v][w]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_length() {
+        let grid = Grid::new(4, 4);
+        let g = grid.to_graph();
+        let p = shortest_path(&g, grid.index(0, 0), grid.index(3, 2)).unwrap();
+        assert_eq!(p.first(), Some(&grid.index(0, 0)));
+        assert_eq!(p.last(), Some(&grid.index(3, 2)));
+        assert_eq!(p.len(), grid.dist(grid.index(0, 0), grid.index(3, 2)) + 1);
+        for pair in p.windows(2) {
+            assert!(g.has_edge(pair[0], pair[1]));
+        }
+    }
+
+    #[test]
+    fn shortest_path_unreachable() {
+        let g = Graph::from_edges(3, [(0, 1)]).unwrap();
+        assert!(shortest_path(&g, 0, 2).is_none());
+        assert_eq!(shortest_path(&g, 0, 0).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn grid_diameter() {
+        let g = Grid::new(4, 5).to_graph();
+        assert_eq!(diameter(&g), 3 + 4);
+    }
+}

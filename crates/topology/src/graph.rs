@@ -1,0 +1,343 @@
+//! Compact undirected simple graph with CSR adjacency.
+//!
+//! Vertices are dense `usize` ids. The representation is immutable after
+//! construction: build with [`GraphBuilder`] or [`Graph::from_edges`], then
+//! query neighbors in O(degree) with zero allocation.
+
+use std::fmt;
+
+/// An undirected edge between two vertices, stored in canonical order
+/// (`u <= v` never occurs for self-loops since loops are rejected;
+/// canonically `u < v`).
+pub type Edge = (usize, usize);
+
+/// Errors raised while constructing a [`Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint was `>= n`.
+    VertexOutOfRange {
+        /// The offending endpoint.
+        vertex: usize,
+        /// Number of vertices in the graph under construction.
+        n: usize,
+    },
+    /// A self-loop `(v, v)` was supplied.
+    SelfLoop(usize),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self-loop at vertex {v} is not allowed"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A finite undirected simple graph in compressed sparse row form.
+///
+/// Construction deduplicates parallel edges and rejects self-loops, so the
+/// result is always a *simple* graph — the correct model for a coupling
+/// graph where a pair of qubits is either coupled or not.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v + 1]` indexes `neighbors` for vertex `v`.
+    offsets: Vec<u32>,
+    /// Concatenated sorted adjacency lists.
+    neighbors: Vec<u32>,
+    /// Canonical (u < v) deduplicated edge list, sorted.
+    edges: Vec<Edge>,
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.len())
+            .field("m", &self.num_edges())
+            .finish()
+    }
+}
+
+/// Incremental builder for [`Graph`].
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<Edge>,
+}
+
+impl GraphBuilder {
+    /// Start building a graph with `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Add an undirected edge. Order of endpoints is irrelevant; duplicates
+    /// are removed at [`GraphBuilder::build`] time.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> &mut Self {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Finish construction, validating all endpoints.
+    pub fn build(&self) -> Result<Graph, GraphError> {
+        Graph::from_edges(self.n, self.edges.iter().copied())
+    }
+}
+
+impl Graph {
+    /// Build a graph on `n` vertices from an iterator of undirected edges.
+    ///
+    /// Self-loops are rejected; parallel edges are collapsed.
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Graph, GraphError>
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let mut canon: Vec<Edge> = Vec::new();
+        for (u, v) in edges {
+            if u >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: u, n });
+            }
+            if v >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: v, n });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop(u));
+            }
+            canon.push(if u < v { (u, v) } else { (v, u) });
+        }
+        canon.sort_unstable();
+        canon.dedup();
+
+        let mut degree = vec![0u32; n];
+        for &(u, v) in &canon {
+            degree[u] += 1;
+            degree[v] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut neighbors = vec![0u32; 2 * canon.len()];
+        for &(u, v) in &canon {
+            neighbors[cursor[u] as usize] = v as u32;
+            cursor[u] += 1;
+            neighbors[cursor[v] as usize] = u as u32;
+            cursor[v] += 1;
+        }
+        // Adjacency lists come out sorted because the canonical edge list is
+        // sorted by (min, max); entries for a fixed u from the first loop are
+        // ascending, but entries written as the `v` endpoint interleave, so
+        // sort each list to make `neighbors()` output deterministic.
+        for v in 0..n {
+            let lo = offsets[v] as usize;
+            let hi = offsets[v + 1] as usize;
+            neighbors[lo..hi].sort_unstable();
+        }
+        Ok(Graph { offsets, neighbors, edges: canon })
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// `true` when the graph has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Sorted neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        let lo = self.offsets[v] as usize;
+        let hi = self.offsets[v + 1] as usize;
+        self.neighbors[lo..hi].iter().map(|&x| x as usize)
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// Canonical sorted edge list (each edge once, `u < v`).
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// `true` iff `u` and `v` are adjacent. O(log degree).
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        if u >= self.len() || v >= self.len() || u == v {
+            return false;
+        }
+        let lo = self.offsets[u] as usize;
+        let hi = self.offsets[u + 1] as usize;
+        self.neighbors[lo..hi].binary_search(&(v as u32)).is_ok()
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.len()).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// `true` iff the edge set `layer` is a matching: no two edges share an
+    /// endpoint and every edge exists in the graph.
+    pub fn is_matching(&self, layer: &[Edge]) -> bool {
+        let mut used = vec![false; self.len()];
+        for &(u, v) in layer {
+            if !self.has_edge(u, v) {
+                return false;
+            }
+            if used[u] || used[v] {
+                return false;
+            }
+            used[u] = true;
+            used[v] = true;
+        }
+        true
+    }
+
+    /// `true` iff the graph is connected (vacuously true for `n <= 1`).
+    pub fn is_connected(&self) -> bool {
+        let n = self.len();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = stack.pop() {
+            for w in self.neighbors(v) {
+                if !seen[w] {
+                    seen[w] = true;
+                    count += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// A graph with `n` vertices and no edges.
+    pub fn edgeless(n: usize) -> Graph {
+        Graph::from_edges(n, std::iter::empty()).expect("edgeless graph is always valid")
+    }
+
+    /// The complete graph `K_n`.
+    pub fn complete(n: usize) -> Graph {
+        let edges = (0..n).flat_map(|u| (u + 1..n).map(move |v| (u, v)));
+        Graph::from_edges(n, edges).expect("complete graph is always valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_triangle() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.num_edges(), 3);
+        for v in 0..3 {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.has_edge(0, 2));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn deduplicates_parallel_edges() {
+        let g = Graph::from_edges(2, [(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        assert_eq!(Graph::from_edges(2, [(1, 1)]), Err(GraphError::SelfLoop(1)));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert_eq!(
+            Graph::from_edges(2, [(0, 5)]),
+            Err(GraphError::VertexOutOfRange { vertex: 5, n: 2 })
+        );
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = Graph::from_edges(5, [(2, 4), (2, 0), (2, 3), (2, 1)]).unwrap();
+        let nb: Vec<usize> = g.neighbors(2).collect();
+        assert_eq!(nb, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn matching_checks() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!(g.is_matching(&[(0, 1), (2, 3)]));
+        assert!(!g.is_matching(&[(0, 1), (1, 2)])); // shares vertex 1
+        assert!(!g.is_matching(&[(0, 2)])); // not an edge
+        assert!(g.is_matching(&[]));
+    }
+
+    #[test]
+    fn connectivity() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(!g.is_connected());
+        assert!(Graph::edgeless(0).is_connected());
+        assert!(Graph::edgeless(1).is_connected());
+        assert!(!Graph::edgeless(2).is_connected());
+        assert!(Graph::complete(5).is_connected());
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).add_edge(1, 2);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let g = Graph::complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::edgeless(0);
+        assert!(g.is_empty());
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn has_edge_bounds() {
+        let g = Graph::complete(3);
+        assert!(!g.has_edge(0, 0));
+        assert!(!g.has_edge(0, 7));
+        assert!(!g.has_edge(7, 0));
+    }
+}

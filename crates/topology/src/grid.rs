@@ -1,0 +1,251 @@
+//! The `m × n` grid graph — the paper's target architecture.
+//!
+//! Vertices are identified with coordinate pairs `(row, col)` where
+//! `row ∈ 0..m` and `col ∈ 0..n` (the paper uses 1-based `[m] × [n]`; we use
+//! 0-based throughout). The linear vertex id of `(i, j)` is `i * n + j`,
+//! i.e. row-major order.
+
+use crate::graph::Graph;
+
+/// An `m × n` grid graph with row-major vertex ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Grid {
+    rows: usize,
+    cols: usize,
+}
+
+impl Grid {
+    /// Create an `m × n` grid. Both dimensions must be at least 1.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Grid {
+        assert!(rows >= 1 && cols >= 1, "grid dimensions must be positive");
+        Grid { rows, cols }
+    }
+
+    /// Number of rows `m`.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns `n`.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of vertices `m * n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// `true` iff the grid has exactly one vertex. Grids are never empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Linear id of coordinate `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics in debug builds when the coordinate is out of range.
+    #[inline]
+    pub fn index(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.rows && col < self.cols);
+        row * self.cols + col
+    }
+
+    /// Coordinate `(row, col)` of linear id `v`.
+    #[inline]
+    pub fn coords(&self, v: usize) -> (usize, usize) {
+        debug_assert!(v < self.len());
+        (v / self.cols, v % self.cols)
+    }
+
+    /// L1 (Manhattan) distance between two vertices — this *is* the graph
+    /// distance on a grid.
+    #[inline]
+    pub fn dist(&self, u: usize, v: usize) -> usize {
+        let (ur, uc) = self.coords(u);
+        let (vr, vc) = self.coords(v);
+        ur.abs_diff(vr) + uc.abs_diff(vc)
+    }
+
+    /// The transposed grid (`n × m`). Vertex `(i, j)` of `self` corresponds
+    /// to vertex `(j, i)` of the transpose; see [`Grid::transpose_vertex`].
+    #[inline]
+    pub fn transpose(&self) -> Grid {
+        Grid { rows: self.cols, cols: self.rows }
+    }
+
+    /// Map a vertex id of `self` to the corresponding vertex id of
+    /// [`Grid::transpose`] under the automorphism `(i, j) → (j, i)`.
+    #[inline]
+    pub fn transpose_vertex(&self, v: usize) -> usize {
+        let (i, j) = self.coords(v);
+        self.transpose().index(j, i)
+    }
+
+    /// Materialize the grid as a generic [`Graph`].
+    pub fn to_graph(&self) -> Graph {
+        let mut edges = Vec::with_capacity(2 * self.len());
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let v = self.index(i, j);
+                if j + 1 < self.cols {
+                    edges.push((v, self.index(i, j + 1)));
+                }
+                if i + 1 < self.rows {
+                    edges.push((v, self.index(i + 1, j)));
+                }
+            }
+        }
+        Graph::from_edges(self.len(), edges).expect("grid edges are always valid")
+    }
+
+    /// The vertex ids of column `j`, top to bottom (a path of length `m`).
+    pub fn column(&self, j: usize) -> Vec<usize> {
+        assert!(j < self.cols);
+        (0..self.rows).map(|i| self.index(i, j)).collect()
+    }
+
+    /// The vertex ids of row `i`, left to right (a path of length `n`).
+    pub fn row(&self, i: usize) -> Vec<usize> {
+        assert!(i < self.rows);
+        (0..self.cols).map(|j| self.index(i, j)).collect()
+    }
+
+    /// Iterate over all vertex ids in row-major order.
+    pub fn vertices(&self) -> impl Iterator<Item = usize> {
+        0..self.len()
+    }
+
+    /// Neighbors of `v` on the grid (2–4 of them), without materializing a
+    /// [`Graph`].
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        let (i, j) = self.coords(v);
+        let mut out = [usize::MAX; 4];
+        let mut k = 0;
+        if i > 0 {
+            out[k] = self.index(i - 1, j);
+            k += 1;
+        }
+        if j > 0 {
+            out[k] = self.index(i, j - 1);
+            k += 1;
+        }
+        if j + 1 < self.cols {
+            out[k] = self.index(i, j + 1);
+            k += 1;
+        }
+        if i + 1 < self.rows {
+            out[k] = self.index(i + 1, j);
+            k += 1;
+        }
+        out.into_iter().take(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_coords_round_trip() {
+        let g = Grid::new(3, 5);
+        for v in 0..g.len() {
+            let (i, j) = g.coords(v);
+            assert_eq!(g.index(i, j), v);
+        }
+    }
+
+    #[test]
+    fn grid_graph_edge_count() {
+        // m*(n-1) horizontal + (m-1)*n vertical edges.
+        let g = Grid::new(4, 7);
+        let graph = g.to_graph();
+        assert_eq!(graph.num_edges(), 4 * 6 + 3 * 7);
+        assert!(graph.is_connected());
+    }
+
+    #[test]
+    fn one_by_one_grid() {
+        let g = Grid::new(1, 1);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.to_graph().num_edges(), 0);
+        assert_eq!(g.neighbors(0).count(), 0);
+    }
+
+    #[test]
+    fn single_row_is_path() {
+        let g = Grid::new(1, 6);
+        let graph = g.to_graph();
+        assert_eq!(graph.num_edges(), 5);
+        assert_eq!(graph.degree(0), 1);
+        assert_eq!(graph.degree(3), 2);
+    }
+
+    #[test]
+    fn l1_distance_matches_bfs() {
+        let g = Grid::new(4, 5);
+        let graph = g.to_graph();
+        let apsp = crate::dist::all_pairs(&graph);
+        for u in 0..g.len() {
+            for v in 0..g.len() {
+                assert_eq!(g.dist(u, v), apsp[u][v] as usize, "u={u} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_preserves_adjacency() {
+        let g = Grid::new(3, 4);
+        let gt = g.transpose();
+        let graph = g.to_graph();
+        let tgraph = gt.to_graph();
+        for &(u, v) in graph.edges() {
+            assert!(tgraph.has_edge(g.transpose_vertex(u), g.transpose_vertex(v)));
+        }
+        assert_eq!(gt.rows(), 4);
+        assert_eq!(gt.cols(), 3);
+    }
+
+    #[test]
+    fn transpose_vertex_involution() {
+        let g = Grid::new(3, 4);
+        let gt = g.transpose();
+        for v in 0..g.len() {
+            assert_eq!(gt.transpose_vertex(g.transpose_vertex(v)), v);
+        }
+    }
+
+    #[test]
+    fn rows_and_columns() {
+        let g = Grid::new(2, 3);
+        assert_eq!(g.row(0), vec![0, 1, 2]);
+        assert_eq!(g.row(1), vec![3, 4, 5]);
+        assert_eq!(g.column(0), vec![0, 3]);
+        assert_eq!(g.column(2), vec![2, 5]);
+    }
+
+    #[test]
+    fn inline_neighbors_match_graph() {
+        let g = Grid::new(5, 4);
+        let graph = g.to_graph();
+        for v in 0..g.len() {
+            let mut a: Vec<usize> = g.neighbors(v).collect();
+            let b: Vec<usize> = graph.neighbors(v).collect();
+            a.sort_unstable();
+            assert_eq!(a, b, "v={v}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dimension_panics() {
+        let _ = Grid::new(0, 3);
+    }
+}

@@ -1,0 +1,211 @@
+//! "Grid-like" architectures beyond the perfect grid.
+//!
+//! The paper motivates the grid by noting that most planar superconducting
+//! architectures are *close to* a grid. This module provides two such
+//! families for stress-testing routers:
+//!
+//! * [`grid_with_defects`] — a grid with a set of vertices removed (dead
+//!   qubits), as happens on real devices;
+//! * [`brick_wall`] — a degree-3 "brick wall" lattice reminiscent of IBM's
+//!   heavy-hex family: a grid where alternating vertical links are removed.
+//!
+//! These graphs are *not* Cartesian products, so the 3-phase router does not
+//! apply directly; they exercise the general-graph token-swapping baseline
+//! and the transpiler.
+
+use crate::graph::Graph;
+use crate::grid::Grid;
+
+/// An `m × n` grid with `defects` (linear vertex ids) removed.
+///
+/// Returns the surviving graph together with a mapping from new (compacted)
+/// vertex ids to the original grid ids. The graph may be disconnected if the
+/// defects cut it; callers should check [`Graph::is_connected`].
+///
+/// # Panics
+/// Panics when a defect id is out of range.
+pub fn grid_with_defects(grid: Grid, defects: &[usize]) -> (Graph, Vec<usize>) {
+    let n = grid.len();
+    let mut dead = vec![false; n];
+    for &d in defects {
+        assert!(d < n, "defect {d} out of range for grid with {n} vertices");
+        dead[d] = true;
+    }
+    let mut new_id = vec![usize::MAX; n];
+    let mut old_id = Vec::new();
+    for v in 0..n {
+        if !dead[v] {
+            new_id[v] = old_id.len();
+            old_id.push(v);
+        }
+    }
+    let mut edges = Vec::new();
+    for &(u, v) in grid.to_graph().edges() {
+        if !dead[u] && !dead[v] {
+            edges.push((new_id[u], new_id[v]));
+        }
+    }
+    let g = Graph::from_edges(old_id.len(), edges).expect("defect grid edges valid");
+    (g, old_id)
+}
+
+/// A degree-≤3 brick-wall lattice on an `m × n` vertex grid: all horizontal
+/// edges are kept, and the vertical edge below `(i, j)` is kept only when
+/// `(i + j) % 2 == 0`, producing the staggered "brick" pattern.
+///
+/// Connected for all `m, n >= 1` (every row is a path and consecutive rows
+/// share at least one rung when `n >= 1`).
+pub fn brick_wall(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 1 && cols >= 1);
+    let grid = Grid::new(rows, cols);
+    let mut edges = Vec::new();
+    for i in 0..rows {
+        for j in 0..cols {
+            let v = grid.index(i, j);
+            if j + 1 < cols {
+                edges.push((v, grid.index(i, j + 1)));
+            }
+            if i + 1 < rows && (i + j) % 2 == 0 {
+                edges.push((v, grid.index(i + 1, j)));
+            }
+        }
+    }
+    Graph::from_edges(grid.len(), edges).expect("brick wall edges valid")
+}
+
+/// An IBM-style *heavy-hex* lattice with `rows` rows of `cols` data
+/// vertices: horizontal rows are paths, and vertical "bridge" vertices
+/// connect adjacent rows at every fourth column, staggered by two per row
+/// pair (degree ≤ 3 everywhere — the defining property of heavy-hex).
+///
+/// Returns the graph; vertex ids `0..rows*cols` are the row vertices in
+/// row-major order, followed by the bridge vertices.
+pub fn heavy_hex(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 1 && cols >= 1);
+    let grid = Grid::new(rows, cols);
+    let mut edges = Vec::new();
+    for i in 0..rows {
+        for j in 0..cols.saturating_sub(1) {
+            edges.push((grid.index(i, j), grid.index(i, j + 1)));
+        }
+    }
+    let mut next = rows * cols;
+    let mut total = rows * cols;
+    for i in 0..rows.saturating_sub(1) {
+        let offset = if i % 2 == 0 { 0 } else { 2 };
+        let mut j = offset;
+        let mut connected = false;
+        while j < cols {
+            let bridge = next;
+            next += 1;
+            total += 1;
+            edges.push((grid.index(i, j), bridge));
+            edges.push((bridge, grid.index(i + 1, j)));
+            connected = true;
+            j += 4;
+        }
+        if !connected {
+            // Narrow lattices: guarantee connectivity with one bridge at
+            // column 0.
+            let bridge = next;
+            next += 1;
+            total += 1;
+            edges.push((grid.index(i, 0), bridge));
+            edges.push((bridge, grid.index(i + 1, 0)));
+        }
+    }
+    Graph::from_edges(total, edges).expect("heavy hex edges valid")
+}
+
+/// Render a graph in Graphviz DOT format (undirected), for eyeballing
+/// architectures.
+pub fn to_dot(graph: &Graph, name: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("graph {name} {{\n");
+    for v in 0..graph.len() {
+        let _ = writeln!(out, "  {v};");
+    }
+    for &(u, v) in graph.edges() {
+        let _ = writeln!(out, "  {u} -- {v};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heavy_hex_degree_and_connectivity() {
+        for (m, n) in [(2, 5), (3, 9), (4, 13), (2, 2), (3, 1)] {
+            let g = heavy_hex(m, n);
+            assert!(g.is_connected(), "heavy hex {m}x{n} disconnected");
+            assert!(g.max_degree() <= 3, "heavy hex {m}x{n} has degree > 3");
+            assert!(g.len() >= m * n);
+        }
+    }
+
+    #[test]
+    fn heavy_hex_single_row_is_path() {
+        let g = heavy_hex(1, 6);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g.num_edges(), 5);
+    }
+
+    #[test]
+    fn dot_output_structure() {
+        let g = Grid::new(2, 2).to_graph();
+        let dot = to_dot(&g, "grid");
+        assert!(dot.starts_with("graph grid {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert_eq!(dot.matches(" -- ").count(), 4);
+    }
+
+    #[test]
+    fn defect_grid_removes_vertices_and_edges() {
+        let grid = Grid::new(3, 3);
+        let center = grid.index(1, 1);
+        let (g, old) = grid_with_defects(grid, &[center]);
+        assert_eq!(g.len(), 8);
+        assert!(!old.contains(&center));
+        // The center had degree 4; removing it drops 4 edges from 12.
+        assert_eq!(g.num_edges(), 8);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn defect_grid_can_disconnect() {
+        let grid = Grid::new(1, 3);
+        let (g, _) = grid_with_defects(grid, &[1]);
+        assert_eq!(g.len(), 2);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn no_defects_is_identity() {
+        let grid = Grid::new(2, 2);
+        let (g, old) = grid_with_defects(grid, &[]);
+        assert_eq!(g.len(), 4);
+        assert_eq!(old, vec![0, 1, 2, 3]);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn duplicate_defects_are_fine() {
+        let grid = Grid::new(2, 2);
+        let (g, _) = grid_with_defects(grid, &[0, 0]);
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn brick_wall_is_connected_and_sparse() {
+        for (m, n) in [(1, 1), (2, 2), (3, 5), (5, 4), (6, 6)] {
+            let g = brick_wall(m, n);
+            assert!(g.is_connected(), "brick wall {m}x{n} disconnected");
+            assert!(g.max_degree() <= 3, "brick wall {m}x{n} has degree > 3");
+            let full = Grid::new(m, n).to_graph();
+            assert!(g.num_edges() <= full.num_edges());
+        }
+    }
+}

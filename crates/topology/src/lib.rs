@@ -1,0 +1,40 @@
+//! # qroute-topology
+//!
+//! Coupling-graph substrate for qubit routing.
+//!
+//! NISQ hardware restricts two-qubit gates to *coupled* pairs of physical
+//! qubits; the coupling relation is an undirected simple graph. This crate
+//! provides the graph types used throughout the workspace:
+//!
+//! * [`Graph`] — a compact CSR-backed undirected simple graph with dense
+//!   `usize` vertex ids (vertices are physical qubits).
+//! * [`Grid`] — the `m × n` grid graph the paper targets, with fast
+//!   coordinate arithmetic, L1 distances and transposition.
+//! * [`Path`] / [`Cycle`] — the one-dimensional factor graphs used by the
+//!   Cartesian-product extension (§IV of the paper).
+//! * [`Product`] — the Cartesian product `G1 □ G2` of two graphs
+//!   (grids, cylinders and tori are all products of paths/cycles).
+//! * [`dist`] — BFS single-source and all-pairs shortest path distances
+//!   (needed by the token-swapping baseline and by locality metrics).
+//! * [`gridlike`] — "grid-like" architectures (grids with defects, brick
+//!   walls) used to exercise routers beyond perfect grids.
+//!
+//! All vertex ids are dense `usize` indices in `0..graph.len()`, which keeps
+//! hot paths allocation- and hash-free (plain `Vec` indexing everywhere).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cycle;
+pub mod dist;
+pub mod graph;
+pub mod grid;
+pub mod gridlike;
+pub mod path;
+pub mod product;
+
+pub use cycle::Cycle;
+pub use graph::{Edge, Graph, GraphBuilder, GraphError};
+pub use grid::Grid;
+pub use path::Path;
+pub use product::Product;

@@ -1,0 +1,75 @@
+//! The path graph `P_n` — rows and columns of a grid are paths, and the
+//! odd–even transposition router operates on paths.
+
+use crate::graph::Graph;
+
+/// The path graph on `n` vertices `0 — 1 — … — n-1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Path {
+    n: usize,
+}
+
+impl Path {
+    /// Create `P_n`, `n >= 1`.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn new(n: usize) -> Path {
+        assert!(n >= 1, "path must have at least one vertex");
+        Path { n }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Paths are never empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Graph distance `|u - v|`.
+    #[inline]
+    pub fn dist(&self, u: usize, v: usize) -> usize {
+        u.abs_diff(v)
+    }
+
+    /// Materialize as a generic [`Graph`].
+    pub fn to_graph(&self) -> Graph {
+        Graph::from_edges(self.n, (0..self.n.saturating_sub(1)).map(|i| (i, i + 1)))
+            .expect("path edges are always valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_structure() {
+        let p = Path::new(5);
+        let g = p.to_graph();
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(4), 1);
+        assert_eq!(g.degree(2), 2);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn singleton_path() {
+        let p = Path::new(1);
+        assert_eq!(p.to_graph().num_edges(), 0);
+        assert_eq!(p.dist(0, 0), 0);
+    }
+
+    #[test]
+    fn distances() {
+        let p = Path::new(10);
+        assert_eq!(p.dist(2, 9), 7);
+        assert_eq!(p.dist(9, 2), 7);
+    }
+}

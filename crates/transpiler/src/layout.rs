@@ -1,0 +1,175 @@
+//! The logical ↔ physical qubit mapping.
+//!
+//! Logical qubits `0..n_logical` live on physical grid vertices. When the
+//! grid is larger than the circuit, the spare wires are *dummy* logical
+//! indices `n_logical..grid_len` so a full bijection is always maintained
+//! (the routers want total permutations; the don't-care extension of §II).
+
+use qroute_perm::Permutation;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A bijection between logical indices (including dummies) and physical
+/// vertices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    /// `phys_of[l]` = physical vertex of logical `l`.
+    phys_of: Vec<usize>,
+    /// `log_at[p]` = logical index on physical vertex `p`.
+    log_at: Vec<usize>,
+}
+
+impl Layout {
+    /// Identity layout on `n` wires.
+    pub fn identity(n: usize) -> Layout {
+        Layout { phys_of: (0..n).collect(), log_at: (0..n).collect() }
+    }
+
+    /// Seeded uniformly random layout on `n` wires.
+    pub fn random(n: usize, seed: u64) -> Layout {
+        let mut phys_of: Vec<usize> = (0..n).collect();
+        phys_of.shuffle(&mut StdRng::seed_from_u64(seed));
+        Layout::from_phys_of(phys_of)
+    }
+
+    /// Build from an explicit `logical -> physical` table.
+    ///
+    /// # Panics
+    /// Panics when the table is not a permutation.
+    pub fn from_phys_of(phys_of: Vec<usize>) -> Layout {
+        let n = phys_of.len();
+        let mut log_at = vec![usize::MAX; n];
+        for (l, &p) in phys_of.iter().enumerate() {
+            assert!(p < n, "physical vertex {p} out of range");
+            assert_eq!(log_at[p], usize::MAX, "physical vertex {p} claimed twice");
+            log_at[p] = l;
+        }
+        Layout { phys_of, log_at }
+    }
+
+    /// Number of wires.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.phys_of.len()
+    }
+
+    /// `true` when the layout covers zero wires.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.phys_of.is_empty()
+    }
+
+    /// Physical vertex of logical `l`.
+    #[inline]
+    pub fn phys_of(&self, l: usize) -> usize {
+        self.phys_of[l]
+    }
+
+    /// Logical index on physical vertex `p`.
+    #[inline]
+    pub fn log_at(&self, p: usize) -> usize {
+        self.log_at[p]
+    }
+
+    /// Apply a physical SWAP between vertices `a` and `b`.
+    pub fn apply_swap(&mut self, a: usize, b: usize) {
+        let (la, lb) = (self.log_at[a], self.log_at[b]);
+        self.log_at.swap(a, b);
+        self.phys_of[la] = b;
+        self.phys_of[lb] = a;
+    }
+
+    /// The `logical -> physical` table.
+    pub fn as_phys_of(&self) -> &[usize] {
+        &self.phys_of
+    }
+
+    /// View as a [`Permutation`] `l ↦ phys_of(l)`.
+    pub fn to_permutation(&self) -> Permutation {
+        Permutation::from_vec_unchecked(self.phys_of.clone())
+    }
+}
+
+/// Initial-layout strategies for the transpiler.
+#[derive(Debug, Clone)]
+pub enum InitialLayout {
+    /// Logical `l` starts on physical `l` (row-major on the grid).
+    Identity,
+    /// Seeded random placement.
+    Random(u64),
+    /// Explicit `logical -> physical` table (length = grid size).
+    Custom(Vec<usize>),
+}
+
+impl InitialLayout {
+    /// Materialize into a [`Layout`] on `n` wires.
+    pub fn build(&self, n: usize) -> Layout {
+        match self {
+            InitialLayout::Identity => Layout::identity(n),
+            InitialLayout::Random(seed) => Layout::random(n, *seed),
+            InitialLayout::Custom(table) => {
+                assert_eq!(table.len(), n, "custom layout must cover the whole grid");
+                Layout::from_phys_of(table.clone())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_round_trip() {
+        let l = Layout::identity(5);
+        for i in 0..5 {
+            assert_eq!(l.phys_of(i), i);
+            assert_eq!(l.log_at(i), i);
+        }
+    }
+
+    #[test]
+    fn swap_updates_both_views() {
+        let mut l = Layout::identity(4);
+        l.apply_swap(0, 3);
+        assert_eq!(l.phys_of(0), 3);
+        assert_eq!(l.phys_of(3), 0);
+        assert_eq!(l.log_at(0), 3);
+        assert_eq!(l.log_at(3), 0);
+        l.apply_swap(0, 3);
+        assert_eq!(l, Layout::identity(4));
+    }
+
+    #[test]
+    fn random_is_seeded_bijection() {
+        let a = Layout::random(8, 3);
+        let b = Layout::random(8, 3);
+        assert_eq!(a, b);
+        for p in 0..8 {
+            assert_eq!(a.phys_of(a.log_at(p)), p);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "claimed twice")]
+    fn from_phys_of_validates() {
+        let _ = Layout::from_phys_of(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn strategies_build() {
+        assert_eq!(InitialLayout::Identity.build(3), Layout::identity(3));
+        let c = InitialLayout::Custom(vec![2, 0, 1]).build(3);
+        assert_eq!(c.phys_of(0), 2);
+        assert_eq!(c.log_at(2), 0);
+    }
+
+    #[test]
+    fn permutation_view() {
+        let l = Layout::from_phys_of(vec![1, 2, 0]);
+        let p = l.to_permutation();
+        assert_eq!(p.apply(0), 1);
+        assert_eq!(p.apply(2), 0);
+    }
+}

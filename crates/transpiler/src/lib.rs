@@ -1,0 +1,34 @@
+//! # qroute-transpiler
+//!
+//! A mapping + routing transpiler for grid architectures, built on the
+//! routers of `qroute-core` — the deployment context §II describes: the
+//! hard joint optimization is "decomposed into an alternating sequence of
+//! mapping and routing problems", and *any* permutation router can serve
+//! as the routing primitive.
+//!
+//! Pipeline: start from an initial layout; repeatedly execute every ready
+//! gate that is feasible on the coupling grid; when the ready front is
+//! fully blocked, plan a *target permutation* that brings blocked gate
+//! pairs together (mapping step), route it with the configured router
+//! (routing step), emit the SWAP layers, and continue. The output records
+//! the initial and final layouts so the physical circuit can be verified
+//! equivalent to the logical circuit (`qroute-sim`).
+//!
+//! Modules:
+//! * [`layout`] — the logical↔physical bijection and initial-layout
+//!   strategies;
+//! * [`planner`] — the mapping step: blocked pairs → pinned meeting
+//!   points → completed permutation;
+//! * [`transpile`] — the main loop and its metrics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod layout;
+pub mod noise;
+pub mod planner;
+pub mod transpile;
+
+pub use layout::{InitialLayout, Layout};
+pub use noise::NoiseModel;
+pub use transpile::{TranspileOptions, TranspileResult, Transpiler};

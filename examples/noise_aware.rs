@@ -1,0 +1,48 @@
+//! Why routing depth matters on NISQ hardware: estimate the success
+//! probability of transpiled circuits under a simple multiplicative error
+//! model (§I of the paper: swap overhead makes the output "deviate
+//! significantly" without error correction).
+//!
+//! ```text
+//! cargo run --release --example noise_aware
+//! ```
+
+use qroute::circuit::builders;
+use qroute::prelude::*;
+use qroute::transpiler::{InitialLayout, NoiseModel};
+
+fn main() {
+    let grid = Grid::new(4, 4);
+    let noise = NoiseModel::superconducting_2022();
+    let workloads: Vec<(&str, Circuit)> = vec![
+        ("qft-16", builders::qft(16)),
+        ("trotter-diag 4x4 x2", builders::trotter_diagonal_step(4, 4, 0.1, 2)),
+        ("random 40 CX", builders::random_two_qubit_circuit(16, 40, 11)),
+    ];
+
+    println!(
+        "estimated success probability on a 4x4 grid (p1={}, p2={}, idle={})\n",
+        noise.p1, noise.p2, noise.p_idle
+    );
+    println!(
+        "{:<22}{:>10}{:>16}{:>14}{:>12}",
+        "workload", "logical", "router", "p(success)", "swaps"
+    );
+    for (name, logical) in &workloads {
+        let p_logical = noise.success_probability(logical);
+        for router in [RouterKind::locality_aware(), RouterKind::naive(), RouterKind::Ats] {
+            let rname = router.name();
+            let t = Transpiler::new(
+                grid,
+                TranspileOptions { router, initial_layout: InitialLayout::Identity },
+            );
+            let res = t.run(logical);
+            let p = noise.success_probability(&res.physical);
+            println!(
+                "{:<22}{:>10.3}{:>16}{:>14.3}{:>12}",
+                name, p_logical, rname, p, res.swap_count
+            );
+        }
+    }
+    println!("\nshallower routing -> fewer swaps + fewer idle layers -> higher fidelity.");
+}

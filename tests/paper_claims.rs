@@ -1,0 +1,130 @@
+//! Small-scale checks of the qualitative claims of §V of the paper.
+//! The full sweeps live in the `repro` binary; these are the fast,
+//! deterministic versions that gate CI.
+
+use qroute::perm::{generators, metrics};
+use qroute::prelude::*;
+
+/// §V: "Our locality-aware algorithm can always be made to produce a
+/// routing scheme with a smaller or equal depth as opposed to the naive
+/// grid routing algorithm" — the hybrid clamp.
+#[test]
+fn hybrid_no_deeper_than_naive_or_local() {
+    let grid = Grid::new(8, 8);
+    for seed in 0..6 {
+        for pi in [
+            generators::random(64, seed),
+            generators::block_local(grid, 4, 4, seed),
+            generators::overlapping_blocks(grid, 4, 4, 2, 2, seed),
+        ] {
+            let h = RouterKind::hybrid().route(grid, &pi).depth();
+            let l = RouterKind::locality_aware().route(grid, &pi).depth();
+            let n = RouterKind::naive().route(grid, &pi).depth();
+            assert!(h <= l.min(n), "seed {seed}: h={h} l={l} n={n}");
+        }
+    }
+}
+
+/// Fig. 4, green vs brown: on random permutations the locality-aware
+/// router produces shallower schedules than ATS.
+#[test]
+fn local_beats_ats_on_random_permutations() {
+    let grid = Grid::new(10, 10);
+    let mut local_total = 0usize;
+    let mut ats_total = 0usize;
+    for seed in 0..5 {
+        let pi = generators::random(100, seed);
+        local_total += RouterKind::locality_aware().route(grid, &pi).depth();
+        ats_total += RouterKind::Ats.route(grid, &pi).depth();
+    }
+    assert!(
+        local_total < ats_total,
+        "locality-aware ({local_total}) should beat ATS ({ats_total}) on random"
+    );
+}
+
+/// Fig. 4, blue vs red: on disjoint block-local permutations the two are
+/// comparable — we assert within a factor of 2.5 (and both near the
+/// lower bound).
+#[test]
+fn local_and_ats_comparable_on_disjoint_blocks() {
+    let grid = Grid::new(12, 12);
+    let mut local_total = 0usize;
+    let mut ats_total = 0usize;
+    for seed in 0..5 {
+        let pi = generators::block_local(grid, 4, 4, seed);
+        local_total += RouterKind::locality_aware().route(grid, &pi).depth();
+        ats_total += RouterKind::Ats.route(grid, &pi).depth();
+    }
+    let ratio = ats_total as f64 / local_total as f64;
+    assert!(
+        (0.4..=2.5).contains(&ratio),
+        "block-local depths diverged: local {local_total}, ats {ats_total}"
+    );
+}
+
+/// §V text: skinny orthogonal cycles are not a bottleneck for ATS — the
+/// two routers end up close (ATS within ~1.5x of local and vice versa).
+#[test]
+fn skinny_cycles_keep_ats_competitive() {
+    let grid = Grid::new(12, 12);
+    let mut local_total = 0usize;
+    let mut ats_total = 0usize;
+    for seed in 0..5 {
+        let pi = generators::skinny_cycles(grid, seed);
+        local_total += RouterKind::locality_aware().route(grid, &pi).depth();
+        ats_total += RouterKind::Ats.route(grid, &pi).depth();
+    }
+    let ratio = ats_total as f64 / local_total as f64;
+    assert!(
+        (0.5..=1.6).contains(&ratio),
+        "skinny-cycle depths diverged: local {local_total}, ats {ats_total}"
+    );
+}
+
+/// Fig. 4 premise: locality pays. On block-local workloads the
+/// locality-aware router must be far below the naive router's typical
+/// depth and near the displacement lower bound.
+#[test]
+fn locality_awareness_exploits_block_locality() {
+    let grid = Grid::new(16, 16);
+    for seed in 0..3 {
+        let pi = generators::block_local(grid, 4, 4, seed);
+        let depth = RouterKind::locality_aware().route(grid, &pi).depth();
+        let lb = metrics::max_displacement(grid, &pi);
+        // Block diameter is 6; the router should stay within a small
+        // constant of it, far below the ~3n naive envelope (48).
+        assert!(depth <= 4 * lb.max(1), "seed {seed}: depth {depth} vs lb {lb}");
+        assert!(depth <= 20, "seed {seed}: depth {depth} not local");
+    }
+}
+
+/// Fig. 5 shape: the locality-aware router is substantially faster than
+/// ATS at scale. Timing asserts are fragile in CI, so we only require a
+/// weak 1.5x margin at a size where the paper shows an order of
+/// magnitude.
+#[test]
+fn local_router_is_faster_than_ats_at_scale() {
+    use std::time::Instant;
+    let grid = Grid::new(32, 32);
+    let pis: Vec<_> = (0..3).map(|s| generators::random(grid.len(), s)).collect();
+
+    // Warm up both once.
+    let _ = RouterKind::locality_aware().route(grid, &pis[0]);
+    let _ = RouterKind::Ats.route(grid, &pis[0]);
+
+    let t0 = Instant::now();
+    for pi in &pis {
+        let _ = RouterKind::locality_aware().route(grid, pi);
+    }
+    let local_time = t0.elapsed();
+    let t0 = Instant::now();
+    for pi in &pis {
+        let _ = RouterKind::Ats.route(grid, pi);
+    }
+    let ats_time = t0.elapsed();
+    assert!(
+        local_time.as_secs_f64() * 1.5 < ats_time.as_secs_f64(),
+        "local {local_time:?} not clearly faster than ats {ats_time:?}"
+    );
+}
