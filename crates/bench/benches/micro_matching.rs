@@ -34,26 +34,18 @@ fn bench_matching(c: &mut Criterion) {
     for side in [8usize, 16, 32] {
         let grid = Grid::new(side, side);
         let pi = generators::random(grid.len(), 3);
-        group.bench_with_input(
-            BenchmarkId::new("decompose_regular", side),
-            &pi,
-            |b, pi| {
-                b.iter(|| {
-                    let mut mg = build_column_multigraph(grid, black_box(pi));
-                    black_box(decompose_regular(&mut mg).unwrap().len())
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("decompose_euler", side),
-            &pi,
-            |b, pi| {
-                b.iter(|| {
-                    let mut mg = build_column_multigraph(grid, black_box(pi));
-                    black_box(decompose_regular_euler(&mut mg).unwrap().len())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("decompose_regular", side), &pi, |b, pi| {
+            b.iter(|| {
+                let mut mg = build_column_multigraph(grid, black_box(pi));
+                black_box(decompose_regular(&mut mg).unwrap().len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("decompose_euler", side), &pi, |b, pi| {
+            b.iter(|| {
+                let mut mg = build_column_multigraph(grid, black_box(pi));
+                black_box(decompose_regular_euler(&mut mg).unwrap().len())
+            })
+        });
     }
 
     for m in [16usize, 64] {

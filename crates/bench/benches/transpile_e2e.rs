@@ -30,7 +30,11 @@ fn bench_transpile(c: &mut Criterion) {
         ),
     ];
     for (name, grid, circuit) in &cases {
-        for router in [RouterKind::locality_aware(), RouterKind::naive(), RouterKind::Ats] {
+        for router in [
+            RouterKind::locality_aware(),
+            RouterKind::naive(),
+            RouterKind::Ats,
+        ] {
             use qroute_core::GridRouter as _;
             let t = Transpiler::new(
                 *grid,

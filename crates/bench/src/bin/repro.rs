@@ -1,11 +1,13 @@
 //! Regenerate every figure/table of the paper's evaluation.
 //!
 //! ```text
-//! repro [fig4|fig5|hybrid|skinny|ablations|transpile|all] [--sides 4,8,16] [--seeds N] [--out DIR]
+//! repro [fig4|fig5|hybrid|skinny|ablations|optgap|transpile|all]
+//!       [--sides 4,8,16] [--seeds N] [--out DIR]
 //! ```
 //!
-//! Markdown tables print to stdout; CSV files land in `--out`
-//! (default `results/`).
+//! Markdown tables print to stdout; CSV/JSON/SVG files land in `--out`
+//! (default `results/`). Run `repro --help` for the authoritative usage
+//! (the `USAGE` string below).
 
 use qroute_bench::experiments;
 use qroute_bench::plot::{cells_to_chart, Scale};
@@ -19,32 +21,58 @@ struct Args {
     out: PathBuf,
 }
 
+const USAGE: &str = "\
+repro — regenerate the paper's figures and tables
+
+USAGE:
+    repro [fig4|fig5|hybrid|skinny|ablations|optgap|transpile|all]
+          [--sides 4,8,16] [--seeds N] [--out DIR]
+
+Markdown tables print to stdout; CSV/JSON/SVG files land in --out
+(default results/).";
+
 fn parse_args() -> Args {
     let mut command = "all".to_string();
     let mut sides = experiments::default_sides();
     let mut seeds = 5u64;
     let mut out = PathBuf::from("results");
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    let usage_error = |msg: String| -> ! {
+        eprintln!("error: {msg}\n\n{USAGE}");
+        std::process::exit(2);
+    };
+    let flag_value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .unwrap_or_else(|| usage_error(format!("{flag} requires a value")))
+    };
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
             "--sides" => {
-                i += 1;
-                sides = argv[i]
+                sides = flag_value(&mut i, "--sides")
                     .split(',')
-                    .map(|s| s.trim().parse().expect("--sides wants integers"))
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            usage_error(format!("--sides wants integers, got {s:?}"))
+                        })
+                    })
                     .collect();
             }
             "--seeds" => {
-                i += 1;
-                seeds = argv[i].parse().expect("--seeds wants an integer");
+                let v = flag_value(&mut i, "--seeds");
+                seeds = v.parse().unwrap_or_else(|_| {
+                    usage_error(format!("--seeds wants an integer, got {v:?}"))
+                });
             }
-            "--out" => {
-                i += 1;
-                out = PathBuf::from(&argv[i]);
-            }
+            "--out" => out = PathBuf::from(flag_value(&mut i, "--out")),
             c if !c.starts_with('-') => command = c.to_string(),
-            other => panic!("unknown flag {other}"),
+            other => usage_error(format!("unknown flag {other}")),
         }
         i += 1;
     }

@@ -47,12 +47,7 @@ pub fn default_sides() -> Vec<usize> {
 }
 
 /// Measure one cell: route `seeds` instances, verifying every schedule.
-pub fn measure_cell(
-    side: usize,
-    class: WorkloadClass,
-    router: &RouterKind,
-    seeds: u64,
-) -> Cell {
+pub fn measure_cell(side: usize, class: WorkloadClass, router: &RouterKind, seeds: u64) -> Cell {
     let grid = Grid::new(side, side);
     let mut depth_sum = 0usize;
     let mut size_sum = 0usize;
@@ -63,7 +58,11 @@ pub fn measure_cell(
         let t0 = Instant::now();
         let schedule = router.route(grid, &pi);
         elapsed += t0.elapsed().as_secs_f64() * 1e3;
-        assert!(schedule.realizes(&pi), "{} produced a wrong schedule", router.name());
+        assert!(
+            schedule.realizes(&pi),
+            "{} produced a wrong schedule",
+            router.name()
+        );
         depth_sum += schedule.depth();
         size_sum += schedule.size();
         lb_sum += metrics::max_displacement(grid, &pi);
@@ -199,7 +198,10 @@ pub struct AblationRow {
 pub fn ablations(side: usize, seeds: u64) -> Vec<AblationRow> {
     let grid = Grid::new(side, side);
     let variants: Vec<(&str, LocalRouteOptions)> = vec![
-        ("full (paper+compact+transpose)", LocalRouteOptions::default()),
+        (
+            "full (paper+compact+transpose)",
+            LocalRouteOptions::default(),
+        ),
         (
             "no-windows",
             LocalRouteOptions { window: WindowMode::FullOnly, ..LocalRouteOptions::default() },
@@ -381,7 +383,11 @@ pub fn transpile_comparison() -> Vec<TranspileRow> {
             Grid::new(4, 4),
             builders::random_two_qubit_circuit(16, 25, 7),
         ),
-        ("ghz-row-major-5x5".into(), Grid::new(5, 5), builders::ghz(25)),
+        (
+            "ghz-row-major-5x5".into(),
+            Grid::new(5, 5),
+            builders::ghz(25),
+        ),
     ];
     let routers = [
         RouterKind::locality_aware(),

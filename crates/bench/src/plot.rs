@@ -52,8 +52,9 @@ const MARGIN_T: f64 = 40.0;
 const MARGIN_B: f64 = 48.0;
 
 /// A palette matching the paper's green/brown/blue/red feel.
-pub const PALETTE: [&str; 6] =
-    ["#2e8b57", "#8b5a2b", "#1f77b4", "#d62728", "#9467bd", "#111111"];
+pub const PALETTE: [&str; 6] = [
+    "#2e8b57", "#8b5a2b", "#1f77b4", "#d62728", "#9467bd", "#111111",
+];
 
 fn nice_ticks(min: f64, max: f64, n: usize) -> Vec<f64> {
     if max <= min {
@@ -96,7 +97,11 @@ impl Chart {
         let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
 
         // Data bounds.
-        let xs: Vec<f64> = self.series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+        let xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .collect();
         let ys: Vec<f64> = self
             .series
             .iter()
@@ -104,12 +109,24 @@ impl Chart {
             .collect();
         let (xmin, xmax) = xs
             .iter()
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| (a.min(v), b.max(v)));
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
+                (a.min(v), b.max(v))
+            });
         let (ymin, ymax) = ys
             .iter()
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| (a.min(v), b.max(v)));
-        let (xmin, xmax) = if xs.is_empty() { (0.0, 1.0) } else { (xmin, xmax) };
-        let (ymin, ymax) = if ys.is_empty() { (0.0, 1.0) } else { (ymin, ymax) };
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
+                (a.min(v), b.max(v))
+            });
+        let (xmin, xmax) = if xs.is_empty() {
+            (0.0, 1.0)
+        } else {
+            (xmin, xmax)
+        };
+        let (ymin, ymax) = if ys.is_empty() {
+            (0.0, 1.0)
+        } else {
+            (ymin, ymax)
+        };
         let ypad = ((ymax - ymin) * 0.06).max(1e-9);
         let (ymin, ymax) = (ymin - ypad, ymax + ypad);
         let xspan = (xmax - xmin).max(1e-9);
@@ -208,7 +225,13 @@ impl Chart {
             }
             let mut d = String::new();
             for (k, &(x, y)) in s.points.iter().enumerate() {
-                let _ = write!(d, "{}{:.1},{:.1} ", if k == 0 { "M" } else { "L" }, px(x), py(y));
+                let _ = write!(
+                    d,
+                    "{}{:.1},{:.1} ",
+                    if k == 0 { "M" } else { "L" },
+                    px(x),
+                    py(y)
+                );
             }
             let _ = writeln!(
                 svg,
@@ -250,7 +273,9 @@ impl Chart {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn format_tick(t: f64) -> String {
@@ -353,7 +378,10 @@ mod tests {
         let mut c = sample_chart();
         c.y_scale = Scale::Log;
         let svg = c.to_svg();
-        assert!(svg.contains(">10<") || svg.contains(">100<"), "decade ticks expected:\n{svg}");
+        assert!(
+            svg.contains(">10<") || svg.contains(">100<"),
+            "decade ticks expected:\n{svg}"
+        );
     }
 
     #[test]

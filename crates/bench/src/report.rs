@@ -5,13 +5,22 @@ use std::fmt::Write as _;
 
 /// Render sweep cells as CSV (one row per cell).
 pub fn cells_to_csv(cells: &[Cell]) -> String {
-    let mut out = String::from("n,qubits,class,router,mean_depth,mean_size,mean_time_ms,mean_lower_bound,seeds\n");
+    let mut out = String::from(
+        "n,qubits,class,router,mean_depth,mean_size,mean_time_ms,mean_lower_bound,seeds\n",
+    );
     for c in cells {
         let _ = writeln!(
             out,
             "{},{},{},{},{:.3},{:.3},{:.6},{:.3},{}",
-            c.n, c.qubits, c.class, c.router, c.mean_depth, c.mean_size, c.mean_time_ms,
-            c.mean_lower_bound, c.seeds
+            c.n,
+            c.qubits,
+            c.class,
+            c.router,
+            c.mean_depth,
+            c.mean_size,
+            c.mean_time_ms,
+            c.mean_lower_bound,
+            c.seeds
         );
     }
     out
@@ -20,12 +29,20 @@ pub fn cells_to_csv(cells: &[Cell]) -> String {
 /// Render a depth table (Fig. 4 style): rows = grid side, columns =
 /// (class, router) pairs, entries = mean depth.
 pub fn depth_table_markdown(cells: &[Cell]) -> String {
-    table_markdown(cells, |c| format!("{:.1}", c.mean_depth), "mean swap-network depth")
+    table_markdown(
+        cells,
+        |c| format!("{:.1}", c.mean_depth),
+        "mean swap-network depth",
+    )
 }
 
 /// Render a time table (Fig. 5 style): entries = mean routing time (ms).
 pub fn time_table_markdown(cells: &[Cell]) -> String {
-    table_markdown(cells, |c| format!("{:.3}", c.mean_time_ms), "mean routing time (ms)")
+    table_markdown(
+        cells,
+        |c| format!("{:.3}", c.mean_time_ms),
+        "mean routing time (ms)",
+    )
 }
 
 fn table_markdown(cells: &[Cell], value: impl Fn(&Cell) -> String, caption: &str) -> String {

@@ -82,7 +82,11 @@ mod tests {
         let grid = Grid::new(8, 8);
         for class in WorkloadClass::paper_classes() {
             assert_eq!(class.generate(grid, 3), class.generate(grid, 3));
-            assert_ne!(class.generate(grid, 3), class.generate(grid, 4), "{class:?}");
+            assert_ne!(
+                class.generate(grid, 3),
+                class.generate(grid, 4),
+                "{class:?}"
+            );
         }
     }
 

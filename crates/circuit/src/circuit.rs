@@ -154,7 +154,10 @@ mod tests {
     #[test]
     fn depth_accounting() {
         let mut c = Circuit::new(3);
-        c.push(Gate::H(0)).push(Gate::H(1)).push(Gate::Cx(0, 1)).push(Gate::H(2));
+        c.push(Gate::H(0))
+            .push(Gate::H(1))
+            .push(Gate::Cx(0, 1))
+            .push(Gate::H(2));
         assert_eq!(c.size(), 4);
         assert_eq!(c.depth(), 2); // H's parallel, CX after.
         assert_eq!(c.two_qubit_depth(), 1);

@@ -142,18 +142,13 @@ pub fn parse_qasm(src: &str) -> Result<Circuit, QasmError> {
             // Gate statement: `name[(angle)] operand[,operand]`.
             let (head, operands) = match stmt.find(char::is_whitespace) {
                 Some(k) => (stmt[..k].trim(), stmt[k..].trim()),
-                None => {
-                    return Err(QasmError::BadStatement { line, stmt: stmt.to_string() })
-                }
+                None => return Err(QasmError::BadStatement { line, stmt: stmt.to_string() }),
             };
             let (name, angle) = match head.find('(') {
                 Some(k) => {
                     let inner = head[k + 1..]
                         .strip_suffix(')')
-                        .ok_or_else(|| QasmError::BadStatement {
-                            line,
-                            stmt: stmt.to_string(),
-                        })?;
+                        .ok_or_else(|| QasmError::BadStatement { line, stmt: stmt.to_string() })?;
                     (&head[..k], Some(parse_angle(inner, line)?))
                 }
                 None => (head, None),
@@ -274,7 +269,10 @@ mod tests {
     #[test]
     fn error_cases() {
         assert_eq!(parse_qasm("qreg q[2];"), Err(QasmError::BadHeader));
-        assert_eq!(parse_qasm("OPENQASM 2.0;\nh q[0];"), Err(QasmError::MissingQreg));
+        assert_eq!(
+            parse_qasm("OPENQASM 2.0;\nh q[0];"),
+            Err(QasmError::MissingQreg)
+        );
         assert!(matches!(
             parse_qasm("OPENQASM 2.0;\nqreg q[2];\nqreg q[3];"),
             Err(QasmError::MultipleQreg { line: 3 })
@@ -301,8 +299,7 @@ mod tests {
 
     #[test]
     fn barrier_and_creg_tolerated() {
-        let c = parse_qasm("OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nbarrier q;\nh q[1];\n")
-            .unwrap();
+        let c = parse_qasm("OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nbarrier q;\nh q[1];\n").unwrap();
         assert_eq!(c.size(), 1);
     }
 }

@@ -56,7 +56,12 @@ mod tests {
             .push(Gate::Cz(1, 2))
             .push(Gate::Swap(0, 2));
         let q = to_qasm(&c);
-        for needle in ["sdg q[0]", "rx(0.25) q[0]", "cz q[1],q[2]", "swap q[0],q[2]"] {
+        for needle in [
+            "sdg q[0]",
+            "rx(0.25) q[0]",
+            "cz q[1],q[2]",
+            "swap q[0],q[2]",
+        ] {
             assert!(q.contains(needle), "missing {needle} in:\n{q}");
         }
     }

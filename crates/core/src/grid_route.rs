@@ -118,8 +118,7 @@ pub fn grid_route_with_sigmas(
     // sitting at (r, j') after phase 2.
     let mut col_targets = vec![vec![usize::MAX; m]; n];
     for j in 0..n {
-        for i in 0..m {
-            let r = sigmas[j][i];
+        for (i, &r) in sigmas[j].iter().enumerate() {
             let (ip, jp) = grid.coords(pi.apply(grid.index(i, j)));
             assert_eq!(
                 row_targets[r][j],
@@ -137,16 +136,19 @@ pub fn grid_route_with_sigmas(
 
     let mut schedule = RoutingSchedule::empty();
     // Phase 1: columns permuted by σ.
-    let lines: Vec<(Vec<usize>, Vec<usize>)> =
-        (0..n).map(|j| (grid.column(j), sigmas[j].clone())).collect();
+    let lines: Vec<(Vec<usize>, Vec<usize>)> = (0..n)
+        .map(|j| (grid.column(j), sigmas[j].clone()))
+        .collect();
     schedule.extend(route_parallel_lines(&lines, strategy));
     // Phase 2: rows to destination columns.
-    let lines: Vec<(Vec<usize>, Vec<usize>)> =
-        (0..m).map(|r| (grid.row(r), row_targets[r].clone())).collect();
+    let lines: Vec<(Vec<usize>, Vec<usize>)> = (0..m)
+        .map(|r| (grid.row(r), row_targets[r].clone()))
+        .collect();
     schedule.extend(route_parallel_lines(&lines, strategy));
     // Phase 3: columns to destination rows.
-    let lines: Vec<(Vec<usize>, Vec<usize>)> =
-        (0..n).map(|j| (grid.column(j), col_targets[j].clone())).collect();
+    let lines: Vec<(Vec<usize>, Vec<usize>)> = (0..n)
+        .map(|j| (grid.column(j), col_targets[j].clone()))
+        .collect();
     schedule.extend(route_parallel_lines(&lines, strategy));
     schedule
 }
@@ -308,7 +310,16 @@ mod tests {
 
     #[test]
     fn routes_random_permutations_on_many_shapes() {
-        for (m, n) in [(1, 1), (1, 8), (8, 1), (2, 2), (3, 4), (4, 3), (5, 5), (7, 3)] {
+        for (m, n) in [
+            (1, 1),
+            (1, 8),
+            (8, 1),
+            (2, 2),
+            (3, 4),
+            (4, 3),
+            (5, 5),
+            (7, 3),
+        ] {
             let grid = Grid::new(m, n);
             for seed in 0..4 {
                 let pi = generators::random(grid.len(), seed);
@@ -330,7 +341,11 @@ mod tests {
         for seed in 0..8 {
             let pi = generators::random(36, seed);
             let s = naive_grid_route(grid, &pi, &NaiveOptions::plain());
-            assert!(s.depth() <= 2 * 6 + 6, "depth {} exceeds 3-phase bound", s.depth());
+            assert!(
+                s.depth() <= 2 * 6 + 6,
+                "depth {} exceeds 3-phase bound",
+                s.depth()
+            );
         }
     }
 
@@ -455,6 +470,10 @@ mod tests {
         );
         assert!(s.realizes(&pi));
         // A horizontal cyclic shift needs ~n layers on a path-row.
-        assert!(s.depth() <= 16, "depth {} too large for unit shift", s.depth());
+        assert!(
+            s.depth() <= 16,
+            "depth {} too large for unit shift",
+            s.depth()
+        );
     }
 }

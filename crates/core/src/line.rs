@@ -32,9 +32,9 @@ pub fn route_line(targets: &[usize], first: FirstParity) -> Vec<Vec<(usize, usiz
     let l = targets.len();
     debug_assert!({
         let mut seen = vec![false; l];
-        targets.iter().all(|&t| {
-            t < l && !std::mem::replace(&mut seen[t], true)
-        })
+        targets
+            .iter()
+            .all(|&t| t < l && !std::mem::replace(&mut seen[t], true))
     });
     let mut key: Vec<usize> = targets.to_vec();
     let mut rounds: Vec<Vec<(usize, usize)>> = Vec::new();

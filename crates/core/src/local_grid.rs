@@ -141,14 +141,20 @@ pub fn find_local_matchings(
 
     let mut w = 0usize;
     while found.len() < m {
-        let mut r = 0usize;
-        while r < m {
+        // Slide the window over every starting row instead of tiling the
+        // rows into disjoint bands. Disjoint tiling is never aligned with
+        // the workload's own locality structure (for 4-row-local
+        // permutations it proposes [0,2],[3,5],… and [0,4],[5,9],… but
+        // never [0,3],[4,7],…), which strands edges until the full-width
+        // sweeps and produces wide, non-local matchings. Overlapping
+        // starts cost extra `band_can_match` probes (cheap, and most
+        // windows fail it) but let every aligned row band be tried.
+        for r in 0..m {
             let hi = (r + w).min(m - 1);
             let band = mg.band_edges((r, hi));
             if band_can_match(mg, &band) {
                 found.extend(mg.extract_perfect_matchings(&band));
             }
-            r += w + 1;
         }
         // Once the window covers all rows the remaining graph is regular,
         // so the final sweep must finish; the guard below documents the
@@ -159,6 +165,89 @@ pub fn find_local_matchings(
         w = if w == 0 { 1 } else { w * 2 };
     }
     found
+}
+
+/// Redistribute parallel edges between matchings to concentrate each
+/// matching's rows.
+///
+/// A perfect matching fixes which `(j, j')` column pairs it uses, but when
+/// several qubits share a column pair (parallel edges), *which* qubit each
+/// matching takes is a free choice — and the greedy extraction makes it
+/// arbitrarily, which is what lets late, wide-window matchings span nearly
+/// the whole grid. Swapping parallel edges between two matchings keeps
+/// both perfectly matched (same column pairs), so within every parallel
+/// class the rows can be reassigned at will. This pass repeatedly sorts
+/// each class's rows against its user matchings' median rows until fixed
+/// point, pulling every matching toward one compact row band and therefore
+/// lowering the `Δ` its staging row must pay.
+fn rebalance_parallel_edges(mg: &BipartiteMultigraph, matchings: &mut [Vec<EdgeId>]) {
+    use std::collections::HashMap;
+
+    /// Slots `(matching index, position)` sharing a `(left, right)` column
+    /// pair, plus the interchangeable edge ids currently filling them.
+    type ParallelClass = (Vec<(usize, usize)>, Vec<EdgeId>);
+
+    // Parallel classes: all extracted edges grouped by (left, right).
+    let mut classes: HashMap<(usize, usize), Vec<(usize, usize)>> = HashMap::new();
+    for (k, matching) in matchings.iter().enumerate() {
+        for (pos, &id) in matching.iter().enumerate() {
+            let e = mg.edge(id);
+            classes.entry((e.left, e.right)).or_default().push((k, pos));
+        }
+    }
+    let mut classes: Vec<ParallelClass> = {
+        let mut v: Vec<_> = classes.into_values().collect();
+        // Deterministic processing order.
+        v.sort_unstable_by_key(|users| users[0]);
+        v.into_iter()
+            .map(|users| {
+                let ids = users.iter().map(|&(k, pos)| matchings[k][pos]).collect();
+                (users, ids)
+            })
+            .collect()
+    };
+
+    let median = |rows: &mut Vec<usize>| -> usize {
+        rows.sort_unstable();
+        rows[rows.len() / 2]
+    };
+    let center_of = |matching: &[EdgeId]| -> usize {
+        let mut rows: Vec<usize> = matching
+            .iter()
+            .flat_map(|&id| {
+                let e = mg.edge(id);
+                [e.src_row, e.dst_row]
+            })
+            .collect();
+        median(&mut rows)
+    };
+
+    for _ in 0..8 {
+        let centers: Vec<usize> = matchings.iter().map(|m| center_of(m)).collect();
+        let mut changed = false;
+        for (users, ids) in &mut classes {
+            if ids.len() < 2 {
+                continue;
+            }
+            // Monotone pairing: class rows in row order against user
+            // matchings in center order.
+            let mut by_center: Vec<(usize, usize)> = users.clone();
+            by_center.sort_unstable_by_key(|&(k, _)| (centers[k], k));
+            ids.sort_unstable_by_key(|&id| {
+                let e = mg.edge(id);
+                (e.src_row + e.dst_row, id)
+            });
+            for (&(k, pos), &id) in by_center.iter().zip(ids.iter()) {
+                if matchings[k][pos] != id {
+                    matchings[k][pos] = id;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
 }
 
 /// The locality metric of §IV-A: `Δ(M, r) = Σ_j |i_j − r| + Σ_j |i'_j − r|`
@@ -192,11 +281,35 @@ fn build_sigmas(
                 .map(|mt| (0..m).map(|r| delta_metric(mg, mt, r)).collect())
                 .collect();
             let res = bottleneck_assignment(&weights);
-            debug_assert_eq!(res.cardinality, m, "H is complete bipartite; must be perfect");
-            res.assignment
-                .into_iter()
-                .map(|r| r.expect("perfect assignment"))
-                .collect()
+            debug_assert_eq!(
+                res.cardinality, m,
+                "H is complete bipartite; must be perfect"
+            );
+            // The bottleneck solver returns *an arbitrary* assignment
+            // achieving the optimal bottleneck; break ties by minimizing
+            // the total Δ among assignments that respect the cap, so the
+            // non-critical matchings also stage as close to home as they
+            // can. Capped pairs get a penalty weight large enough never to
+            // be chosen while a cap-respecting assignment exists (one does:
+            // the bottleneck solver just found it).
+            const PENALTY: i64 = 1 << 40;
+            let capped: Vec<Vec<i64>> = weights
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .map(|&w| {
+                            if w <= res.bottleneck {
+                                w as i64
+                            } else {
+                                PENALTY
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let (assignment, total) = min_sum_assignment(&capped);
+            debug_assert!(total < PENALTY, "cap-respecting assignment must exist");
+            assignment
         }
         AssignmentStrategy::MinSum => {
             let cost: Vec<Vec<i64>> = matchings
@@ -229,7 +342,8 @@ pub fn local_grid_route_single(
 ) -> RoutingSchedule {
     assert_eq!(grid.len(), pi.len(), "permutation size must match grid");
     let mut mg = build_column_multigraph(grid, pi);
-    let matchings = find_local_matchings(grid, &mut mg, opts.window);
+    let mut matchings = find_local_matchings(grid, &mut mg, opts.window);
+    rebalance_parallel_edges(&mg, &mut matchings);
     let sigmas = build_sigmas(grid, &mg, &matchings, opts.assignment);
     grid_route_with_sigmas(grid, pi, &sigmas, opts.line)
 }

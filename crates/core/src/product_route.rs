@@ -233,7 +233,11 @@ pub fn product_route<F1: FactorRouter, F2: FactorRouter>(
         let all = mg.alive_edges();
         matchings = mg.extract_perfect_matchings(&all);
     }
-    assert_eq!(matchings.len(), m, "regular multigraph must yield m matchings");
+    assert_eq!(
+        matchings.len(),
+        m,
+        "regular multigraph must yield m matchings"
+    );
 
     // Δ with factor-1 distances.
     let delta = |matching: &[EdgeId], r: usize| -> u64 {
@@ -278,8 +282,7 @@ pub fn product_route<F1: FactorRouter, F2: FactorRouter>(
     let mut row_targets = vec![vec![usize::MAX; n]; m];
     let mut col_targets = vec![vec![usize::MAX; m]; n];
     for v in 0..n {
-        for u in 0..m {
-            let r = sigmas[v][u];
+        for (u, &r) in sigmas[v].iter().enumerate() {
             let (up, vp) = product.coords(pi.apply(product.index(u, v)));
             assert_eq!(row_targets[r][v], usize::MAX, "staging collision");
             row_targets[r][v] = vp;
@@ -459,7 +462,10 @@ mod tests {
         let f = CycleFactor(Cycle::new(n));
         let targets: Vec<usize> = (0..n).map(|v| (v + 1) % n).collect();
         let rounds = f.route(&targets);
-        assert!(rounds.len() >= n - 1, "impossible: beat the conservation bound");
+        assert!(
+            rounds.len() >= n - 1,
+            "impossible: beat the conservation bound"
+        );
         assert!(rounds.len() <= n, "rotation took {} rounds", rounds.len());
     }
 
@@ -473,6 +479,10 @@ mod tests {
         targets.swap(0, 11); // swap across the wrap edge
         targets.swap(5, 6);
         let rounds = f.route(&targets);
-        assert!(rounds.len() <= 2, "local swaps took {} rounds", rounds.len());
+        assert!(
+            rounds.len() <= 2,
+            "local swaps took {} rounds",
+            rounds.len()
+        );
     }
 }

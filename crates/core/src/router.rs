@@ -9,9 +9,7 @@
 use crate::grid_route::{naive_grid_route, NaiveOptions};
 use crate::local_grid::{main_procedure, LocalRouteOptions};
 use crate::schedule::RoutingSchedule;
-use crate::token_swap::{
-    approximate_token_swapping, ats_route_grid, serial_schedule, tree_route,
-};
+use crate::token_swap::{approximate_token_swapping, ats_route_grid, serial_schedule, tree_route};
 use qroute_perm::Permutation;
 use qroute_topology::Grid;
 
@@ -135,12 +133,14 @@ mod tests {
     fn every_router_realizes_every_workload() {
         let grid = Grid::new(6, 5);
         let graph = grid.to_graph();
-        let workloads = [Permutation::identity(30),
+        let workloads = [
+            Permutation::identity(30),
             generators::random(30, 1),
             generators::block_local(grid, 2, 2, 2),
             generators::overlapping_blocks(grid, 3, 3, 2, 2, 3),
             generators::skinny_cycles(grid, 4),
-            generators::reversal(30)];
+            generators::reversal(30),
+        ];
         for router in all_routers() {
             for (k, pi) in workloads.iter().enumerate() {
                 let s = router.route(grid, pi);

@@ -46,7 +46,12 @@ pub fn snake_route(grid: Grid, pi: &Permutation) -> RoutingSchedule {
     let layers = rounds
         .into_iter()
         .map(|round| {
-            SwapLayer::new(round.into_iter().map(|(a, b)| (order[a], order[b])).collect())
+            SwapLayer::new(
+                round
+                    .into_iter()
+                    .map(|(a, b)| (order[a], order[b]))
+                    .collect(),
+            )
         })
         .collect();
     RoutingSchedule::from_layers(layers)

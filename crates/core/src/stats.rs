@@ -47,7 +47,11 @@ pub fn schedule_stats(grid: Grid, pi: &Permutation, schedule: &RoutingSchedule) 
     ScheduleStats {
         depth,
         size,
-        mean_layer_occupancy: if depth == 0 { 0.0 } else { size as f64 / depth as f64 },
+        mean_layer_occupancy: if depth == 0 {
+            0.0
+        } else {
+            size as f64 / depth as f64
+        },
         max_layer_occupancy: max_layer,
         max_vertex_load: vertex_load.iter().copied().max().unwrap_or(0),
         depth_stretch: (maxd > 0).then(|| depth as f64 / maxd as f64),

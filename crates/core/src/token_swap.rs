@@ -206,8 +206,7 @@ pub fn parallel_token_swapping(graph: &Graph, pi: &Permutation) -> RoutingSchedu
     let mut epoch = 0u64;
     let mut path: Vec<usize> = Vec::with_capacity(n);
 
-    loop {
-        let Some(start) = (0..n).find(|&v| dest[v] != v) else { break };
+    while let Some(start) = (0..n).find(|&v| dest[v] != v) {
         if schedule.depth() > budget_layers {
             let rest = Permutation::from_vec_unchecked(dest.clone());
             for (u, v) in tree_route(graph, &rest) {
@@ -269,7 +268,10 @@ pub fn parallel_token_swapping(graph: &Graph, pi: &Permutation) -> RoutingSchedu
                     let pos = path_pos[next];
                     let cycle = &path[pos..];
                     break Some(
-                        (1..cycle.len()).rev().map(|k| (cycle[k - 1], cycle[k])).collect(),
+                        (1..cycle.len())
+                            .rev()
+                            .map(|k| (cycle[k - 1], cycle[k]))
+                            .collect(),
                     );
                 }
                 visited_epoch[next] = epoch;
@@ -404,7 +406,10 @@ fn tree_path(parent: &[usize], a: usize, b: usize) -> Vec<usize> {
 /// Realize a serial swap list as a (serial) schedule: one layer per swap.
 pub fn serial_schedule(swaps: &[(usize, usize)]) -> RoutingSchedule {
     RoutingSchedule::from_layers(
-        swaps.iter().map(|&(u, v)| SwapLayer::new(vec![(u, v)])).collect(),
+        swaps
+            .iter()
+            .map(|&(u, v)| SwapLayer::new(vec![(u, v)]))
+            .collect(),
     )
 }
 
@@ -435,7 +440,11 @@ mod tests {
         let g = Path::new(4).to_graph();
         let pi = Permutation::from_vec(vec![1, 0, 2, 3]).unwrap();
         let out = check_ats(&g, &pi);
-        assert_eq!(out.num_swaps(), 1, "adjacent transposition is one happy swap");
+        assert_eq!(
+            out.num_swaps(),
+            1,
+            "adjacent transposition is one happy swap"
+        );
     }
 
     #[test]
@@ -580,7 +589,10 @@ mod tests {
     #[test]
     fn parallel_ats_on_identity_and_single_swap() {
         let g = Grid::new(3, 3).to_graph();
-        assert_eq!(parallel_token_swapping(&g, &Permutation::identity(9)).depth(), 0);
+        assert_eq!(
+            parallel_token_swapping(&g, &Permutation::identity(9)).depth(),
+            0
+        );
         let pi = Permutation::from_vec(vec![1, 0, 2, 3, 4, 5, 6, 7, 8]).unwrap();
         let s = parallel_token_swapping(&g, &pi);
         assert_eq!(s.depth(), 1);
@@ -651,6 +663,9 @@ mod tests {
             ats_total += check_ats(&g, &pi).num_swaps();
             tree_total += tree_route(&g, &pi).len();
         }
-        assert!(ats_total < tree_total, "ATS ({ats_total}) should beat tree ({tree_total})");
+        assert!(
+            ats_total < tree_total,
+            "ATS ({ats_total}) should beat tree ({tree_total})"
+        );
     }
 }

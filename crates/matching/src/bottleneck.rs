@@ -37,7 +37,10 @@ pub struct BottleneckResult {
 pub fn bottleneck_assignment(weights: &[Vec<u64>]) -> BottleneckResult {
     let nl = weights.len();
     let nr = weights.first().map_or(0, |row| row.len());
-    debug_assert!(weights.iter().all(|row| row.len() == nr), "ragged weight matrix");
+    debug_assert!(
+        weights.iter().all(|row| row.len() == nr),
+        "ragged weight matrix"
+    );
 
     if nl == 0 || nr == 0 {
         return BottleneckResult { assignment: vec![None; nl], cardinality: 0, bottleneck: 0 };
@@ -69,9 +72,10 @@ pub fn bottleneck_assignment(weights: &[Vec<u64>]) -> BottleneckResult {
     }
 
     // Smallest weight level admitting a matching of maximum cardinality.
+    // `hi` is feasible by construction: the max level admits every edge,
+    // hence a matching of size `target`.
     let mut lo = 0usize; // candidate indices into `levels`
-    let mut hi = levels.len() - 1; // known feasible by construction? not yet
-    // Ensure hi is feasible: the max level admits every edge, hence target.
+    let mut hi = levels.len() - 1;
     let mut best = matching_at(levels[hi]);
     debug_assert_eq!(best.size(), target);
     while lo < hi {
@@ -90,11 +94,7 @@ pub fn bottleneck_assignment(weights: &[Vec<u64>]) -> BottleneckResult {
         .map(|(l, r)| weights[l][r])
         .max()
         .expect("nonzero cardinality has at least one pair");
-    BottleneckResult {
-        assignment: best.pair_left.clone(),
-        cardinality: best.size(),
-        bottleneck,
-    }
+    BottleneckResult { assignment: best.pair_left.clone(), cardinality: best.size(), bottleneck }
 }
 
 /// Hungarian algorithm (potentials / Jonker–Volgenant form) for the
@@ -264,8 +264,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         for trial in 0..100 {
             let n = rng.gen_range(1..6);
-            let w: Vec<Vec<u64>> =
-                (0..n).map(|_| (0..n).map(|_| rng.gen_range(0..20)).collect()).collect();
+            let w: Vec<Vec<u64>> = (0..n)
+                .map(|_| (0..n).map(|_| rng.gen_range(0..20)).collect())
+                .collect();
             let r = bottleneck_assignment(&w);
             assert_eq!(r.cardinality, n);
             assert_eq!(r.bottleneck, brute_bottleneck(&w), "trial {trial}: {w:?}");
@@ -302,8 +303,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         for trial in 0..100 {
             let n = rng.gen_range(1..6);
-            let c: Vec<Vec<i64>> =
-                (0..n).map(|_| (0..n).map(|_| rng.gen_range(0..30)).collect()).collect();
+            let c: Vec<Vec<i64>> = (0..n)
+                .map(|_| (0..n).map(|_| rng.gen_range(0..30)).collect())
+                .collect();
             let (a, total) = min_sum_assignment(&c);
             // Assignment is a permutation.
             let mut seen = vec![false; n];
@@ -337,11 +339,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..50 {
             let n = rng.gen_range(2..7);
-            let w: Vec<Vec<u64>> =
-                (0..n).map(|_| (0..n).map(|_| rng.gen_range(0..50)).collect()).collect();
+            let w: Vec<Vec<u64>> = (0..n)
+                .map(|_| (0..n).map(|_| rng.gen_range(0..50)).collect())
+                .collect();
             let b = bottleneck_assignment(&w);
-            let c: Vec<Vec<i64>> =
-                w.iter().map(|row| row.iter().map(|&x| x as i64).collect()).collect();
+            let c: Vec<Vec<i64>> = w
+                .iter()
+                .map(|row| row.iter().map(|&x| x as i64).collect())
+                .collect();
             let (a, _) = min_sum_assignment(&c);
             let minsum_max = a.iter().enumerate().map(|(l, &r)| w[l][r]).max().unwrap();
             assert!(b.bottleneck <= minsum_max);

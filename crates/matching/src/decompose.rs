@@ -139,12 +139,7 @@ mod tests {
         let mut g = BipartiteMultigraph::new(cols);
         for l in 0..cols {
             for c in 0..k {
-                g.add_edge(LabeledEdge {
-                    left: l,
-                    right: (l + 1) % cols,
-                    src_row: c,
-                    dst_row: c,
-                });
+                g.add_edge(LabeledEdge { left: l, right: (l + 1) % cols, src_row: c, dst_row: c });
             }
         }
         let snapshot = g.clone();

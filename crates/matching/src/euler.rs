@@ -21,7 +21,8 @@ use crate::multigraph::{BipartiteMultigraph, EdgeId};
 /// Panics (debug) if some induced degree is odd.
 pub fn euler_split(mg: &BipartiteMultigraph, edges: &[EdgeId]) -> (Vec<EdgeId>, Vec<EdgeId>) {
     let cols = mg.cols();
-    let nv = 2 * cols; // left j -> j, right j -> cols + j
+    // Vertex ids: left j -> j, right j -> cols + j.
+    let nv = 2 * cols;
     // Incidence lists of (edge id, other endpoint).
     let mut inc: Vec<Vec<(EdgeId, usize)>> = vec![Vec::new(); nv];
     for &id in edges {
@@ -73,7 +74,10 @@ pub fn euler_split(mg: &BipartiteMultigraph, edges: &[EdgeId]) -> (Vec<EdgeId>, 
                     break;
                 }
             }
-            debug_assert!(circuit.len().is_multiple_of(2), "bipartite circuits have even length");
+            debug_assert!(
+                circuit.len().is_multiple_of(2),
+                "bipartite circuits have even length"
+            );
             for (k, id) in circuit.into_iter().enumerate() {
                 if k % 2 == 0 {
                     half_a.push(id);
@@ -105,10 +109,7 @@ pub fn decompose_regular_euler(
     }
     for (col, &d) in dr.iter().enumerate() {
         if d != k {
-            return Err(crate::decompose::DecomposeError::NotRegular {
-                side_left: false,
-                col,
-            });
+            return Err(crate::decompose::DecomposeError::NotRegular { side_left: false, col });
         }
     }
 
@@ -132,8 +133,10 @@ pub fn decompose_regular_euler(
                     rep[e.left].push((e.right as u32, id));
                 }
             }
-            let adj: Vec<Vec<u32>> =
-                rep.iter().map(|v| v.iter().map(|&(r, _)| r).collect()).collect();
+            let adj: Vec<Vec<u32>> = rep
+                .iter()
+                .map(|v| v.iter().map(|&(r, _)| r).collect())
+                .collect();
             let m = hopcroft_karp(cols, cols, &adj);
             debug_assert!(m.is_perfect(), "regular multigraph always has a PM");
             let mut matching = Vec::with_capacity(cols);

@@ -75,7 +75,10 @@ mod tests {
         assert!(!hall_satisfied(3, 2, &adj));
         let s = deficient_set(3, 2, &adj).unwrap();
         let nbrs = neighborhood(&adj, &s);
-        assert!(nbrs.len() < s.len(), "certificate not deficient: {s:?} -> {nbrs:?}");
+        assert!(
+            nbrs.len() < s.len(),
+            "certificate not deficient: {s:?} -> {nbrs:?}"
+        );
     }
 
     #[test]

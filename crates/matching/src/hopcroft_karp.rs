@@ -21,8 +21,7 @@ impl Matching {
     /// `true` iff every left *and* every right vertex is matched
     /// (requires `nl == nr`).
     pub fn is_perfect(&self) -> bool {
-        self.pair_left.len() == self.pair_right.len()
-            && self.pair_left.iter().all(|p| p.is_some())
+        self.pair_left.len() == self.pair_right.len() && self.pair_left.iter().all(|p| p.is_some())
     }
 
     /// The matched pairs `(l, r)` in order of `l`.

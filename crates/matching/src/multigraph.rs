@@ -52,7 +52,10 @@ impl BipartiteMultigraph {
     /// # Panics
     /// Panics when a column endpoint is out of range.
     pub fn add_edge(&mut self, e: LabeledEdge) -> EdgeId {
-        assert!(e.left < self.cols && e.right < self.cols, "column out of range");
+        assert!(
+            e.left < self.cols && e.right < self.cols,
+            "column out of range"
+        );
         let id = self.edges.len();
         self.edges.push(e);
         self.alive.push(true);
@@ -131,15 +134,18 @@ impl BipartiteMultigraph {
     /// (if any) in `G[r, min(r+w, m)]`") together with the edge removal of
     /// line 9.
     pub fn extract_perfect_matchings(&mut self, candidate: &[EdgeId]) -> Vec<Vec<EdgeId>> {
-        let mut available: Vec<EdgeId> =
-            candidate.iter().copied().filter(|&id| self.alive[id]).collect();
+        let mut available: Vec<EdgeId> = candidate
+            .iter()
+            .copied()
+            .filter(|&id| self.alive[id])
+            .collect();
         let mut out = Vec::new();
         loop {
             // Collapse parallel edges; remember one representative edge id
-            // per (left, right) pair. Representative choice: the parallel
-            // edge whose source row is *closest to the band median* would
-            // be a refinement; we take the first listed, matching the
-            // paper's arbitrary choice within a band.
+            // per (left, right) pair. The first listed edge wins, so the
+            // row-major insertion order stratifies successive extractions
+            // from low rows upward — matching the paper's arbitrary choice
+            // within a band while keeping extractions spread across rows.
             let mut rep: Vec<Vec<(u32, EdgeId)>> = vec![Vec::new(); self.cols];
             for &id in &available {
                 let e = self.edges[id];
@@ -147,8 +153,10 @@ impl BipartiteMultigraph {
                     rep[e.left].push((e.right as u32, id));
                 }
             }
-            let adj: Vec<Vec<u32>> =
-                rep.iter().map(|v| v.iter().map(|&(r, _)| r).collect()).collect();
+            let adj: Vec<Vec<u32>> = rep
+                .iter()
+                .map(|v| v.iter().map(|&(r, _)| r).collect())
+                .collect();
             let m: Matching = hopcroft_karp(self.cols, self.cols, &adj);
             if !m.is_perfect() {
                 break;

@@ -132,7 +132,10 @@ pub fn skinny_cycles(grid: Grid, seed: u64) -> Permutation {
     }
     // Vertical cycles on odd rows restricted to alternate columns.
     for j in (1..grid.cols()).step_by(2) {
-        let col: Vec<usize> = (1..grid.rows()).step_by(2).map(|i| grid.index(i, j)).collect();
+        let col: Vec<usize> = (1..grid.rows())
+            .step_by(2)
+            .map(|i| grid.index(i, j))
+            .collect();
         if col.len() >= 2 {
             cycles.push(col);
         }
@@ -166,7 +169,11 @@ pub fn torus_shift(grid: Grid, dr: usize, dc: usize) -> Permutation {
 /// # Panics
 /// Panics when the grid is not square.
 pub fn grid_transposition(grid: Grid) -> Permutation {
-    assert_eq!(grid.rows(), grid.cols(), "grid transposition needs a square grid");
+    assert_eq!(
+        grid.rows(),
+        grid.cols(),
+        "grid transposition needs a square grid"
+    );
     let mut map = vec![0usize; grid.len()];
     for i in 0..grid.rows() {
         for j in 0..grid.cols() {
@@ -194,7 +201,10 @@ pub fn reversal(n: usize) -> Permutation {
 pub fn with_cycle_type(n: usize, cycle_lengths: &[usize], seed: u64) -> Permutation {
     let total: usize = cycle_lengths.iter().sum();
     assert!(total <= n, "cycle lengths exceed the domain");
-    assert!(cycle_lengths.iter().all(|&l| l >= 1), "cycles must be non-empty");
+    assert!(
+        cycle_lengths.iter().all(|&l| l >= 1),
+        "cycles must be non-empty"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut verts: Vec<usize> = (0..n).collect();
     verts.shuffle(&mut rng);
@@ -298,7 +308,8 @@ mod tests {
         }));
         // Vertical cycles exist too.
         assert!(cycles.iter().any(|c| {
-            c.len() >= 2 && c.iter().all(|&v| grid.coords(v).1 == grid.coords(c[0]).1)
+            c.len() >= 2
+                && c.iter().all(|&v| grid.coords(v).1 == grid.coords(c[0]).1)
                 && c.iter().any(|&v| grid.coords(v).0 != grid.coords(c[0]).0)
         }));
     }

@@ -21,7 +21,10 @@ pub fn total_displacement(grid: Grid, p: &Permutation) -> usize {
 /// Largest single-token L1 distance — a lower bound on routing depth.
 pub fn max_displacement(grid: Grid, p: &Permutation) -> usize {
     assert_eq!(grid.len(), p.len());
-    (0..p.len()).map(|v| grid.dist(v, p.apply(v))).max().unwrap_or(0)
+    (0..p.len())
+        .map(|v| grid.dist(v, p.apply(v)))
+        .max()
+        .unwrap_or(0)
 }
 
 /// Depth lower bound on a grid: `max(max_displacement, ceil(total / 2*⌊n/2⌋))`.
@@ -36,7 +39,11 @@ pub fn depth_lower_bound(grid: Grid, p: &Permutation) -> usize {
     }
     let total = total_displacement(grid, p);
     let per_layer = 2 * (n / 2);
-    let volume_bound = if per_layer == 0 { 0 } else { total.div_ceil(per_layer) };
+    let volume_bound = if per_layer == 0 {
+        0
+    } else {
+        total.div_ceil(per_layer)
+    };
     max_displacement(grid, p).max(volume_bound)
 }
 
@@ -56,7 +63,11 @@ pub fn depth_lower_bound_graph(graph: &Graph, p: &Permutation) -> usize {
         maxd = maxd.max(d as usize);
     }
     let per_layer = 2 * (n / 2);
-    let volume_bound = if per_layer == 0 { 0 } else { total.div_ceil(per_layer) };
+    let volume_bound = if per_layer == 0 {
+        0
+    } else {
+        total.div_ceil(per_layer)
+    };
     maxd.max(volume_bound)
 }
 

@@ -123,15 +123,15 @@ impl PartialPermutation {
             }
             Completion::NearestFree(grid) => {
                 assert_eq!(grid.len(), n, "grid size must match permutation size");
-                for v in 0..n {
-                    if map[v].is_some() {
+                for (v, slot) in map.iter_mut().enumerate() {
+                    if slot.is_some() {
                         continue;
                     }
                     let d = (0..n)
                         .filter(|&d| !taken[d])
                         .min_by_key(|&d| (grid.dist(v, d), d))
                         .expect("free destination must exist");
-                    map[v] = Some(d);
+                    *slot = Some(d);
                     taken[d] = true;
                 }
             }

@@ -125,7 +125,11 @@ impl Permutation {
     /// # Panics
     /// Panics when the two permutations have different sizes.
     pub fn compose(&self, other: &Permutation) -> Permutation {
-        assert_eq!(self.len(), other.len(), "composing permutations of different sizes");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "composing permutations of different sizes"
+        );
         Permutation { map: other.map.iter().map(|&v| self.map[v]).collect() }
     }
 
@@ -165,7 +169,11 @@ impl Permutation {
 
     /// Number of non-fixed points.
     pub fn support_size(&self) -> usize {
-        self.map.iter().enumerate().filter(|&(i, &x)| i != x).count()
+        self.map
+            .iter()
+            .enumerate()
+            .filter(|&(i, &x)| i != x)
+            .count()
     }
 
     /// Build a permutation from a list of cycles over `0..n`; unmentioned

@@ -86,7 +86,10 @@ impl Mul for Complex64 {
     type Output = Complex64;
     #[inline]
     fn mul(self, o: Complex64) -> Complex64 {
-        Complex64::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+        Complex64::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
     }
 }
 
@@ -130,7 +133,10 @@ mod tests {
 
     #[test]
     fn euler_identity() {
-        assert!(close(Complex64::expi(std::f64::consts::PI), -Complex64::ONE));
+        assert!(close(
+            Complex64::expi(std::f64::consts::PI),
+            -Complex64::ONE
+        ));
         assert!(close(Complex64::expi(0.0), Complex64::ONE));
     }
 

@@ -37,7 +37,11 @@ pub fn transpiled_equivalent(
     initial: &[usize],
     final_: &[usize],
 ) -> bool {
-    assert_eq!(logical.num_qubits(), physical.num_qubits(), "1:1 mapping required");
+    assert_eq!(
+        logical.num_qubits(),
+        physical.num_qubits(),
+        "1:1 mapping required"
+    );
     assert_eq!(initial.len(), logical.num_qubits());
     assert_eq!(final_.len(), logical.num_qubits());
     (0..DEFAULT_PROBES as u64).all(|seed| {
@@ -62,7 +66,9 @@ mod tests {
     #[test]
     fn swap_decomposition_is_equivalent() {
         let mut c = Circuit::new(3);
-        c.push(Gate::H(0)).push(Gate::Swap(0, 2)).push(Gate::Cx(0, 1));
+        c.push(Gate::H(0))
+            .push(Gate::Swap(0, 2))
+            .push(Gate::Cx(0, 1));
         assert!(circuits_equivalent(&c, &c.decompose_swaps()));
     }
 
@@ -100,9 +106,13 @@ mod tests {
         physical.push(Gate::Swap(0, 1));
         let initial = [0usize, 1, 2];
         let final_ = [1usize, 0, 2];
-        assert!(transpiled_equivalent(&logical, &physical, &initial, &final_));
+        assert!(transpiled_equivalent(
+            &logical, &physical, &initial, &final_
+        ));
         // Wrong final layout fails.
-        assert!(!transpiled_equivalent(&logical, &physical, &initial, &initial));
+        assert!(!transpiled_equivalent(
+            &logical, &physical, &initial, &initial
+        ));
     }
 
     #[test]

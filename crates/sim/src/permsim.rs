@@ -20,7 +20,10 @@ impl std::fmt::Display for PermSimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PermSimError::NonSwapGate { index } => {
-                write!(f, "gate {index} is not a SWAP; permutation tracking undefined")
+                write!(
+                    f,
+                    "gate {index} is not a SWAP; permutation tracking undefined"
+                )
             }
         }
     }

@@ -37,12 +37,16 @@ pub fn apply_gate(state: &mut State, gate: &Gate) {
         Gate::Z(q) => apply_1q(state, q, [[l, o], [o, -l]]),
         Gate::S(q) => apply_1q(state, q, [[l, o], [o, Complex64::I]]),
         Gate::Sdg(q) => apply_1q(state, q, [[l, o], [o, -Complex64::I]]),
-        Gate::T(q) => {
-            apply_1q(state, q, [[l, o], [o, Complex64::expi(std::f64::consts::FRAC_PI_4)]])
-        }
-        Gate::Tdg(q) => {
-            apply_1q(state, q, [[l, o], [o, Complex64::expi(-std::f64::consts::FRAC_PI_4)]])
-        }
+        Gate::T(q) => apply_1q(
+            state,
+            q,
+            [[l, o], [o, Complex64::expi(std::f64::consts::FRAC_PI_4)]],
+        ),
+        Gate::Tdg(q) => apply_1q(
+            state,
+            q,
+            [[l, o], [o, Complex64::expi(-std::f64::consts::FRAC_PI_4)]],
+        ),
         Gate::Rx(q, a) => {
             let c = Complex64::new((a / 2.0).cos(), 0.0);
             let s = Complex64::new(0.0, -(a / 2.0).sin());
@@ -57,7 +61,10 @@ pub fn apply_gate(state: &mut State, gate: &Gate) {
             apply_1q(
                 state,
                 q,
-                [[Complex64::expi(-a / 2.0), o], [o, Complex64::expi(a / 2.0)]],
+                [
+                    [Complex64::expi(-a / 2.0), o],
+                    [o, Complex64::expi(a / 2.0)],
+                ],
             );
         }
         Gate::Cx(c, t) => {
@@ -240,8 +247,7 @@ mod tests {
                 let amps = expected.amplitudes_mut();
                 let scale = 1.0 / (dim as f64).sqrt();
                 for (j, a) in amps.iter_mut().enumerate() {
-                    let angle =
-                        2.0 * std::f64::consts::PI * (j as f64) * (k as f64) / dim as f64;
+                    let angle = 2.0 * std::f64::consts::PI * (j as f64) * (k as f64) / dim as f64;
                     *a = Complex64::expi(angle).scale(scale);
                 }
             }

@@ -74,9 +74,9 @@ mod tests {
         let c = Cycle::new(7);
         let g = c.to_graph();
         let apsp = crate::dist::all_pairs(&g);
-        for u in 0..7 {
-            for v in 0..7 {
-                assert_eq!(c.dist(u, v), apsp[u][v] as usize);
+        for (u, row) in apsp.iter().enumerate() {
+            for (v, &duv) in row.iter().enumerate() {
+                assert_eq!(c.dist(u, v), duv as usize);
             }
         }
     }

@@ -96,9 +96,9 @@ mod tests {
     fn all_pairs_symmetric() {
         let g = Grid::new(3, 3).to_graph();
         let apsp = all_pairs(&g);
-        for u in 0..9 {
-            for v in 0..9 {
-                assert_eq!(apsp[u][v], apsp[v][u]);
+        for (u, row) in apsp.iter().enumerate() {
+            for (v, &duv) in row.iter().enumerate() {
+                assert_eq!(duv, apsp[v][u]);
             }
         }
     }

@@ -193,9 +193,9 @@ mod tests {
         let g = Grid::new(4, 5);
         let graph = g.to_graph();
         let apsp = crate::dist::all_pairs(&graph);
-        for u in 0..g.len() {
-            for v in 0..g.len() {
-                assert_eq!(g.dist(u, v), apsp[u][v] as usize, "u={u} v={v}");
+        for (u, row) in apsp.iter().enumerate() {
+            for (v, &duv) in row.iter().enumerate() {
+                assert_eq!(g.dist(u, v), duv as usize, "u={u} v={v}");
             }
         }
     }

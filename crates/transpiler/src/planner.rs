@@ -52,12 +52,15 @@ pub fn plan_targets(grid: Grid, blocked: &[(usize, usize)]) -> (Permutation, usi
             continue; // one endpoint already scheduled this round
         }
         let path = grid_path(grid, pa, pb);
-        let mid = (path.len() - 2) / 2; // middle edge (path[mid], path[mid+1])
-        // Slide outward from the middle edge until both endpoints are
-        // unclaimed.
+        // Middle edge is (path[mid], path[mid+1]); slide outward from it
+        // until both endpoints are unclaimed.
+        let mid = (path.len() - 2) / 2;
         let mut edge = None;
         for offset in 0..path.len() {
-            for h in [mid.saturating_sub(offset), (mid + offset).min(path.len() - 2)] {
+            for h in [
+                mid.saturating_sub(offset),
+                (mid + offset).min(path.len() - 2),
+            ] {
                 if !claimed[path[h]] && !claimed[path[h + 1]] {
                     edge = Some(h);
                     break;

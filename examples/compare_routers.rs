@@ -14,14 +14,24 @@ fn main() {
     let seeds: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(5);
     let grid = Grid::new(side, side);
 
-    let classes: Vec<(&str, Box<dyn Fn(u64) -> Permutation>)> = vec![
-        ("random", Box::new(move |s| generators::random(grid.len(), s))),
-        ("block4", Box::new(move |s| generators::block_local(grid, 4, 4, s))),
+    type SeededClass<'a> = (&'a str, Box<dyn Fn(u64) -> Permutation>);
+    let classes: Vec<SeededClass> = vec![
+        (
+            "random",
+            Box::new(move |s| generators::random(grid.len(), s)),
+        ),
+        (
+            "block4",
+            Box::new(move |s| generators::block_local(grid, 4, 4, s)),
+        ),
         (
             "overlap8/4",
             Box::new(move |s| generators::overlapping_blocks(grid, 8, 8, 4, 4, s)),
         ),
-        ("skinny", Box::new(move |s| generators::skinny_cycles(grid, s))),
+        (
+            "skinny",
+            Box::new(move |s| generators::skinny_cycles(grid, s)),
+        ),
     ];
     let routers = [
         RouterKind::locality_aware(),

@@ -16,8 +16,14 @@ fn main() {
     let noise = NoiseModel::superconducting_2022();
     let workloads: Vec<(&str, Circuit)> = vec![
         ("qft-16", builders::qft(16)),
-        ("trotter-diag 4x4 x2", builders::trotter_diagonal_step(4, 4, 0.1, 2)),
-        ("random 40 CX", builders::random_two_qubit_circuit(16, 40, 11)),
+        (
+            "trotter-diag 4x4 x2",
+            builders::trotter_diagonal_step(4, 4, 0.1, 2),
+        ),
+        (
+            "random 40 CX",
+            builders::random_two_qubit_circuit(16, 40, 11),
+        ),
     ];
 
     println!(
@@ -30,7 +36,11 @@ fn main() {
     );
     for (name, logical) in &workloads {
         let p_logical = noise.success_probability(logical);
-        for router in [RouterKind::locality_aware(), RouterKind::naive(), RouterKind::Ats] {
+        for router in [
+            RouterKind::locality_aware(),
+            RouterKind::naive(),
+            RouterKind::Ats,
+        ] {
             let rname = router.name();
             let t = Transpiler::new(
                 grid,

@@ -11,7 +11,12 @@ use qroute::prelude::*;
 fn main() {
     // An 8x8 superconducting-style qubit grid.
     let grid = Grid::new(8, 8);
-    println!("coupling graph: {}x{} grid, {} qubits", grid.rows(), grid.cols(), grid.len());
+    println!(
+        "coupling graph: {}x{} grid, {} qubits",
+        grid.rows(),
+        grid.cols(),
+        grid.len()
+    );
 
     // The transpiler asks us to realize a permutation: qubit at v must move
     // to pi(v). Take a uniformly random one (the hardest case for locality).
@@ -36,14 +41,24 @@ fn main() {
     // state-of-the-art transpilers.
     let ats = RouterKind::Ats.route(grid, &pi);
     assert!(ats.realizes(&pi));
-    println!("ats:            depth {} layers, {} SWAPs", ats.depth(), ats.size());
+    println!(
+        "ats:            depth {} layers, {} SWAPs",
+        ats.depth(),
+        ats.size()
+    );
 
     // Each layer is a matching of the grid: disjoint SWAPs that execute in
     // one time step.
     let first = &schedule.layers[0];
-    println!("first layer has {} parallel swaps, e.g. {:?}", first.len(), &first.swaps[..3.min(first.swaps.len())]);
+    println!(
+        "first layer has {} parallel swaps, e.g. {:?}",
+        first.len(),
+        &first.swaps[..3.min(first.swaps.len())]
+    );
 
     // Every schedule can be checked against the coupling graph.
-    schedule.validate_on(&grid.to_graph()).expect("layers are matchings of the grid");
+    schedule
+        .validate_on(&grid.to_graph())
+        .expect("layers are matchings of the grid");
     println!("schedule validated: every layer is a matching of coupling edges");
 }

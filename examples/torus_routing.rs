@@ -6,9 +6,7 @@
 //! ```
 
 use qroute::perm::generators;
-use qroute::routing::product_route::{
-    product_route, CycleFactor, PathFactor, ProductRouteOptions,
-};
+use qroute::routing::product_route::{product_route, CycleFactor, PathFactor, ProductRouteOptions};
 use qroute::topology::{Cycle, Path, Product};
 
 fn main() {

@@ -28,11 +28,18 @@ fn main() {
         logical.depth()
     );
 
-    for router in [RouterKind::locality_aware(), RouterKind::naive(), RouterKind::Ats] {
+    for router in [
+        RouterKind::locality_aware(),
+        RouterKind::naive(),
+        RouterKind::Ats,
+    ] {
         let name = router.name();
         let transpiler = Transpiler::new(
             grid,
-            TranspileOptions { router, initial_layout: qroute::transpiler::InitialLayout::Identity },
+            TranspileOptions {
+                router,
+                initial_layout: qroute::transpiler::InitialLayout::Identity,
+            },
         );
         let result = transpiler.run(&logical);
         assert!(result.physical.is_feasible(|a, b| grid.dist(a, b) == 1));

@@ -1,0 +1,213 @@
+//! Offline shim for the subset of the `criterion` API this workspace uses.
+//!
+//! Compiles the same bench sources (`criterion_group!`/`criterion_main!`,
+//! benchmark groups, `bench_with_input`, `Bencher::iter`) and runs a
+//! simple timing loop: per benchmark, one warm-up call then `sample_size`
+//! timed batches, reporting the per-iteration mean and min to stdout. No
+//! statistics, plots, or baselines — those need the real crate; swap it
+//! in via `Cargo.toml` when a registry is reachable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\nbench group: {name}");
+        BenchmarkGroup { _criterion: self, name, sample_size: 10 }
+    }
+}
+
+/// Identifies one benchmark within a group (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Throughput annotation (recorded but not reported by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim does a single warm-up call.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim times `sample_size` calls.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Record the group throughput (ignored by the shim reporter).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { samples: Vec::new(), iters_per_sample: self.sample_size };
+        f(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Run a benchmark with no prepared input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: Vec::new(), iters_per_sample: self.sample_size };
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Finish the group (reports are emitted eagerly, so this is a no-op).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        if bencher.samples.is_empty() {
+            eprintln!("  {}/{}: no samples", self.name, id.id);
+            return;
+        }
+        let mean = bencher.samples.iter().sum::<f64>() / bencher.samples.len() as f64;
+        let min = bencher
+            .samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        eprintln!(
+            "  {}/{}: mean {:>12} min {:>12} ({} samples)",
+            self.name,
+            id.id,
+            fmt_ns(mean),
+            fmt_ns(min),
+            bencher.samples.len()
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, one entry per timed sample.
+    samples: Vec<f64>,
+    iters_per_sample: usize,
+}
+
+impl Bencher {
+    /// Call `routine` repeatedly, timing each sample batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up / first-touch
+        for _ in 0..self.iters_per_sample {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3).warm_up_time(Duration::from_millis(1));
+        let mut calls = 0u32;
+        group.bench_with_input(BenchmarkId::new("count", 1), &5u64, |b, &x| {
+            b.iter(|| {
+                calls += 1;
+                x * 2
+            })
+        });
+        group.finish();
+        assert_eq!(calls, 4); // 1 warm-up + 3 samples
+    }
+}

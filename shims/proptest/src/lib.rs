@@ -1,0 +1,169 @@
+//! Offline shim for the subset of the `proptest` API this workspace uses.
+//!
+//! A tiny strategy framework with deterministic sampling and **no
+//! shrinking**: each test runs `Config::cases` independently-seeded cases
+//! and reports the first failing case's message. Seeds derive from the
+//! case index alone, so failures reproduce exactly across runs and
+//! machines — a deliberate trade: upstream proptest explores new seeds
+//! per run and shrinks failures, this shim favors CI determinism.
+//!
+//! Supported surface (all of it exercised by `tests/properties.rs`):
+//! integer-range strategies, [`strategy::Just`], tuples up to arity 4,
+//! `prop_flat_map` / `prop_map` / `prop_shuffle`, [`collection::vec`],
+//! the [`proptest!`] macro with `#![proptest_config(..)]`, and the
+//! `prop_assert!` / `prop_assert_eq!` assertion macros.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+/// Test-runner configuration types.
+pub mod test_runner {
+    /// Runner configuration; only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of sampled cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::{Strategy, TestRng};
+
+    /// Strategy for `Vec`s with element strategy `S` and a length sampled
+    /// from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// A `Vec` strategy: elements from `element`, length from `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.below(self.size.end - self.size.start) + self.size.start
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The conventional glob-import surface.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[doc(hidden)]
+pub fn run_cases<F>(config: test_runner::Config, mut case: F)
+where
+    F: FnMut(&mut strategy::TestRng) -> Result<(), String>,
+{
+    for index in 0..config.cases {
+        let mut rng = strategy::TestRng::for_case(index as u64);
+        if let Err(msg) = case(&mut rng) {
+            panic!("proptest case {index}/{} failed: {msg}", config.cases);
+        }
+    }
+}
+
+/// Define deterministic property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(8))]
+///     // `#[test]` goes here in real test modules.
+///     fn addition_commutes(a in 0u64..100, b in 0u64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = ($cfg:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases($cfg, |__proptest_rng| {
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), __proptest_rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// `assert!` for proptest bodies: fails the current case instead of
+/// panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+/// `assert_eq!` for proptest bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                left,
+                right
+            ));
+        }
+    }};
+}

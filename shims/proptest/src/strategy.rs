@@ -1,0 +1,252 @@
+//! The strategy trait, primitive strategies and combinators.
+
+/// Deterministic per-case random source (xoshiro256** seeded by SplitMix64
+/// from the case index).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// The generator for case number `case` (stable across runs).
+    pub fn for_case(case: u64) -> Self {
+        let mut x = case.wrapping_mul(0x2545f4914f6cdd1d) ^ 0x6a09e667f3bcc908;
+        let mut next = move || {
+            x = x.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        TestRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform draw from `0..bound` (`bound > 0`).
+    pub fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map each sampled value through a strategy-producing function and
+    /// sample from the result.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Map each sampled value through a plain function.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { base: self, f }
+    }
+
+    /// Uniformly shuffle the sampled value (a `Vec`).
+    fn prop_shuffle(self) -> Shuffle<Self>
+    where
+        Self: Sized,
+    {
+        Shuffle { base: self }
+    }
+}
+
+/// Strategy that always yields a clone of a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, S, F> Strategy for FlatMap<B, F>
+where
+    B: Strategy,
+    S: Strategy,
+    F: Fn(B::Value) -> S,
+{
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.base.sample(rng)).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, T, F> Strategy for Map<B, F>
+where
+    B: Strategy,
+    F: Fn(B::Value) -> T,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.base.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_shuffle`].
+#[derive(Debug, Clone)]
+pub struct Shuffle<B> {
+    base: B,
+}
+
+impl<B, T> Strategy for Shuffle<B>
+where
+    B: Strategy<Value = Vec<T>>,
+{
+    type Value = Vec<T>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<T> {
+        let mut v = self.base.sample(rng);
+        rng.shuffle(&mut v);
+        v
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128 - self.start as u128) as u64;
+                self.start + (((rng.next_u64() as u128 * span as u128) >> 64) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as u128 - start as u128 + 1) as u64;
+                start + (((rng.next_u64() as u128 * span as u128) >> 64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case(0);
+        for _ in 0..1000 {
+            let v = (3usize..9).sample(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (1usize..=6).sample(&mut rng);
+            assert!((1..=6).contains(&w));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = TestRng::for_case(1);
+        let s = Just((0..30).collect::<Vec<usize>>()).prop_shuffle();
+        let mut v = s.sample(&mut rng);
+        v.sort_unstable();
+        assert_eq!(v, (0..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_map_composes() {
+        let mut rng = TestRng::for_case(2);
+        let s = (2usize..5).prop_flat_map(|n| Just(vec![n; n]));
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x == v.len()));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let s = (0u64..1000).prop_map(|x| x * 2);
+        let a: Vec<u64> = (0..10)
+            .map(|c| s.sample(&mut TestRng::for_case(c)))
+            .collect();
+        let b: Vec<u64> = (0..10)
+            .map(|c| s.sample(&mut TestRng::for_case(c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,91 @@
+//! Offline shim for the subset of the `rayon` API this workspace uses.
+//!
+//! There is no crates.io access in the build environment, so "parallel"
+//! iterators degrade to ordinary sequential iterators with the same method
+//! chains (`into_par_iter().map(...).collect()`). Callers must not rely on
+//! actual parallelism — only on identical results, which sequential
+//! execution trivially provides. Swapping in real rayon later is a
+//! one-line `Cargo.toml` change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The rayon prelude: parallel-iterator entry points.
+pub mod prelude {
+    /// Types convertible into a "parallel" (here: sequential) iterator.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item;
+        /// Iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Convert into the iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = std::vec::IntoIter<T>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = std::ops::Range<usize>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    /// Types whose references yield a "parallel" (here: sequential) iterator.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type (a reference).
+        type Item: 'a;
+        /// Iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Iterate by reference.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn into_par_iter_matches_sequential() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn par_iter_by_ref() {
+        let v = vec![1, 2, 3];
+        let sum: i32 = v.par_iter().sum();
+        assert_eq!(sum, 6);
+    }
+}

@@ -1,0 +1,139 @@
+//! `#[derive(Serialize)]` for the offline serde shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no syn/quote — the
+//! build environment has no crates.io access). Supports exactly what the
+//! workspace needs: non-generic structs with named fields, where every
+//! field type implements the shim's `serde::Serialize`. Anything else is
+//! rejected with a compile error rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the shim `serde::Serialize` (JSON writer) for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(ts) => ts,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let trees: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    while i < trees.len() {
+        match &trees[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // `#` + `[...]`
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(&trees.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match trees.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => i += 1,
+        _ => return Err("Serialize shim derive supports only structs".into()),
+    }
+
+    let name = match trees.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected struct name".into()),
+    };
+    i += 1;
+
+    let fields_group = match trees.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err("Serialize shim derive does not support generics".into())
+        }
+        _ => return Err("Serialize shim derive supports only named-field structs".into()),
+    };
+
+    let fields = parse_field_names(fields_group.stream())?;
+    if fields.is_empty() {
+        return Err("Serialize shim derive needs at least one field".into());
+    }
+
+    let mut body = String::new();
+    for (k, field) in fields.iter().enumerate() {
+        if k > 0 {
+            body.push_str("out.push(',');\n");
+        }
+        body.push_str(&format!(
+            "::serde::write_json_string({field:?}, out);\n\
+             out.push(':');\n\
+             ::serde::Serialize::write_json(&self.{field}, out);\n"
+        ));
+    }
+
+    let impl_src = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn write_json(&self, out: &mut ::std::string::String) {{\n\
+                 out.push('{{');\n\
+                 {body}\
+                 out.push('}}');\n\
+             }}\n\
+         }}"
+    );
+    impl_src
+        .parse()
+        .map_err(|e| format!("shim derive produced invalid Rust: {e:?}"))
+}
+
+/// Extract field names from the brace group of a named-field struct.
+fn parse_field_names(stream: TokenStream) -> Result<Vec<String>, String> {
+    let trees: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < trees.len() {
+        // Skip field attributes (doc comments arrive as `#[doc = ...]`).
+        while matches!(&trees.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        // Skip visibility.
+        if matches!(&trees.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&trees.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match trees.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break, // trailing comma
+            other => return Err(format!("unexpected token in struct fields: {other:?}")),
+        };
+        i += 1;
+        match trees.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        fields.push(name);
+        // Skip the type up to the next top-level comma. Generic argument
+        // lists contain commas, so track `<`/`>` depth; shift operators
+        // cannot appear in types, so each `>` closes one level.
+        let mut angle_depth = 0usize;
+        while i < trees.len() {
+            match &trees[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1)
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}

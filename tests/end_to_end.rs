@@ -4,9 +4,7 @@
 use qroute::circuit::{builders, Gate};
 use qroute::perm::{generators, metrics, Permutation};
 use qroute::prelude::*;
-use qroute::routing::product_route::{
-    product_route, CycleFactor, PathFactor, ProductRouteOptions,
-};
+use qroute::routing::product_route::{product_route, CycleFactor, PathFactor, ProductRouteOptions};
 use qroute::sim::{equiv, permsim};
 use qroute::topology::{Cycle, Path, Product};
 use qroute::transpiler::InitialLayout;
@@ -32,8 +30,8 @@ fn routing_schedule_matches_permutation_tracker() {
         let schedule = RouterKind::locality_aware().route(grid, &pi);
         let circuit = schedule_to_circuit(16, &schedule);
         let tracked = permsim::track_permutation(&circuit).unwrap();
-        for v in 0..16 {
-            assert_eq!(tracked[v], pi.apply(v), "token {v} seed {seed}");
+        for (v, &tok) in tracked.iter().enumerate() {
+            assert_eq!(tok, pi.apply(v), "token {v} seed {seed}");
         }
     }
 }
@@ -192,7 +190,11 @@ fn partial_permutation_to_routing_pipeline() {
 fn identity_permutation_costs_nothing_everywhere() {
     let grid = Grid::new(5, 5);
     let pi = Permutation::identity(25);
-    for router in [RouterKind::locality_aware(), RouterKind::naive(), RouterKind::Ats] {
+    for router in [
+        RouterKind::locality_aware(),
+        RouterKind::naive(),
+        RouterKind::Ats,
+    ] {
         assert_eq!(router.route(grid, &pi).depth(), 0);
     }
 }

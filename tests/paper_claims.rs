@@ -94,7 +94,10 @@ fn locality_awareness_exploits_block_locality() {
         let lb = metrics::max_displacement(grid, &pi);
         // Block diameter is 6; the router should stay within a small
         // constant of it, far below the ~3n naive envelope (48).
-        assert!(depth <= 4 * lb.max(1), "seed {seed}: depth {depth} vs lb {lb}");
+        assert!(
+            depth <= 4 * lb.max(1),
+            "seed {seed}: depth {depth} vs lb {lb}"
+        );
         assert!(depth <= 20, "seed {seed}: depth {depth} not local");
     }
 }

@@ -10,7 +10,11 @@ use qroute::routing::token_swap;
 fn grid_and_perm() -> impl Strategy<Value = (usize, usize, Vec<usize>)> {
     (1usize..=6, 1usize..=6).prop_flat_map(|(m, n)| {
         let len = m * n;
-        (Just(m), Just(n), Just((0..len).collect::<Vec<usize>>()).prop_shuffle())
+        (
+            Just(m),
+            Just(n),
+            Just((0..len).collect::<Vec<usize>>()).prop_shuffle(),
+        )
     })
 }
 
