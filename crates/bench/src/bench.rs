@@ -1,0 +1,655 @@
+//! Machine-readable benchmark reports with baseline regression gating.
+//!
+//! The figure sweeps in [`crate::experiments`] produce human-oriented
+//! tables; this module produces the *canonical performance record* the
+//! project is judged against over time:
+//!
+//! * [`BenchReport`] — a schema-versioned, serde-serialized report: build
+//!   environment metadata, the run configuration, and one [`BenchCell`]
+//!   per router × workload class × grid side with full
+//!   [`SampleSummary`] percentiles (mean/min/p50/p90/max over seeds) for
+//!   depth, swap count, the displacement lower bound, and wall-clock
+//!   routing time;
+//! * [`run_bench`] — drives the full cell matrix in parallel via rayon
+//!   and returns a deterministically ordered report whose JSON encoding
+//!   ([`BenchReport::to_json`]) is byte-stable: with timing capture
+//!   disabled ([`BenchConfig::timing`] = `false`), two runs with the same
+//!   seeds produce *identical* `BENCH.json` bytes;
+//! * [`BenchReport::from_json`] — reads a committed baseline back;
+//! * [`check_against_baseline`] — diffs a fresh report against a
+//!   baseline and reports per-cell regressions: mean depth beyond the
+//!   per-class tolerance ([`depth_tolerance`]), or mean routing time more
+//!   than [`TIME_TOLERANCE`] (25%) slower when both reports captured
+//!   timing. The `repro bench --baseline <file> --check` subcommand turns
+//!   a failed check into exit code 1 plus a markdown delta table
+//!   ([`delta_table_markdown`]).
+//!
+//! Depth, size and lower bound are exactly reproducible (seeded
+//! workloads, deterministic routers), so any depth delta is a real
+//! algorithmic change; the tolerance only leaves headroom for intentional
+//! small trade-offs. Wall-clock time is the one machine-dependent metric,
+//! which is why it is separately tolerated and optional.
+
+use crate::workloads::WorkloadClass;
+use qroute_core::stats::{route_timed, SampleSummary};
+use qroute_core::{GridRouter, RouterKind};
+use qroute_topology::Grid;
+use rayon::prelude::*;
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Version of the `BENCH.json` schema. Bump on any breaking change to
+/// [`BenchReport`]'s serialized shape; [`BenchReport::from_json`] refuses
+/// mismatched versions so a stale baseline fails loudly.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Relative mean-runtime regression tolerated by the baseline check
+/// (`0.25` = 25% slower), applied only when both reports captured timing.
+pub const TIME_TOLERANCE: f64 = 0.25;
+
+/// Per-class relative mean-depth regression tolerance.
+///
+/// Depth is deterministic for a fixed seed set, so these are headroom for
+/// intentional trade-offs, not noise margins. The overlap and skinny
+/// classes get more room: they are the regimes where router heuristics
+/// legitimately trade depth between classes (§V — ATS wins on overlap;
+/// skinny cycles are adversarial for the locality-aware router).
+pub fn depth_tolerance(class: &str) -> f64 {
+    if class.starts_with("overlap") || class.starts_with("skinny") {
+        0.05
+    } else {
+        0.02
+    }
+}
+
+/// Build/environment metadata recorded in every report.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchEnv {
+    /// Crate version of the harness that produced the report.
+    pub version: String,
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Whether the harness was compiled with debug assertions (a `true`
+    /// here means timings are not representative of release builds).
+    pub debug_assertions: bool,
+}
+
+impl BenchEnv {
+    /// Capture the current build environment.
+    pub fn capture() -> BenchEnv {
+        BenchEnv {
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            debug_assertions: cfg!(debug_assertions),
+        }
+    }
+}
+
+/// Configuration of a benchmark run.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchConfig {
+    /// Square-grid sides in the matrix.
+    pub sides: Vec<usize>,
+    /// Seeds per cell (`0..seeds`).
+    pub seeds: u64,
+    /// Whether wall-clock routing time was captured. `false` zeroes the
+    /// `time_ms` summaries, making the report byte-stable across runs —
+    /// timing is the only nondeterministic input to the schema.
+    pub timing: bool,
+}
+
+impl BenchConfig {
+    /// The canonical full matrix: sides {4, 8, 16}, 5 seeds, with timing.
+    pub fn full() -> BenchConfig {
+        BenchConfig { sides: vec![4, 8, 16], seeds: 5, timing: true }
+    }
+
+    /// The CI gate configuration: the same sides, fewer seeds, and no
+    /// timing — so the committed baseline compares byte-for-byte across
+    /// machines.
+    pub fn quick() -> BenchConfig {
+        BenchConfig { sides: vec![4, 8, 16], seeds: 2, timing: false }
+    }
+}
+
+/// One measured cell: a router × workload class × grid side aggregate
+/// with full sample summaries over the seed set.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchCell {
+    /// Router label ([`GridRouter::name`]).
+    pub router: String,
+    /// Workload class label ([`WorkloadClass::label`]).
+    pub class: String,
+    /// Grid side (square grids).
+    pub side: usize,
+    /// Number of qubits (`side * side`).
+    pub qubits: usize,
+    /// Schedule depth summary over seeds.
+    pub depth: SampleSummary,
+    /// Swap-count summary over seeds.
+    pub size: SampleSummary,
+    /// Depth lower bound (max displacement) summary over seeds.
+    pub lower_bound: SampleSummary,
+    /// Wall-clock routing time summary in milliseconds (all-zero with
+    /// `n = 0` when timing capture was disabled).
+    pub time_ms: SampleSummary,
+}
+
+impl BenchCell {
+    /// The cell's identity within a report's matrix.
+    pub fn key(&self) -> (&str, &str, usize) {
+        (self.router.as_str(), self.class.as_str(), self.side)
+    }
+}
+
+/// A complete benchmark report — the `BENCH.json` document.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Build environment metadata.
+    pub env: BenchEnv,
+    /// Run configuration.
+    pub config: BenchConfig,
+    /// The cell matrix, sorted by (router, class, side).
+    pub cells: Vec<BenchCell>,
+}
+
+/// The router axis of the benchmark matrix: every [`RouterKind`] in its
+/// default configuration.
+pub fn bench_routers() -> Vec<RouterKind> {
+    vec![
+        RouterKind::locality_aware(),
+        RouterKind::naive(),
+        RouterKind::hybrid(),
+        RouterKind::Ats,
+        RouterKind::AtsSerial,
+        RouterKind::Tree,
+        RouterKind::Snake,
+    ]
+}
+
+/// Measure one benchmark cell: route `seeds` instances, verify every
+/// schedule, and summarize each metric's per-seed samples.
+pub fn measure_bench_cell(
+    side: usize,
+    class: WorkloadClass,
+    router: &RouterKind,
+    seeds: u64,
+    timing: bool,
+) -> BenchCell {
+    let grid = Grid::new(side, side);
+    let mut depths = Vec::with_capacity(seeds as usize);
+    let mut sizes = Vec::with_capacity(seeds as usize);
+    let mut lbs = Vec::with_capacity(seeds as usize);
+    let mut times = Vec::with_capacity(seeds as usize);
+    for seed in 0..seeds {
+        let pi = class.generate(grid, seed);
+        let timed = route_timed(grid, &pi, router);
+        assert!(
+            timed.schedule.realizes(&pi),
+            "{} produced a wrong schedule",
+            router.name()
+        );
+        depths.push(timed.stats.depth as f64);
+        sizes.push(timed.stats.size as f64);
+        lbs.push(timed.stats.lower_bound as f64);
+        if timing {
+            times.push(timed.route_ms);
+        }
+    }
+    BenchCell {
+        router: router.name().to_string(),
+        class: class.label(),
+        side,
+        qubits: grid.len(),
+        depth: SampleSummary::from_samples(&depths),
+        size: SampleSummary::from_samples(&sizes),
+        lower_bound: SampleSummary::from_samples(&lbs),
+        time_ms: SampleSummary::from_samples(&times),
+    }
+}
+
+/// Run the full benchmark matrix (all [`bench_routers`] × all
+/// [`WorkloadClass::all_classes`] × `config.sides`) and return the
+/// report with cells in canonical (router, class, side) order.
+///
+/// Untimed runs measure cells in parallel via rayon (depth and size do
+/// not depend on wall-clock); timed runs measure serially so time
+/// samples are not distorted by core contention — the same discipline
+/// [`crate::experiments::figure5`] applies.
+pub fn run_bench(config: &BenchConfig) -> BenchReport {
+    let mut jobs: Vec<(usize, WorkloadClass, RouterKind)> = Vec::new();
+    for &side in &config.sides {
+        for class in WorkloadClass::all_classes() {
+            for router in bench_routers() {
+                jobs.push((side, class, router));
+            }
+        }
+    }
+    let timing = config.timing;
+    let seeds = config.seeds;
+    let measure = |(side, class, router): (usize, WorkloadClass, RouterKind)| -> BenchCell {
+        measure_bench_cell(side, class, &router, seeds, timing)
+    };
+    let mut cells: Vec<BenchCell> = if timing {
+        jobs.into_iter().map(measure).collect()
+    } else {
+        jobs.into_par_iter().map(measure).collect()
+    };
+    cells.sort_by(|a, b| {
+        (a.router.as_str(), a.class.as_str(), a.side).cmp(&(
+            b.router.as_str(),
+            b.class.as_str(),
+            b.side,
+        ))
+    });
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        env: BenchEnv::capture(),
+        config: config.clone(),
+        cells,
+    }
+}
+
+impl BenchReport {
+    /// Serialize to the canonical `BENCH.json` encoding: pretty-printed
+    /// JSON with declaration-ordered keys and a trailing newline. For a
+    /// fixed configuration with timing disabled, the output is
+    /// byte-identical across runs and machines.
+    pub fn to_json(&self) -> String {
+        let mut json = serde_json::to_string_pretty(self).expect("serialize bench report");
+        json.push('\n');
+        json
+    }
+
+    /// Parse a report back from its JSON encoding (e.g. a committed
+    /// baseline). Rejects schema-version mismatches and malformed cells.
+    pub fn from_json(input: &str) -> Result<BenchReport, String> {
+        let doc = serde_json::from_str(input).map_err(|e| e.to_string())?;
+        let version = doc
+            .get("schema_version")
+            .and_then(|v| v.as_u64())
+            .ok_or("missing schema_version")?;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {version} != supported {SCHEMA_VERSION}; regenerate the baseline"
+            ));
+        }
+        let str_field = |v: &serde_json::Value, key: &str| -> Result<String, String> {
+            Ok(v.get(key)
+                .and_then(|x| x.as_str())
+                .ok_or_else(|| format!("missing string field {key:?}"))?
+                .to_string())
+        };
+        let num_field = |v: &serde_json::Value, key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(|x| x.as_f64())
+                .ok_or_else(|| format!("missing numeric field {key:?}"))
+        };
+        // Strict: fractional or negative values are malformed, not
+        // truncatable — a hand-edited "side": 4.5 must not silently
+        // collide with the real side-4 cell.
+        let uint_field = |v: &serde_json::Value, key: &str| -> Result<usize, String> {
+            v.get(key)
+                .and_then(|x| x.as_u64())
+                .map(|x| x as usize)
+                .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+        };
+        let summary_field = |v: &serde_json::Value, key: &str| -> Result<SampleSummary, String> {
+            let s = v
+                .get(key)
+                .ok_or_else(|| format!("missing summary {key:?}"))?;
+            Ok(SampleSummary {
+                n: uint_field(s, "n")?,
+                mean: num_field(s, "mean")?,
+                min: num_field(s, "min")?,
+                p50: num_field(s, "p50")?,
+                p90: num_field(s, "p90")?,
+                max: num_field(s, "max")?,
+            })
+        };
+        let env_v = doc.get("env").ok_or("missing env")?;
+        let config_v = doc.get("config").ok_or("missing config")?;
+        let cells_v = doc
+            .get("cells")
+            .and_then(|v| v.as_array())
+            .ok_or("missing cells array")?;
+        let mut cells = Vec::with_capacity(cells_v.len());
+        for c in cells_v {
+            cells.push(BenchCell {
+                router: str_field(c, "router")?,
+                class: str_field(c, "class")?,
+                side: uint_field(c, "side")?,
+                qubits: uint_field(c, "qubits")?,
+                depth: summary_field(c, "depth")?,
+                size: summary_field(c, "size")?,
+                lower_bound: summary_field(c, "lower_bound")?,
+                time_ms: summary_field(c, "time_ms")?,
+            });
+        }
+        Ok(BenchReport {
+            schema_version: version,
+            env: BenchEnv {
+                version: str_field(env_v, "version")?,
+                os: str_field(env_v, "os")?,
+                arch: str_field(env_v, "arch")?,
+                debug_assertions: env_v
+                    .get("debug_assertions")
+                    .and_then(|v| v.as_bool())
+                    .ok_or("missing env.debug_assertions")?,
+            },
+            config: BenchConfig {
+                sides: config_v
+                    .get("sides")
+                    .and_then(|v| v.as_array())
+                    .ok_or("missing config.sides")?
+                    .iter()
+                    .map(|v| v.as_u64().map(|x| x as usize).ok_or("bad side"))
+                    .collect::<Result<_, _>>()?,
+                seeds: config_v
+                    .get("seeds")
+                    .and_then(|v| v.as_u64())
+                    .ok_or("missing config.seeds")?,
+                timing: config_v
+                    .get("timing")
+                    .and_then(|v| v.as_bool())
+                    .ok_or("missing config.timing")?,
+            },
+            cells,
+        })
+    }
+}
+
+/// One metric comparison between a current cell and its baseline cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellDelta {
+    /// Router label.
+    pub router: String,
+    /// Class label.
+    pub class: String,
+    /// Grid side.
+    pub side: usize,
+    /// Which metric regressed-or-not: `"depth"` or `"time_ms"`.
+    pub metric: String,
+    /// Baseline mean.
+    pub baseline_mean: f64,
+    /// Current mean.
+    pub current_mean: f64,
+    /// Relative change (`0.10` = 10% worse than baseline).
+    pub delta: f64,
+    /// Tolerance the delta was judged against.
+    pub tolerance: f64,
+    /// `true` when `delta > tolerance`.
+    pub regressed: bool,
+}
+
+/// Outcome of a baseline comparison.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// Every metric comparison made (depth always; time when both
+    /// reports captured timing).
+    pub deltas: Vec<CellDelta>,
+    /// Baseline cell keys absent from the current report. A non-empty
+    /// list fails the check: a gate that silently drops cells is no gate.
+    pub missing_in_current: Vec<String>,
+    /// Current cell keys absent from the baseline (informational — new
+    /// routers/classes/sides are expected to appear before the baseline
+    /// is refreshed).
+    pub new_in_current: Vec<String>,
+    /// Cells whose seed counts differ between the reports. Means over
+    /// different sample sets are not comparable (a delta could come
+    /// purely from the extra seeds), so these fail the check instead of
+    /// being diffed.
+    pub seed_mismatches: Vec<String>,
+}
+
+impl CheckOutcome {
+    /// The comparisons that exceeded tolerance.
+    pub fn regressions(&self) -> Vec<&CellDelta> {
+        self.deltas.iter().filter(|d| d.regressed).collect()
+    }
+
+    /// `true` when no metric regressed, no baseline cell went missing,
+    /// and every compared cell used the same seed count.
+    pub fn passed(&self) -> bool {
+        self.missing_in_current.is_empty()
+            && self.seed_mismatches.is_empty()
+            && self.regressions().is_empty()
+    }
+}
+
+/// Compare `current` against `baseline` cell-by-cell.
+///
+/// Mean depth is gated per class by [`depth_tolerance`]; mean routing
+/// time is gated by [`TIME_TOLERANCE`] when both cells captured timing
+/// (`n > 0`). Size and lower bound are recorded in reports but not gated:
+/// size trades off against depth, and the lower bound is a property of
+/// the workload, not the router.
+pub fn check_against_baseline(current: &BenchReport, baseline: &BenchReport) -> CheckOutcome {
+    let mut deltas = Vec::new();
+    let mut missing = Vec::new();
+    let mut seed_mismatches = Vec::new();
+    for base in &baseline.cells {
+        let Some(cur) = current.cells.iter().find(|c| c.key() == base.key()) else {
+            missing.push(format!(
+                "{}/{}/{side}x{side}",
+                base.router,
+                base.class,
+                side = base.side
+            ));
+            continue;
+        };
+        if cur.depth.n != base.depth.n {
+            seed_mismatches.push(format!(
+                "{}/{}/{side}x{side}: {} seeds vs baseline {}",
+                base.router,
+                base.class,
+                cur.depth.n,
+                base.depth.n,
+                side = base.side
+            ));
+            continue;
+        }
+        let depth_tol = depth_tolerance(&base.class);
+        let depth_delta = cur.depth.mean_delta(&base.depth);
+        deltas.push(CellDelta {
+            router: base.router.clone(),
+            class: base.class.clone(),
+            side: base.side,
+            metric: "depth".to_string(),
+            baseline_mean: base.depth.mean,
+            current_mean: cur.depth.mean,
+            delta: depth_delta,
+            tolerance: depth_tol,
+            regressed: depth_delta > depth_tol,
+        });
+        if base.time_ms.n > 0 && cur.time_ms.n > 0 {
+            let time_delta = cur.time_ms.mean_delta(&base.time_ms);
+            deltas.push(CellDelta {
+                router: base.router.clone(),
+                class: base.class.clone(),
+                side: base.side,
+                metric: "time_ms".to_string(),
+                baseline_mean: base.time_ms.mean,
+                current_mean: cur.time_ms.mean,
+                delta: time_delta,
+                tolerance: TIME_TOLERANCE,
+                regressed: time_delta > TIME_TOLERANCE,
+            });
+        }
+    }
+    let new_in_current = current
+        .cells
+        .iter()
+        .filter(|c| !baseline.cells.iter().any(|b| b.key() == c.key()))
+        .map(|c| format!("{}/{}/{side}x{side}", c.router, c.class, side = c.side))
+        .collect();
+    CheckOutcome { deltas, missing_in_current: missing, new_in_current, seed_mismatches }
+}
+
+/// Render a markdown delta table for the given comparisons (typically
+/// [`CheckOutcome::regressions`], worst first).
+pub fn delta_table_markdown(deltas: &[&CellDelta]) -> String {
+    let mut out = String::from(
+        "| router | class | n×n | metric | baseline | current | delta | tolerance |\n\
+         |---|---|---|---|---|---|---|---|\n",
+    );
+    let mut sorted: Vec<&&CellDelta> = deltas.iter().collect();
+    sorted.sort_by(|a, b| {
+        b.delta
+            .partial_cmp(&a.delta)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for d in sorted {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {side}×{side} | {} | {:.3} | {:.3} | {:+.1}% | {:.1}% |",
+            d.router,
+            d.class,
+            d.metric,
+            d.baseline_mean,
+            d.current_mean,
+            d.delta * 100.0,
+            d.tolerance * 100.0,
+            side = d.side,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> BenchConfig {
+        BenchConfig { sides: vec![4], seeds: 2, timing: false }
+    }
+
+    #[test]
+    fn report_covers_full_matrix() {
+        let report = run_bench(&tiny_config());
+        let routers = bench_routers().len();
+        let classes = WorkloadClass::all_classes().len();
+        assert_eq!(report.cells.len(), routers * classes);
+        assert_eq!(report.schema_version, SCHEMA_VERSION);
+        // Canonical order: sorted by (router, class, side).
+        let keys: Vec<_> = report
+            .cells
+            .iter()
+            .map(|c| (c.router.clone(), c.class.clone(), c.side))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn untimed_reports_are_byte_identical() {
+        let a = run_bench(&tiny_config()).to_json();
+        let b = run_bench(&tiny_config()).to_json();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn json_round_trips_through_from_json() {
+        let report = run_bench(&tiny_config());
+        let parsed = BenchReport::from_json(&report.to_json()).expect("parse own output");
+        assert_eq!(parsed.to_json(), report.to_json());
+    }
+
+    #[test]
+    fn from_json_rejects_fractional_integer_fields() {
+        let report = run_bench(&tiny_config());
+        let tampered = report.to_json().replacen("\"side\": 4", "\"side\": 4.5", 1);
+        let err = BenchReport::from_json(&tampered).unwrap_err();
+        assert!(err.contains("side"), "{err}");
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_schema_version() {
+        let mut report = run_bench(&tiny_config());
+        report.schema_version = SCHEMA_VERSION + 1;
+        let err = BenchReport::from_json(&report.to_json()).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn identical_reports_pass_the_check() {
+        let report = run_bench(&tiny_config());
+        let outcome = check_against_baseline(&report, &report);
+        assert!(outcome.passed());
+        assert!(outcome.missing_in_current.is_empty());
+        assert!(outcome.new_in_current.is_empty());
+        // One depth comparison per cell; no timing comparisons.
+        assert_eq!(outcome.deltas.len(), report.cells.len());
+    }
+
+    #[test]
+    fn injected_depth_regression_fails_the_check() {
+        let current = run_bench(&tiny_config());
+        let mut baseline = current.clone();
+        // Pretend the baseline was 20% shallower than what we measure now.
+        baseline.cells[0].depth.mean = (current.cells[0].depth.mean / 1.2).max(0.1);
+        let outcome = check_against_baseline(&current, &baseline);
+        assert!(!outcome.passed());
+        let regs = outcome.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "depth");
+        let table = delta_table_markdown(&regs);
+        assert!(table.contains("depth"), "{table}");
+        assert!(table.contains('%'), "{table}");
+    }
+
+    #[test]
+    fn runtime_regression_beyond_25_percent_fails() {
+        let mut current = run_bench(&tiny_config());
+        let mut baseline = current.clone();
+        baseline.cells[0].time_ms = SampleSummary::from_samples(&[1.0, 1.0]);
+        current.cells[0].time_ms = SampleSummary::from_samples(&[1.3, 1.3]);
+        let outcome = check_against_baseline(&current, &baseline);
+        let regs = outcome.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "time_ms");
+        // 20% slower stays within tolerance.
+        current.cells[0].time_ms = SampleSummary::from_samples(&[1.2, 1.2]);
+        assert!(check_against_baseline(&current, &baseline).passed());
+    }
+
+    #[test]
+    fn missing_baseline_cells_fail_new_cells_do_not() {
+        let full = run_bench(&tiny_config());
+        let mut truncated = full.clone();
+        truncated.cells.pop();
+        // Current is missing a baseline cell → fail.
+        let outcome = check_against_baseline(&truncated, &full);
+        assert!(!outcome.passed());
+        assert_eq!(outcome.missing_in_current.len(), 1);
+        // Current has an extra cell the baseline lacks → pass.
+        let outcome = check_against_baseline(&full, &truncated);
+        assert!(outcome.passed());
+        assert_eq!(outcome.new_in_current.len(), 1);
+    }
+
+    #[test]
+    fn differing_seed_counts_fail_instead_of_comparing_means() {
+        let current = run_bench(&tiny_config());
+        let more_seeds = run_bench(&BenchConfig { sides: vec![4], seeds: 3, timing: false });
+        let outcome = check_against_baseline(&more_seeds, &current);
+        assert!(!outcome.passed());
+        assert_eq!(outcome.seed_mismatches.len(), current.cells.len());
+        // No means were diffed for mismatched cells.
+        assert!(outcome.deltas.is_empty());
+    }
+
+    #[test]
+    fn depth_tolerances_are_class_aware() {
+        assert_eq!(depth_tolerance("random"), 0.02);
+        assert_eq!(depth_tolerance("block4"), 0.02);
+        assert_eq!(depth_tolerance("overlap8s4"), 0.05);
+        assert_eq!(depth_tolerance("skinny"), 0.05);
+    }
+}

@@ -1,14 +1,19 @@
-//! Regenerate every figure/table of the paper's evaluation.
+//! Regenerate every figure/table of the paper's evaluation, and produce
+//! the machine-readable benchmark record.
 //!
 //! ```text
-//! repro [fig4|fig5|hybrid|skinny|ablations|optgap|transpile|all]
+//! repro [fig4|fig5|hybrid|skinny|ablations|optgap|transpile|bench|all]
 //!       [--sides 4,8,16] [--seeds N] [--out DIR]
+//!       [--quick] [--no-time] [--baseline BENCH.json] [--check]
 //! ```
 //!
 //! Markdown tables print to stdout; CSV/JSON/SVG files land in `--out`
-//! (default `results/`). Run `repro --help` for the authoritative usage
-//! (the `USAGE` string below).
+//! (default `results/`). The `bench` subcommand writes `BENCH.json` and,
+//! with `--baseline <file> --check`, exits 1 when a gated metric
+//! regressed past tolerance. Run `repro --help` for the authoritative
+//! usage (the `USAGE` string below).
 
+use qroute_bench::bench::{self, BenchConfig, BenchReport};
 use qroute_bench::experiments;
 use qroute_bench::plot::{cells_to_chart, Scale};
 use qroute_bench::report;
@@ -16,36 +21,58 @@ use std::path::PathBuf;
 
 struct Args {
     command: String,
-    sides: Vec<usize>,
-    seeds: u64,
+    sides: Option<Vec<usize>>,
+    seeds: Option<u64>,
     out: PathBuf,
+    quick: bool,
+    no_time: bool,
+    baseline: Option<PathBuf>,
+    check: bool,
 }
 
 const USAGE: &str = "\
 repro — regenerate the paper's figures and tables
 
 USAGE:
-    repro [fig4|fig5|hybrid|skinny|ablations|optgap|transpile|all]
+    repro [fig4|fig5|hybrid|skinny|ablations|optgap|transpile|bench|all]
           [--sides 4,8,16] [--seeds N] [--out DIR]
+          [--quick] [--no-time] [--baseline BENCH.json] [--check]
 
 Markdown tables print to stdout; CSV/JSON/SVG files land in --out
-(default results/).";
+(default results/).
+
+bench writes the machine-readable BENCH.json (schema v1: env metadata +
+per router×class×side depth/size/lower-bound/time percentiles over
+seeds) to --out. Bench-only flags:
+    --quick         CI gate config: 2 seeds, timing off (deterministic)
+    --no-time       skip wall-clock capture (byte-stable output)
+    --baseline F    compare against a committed BENCH.json
+    --check         with --baseline: exit 1 on regression
+                    (per-class depth tolerance; mean time +25%)";
+
+fn usage_error(msg: String) -> ! {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
 
 fn parse_args() -> Args {
-    let mut command = "all".to_string();
-    let mut sides = experiments::default_sides();
-    let mut seeds = 5u64;
+    let mut command: Option<String> = None;
+    let mut sides: Option<Vec<usize>> = None;
+    let mut seeds: Option<u64> = None;
     let mut out = PathBuf::from("results");
+    let mut quick = false;
+    let mut no_time = false;
+    let mut baseline: Option<PathBuf> = None;
+    let mut check = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let usage_error = |msg: String| -> ! {
-        eprintln!("error: {msg}\n\n{USAGE}");
-        std::process::exit(2);
-    };
     let flag_value = |i: &mut usize, flag: &str| -> String {
         *i += 1;
-        argv.get(*i)
-            .cloned()
-            .unwrap_or_else(|| usage_error(format!("{flag} requires a value")))
+        match argv.get(*i) {
+            // A following flag token is a missing value, not a value —
+            // otherwise `--out --check` silently eats the next flag.
+            Some(v) if !v.starts_with('-') => v.clone(),
+            _ => usage_error(format!("{flag} requires a value")),
+        }
     };
     let mut i = 0;
     while i < argv.len() {
@@ -55,28 +82,88 @@ fn parse_args() -> Args {
                 std::process::exit(0);
             }
             "--sides" => {
-                sides = flag_value(&mut i, "--sides")
-                    .split(',')
-                    .map(|s| {
-                        s.trim().parse().unwrap_or_else(|_| {
-                            usage_error(format!("--sides wants integers, got {s:?}"))
+                sides = Some(
+                    flag_value(&mut i, "--sides")
+                        .split(',')
+                        .map(|s| {
+                            s.trim().parse().unwrap_or_else(|_| {
+                                usage_error(format!("--sides wants integers, got {s:?}"))
+                            })
                         })
-                    })
-                    .collect();
+                        .collect(),
+                );
             }
             "--seeds" => {
                 let v = flag_value(&mut i, "--seeds");
-                seeds = v.parse().unwrap_or_else(|_| {
+                seeds = Some(v.parse().unwrap_or_else(|_| {
                     usage_error(format!("--seeds wants an integer, got {v:?}"))
-                });
+                }));
             }
             "--out" => out = PathBuf::from(flag_value(&mut i, "--out")),
-            c if !c.starts_with('-') => command = c.to_string(),
+            "--quick" => quick = true,
+            "--no-time" => no_time = true,
+            "--baseline" => baseline = Some(PathBuf::from(flag_value(&mut i, "--baseline"))),
+            "--check" => check = true,
+            c if !c.starts_with('-') => match &command {
+                None => command = Some(c.to_string()),
+                Some(first) => usage_error(format!(
+                    "unexpected second command {c:?} (already got {first:?})"
+                )),
+            },
             other => usage_error(format!("unknown flag {other}")),
         }
         i += 1;
     }
-    Args { command, sides, seeds, out }
+    let command = command.unwrap_or_else(|| "all".to_string());
+    if command != "bench" {
+        for (given, flag) in [
+            (quick, "--quick"),
+            (no_time, "--no-time"),
+            (baseline.is_some(), "--baseline"),
+            (check, "--check"),
+        ] {
+            if given {
+                usage_error(format!("{flag} only applies to the bench command"));
+            }
+        }
+    }
+    if check && baseline.is_none() {
+        usage_error("--check requires --baseline".to_string());
+    }
+    Args { command, sides, seeds, out, quick, no_time, baseline, check }
+}
+
+impl Args {
+    /// Sweep sides: `--sides` override or the experiment defaults.
+    fn sweep_sides(&self) -> Vec<usize> {
+        self.sides
+            .clone()
+            .unwrap_or_else(experiments::default_sides)
+    }
+
+    /// Seeds per cell: `--seeds` override or 5.
+    fn sweep_seeds(&self) -> u64 {
+        self.seeds.unwrap_or(5)
+    }
+
+    /// The bench-matrix configuration implied by the flags.
+    fn bench_config(&self) -> BenchConfig {
+        let mut config = if self.quick {
+            BenchConfig::quick()
+        } else {
+            BenchConfig::full()
+        };
+        if let Some(sides) = &self.sides {
+            config.sides = sides.clone();
+        }
+        if let Some(seeds) = self.seeds {
+            config.seeds = seeds;
+        }
+        if self.no_time {
+            config.timing = false;
+        }
+        config
+    }
 }
 
 fn write_file(dir: &PathBuf, name: &str, contents: &str) {
@@ -88,7 +175,7 @@ fn write_file(dir: &PathBuf, name: &str, contents: &str) {
 
 fn run_fig4(args: &Args) {
     eprintln!("== Figure 4: depth of computed swap networks ==");
-    let cells = experiments::figure4(&args.sides, args.seeds);
+    let cells = experiments::figure4(&args.sweep_sides(), args.sweep_seeds());
     println!("\n## Figure 4 — depth of computed swap networks\n");
     println!("{}", report::depth_table_markdown(&cells));
     write_file(&args.out, "fig4_depth.csv", &report::cells_to_csv(&cells));
@@ -104,7 +191,7 @@ fn run_fig4(args: &Args) {
 
 fn run_fig5(args: &Args) {
     eprintln!("== Figure 5: time spent finding swap networks ==");
-    let cells = experiments::figure5(&args.sides, args.seeds);
+    let cells = experiments::figure5(&args.sweep_sides(), args.sweep_seeds());
     println!("\n## Figure 5 — time spent on finding swap networks\n");
     println!("{}", report::time_table_markdown(&cells));
     write_file(&args.out, "fig5_time.csv", &report::cells_to_csv(&cells));
@@ -120,7 +207,7 @@ fn run_fig5(args: &Args) {
 
 fn run_hybrid(args: &Args) {
     eprintln!("== Hybrid clamp check (§V) ==");
-    let rows = experiments::hybrid_check(&args.sides, args.seeds);
+    let rows = experiments::hybrid_check(&args.sweep_sides(), args.sweep_seeds());
     println!("\n## Hybrid clamp (locality-aware ⊓ naive)\n");
     println!("{}", report::hybrid_markdown(&rows));
     let json = serde_json::to_string_pretty(&rows).expect("serialize hybrid rows");
@@ -129,7 +216,7 @@ fn run_hybrid(args: &Args) {
 
 fn run_skinny(args: &Args) {
     eprintln!("== Skinny orthogonal cycles (§V adversarial case) ==");
-    let cells = experiments::skinny_sweep(&args.sides, args.seeds);
+    let cells = experiments::skinny_sweep(&args.sweep_sides(), args.sweep_seeds());
     println!("\n## Skinny orthogonal cycles — depth\n");
     println!("{}", report::depth_table_markdown(&cells));
     println!("\n## Skinny orthogonal cycles — time\n");
@@ -139,8 +226,14 @@ fn run_skinny(args: &Args) {
 
 fn run_ablations(args: &Args) {
     eprintln!("== Ablations of the locality-aware router ==");
-    let side = args.sides.iter().copied().max().unwrap_or(16).min(16);
-    let rows = experiments::ablations(side, args.seeds);
+    let side = args
+        .sweep_sides()
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(16)
+        .min(16);
+    let rows = experiments::ablations(side, args.sweep_seeds());
     println!("\n## Ablations ({side}×{side})\n");
     println!("{}", report::ablation_markdown(&rows));
     let json = serde_json::to_string_pretty(&rows).expect("serialize ablation rows");
@@ -149,7 +242,7 @@ fn run_ablations(args: &Args) {
 
 fn run_optgap(args: &Args) {
     eprintln!("== Optimality gap vs exact BFS optimum (tiny grids) ==");
-    let rows = experiments::optimality_gap(args.seeds.max(5));
+    let rows = experiments::optimality_gap(args.sweep_seeds().max(5));
     println!("\n## Optimality gap on tiny grids\n");
     println!("{}", report::optgap_markdown(&rows));
     let json = serde_json::to_string_pretty(&rows).expect("serialize optgap rows");
@@ -165,6 +258,76 @@ fn run_transpile(args: &Args) {
     write_file(&args.out, "transpile.json", &json);
 }
 
+fn run_bench_cmd(args: &Args) {
+    let config = args.bench_config();
+    // Load and validate the baseline up front: a typo'd path or stale
+    // schema should fail instantly, not after minutes of measurement.
+    let baseline = args.baseline.as_ref().map(|baseline_path| {
+        let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+            eprintln!(
+                "error: cannot read baseline {}: {e}",
+                baseline_path.display()
+            );
+            std::process::exit(2);
+        });
+        BenchReport::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("error: malformed baseline {}: {e}", baseline_path.display());
+            std::process::exit(2);
+        })
+    });
+    eprintln!(
+        "== Benchmark matrix: {} routers × {} classes × sides {:?}, {} seeds, timing {} ==",
+        bench::bench_routers().len(),
+        qroute_bench::workloads::WorkloadClass::all_classes().len(),
+        config.sides,
+        config.seeds,
+        if config.timing { "on" } else { "off" },
+    );
+    let current = bench::run_bench(&config);
+    write_file(&args.out, "BENCH.json", &current.to_json());
+    eprintln!(
+        "{} cells measured (schema v{})",
+        current.cells.len(),
+        current.schema_version
+    );
+
+    let (Some(baseline), Some(baseline_path)) = (baseline, &args.baseline) else {
+        return;
+    };
+    let outcome = bench::check_against_baseline(&current, &baseline);
+    let regressions = outcome.regressions();
+    eprintln!(
+        "baseline {}: {} comparisons, {} regressions, {} baseline cells missing, \
+         {} new cells, {} seed mismatches",
+        baseline_path.display(),
+        outcome.deltas.len(),
+        regressions.len(),
+        outcome.missing_in_current.len(),
+        outcome.new_in_current.len(),
+        outcome.seed_mismatches.len(),
+    );
+    if outcome.passed() {
+        println!(
+            "\n## Bench check: OK ({} comparisons within tolerance)\n",
+            outcome.deltas.len()
+        );
+        return;
+    }
+    println!("\n## Bench check: REGRESSED\n");
+    if !regressions.is_empty() {
+        println!("{}", bench::delta_table_markdown(&regressions));
+    }
+    for key in &outcome.missing_in_current {
+        println!("- baseline cell `{key}` missing from this run");
+    }
+    for key in &outcome.seed_mismatches {
+        println!("- seed-count mismatch `{key}` (rerun with the baseline's --seeds)");
+    }
+    if args.check {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = parse_args();
     match args.command.as_str() {
@@ -175,6 +338,7 @@ fn main() {
         "ablations" => run_ablations(&args),
         "optgap" => run_optgap(&args),
         "transpile" => run_transpile(&args),
+        "bench" => run_bench_cmd(&args),
         "all" => {
             run_fig4(&args);
             run_fig5(&args);
@@ -184,11 +348,8 @@ fn main() {
             run_optgap(&args);
             run_transpile(&args);
         }
-        other => {
-            eprintln!(
-                "unknown command {other}; expected fig4|fig5|hybrid|skinny|ablations|optgap|transpile|all"
-            );
-            std::process::exit(2);
-        }
+        other => usage_error(format!(
+            "unknown command {other:?}; expected fig4|fig5|hybrid|skinny|ablations|optgap|transpile|bench|all"
+        )),
     }
 }

@@ -5,7 +5,6 @@ use qroute_circuit::{builders, Circuit};
 use qroute_core::grid_route::{naive_grid_route, NaiveOptions};
 use qroute_core::local_grid::{main_procedure, AssignmentStrategy, LocalRouteOptions, WindowMode};
 use qroute_core::{GridRouter, RouterKind};
-use qroute_perm::metrics;
 use qroute_topology::Grid;
 use qroute_transpiler::{InitialLayout, TranspileOptions, Transpiler};
 use rayon::prelude::*;
@@ -47,36 +46,21 @@ pub fn default_sides() -> Vec<usize> {
 }
 
 /// Measure one cell: route `seeds` instances, verifying every schedule.
+///
+/// A thin mean-only view over [`crate::bench::measure_bench_cell`], so
+/// figure tables and `BENCH.json` are guaranteed to measure the same
+/// thing (same seed scheme, same verification, same timing capture).
 pub fn measure_cell(side: usize, class: WorkloadClass, router: &RouterKind, seeds: u64) -> Cell {
-    let grid = Grid::new(side, side);
-    let mut depth_sum = 0usize;
-    let mut size_sum = 0usize;
-    let mut lb_sum = 0usize;
-    let mut elapsed = 0.0f64;
-    for seed in 0..seeds {
-        let pi = class.generate(grid, seed);
-        let t0 = Instant::now();
-        let schedule = router.route(grid, &pi);
-        elapsed += t0.elapsed().as_secs_f64() * 1e3;
-        assert!(
-            schedule.realizes(&pi),
-            "{} produced a wrong schedule",
-            router.name()
-        );
-        depth_sum += schedule.depth();
-        size_sum += schedule.size();
-        lb_sum += metrics::max_displacement(grid, &pi);
-    }
-    let k = seeds as f64;
+    let cell = crate::bench::measure_bench_cell(side, class, router, seeds, true);
     Cell {
         n: side,
-        qubits: grid.len(),
-        class: class.label(),
-        router: router.name().to_string(),
-        mean_depth: depth_sum as f64 / k,
-        mean_size: size_sum as f64 / k,
-        mean_time_ms: elapsed / k,
-        mean_lower_bound: lb_sum as f64 / k,
+        qubits: cell.qubits,
+        class: cell.class,
+        router: cell.router,
+        mean_depth: cell.depth.mean,
+        mean_size: cell.size.mean,
+        mean_time_ms: cell.time_ms.mean,
+        mean_lower_bound: cell.lower_bound.mean,
         seeds: seeds as usize,
     }
 }

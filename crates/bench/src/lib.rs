@@ -8,7 +8,11 @@
 //! * [`experiments`] — sweep drivers measuring schedule depth (Fig. 4)
 //!   and routing computation time (Fig. 5), the hybrid clamp check, the
 //!   ablations, and the end-to-end transpile experiment;
-//! * [`report`] — CSV and markdown rendering of experiment tables.
+//! * [`report`] — CSV and markdown rendering of experiment tables;
+//! * [`bench`](mod@bench) — the machine-readable benchmark subsystem: the versioned
+//!   `BENCH.json` schema ([`bench::BenchReport`]), the full
+//!   router × class × side matrix runner, and baseline regression
+//!   checking for the CI gate.
 //!
 //! The `repro` binary drives everything:
 //!
@@ -19,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod experiments;
 pub mod plot;
 pub mod report;

@@ -181,6 +181,69 @@ mod tests {
         assert!(tt.contains("routing time"));
     }
 
+    /// Hand-built cells with exactly representable values, so the golden
+    /// strings below are stable across platforms.
+    fn golden_cells() -> Vec<Cell> {
+        vec![
+            Cell {
+                n: 4,
+                qubits: 16,
+                class: "random".into(),
+                router: "ats".into(),
+                mean_depth: 10.5,
+                mean_size: 20.25,
+                mean_time_ms: 0.125,
+                mean_lower_bound: 5.0,
+                seeds: 2,
+            },
+            Cell {
+                n: 4,
+                qubits: 16,
+                class: "random".into(),
+                router: "locality-aware".into(),
+                mean_depth: 8.0,
+                mean_size: 16.5,
+                mean_time_ms: 0.25,
+                mean_lower_bound: 5.0,
+                seeds: 2,
+            },
+            Cell {
+                n: 8,
+                qubits: 64,
+                class: "random".into(),
+                router: "ats".into(),
+                mean_depth: 21.5,
+                mean_size: 90.125,
+                mean_time_ms: 1.5,
+                mean_lower_bound: 11.0,
+                seeds: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn csv_golden() {
+        assert_eq!(
+            cells_to_csv(&golden_cells()),
+            "n,qubits,class,router,mean_depth,mean_size,mean_time_ms,mean_lower_bound,seeds\n\
+             4,16,random,ats,10.500,20.250,0.125000,5.000,2\n\
+             4,16,random,locality-aware,8.000,16.500,0.250000,5.000,2\n\
+             8,64,random,ats,21.500,90.125,1.500000,11.000,2\n"
+        );
+    }
+
+    #[test]
+    fn depth_table_markdown_golden() {
+        assert_eq!(
+            depth_table_markdown(&golden_cells()),
+            "**mean swap-network depth**\n\n\
+             | n×n | random/ats | random/locality-aware |\n\
+             |---|---|---|\n\
+             | 4×4 | 10.5 | 8.0 |\n\
+             | 8×8 | 21.5 | – |\n"
+        );
+    }
+
     #[test]
     fn missing_cells_render_dashes() {
         let cells = vec![

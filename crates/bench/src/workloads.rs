@@ -58,6 +58,15 @@ impl WorkloadClass {
             WorkloadClass::Overlap { b: 8, s: 4 },
         ]
     }
+
+    /// Every workload class, with the default parameterizations: the
+    /// paper classes plus the skinny-cycle adversarial case. This is the
+    /// class axis of the benchmark matrix (`repro bench`).
+    pub fn all_classes() -> Vec<WorkloadClass> {
+        let mut classes = WorkloadClass::paper_classes();
+        classes.push(WorkloadClass::Skinny);
+        classes
+    }
 }
 
 #[cfg(test)]

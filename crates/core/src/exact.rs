@@ -1,7 +1,7 @@
 //! Exact minimum-depth routing for tiny instances.
 //!
 //! Computing an optimal matching sequence is NP-hard (Banerjee & Richards,
-//! cited as [2] by the paper), but tiny instances are exactly solvable by
+//! cited as \[2\] by the paper), but tiny instances are exactly solvable by
 //! breadth-first search over token configurations, where one step applies
 //! any matching of the coupling graph. This gives ground truth for
 //! *optimality gap* measurements of every router (the `repro -- optgap`

@@ -16,7 +16,7 @@
 //! * [`schedule`] — [`SwapLayer`]/[`RoutingSchedule`]: application,
 //!   verification, matching-validity checks, and the ASAP depth-compaction
 //!   pass shared by all routers.
-//! * [`line`] — odd–even transposition routing on a path: the primitive
+//! * [`line`](mod@line) — odd–even transposition routing on a path: the primitive
 //!   each phase of the 3-phase grid algorithm runs on rows/columns.
 //! * [`grid_route`] — `GridRoute(G, π; σ₁,…,σₙ)` (Alon–Chung–Graham
 //!   3-phase routing) and the *naive* baseline with arbitrary matchings.
@@ -50,3 +50,4 @@ pub mod token_swap;
 pub use local_grid::{AssignmentStrategy, LocalRouteOptions, WindowMode};
 pub use router::{GridRouter, RouterKind};
 pub use schedule::{RoutingSchedule, ScheduleError, SwapLayer};
+pub use stats::{route_timed, schedule_stats, SampleSummary, ScheduleStats, TimedRoute};

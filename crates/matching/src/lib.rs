@@ -2,7 +2,7 @@
 //!
 //! Bipartite matching machinery for the locality-aware grid router:
 //!
-//! * [`hopcroft_karp`] — maximum-cardinality bipartite matching in
+//! * [`hopcroft_karp`](mod@hopcroft_karp) — maximum-cardinality bipartite matching in
 //!   `O(E √V)`; the workhorse underneath everything else.
 //! * [`multigraph`] — the bipartite **multigraph** `G[a,b]` of §IV-A: one
 //!   labeled parallel edge per qubit, restrictable to row bands.

@@ -1,25 +1,313 @@
 //! Offline shim for the subset of `serde_json` this workspace uses:
 //! [`to_string`] and [`to_string_pretty`] over the serde shim's JSON
-//! writer. The pretty printer re-formats the compact encoding, which is
-//! correct because the writer always produces valid JSON.
+//! writer (the pretty printer re-formats the compact encoding, which is
+//! correct because the writer always produces valid JSON), plus a small
+//! document model — [`Value`] and [`from_str`] — for reading JSON files
+//! back (e.g. committed benchmark baselines). Object keys preserve
+//! insertion order, matching serde_json's `preserve_order` feature.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;
 
-/// Serialization error. The shim writer is infallible, so this is only a
-/// type-compatibility placeholder; no API in this crate ever returns it.
+/// Serialization or parse error carrying a human-readable message.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("JSON serialization error")
+        write!(f, "JSON error: {}", self.0)
     }
 }
 
 impl std::error::Error for Error {}
+
+/// A parsed JSON document.
+///
+/// Objects are stored as insertion-ordered `(key, value)` vectors rather
+/// than maps: baseline files are small, lookups are linear, and the
+/// original key order survives a parse→inspect round trip.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`, as in JavaScript).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in an object. `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as a non-negative integer, if exactly integral.
+    /// `u64::MAX as f64` rounds up to 2^64 (not representable), so the
+    /// bound is strict.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(x) if *x >= 0.0 && x.fract() == 0.0 && *x < u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element slice, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Maximum container nesting the parser accepts (matches real
+/// serde_json's default recursion limit) — deeper input gets a parse
+/// error instead of a stack overflow.
+const MAX_DEPTH: usize = 128;
+
+/// Parse a JSON document into a [`Value`]. Rejects trailing garbage.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut p = Parser { input, bytes: input.as_bytes(), pos: 0, depth: 0 };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected {:?} at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(Error(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(Error(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.enter()?;
+        let v = self.parse_array_inner()?;
+        self.depth -= 1;
+        Ok(v)
+    }
+
+    fn parse_array_inner(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error(format!("expected ',' or ']' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.enter()?;
+        let v = self.parse_object_inner()?;
+        self.depth -= 1;
+        Ok(v)
+    }
+
+    fn parse_object_inner(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error(format!("expected ',' or '}}' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| Error("bad escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| Error("bad \\u escape".into()))?;
+                            self.pos += 4;
+                            // Surrogates (emitted by real serde_json for
+                            // astral chars) are not produced by our writer;
+                            // map lone ones to the replacement character.
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(Error(format!("bad escape \\{}", esc as char))),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar. `pos` always sits on a
+                    // char boundary, so the O(1) boundary-checked slice
+                    // avoids revalidating the rest of the document.
+                    let c = self.input[self.pos..].chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| Error(format!("invalid number {text:?}")))
+    }
+}
 
 /// Serialize `value` to a compact JSON string.
 pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
@@ -118,5 +406,78 @@ mod tests {
     fn empty_array_stays_inline() {
         let v: Vec<u32> = vec![];
         assert_eq!(to_string_pretty(&v).unwrap(), "[]");
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(from_str(" -1.5e2 ").unwrap(), Value::Number(-150.0));
+        assert_eq!(
+            from_str("\"a\\n\\\"b\\u0041\"").unwrap(),
+            Value::String("a\n\"bA".into())
+        );
+    }
+
+    #[test]
+    fn parses_nested_documents_preserving_key_order() {
+        let v = from_str(r#"{"z": [1, 2, {"k": null}], "a": {"b": false}}"#).unwrap();
+        match &v {
+            Value::Object(entries) => {
+                assert_eq!(entries[0].0, "z");
+                assert_eq!(entries[1].0, "a");
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+        assert_eq!(v.get("z").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().get("b").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn accessors_are_type_checked() {
+        let v = from_str("{\"n\": 3, \"f\": 2.5, \"s\": \"x\"}").unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("f").unwrap().as_u64(), None);
+        assert_eq!(v.get("f").unwrap().as_f64(), Some(2.5));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("s").unwrap().as_f64(), None);
+        // 2^64 is not representable as u64; the saturating cast must not
+        // silently hand back u64::MAX.
+        assert_eq!(from_str("18446744073709551616").unwrap().as_u64(), None);
+        assert_eq!(from_str("-1").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "1 2", "nul", "\"open"] {
+            assert!(from_str(bad).is_err(), "{bad:?} should fail to parse");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let deep = "[".repeat(200_000);
+        let err = from_str(&deep).unwrap_err();
+        assert!(err.to_string().contains("nesting"), "{err}");
+        // Exactly MAX_DEPTH levels still parse.
+        let ok = format!("{}{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(from_str(&ok).is_ok());
+        let too_deep = format!("{}{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert!(from_str(&too_deep).is_err());
+    }
+
+    #[test]
+    fn round_trips_writer_output() {
+        let written = to_string_pretty(&vec![1.5f64, 2.0, 3.25]).unwrap();
+        let parsed = from_str(&written).unwrap();
+        assert_eq!(
+            parsed,
+            Value::Array(vec![
+                Value::Number(1.5),
+                Value::Number(2.0),
+                Value::Number(3.25)
+            ])
+        );
     }
 }
