@@ -102,16 +102,20 @@ pub struct BenchConfig {
 }
 
 impl BenchConfig {
-    /// The canonical full matrix: sides {4, 8, 16}, 5 seeds, with timing.
+    /// The canonical full matrix: sides {4, 8, 16, 32}, 5 seeds, with
+    /// timing. Side 32 became tractable for every router once the
+    /// distance-oracle overhaul removed the per-call `O(n²)` APSP tables;
+    /// side 64 works too (`--sides 64 --no-time`) but is kept out of the
+    /// default matrix to bound wall-clock.
     pub fn full() -> BenchConfig {
-        BenchConfig { sides: vec![4, 8, 16], seeds: 5, timing: true }
+        BenchConfig { sides: vec![4, 8, 16, 32], seeds: 5, timing: true }
     }
 
     /// The CI gate configuration: the same sides, fewer seeds, and no
     /// timing — so the committed baseline compares byte-for-byte across
     /// machines.
     pub fn quick() -> BenchConfig {
-        BenchConfig { sides: vec![4, 8, 16], seeds: 2, timing: false }
+        BenchConfig { sides: vec![4, 8, 16, 32], seeds: 2, timing: false }
     }
 }
 

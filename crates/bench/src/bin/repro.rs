@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! repro [fig4|fig5|hybrid|skinny|ablations|optgap|transpile|bench|all]
-//!       [--sides 4,8,16] [--seeds N] [--out DIR]
+//!       [--sides 4,8,16,32] [--seeds N] [--out DIR]
 //!       [--quick] [--no-time] [--baseline BENCH.json] [--check]
 //! ```
 //!
@@ -35,7 +35,7 @@ repro — regenerate the paper's figures and tables
 
 USAGE:
     repro [fig4|fig5|hybrid|skinny|ablations|optgap|transpile|bench|all]
-          [--sides 4,8,16] [--seeds N] [--out DIR]
+          [--sides 4,8,16,32] [--seeds N] [--out DIR]
           [--quick] [--no-time] [--baseline BENCH.json] [--check]
 
 Markdown tables print to stdout; CSV/JSON/SVG files land in --out

@@ -1,0 +1,72 @@
+//! Before/after benchmark for the distance-oracle overhaul: parallel and
+//! serial approximate token swapping with the `O(1)` closed-form
+//! [`GridOracle`] versus the old implementation, which materialized the
+//! full APSP table on every route call (reproduced here by constructing
+//! an [`ApspOracle`] per iteration). The README "Performance" section
+//! quotes these numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qroute_core::token_swap::{approximate_token_swapping_with, parallel_token_swapping_with};
+use qroute_perm::generators;
+use qroute_topology::{ApspOracle, Grid, GridOracle};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_ats_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ats_oracle");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+
+    for side in [16usize, 32, 64] {
+        let grid = Grid::new(side, side);
+        let graph = grid.to_graph();
+        let pi = generators::random(grid.len(), 5);
+
+        group.bench_with_input(
+            BenchmarkId::new("parallel_grid_oracle", side),
+            &pi,
+            |b, pi| {
+                b.iter(|| {
+                    let oracle = GridOracle::new(grid);
+                    black_box(parallel_token_swapping_with(&graph, &oracle, black_box(pi)).depth())
+                })
+            },
+        );
+
+        // The pre-overhaul hot path: full APSP rebuilt per call.
+        group.bench_with_input(BenchmarkId::new("parallel_apsp", side), &pi, |b, pi| {
+            b.iter(|| {
+                let oracle = ApspOracle::new(&graph);
+                black_box(parallel_token_swapping_with(&graph, &oracle, black_box(pi)).depth())
+            })
+        });
+
+        group.bench_with_input(
+            BenchmarkId::new("serial_grid_oracle", side),
+            &pi,
+            |b, pi| {
+                b.iter(|| {
+                    let oracle = GridOracle::new(grid);
+                    black_box(
+                        approximate_token_swapping_with(&graph, &oracle, black_box(pi)).num_swaps(),
+                    )
+                })
+            },
+        );
+
+        group.bench_with_input(BenchmarkId::new("serial_apsp", side), &pi, |b, pi| {
+            b.iter(|| {
+                let oracle = ApspOracle::new(&graph);
+                black_box(
+                    approximate_token_swapping_with(&graph, &oracle, black_box(pi)).num_swaps(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ats_oracle);
+criterion_main!(benches);

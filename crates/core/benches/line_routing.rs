@@ -1,0 +1,68 @@
+//! Odd–even transposition line routing: fresh-allocation entry points
+//! versus the reusable [`LineScratch`] the 3-phase grid router now runs
+//! on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qroute_core::line::{route_line_best, LineScratch};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// A deterministic scrambled permutation of `0..l` (splitmix64 shuffle).
+fn scrambled(l: usize, seed: u64) -> Vec<usize> {
+    let mut state = seed ^ 0xD1B54A32D192ED03;
+    let mut next = || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    let mut v: Vec<usize> = (0..l).collect();
+    for i in (1..l).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+    v
+}
+
+fn bench_line_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("line_routing");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    for l in [16usize, 64, 256] {
+        // A batch of lines, as one 3-phase routing pass would see.
+        let batch: Vec<Vec<usize>> = (0..l.min(64)).map(|s| scrambled(l, s as u64)).collect();
+
+        group.bench_with_input(
+            BenchmarkId::new("fresh_alloc_batch", l),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    let mut depth = 0usize;
+                    for targets in batch {
+                        depth += route_line_best(black_box(targets)).len();
+                    }
+                    black_box(depth)
+                })
+            },
+        );
+
+        group.bench_with_input(BenchmarkId::new("scratch_batch", l), &batch, |b, batch| {
+            let mut scratch = LineScratch::new();
+            b.iter(|| {
+                let mut depth = 0usize;
+                for targets in batch {
+                    depth += scratch.route_best(black_box(targets)).len();
+                }
+                black_box(depth)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_line_routing);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Matching-decomposition microbenchmarks on the column multigraphs the
+//! 3-phase routers actually decompose, using alive-set snapshots to rewind
+//! edge consumption between iterations instead of cloning the multigraph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qroute_core::grid_route::build_column_multigraph;
+use qroute_matching::{decompose_regular, decompose_regular_euler};
+use qroute_perm::generators;
+use qroute_topology::Grid;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_matching_decompose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching_decompose");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    for side in [16usize, 32, 64] {
+        let grid = Grid::new(side, side);
+        let pi = generators::random(grid.len(), 5);
+        let mut mg = build_column_multigraph(grid, &pi);
+        let full = mg.save_alive();
+
+        group.bench_with_input(
+            BenchmarkId::new("hopcroft_karp_peel", side),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    mg.restore_alive(&full);
+                    black_box(decompose_regular(&mut mg).unwrap().len())
+                })
+            },
+        );
+
+        group.bench_with_input(BenchmarkId::new("euler_split", side), &(), |b, ()| {
+            b.iter(|| {
+                mg.restore_alive(&full);
+                black_box(decompose_regular_euler(&mut mg).unwrap().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching_decompose);
+criterion_main!(benches);

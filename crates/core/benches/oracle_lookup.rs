@@ -1,0 +1,62 @@
+//! Distance-oracle microbenchmarks: per-query cost of the closed-form
+//! grid oracle and the warm lazy-BFS cache, versus the one-time cost of
+//! materializing the full APSP table the hot paths used to pay.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qroute_topology::{ApspOracle, DistanceOracle, Grid, GridOracle, LazyBfsOracle};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Deterministic pseudo-random vertex pairs (no RNG dependency).
+fn query_pairs(n: usize, count: usize) -> Vec<(usize, usize)> {
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    (0..count).map(|_| (next() % n, next() % n)).collect()
+}
+
+fn sweep(oracle: &impl DistanceOracle, pairs: &[(usize, usize)]) -> u64 {
+    pairs.iter().map(|&(u, v)| oracle.dist(u, v) as u64).sum()
+}
+
+fn bench_oracle_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_lookup");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+
+    for side in [16usize, 32, 64] {
+        let grid = Grid::new(side, side);
+        let graph = grid.to_graph();
+        let pairs = query_pairs(grid.len(), 4096);
+
+        let grid_oracle = GridOracle::new(grid);
+        group.bench_with_input(
+            BenchmarkId::new("grid_4096_lookups", side),
+            &pairs,
+            |b, p| b.iter(|| black_box(sweep(&grid_oracle, black_box(p)))),
+        );
+
+        let lazy = LazyBfsOracle::new(&graph);
+        sweep(&lazy, &pairs); // warm the cache once
+        group.bench_with_input(
+            BenchmarkId::new("lazy_bfs_warm_4096_lookups", side),
+            &pairs,
+            |b, p| b.iter(|| black_box(sweep(&lazy, black_box(p)))),
+        );
+
+        // The cost every route call used to pay before any query ran.
+        group.bench_with_input(BenchmarkId::new("apsp_build", side), &graph, |b, g| {
+            b.iter(|| black_box(ApspOracle::new(black_box(g)).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracle_lookup);
+criterion_main!(benches);

@@ -15,7 +15,7 @@
 //! rows; the *naive* baseline does both arbitrarily, which is exactly what
 //! the locality-aware algorithm (in [`crate::local_grid`]) improves.
 
-use crate::line::{route_line, route_line_best, FirstParity};
+use crate::line::{FirstParity, LineScratch};
 use crate::schedule::{RoutingSchedule, SwapLayer};
 use qroute_matching::{decompose_regular, BipartiteMultigraph, LabeledEdge};
 use qroute_perm::Permutation;
@@ -31,39 +31,45 @@ pub enum LineStrategy {
     BestParity,
 }
 
-fn route_one_line(targets: &[usize], strategy: LineStrategy) -> Vec<Vec<(usize, usize)>> {
-    match strategy {
-        LineStrategy::EvenFirst => route_line(targets, FirstParity::Even),
-        LineStrategy::BestParity => route_line_best(targets),
-    }
+/// One grid line (a row or a column) as an arithmetic progression of
+/// vertex ids — position `p` is vertex `base + stride * p` — paired with
+/// the *borrowed* target positions of its tokens. Rows and columns of a
+/// row-major grid are always progressions, so no per-line vertex vector
+/// is ever materialized.
+pub(crate) struct LineSpec<'a> {
+    /// Vertex id of position 0.
+    pub base: usize,
+    /// Id increment per position (1 for rows, `cols` for columns).
+    pub stride: usize,
+    /// `targets[p]` = destination position of the token at position `p`.
+    pub targets: &'a [usize],
 }
 
 /// Route a set of vertex-disjoint lines in parallel; round `k` of every
-/// line is merged into one swap layer.
-///
-/// `lines` pairs each line's vertex ids (in path order) with the target
-/// positions of its tokens.
-pub(crate) fn route_parallel_lines(
-    lines: &[(Vec<usize>, Vec<usize>)],
+/// line is merged into one swap layer. Lines are routed one at a time
+/// through the shared `scratch`, so the whole pass allocates only the
+/// output layers.
+pub(crate) fn route_parallel_lines<'a>(
+    lines: impl Iterator<Item = LineSpec<'a>>,
     strategy: LineStrategy,
+    scratch: &mut LineScratch,
 ) -> RoutingSchedule {
-    let per_line: Vec<Vec<Vec<(usize, usize)>>> = lines
-        .iter()
-        .map(|(_, targets)| route_one_line(targets, strategy))
-        .collect();
-    let depth = per_line.iter().map(Vec::len).max().unwrap_or(0);
-    let mut layers = Vec::with_capacity(depth);
-    for k in 0..depth {
-        let mut layer = SwapLayer::default();
-        for (line_idx, rounds) in per_line.iter().enumerate() {
-            if let Some(round) = rounds.get(k) {
-                let verts = &lines[line_idx].0;
-                layer
-                    .swaps
-                    .extend(round.iter().map(|&(a, b)| (verts[a], verts[b])));
+    let mut layers: Vec<SwapLayer> = Vec::new();
+    for line in lines {
+        let rounds = match strategy {
+            LineStrategy::EvenFirst => scratch.route(line.targets, FirstParity::Even),
+            LineStrategy::BestParity => scratch.route_best(line.targets),
+        };
+        for (k, round) in rounds.iter().enumerate() {
+            if k == layers.len() {
+                layers.push(SwapLayer::default());
             }
+            layers[k].swaps.extend(
+                round
+                    .iter()
+                    .map(|&(a, b)| (line.base + line.stride * a, line.base + line.stride * b)),
+            );
         }
-        layers.push(layer);
     }
     RoutingSchedule::from_layers(layers)
 }
@@ -135,21 +141,27 @@ pub fn grid_route_with_sigmas(
     }
 
     let mut schedule = RoutingSchedule::empty();
+    let mut scratch = LineScratch::new();
+    // Column j is vertices {j, j+n, …}; row r is {r·n, r·n+1, …}. Targets
+    // are borrowed straight from the phase tables — no per-line clones.
     // Phase 1: columns permuted by σ.
-    let lines: Vec<(Vec<usize>, Vec<usize>)> = (0..n)
-        .map(|j| (grid.column(j), sigmas[j].clone()))
-        .collect();
-    schedule.extend(route_parallel_lines(&lines, strategy));
+    schedule.extend(route_parallel_lines(
+        (0..n).map(|j| LineSpec { base: j, stride: n, targets: &sigmas[j] }),
+        strategy,
+        &mut scratch,
+    ));
     // Phase 2: rows to destination columns.
-    let lines: Vec<(Vec<usize>, Vec<usize>)> = (0..m)
-        .map(|r| (grid.row(r), row_targets[r].clone()))
-        .collect();
-    schedule.extend(route_parallel_lines(&lines, strategy));
+    schedule.extend(route_parallel_lines(
+        (0..m).map(|r| LineSpec { base: r * n, stride: 1, targets: &row_targets[r] }),
+        strategy,
+        &mut scratch,
+    ));
     // Phase 3: columns to destination rows.
-    let lines: Vec<(Vec<usize>, Vec<usize>)> = (0..n)
-        .map(|j| (grid.column(j), col_targets[j].clone()))
-        .collect();
-    schedule.extend(route_parallel_lines(&lines, strategy));
+    schedule.extend(route_parallel_lines(
+        (0..n).map(|j| LineSpec { base: j, stride: n, targets: &col_targets[j] }),
+        strategy,
+        &mut scratch,
+    ));
     schedule
 }
 

@@ -21,14 +21,67 @@ pub enum FirstParity {
     Odd,
 }
 
-/// Route the permutation `targets` (`targets[p]` = destination position of
-/// the token currently at position `p`) on a path, starting with the given
-/// parity. Returns rounds of disjoint adjacent transpositions; empty
-/// rounds are skipped but parity still alternates per round slot.
+/// Recycled round storage: `rounds[..depth]` hold the current routing,
+/// later entries keep their capacity for the next routing.
+#[derive(Debug, Default)]
+struct RoundBuf {
+    rounds: Vec<Vec<(usize, usize)>>,
+    depth: usize,
+}
+
+impl RoundBuf {
+    fn as_slice(&self) -> &[Vec<(usize, usize)>] {
+        &self.rounds[..self.depth]
+    }
+}
+
+/// Reusable scratch buffers for odd–even transposition routing.
 ///
-/// # Panics
-/// Panics (debug) if `targets` is not a permutation of `0..L`.
-pub fn route_line(targets: &[usize], first: FirstParity) -> Vec<Vec<(usize, usize)>> {
+/// The 3-phase grid router routes `2n + m` lines per call (and twice that
+/// with the transpose trick); a shared scratch turns every one of those
+/// routings into zero fresh allocations once the buffers have warmed up.
+/// Results are returned as borrowed slices valid until the next routing
+/// call on the same scratch.
+#[derive(Debug, Default)]
+pub struct LineScratch {
+    key: Vec<usize>,
+    rounds: RoundBuf,
+    rounds_alt: RoundBuf,
+}
+
+impl LineScratch {
+    /// Fresh scratch with empty buffers.
+    pub fn new() -> LineScratch {
+        LineScratch::default()
+    }
+
+    /// Route `targets` starting with parity `first`; the rounds live in
+    /// the scratch until the next routing call.
+    pub fn route(&mut self, targets: &[usize], first: FirstParity) -> &[Vec<(usize, usize)>] {
+        route_into(targets, first, &mut self.key, &mut self.rounds);
+        self.rounds.as_slice()
+    }
+
+    /// Route with both starting parities and keep the shallower schedule
+    /// (ties prefer even-first, matching the deterministic baseline).
+    pub fn route_best(&mut self, targets: &[usize]) -> &[Vec<(usize, usize)>] {
+        route_into(targets, FirstParity::Even, &mut self.key, &mut self.rounds);
+        route_into(
+            targets,
+            FirstParity::Odd,
+            &mut self.key,
+            &mut self.rounds_alt,
+        );
+        if self.rounds_alt.depth < self.rounds.depth {
+            self.rounds_alt.as_slice()
+        } else {
+            self.rounds.as_slice()
+        }
+    }
+}
+
+/// The odd–even transposition core, writing rounds into recycled buffers.
+fn route_into(targets: &[usize], first: FirstParity, key: &mut Vec<usize>, buf: &mut RoundBuf) {
     let l = targets.len();
     debug_assert!({
         let mut seen = vec![false; l];
@@ -36,11 +89,12 @@ pub fn route_line(targets: &[usize], first: FirstParity) -> Vec<Vec<(usize, usiz
             .iter()
             .all(|&t| t < l && !std::mem::replace(&mut seen[t], true))
     });
-    let mut key: Vec<usize> = targets.to_vec();
-    let mut rounds: Vec<Vec<(usize, usize)>> = Vec::new();
+    buf.depth = 0;
     if l <= 1 {
-        return rounds;
+        return;
     }
+    key.clear();
+    key.extend_from_slice(targets);
     let mut parity = match first {
         FirstParity::Even => 0usize,
         FirstParity::Odd => 1usize,
@@ -51,7 +105,11 @@ pub fn route_line(targets: &[usize], first: FirstParity) -> Vec<Vec<(usize, usiz
         if key.iter().enumerate().all(|(p, &k)| p == k) {
             break;
         }
-        let mut round = Vec::new();
+        if buf.depth == buf.rounds.len() {
+            buf.rounds.push(Vec::new());
+        }
+        let round = &mut buf.rounds[buf.depth];
+        round.clear();
         let mut p = parity;
         while p + 1 < l {
             if key[p] > key[p + 1] {
@@ -61,7 +119,7 @@ pub fn route_line(targets: &[usize], first: FirstParity) -> Vec<Vec<(usize, usiz
             p += 2;
         }
         if !round.is_empty() {
-            rounds.push(round);
+            buf.depth += 1;
         }
         parity ^= 1;
     }
@@ -69,19 +127,28 @@ pub fn route_line(targets: &[usize], first: FirstParity) -> Vec<Vec<(usize, usiz
         key.iter().enumerate().all(|(p, &k)| p == k),
         "odd-even transposition failed to sort within L+1 rounds"
     );
-    rounds
+}
+
+/// Route the permutation `targets` (`targets[p]` = destination position of
+/// the token currently at position `p`) on a path, starting with the given
+/// parity. Returns rounds of disjoint adjacent transpositions; empty
+/// rounds are skipped but parity still alternates per round slot.
+///
+/// Allocates a fresh result; loops over many lines should reuse a
+/// [`LineScratch`] instead.
+///
+/// # Panics
+/// Panics (debug) if `targets` is not a permutation of `0..L`.
+pub fn route_line(targets: &[usize], first: FirstParity) -> Vec<Vec<(usize, usize)>> {
+    let mut scratch = LineScratch::new();
+    scratch.route(targets, first).to_vec()
 }
 
 /// Route with both starting parities and keep the shallower schedule
 /// (ties prefer even-first, matching the deterministic baseline).
 pub fn route_line_best(targets: &[usize]) -> Vec<Vec<(usize, usize)>> {
-    let even = route_line(targets, FirstParity::Even);
-    let odd = route_line(targets, FirstParity::Odd);
-    if odd.len() < even.len() {
-        odd
-    } else {
-        even
-    }
+    let mut scratch = LineScratch::new();
+    scratch.route_best(targets).to_vec()
 }
 
 /// Apply position-space rounds to a token array (test helper / verifier).
@@ -193,6 +260,28 @@ mod tests {
                 used[a] = true;
                 used[b] = true;
             }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_calls() {
+        // A warm scratch (dirty buffers from previous lines) must produce
+        // exactly the rounds a fresh allocation produces.
+        let mut scratch = LineScratch::new();
+        let cases: Vec<Vec<usize>> = vec![
+            (0..9).rev().collect(),
+            (0..9).collect(),
+            vec![5, 0, 1, 2, 3, 4],
+            vec![1, 0],
+            vec![0],
+            vec![],
+            vec![0, 2, 1, 3],
+        ];
+        for t in &cases {
+            for first in [FirstParity::Even, FirstParity::Odd] {
+                assert_eq!(scratch.route(t, first), route_line(t, first), "{t:?}");
+            }
+            assert_eq!(scratch.route_best(t), route_line_best(t), "{t:?}");
         }
     }
 

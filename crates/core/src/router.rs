@@ -9,9 +9,11 @@
 use crate::grid_route::{naive_grid_route, NaiveOptions};
 use crate::local_grid::{main_procedure, LocalRouteOptions};
 use crate::schedule::RoutingSchedule;
-use crate::token_swap::{approximate_token_swapping, ats_route_grid, serial_schedule, tree_route};
+use crate::token_swap::{
+    approximate_token_swapping_with, ats_route_grid, serial_schedule, tree_route,
+};
 use qroute_perm::Permutation;
-use qroute_topology::Grid;
+use qroute_topology::{Grid, GridOracle};
 
 /// An object-safe router interface for grid instances.
 pub trait GridRouter {
@@ -101,7 +103,8 @@ impl GridRouter for RouterKind {
             RouterKind::Ats => ats_route_grid(grid, pi),
             RouterKind::AtsSerial => {
                 let graph = grid.to_graph();
-                approximate_token_swapping(&graph, pi).parallelized(grid.len())
+                approximate_token_swapping_with(&graph, &GridOracle::new(grid), pi)
+                    .parallelized(grid.len())
             }
             RouterKind::Tree => {
                 let graph = grid.to_graph();

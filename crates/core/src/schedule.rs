@@ -175,9 +175,20 @@ impl RoutingSchedule {
     /// (and the same circuit semantics when swaps carry gates). Depth never
     /// increases.
     pub fn compact(&self, n: usize) -> RoutingSchedule {
+        RoutingSchedule::compact_swaps(n, self.swaps())
+    }
+
+    /// The greedy ASAP pass over a bare swap sequence: the single shared
+    /// implementation behind [`RoutingSchedule::compact`] and the
+    /// borrow-based `AtsOutcome::parallelized` (which skips building an
+    /// intermediate one-layer schedule).
+    pub fn compact_swaps(
+        n: usize,
+        swaps: impl IntoIterator<Item = (usize, usize)>,
+    ) -> RoutingSchedule {
         let mut avail = vec![0usize; n];
         let mut layers: Vec<SwapLayer> = Vec::new();
-        for (u, v) in self.swaps() {
+        for (u, v) in swaps {
             let t = avail[u].max(avail[v]);
             if t == layers.len() {
                 layers.push(SwapLayer::default());

@@ -22,10 +22,19 @@
 //! unconditional termination proof (place tokens onto the leaves of a
 //! shrinking spanning tree); it serves as a crude baseline and as the
 //! safety fallback behind ATS's swap budget.
+//!
+//! Distances are served by a [`DistanceOracle`] instead of a
+//! materialized all-pairs table: `O(1)` closed-form on grids
+//! ([`GridOracle`]), lazily cached BFS rows on arbitrary graphs
+//! ([`LazyBfsOracle`]). The serial walk additionally *resumes in place*
+//! after each swap event rather than re-walking its deterministic
+//! prefix; both changes are behavior-preserving (pinned by tests against
+//! a verbatim copy of the table-based implementation) and are what let
+//! the benchmark matrix route side-64 grids.
 
 use crate::schedule::{RoutingSchedule, SwapLayer};
 use qroute_perm::Permutation;
-use qroute_topology::{dist, Graph, Grid};
+use qroute_topology::{dist, DistanceOracle, Graph, Grid, GridOracle, LazyBfsOracle};
 
 /// Outcome of the serial ATS run.
 #[derive(Debug, Clone)]
@@ -41,12 +50,11 @@ pub struct AtsOutcome {
 impl AtsOutcome {
     /// Parallelize the serial swaps into disjoint layers (greedy ASAP),
     /// preserving per-vertex order and hence the realized permutation.
+    ///
+    /// Runs [`RoutingSchedule::compact_swaps`] directly over the borrowed
+    /// swap list — no intermediate schedule, no clone of `serial_swaps`.
     pub fn parallelized(&self, n: usize) -> RoutingSchedule {
-        let layers = vec![SwapLayer::new(self.serial_swaps.clone())];
-        // `compact` re-derives layers purely from per-vertex availability,
-        // so feeding all swaps as one pseudo-layer is equivalent to one
-        // swap per layer.
-        RoutingSchedule::from_layers(layers).compact(n)
+        RoutingSchedule::compact_swaps(n, self.serial_swaps.iter().copied())
     }
 
     /// The serial swap count (the objective ATS approximates).
@@ -55,18 +63,41 @@ impl AtsOutcome {
     }
 }
 
-/// Serial approximate token swapping on a connected graph.
+/// Serial approximate token swapping on a connected graph, with distances
+/// served by a [`LazyBfsOracle`] (one BFS per destination actually
+/// walked, instead of the full `O(n²)` APSP table this function used to
+/// materialize). Grid callers should prefer
+/// [`approximate_token_swapping_with`] + [`GridOracle`] for `O(1)`
+/// closed-form distances and zero distance-table memory.
 ///
 /// # Panics
 /// Panics when `π` and `graph` disagree in size, or when some destination
 /// is unreachable (disconnected graph).
 pub fn approximate_token_swapping(graph: &Graph, pi: &Permutation) -> AtsOutcome {
+    approximate_token_swapping_with(graph, &LazyBfsOracle::new(graph), pi)
+}
+
+/// [`approximate_token_swapping`] with an explicit [`DistanceOracle`].
+///
+/// The oracle must answer shortest-path distances of `graph` (the
+/// property tests pin [`GridOracle`]/[`LazyBfsOracle`] against BFS);
+/// distances drive *which* swap is chosen, so an inconsistent oracle
+/// produces wrong routings, not just slow ones.
+///
+/// # Panics
+/// Panics when `π`, `graph` and `oracle` disagree in size, or when some
+/// destination is unreachable (disconnected graph).
+pub fn approximate_token_swapping_with(
+    graph: &Graph,
+    oracle: &impl DistanceOracle,
+    pi: &Permutation,
+) -> AtsOutcome {
     let n = graph.len();
     assert_eq!(pi.len(), n, "permutation size must match graph");
-    let apsp = dist::all_pairs(graph);
+    assert_eq!(oracle.len(), n, "oracle size must match graph");
     for v in 0..n {
         assert_ne!(
-            apsp[v][pi.apply(v)],
+            oracle.dist(v, pi.apply(v)),
             dist::UNREACHABLE,
             "destination of {v} unreachable; ATS needs a connected graph"
         );
@@ -83,7 +114,7 @@ pub fn approximate_token_swapping(graph: &Graph, pi: &Permutation) -> AtsOutcome
         todo_pos[v] = k;
     }
 
-    let phi0: usize = (0..n).map(|v| apsp[v][dest[v]] as usize).sum();
+    let phi0: usize = (0..n).map(|v| oracle.dist(v, dest[v]) as usize).sum();
     let budget = 4 * phi0 + 8 * n + 64;
 
     // Walk bookkeeping with epoch stamping (no per-iteration clearing).
@@ -120,9 +151,10 @@ pub fn approximate_token_swapping(graph: &Graph, pi: &Permutation) -> AtsOutcome
     while !todo.is_empty() {
         if swaps.len() > budget {
             // Theoretically unreachable per Miltzow et al.; guaranteed
-            // finisher keeps the library total regardless.
+            // finisher keeps the library total regardless. `dest` is not
+            // consulted after the handoff, so move it instead of cloning.
             fallback_used = true;
-            let rest = Permutation::from_vec_unchecked(dest.clone());
+            let rest = Permutation::from_vec_unchecked(std::mem::take(&mut dest));
             for (u, v) in tree_route(graph, &rest) {
                 swaps.push((u, v));
             }
@@ -136,17 +168,32 @@ pub fn approximate_token_swapping(graph: &Graph, pi: &Permutation) -> AtsOutcome
         path_pos[start] = 0;
         path.push(start);
         let mut cur = start;
+        // Walk-resumption invariant: `visited_epoch[v] == epoch ⟺ v ∈
+        // path`, and `path` is exactly the prefix a *fresh* walk from
+        // `start` would deterministically retrace (every arc depends only
+        // on the walked vertex's own dest). After a swap event that leaves
+        // `start` at `todo[0]` and the prefix dests untouched, the next
+        // scheduled walk is therefore this walk's continuation — so we
+        // continue in place instead of re-walking the prefix, which turns
+        // the O(walk-length) restart cost per cycle into O(1).
         loop {
             let target = dest[cur];
-            let dcur = apsp[cur][target];
+            let dcur = oracle.dist(cur, target);
             // Deterministic choice: smallest-id neighbor strictly closer.
             let next = graph
                 .neighbors(cur)
-                .find(|&w| apsp[w][target] < dcur)
+                .find(|&w| oracle.dist(w, target) < dcur)
                 .expect("connected graph: an unfinished token has a closer neighbor");
             if dest[next] == next {
-                // Unhappy swap: displace a finished token by one.
+                // Unhappy swap: displace a finished token by one. Neither
+                // endpoint finishes (cur's token now targets next), so
+                // `start` keeps todo slot 0 and no prefix dest changed:
+                // resume from cur with its new token.
                 do_swap!(cur, next);
+                if swaps.len() <= budget {
+                    debug_assert_eq!(todo[0], start);
+                    continue;
+                }
                 break;
             }
             if visited_epoch[next] == epoch {
@@ -155,6 +202,20 @@ pub fn approximate_token_swapping(graph: &Graph, pi: &Permutation) -> AtsOutcome
                 let cycle = &path[pos..];
                 for k in (1..cycle.len()).rev() {
                     do_swap!(cycle[k - 1], cycle[k]);
+                }
+                if pos > 0 && swaps.len() <= budget {
+                    // Only cycle vertices changed, and `start ∉ cycle`
+                    // (pos > 0), so the fresh walk would retrace
+                    // path[..pos] unchanged and then re-evaluate the
+                    // rotated cycle head. Rewind to that state: unmark the
+                    // cycle, keep the prefix, step again from path[pos-1].
+                    for &v in &path[pos..] {
+                        visited_epoch[v] = 0;
+                    }
+                    path.truncate(pos);
+                    cur = path[pos - 1];
+                    debug_assert_eq!(todo[0], start);
+                    continue;
                 }
                 break;
             }
@@ -165,6 +226,8 @@ pub fn approximate_token_swapping(graph: &Graph, pi: &Permutation) -> AtsOutcome
         }
     }
 
+    // On the fallback path `dest` was moved out (empty), which passes
+    // trivially; tree_route's own invariants cover that case.
     debug_assert!(dest.iter().enumerate().all(|(v, &d)| v == d));
     AtsOutcome { serial_swaps: swaps, fallback_used }
 }
@@ -183,12 +246,26 @@ pub fn approximate_token_swapping(graph: &Graph, pi: &Permutation) -> AtsOutcome
 /// decrease `Φ = Σ dist`; stuck steps are exactly the serial case), with
 /// the same guaranteed-finisher budget.
 pub fn parallel_token_swapping(graph: &Graph, pi: &Permutation) -> RoutingSchedule {
+    parallel_token_swapping_with(graph, &LazyBfsOracle::new(graph), pi)
+}
+
+/// [`parallel_token_swapping`] with an explicit [`DistanceOracle`] (see
+/// [`approximate_token_swapping_with`] for the oracle contract).
+///
+/// # Panics
+/// Panics when `π`, `graph` and `oracle` disagree in size, or when some
+/// destination is unreachable (disconnected graph).
+pub fn parallel_token_swapping_with(
+    graph: &Graph,
+    oracle: &impl DistanceOracle,
+    pi: &Permutation,
+) -> RoutingSchedule {
     let n = graph.len();
     assert_eq!(pi.len(), n, "permutation size must match graph");
-    let apsp = dist::all_pairs(graph);
+    assert_eq!(oracle.len(), n, "oracle size must match graph");
     for v in 0..n {
         assert_ne!(
-            apsp[v][pi.apply(v)],
+            oracle.dist(v, pi.apply(v)),
             dist::UNREACHABLE,
             "destination of {v} unreachable; ATS needs a connected graph"
         );
@@ -196,7 +273,7 @@ pub fn parallel_token_swapping(graph: &Graph, pi: &Permutation) -> RoutingSchedu
 
     let mut dest: Vec<usize> = (0..n).map(|v| pi.apply(v)).collect();
     let mut schedule = RoutingSchedule::empty();
-    let phi0: usize = (0..n).map(|v| apsp[v][dest[v]] as usize).sum();
+    let phi0: usize = (0..n).map(|v| oracle.dist(v, dest[v]) as usize).sum();
     let budget_layers = 4 * phi0 + 8 * n + 64;
 
     let mut used = vec![u64::MAX; n];
@@ -223,7 +300,11 @@ pub fn parallel_token_swapping(graph: &Graph, pi: &Permutation) -> RoutingSchedu
                 continue;
             }
             let (du, dv) = (dest[u], dest[v]);
-            if du != u && dv != v && apsp[v][du] < apsp[u][du] && apsp[u][dv] < apsp[v][dv] {
+            if du != u
+                && dv != v
+                && oracle.dist(v, du) < oracle.dist(u, du)
+                && oracle.dist(u, dv) < oracle.dist(v, dv)
+            {
                 layer.swaps.push((u, v));
                 used[u] = round;
                 used[v] = round;
@@ -256,10 +337,10 @@ pub fn parallel_token_swapping(graph: &Graph, pi: &Permutation) -> RoutingSchedu
             let mut cur = s;
             let chain: Option<Vec<(usize, usize)>> = loop {
                 let target = dest[cur];
-                let dcur = apsp[cur][target];
+                let dcur = oracle.dist(cur, target);
                 let next = graph
                     .neighbors(cur)
-                    .find(|&w| !claimed[w] && apsp[w][target] < dcur);
+                    .find(|&w| !claimed[w] && oracle.dist(w, target) < dcur);
                 let Some(next) = next else { break None }; // boxed in by claims
                 if dest[next] == next {
                     break Some(vec![(cur, next)]); // unhappy swap
@@ -309,10 +390,12 @@ pub fn parallel_token_swapping(graph: &Graph, pi: &Permutation) -> RoutingSchedu
 }
 
 /// ATS on a grid, in the parallel, depth-measured form the paper's
-/// Figures 4 and 5 evaluate.
+/// Figures 4 and 5 evaluate. Distances come from the closed-form
+/// [`GridOracle`] — no BFS, no distance table — which is what lets the
+/// benchmark matrix reach side 64 (a side-64 APSP table alone is 64 MiB).
 pub fn ats_route_grid(grid: Grid, pi: &Permutation) -> RoutingSchedule {
     let graph = grid.to_graph();
-    parallel_token_swapping(&graph, pi)
+    parallel_token_swapping_with(&graph, &GridOracle::new(grid), pi)
 }
 
 /// Guaranteed-terminating token router on any connected graph.
@@ -417,7 +500,147 @@ pub fn serial_schedule(swaps: &[(usize, usize)]) -> RoutingSchedule {
 mod tests {
     use super::*;
     use qroute_perm::{generators, metrics};
-    use qroute_topology::{gridlike, Cycle, Path};
+    use qroute_topology::{gridlike, ApspOracle, Cycle, CycleOracle, Path};
+
+    /// The pre-overhaul serial ATS, verbatim: full APSP table, generic
+    /// neighbor scan, and a fresh walk from `todo[0]` after every swap
+    /// event. The optimized implementation (closed-form closer-neighbor
+    /// steps, walk resumption) must reproduce its swap sequence *exactly*
+    /// — routing behavior is pinned, only speed may differ.
+    fn reference_serial_ats(graph: &Graph, pi: &Permutation) -> Vec<(usize, usize)> {
+        let n = graph.len();
+        let apsp = dist::all_pairs(graph);
+        let mut dest: Vec<usize> = (0..n).map(|v| pi.apply(v)).collect();
+        let mut swaps = Vec::new();
+        let mut visited = vec![false; n];
+        let mut path_pos = vec![0usize; n];
+        // The todo ordering is intrinsic to the algorithm, so the
+        // reference replays the same list discipline.
+        let mut todo: Vec<usize> = (0..n).filter(|&v| dest[v] != v).collect();
+        let mut todo_pos: Vec<usize> = vec![usize::MAX; n];
+        for (k, &v) in todo.iter().enumerate() {
+            todo_pos[v] = k;
+        }
+        macro_rules! ref_swap {
+            ($u:expr, $v:expr) => {{
+                let (u, v) = ($u, $v);
+                swaps.push((u, v));
+                dest.swap(u, v);
+                for w in [u, v] {
+                    let finished = dest[w] == w;
+                    let listed = todo_pos[w] != usize::MAX;
+                    if finished && listed {
+                        let k = todo_pos[w];
+                        let last = *todo.last().unwrap();
+                        todo.swap_remove(k);
+                        todo_pos[w] = usize::MAX;
+                        if last != w {
+                            todo_pos[last] = k;
+                        }
+                    } else if !finished && !listed {
+                        todo_pos[w] = todo.len();
+                        todo.push(w);
+                    }
+                }
+            }};
+        }
+        let mut path: Vec<usize> = Vec::new();
+        while !todo.is_empty() {
+            for &v in &path {
+                visited[v] = false;
+            }
+            path.clear();
+            let start = todo[0];
+            visited[start] = true;
+            path_pos[start] = 0;
+            path.push(start);
+            let mut cur = start;
+            loop {
+                let target = dest[cur];
+                let dcur = apsp[cur][target];
+                let next = graph
+                    .neighbors(cur)
+                    .find(|&w| apsp[w][target] < dcur)
+                    .expect("connected");
+                if dest[next] == next {
+                    ref_swap!(cur, next);
+                    break;
+                }
+                if visited[next] {
+                    let pos = path_pos[next];
+                    let cycle = &path[pos..];
+                    for k in (1..cycle.len()).rev() {
+                        ref_swap!(cycle[k - 1], cycle[k]);
+                    }
+                    break;
+                }
+                visited[next] = true;
+                path_pos[next] = path.len();
+                path.push(next);
+                cur = next;
+            }
+        }
+        swaps
+    }
+
+    #[test]
+    fn optimized_serial_walk_matches_reference() {
+        // Grids (closed-form fast path + resumption) against the verbatim
+        // old implementation, across shapes that exercise 1-D grids,
+        // squares and tall/wide rectangles.
+        for (m, n) in [(1, 9), (4, 4), (3, 7), (8, 8), (6, 2)] {
+            let grid = Grid::new(m, n);
+            let g = grid.to_graph();
+            for seed in 0..4 {
+                let pi = generators::random(grid.len(), seed);
+                let reference = reference_serial_ats(&g, &pi);
+                let fast = approximate_token_swapping_with(&g, &GridOracle::new(grid), &pi);
+                assert_eq!(fast.serial_swaps, reference, "{m}x{n} seed {seed}");
+                // Every oracle backend must agree swap-for-swap.
+                let lazy = approximate_token_swapping(&g, &pi);
+                assert_eq!(lazy.serial_swaps, reference, "{m}x{n} seed {seed} lazy");
+                let apsp = approximate_token_swapping_with(&g, &ApspOracle::new(&g), &pi);
+                assert_eq!(apsp.serial_swaps, reference, "{m}x{n} seed {seed} apsp");
+            }
+        }
+        // Generic graphs (scan path + resumption) and cycles (closed-form
+        // cycle fast path).
+        for g in [gridlike::brick_wall(4, 5), gridlike::heavy_hex(3, 9)] {
+            for seed in 0..3 {
+                let pi = generators::random(g.len(), seed);
+                let reference = reference_serial_ats(&g, &pi);
+                assert_eq!(
+                    approximate_token_swapping(&g, &pi).serial_swaps,
+                    reference,
+                    "seed {seed}"
+                );
+            }
+        }
+        let c = Cycle::new(8);
+        let g = c.to_graph();
+        for seed in 0..3 {
+            let pi = generators::random(8, seed);
+            let reference = reference_serial_ats(&g, &pi);
+            let fast = approximate_token_swapping_with(&g, &CycleOracle::new(c), &pi);
+            assert_eq!(fast.serial_swaps, reference, "cycle seed {seed}");
+        }
+    }
+
+    #[test]
+    fn parallel_ats_oracle_backends_agree() {
+        for (m, n) in [(4, 4), (5, 7), (1, 8)] {
+            let grid = Grid::new(m, n);
+            let g = grid.to_graph();
+            for seed in 0..3 {
+                let pi = generators::random(grid.len(), seed);
+                let fast = parallel_token_swapping_with(&g, &GridOracle::new(grid), &pi);
+                let lazy = parallel_token_swapping(&g, &pi);
+                let apsp = parallel_token_swapping_with(&g, &ApspOracle::new(&g), &pi);
+                assert_eq!(fast, lazy, "{m}x{n} seed {seed}");
+                assert_eq!(fast, apsp, "{m}x{n} seed {seed}");
+            }
+        }
+    }
 
     fn check_ats(graph: &Graph, pi: &Permutation) -> AtsOutcome {
         let out = approximate_token_swapping(graph, pi);

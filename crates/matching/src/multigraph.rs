@@ -35,6 +35,20 @@ pub struct BipartiteMultigraph {
     num_alive: usize,
 }
 
+/// A snapshot of a multigraph's alive-edge set.
+///
+/// Decomposition consumes edges by tombstoning; callers that want to
+/// rewind (re-decompose with a different strategy, validate against the
+/// pre-decomposition state) used to `clone()` the whole multigraph —
+/// edge labels included — even though only the tombstones change. A
+/// snapshot copies just the alive bitset, and
+/// [`BipartiteMultigraph::restore_alive`] writes it back in place.
+#[derive(Debug, Clone)]
+pub struct AliveSnapshot {
+    alive: Vec<bool>,
+    num_alive: usize,
+}
+
 impl BipartiteMultigraph {
     /// Create an empty multigraph on `cols` columns per side.
     pub fn new(cols: usize) -> BipartiteMultigraph {
@@ -95,6 +109,29 @@ impl BipartiteMultigraph {
         }
     }
 
+    /// Capture the current alive-edge set (see [`AliveSnapshot`]).
+    pub fn save_alive(&self) -> AliveSnapshot {
+        AliveSnapshot { alive: self.alive.clone(), num_alive: self.num_alive }
+    }
+
+    /// Restore a previously captured alive-edge set, undoing every
+    /// removal (and resurrecting nothing that was already dead at capture
+    /// time). The edge array itself is append-only, so a snapshot stays
+    /// valid as long as no edges were added after it was taken.
+    ///
+    /// # Panics
+    /// Panics when edges were added since the snapshot was captured.
+    pub fn restore_alive(&mut self, snapshot: &AliveSnapshot) {
+        assert_eq!(
+            snapshot.alive.len(),
+            self.alive.len(),
+            "snapshot predates {} added edges",
+            self.alive.len().saturating_sub(snapshot.alive.len())
+        );
+        self.alive.copy_from_slice(&snapshot.alive);
+        self.num_alive = snapshot.num_alive;
+    }
+
     /// Ids of alive edges whose *source row* lies in `band` (inclusive),
     /// the restriction `G[a,b]` of the paper.
     pub fn band_edges(&self, band: (usize, usize)) -> Vec<EdgeId> {
@@ -140,23 +177,29 @@ impl BipartiteMultigraph {
             .filter(|&id| self.alive[id])
             .collect();
         let mut out = Vec::new();
+        // Representative and adjacency buffers are recycled across the
+        // peel iterations — only the first iteration allocates.
+        let mut rep: Vec<Vec<(u32, EdgeId)>> = vec![Vec::new(); self.cols];
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); self.cols];
         loop {
             // Collapse parallel edges; remember one representative edge id
             // per (left, right) pair. The first listed edge wins, so the
             // row-major insertion order stratifies successive extractions
             // from low rows upward — matching the paper's arbitrary choice
             // within a band while keeping extractions spread across rows.
-            let mut rep: Vec<Vec<(u32, EdgeId)>> = vec![Vec::new(); self.cols];
+            for r in rep.iter_mut() {
+                r.clear();
+            }
             for &id in &available {
                 let e = self.edges[id];
                 if !rep[e.left].iter().any(|&(r, _)| r == e.right as u32) {
                     rep[e.left].push((e.right as u32, id));
                 }
             }
-            let adj: Vec<Vec<u32>> = rep
-                .iter()
-                .map(|v| v.iter().map(|&(r, _)| r).collect())
-                .collect();
+            for (a, r) in adj.iter_mut().zip(rep.iter()) {
+                a.clear();
+                a.extend(r.iter().map(|&(rr, _)| rr));
+            }
             let m: Matching = hopcroft_karp(self.cols, self.cols, &adj);
             if !m.is_perfect() {
                 break;
@@ -266,5 +309,31 @@ mod tests {
     fn out_of_range_edge_panics() {
         let mut g = BipartiteMultigraph::new(2);
         g.add_edge(e(0, 5, 0, 0));
+    }
+
+    #[test]
+    fn alive_snapshot_round_trips() {
+        let mut g = BipartiteMultigraph::new(2);
+        let a = g.add_edge(e(0, 0, 0, 0));
+        let b = g.add_edge(e(1, 1, 0, 0));
+        g.remove_edge(a);
+        let snap = g.save_alive();
+        g.remove_edge(b);
+        assert_eq!(g.num_alive(), 0);
+        g.restore_alive(&snap);
+        // `b` resurrects, `a` stays dead (it was dead at capture time).
+        assert_eq!(g.num_alive(), 1);
+        assert!(!g.is_alive(a));
+        assert!(g.is_alive(b));
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot predates")]
+    fn stale_snapshot_panics() {
+        let mut g = BipartiteMultigraph::new(2);
+        g.add_edge(e(0, 0, 0, 0));
+        let snap = g.save_alive();
+        g.add_edge(e(1, 1, 0, 0));
+        g.restore_alive(&snap);
     }
 }

@@ -10,7 +10,7 @@
 //! swap reduces total remaining distance by at most 2).
 
 use crate::permutation::Permutation;
-use qroute_topology::{dist, Graph, Grid};
+use qroute_topology::{dist, DistanceOracle, Graph, Grid};
 
 /// Sum over all tokens of the L1 distance to their destination.
 pub fn total_displacement(grid: Grid, p: &Permutation) -> usize {
@@ -27,41 +27,13 @@ pub fn max_displacement(grid: Grid, p: &Permutation) -> usize {
         .unwrap_or(0)
 }
 
-/// Depth lower bound on a grid: `max(max_displacement, ceil(total / 2*⌊n/2⌋))`.
+/// Combine the two depth bounds: `max(maxd, ceil(total / 2⌊n/2⌋))`.
 ///
-/// A layer contains at most `⌊n/2⌋` swaps and each swap moves two tokens one
-/// step, so a layer reduces total remaining displacement by at most
-/// `2⌊n/2⌋`.
-pub fn depth_lower_bound(grid: Grid, p: &Permutation) -> usize {
-    let n = p.len();
-    if n == 0 {
-        return 0;
-    }
-    let total = total_displacement(grid, p);
-    let per_layer = 2 * (n / 2);
-    let volume_bound = if per_layer == 0 {
-        0
-    } else {
-        total.div_ceil(per_layer)
-    };
-    max_displacement(grid, p).max(volume_bound)
-}
-
-/// Same bounds on an arbitrary graph, using BFS distances.
-pub fn depth_lower_bound_graph(graph: &Graph, p: &Permutation) -> usize {
-    assert_eq!(graph.len(), p.len());
-    let n = p.len();
-    if n == 0 {
-        return 0;
-    }
-    let mut total = 0usize;
-    let mut maxd = 0usize;
-    for v in 0..n {
-        let d = dist::bfs(graph, v)[p.apply(v)];
-        assert_ne!(d, dist::UNREACHABLE, "destination unreachable from source");
-        total += d as usize;
-        maxd = maxd.max(d as usize);
-    }
+/// A layer contains at most `⌊n/2⌋` swaps and each swap moves two tokens
+/// one step, so a layer reduces total remaining displacement by at most
+/// `2⌊n/2⌋`. Shared by every `depth_lower_bound*` variant so the formula
+/// lives in one place.
+fn combine_depth_bounds(total: usize, maxd: usize, n: usize) -> usize {
     let per_layer = 2 * (n / 2);
     let volume_bound = if per_layer == 0 {
         0
@@ -71,11 +43,79 @@ pub fn depth_lower_bound_graph(graph: &Graph, p: &Permutation) -> usize {
     maxd.max(volume_bound)
 }
 
-/// Total distance on an arbitrary graph (the ATS potential function `Φ`).
+/// Depth lower bound on a grid: `max(max_displacement, ceil(total / 2*⌊n/2⌋))`.
+pub fn depth_lower_bound(grid: Grid, p: &Permutation) -> usize {
+    let n = p.len();
+    if n == 0 {
+        return 0;
+    }
+    combine_depth_bounds(total_displacement(grid, p), max_displacement(grid, p), n)
+}
+
+/// Same bounds on an arbitrary graph, using BFS distances (one scratch
+/// buffer reused across the `n` single-source passes; no `n × n` table).
+pub fn depth_lower_bound_graph(graph: &Graph, p: &Permutation) -> usize {
+    assert_eq!(graph.len(), p.len());
+    let n = p.len();
+    if n == 0 {
+        return 0;
+    }
+    let mut row = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    let mut total = 0usize;
+    let mut maxd = 0usize;
+    for v in 0..n {
+        dist::bfs_into(graph, v, &mut row, &mut queue);
+        let d = row[p.apply(v)];
+        assert_ne!(d, dist::UNREACHABLE, "destination unreachable from source");
+        total += d as usize;
+        maxd = maxd.max(d as usize);
+    }
+    combine_depth_bounds(total, maxd, n)
+}
+
+/// [`depth_lower_bound_graph`] with distances served by an oracle — the
+/// hot-path form: on a grid pass a `GridOracle` and the bound costs `O(n)`
+/// time and `O(1)` extra memory instead of `n` BFS runs.
+///
+/// # Panics
+/// Panics when the sizes disagree or some destination is unreachable.
+pub fn depth_lower_bound_oracle(oracle: &impl DistanceOracle, p: &Permutation) -> usize {
+    assert_eq!(oracle.len(), p.len());
+    let n = p.len();
+    if n == 0 {
+        return 0;
+    }
+    let mut total = 0usize;
+    let mut maxd = 0usize;
+    for v in 0..n {
+        let d = oracle.dist(v, p.apply(v));
+        assert_ne!(d, dist::UNREACHABLE, "destination unreachable from source");
+        total += d as usize;
+        maxd = maxd.max(d as usize);
+    }
+    combine_depth_bounds(total, maxd, n)
+}
+
+/// Total distance on an arbitrary graph (the ATS potential function `Φ`),
+/// with one reused BFS scratch buffer.
 pub fn total_distance_graph(graph: &Graph, p: &Permutation) -> usize {
     assert_eq!(graph.len(), p.len());
+    let mut row = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
     (0..p.len())
-        .map(|v| dist::bfs(graph, v)[p.apply(v)] as usize)
+        .map(|v| {
+            dist::bfs_into(graph, v, &mut row, &mut queue);
+            row[p.apply(v)] as usize
+        })
+        .sum()
+}
+
+/// Total distance `Φ` with distances served by an oracle.
+pub fn total_distance_oracle(oracle: &impl DistanceOracle, p: &Permutation) -> usize {
+    assert_eq!(oracle.len(), p.len());
+    (0..p.len())
+        .map(|v| oracle.dist(v, p.apply(v)) as usize)
         .sum()
 }
 
@@ -139,6 +179,7 @@ mod tests {
 
     #[test]
     fn graph_and_grid_bounds_agree_on_grid() {
+        use qroute_topology::{GridOracle, LazyBfsOracle};
         let grid = Grid::new(3, 5);
         let g = grid.to_graph();
         for seed in 0..5 {
@@ -151,6 +192,24 @@ mod tests {
             assert_eq!(
                 total_displacement(grid, &p),
                 total_distance_graph(&g, &p),
+                "seed {seed}"
+            );
+            // Oracle-served variants agree with both.
+            let grid_oracle = GridOracle::new(grid);
+            let lazy = LazyBfsOracle::new(&g);
+            assert_eq!(
+                depth_lower_bound(grid, &p),
+                depth_lower_bound_oracle(&grid_oracle, &p),
+                "seed {seed}"
+            );
+            assert_eq!(
+                depth_lower_bound(grid, &p),
+                depth_lower_bound_oracle(&lazy, &p),
+                "seed {seed}"
+            );
+            assert_eq!(
+                total_displacement(grid, &p),
+                total_distance_oracle(&grid_oracle, &p),
                 "seed {seed}"
             );
         }

@@ -71,12 +71,17 @@ mod tests {
 
     #[test]
     fn distance_matches_bfs() {
+        use crate::oracle::{CycleOracle, DistanceOracle};
         let c = Cycle::new(7);
         let g = c.to_graph();
+        let oracle = CycleOracle::new(c);
+        // `all_pairs` is the test-only reference; routing hot paths query
+        // the oracle instead of materializing this table.
         let apsp = crate::dist::all_pairs(&g);
         for (u, row) in apsp.iter().enumerate() {
             for (v, &duv) in row.iter().enumerate() {
                 assert_eq!(c.dist(u, v), duv as usize);
+                assert_eq!(oracle.dist(u, v), duv);
             }
         }
     }

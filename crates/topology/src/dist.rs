@@ -12,10 +12,27 @@ pub const UNREACHABLE: u32 = u32::MAX;
 /// Single-source BFS distances from `src`. Unreachable vertices get
 /// [`UNREACHABLE`].
 pub fn bfs(graph: &Graph, src: usize) -> Vec<u32> {
+    let mut dist = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    bfs_into(graph, src, &mut dist, &mut queue);
+    dist
+}
+
+/// [`bfs`] with caller-owned scratch buffers, for loops that run many BFS
+/// passes (locality metrics, lazy oracles) without reallocating per
+/// source. `dist` is resized and overwritten; `queue` is drained before
+/// use.
+pub fn bfs_into(
+    graph: &Graph,
+    src: usize,
+    dist: &mut Vec<u32>,
+    queue: &mut std::collections::VecDeque<usize>,
+) {
     let n = graph.len();
     assert!(src < n, "BFS source out of range");
-    let mut dist = vec![UNREACHABLE; n];
-    let mut queue = std::collections::VecDeque::with_capacity(n);
+    dist.clear();
+    dist.resize(n, UNREACHABLE);
+    queue.clear();
     dist[src] = 0;
     queue.push_back(src);
     while let Some(v) = queue.pop_front() {
@@ -27,7 +44,6 @@ pub fn bfs(graph: &Graph, src: usize) -> Vec<u32> {
             }
         }
     }
-    dist
 }
 
 /// All-pairs shortest path matrix (`n` BFS runs, O(n·(n+m))).

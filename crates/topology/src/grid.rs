@@ -190,12 +190,17 @@ mod tests {
 
     #[test]
     fn l1_distance_matches_bfs() {
+        use crate::oracle::{DistanceOracle, GridOracle};
         let g = Grid::new(4, 5);
         let graph = g.to_graph();
+        let oracle = GridOracle::new(g);
+        // `all_pairs` is the test-only reference; routing hot paths query
+        // the oracle instead of materializing this table.
         let apsp = crate::dist::all_pairs(&graph);
         for (u, row) in apsp.iter().enumerate() {
             for (v, &duv) in row.iter().enumerate() {
                 assert_eq!(g.dist(u, v), duv as usize, "u={u} v={v}");
+                assert_eq!(oracle.dist(u, v), duv, "oracle u={u} v={v}");
             }
         }
     }

@@ -16,6 +16,9 @@
 //!   (grids, cylinders and tori are all products of paths/cycles).
 //! * [`dist`] — BFS single-source and all-pairs shortest path distances
 //!   (needed by the token-swapping baseline and by locality metrics).
+//! * [`oracle`] — [`DistanceOracle`]: O(1) closed-form distances for
+//!   grids/cycles/products and a lazy BFS cache for generic graphs, the
+//!   hot-path replacement for materialized all-pairs tables.
 //! * [`gridlike`] — "grid-like" architectures (grids with defects, brick
 //!   walls) used to exercise routers beyond perfect grids.
 //!
@@ -30,11 +33,15 @@ pub mod dist;
 pub mod graph;
 pub mod grid;
 pub mod gridlike;
+pub mod oracle;
 pub mod path;
 pub mod product;
 
 pub use cycle::Cycle;
 pub use graph::{Edge, Graph, GraphBuilder, GraphError};
 pub use grid::Grid;
+pub use oracle::{
+    ApspOracle, CycleOracle, DistanceOracle, GridOracle, LazyBfsOracle, ProductOracle,
+};
 pub use path::Path;
 pub use product::Product;

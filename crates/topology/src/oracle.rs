@@ -1,0 +1,336 @@
+//! Distance oracles — O(1) closed-form or lazily cached shortest-path
+//! distances, replacing materialized all-pairs tables on router hot paths.
+//!
+//! The approximate-token-swapping baseline and the locality metrics need
+//! *many* point-to-point distance queries, historically served by
+//! [`crate::dist::all_pairs`] — an `O(n²)`-memory, `O(n·m)`-time BFS
+//! table. On the topologies this workspace actually routes, that table is
+//! pure waste:
+//!
+//! * grid distance is closed-form Manhattan ([`GridOracle`], `O(1)` per
+//!   query, zero setup, zero memory);
+//! * cycle distance is closed-form wraparound ([`CycleOracle`]);
+//! * Cartesian-product distance is the sum of factor distances
+//!   ([`ProductOracle`]), so cylinders and tori inherit the closed forms
+//!   of their factors;
+//! * arbitrary graphs (grid-like lattices with defects, brick walls) get
+//!   a *lazy* per-source BFS cache ([`LazyBfsOracle`]): a source row is
+//!   computed on first query and reused, so a router that only ever asks
+//!   about a few destinations never pays for the full table.
+//!
+//! [`ApspOracle`] wraps the eagerly materialized table behind the same
+//! interface; it exists as the reference implementation for tests and the
+//! before/after microbenchmarks, not for production routing.
+//!
+//! All oracles answer through the [`DistanceOracle`] trait, which takes
+//! `&self` — lazily caching implementations use interior mutability, so a
+//! single oracle can serve an entire routing pass without threading
+//! `&mut` through the hot loops.
+
+use crate::cycle::Cycle;
+use crate::dist::{self, UNREACHABLE};
+use crate::graph::Graph;
+use crate::grid::Grid;
+use std::cell::RefCell;
+
+/// Point-to-point shortest-path distances on a fixed vertex set.
+///
+/// Distances are in hops (unweighted graphs); unreachable pairs answer
+/// [`UNREACHABLE`]. Implementations must agree with BFS on the underlying
+/// graph — the property tests pin every oracle in this module against
+/// [`crate::dist::all_pairs`].
+pub trait DistanceOracle {
+    /// Number of vertices the oracle answers for.
+    fn len(&self) -> usize;
+
+    /// `true` when the vertex set is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Shortest-path distance between `u` and `v` (symmetric), or
+    /// [`UNREACHABLE`] when no path exists.
+    ///
+    /// # Panics
+    /// May panic when `u` or `v` is out of range.
+    fn dist(&self, u: usize, v: usize) -> u32;
+}
+
+/// `O(1)` Manhattan distances on a [`Grid`] — the grid graph's shortest
+/// path distance *is* the L1 distance, no search needed.
+///
+/// Construction precomputes one packed `(row, col)` word per vertex, so
+/// `dist` is two loads plus arithmetic — no division on the hot path.
+/// The cache is `4n` bytes — at side 64 that is 16 KiB, versus the
+/// 64 MiB APSP table it replaces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridOracle {
+    grid: Grid,
+    /// `row << 16 | col` per vertex.
+    coords: Box<[u32]>,
+}
+
+impl GridOracle {
+    /// Oracle for `grid`.
+    ///
+    /// # Panics
+    /// Panics when either grid dimension is `2¹⁶` or larger (the packed
+    /// coordinate cache stores 16-bit rows and columns — 4 billion
+    /// qubits per grid is comfortably beyond any routing target).
+    pub fn new(grid: Grid) -> GridOracle {
+        assert!(
+            grid.rows() < (1 << 16) && grid.cols() < (1 << 16),
+            "grid dimensions must fit 16-bit packed coordinates"
+        );
+        let coords = (0..grid.len())
+            .map(|v| {
+                let (r, c) = grid.coords(v);
+                ((r as u32) << 16) | c as u32
+            })
+            .collect();
+        GridOracle { grid, coords }
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> Grid {
+        self.grid
+    }
+}
+
+impl DistanceOracle for GridOracle {
+    fn len(&self) -> usize {
+        self.grid.len()
+    }
+
+    #[inline]
+    fn dist(&self, u: usize, v: usize) -> u32 {
+        let (cu, cv) = (self.coords[u], self.coords[v]);
+        (cu >> 16).abs_diff(cv >> 16) + (cu & 0xFFFF).abs_diff(cv & 0xFFFF)
+    }
+}
+
+/// `O(1)` wraparound distances on a [`Cycle`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleOracle {
+    cycle: Cycle,
+}
+
+impl CycleOracle {
+    /// Oracle for `cycle`.
+    pub fn new(cycle: Cycle) -> CycleOracle {
+        CycleOracle { cycle }
+    }
+}
+
+impl DistanceOracle for CycleOracle {
+    fn len(&self) -> usize {
+        self.cycle.len()
+    }
+
+    #[inline]
+    fn dist(&self, u: usize, v: usize) -> u32 {
+        self.cycle.dist(u, v) as u32
+    }
+}
+
+/// Distances on a Cartesian product `G1 □ G2` as the sum of factor
+/// distances, with the row-major pair indexing of [`crate::Product`]
+/// (`(u, v)` has id `u * len2 + v`). Cylinders and tori — products of
+/// paths and cycles — stay closed-form all the way down.
+#[derive(Debug, Clone, Copy)]
+pub struct ProductOracle<A, B> {
+    f1: A,
+    f2: B,
+}
+
+impl<A: DistanceOracle, B: DistanceOracle> ProductOracle<A, B> {
+    /// Oracle for the product of the factors answered by `f1` and `f2`.
+    pub fn new(f1: A, f2: B) -> ProductOracle<A, B> {
+        ProductOracle { f1, f2 }
+    }
+}
+
+impl<A: DistanceOracle, B: DistanceOracle> DistanceOracle for ProductOracle<A, B> {
+    fn len(&self) -> usize {
+        self.f1.len() * self.f2.len()
+    }
+
+    #[inline]
+    fn dist(&self, u: usize, v: usize) -> u32 {
+        let n2 = self.f2.len();
+        let d1 = self.f1.dist(u / n2, v / n2);
+        let d2 = self.f2.dist(u % n2, v % n2);
+        if d1 == UNREACHABLE || d2 == UNREACHABLE {
+            UNREACHABLE
+        } else {
+            d1 + d2
+        }
+    }
+}
+
+/// Lazy per-source BFS cache for arbitrary graphs.
+///
+/// The first query touching a source runs one BFS and keeps its distance
+/// row; later queries against a cached row are `O(1)` lookups. Because
+/// distances are symmetric, a query `dist(u, v)` is served by *either*
+/// endpoint's row, and only falls back to a fresh BFS from `v` when
+/// neither exists — so query patterns with a repeated endpoint (the ATS
+/// walk repeatedly asks about one token's destination) cost one BFS per
+/// distinct hot vertex, not `n` BFS up front. Worst-case memory matches
+/// the full table only when all `n` sources actually get queried.
+#[derive(Debug)]
+pub struct LazyBfsOracle<'g> {
+    graph: &'g Graph,
+    rows: RefCell<Vec<Option<Box<[u32]>>>>,
+}
+
+impl<'g> LazyBfsOracle<'g> {
+    /// Oracle over `graph`, with an empty cache.
+    pub fn new(graph: &'g Graph) -> LazyBfsOracle<'g> {
+        LazyBfsOracle { graph, rows: RefCell::new(vec![None; graph.len()]) }
+    }
+
+    /// Number of BFS rows computed so far (diagnostic; tests assert
+    /// laziness with it).
+    pub fn cached_sources(&self) -> usize {
+        self.rows.borrow().iter().filter(|r| r.is_some()).count()
+    }
+}
+
+impl DistanceOracle for LazyBfsOracle<'_> {
+    fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    fn dist(&self, u: usize, v: usize) -> u32 {
+        if u == v {
+            return 0;
+        }
+        let mut rows = self.rows.borrow_mut();
+        if let Some(row) = &rows[v] {
+            return row[u];
+        }
+        if let Some(row) = &rows[u] {
+            return row[v];
+        }
+        let row: Box<[u32]> = dist::bfs(self.graph, v).into_boxed_slice();
+        let d = row[u];
+        rows[v] = Some(row);
+        d
+    }
+}
+
+/// Eagerly materialized all-pairs table behind the oracle interface.
+///
+/// This is the *old* hot-path representation (`n × n × u32`), kept as the
+/// reference oracle for property tests and the before/after criterion
+/// benchmarks. Don't put it on a routing hot path: at side 64 the table
+/// alone is 4096² × 4 B = 64 MiB.
+#[derive(Debug, Clone)]
+pub struct ApspOracle {
+    table: Vec<Vec<u32>>,
+}
+
+impl ApspOracle {
+    /// Run full APSP (`n` BFS passes) on `graph` and cache the table.
+    pub fn new(graph: &Graph) -> ApspOracle {
+        ApspOracle { table: dist::all_pairs(graph) }
+    }
+}
+
+impl DistanceOracle for ApspOracle {
+    fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    #[inline]
+    fn dist(&self, u: usize, v: usize) -> u32 {
+        self.table[u][v]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::Path;
+
+    fn assert_matches_apsp(oracle: &impl DistanceOracle, graph: &Graph) {
+        let apsp = dist::all_pairs(graph);
+        assert_eq!(oracle.len(), graph.len());
+        for (u, row) in apsp.iter().enumerate() {
+            for (v, &duv) in row.iter().enumerate() {
+                assert_eq!(oracle.dist(u, v), duv, "u={u} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_oracle_matches_bfs() {
+        for (m, n) in [(1, 1), (1, 7), (4, 5), (6, 6)] {
+            let grid = Grid::new(m, n);
+            assert_matches_apsp(&GridOracle::new(grid), &grid.to_graph());
+        }
+    }
+
+    #[test]
+    fn cycle_oracle_matches_bfs() {
+        for n in [3, 4, 9] {
+            let cycle = Cycle::new(n);
+            assert_matches_apsp(&CycleOracle::new(cycle), &cycle.to_graph());
+        }
+    }
+
+    #[test]
+    fn product_oracle_matches_bfs_on_cylinder_and_torus() {
+        use crate::product::Product;
+        // Cylinder P4 x C5 and torus C3 x C4, matching Product's indexing.
+        let p = Path::new(4);
+        let c5 = Cycle::new(5);
+        let cylinder = Product::new(p.to_graph(), c5.to_graph());
+        let oracle = ProductOracle::new(GridOracle::new(Grid::new(1, 4)), CycleOracle::new(c5));
+        assert_matches_apsp(&oracle, &cylinder.to_graph());
+
+        let c3 = Cycle::new(3);
+        let c4 = Cycle::new(4);
+        let torus = Product::new(c3.to_graph(), c4.to_graph());
+        let oracle = ProductOracle::new(CycleOracle::new(c3), CycleOracle::new(c4));
+        assert_matches_apsp(&oracle, &torus.to_graph());
+    }
+
+    #[test]
+    fn lazy_oracle_matches_bfs_and_handles_disconnection() {
+        let g = crate::gridlike::brick_wall(3, 5);
+        let oracle = LazyBfsOracle::new(&g);
+        assert_matches_apsp(&oracle, &g);
+
+        let disconnected = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let oracle = LazyBfsOracle::new(&disconnected);
+        assert_eq!(oracle.dist(0, 1), 1);
+        assert_eq!(oracle.dist(0, 2), UNREACHABLE);
+        assert_eq!(oracle.dist(3, 2), 1);
+    }
+
+    #[test]
+    fn lazy_oracle_is_lazy() {
+        let g = Grid::new(8, 8).to_graph();
+        let oracle = LazyBfsOracle::new(&g);
+        assert_eq!(oracle.cached_sources(), 0);
+        // Repeated queries against one destination cost one BFS.
+        for u in 0..g.len() {
+            let _ = oracle.dist(u, 17);
+        }
+        assert_eq!(oracle.cached_sources(), 1);
+        // The symmetric lookup reuses the cached row instead of adding one.
+        let _ = oracle.dist(17, 3);
+        assert_eq!(oracle.cached_sources(), 1);
+        // Self-distances never compute a row.
+        let _ = oracle.dist(5, 5);
+        assert_eq!(oracle.cached_sources(), 1);
+    }
+
+    #[test]
+    fn apsp_oracle_matches_bfs() {
+        let g = crate::gridlike::heavy_hex(3, 9);
+        assert_matches_apsp(&ApspOracle::new(&g), &g);
+    }
+}

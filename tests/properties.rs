@@ -5,6 +5,7 @@ use qroute::perm::{metrics, Permutation};
 use qroute::prelude::*;
 use qroute::routing::line::{route_line, route_line_best, FirstParity};
 use qroute::routing::token_swap;
+use qroute::topology::{dist, DistanceOracle, GridOracle, LazyBfsOracle};
 
 /// Strategy: a grid shape and a random permutation of its vertices.
 fn grid_and_perm() -> impl Strategy<Value = (usize, usize, Vec<usize>)> {
@@ -63,6 +64,56 @@ proptest! {
         // swaps <= 2*phi ... plus slack for tiny instances.
         let phi = metrics::total_displacement(grid, &pi);
         prop_assert!(out.num_swaps() <= 2 * phi + 4);
+    }
+
+    #[test]
+    fn grid_oracle_agrees_with_apsp_on_random_grids((m, n) in (1usize..=10, 1usize..=10)) {
+        // Grids up to n = 100 vertices: the closed-form Manhattan oracle
+        // must agree pairwise with the test-only BFS all-pairs table.
+        let grid = Grid::new(m, n);
+        let graph = grid.to_graph();
+        let oracle = GridOracle::new(grid);
+        let apsp = dist::all_pairs(&graph);
+        for (u, row) in apsp.iter().enumerate() {
+            for (v, &duv) in row.iter().enumerate() {
+                prop_assert_eq!(oracle.dist(u, v), duv);
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_bfs_oracle_agrees_with_apsp_on_random_connected_graphs(
+        (n, seed) in (2usize..=100, 0u64..1 << 32)
+    ) {
+        // Random connected graph: a random spanning tree (vertex i hangs
+        // off a random j < i) plus ~n/2 random extra edges.
+        let mut state = seed ^ 0x9E3779B97F4A7C15;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let mut edges: Vec<(usize, usize)> = (1..n)
+            .map(|i| (i, (next() % i as u64) as usize))
+            .collect();
+        for _ in 0..n / 2 {
+            let u = (next() % n as u64) as usize;
+            let v = (next() % n as u64) as usize;
+            if u != v {
+                edges.push((u, v));
+            }
+        }
+        let graph = Graph::from_edges(n, edges).unwrap();
+        prop_assert!(graph.is_connected());
+        let oracle = LazyBfsOracle::new(&graph);
+        let apsp = dist::all_pairs(&graph);
+        for (u, row) in apsp.iter().enumerate() {
+            for (v, &duv) in row.iter().enumerate() {
+                prop_assert_eq!(oracle.dist(u, v), duv);
+            }
+        }
     }
 
     #[test]
