@@ -5,35 +5,44 @@
 //! project is judged against over time:
 //!
 //! * [`BenchReport`] — a schema-versioned, serde-serialized report: build
-//!   environment metadata, the run configuration, and one [`BenchCell`]
-//!   per router × workload class × grid side with full
-//!   [`SampleSummary`] percentiles (mean/min/p50/p90/max over seeds) for
-//!   depth, swap count, the displacement lower bound, and wall-clock
-//!   routing time;
-//! * [`run_bench`] — drives the full cell matrix in parallel via rayon
+//!   environment metadata, the run configuration, one [`BenchCell`] per
+//!   router × permutation class × grid side, and one [`CircuitBenchCell`]
+//!   per router × circuit class × grid side, each with full
+//!   [`SampleSummary`] percentiles (mean/min/p50/p90/max over seeds);
+//! * [`run_bench`] — drives both cell matrices in parallel via rayon
 //!   and returns a deterministically ordered report whose JSON encoding
 //!   ([`BenchReport::to_json`]) is byte-stable: with timing capture
 //!   disabled ([`BenchConfig::timing`] = `false`), two runs with the same
 //!   seeds produce *identical* `BENCH.json` bytes;
 //! * [`BenchReport::from_json`] — reads a committed baseline back;
 //! * [`check_against_baseline`] — diffs a fresh report against a
-//!   baseline and reports per-cell regressions: mean depth beyond the
-//!   per-class tolerance ([`depth_tolerance`]), or mean routing time more
+//!   baseline and reports per-cell regressions: mean depth (and, for
+//!   circuit cells, mean swap count) beyond the per-class tolerance
+//!   ([`depth_tolerance`] / [`circuit_tolerance`]), or mean time more
 //!   than [`TIME_TOLERANCE`] (25%) slower when both reports captured
 //!   timing. The `repro bench --baseline <file> --check` subcommand turns
 //!   a failed check into exit code 1 plus a markdown delta table
 //!   ([`delta_table_markdown`]).
 //!
 //! Depth, size and lower bound are exactly reproducible (seeded
-//! workloads, deterministic routers), so any depth delta is a real
-//! algorithmic change; the tolerance only leaves headroom for intentional
-//! small trade-offs. Wall-clock time is the one machine-dependent metric,
-//! which is why it is separately tolerated and optional.
+//! workloads, deterministic routers and transpiler), so any delta is a
+//! real algorithmic change; the tolerance only leaves headroom for
+//! intentional small trade-offs. Wall-clock time is the one
+//! machine-dependent metric, which is why it is separately tolerated and
+//! optional.
+//!
+//! Every circuit cell is verified before its numbers are recorded — see
+//! [`crate::verify`] for the tiered differential harness (grid
+//! feasibility, metric recounts, structural unembedding, and statevector
+//! equivalence for logical registers within the simulator cutoff).
 
+use crate::circuits::CircuitClass;
+use crate::verify::verify_transpile;
 use crate::workloads::WorkloadClass;
 use qroute_core::stats::{route_timed, SampleSummary};
 use qroute_core::{GridRouter, RouterKind};
 use qroute_topology::Grid;
+use qroute_transpiler::{TranspileOptions, Transpiler};
 use rayon::prelude::*;
 use serde::Serialize;
 use std::fmt::Write as _;
@@ -41,7 +50,11 @@ use std::fmt::Write as _;
 /// Version of the `BENCH.json` schema. Bump on any breaking change to
 /// [`BenchReport`]'s serialized shape; [`BenchReport::from_json`] refuses
 /// mismatched versions so a stale baseline fails loudly.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// History: v1 — permutation cells only; v2 — adds the circuit-cell
+/// matrix (`circuit_cells`) and the `circuit_sides` / `circuit_seeds`
+/// run-configuration fields.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Relative mean-runtime regression tolerated by the baseline check
 /// (`0.25` = 25% slower), applied only when both reports captured timing.
@@ -59,6 +72,22 @@ pub fn depth_tolerance(class: &str) -> f64 {
         0.05
     } else {
         0.02
+    }
+}
+
+/// Per-class relative regression tolerance for circuit-cell metrics
+/// (mean routing depth added and mean swap count).
+///
+/// Transpile-loop metrics are deterministic but more sensitive than
+/// isolated-permutation depth: a small planner or router change shifts
+/// *which* rounds block, and the effect compounds across hundreds of
+/// rounds. Structured local workloads (brickwork) get the tight 2%;
+/// everything that routes globally gets 5%.
+pub fn circuit_tolerance(class: &str) -> f64 {
+    if class.starts_with("brickwork") {
+        0.02
+    } else {
+        0.05
     }
 }
 
@@ -91,31 +120,53 @@ impl BenchEnv {
 /// Configuration of a benchmark run.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchConfig {
-    /// Square-grid sides in the matrix.
+    /// Square-grid sides in the permutation matrix.
     pub sides: Vec<usize>,
-    /// Seeds per cell (`0..seeds`).
+    /// Seeds per permutation cell (`0..seeds`).
     pub seeds: u64,
-    /// Whether wall-clock routing time was captured. `false` zeroes the
+    /// Whether wall-clock time was captured. `false` zeroes the
     /// `time_ms` summaries, making the report byte-stable across runs —
     /// timing is the only nondeterministic input to the schema.
     pub timing: bool,
+    /// Square-grid sides in the circuit matrix (must all fit the QASM
+    /// replay fixture's 10 qubits, i.e. side ≥ 4).
+    pub circuit_sides: Vec<usize>,
+    /// Seeds per circuit cell (`0..circuit_seeds`).
+    pub circuit_seeds: u64,
 }
 
 impl BenchConfig {
-    /// The canonical full matrix: sides {4, 8, 16, 32}, 5 seeds, with
-    /// timing. Side 32 became tractable for every router once the
-    /// distance-oracle overhaul removed the per-call `O(n²)` APSP tables;
-    /// side 64 works too (`--sides 64 --no-time`) but is kept out of the
-    /// default matrix to bound wall-clock.
+    /// The canonical full matrix: permutation sides {4, 8, 16, 32} at 5
+    /// seeds, circuit sides {4, 8} at 3 seeds, with timing. Side 32
+    /// became tractable for every router once the distance-oracle
+    /// overhaul removed the per-call `O(n²)` APSP tables; a side-64
+    /// permutation matrix works too (`--sides 64 --circuit-sides 8
+    /// --seeds 1 --no-time` — `--sides` alone would also point the
+    /// *circuit* matrix at side 64, and a full-occupancy 4096-qubit QFT
+    /// through the transpile loop is not a bounded-time proposition).
+    /// Circuit cells stop at side 8 because a full-occupancy QFT already
+    /// drives thousands of routing rounds there.
     pub fn full() -> BenchConfig {
-        BenchConfig { sides: vec![4, 8, 16, 32], seeds: 5, timing: true }
+        BenchConfig {
+            sides: vec![4, 8, 16, 32],
+            seeds: 5,
+            timing: true,
+            circuit_sides: vec![4, 8],
+            circuit_seeds: 3,
+        }
     }
 
     /// The CI gate configuration: the same sides, fewer seeds, and no
     /// timing — so the committed baseline compares byte-for-byte across
     /// machines.
     pub fn quick() -> BenchConfig {
-        BenchConfig { sides: vec![4, 8, 16, 32], seeds: 2, timing: false }
+        BenchConfig {
+            sides: vec![4, 8, 16, 32],
+            seeds: 2,
+            timing: false,
+            circuit_sides: vec![4, 8],
+            circuit_seeds: 2,
+        }
     }
 }
 
@@ -149,6 +200,51 @@ impl BenchCell {
     }
 }
 
+/// One measured circuit cell: a router × circuit class × grid side
+/// aggregate over a seed set of *verified* transpiles (see
+/// [`crate::verify`]).
+#[derive(Debug, Clone, Serialize)]
+pub struct CircuitBenchCell {
+    /// Router label ([`GridRouter::name`]).
+    pub router: String,
+    /// Circuit class label ([`CircuitClass::label`]).
+    pub class: String,
+    /// Grid side (square grids).
+    pub side: usize,
+    /// Number of physical wires (`side * side`).
+    pub qubits: usize,
+    /// Logical register width of the class instance.
+    pub logical_qubits: usize,
+    /// Gate count of the logical circuit (seed-independent for every
+    /// class: generated circuits have fixed structure per size).
+    pub logical_gates: usize,
+    /// 2-qubit gate count of the logical circuit.
+    pub logical_two_qubit: usize,
+    /// Whether the statevector equivalence tier ran on every seed
+    /// (logical register within the simulator cutoff); the structural
+    /// verification tiers always run.
+    pub statevector_checked: bool,
+    /// SWAP-count summary over seeds.
+    pub swaps: SampleSummary,
+    /// Routing-depth-added summary over seeds (sum of schedule depths
+    /// across routing rounds).
+    pub routing_depth: SampleSummary,
+    /// Router-invocation (routing round) summary over seeds.
+    pub invocations: SampleSummary,
+    /// Output-circuit depth summary over seeds (all gates unit cost).
+    pub output_depth: SampleSummary,
+    /// Wall-clock transpile time summary in milliseconds (all-zero with
+    /// `n = 0` when timing capture was disabled).
+    pub time_ms: SampleSummary,
+}
+
+impl CircuitBenchCell {
+    /// The cell's identity within a report's circuit matrix.
+    pub fn key(&self) -> (&str, &str, usize) {
+        (self.router.as_str(), self.class.as_str(), self.side)
+    }
+}
+
 /// A complete benchmark report — the `BENCH.json` document.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchReport {
@@ -158,22 +254,95 @@ pub struct BenchReport {
     pub env: BenchEnv,
     /// Run configuration.
     pub config: BenchConfig,
-    /// The cell matrix, sorted by (router, class, side).
+    /// The permutation cell matrix, sorted by (router, class, side).
     pub cells: Vec<BenchCell>,
+    /// The circuit cell matrix, sorted by (router, class, side).
+    pub circuit_cells: Vec<CircuitBenchCell>,
 }
 
-/// The router axis of the benchmark matrix: every [`RouterKind`] in its
-/// default configuration.
+/// The router axis of the permutation benchmark matrix: every
+/// [`RouterKind`] in its default configuration.
 pub fn bench_routers() -> Vec<RouterKind> {
+    RouterKind::all_default()
+}
+
+/// The router axis of the circuit benchmark matrix: the routers that
+/// matter inside the transpile loop (§V compares exactly these — the
+/// paper router, the naive baseline, the hybrid clamp, and ATS). The
+/// remaining kinds are permutation-level reference implementations.
+pub fn circuit_routers() -> Vec<RouterKind> {
     vec![
         RouterKind::locality_aware(),
         RouterKind::naive(),
         RouterKind::hybrid(),
         RouterKind::Ats,
-        RouterKind::AtsSerial,
-        RouterKind::Tree,
-        RouterKind::Snake,
     ]
+}
+
+/// Measure one circuit cell: transpile `seeds` seeded instances, verify
+/// every transpile through the differential harness (panicking on any
+/// verification failure — a benchmark must not record wrong answers),
+/// and summarize each metric's per-seed samples.
+pub fn measure_circuit_cell(
+    side: usize,
+    class: CircuitClass,
+    router: &RouterKind,
+    seeds: u64,
+    timing: bool,
+) -> CircuitBenchCell {
+    let grid = Grid::new(side, side);
+    let mut swaps = Vec::with_capacity(seeds as usize);
+    let mut routing_depth = Vec::with_capacity(seeds as usize);
+    let mut invocations = Vec::with_capacity(seeds as usize);
+    let mut output_depth = Vec::with_capacity(seeds as usize);
+    let mut times = Vec::with_capacity(seeds as usize);
+    let mut logical_shape = (0usize, 0usize, 0usize);
+    let mut statevector_checked = true;
+    for seed in 0..seeds {
+        let (logical, layout) = class.generate(grid, seed);
+        logical_shape = (
+            logical.num_qubits(),
+            logical.size(),
+            logical.two_qubit_count(),
+        );
+        let transpiler = Transpiler::new(
+            grid,
+            TranspileOptions { router: router.clone(), initial_layout: layout },
+        );
+        let t0 = std::time::Instant::now();
+        let res = transpiler.run(&logical);
+        let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let summary = verify_transpile(grid, &logical, &res).unwrap_or_else(|e| {
+            panic!(
+                "{} failed verification on {}/{side}x{side}/seed {seed}: {e}",
+                router.name(),
+                class.label()
+            )
+        });
+        statevector_checked &= summary.statevector_checked;
+        swaps.push(res.swap_count as f64);
+        routing_depth.push(res.routing_depth_added as f64);
+        invocations.push(res.routing_invocations as f64);
+        output_depth.push(res.physical.depth() as f64);
+        if timing {
+            times.push(elapsed_ms);
+        }
+    }
+    CircuitBenchCell {
+        router: router.name().to_string(),
+        class: class.label(),
+        side,
+        qubits: grid.len(),
+        logical_qubits: logical_shape.0,
+        logical_gates: logical_shape.1,
+        logical_two_qubit: logical_shape.2,
+        statevector_checked,
+        swaps: SampleSummary::from_samples(&swaps),
+        routing_depth: SampleSummary::from_samples(&routing_depth),
+        invocations: SampleSummary::from_samples(&invocations),
+        output_depth: SampleSummary::from_samples(&output_depth),
+        time_ms: SampleSummary::from_samples(&times),
+    }
 }
 
 /// Measure one benchmark cell: route `seeds` instances, verify every
@@ -217,15 +386,29 @@ pub fn measure_bench_cell(
     }
 }
 
-/// Run the full benchmark matrix (all [`bench_routers`] × all
-/// [`WorkloadClass::all_classes`] × `config.sides`) and return the
-/// report with cells in canonical (router, class, side) order.
+fn canonical_key_order<T, F>(cells: &mut [T], key: F)
+where
+    F: Fn(&T) -> (&str, &str, usize),
+{
+    cells.sort_by(|a, b| key(a).cmp(&key(b)));
+}
+
+/// Run the full benchmark matrix — permutation cells (all
+/// [`bench_routers`] × [`WorkloadClass::all_classes`] × `config.sides`)
+/// and circuit cells (all [`circuit_routers`] ×
+/// [`CircuitClass::all_classes`] × `config.circuit_sides`) — and return
+/// the report with both matrices in canonical (router, class, side)
+/// order.
 ///
-/// Untimed runs measure cells in parallel via rayon (depth and size do
-/// not depend on wall-clock); timed runs measure serially so time
-/// samples are not distorted by core contention — the same discipline
-/// [`crate::experiments::figure5`] applies.
+/// Untimed runs measure cells in parallel via rayon (depth, size and
+/// swap counts do not depend on wall-clock); timed runs measure serially
+/// so time samples are not distorted by core contention — the same
+/// discipline [`crate::experiments::figure5`] applies.
 pub fn run_bench(config: &BenchConfig) -> BenchReport {
+    let timing = config.timing;
+    let seeds = config.seeds;
+    let circuit_seeds = config.circuit_seeds;
+
     let mut jobs: Vec<(usize, WorkloadClass, RouterKind)> = Vec::new();
     for &side in &config.sides {
         for class in WorkloadClass::all_classes() {
@@ -234,28 +417,42 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
             }
         }
     }
-    let timing = config.timing;
-    let seeds = config.seeds;
     let measure = |(side, class, router): (usize, WorkloadClass, RouterKind)| -> BenchCell {
         measure_bench_cell(side, class, &router, seeds, timing)
     };
-    let mut cells: Vec<BenchCell> = if timing {
-        jobs.into_iter().map(measure).collect()
+
+    let mut circuit_jobs: Vec<(usize, CircuitClass, RouterKind)> = Vec::new();
+    for &side in &config.circuit_sides {
+        for class in CircuitClass::all_classes() {
+            for router in circuit_routers() {
+                circuit_jobs.push((side, class, router));
+            }
+        }
+    }
+    let measure_circuit =
+        |(side, class, router): (usize, CircuitClass, RouterKind)| -> CircuitBenchCell {
+            measure_circuit_cell(side, class, &router, circuit_seeds, timing)
+        };
+
+    let (mut cells, mut circuit_cells): (Vec<BenchCell>, Vec<CircuitBenchCell>) = if timing {
+        (
+            jobs.into_iter().map(measure).collect(),
+            circuit_jobs.into_iter().map(measure_circuit).collect(),
+        )
     } else {
-        jobs.into_par_iter().map(measure).collect()
+        (
+            jobs.into_par_iter().map(measure).collect(),
+            circuit_jobs.into_par_iter().map(measure_circuit).collect(),
+        )
     };
-    cells.sort_by(|a, b| {
-        (a.router.as_str(), a.class.as_str(), a.side).cmp(&(
-            b.router.as_str(),
-            b.class.as_str(),
-            b.side,
-        ))
-    });
+    canonical_key_order(&mut cells, BenchCell::key);
+    canonical_key_order(&mut circuit_cells, CircuitBenchCell::key);
     BenchReport {
         schema_version: SCHEMA_VERSION,
         env: BenchEnv::capture(),
         config: config.clone(),
         cells,
+        circuit_cells,
     }
 }
 
@@ -316,6 +513,23 @@ impl BenchReport {
                 max: num_field(s, "max")?,
             })
         };
+        let bool_field = |v: &serde_json::Value, key: &str| -> Result<bool, String> {
+            v.get(key)
+                .and_then(|x| x.as_bool())
+                .ok_or_else(|| format!("missing boolean field {key:?}"))
+        };
+        let side_list = |v: &serde_json::Value, key: &str| -> Result<Vec<usize>, String> {
+            v.get(key)
+                .and_then(|x| x.as_array())
+                .ok_or_else(|| format!("missing config.{key}"))?
+                .iter()
+                .map(|x| {
+                    x.as_u64()
+                        .map(|s| s as usize)
+                        .ok_or_else(|| "bad side".to_string())
+                })
+                .collect()
+        };
         let env_v = doc.get("env").ok_or("missing env")?;
         let config_v = doc.get("config").ok_or("missing config")?;
         let cells_v = doc
@@ -335,35 +549,51 @@ impl BenchReport {
                 time_ms: summary_field(c, "time_ms")?,
             });
         }
+        let circuit_cells_v = doc
+            .get("circuit_cells")
+            .and_then(|v| v.as_array())
+            .ok_or("missing circuit_cells array")?;
+        let mut circuit_cells = Vec::with_capacity(circuit_cells_v.len());
+        for c in circuit_cells_v {
+            circuit_cells.push(CircuitBenchCell {
+                router: str_field(c, "router")?,
+                class: str_field(c, "class")?,
+                side: uint_field(c, "side")?,
+                qubits: uint_field(c, "qubits")?,
+                logical_qubits: uint_field(c, "logical_qubits")?,
+                logical_gates: uint_field(c, "logical_gates")?,
+                logical_two_qubit: uint_field(c, "logical_two_qubit")?,
+                statevector_checked: bool_field(c, "statevector_checked")?,
+                swaps: summary_field(c, "swaps")?,
+                routing_depth: summary_field(c, "routing_depth")?,
+                invocations: summary_field(c, "invocations")?,
+                output_depth: summary_field(c, "output_depth")?,
+                time_ms: summary_field(c, "time_ms")?,
+            });
+        }
         Ok(BenchReport {
             schema_version: version,
             env: BenchEnv {
                 version: str_field(env_v, "version")?,
                 os: str_field(env_v, "os")?,
                 arch: str_field(env_v, "arch")?,
-                debug_assertions: env_v
-                    .get("debug_assertions")
-                    .and_then(|v| v.as_bool())
-                    .ok_or("missing env.debug_assertions")?,
+                debug_assertions: bool_field(env_v, "debug_assertions")?,
             },
             config: BenchConfig {
-                sides: config_v
-                    .get("sides")
-                    .and_then(|v| v.as_array())
-                    .ok_or("missing config.sides")?
-                    .iter()
-                    .map(|v| v.as_u64().map(|x| x as usize).ok_or("bad side"))
-                    .collect::<Result<_, _>>()?,
+                sides: side_list(config_v, "sides")?,
                 seeds: config_v
                     .get("seeds")
                     .and_then(|v| v.as_u64())
                     .ok_or("missing config.seeds")?,
-                timing: config_v
-                    .get("timing")
-                    .and_then(|v| v.as_bool())
-                    .ok_or("missing config.timing")?,
+                timing: bool_field(config_v, "timing")?,
+                circuit_sides: side_list(config_v, "circuit_sides")?,
+                circuit_seeds: config_v
+                    .get("circuit_seeds")
+                    .and_then(|v| v.as_u64())
+                    .ok_or("missing config.circuit_seeds")?,
             },
             cells,
+            circuit_cells,
         })
     }
 }
@@ -426,13 +656,17 @@ impl CheckOutcome {
     }
 }
 
-/// Compare `current` against `baseline` cell-by-cell.
+/// Compare `current` against `baseline` cell-by-cell, over both the
+/// permutation and the circuit matrices.
 ///
-/// Mean depth is gated per class by [`depth_tolerance`]; mean routing
-/// time is gated by [`TIME_TOLERANCE`] when both cells captured timing
-/// (`n > 0`). Size and lower bound are recorded in reports but not gated:
-/// size trades off against depth, and the lower bound is a property of
-/// the workload, not the router.
+/// Permutation cells: mean depth is gated per class by
+/// [`depth_tolerance`]. Circuit cells: mean routing depth added *and*
+/// mean swap count are gated per class by [`circuit_tolerance`] (inside
+/// the transpile loop the two trade off differently than in isolated
+/// permutations, so both are pinned). Mean time is gated by
+/// [`TIME_TOLERANCE`] when both cells captured timing (`n > 0`).
+/// Size/lower bound (permutation) and invocations/output depth (circuit)
+/// are recorded but not gated.
 pub fn check_against_baseline(current: &BenchReport, baseline: &BenchReport) -> CheckOutcome {
     let mut deltas = Vec::new();
     let mut missing = Vec::new();
@@ -486,12 +720,80 @@ pub fn check_against_baseline(current: &BenchReport, baseline: &BenchReport) -> 
             });
         }
     }
-    let new_in_current = current
+    for base in &baseline.circuit_cells {
+        let Some(cur) = current.circuit_cells.iter().find(|c| c.key() == base.key()) else {
+            missing.push(format!(
+                "circuit:{}/{}/{side}x{side}",
+                base.router,
+                base.class,
+                side = base.side
+            ));
+            continue;
+        };
+        if cur.swaps.n != base.swaps.n {
+            seed_mismatches.push(format!(
+                "circuit:{}/{}/{side}x{side}: {} seeds vs baseline {}",
+                base.router,
+                base.class,
+                cur.swaps.n,
+                base.swaps.n,
+                side = base.side
+            ));
+            continue;
+        }
+        let tol = circuit_tolerance(&base.class);
+        for (metric, cur_s, base_s) in [
+            ("routing_depth", &cur.routing_depth, &base.routing_depth),
+            ("swaps", &cur.swaps, &base.swaps),
+        ] {
+            let delta = cur_s.mean_delta(base_s);
+            deltas.push(CellDelta {
+                router: base.router.clone(),
+                class: base.class.clone(),
+                side: base.side,
+                metric: metric.to_string(),
+                baseline_mean: base_s.mean,
+                current_mean: cur_s.mean,
+                delta,
+                tolerance: tol,
+                regressed: delta > tol,
+            });
+        }
+        if base.time_ms.n > 0 && cur.time_ms.n > 0 {
+            let time_delta = cur.time_ms.mean_delta(&base.time_ms);
+            deltas.push(CellDelta {
+                router: base.router.clone(),
+                class: base.class.clone(),
+                side: base.side,
+                metric: "time_ms".to_string(),
+                baseline_mean: base.time_ms.mean,
+                current_mean: cur.time_ms.mean,
+                delta: time_delta,
+                tolerance: TIME_TOLERANCE,
+                regressed: time_delta > TIME_TOLERANCE,
+            });
+        }
+    }
+    let mut new_in_current: Vec<String> = current
         .cells
         .iter()
         .filter(|c| !baseline.cells.iter().any(|b| b.key() == c.key()))
         .map(|c| format!("{}/{}/{side}x{side}", c.router, c.class, side = c.side))
         .collect();
+    new_in_current.extend(
+        current
+            .circuit_cells
+            .iter()
+            .filter(|c| !baseline.circuit_cells.iter().any(|b| b.key() == c.key()))
+            .map(|c| {
+                format!(
+                    "circuit:{}/{}/{side}x{side}",
+                    c.router,
+                    c.class,
+                    side = c.side
+                )
+            }),
+    );
     CheckOutcome { deltas, missing_in_current: missing, new_in_current, seed_mismatches }
 }
 
@@ -530,7 +832,13 @@ mod tests {
     use super::*;
 
     fn tiny_config() -> BenchConfig {
-        BenchConfig { sides: vec![4], seeds: 2, timing: false }
+        BenchConfig {
+            sides: vec![4],
+            seeds: 2,
+            timing: false,
+            circuit_sides: vec![4],
+            circuit_seeds: 1,
+        }
     }
 
     #[test]
@@ -539,8 +847,12 @@ mod tests {
         let routers = bench_routers().len();
         let classes = WorkloadClass::all_classes().len();
         assert_eq!(report.cells.len(), routers * classes);
+        assert_eq!(
+            report.circuit_cells.len(),
+            circuit_routers().len() * CircuitClass::all_classes().len()
+        );
         assert_eq!(report.schema_version, SCHEMA_VERSION);
-        // Canonical order: sorted by (router, class, side).
+        // Canonical order: sorted by (router, class, side), both matrices.
         let keys: Vec<_> = report
             .cells
             .iter()
@@ -549,6 +861,40 @@ mod tests {
         let mut sorted = keys.clone();
         sorted.sort();
         assert_eq!(keys, sorted);
+        let ckeys: Vec<_> = report
+            .circuit_cells
+            .iter()
+            .map(|c| (c.router.clone(), c.class.clone(), c.side))
+            .collect();
+        let mut csorted = ckeys.clone();
+        csorted.sort();
+        assert_eq!(ckeys, csorted);
+    }
+
+    #[test]
+    fn circuit_cells_record_verified_metrics() {
+        let cell = measure_circuit_cell(
+            4,
+            CircuitClass::QasmReplay,
+            &RouterKind::locality_aware(),
+            2,
+            false,
+        );
+        assert_eq!(cell.qubits, 16);
+        assert_eq!(cell.logical_qubits, 10);
+        assert!(cell.logical_two_qubit > 0);
+        // 10 logical qubits is within the simulator cutoff: every seed
+        // was statevector-verified against the logical circuit.
+        assert!(cell.statevector_checked);
+        assert!(cell.swaps.mean > 0.0, "scattered replay must route");
+        assert_eq!(cell.swaps.n, 2);
+        assert_eq!(cell.time_ms.n, 0, "untimed cell records no samples");
+
+        // Full-occupancy classes exceed the cutoff but still pass the
+        // structural verification tiers.
+        let wide = measure_circuit_cell(4, CircuitClass::SparseRandom, &RouterKind::Ats, 1, false);
+        assert!(!wide.statevector_checked);
+        assert_eq!(wide.logical_qubits, 16);
     }
 
     #[test]
@@ -588,8 +934,45 @@ mod tests {
         assert!(outcome.passed());
         assert!(outcome.missing_in_current.is_empty());
         assert!(outcome.new_in_current.is_empty());
-        // One depth comparison per cell; no timing comparisons.
-        assert_eq!(outcome.deltas.len(), report.cells.len());
+        // One depth comparison per permutation cell, two gated metrics
+        // per circuit cell; no timing comparisons.
+        assert_eq!(
+            outcome.deltas.len(),
+            report.cells.len() + 2 * report.circuit_cells.len()
+        );
+    }
+
+    #[test]
+    fn injected_circuit_regression_fails_the_check() {
+        let current = run_bench(&tiny_config());
+        let mut baseline = current.clone();
+        // Pretend the baseline needed 20% fewer swaps than we do now.
+        let cell = baseline
+            .circuit_cells
+            .iter_mut()
+            .find(|c| c.swaps.mean > 1.0)
+            .expect("some circuit cell routes");
+        cell.swaps.mean /= 1.2;
+        let outcome = check_against_baseline(&current, &baseline);
+        assert!(!outcome.passed());
+        let regs = outcome.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "swaps");
+    }
+
+    #[test]
+    fn missing_circuit_cell_fails_the_check() {
+        let full = run_bench(&tiny_config());
+        let mut truncated = full.clone();
+        truncated.circuit_cells.pop();
+        let outcome = check_against_baseline(&truncated, &full);
+        assert!(!outcome.passed());
+        assert_eq!(outcome.missing_in_current.len(), 1);
+        assert!(outcome.missing_in_current[0].starts_with("circuit:"));
+        // The reverse direction: an extra circuit cell passes.
+        let outcome = check_against_baseline(&full, &truncated);
+        assert!(outcome.passed());
+        assert_eq!(outcome.new_in_current.len(), 1);
     }
 
     #[test]
@@ -641,10 +1024,13 @@ mod tests {
     #[test]
     fn differing_seed_counts_fail_instead_of_comparing_means() {
         let current = run_bench(&tiny_config());
-        let more_seeds = run_bench(&BenchConfig { sides: vec![4], seeds: 3, timing: false });
+        let more_seeds = run_bench(&BenchConfig { seeds: 3, circuit_seeds: 2, ..tiny_config() });
         let outcome = check_against_baseline(&more_seeds, &current);
         assert!(!outcome.passed());
-        assert_eq!(outcome.seed_mismatches.len(), current.cells.len());
+        assert_eq!(
+            outcome.seed_mismatches.len(),
+            current.cells.len() + current.circuit_cells.len()
+        );
         // No means were diffed for mismatched cells.
         assert!(outcome.deltas.is_empty());
     }
@@ -655,5 +1041,9 @@ mod tests {
         assert_eq!(depth_tolerance("block4"), 0.02);
         assert_eq!(depth_tolerance("overlap8s4"), 0.05);
         assert_eq!(depth_tolerance("skinny"), 0.05);
+        assert_eq!(circuit_tolerance("brickwork4"), 0.02);
+        assert_eq!(circuit_tolerance("qft"), 0.05);
+        assert_eq!(circuit_tolerance("qaoa2"), 0.05);
+        assert_eq!(circuit_tolerance("qasm-replay10"), 0.05);
     }
 }

@@ -28,6 +28,7 @@ struct Args {
     no_time: bool,
     baseline: Option<PathBuf>,
     check: bool,
+    circuit_sides: Option<Vec<usize>>,
 }
 
 const USAGE: &str = "\
@@ -36,19 +37,25 @@ repro — regenerate the paper's figures and tables
 USAGE:
     repro [fig4|fig5|hybrid|skinny|ablations|optgap|transpile|bench|all]
           [--sides 4,8,16,32] [--seeds N] [--out DIR]
-          [--quick] [--no-time] [--baseline BENCH.json] [--check]
+          [--quick] [--no-time] [--circuit-sides 4,8]
+          [--baseline BENCH.json] [--check]
 
 Markdown tables print to stdout; CSV/JSON/SVG files land in --out
 (default results/).
 
-bench writes the machine-readable BENCH.json (schema v1: env metadata +
-per router×class×side depth/size/lower-bound/time percentiles over
-seeds) to --out. Bench-only flags:
-    --quick         CI gate config: 2 seeds, timing off (deterministic)
-    --no-time       skip wall-clock capture (byte-stable output)
-    --baseline F    compare against a committed BENCH.json
-    --check         with --baseline: exit 1 on regression
-                    (per-class depth tolerance; mean time +25%)";
+bench writes the machine-readable BENCH.json (schema v2: env metadata +
+per router×class×side permutation cells with depth/size/lower-bound/time
+percentiles over seeds, plus circuit cells with swap/routing-depth/
+invocation/time percentiles over verified transpiles) to --out.
+Bench-only flags:
+    --quick           CI gate config: 2 seeds, timing off (deterministic)
+    --no-time         skip wall-clock capture (byte-stable output)
+    --circuit-sides S circuit-matrix sides (default: same as --sides
+                      when given, else the config's {4,8}; every side
+                      must fit the 10-qubit QASM replay fixture)
+    --baseline F      compare against a committed BENCH.json
+    --check           with --baseline: exit 1 on regression
+                      (per-class depth/swap tolerance; mean time +25%)";
 
 fn usage_error(msg: String) -> ! {
     eprintln!("error: {msg}\n\n{USAGE}");
@@ -64,6 +71,7 @@ fn parse_args() -> Args {
     let mut no_time = false;
     let mut baseline: Option<PathBuf> = None;
     let mut check = false;
+    let mut circuit_sides: Option<Vec<usize>> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let flag_value = |i: &mut usize, flag: &str| -> String {
         *i += 1;
@@ -88,6 +96,18 @@ fn parse_args() -> Args {
                         .map(|s| {
                             s.trim().parse().unwrap_or_else(|_| {
                                 usage_error(format!("--sides wants integers, got {s:?}"))
+                            })
+                        })
+                        .collect(),
+                );
+            }
+            "--circuit-sides" => {
+                circuit_sides = Some(
+                    flag_value(&mut i, "--circuit-sides")
+                        .split(',')
+                        .map(|s| {
+                            s.trim().parse().unwrap_or_else(|_| {
+                                usage_error(format!("--circuit-sides wants integers, got {s:?}"))
                             })
                         })
                         .collect(),
@@ -121,6 +141,7 @@ fn parse_args() -> Args {
             (no_time, "--no-time"),
             (baseline.is_some(), "--baseline"),
             (check, "--check"),
+            (circuit_sides.is_some(), "--circuit-sides"),
         ] {
             if given {
                 usage_error(format!("{flag} only applies to the bench command"));
@@ -130,7 +151,7 @@ fn parse_args() -> Args {
     if check && baseline.is_none() {
         usage_error("--check requires --baseline".to_string());
     }
-    Args { command, sides, seeds, out, quick, no_time, baseline, check }
+    Args { command, sides, seeds, out, quick, no_time, baseline, check, circuit_sides }
 }
 
 impl Args {
@@ -146,7 +167,10 @@ impl Args {
         self.seeds.unwrap_or(5)
     }
 
-    /// The bench-matrix configuration implied by the flags.
+    /// The bench-matrix configuration implied by the flags. `--sides`
+    /// scopes both matrices (so `--sides 4` runs a genuinely tiny bench)
+    /// unless `--circuit-sides` picks the circuit sides explicitly;
+    /// `--seeds` likewise sets both seed counts.
     fn bench_config(&self) -> BenchConfig {
         let mut config = if self.quick {
             BenchConfig::quick()
@@ -155,12 +179,24 @@ impl Args {
         };
         if let Some(sides) = &self.sides {
             config.sides = sides.clone();
+            config.circuit_sides = sides.clone();
+        }
+        if let Some(circuit_sides) = &self.circuit_sides {
+            config.circuit_sides = circuit_sides.clone();
         }
         if let Some(seeds) = self.seeds {
             config.seeds = seeds;
+            config.circuit_seeds = seeds;
         }
         if self.no_time {
             config.timing = false;
+        }
+        // The replay fixture needs 10 qubits: fail fast on sides < 4
+        // instead of panicking mid-measurement.
+        if let Some(&side) = config.circuit_sides.iter().find(|&&s| s * s < 10) {
+            usage_error(format!(
+                "circuit side {side} cannot hold the 10-qubit replay fixture (need side >= 4)"
+            ));
         }
         config
     }
@@ -276,18 +312,30 @@ fn run_bench_cmd(args: &Args) {
         })
     });
     eprintln!(
-        "== Benchmark matrix: {} routers × {} classes × sides {:?}, {} seeds, timing {} ==",
+        "== Benchmark matrix: {} routers × {} permutation classes × sides {:?}, {} seeds; \
+         {} routers × {} circuit classes × sides {:?}, {} seeds; timing {} ==",
         bench::bench_routers().len(),
         qroute_bench::workloads::WorkloadClass::all_classes().len(),
         config.sides,
         config.seeds,
+        bench::circuit_routers().len(),
+        qroute_bench::circuits::CircuitClass::all_classes().len(),
+        config.circuit_sides,
+        config.circuit_seeds,
         if config.timing { "on" } else { "off" },
     );
     let current = bench::run_bench(&config);
     write_file(&args.out, "BENCH.json", &current.to_json());
+    let statevector_cells = current
+        .circuit_cells
+        .iter()
+        .filter(|c| c.statevector_checked)
+        .count();
     eprintln!(
-        "{} cells measured (schema v{})",
+        "{} permutation cells + {} circuit cells measured (schema v{}); every transpile \
+         verified, {statevector_cells} circuit cells statevector-checked",
         current.cells.len(),
+        current.circuit_cells.len(),
         current.schema_version
     );
 

@@ -1,0 +1,169 @@
+//! The circuit-level workload classes of the benchmark matrix.
+//!
+//! The permutation classes ([`crate::workloads`]) measure routers on
+//! isolated permutations; these classes measure them *inside the
+//! transpilation loop* — the deployment context §V's headline claim is
+//! about. Each class yields a seeded logical circuit plus the initial
+//! layout the transpiler should start from:
+//!
+//! * [`CircuitClass::Qft`] — the all-to-all QFT on every grid qubit, the
+//!   canonical worst case; the circuit is fixed, so the seed varies the
+//!   *placement* (random initial layout) instead;
+//! * [`CircuitClass::Brickwork`] — hardware-efficient alternating layers
+//!   on the logical chain; mostly grid-local under the identity layout;
+//! * [`CircuitClass::Qaoa`] — QAOA phase separators over a seeded random
+//!   graph; globally entangling;
+//! * [`CircuitClass::SparseRandom`] — sparse random 2-qubit circuits
+//!   (`2·n` gates on `n` qubits);
+//! * [`CircuitClass::QasmReplay`] — a checked-in 10-qubit OpenQASM
+//!   fixture replayed through [`qroute_circuit::parser`]; because its
+//!   logical register stays within the statevector cutoff, every
+//!   benchmarked transpile of this class is equivalence-checked against
+//!   the logical circuit, even on grids far beyond statevector reach.
+
+use qroute_circuit::{builders, parser, Circuit};
+use qroute_topology::Grid;
+use qroute_transpiler::InitialLayout;
+
+/// The OpenQASM fixture replayed by [`CircuitClass::QasmReplay`]
+/// (10 qubits, mixed gate set, long-range interactions).
+pub const REPLAY_FIXTURE: &str = include_str!("../fixtures/replay10.qasm");
+
+/// A named circuit workload class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitClass {
+    /// QFT on all grid qubits, seeded random initial placement.
+    Qft,
+    /// Brickwork ansatz on the logical chain.
+    Brickwork {
+        /// Number of alternating brick layers.
+        layers: usize,
+    },
+    /// QAOA over a seeded random graph.
+    Qaoa {
+        /// Number of phase-separator + mixer rounds.
+        rounds: usize,
+    },
+    /// Sparse random 2-qubit circuit (`2·n` gates).
+    SparseRandom,
+    /// Replay of the checked-in [`REPLAY_FIXTURE`], seeded random
+    /// placement.
+    QasmReplay,
+}
+
+impl CircuitClass {
+    /// Stable label for tables and `BENCH.json` cells.
+    pub fn label(&self) -> String {
+        match self {
+            CircuitClass::Qft => "qft".into(),
+            CircuitClass::Brickwork { layers } => format!("brickwork{layers}"),
+            CircuitClass::Qaoa { rounds } => format!("qaoa{rounds}"),
+            CircuitClass::SparseRandom => "sparse".into(),
+            CircuitClass::QasmReplay => "qasm-replay10".into(),
+        }
+    }
+
+    /// Generate the seeded instance for a grid: the logical circuit and
+    /// the initial layout to transpile it under. Fixed circuits (QFT,
+    /// QASM replay) take the seed in the *layout*; generated circuits
+    /// take it in the circuit and start from the identity layout.
+    ///
+    /// # Panics
+    /// Panics when the class needs more qubits than the grid offers
+    /// (the QASM fixture needs 10).
+    pub fn generate(&self, grid: Grid, seed: u64) -> (Circuit, InitialLayout) {
+        let n = grid.len();
+        match *self {
+            CircuitClass::Qft => (builders::qft(n), InitialLayout::Random(seed)),
+            CircuitClass::Brickwork { layers } => (
+                builders::brickwork(n, layers, seed),
+                InitialLayout::Identity,
+            ),
+            CircuitClass::Qaoa { rounds } => (
+                builders::qaoa_random_graph(n, rounds, seed),
+                InitialLayout::Identity,
+            ),
+            CircuitClass::SparseRandom => (
+                builders::random_two_qubit_circuit(n, 2 * n, seed),
+                InitialLayout::Identity,
+            ),
+            CircuitClass::QasmReplay => {
+                let c = parser::parse_qasm(REPLAY_FIXTURE).expect("fixture parses");
+                assert!(
+                    c.num_qubits() <= n,
+                    "replay fixture needs {} qubits but the grid has {n}",
+                    c.num_qubits()
+                );
+                (c, InitialLayout::Random(seed))
+            }
+        }
+    }
+
+    /// Every circuit class with its default parameterization — the class
+    /// axis of the circuit benchmark matrix (`repro bench`).
+    pub fn all_classes() -> Vec<CircuitClass> {
+        vec![
+            CircuitClass::Qft,
+            CircuitClass::Brickwork { layers: 4 },
+            CircuitClass::Qaoa { rounds: 2 },
+            CircuitClass::SparseRandom,
+            CircuitClass::QasmReplay,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct_from_each_other_and_permutation_classes() {
+        let mut labels: Vec<String> = CircuitClass::all_classes()
+            .iter()
+            .map(|c| c.label())
+            .collect();
+        for w in crate::workloads::WorkloadClass::all_classes() {
+            labels.push(w.label());
+        }
+        let n = labels.len();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), n);
+    }
+
+    #[test]
+    fn generation_is_seeded() {
+        let grid = Grid::new(4, 4);
+        for class in CircuitClass::all_classes() {
+            let (a, _) = class.generate(grid, 3);
+            let (b, _) = class.generate(grid, 3);
+            assert_eq!(a, b, "{class:?}");
+            assert!(a.two_qubit_count() > 0, "{class:?}");
+        }
+    }
+
+    #[test]
+    fn fixed_circuit_classes_vary_the_layout_instead() {
+        let grid = Grid::new(4, 4);
+        for class in [CircuitClass::Qft, CircuitClass::QasmReplay] {
+            let (c3, l3) = class.generate(grid, 3);
+            let (c4, l4) = class.generate(grid, 4);
+            assert_eq!(c3, c4, "{class:?} circuit must not depend on the seed");
+            let (b3, b4) = (l3.build(grid.len()), l4.build(grid.len()));
+            assert_ne!(b3, b4, "{class:?} layout must depend on the seed");
+        }
+    }
+
+    #[test]
+    fn replay_fixture_parses_to_ten_qubits() {
+        let (c, _) = CircuitClass::QasmReplay.generate(Grid::new(4, 4), 0);
+        assert_eq!(c.num_qubits(), 10);
+        assert!(c.size() > 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "replay fixture needs")]
+    fn replay_rejects_too_small_grids() {
+        let _ = CircuitClass::QasmReplay.generate(Grid::new(3, 3), 0);
+    }
+}

@@ -5,14 +5,21 @@
 //! * [`workloads`] — the permutation classes of Figures 4–5 (random,
 //!   disjoint blocks, overlapping blocks) plus the skinny-cycle
 //!   adversarial class discussed in the text;
+//! * [`circuits`] — the circuit-level workload classes (QFT, brickwork,
+//!   QAOA, sparse random, QASM replay) measured through the transpile
+//!   loop;
+//! * [`verify`] — the differential verification harness every
+//!   benchmarked transpile passes through (feasibility, metric recounts,
+//!   structural unembedding, statevector equivalence within the
+//!   simulator cutoff);
 //! * [`experiments`] — sweep drivers measuring schedule depth (Fig. 4)
 //!   and routing computation time (Fig. 5), the hybrid clamp check, the
 //!   ablations, and the end-to-end transpile experiment;
 //! * [`report`] — CSV and markdown rendering of experiment tables;
 //! * [`bench`](mod@bench) — the machine-readable benchmark subsystem: the versioned
-//!   `BENCH.json` schema ([`bench::BenchReport`]), the full
-//!   router × class × side matrix runner, and baseline regression
-//!   checking for the CI gate.
+//!   `BENCH.json` schema ([`bench::BenchReport`]), the permutation and
+//!   circuit matrix runners, and baseline regression checking for the CI
+//!   gate.
 //!
 //! The `repro` binary drives everything:
 //!
@@ -24,7 +31,9 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod circuits;
 pub mod experiments;
 pub mod plot;
 pub mod report;
+pub mod verify;
 pub mod workloads;

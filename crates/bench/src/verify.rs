@@ -1,0 +1,277 @@
+//! Differential verification of benchmarked transpiles.
+//!
+//! Every circuit cell the benchmark matrix measures goes through
+//! [`verify_transpile`] before its numbers are recorded — a benchmark
+//! that reports how fast wrong answers are produced is worse than no
+//! benchmark. The harness is `qroute_sim`-backed and layered so the
+//! expensive tier only runs where it is tractable:
+//!
+//! 1. **Grid feasibility** — every 2-qubit gate of the physical circuit
+//!    acts on grid-adjacent wires (the coupling-DAG check of §II).
+//! 2. **Metric recount** — `swap_count` is recounted from the emitted
+//!    physical circuit (`SWAP`s in physical minus `SWAP`s in logical),
+//!    and `routing_depth_added` / `routing_invocations` are recounted
+//!    from the per-round record ([`qroute_transpiler::RoundStats`]).
+//! 3. **Structural unembedding** — [`qroute_sim::equiv::unembed_physical`]
+//!    replays every `SWAP` as a wire relabeling: catches computation on
+//!    dummy wires and final layouts that disagree with where the swaps
+//!    actually put the logical qubits. Runs at *any* size (`O(gates)`).
+//! 4. **Statevector equivalence** — for logical registers within
+//!    [`qroute_sim::equiv::EQUIV_QUBIT_CUTOFF`] qubits, the transpile is
+//!    checked unitarily equivalent to the logical circuit modulo the
+//!    reported layouts ([`transpiled_equivalent_embedded`]): `O(2^n_logical)`
+//!    regardless of grid size, so the 10-qubit QASM-replay class is fully
+//!    verified even on 64-qubit grids.
+//!
+//! [`assert_routers_agree`] adds the cross-router differential check:
+//! all routers' physical circuits for one input must be pairwise
+//! equivalent modulo their own layouts.
+
+use qroute_circuit::{Circuit, Gate};
+use qroute_core::{GridRouter, RouterKind};
+use qroute_sim::equiv::{
+    transpiled_equivalent_embedded, transpiled_pair_equivalent, unembed_physical,
+    EQUIV_QUBIT_CUTOFF,
+};
+use qroute_topology::Grid;
+use qroute_transpiler::{InitialLayout, TranspileOptions, TranspileResult, Transpiler};
+
+/// What [`verify_transpile`] established about one transpile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifySummary {
+    /// Whether the statevector tier ran (logical register within
+    /// [`EQUIV_QUBIT_CUTOFF`]); the structural tiers always run.
+    pub statevector_checked: bool,
+}
+
+/// Verify one transpile end to end. Returns which tiers ran, or a
+/// description of the first failed check.
+pub fn verify_transpile(
+    grid: Grid,
+    logical: &Circuit,
+    res: &TranspileResult,
+) -> Result<VerifySummary, String> {
+    // Tier 1: grid feasibility.
+    if !res.physical.is_feasible(|a, b| grid.dist(a, b) == 1) {
+        return Err("physical circuit uses a non-adjacent 2-qubit gate".into());
+    }
+    // Tier 2: metric recounts against the emitted circuit and the
+    // per-round record.
+    if res.physical.size() != logical.size() + res.swap_count {
+        return Err(format!(
+            "gate count mismatch: physical {} != logical {} + {} swaps",
+            res.physical.size(),
+            logical.size(),
+            res.swap_count
+        ));
+    }
+    let recounted = res
+        .physical
+        .swap_gate_count()
+        .checked_sub(logical.swap_gate_count())
+        .ok_or("physical circuit has fewer SWAPs than the logical one")?;
+    if recounted != res.swap_count {
+        return Err(format!(
+            "swap_count {} != {recounted} recounted from the physical circuit",
+            res.swap_count
+        ));
+    }
+    if res.rounds.len() != res.routing_invocations {
+        return Err(format!(
+            "routing_invocations {} != {} recorded rounds",
+            res.routing_invocations,
+            res.rounds.len()
+        ));
+    }
+    let round_depth: usize = res.rounds.iter().map(|r| r.depth).sum();
+    if round_depth != res.routing_depth_added {
+        return Err(format!(
+            "routing_depth_added {} != {round_depth} recounted from rounds",
+            res.routing_depth_added
+        ));
+    }
+    let round_swaps: usize = res.rounds.iter().map(|r| r.swaps).sum();
+    if round_swaps != res.swap_count {
+        return Err(format!(
+            "swap_count {} != {round_swaps} recounted from rounds",
+            res.swap_count
+        ));
+    }
+    // Tier 3: structural unembedding (any size). The tracker treats
+    // every physical SWAP as a relabeling, while `final_layout` tracks
+    // only *routing* swaps — the transpiler executes the logical
+    // circuit's own SWAPs as gates without touching the layout. Replay
+    // those logical SWAPs over the slot indices to get the exact
+    // expected relation: slot `l` must sit on the wire the final layout
+    // reports for the slot whose state `l`'s wire ended up holding.
+    let n = logical.num_qubits();
+    let (_, pos) = unembed_physical(&res.physical, n, &res.initial_layout)
+        .map_err(|e| format!("unembedding failed: {e}"))?;
+    let mut at: Vec<usize> = (0..n).collect(); // at[w] = slot on logical wire w
+    for g in logical.gates() {
+        if let Gate::Swap(a, b) = *g {
+            at.swap(a, b);
+        }
+    }
+    for (wire, &slot) in at.iter().enumerate() {
+        if pos[slot] != res.final_layout[wire] {
+            return Err(format!(
+                "final layout {:?} disagrees with tracked positions {pos:?} \
+                 (modulo the logical circuit's own SWAPs)",
+                &res.final_layout[..n]
+            ));
+        }
+    }
+    // Tier 4: statevector equivalence within the cutoff.
+    if n <= EQUIV_QUBIT_CUTOFF {
+        if !transpiled_equivalent_embedded(
+            logical,
+            &res.physical,
+            &res.initial_layout,
+            &res.final_layout,
+        ) {
+            return Err("statevector equivalence check failed".into());
+        }
+        Ok(VerifySummary { statevector_checked: true })
+    } else {
+        Ok(VerifySummary { statevector_checked: false })
+    }
+}
+
+/// Transpile `logical` with every router in `routers` under the same
+/// initial layout, verify each output, and assert all outputs pairwise
+/// equivalent modulo their own layouts. Returns the per-router results.
+///
+/// Pairwise equivalence runs statevector probes only within the cutoff;
+/// above it the per-router [`verify_transpile`] structural tiers still
+/// apply.
+pub fn assert_routers_agree(
+    grid: Grid,
+    logical: &Circuit,
+    routers: &[RouterKind],
+    layout: &InitialLayout,
+) -> Result<Vec<TranspileResult>, String> {
+    let mut results: Vec<(String, TranspileResult)> = Vec::new();
+    for router in routers {
+        let t = Transpiler::new(
+            grid,
+            TranspileOptions { router: router.clone(), initial_layout: layout.clone() },
+        );
+        let res = t.run(logical);
+        verify_transpile(grid, logical, &res).map_err(|e| format!("{}: {e}", router.name()))?;
+        results.push((router.name().to_string(), res));
+    }
+    let n = logical.num_qubits();
+    if n <= EQUIV_QUBIT_CUTOFF {
+        for pair in results.windows(2) {
+            let (na, a) = &pair[0];
+            let (nb, b) = &pair[1];
+            if !transpiled_pair_equivalent(
+                n,
+                (&a.physical, &a.initial_layout, &a.final_layout),
+                (&b.physical, &b.initial_layout, &b.final_layout),
+            ) {
+                return Err(format!("{na} and {nb} produced inequivalent circuits"));
+            }
+        }
+    }
+    Ok(results.into_iter().map(|(_, r)| r).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuits::CircuitClass;
+    use qroute_circuit::builders;
+
+    #[test]
+    fn honest_transpiles_verify_clean() {
+        let grid = Grid::new(3, 3);
+        let c = builders::qaoa_random_graph(9, 1, 7);
+        let t = Transpiler::new(grid, TranspileOptions::default());
+        let res = t.run(&c);
+        let summary = verify_transpile(grid, &c, &res).expect("verifies");
+        assert!(summary.statevector_checked);
+    }
+
+    #[test]
+    fn tampered_metrics_are_caught() {
+        let grid = Grid::new(3, 3);
+        let c = builders::random_two_qubit_circuit(9, 15, 1);
+        let t = Transpiler::new(grid, TranspileOptions::default());
+        let base = t.run(&c);
+        assert!(base.swap_count > 0, "want a routed instance");
+
+        let mut lied_swaps = base.clone();
+        lied_swaps.swap_count += 1;
+        assert!(verify_transpile(grid, &c, &lied_swaps).is_err());
+
+        let mut lied_depth = base.clone();
+        lied_depth.routing_depth_added += 1;
+        assert!(verify_transpile(grid, &c, &lied_depth).is_err());
+
+        let mut lied_layout = base.clone();
+        lied_layout.final_layout.swap(0, 1);
+        assert!(verify_transpile(grid, &c, &lied_layout).is_err());
+
+        let mut dropped_gate = base.clone();
+        let mut gates = dropped_gate.physical.gates().to_vec();
+        let last_non_swap = gates
+            .iter()
+            .rposition(|g| !matches!(g, Gate::Swap(_, _)))
+            .unwrap();
+        gates.remove(last_non_swap);
+        let mut physical = Circuit::new(grid.len());
+        for g in gates {
+            physical.push(g);
+        }
+        dropped_gate.physical = physical;
+        assert!(verify_transpile(grid, &c, &dropped_gate).is_err());
+    }
+
+    #[test]
+    fn corrupted_final_layout_is_caught_even_above_the_cutoff() {
+        // The QFT class carries logical SWAP gates and, at full
+        // occupancy, sits far above the statevector cutoff — the
+        // structural tier alone must still pin the final layout.
+        let grid = Grid::new(4, 4);
+        let (c, layout) = CircuitClass::Qft.generate(grid, 1);
+        let t = Transpiler::new(
+            grid,
+            TranspileOptions { router: RouterKind::locality_aware(), initial_layout: layout },
+        );
+        let mut res = t.run(&c);
+        verify_transpile(grid, &c, &res).expect("honest transpile verifies");
+        res.final_layout.swap(0, 1);
+        assert!(
+            verify_transpile(grid, &c, &res).is_err(),
+            "corrupted final layout must fail structural verification"
+        );
+    }
+
+    #[test]
+    fn statevector_tier_skips_above_cutoff_but_structure_still_runs() {
+        let grid = Grid::new(4, 4);
+        let (c, layout) = CircuitClass::SparseRandom.generate(grid, 0);
+        let t = Transpiler::new(
+            grid,
+            TranspileOptions { router: RouterKind::locality_aware(), initial_layout: layout },
+        );
+        let res = t.run(&c);
+        let summary = verify_transpile(grid, &c, &res).expect("structural tiers pass");
+        assert!(!summary.statevector_checked, "16 qubits is past the cutoff");
+    }
+
+    #[test]
+    fn routers_agree_on_a_replayed_fixture() {
+        let grid = Grid::new(4, 4);
+        let (c, layout) = CircuitClass::QasmReplay.generate(grid, 5);
+        let routers = [
+            RouterKind::locality_aware(),
+            RouterKind::naive(),
+            RouterKind::Ats,
+        ];
+        let results = assert_routers_agree(grid, &c, &routers, &layout).expect("all agree");
+        assert_eq!(results.len(), 3);
+    }
+}

@@ -12,7 +12,11 @@
 //!   the lattice matches the hardware grid this is perfectly local; when
 //!   the logical lattice is laid out differently (or the Trotter step
 //!   couples next-nearest neighbors) routing kicks in.
-//! * [`random_two_qubit_circuit`] — random CX circuits for stress tests.
+//! * [`random_two_qubit_circuit`] — random CX circuits for stress tests;
+//! * [`brickwork`] — hardware-efficient alternating-layer ansatz on a
+//!   logical chain (the mostly-local circuit-bench class);
+//! * [`qaoa_random_graph`] — QAOA-style phase separators over a seeded
+//!   random graph (the globally-entangling circuit-bench class).
 
 use crate::circuit::Circuit;
 use crate::gate::Gate;
@@ -140,6 +144,69 @@ pub fn random_two_qubit_circuit(n: usize, num_gates: usize, seed: u64) -> Circui
     c
 }
 
+/// Hardware-efficient brickwork ansatz on a logical chain: `layers`
+/// alternating even/odd layers of nearest-neighbor `CX` bricks, each brick
+/// preceded by seeded `Ry`/`Rz` rotations on its qubits. Under a row-major
+/// identity layout most bricks are grid-local (only the row-boundary pairs
+/// need routing), which makes this the *mostly-local* circuit workload —
+/// the regime the paper's locality-aware router targets.
+pub fn brickwork(n: usize, layers: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    let tau = 2.0 * std::f64::consts::PI;
+    for layer in 0..layers {
+        for a in ((layer % 2)..n.saturating_sub(1)).step_by(2) {
+            let b = a + 1;
+            c.push(Gate::Ry(a, rng.gen_range(0.0..tau)));
+            c.push(Gate::Rz(b, rng.gen_range(0.0..tau)));
+            c.push(Gate::Cx(a, b));
+        }
+    }
+    c
+}
+
+/// QAOA-style circuit for a seeded random graph on `n` vertices with
+/// roughly `2n` distinct edges: per round, a phase separator
+/// `exp(-iγ Z⊗Z)` on every edge (as `CX · Rz · CX`) followed by an
+/// `Rx` mixer on every qubit. Edges are uniformly random, so the phase
+/// separators are globally entangling — the adversarial routing regime.
+pub fn qaoa_random_graph(n: usize, rounds: usize, seed: u64) -> Circuit {
+    assert!(n >= 2, "need at least two qubits");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let target = 2 * n;
+    // Distinct undirected edges; cap the attempts so dense tiny graphs
+    // (n=2 has one possible edge) terminate.
+    for _ in 0..8 * target {
+        if edges.len() >= target {
+            break;
+        }
+        let a = rng.gen_range(0..n);
+        let mut b = rng.gen_range(0..n - 1);
+        if b >= a {
+            b += 1;
+        }
+        let e = (a.min(b), a.max(b));
+        if !edges.contains(&e) {
+            edges.push(e);
+        }
+    }
+    let mut c = Circuit::new(n);
+    for round in 0..rounds {
+        let gamma = 0.4 + 0.1 * round as f64;
+        let beta = 0.7 - 0.1 * round as f64;
+        for &(a, b) in &edges {
+            c.push(Gate::Cx(a, b));
+            c.push(Gate::Rz(b, 2.0 * gamma));
+            c.push(Gate::Cx(a, b));
+        }
+        for q in 0..n {
+            c.push(Gate::Rx(q, 2.0 * beta));
+        }
+    }
+    c
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,8 +281,61 @@ mod tests {
     }
 
     #[test]
+    fn brickwork_structure() {
+        let c = brickwork(6, 4, 3);
+        // Even layers have 3 bricks, odd layers 2: 4 layers -> 10 bricks,
+        // each brick = 2 rotations + 1 CX.
+        assert_eq!(c.two_qubit_count(), 10);
+        assert_eq!(c.size(), 30);
+        // Seeded determinism.
+        assert_eq!(brickwork(6, 4, 3), brickwork(6, 4, 3));
+        assert_ne!(brickwork(6, 4, 3), brickwork(6, 4, 4));
+        // All bricks are chain-local.
+        for g in c.gates() {
+            if let (a, Some(b)) = g.qubits() {
+                assert_eq!(a.abs_diff(b), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn brickwork_tiny_sizes() {
+        assert!(brickwork(1, 3, 0).is_empty());
+        assert_eq!(brickwork(2, 2, 0).two_qubit_count(), 1); // odd layer empty
+    }
+
+    #[test]
+    fn qaoa_is_seeded_and_entangling() {
+        let c = qaoa_random_graph(9, 2, 5);
+        assert_eq!(c, qaoa_random_graph(9, 2, 5));
+        assert_ne!(c, qaoa_random_graph(9, 2, 6));
+        // 2n edges x 2 CX each x 2 rounds.
+        assert_eq!(c.two_qubit_count(), 2 * 18 * 2);
+        // Mixer present: Rx on every qubit per round.
+        let rx = c
+            .gates()
+            .iter()
+            .filter(|g| matches!(g, Gate::Rx(_, _)))
+            .count();
+        assert_eq!(rx, 9 * 2);
+    }
+
+    #[test]
+    fn qaoa_minimal_graph_terminates() {
+        // n=2 has a single possible edge; the builder must not spin.
+        let c = qaoa_random_graph(2, 1, 0);
+        assert_eq!(c.two_qubit_count(), 2);
+    }
+
+    #[test]
     fn builders_respect_qubit_bounds() {
-        for c in [qft(6), ghz(6), trotter_grid_step(2, 3, 0.2, 1)] {
+        for c in [
+            qft(6),
+            ghz(6),
+            trotter_grid_step(2, 3, 0.2, 1),
+            brickwork(6, 3, 1),
+            qaoa_random_graph(6, 2, 1),
+        ] {
             for g in c.gates() {
                 let (a, b) = g.qubits();
                 assert!(a < c.num_qubits());

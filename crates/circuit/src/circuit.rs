@@ -67,6 +67,15 @@ impl Circuit {
         self.gates.iter().filter(|g| g.is_two_qubit()).count()
     }
 
+    /// Number of `SWAP` gates (routing verifiers recount inserted swaps
+    /// from this).
+    pub fn swap_gate_count(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, Gate::Swap(_, _)))
+            .count()
+    }
+
     /// Circuit depth: the length of the longest per-qubit dependency chain
     /// (every gate costs one time step).
     pub fn depth(&self) -> usize {

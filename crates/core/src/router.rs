@@ -72,6 +72,22 @@ impl RouterKind {
             NaiveOptions { compact: true, try_transpose: true, ..Default::default() },
         )
     }
+
+    /// Every kind in its default configuration — the canonical router
+    /// axis for sweeps and exhaustive test matrices. Adding a variant to
+    /// the enum and registering it here enrolls it in the benchmark
+    /// matrix and every cross-router property test at once.
+    pub fn all_default() -> Vec<RouterKind> {
+        vec![
+            RouterKind::locality_aware(),
+            RouterKind::naive(),
+            RouterKind::hybrid(),
+            RouterKind::Ats,
+            RouterKind::AtsSerial,
+            RouterKind::Tree,
+            RouterKind::Snake,
+        ]
+    }
 }
 
 impl GridRouter for RouterKind {
@@ -121,15 +137,7 @@ mod tests {
     use qroute_perm::{generators, metrics};
 
     fn all_routers() -> Vec<RouterKind> {
-        vec![
-            RouterKind::locality_aware(),
-            RouterKind::naive(),
-            RouterKind::hybrid(),
-            RouterKind::Ats,
-            RouterKind::AtsSerial,
-            RouterKind::Tree,
-            RouterKind::Snake,
-        ]
+        RouterKind::all_default()
     }
 
     #[test]

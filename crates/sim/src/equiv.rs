@@ -1,14 +1,36 @@
 //! Global-phase-insensitive circuit equivalence checks.
+//!
+//! Two families:
+//!
+//! * **Full** checks ([`circuits_equivalent`], [`transpiled_equivalent`])
+//!   simulate every wire of both circuits — exact but `O(2^wires)`, so
+//!   they stop being practical once the *grid* is large, even when the
+//!   logical circuit is small.
+//! * **Embedded** checks ([`unembed_physical`],
+//!   [`transpiled_equivalent_embedded`], [`transpiled_pair_equivalent`])
+//!   exploit that a transpiled circuit touches dummy wires only through
+//!   `SWAP`s, and that a `SWAP` is exactly a wire relabeling: the physical
+//!   circuit is *unembedded* into an equivalent circuit over only the
+//!   logical qubits, and simulation costs `O(2^n_logical)` regardless of
+//!   grid size. A 10-qubit circuit transpiled onto a 64-qubit grid is
+//!   statevector-verified in the 10-qubit dimension.
 
 use crate::state::State;
 use crate::statevector::run;
-use qroute_circuit::Circuit;
+use qroute_circuit::{Circuit, Gate};
 
 /// Number of random probe states used by the equivalence checks. Two
 /// distinct `n`-qubit unitaries agree on `k` Haar-ish random states with
 /// probability vanishing in `k`; 4 probes at `1e-9` tolerance is far more
 /// discriminating than needed for gate-level bugs.
 pub const DEFAULT_PROBES: usize = 4;
+
+/// Largest logical qubit count the statevector-based equivalence entry
+/// points are sized for. `2^12` amplitudes × [`DEFAULT_PROBES`] probes
+/// keeps every check well under a second even in debug builds; callers
+/// (the bench verification harness, the transpile proptests) skip the
+/// statevector tier above this and fall back to structural checks.
+pub const EQUIV_QUBIT_CUTOFF: usize = 12;
 
 /// `true` iff the two circuits implement the same unitary up to global
 /// phase, tested on [`DEFAULT_PROBES`] random probe states.
@@ -50,6 +72,196 @@ pub fn transpiled_equivalent(
         let rhs = run(logical, probe).relabel_qubits(final_);
         lhs.fidelity(&rhs) > 1.0 - 1e-9
     })
+}
+
+/// Why a physical circuit failed to unembed onto its logical qubits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnembedError {
+    /// A non-`SWAP` gate acted on a wire holding no logical qubit.
+    GateOnDummyWire {
+        /// Index into the physical gate list.
+        index: usize,
+        /// The offending wire.
+        wire: usize,
+    },
+}
+
+impl std::fmt::Display for UnembedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnembedError::GateOnDummyWire { index, wire } => write!(
+                f,
+                "physical gate {index} acts on dummy wire {wire} and is not a SWAP"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UnembedError {}
+
+/// Unembed a transpiled physical circuit back onto its logical qubits.
+///
+/// `initial[l]` gives the physical wire holding logical qubit `l` at the
+/// start (entries `l ≥ n_logical` are dummies and ignored). Every `SWAP`
+/// in the physical circuit — routing swaps *and* relabeled logical swaps
+/// alike — is applied as a wire relabeling (the exact unitary a `SWAP`
+/// is), and every other gate is rewritten onto the logical qubit its wire
+/// currently holds. Returns:
+///
+/// * the unembedded circuit over `n_logical` qubits (contains no `SWAP`s
+///   and no dummy wires), and
+/// * `pos` with `pos[l]` = the physical wire actually holding logical
+///   qubit `l` after the circuit.
+///
+/// The unembedded circuit satisfies, for every logical state `|ψ⟩` (with
+/// dummies in any state):
+///
+/// ```text
+/// physical( embed_initial(|ψ⟩) )  ==  embed_pos( unembedded(|ψ⟩) )
+/// ```
+///
+/// so checks against the logical circuit can run in the `n_logical`
+/// dimension no matter how large the grid is.
+///
+/// Errors when a non-`SWAP` gate touches a wire that holds no logical
+/// qubit — a transpiler may move dummies around but must never compute on
+/// them.
+pub fn unembed_physical(
+    physical: &Circuit,
+    n_logical: usize,
+    initial: &[usize],
+) -> Result<(Circuit, Vec<usize>), UnembedError> {
+    let n_phys = physical.num_qubits();
+    assert!(n_logical <= n_phys, "more logical qubits than wires");
+    assert!(
+        initial.len() >= n_logical,
+        "initial layout shorter than the logical register"
+    );
+    // slot_of[w] = Some(l) when wire w currently holds logical qubit l.
+    let mut slot_of: Vec<Option<usize>> = vec![None; n_phys];
+    for (l, &w) in initial.iter().take(n_logical).enumerate() {
+        assert!(w < n_phys, "initial layout wire {w} out of range");
+        assert!(
+            slot_of[w].is_none(),
+            "initial layout wire {w} claimed twice"
+        );
+        slot_of[w] = Some(l);
+    }
+    let mut small = Circuit::new(n_logical);
+    for (index, g) in physical.gates().iter().enumerate() {
+        if let Gate::Swap(a, b) = *g {
+            slot_of.swap(a, b);
+            continue;
+        }
+        let (a, b) = g.qubits();
+        for wire in std::iter::once(a).chain(b) {
+            if slot_of[wire].is_none() {
+                return Err(UnembedError::GateOnDummyWire { index, wire });
+            }
+        }
+        small.push(g.relabel(|w| slot_of[w].expect("dummy wires rejected above")));
+    }
+    let mut pos = vec![usize::MAX; n_logical];
+    for (w, &s) in slot_of.iter().enumerate() {
+        if let Some(l) = s {
+            pos[l] = w;
+        }
+    }
+    Ok((small, pos))
+}
+
+/// Layout-aware equivalence for transpiled circuits, computed in the
+/// *logical* dimension (see [`unembed_physical`]) — works for any grid
+/// size as long as `logical.num_qubits() ≤` [`EQUIV_QUBIT_CUTOFF`]-ish.
+///
+/// `initial` / `final_` are the full-length layouts the transpiler
+/// reports (`layout[l]` = physical wire of logical `l`; dummy entries
+/// beyond `logical.num_qubits()` are ignored). The check asserts, on
+/// random probe states over the logical qubits:
+///
+/// ```text
+/// physical( embed_initial(|ψ⟩) )  ==  embed_final( logical(|ψ⟩) )
+/// ```
+///
+/// Returns `false` when the physical circuit computes on dummy wires,
+/// when the reported final layout is inconsistent with where the swaps
+/// actually put the logical qubits, or when the state-level check fails.
+pub fn transpiled_equivalent_embedded(
+    logical: &Circuit,
+    physical: &Circuit,
+    initial: &[usize],
+    final_: &[usize],
+) -> bool {
+    let n = logical.num_qubits();
+    assert!(
+        final_.len() >= n,
+        "final layout shorter than logical register"
+    );
+    let Ok((small, pos)) = unembed_physical(physical, n, initial) else {
+        return false;
+    };
+    // σ[l] = the logical slot whose *reported* final wire is where slot l
+    // actually ended up. Equivalence needs σ to be a bijection: every
+    // tracked position must be claimed by exactly one reported position.
+    let Some(sigma) = slot_alignment(&pos, &final_[..n], physical.num_qubits()) else {
+        return false;
+    };
+    (0..DEFAULT_PROBES as u64).all(|seed| {
+        let probe = State::random(n, 0xD1FF ^ seed);
+        let lhs = run(&small, probe.clone()).relabel_qubits(&sigma);
+        let rhs = run(logical, probe);
+        lhs.fidelity(&rhs) > 1.0 - 1e-9
+    })
+}
+
+/// Pairwise layout-aware equivalence of two transpiled circuits over the
+/// same logical register: both realize the *same* logical map modulo
+/// their own initial/final layouts. Computed in the logical dimension, so
+/// two routers' outputs on a large grid compare cheaply. `n_logical` is
+/// the shared logical register width.
+pub fn transpiled_pair_equivalent(
+    n_logical: usize,
+    a: (&Circuit, &[usize], &[usize]),
+    b: (&Circuit, &[usize], &[usize]),
+) -> bool {
+    let unembed_aligned = |(phys, init, fin): (&Circuit, &[usize], &[usize])| {
+        let (small, pos) = unembed_physical(phys, n_logical, init).ok()?;
+        let sigma = slot_alignment(&pos, &fin[..n_logical], phys.num_qubits())?;
+        Some((small, sigma))
+    };
+    let Some((sa, ga)) = unembed_aligned(a) else {
+        return false;
+    };
+    let Some((sb, gb)) = unembed_aligned(b) else {
+        return false;
+    };
+    (0..DEFAULT_PROBES as u64).all(|seed| {
+        let probe = State::random(n_logical, 0xFACE ^ seed);
+        let lhs = run(&sa, probe.clone()).relabel_qubits(&ga);
+        let rhs = run(&sb, probe).relabel_qubits(&gb);
+        lhs.fidelity(&rhs) > 1.0 - 1e-9
+    })
+}
+
+/// `σ[l]` = slot whose reported wire (`reported[σ[l]]`) equals the
+/// tracked wire `pos[l]`; `None` unless that relation is a bijection on
+/// slots. For a correct transpile of a swap-free logical circuit this is
+/// the identity; relabeled *logical* `SWAP`s show up here as the net
+/// permutation they implement.
+fn slot_alignment(pos: &[usize], reported: &[usize], n_phys: usize) -> Option<Vec<usize>> {
+    let mut slot_at_wire = vec![usize::MAX; n_phys];
+    for (l, &w) in reported.iter().enumerate() {
+        if w >= n_phys || slot_at_wire[w] != usize::MAX {
+            return None;
+        }
+        slot_at_wire[w] = l;
+    }
+    pos.iter()
+        .map(|&w| match slot_at_wire[w] {
+            usize::MAX => None,
+            l => Some(l),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -122,5 +334,113 @@ mod tests {
         let layout = [2usize, 0, 1]; // logical l -> physical layout[l]
         let physical = logical.relabeled(3, |q| layout[q]);
         assert!(transpiled_equivalent(&logical, &physical, &layout, &layout));
+    }
+
+    #[test]
+    fn unembed_strips_swaps_and_tracks_positions() {
+        // 3 logical qubits on 5 wires: a routing swap moves logical 0
+        // from wire 1 to wire 2 (a dummy), then a CX uses it there.
+        let mut physical = Circuit::new(5);
+        physical
+            .push(Gate::H(1))
+            .push(Gate::Swap(1, 2))
+            .push(Gate::Cx(2, 3));
+        let initial = [1usize, 3, 4, 0, 2];
+        let (small, pos) = unembed_physical(&physical, 3, &initial).unwrap();
+        assert_eq!(small.num_qubits(), 3);
+        assert_eq!(small.gates(), &[Gate::H(0), Gate::Cx(0, 1)]);
+        assert_eq!(pos, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn unembed_rejects_computation_on_dummies() {
+        let mut physical = Circuit::new(4);
+        physical.push(Gate::H(3)); // wire 3 holds no logical qubit
+        let err = unembed_physical(&physical, 2, &[0, 1, 2, 3]).unwrap_err();
+        assert_eq!(err, UnembedError::GateOnDummyWire { index: 0, wire: 3 });
+        // ...but SWAPs involving dummies are fine.
+        let mut ok = Circuit::new(4);
+        ok.push(Gate::Swap(0, 3)).push(Gate::X(3));
+        let (small, pos) = unembed_physical(&ok, 2, &[0, 1, 2, 3]).unwrap();
+        assert_eq!(small.gates(), &[Gate::X(0)]);
+        assert_eq!(pos, vec![3, 1]);
+    }
+
+    #[test]
+    fn embedded_check_agrees_with_full_check_when_one_to_one() {
+        let logical = builders::random_two_qubit_circuit(4, 12, 8);
+        let mut physical = logical.clone();
+        physical.push(Gate::Swap(1, 3));
+        let initial = [0usize, 1, 2, 3];
+        let final_ = [0usize, 3, 2, 1];
+        assert!(transpiled_equivalent(
+            &logical, &physical, &initial, &final_
+        ));
+        assert!(transpiled_equivalent_embedded(
+            &logical, &physical, &initial, &final_
+        ));
+        // Both reject the wrong final layout.
+        assert!(!transpiled_equivalent(
+            &logical, &physical, &initial, &initial
+        ));
+        assert!(!transpiled_equivalent_embedded(
+            &logical, &physical, &initial, &initial
+        ));
+    }
+
+    #[test]
+    fn embedded_check_handles_logical_swap_gates() {
+        // The logical circuit itself ends in a SWAP (as QFT does). The
+        // transpiler executes it as a gate without touching the layout,
+        // so tracked positions differ from the reported final layout by
+        // exactly that swap — the alignment permutation absorbs it.
+        let logical = builders::qft(3);
+        let id = [0usize, 1, 2];
+        assert!(transpiled_equivalent_embedded(&logical, &logical, &id, &id));
+    }
+
+    #[test]
+    fn embedded_check_on_wide_grid_small_register() {
+        // 3 logical qubits scattered over 9 wires; the physical circuit
+        // is the logical one relabeled through the embedding.
+        let logical = builders::ghz(3);
+        let initial = [4usize, 1, 7, 0, 2, 3, 5, 6, 8];
+        let physical = logical.relabeled(9, |q| initial[q]);
+        let final_ = initial;
+        assert!(transpiled_equivalent_embedded(
+            &logical, &physical, &initial, &final_
+        ));
+        // A physical circuit missing its last gate is caught.
+        let mut truncated = Circuit::new(9);
+        for g in physical.gates().iter().take(physical.size() - 1) {
+            truncated.push(*g);
+        }
+        assert!(!transpiled_equivalent_embedded(
+            &logical, &truncated, &initial, &final_
+        ));
+    }
+
+    #[test]
+    fn pair_equivalence_modulo_layouts() {
+        let logical = builders::random_two_qubit_circuit(3, 10, 2);
+        let ia = [0usize, 1, 2, 3];
+        // Version A: identity embedding on 4 wires.
+        let pa = logical.relabeled(4, |q| q);
+        // Version B: same computation, then a drift swap into the dummy.
+        let mut pb = logical.relabeled(4, |q| q);
+        pb.push(Gate::Swap(2, 3));
+        let fa = [0usize, 1, 2, 3];
+        let fb = [0usize, 1, 3, 2];
+        assert!(transpiled_pair_equivalent(
+            3,
+            (&pa, &ia, &fa),
+            (&pb, &ia, &fb)
+        ));
+        // Lying about B's final layout breaks the pair.
+        assert!(!transpiled_pair_equivalent(
+            3,
+            (&pa, &ia, &fa),
+            (&pb, &ia, &fa)
+        ));
     }
 }

@@ -31,4 +31,4 @@ pub mod transpile;
 
 pub use layout::{InitialLayout, Layout};
 pub use noise::NoiseModel;
-pub use transpile::{TranspileOptions, TranspileResult, Transpiler};
+pub use transpile::{RoundStats, TranspileOptions, TranspileResult, Transpiler};

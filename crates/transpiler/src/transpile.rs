@@ -25,6 +25,22 @@ impl Default for TranspileOptions {
     }
 }
 
+/// Per-round routing statistics: one entry per router invocation, in
+/// order. The sums reconcile with the aggregate counters on
+/// [`TranspileResult`], which lets verification harnesses recount the
+/// reported metrics from the emitted circuit and per-round record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundStats {
+    /// 2-qubit gates blocked when the round was planned.
+    pub blocked_gates: usize,
+    /// Blocked pairs the planner managed to pin this round.
+    pub pinned_pairs: usize,
+    /// SWAP gates the round's schedule inserted.
+    pub swaps: usize,
+    /// Depth (SWAP layers) of the round's schedule.
+    pub depth: usize,
+}
+
 /// Result of transpilation.
 #[derive(Debug, Clone)]
 pub struct TranspileResult {
@@ -43,6 +59,10 @@ pub struct TranspileResult {
     pub routing_depth_added: usize,
     /// Number of routing rounds (router invocations).
     pub routing_invocations: usize,
+    /// Per-round statistics (`rounds.len() == routing_invocations`;
+    /// per-round `swaps`/`depth` sum to `swap_count` /
+    /// `routing_depth_added`).
+    pub rounds: Vec<RoundStats>,
 }
 
 /// A mapping+routing transpiler for a fixed grid.
@@ -84,6 +104,7 @@ impl Transpiler {
         let mut swap_count = 0usize;
         let mut routing_depth_added = 0usize;
         let mut routing_invocations = 0usize;
+        let mut rounds: Vec<RoundStats> = Vec::new();
 
         let adjacent = |a: usize, b: usize| self.grid.dist(a, b) == 1;
 
@@ -123,18 +144,26 @@ impl Transpiler {
                 .collect();
             assert!(!blocked.is_empty(), "blocked round with no 2-qubit gates");
 
-            let (pi, _pinned) = plan_targets(self.grid, &blocked);
+            let (pi, pinned) = plan_targets(self.grid, &blocked);
             let schedule = self.options.router.route(self.grid, &pi);
             debug_assert!(schedule.realizes(&pi), "router returned a wrong schedule");
             routing_invocations += 1;
             routing_depth_added += schedule.depth();
+            let mut round_swaps = 0usize;
             for layer in &schedule.layers {
                 for &(u, v) in &layer.swaps {
                     physical.push(Gate::Swap(u, v));
                     layout.apply_swap(u, v);
                     swap_count += 1;
+                    round_swaps += 1;
                 }
             }
+            rounds.push(RoundStats {
+                blocked_gates: blocked.len(),
+                pinned_pairs: pinned,
+                swaps: round_swaps,
+                depth: schedule.depth(),
+            });
         }
 
         TranspileResult {
@@ -144,6 +173,7 @@ impl Transpiler {
             swap_count,
             routing_depth_added,
             routing_invocations,
+            rounds,
         }
     }
 }
@@ -244,6 +274,83 @@ mod tests {
     fn oversize_circuit_panics() {
         let grid = Grid::new(2, 2);
         let _ = Transpiler::new(grid, TranspileOptions::default()).run(&builders::ghz(5));
+    }
+
+    #[test]
+    fn empty_circuit_transpiles_to_nothing() {
+        for n_logical in [0usize, 4] {
+            let grid = Grid::new(2, 2);
+            let res = transpile(grid, &Circuit::new(n_logical), RouterKind::locality_aware());
+            assert!(res.physical.is_empty());
+            assert_eq!(res.swap_count, 0);
+            assert_eq!(res.routing_invocations, 0);
+            assert!(res.rounds.is_empty());
+            assert_eq!(res.initial_layout, res.final_layout);
+        }
+    }
+
+    #[test]
+    fn single_qubit_only_circuit_never_routes() {
+        let grid = Grid::new(2, 3);
+        let mut c = Circuit::new(6);
+        for q in 0..6 {
+            c.push(Gate::H(q)).push(Gate::T(q));
+        }
+        for router in [RouterKind::locality_aware(), RouterKind::Ats] {
+            let res = transpile(grid, &c, router);
+            assert_eq!(res.swap_count, 0);
+            assert_eq!(res.routing_invocations, 0);
+            assert_eq!(res.physical.size(), c.size());
+        }
+    }
+
+    #[test]
+    fn full_occupancy_circuit_transpiles_on_every_shape() {
+        // Logical qubit count exactly equal to grid.len(), including the
+        // degenerate 1x1 and path-shaped grids.
+        let one = Grid::new(1, 1);
+        let mut c1 = Circuit::new(1);
+        c1.push(Gate::H(0));
+        let res = transpile(one, &c1, RouterKind::locality_aware());
+        assert_eq!(res.swap_count, 0);
+
+        let path = Grid::new(1, 4);
+        let res = transpile(path, &builders::qft(4), RouterKind::hybrid());
+        assert_eq!(
+            res.physical.size(),
+            builders::qft(4).size() + res.swap_count
+        );
+
+        let grid = Grid::new(3, 3);
+        let feasible = builders::trotter_grid_step(3, 3, 0.2, 1);
+        let res = transpile(grid, &feasible, RouterKind::naive());
+        assert_eq!(res.swap_count, 0, "grid-local circuit needs no routing");
+    }
+
+    #[test]
+    fn round_stats_reconcile_with_aggregates() {
+        let grid = Grid::new(3, 3);
+        let c = builders::qaoa_random_graph(9, 2, 3);
+        for router in [
+            RouterKind::locality_aware(),
+            RouterKind::naive(),
+            RouterKind::Ats,
+        ] {
+            let res = transpile(grid, &c, router);
+            assert_eq!(res.rounds.len(), res.routing_invocations);
+            assert_eq!(
+                res.rounds.iter().map(|r| r.swaps).sum::<usize>(),
+                res.swap_count
+            );
+            assert_eq!(
+                res.rounds.iter().map(|r| r.depth).sum::<usize>(),
+                res.routing_depth_added
+            );
+            for r in &res.rounds {
+                assert!(r.pinned_pairs >= 1, "every round must make progress");
+                assert!(r.pinned_pairs <= r.blocked_gates);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Cross-router differential tests: for seeded circuits, every
+//! `RouterKind` must produce a physical circuit equivalent (under
+//! `qroute_sim::equiv`) to every other router's output for the same
+//! input — and the metrics each `TranspileResult` reports must match a
+//! recount from the emitted physical circuit and the per-round record.
+
+use qroute::circuit::{builders, Circuit};
+use qroute::prelude::*;
+use qroute::sim::equiv::transpiled_pair_equivalent;
+use qroute::transpiler::{InitialLayout, TranspileResult};
+
+/// The seeded workload matrix: (name, grid, logical circuit).
+fn cases() -> Vec<(&'static str, Grid, Circuit)> {
+    vec![
+        ("qft-8", Grid::new(2, 4), builders::qft(8)),
+        (
+            "brickwork-10",
+            Grid::new(2, 5),
+            builders::brickwork(10, 4, 11),
+        ),
+        (
+            "qaoa-9",
+            Grid::new(3, 3),
+            builders::qaoa_random_graph(9, 2, 7),
+        ),
+        (
+            "sparse-10-on-3x4",
+            Grid::new(3, 4),
+            builders::random_two_qubit_circuit(10, 24, 3),
+        ),
+    ]
+}
+
+fn transpile_all(grid: Grid, logical: &Circuit) -> Vec<(String, TranspileResult)> {
+    RouterKind::all_default()
+        .into_iter()
+        .map(|router| {
+            let name = router.name().to_string();
+            let t = Transpiler::new(
+                grid,
+                TranspileOptions { router, initial_layout: InitialLayout::Identity },
+            );
+            (name, t.run(logical))
+        })
+        .collect()
+}
+
+#[test]
+fn all_router_outputs_are_pairwise_equivalent() {
+    for (name, grid, logical) in cases() {
+        let results = transpile_all(grid, &logical);
+        for i in 0..results.len() {
+            for j in i + 1..results.len() {
+                let (na, a) = &results[i];
+                let (nb, b) = &results[j];
+                assert!(
+                    transpiled_pair_equivalent(
+                        logical.num_qubits(),
+                        (&a.physical, &a.initial_layout, &a.final_layout),
+                        (&b.physical, &b.initial_layout, &b.final_layout),
+                    ),
+                    "{name}: {na} and {nb} produced inequivalent physical circuits"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn reported_metrics_match_recounts_from_the_physical_circuit() {
+    for (name, grid, logical) in cases() {
+        for (router, res) in transpile_all(grid, &logical) {
+            // swap_count: recount SWAP gates in the emitted circuit (the
+            // logical circuit's own SWAPs pass through as gates).
+            assert_eq!(
+                res.swap_count,
+                res.physical.swap_gate_count() - logical.swap_gate_count(),
+                "{name}/{router}: swap_count disagrees with the emitted circuit"
+            );
+            assert_eq!(
+                res.physical.size(),
+                logical.size() + res.swap_count,
+                "{name}/{router}: gate count accounting broken"
+            );
+            // routing_depth_added and routing_invocations: recount from
+            // the per-round record.
+            assert_eq!(res.rounds.len(), res.routing_invocations, "{name}/{router}");
+            assert_eq!(
+                res.rounds.iter().map(|r| r.depth).sum::<usize>(),
+                res.routing_depth_added,
+                "{name}/{router}: routing_depth_added disagrees with rounds"
+            );
+            assert_eq!(
+                res.rounds.iter().map(|r| r.swaps).sum::<usize>(),
+                res.swap_count,
+                "{name}/{router}: per-round swaps disagree with swap_count"
+            );
+            // Feasibility on the grid DAG.
+            assert!(res.physical.is_feasible(|a, b| grid.dist(a, b) == 1));
+        }
+    }
+}

@@ -1,0 +1,14 @@
+// A Bell pair, exercising comments, blank lines, shared statement
+// lines, and tolerated-but-ignored declarations.
+OPENQASM 2.0; // header shares a line with a comment
+
+include "qelib1.inc";
+
+// classical register and barrier are tolerated and ignored
+qreg q[2];
+creg c[2];
+
+h q[0]; cx q[0],q[1]; // two statements on one line
+barrier q;
+
+// trailing comment, then a blank line

@@ -1,0 +1,11 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+// every angle shape the parser accepts
+rz(pi/2) q[0];
+rx(-pi) q[1];
+ry(2*pi) q[2];
+rz(pi/4) q[0];
+rz(pi*0.25) q[1];
+rz(-pi/2) q[2];
+rx(0.125) q[0];

@@ -1,0 +1,17 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+
+// a single-qubit-only circuit: no routing surface at all
+qreg q[1];
+
+h q[0];
+x q[0];
+y q[0];
+z q[0];
+s q[0];
+sdg q[0];
+t q[0];
+tdg q[0];
+rx(0.25) q[0];
+ry(0.5) q[0];
+rz(0.75) q[0];

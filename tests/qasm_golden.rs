@@ -1,0 +1,125 @@
+//! Golden round-trip tests for the OpenQASM parser/emitter pair, plus
+//! malformed-input error paths.
+//!
+//! Each checked-in fixture parses to a `Circuit` whose canonical
+//! emission is pinned **byte-for-byte** against a committed `.golden`
+//! file, and the golden text itself is an emitter fixpoint (parse →
+//! emit reproduces it exactly). Any change to gate `Display` forms,
+//! float formatting, or statement layout shows up as a golden diff
+//! instead of silently re-shaping every QASM file the project emits.
+
+use qroute::circuit::parser::{parse_qasm, QasmError};
+use qroute::circuit::qasm::to_qasm;
+
+/// (fixture input, pinned golden emission).
+const GOLDENS: &[(&str, &str, &str)] = &[
+    (
+        "bell_comments",
+        include_str!("fixtures/bell_comments.qasm"),
+        include_str!("fixtures/bell_comments.golden.qasm"),
+    ),
+    (
+        "single_qubit_only",
+        include_str!("fixtures/single_qubit_only.qasm"),
+        include_str!("fixtures/single_qubit_only.golden.qasm"),
+    ),
+    (
+        "pi_angles",
+        include_str!("fixtures/pi_angles.qasm"),
+        include_str!("fixtures/pi_angles.golden.qasm"),
+    ),
+    (
+        "all_gates",
+        include_str!("fixtures/all_gates.qasm"),
+        include_str!("fixtures/all_gates.golden.qasm"),
+    ),
+];
+
+#[test]
+fn fixtures_emit_their_goldens_byte_for_byte() {
+    for (name, input, golden) in GOLDENS {
+        let circuit = parse_qasm(input).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            &to_qasm(&circuit),
+            golden,
+            "{name}: emission drifted from the committed golden"
+        );
+    }
+}
+
+#[test]
+fn goldens_are_emitter_fixpoints() {
+    for (name, input, golden) in GOLDENS {
+        let reparsed = parse_qasm(golden).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            &to_qasm(&reparsed),
+            golden,
+            "{name}: golden is not a fixpoint of parse→emit"
+        );
+        // The golden describes the same circuit as the original input.
+        assert_eq!(
+            reparsed.gates(),
+            parse_qasm(input).unwrap().gates(),
+            "{name}: golden circuit differs from the fixture circuit"
+        );
+    }
+}
+
+#[test]
+fn all_gates_fixture_is_already_canonical() {
+    // The all-gate fixture is written in emitter format, so input and
+    // golden are the same bytes — pinning the canonical format itself.
+    let (_, input, golden) = GOLDENS
+        .iter()
+        .find(|(name, _, _)| *name == "all_gates")
+        .unwrap();
+    assert_eq!(input, golden);
+}
+
+#[test]
+fn malformed_inputs_report_precise_errors() {
+    // Unknown gate name.
+    assert!(matches!(
+        parse_qasm("OPENQASM 2.0;\nqreg q[2];\nccx q[0],q[1];"),
+        Err(QasmError::BadStatement { line: 3, .. })
+    ));
+    // Unparseable angle.
+    assert!(matches!(
+        parse_qasm("OPENQASM 2.0;\nqreg q[1];\nrz(pie) q[0];"),
+        Err(QasmError::BadStatement { line: 3, .. })
+    ));
+    // Unclosed angle parenthesis.
+    assert!(matches!(
+        parse_qasm("OPENQASM 2.0;\nqreg q[1];\nrz(0.5 q[0];"),
+        Err(QasmError::BadStatement { line: 3, .. })
+    ));
+    // Wrong arity: cx with one operand.
+    assert!(matches!(
+        parse_qasm("OPENQASM 2.0;\nqreg q[2];\ncx q[0];"),
+        Err(QasmError::BadStatement { line: 3, .. })
+    ));
+    // Malformed qubit operand.
+    assert!(matches!(
+        parse_qasm("OPENQASM 2.0;\nqreg q[2];\nh q(0);"),
+        Err(QasmError::BadStatement { line: 3, .. })
+    ));
+    // Malformed register size.
+    assert!(matches!(
+        parse_qasm("OPENQASM 2.0;\nqreg q[x];\nh q[0];"),
+        Err(QasmError::BadStatement { line: 2, .. })
+    ));
+    // Wrong header version.
+    assert_eq!(
+        parse_qasm("OPENQASM 3.0;\nqreg q[1];"),
+        Err(QasmError::BadHeader)
+    );
+    // Gate before the header.
+    assert_eq!(
+        parse_qasm("h q[0];\nOPENQASM 2.0;"),
+        Err(QasmError::BadHeader)
+    );
+    // Empty input.
+    assert_eq!(parse_qasm(""), Err(QasmError::BadHeader));
+    // Header but no register.
+    assert_eq!(parse_qasm("OPENQASM 2.0;\n"), Err(QasmError::MissingQreg));
+}

@@ -1,0 +1,98 @@
+//! Property tests of transpile correctness: random logical circuits
+//! (≤ 10 qubits, ≤ 40 gates) × every `RouterKind` × every
+//! `InitialLayout` variant must produce grid-feasible physical circuits
+//! that are statevector-equivalent to the logical circuit modulo the
+//! reported initial/final layouts.
+//!
+//! Equivalence runs through the *embedded* checker
+//! ([`qroute::sim::equiv::transpiled_equivalent_embedded`]), which costs
+//! `O(2^n_logical)` regardless of grid size; on grids small enough to
+//! simulate fully, the padded full-statevector checker must agree —
+//! a differential test of the verification harness itself.
+//!
+//! Case counts are deliberately small: each case exercises
+//! 7 routers × 3 layouts = 21 transpile+verify cycles, so the suite
+//! stays inside the tier-1 wall-time budget (see CI).
+
+use proptest::prelude::*;
+use qroute::circuit::builders;
+use qroute::prelude::*;
+use qroute::sim::equiv::{transpiled_equivalent, transpiled_equivalent_embedded};
+use qroute::transpiler::InitialLayout;
+
+fn layout_variants(grid_len: usize, seed: u64) -> Vec<InitialLayout> {
+    vec![
+        InitialLayout::Identity,
+        InitialLayout::Random(seed),
+        InitialLayout::Custom((0..grid_len).rev().collect()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_router_and_layout_preserves_semantics(
+        (rows, cols, gates, seed) in (2usize..=3, 2usize..=4, 1usize..=40, 0u64..1 << 20)
+    ) {
+        let grid = Grid::new(rows, cols);
+        let n_logical = grid.len().clamp(2, 10);
+        let logical = builders::random_two_qubit_circuit(n_logical, gates, seed);
+        for router in RouterKind::all_default() {
+            for layout in layout_variants(grid.len(), seed ^ 0xA5) {
+                let t = Transpiler::new(
+                    grid,
+                    TranspileOptions { router: router.clone(), initial_layout: layout },
+                );
+                let res = t.run(&logical);
+                // Grid feasibility of every 2-qubit gate.
+                prop_assert!(
+                    res.physical.is_feasible(|a, b| grid.dist(a, b) == 1),
+                    "{}: infeasible output", router.name()
+                );
+                // Accounting invariant.
+                prop_assert_eq!(res.physical.size(), logical.size() + res.swap_count);
+                // Statevector equivalence modulo the reported layouts.
+                prop_assert!(
+                    transpiled_equivalent_embedded(
+                        &logical,
+                        &res.physical,
+                        &res.initial_layout,
+                        &res.final_layout,
+                    ),
+                    "{}: physical circuit is not equivalent to the logical one",
+                    router.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn embedded_checker_agrees_with_full_statevector(
+        (gates, seed) in (1usize..=30, 0u64..1 << 20)
+    ) {
+        // 2x3 grid, full occupancy: small enough to simulate all wires,
+        // so the padded full checker and the embedded checker must agree
+        // on honest transpiles...
+        let grid = Grid::new(2, 3);
+        let logical = builders::random_two_qubit_circuit(6, gates, seed);
+        let t = Transpiler::new(grid, TranspileOptions::default());
+        let res = t.run(&logical);
+        prop_assert!(transpiled_equivalent_embedded(
+            &logical, &res.physical, &res.initial_layout, &res.final_layout,
+        ));
+        prop_assert!(transpiled_equivalent(
+            &logical, &res.physical, &res.initial_layout, &res.final_layout,
+        ));
+        // ...and both must reject a final layout the transpile did not
+        // realize (swapping two wires the circuit actually uses).
+        let mut lied = res.final_layout.clone();
+        lied.swap(0, 1);
+        prop_assert!(!transpiled_equivalent_embedded(
+            &logical, &res.physical, &res.initial_layout, &lied,
+        ));
+        prop_assert!(!transpiled_equivalent(
+            &logical, &res.physical, &res.initial_layout, &lied,
+        ));
+    }
+}
