@@ -40,7 +40,7 @@ use crate::circuits::CircuitClass;
 use crate::verify::verify_transpile;
 use crate::workloads::WorkloadClass;
 use qroute_core::stats::{route_timed, SampleSummary};
-use qroute_core::{GridRouter, RouterKind};
+use qroute_core::RouterKind;
 use qroute_topology::Grid;
 use qroute_transpiler::{TranspileOptions, Transpiler};
 use rayon::prelude::*;
@@ -53,8 +53,11 @@ use std::fmt::Write as _;
 ///
 /// History: v1 — permutation cells only; v2 — adds the circuit-cell
 /// matrix (`circuit_cells`) and the `circuit_sides` / `circuit_seeds`
+/// run-configuration fields; v3 — adds the routing-service throughput
+/// matrix (`service_cells`: jobs/sec and cache hit rate per side ×
+/// worker count) and the `service_sides` / `service_seeds`
 /// run-configuration fields.
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Relative mean-runtime regression tolerated by the baseline check
 /// (`0.25` = 25% slower), applied only when both reports captured timing.
@@ -133,6 +136,10 @@ pub struct BenchConfig {
     pub circuit_sides: Vec<usize>,
     /// Seeds per circuit cell (`0..circuit_seeds`).
     pub circuit_seeds: u64,
+    /// Square-grid sides in the routing-service throughput matrix.
+    pub service_sides: Vec<usize>,
+    /// Seeds per workload class in each service batch (`0..service_seeds`).
+    pub service_seeds: u64,
 }
 
 impl BenchConfig {
@@ -153,6 +160,8 @@ impl BenchConfig {
             timing: true,
             circuit_sides: vec![4, 8],
             circuit_seeds: 3,
+            service_sides: vec![8, 16],
+            service_seeds: 3,
         }
     }
 
@@ -166,6 +175,8 @@ impl BenchConfig {
             timing: false,
             circuit_sides: vec![4, 8],
             circuit_seeds: 2,
+            service_sides: vec![8, 16],
+            service_seeds: 2,
         }
     }
 }
@@ -174,7 +185,7 @@ impl BenchConfig {
 /// with full sample summaries over the seed set.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchCell {
-    /// Router label ([`GridRouter::name`]).
+    /// Router label ([`RouterKind::label`]).
     pub router: String,
     /// Workload class label ([`WorkloadClass::label`]).
     pub class: String,
@@ -205,7 +216,7 @@ impl BenchCell {
 /// [`crate::verify`]).
 #[derive(Debug, Clone, Serialize)]
 pub struct CircuitBenchCell {
-    /// Router label ([`GridRouter::name`]).
+    /// Router label ([`RouterKind::label`]).
     pub router: String,
     /// Circuit class label ([`CircuitClass::label`]).
     pub class: String,
@@ -245,6 +256,101 @@ impl CircuitBenchCell {
     }
 }
 
+/// One routing-service throughput cell: a standard repetitive job batch
+/// (two passes over every workload class × seed, `auto` dispatch) pushed
+/// through [`qroute_service::Engine`] at a given worker count.
+///
+/// Hit/miss/evict counts are deterministic (the engine makes every cache
+/// decision in job order), so they are byte-stable in the committed
+/// baseline; `jobs_per_sec` is wall-clock-derived and zeroed when timing
+/// capture is off, exactly like the `time_ms` summaries elsewhere.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServiceBenchCell {
+    /// Grid side (square grids).
+    pub side: usize,
+    /// Engine worker threads used for this cell.
+    pub workers: usize,
+    /// Jobs in the batch.
+    pub jobs: usize,
+    /// Canonical-cache hits.
+    pub cache_hits: u64,
+    /// Canonical-cache misses.
+    pub cache_misses: u64,
+    /// Canonical-cache evictions.
+    pub cache_evictions: u64,
+    /// `cache_hits / (cache_hits + cache_misses)`.
+    pub hit_rate: f64,
+    /// Batch throughput (`0.0` when timing capture was disabled).
+    pub jobs_per_sec: f64,
+}
+
+impl ServiceBenchCell {
+    /// The cell's identity within a report's service matrix.
+    pub fn key(&self) -> (usize, usize) {
+        (self.side, self.workers)
+    }
+}
+
+/// The worker-count axis of the service throughput matrix. Outcome
+/// metrics are worker-count invariant by the engine's determinism
+/// guarantee; only `jobs_per_sec` varies.
+pub const SERVICE_WORKER_AXIS: [usize; 2] = [1, 4];
+
+/// The standard service batch for one side: two passes over every
+/// workload class × seed with `auto` routing — the repetitive shape a
+/// transpilation campaign produces, so the second pass is all cache hits.
+pub fn service_jobs(side: usize, seeds: u64) -> Vec<qroute_service::RouteJob> {
+    let mut jobs = Vec::new();
+    for _pass in 0..2 {
+        for class in WorkloadClass::all_classes() {
+            for seed in 0..seeds {
+                jobs.push(
+                    qroute_service::RouteJob::from_class(side, "auto", &class.label(), seed)
+                        .expect("bench class labels are valid service classes"),
+                );
+            }
+        }
+    }
+    jobs
+}
+
+/// Measure one service throughput cell.
+pub fn measure_service_cell(
+    side: usize,
+    workers: usize,
+    seeds: u64,
+    timing: bool,
+) -> ServiceBenchCell {
+    let mut engine = qroute_service::Engine::new(qroute_service::EngineConfig {
+        workers,
+        ..qroute_service::EngineConfig::default()
+    });
+    let jobs = service_jobs(side, seeds);
+    let job_count = jobs.len();
+    let t0 = std::time::Instant::now();
+    let outcomes = engine.run(jobs);
+    let elapsed = t0.elapsed().as_secs_f64();
+    assert!(
+        outcomes.iter().all(|o| o.error.is_none()),
+        "service bench batch must route cleanly"
+    );
+    let stats = engine.cache_stats();
+    ServiceBenchCell {
+        side,
+        workers,
+        jobs: job_count,
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+        cache_evictions: stats.evictions,
+        hit_rate: stats.hit_rate(),
+        jobs_per_sec: if timing && elapsed > 0.0 {
+            job_count as f64 / elapsed
+        } else {
+            0.0
+        },
+    }
+}
+
 /// A complete benchmark report — the `BENCH.json` document.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchReport {
@@ -258,6 +364,10 @@ pub struct BenchReport {
     pub cells: Vec<BenchCell>,
     /// The circuit cell matrix, sorted by (router, class, side).
     pub circuit_cells: Vec<CircuitBenchCell>,
+    /// The service throughput matrix, sorted by (side, workers).
+    /// Informational (not gated): hit counts are pinned by the service
+    /// test suites, and throughput is machine-dependent.
+    pub service_cells: Vec<ServiceBenchCell>,
 }
 
 /// The router axis of the permutation benchmark matrix: every
@@ -315,7 +425,7 @@ pub fn measure_circuit_cell(
         let summary = verify_transpile(grid, &logical, &res).unwrap_or_else(|e| {
             panic!(
                 "{} failed verification on {}/{side}x{side}/seed {seed}: {e}",
-                router.name(),
+                router.label(),
                 class.label()
             )
         });
@@ -329,7 +439,7 @@ pub fn measure_circuit_cell(
         }
     }
     CircuitBenchCell {
-        router: router.name().to_string(),
+        router: router.label().to_string(),
         class: class.label(),
         side,
         qubits: grid.len(),
@@ -365,7 +475,7 @@ pub fn measure_bench_cell(
         assert!(
             timed.schedule.realizes(&pi),
             "{} produced a wrong schedule",
-            router.name()
+            router.label()
         );
         depths.push(timed.stats.depth as f64);
         sizes.push(timed.stats.size as f64);
@@ -375,7 +485,7 @@ pub fn measure_bench_cell(
         }
     }
     BenchCell {
-        router: router.name().to_string(),
+        router: router.label().to_string(),
         class: class.label(),
         side,
         qubits: grid.len(),
@@ -447,12 +557,27 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
     };
     canonical_key_order(&mut cells, BenchCell::key);
     canonical_key_order(&mut circuit_cells, CircuitBenchCell::key);
+    // Service cells always run serially: each cell owns a worker pool,
+    // and timed throughput must not fight rayon for cores.
+    let mut service_cells = Vec::new();
+    for &side in &config.service_sides {
+        for workers in SERVICE_WORKER_AXIS {
+            service_cells.push(measure_service_cell(
+                side,
+                workers,
+                config.service_seeds,
+                timing,
+            ));
+        }
+    }
+    service_cells.sort_by_key(ServiceBenchCell::key);
     BenchReport {
         schema_version: SCHEMA_VERSION,
         env: BenchEnv::capture(),
         config: config.clone(),
         cells,
         circuit_cells,
+        service_cells,
     }
 }
 
@@ -549,6 +674,11 @@ impl BenchReport {
                 time_ms: summary_field(c, "time_ms")?,
             });
         }
+        let u64_field = |v: &serde_json::Value, key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(|x| x.as_u64())
+                .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+        };
         let circuit_cells_v = doc
             .get("circuit_cells")
             .and_then(|v| v.as_array())
@@ -571,6 +701,23 @@ impl BenchReport {
                 time_ms: summary_field(c, "time_ms")?,
             });
         }
+        let service_cells_v = doc
+            .get("service_cells")
+            .and_then(|v| v.as_array())
+            .ok_or("missing service_cells array")?;
+        let mut service_cells = Vec::with_capacity(service_cells_v.len());
+        for c in service_cells_v {
+            service_cells.push(ServiceBenchCell {
+                side: uint_field(c, "side")?,
+                workers: uint_field(c, "workers")?,
+                jobs: uint_field(c, "jobs")?,
+                cache_hits: u64_field(c, "cache_hits")?,
+                cache_misses: u64_field(c, "cache_misses")?,
+                cache_evictions: u64_field(c, "cache_evictions")?,
+                hit_rate: num_field(c, "hit_rate")?,
+                jobs_per_sec: num_field(c, "jobs_per_sec")?,
+            });
+        }
         Ok(BenchReport {
             schema_version: version,
             env: BenchEnv {
@@ -591,9 +738,15 @@ impl BenchReport {
                     .get("circuit_seeds")
                     .and_then(|v| v.as_u64())
                     .ok_or("missing config.circuit_seeds")?,
+                service_sides: side_list(config_v, "service_sides")?,
+                service_seeds: config_v
+                    .get("service_seeds")
+                    .and_then(|v| v.as_u64())
+                    .ok_or("missing config.service_seeds")?,
             },
             cells,
             circuit_cells,
+            service_cells,
         })
     }
 }
@@ -838,6 +991,8 @@ mod tests {
             timing: false,
             circuit_sides: vec![4],
             circuit_seeds: 1,
+            service_sides: vec![4],
+            service_seeds: 1,
         }
     }
 
@@ -895,6 +1050,41 @@ mod tests {
         let wide = measure_circuit_cell(4, CircuitClass::SparseRandom, &RouterKind::Ats, 1, false);
         assert!(!wide.statevector_checked);
         assert_eq!(wide.logical_qubits, 16);
+    }
+
+    #[test]
+    fn service_cells_cover_the_worker_axis_with_invariant_cache_metrics() {
+        let report = run_bench(&tiny_config());
+        assert_eq!(report.service_cells.len(), SERVICE_WORKER_AXIS.len());
+        let keys: Vec<_> = report
+            .service_cells
+            .iter()
+            .map(ServiceBenchCell::key)
+            .collect();
+        assert_eq!(keys, vec![(4, 1), (4, 4)]);
+        let reference = &report.service_cells[0];
+        let jobs = service_jobs(4, 1).len();
+        assert_eq!(reference.jobs, jobs);
+        // Two passes over the class pool: at least the entire second pass
+        // hits (cross-class canonical collisions can only add more — on a
+        // 4x4 grid `random`, `block4` and `overlap8s4` even generate the
+        // same instance).
+        assert_eq!(reference.cache_hits + reference.cache_misses, jobs as u64);
+        assert!(reference.cache_hits >= jobs as u64 / 2, "{reference:?}");
+        assert!(reference.cache_misses >= 1, "{reference:?}");
+        assert!(reference.hit_rate >= 0.5 && reference.hit_rate < 1.0);
+        assert_eq!(
+            reference.jobs_per_sec, 0.0,
+            "untimed cells record no throughput"
+        );
+        for cell in &report.service_cells[1..] {
+            assert_eq!(cell.cache_hits, reference.cache_hits);
+            assert_eq!(cell.cache_misses, reference.cache_misses);
+            assert_eq!(cell.cache_evictions, reference.cache_evictions);
+        }
+        // Timed measurement produces a real throughput number.
+        let timed = measure_service_cell(4, 2, 1, true);
+        assert!(timed.jobs_per_sec > 0.0);
     }
 
     #[test]

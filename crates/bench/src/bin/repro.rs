@@ -5,18 +5,23 @@
 //! repro [fig4|fig5|hybrid|skinny|ablations|optgap|transpile|bench|all]
 //!       [--sides 4,8,16,32] [--seeds N] [--out DIR]
 //!       [--quick] [--no-time] [--baseline BENCH.json] [--check]
+//! repro batch --input jobs.jsonl [--output results.jsonl]
+//!       [--workers N] [--cache-capacity K] [--time]
 //! ```
 //!
 //! Markdown tables print to stdout; CSV/JSON/SVG files land in `--out`
 //! (default `results/`). The `bench` subcommand writes `BENCH.json` and,
 //! with `--baseline <file> --check`, exits 1 when a gated metric
-//! regressed past tolerance. Run `repro --help` for the authoritative
-//! usage (the `USAGE` string below).
+//! regressed past tolerance. The `batch` subcommand routes a JSONL job
+//! stream through the `qroute_service` engine with deterministic,
+//! input-ordered output. Run `repro --help` for the authoritative usage
+//! (the `USAGE` string below).
 
 use qroute_bench::bench::{self, BenchConfig, BenchReport};
 use qroute_bench::experiments;
 use qroute_bench::plot::{cells_to_chart, Scale};
 use qroute_bench::report;
+use qroute_service::{Engine, EngineConfig, RouteJob};
 use std::path::PathBuf;
 
 struct Args {
@@ -29,24 +34,33 @@ struct Args {
     baseline: Option<PathBuf>,
     check: bool,
     circuit_sides: Option<Vec<usize>>,
+    input: Option<PathBuf>,
+    output: Option<PathBuf>,
+    workers: Option<usize>,
+    cache_capacity: Option<usize>,
+    time: bool,
 }
 
 const USAGE: &str = "\
-repro — regenerate the paper's figures and tables
+repro — regenerate the paper's figures and tables, and drive the
+routing service
 
 USAGE:
     repro [fig4|fig5|hybrid|skinny|ablations|optgap|transpile|bench|all]
           [--sides 4,8,16,32] [--seeds N] [--out DIR]
           [--quick] [--no-time] [--circuit-sides 4,8]
           [--baseline BENCH.json] [--check]
+    repro batch --input jobs.jsonl [--output results.jsonl]
+          [--workers N] [--cache-capacity K] [--time]
 
 Markdown tables print to stdout; CSV/JSON/SVG files land in --out
 (default results/).
 
-bench writes the machine-readable BENCH.json (schema v2: env metadata +
+bench writes the machine-readable BENCH.json (schema v3: env metadata +
 per router×class×side permutation cells with depth/size/lower-bound/time
-percentiles over seeds, plus circuit cells with swap/routing-depth/
-invocation/time percentiles over verified transpiles) to --out.
+percentiles over seeds, circuit cells with swap/routing-depth/
+invocation/time percentiles over verified transpiles, and service cells
+with jobs/sec + cache hit rate per side×workers) to --out.
 Bench-only flags:
     --quick           CI gate config: 2 seeds, timing off (deterministic)
     --no-time         skip wall-clock capture (byte-stable output)
@@ -55,7 +69,20 @@ Bench-only flags:
                       must fit the 10-qubit QASM replay fixture)
     --baseline F      compare against a committed BENCH.json
     --check           with --baseline: exit 1 on regression
-                      (per-class depth/swap tolerance; mean time +25%)";
+                      (per-class depth/swap tolerance; mean time +25%)
+
+batch routes a JSONL job stream through the multi-worker service engine
+(one {\"side\", \"router\", \"perm\"|\"class\"+\"seed\"} object per line;
+router is a label or \"auto\") and writes one outcome line per job, in
+input order. Output bytes are deterministic for fixed inputs regardless
+of --workers unless --time is given. Malformed jobs become per-job error
+outcomes and set exit code 1.
+Batch-only flags:
+    --input F         JSONL jobs file (required)
+    --output F        results file (default: stdout)
+    --workers N       engine worker threads (default 4)
+    --cache-capacity K  canonical-cache entries (default 1024, 0 = off)
+    --time            record per-job routing time (non-deterministic)";
 
 fn usage_error(msg: String) -> ! {
     eprintln!("error: {msg}\n\n{USAGE}");
@@ -72,6 +99,12 @@ fn parse_args() -> Args {
     let mut baseline: Option<PathBuf> = None;
     let mut check = false;
     let mut circuit_sides: Option<Vec<usize>> = None;
+    let mut input: Option<PathBuf> = None;
+    let mut output: Option<PathBuf> = None;
+    let mut workers: Option<usize> = None;
+    let mut cache_capacity: Option<usize> = None;
+    let mut time = false;
+    let mut out_set = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let flag_value = |i: &mut usize, flag: &str| -> String {
         *i += 1;
@@ -119,11 +152,34 @@ fn parse_args() -> Args {
                     usage_error(format!("--seeds wants an integer, got {v:?}"))
                 }));
             }
-            "--out" => out = PathBuf::from(flag_value(&mut i, "--out")),
+            "--out" => {
+                out = PathBuf::from(flag_value(&mut i, "--out"));
+                out_set = true;
+            }
             "--quick" => quick = true,
             "--no-time" => no_time = true,
             "--baseline" => baseline = Some(PathBuf::from(flag_value(&mut i, "--baseline"))),
             "--check" => check = true,
+            "--input" => input = Some(PathBuf::from(flag_value(&mut i, "--input"))),
+            "--output" => output = Some(PathBuf::from(flag_value(&mut i, "--output"))),
+            "--workers" => {
+                let v = flag_value(&mut i, "--workers");
+                let parsed = v
+                    .parse()
+                    .ok()
+                    .filter(|&w: &usize| w >= 1)
+                    .unwrap_or_else(|| {
+                        usage_error(format!("--workers wants a positive integer, got {v:?}"))
+                    });
+                workers = Some(parsed);
+            }
+            "--cache-capacity" => {
+                let v = flag_value(&mut i, "--cache-capacity");
+                cache_capacity = Some(v.parse().unwrap_or_else(|_| {
+                    usage_error(format!("--cache-capacity wants an integer, got {v:?}"))
+                }));
+            }
+            "--time" => time = true,
             c if !c.starts_with('-') => match &command {
                 None => command = Some(c.to_string()),
                 Some(first) => usage_error(format!(
@@ -148,10 +204,52 @@ fn parse_args() -> Args {
             }
         }
     }
+    if command != "batch" {
+        for (given, flag) in [
+            (input.is_some(), "--input"),
+            (output.is_some(), "--output"),
+            (workers.is_some(), "--workers"),
+            (cache_capacity.is_some(), "--cache-capacity"),
+            (time, "--time"),
+        ] {
+            if given {
+                usage_error(format!("{flag} only applies to the batch command"));
+            }
+        }
+    } else {
+        // The sweep/bench flags mean nothing to the service engine.
+        for (given, flag) in [
+            (sides.is_some(), "--sides"),
+            (seeds.is_some(), "--seeds"),
+            (out_set, "--out"),
+        ] {
+            if given {
+                usage_error(format!("{flag} does not apply to the batch command"));
+            }
+        }
+        if input.is_none() {
+            usage_error("batch requires --input <jobs.jsonl>".to_string());
+        }
+    }
     if check && baseline.is_none() {
         usage_error("--check requires --baseline".to_string());
     }
-    Args { command, sides, seeds, out, quick, no_time, baseline, check, circuit_sides }
+    Args {
+        command,
+        sides,
+        seeds,
+        out,
+        quick,
+        no_time,
+        baseline,
+        check,
+        circuit_sides,
+        input,
+        output,
+        workers,
+        cache_capacity,
+        time,
+    }
 }
 
 impl Args {
@@ -376,6 +474,84 @@ fn run_bench_cmd(args: &Args) {
     }
 }
 
+/// Route a JSONL job stream through the service engine: one outcome
+/// line per job, in input order. Exit 1 when any job errored (after
+/// writing every outcome), 2 on I/O problems.
+fn run_batch_cmd(args: &Args) {
+    let input_path = args.input.as_ref().expect("parse_args enforced --input");
+    let text = std::fs::read_to_string(input_path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {}: {e}", input_path.display());
+        std::process::exit(2);
+    });
+    let mut engine = Engine::new(EngineConfig {
+        workers: args.workers.unwrap_or(4),
+        cache_capacity: args.cache_capacity.unwrap_or(1024),
+        timing: args.time,
+        ..EngineConfig::default()
+    });
+    let mut sink: Box<dyn std::io::Write> = match &args.output {
+        Some(path) => {
+            let file = std::fs::File::create(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot create {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            Box::new(std::io::BufWriter::new(file))
+        }
+        None => Box::new(std::io::stdout().lock()),
+    };
+    // Interleave submission and (id-ordered) collection so resident
+    // results stay bounded by the window, not the stream length.
+    const PENDING_WINDOW: usize = 1024;
+    let mut errors = 0usize;
+    let mut collect_one = |engine: &mut Engine, sink: &mut dyn std::io::Write| {
+        if let Some(result) = engine.collect_next() {
+            if result.outcome.error.is_some() {
+                errors += 1;
+            }
+            writeln!(sink, "{}", result.outcome.to_json_line()).expect("write outcome line");
+        }
+    };
+    let t0 = std::time::Instant::now();
+    let mut submitted = 0usize;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue; // blank lines separate sections, they are not jobs
+        }
+        match RouteJob::from_json_line(line) {
+            Ok(job) => engine.submit(&job),
+            Err(e) => engine.submit_error(e),
+        };
+        submitted += 1;
+        while engine.pending_len() > PENDING_WINDOW {
+            collect_one(&mut engine, &mut *sink);
+        }
+    }
+    while engine.pending_len() > 0 {
+        collect_one(&mut engine, &mut *sink);
+    }
+    sink.flush().expect("flush outcomes");
+    drop(sink);
+    let elapsed = t0.elapsed().as_secs_f64();
+    let stats = engine.cache_stats();
+    eprintln!(
+        "batch summary: jobs={submitted} errors={errors} hits={} misses={} evictions={} \
+         hit_rate={:.3} workers={} jobs_per_sec={:.1}",
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.hit_rate(),
+        engine.config().workers,
+        if elapsed > 0.0 {
+            submitted as f64 / elapsed
+        } else {
+            0.0
+        },
+    );
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = parse_args();
     match args.command.as_str() {
@@ -387,6 +563,7 @@ fn main() {
         "optgap" => run_optgap(&args),
         "transpile" => run_transpile(&args),
         "bench" => run_bench_cmd(&args),
+        "batch" => run_batch_cmd(&args),
         "all" => {
             run_fig4(&args);
             run_fig5(&args);
@@ -397,7 +574,7 @@ fn main() {
             run_transpile(&args);
         }
         other => usage_error(format!(
-            "unknown command {other:?}; expected fig4|fig5|hybrid|skinny|ablations|optgap|transpile|bench|all"
+            "unknown command {other:?}; expected fig4|fig5|hybrid|skinny|ablations|optgap|transpile|bench|batch|all"
         )),
     }
 }

@@ -316,14 +316,14 @@ pub fn optimality_gap(seeds: u64) -> Vec<OptGapRow> {
             let mut max_ratio = 0.0f64;
             for (pi, opt) in &instances {
                 let d = router.route(grid, pi).depth();
-                assert!(d >= *opt, "{} beat the exact optimum", router.name());
+                assert!(d >= *opt, "{} beat the exact optimum", router.label());
                 opt_sum += opt;
                 router_sum += d;
                 max_ratio = max_ratio.max(d as f64 / (*opt).max(1) as f64);
             }
             rows.push(OptGapRow {
                 grid: format!("{}x{}", grid.rows(), grid.cols()),
-                router: router.name().to_string(),
+                router: router.label().to_string(),
                 mean_opt: opt_sum as f64 / instances.len() as f64,
                 mean_router: router_sum as f64 / instances.len() as f64,
                 max_ratio,
@@ -396,7 +396,7 @@ pub fn transpile_comparison() -> Vec<TranspileRow> {
             rows.push(TranspileRow {
                 workload: name.clone(),
                 grid: format!("{}x{}", grid.rows(), grid.cols()),
-                router: router.name().to_string(),
+                router: router.label().to_string(),
                 swaps: res.swap_count,
                 depth: res.physical.depth(),
                 rounds: res.routing_invocations,

@@ -1,0 +1,175 @@
+//! End-to-end tests of `repro batch`: JSONL routing against the
+//! committed example jobs file, byte-determinism across worker counts,
+//! cache hit accounting, and per-job error handling.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn repro(args: &[&str], cwd: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .expect("spawn repro")
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qroute_batch_cli_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn example_jobs() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/jobs.jsonl");
+    path.canonicalize()
+        .expect("committed example jobs file exists")
+        .display()
+        .to_string()
+}
+
+#[test]
+fn batch_output_is_byte_identical_across_runs_and_worker_counts() {
+    let dir = tmp_dir("determinism");
+    let jobs = example_jobs();
+    let mut outputs = Vec::new();
+    for (name, workers) in [("a", "1"), ("b", "1"), ("c", "8")] {
+        let out = repro(
+            &[
+                "batch",
+                "--input",
+                &jobs,
+                "--output",
+                name,
+                "--workers",
+                workers,
+            ],
+            &dir,
+        );
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("batch summary:"),
+            "summary expected on stderr:\n{stderr}"
+        );
+        outputs.push(std::fs::read(dir.join(name)).expect("results file"));
+    }
+    assert!(!outputs[0].is_empty());
+    assert_eq!(outputs[0], outputs[1], "same flags must reproduce bytes");
+    assert_eq!(outputs[0], outputs[2], "worker count must not change bytes");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_reports_cache_hits_on_the_example_file() {
+    // The committed example file embeds duplicates, reflected copies and
+    // translated copies precisely so every fresh run exercises the cache.
+    let dir = tmp_dir("hits");
+    let out = repro(&["batch", "--input", &example_jobs()], &dir);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let hits: u64 = stderr
+        .split("hits=")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no hits= in summary:\n{stderr}"));
+    assert!(hits > 0, "example jobs must hit the cache:\n{stderr}");
+    // Stdout got the outcome lines, in input order.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(
+        lines.len(),
+        std::fs::read_to_string(example_jobs())
+            .unwrap()
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .count()
+    );
+    for (k, line) in lines.iter().enumerate() {
+        assert!(
+            line.starts_with(&format!("{{\"id\":{k},")),
+            "line {k}: {line}"
+        );
+    }
+    assert!(stdout.contains("\"cache\":\"hit\""));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn zero_cache_capacity_disables_hits() {
+    let dir = tmp_dir("nocache");
+    let out = repro(
+        &["batch", "--input", &example_jobs(), "--cache-capacity", "0"],
+        &dir,
+    );
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("hits=0 "), "no cache, no hits:\n{stderr}");
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("\"cache\":\"hit\""));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_jobs_become_error_outcomes_and_exit_1() {
+    let dir = tmp_dir("errors");
+    std::fs::write(
+        dir.join("jobs.jsonl"),
+        concat!(
+            "{\"side\": 3, \"router\": \"ats\", \"class\": \"random\", \"seed\": 1}\n",
+            "this is not json\n",
+            "{\"side\": 3, \"router\": \"warp-drive\", \"class\": \"random\", \"seed\": 1}\n",
+            "{\"side\": 2, \"perm\": [0, 0, 1, 2]}\n",
+            "{\"side\": 3, \"class\": \"random\", \"seed\": 2}\n",
+        ),
+    )
+    .expect("write jobs");
+    let out = repro(&["batch", "--input", "jobs.jsonl"], &dir);
+    assert_eq!(out.status.code(), Some(1), "errored jobs must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 5, "every job gets an outcome line:\n{stdout}");
+    assert!(lines[0].contains("\"error\":null"));
+    assert!(lines[1].contains("\"error\":\""));
+    assert!(lines[2].contains("warp-drive"));
+    assert!(lines[3].contains("\"error\":\""));
+    assert!(lines[4].contains("\"error\":null"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("errors=3"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_input_file_exits_2() {
+    let dir = tmp_dir("noinput");
+    let out = repro(&["batch", "--input", "no-such-file.jsonl"], &dir);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no-such-file"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn help_documents_the_batch_subcommand() {
+    let dir = tmp_dir("batchhelp");
+    let out = repro(&["--help"], &dir);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "batch",
+        "--input",
+        "--workers",
+        "--cache-capacity",
+        "--time",
+    ] {
+        assert!(stdout.contains(needle), "help missing {needle}:\n{stdout}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -136,6 +136,19 @@ fn arg_parsing_rejects_misuse_with_exit_2() {
         vec!["bench", "--out", "--check"], // flag token where a value belongs
         vec!["bench", "--sides", "4,x"],   // malformed side list
         vec!["definitely-not-a-command"],  // unknown command
+        // batch-only flags on other commands
+        vec!["fig4", "--input", "jobs.jsonl"],
+        vec!["bench", "--workers", "2"],
+        vec!["bench", "--output", "r.jsonl"],
+        vec!["transpile", "--cache-capacity", "8"],
+        vec!["fig5", "--time"],
+        // bench/sweep flags on batch, and batch misuse
+        vec!["batch", "--input", "j.jsonl", "--quick"],
+        vec!["batch", "--input", "j.jsonl", "--sides", "4"],
+        vec!["batch", "--input", "j.jsonl", "--seeds", "2"],
+        vec!["batch", "--input", "j.jsonl", "--out", "results"],
+        vec!["batch"], // --input is required
+        vec!["batch", "--input", "j.jsonl", "--workers", "0"],
     ] {
         let out = repro(&bad, &dir);
         assert_eq!(out.status.code(), Some(2), "{bad:?} should exit 2");

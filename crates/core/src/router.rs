@@ -88,10 +88,12 @@ impl RouterKind {
             RouterKind::Snake,
         ]
     }
-}
 
-impl GridRouter for RouterKind {
-    fn name(&self) -> &'static str {
+    /// The stable string label of this kind — the single source of truth
+    /// for every router↔label mapping in the workspace (benchmark cells,
+    /// JSONL service jobs, report tables). [`GridRouter::name`] delegates
+    /// here; the [`std::str::FromStr`] impl parses it back.
+    pub fn label(&self) -> &'static str {
         match self {
             RouterKind::LocalityAware(_) => "locality-aware",
             RouterKind::NaiveGrid(_) => "naive-grid",
@@ -101,6 +103,31 @@ impl GridRouter for RouterKind {
             RouterKind::Tree => "tree",
             RouterKind::Snake => "snake",
         }
+    }
+}
+
+impl std::str::FromStr for RouterKind {
+    type Err = String;
+
+    /// Parse a [`RouterKind::label`] back into the kind in its default
+    /// configuration. Unknown labels list the accepted set in the error.
+    fn from_str(s: &str) -> Result<RouterKind, String> {
+        RouterKind::all_default()
+            .into_iter()
+            .find(|kind| kind.label() == s)
+            .ok_or_else(|| {
+                let known: Vec<&str> = RouterKind::all_default()
+                    .iter()
+                    .map(|kind| kind.label())
+                    .collect();
+                format!("unknown router label {s:?}; expected one of {known:?}")
+            })
+    }
+}
+
+impl GridRouter for RouterKind {
+    fn name(&self) -> &'static str {
+        self.label()
     }
 
     fn route(&self, grid: Grid, pi: &Permutation) -> RoutingSchedule {
@@ -199,6 +226,18 @@ mod tests {
                 "snake"
             ]
         );
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_str() {
+        for router in all_routers() {
+            let parsed: RouterKind = router.label().parse().expect("label parses");
+            assert_eq!(parsed.label(), router.label());
+            assert_eq!(parsed.name(), router.name(), "name() delegates to label()");
+        }
+        let err = "no-such-router".parse::<RouterKind>().unwrap_err();
+        assert!(err.contains("no-such-router"), "{err}");
+        assert!(err.contains("locality-aware"), "error lists labels: {err}");
     }
 
     #[test]

@@ -205,6 +205,28 @@ impl RoutingSchedule {
         self.extend(other);
         self.compact(n)
     }
+
+    /// The schedule with every swap endpoint mapped through `f`, layer
+    /// structure untouched — depth and size are invariant.
+    ///
+    /// When `f` is injective and maps coupling edges of the source graph
+    /// to coupling edges of the target graph (a graph embedding — e.g. a
+    /// [`qroute_topology::GridSymmetry`] vertex map, or a translated
+    /// block placement), validity is preserved, and the relabeled
+    /// schedule realizes the conjugated permutation `f ∘ π ∘ f⁻¹`. This
+    /// is how the routing service replays cached canonical schedules back
+    /// into a job's original frame.
+    pub fn relabeled(&self, mut f: impl FnMut(usize) -> usize) -> RoutingSchedule {
+        RoutingSchedule {
+            layers: self
+                .layers
+                .iter()
+                .map(|layer| {
+                    SwapLayer::new(layer.swaps.iter().map(|&(u, v)| (f(u), f(v))).collect())
+                })
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -315,6 +337,26 @@ mod tests {
         let c = a.then(b, 4);
         assert_eq!(c.depth(), 1);
         assert_eq!(c.size(), 2);
+    }
+
+    #[test]
+    fn relabeled_conjugates_the_realized_permutation() {
+        // Map the top row of a 2x3 grid onto the bottom row (a graph
+        // embedding); the relabeled schedule must realize the conjugated
+        // permutation and stay valid.
+        let g = Grid::new(2, 3);
+        let s = RoutingSchedule::from_layers(vec![layer(&[(0, 1)]), layer(&[(1, 2)])]);
+        let f = |v: usize| v + 3;
+        let r = s.relabeled(f);
+        assert_eq!(r.depth(), s.depth());
+        assert_eq!(r.size(), s.size());
+        r.validate_on(&g.to_graph()).unwrap();
+        let base = s.realized_permutation(3);
+        let lifted = r.realized_permutation(6);
+        for v in 0..3 {
+            assert_eq!(lifted.apply(f(v)), f(base.apply(v)));
+            assert_eq!(lifted.apply(v), v, "untouched vertices stay fixed");
+        }
     }
 
     #[test]

@@ -152,6 +152,23 @@ pub fn max_cycle_spread(grid: Grid, p: &Permutation) -> usize {
         .unwrap_or(0)
 }
 
+/// Block-locality score in `[0, 1]`: how well the instance matches the
+/// paper's "cycles contained within small regions" regime.
+///
+/// Defined as `1 − max_cycle_spread / diameter`: `1.0` means every cycle
+/// fits a single vertex (the identity), values near `1` mean all cycles
+/// are confined to blocks far smaller than the grid, and `0` means some
+/// cycle spans the full L1 diameter. The routing service's `auto`
+/// dispatch policy keys off this feature — it is `O(n)` on the cycle
+/// decomposition, far cheaper than trial-routing.
+pub fn block_locality_score(grid: Grid, p: &Permutation) -> f64 {
+    let diameter = (grid.rows() - 1) + (grid.cols() - 1);
+    if diameter == 0 {
+        return 1.0;
+    }
+    1.0 - max_cycle_spread(grid, p) as f64 / diameter as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +247,27 @@ mod tests {
         let p = generators::block_local(grid, 3, 3, 17);
         // A 3x3 block has L1 diameter 4.
         assert!(max_cycle_spread(grid, &p) <= 4);
+    }
+
+    #[test]
+    fn block_locality_score_separates_regimes() {
+        let grid = Grid::new(12, 12);
+        assert_eq!(block_locality_score(grid, &Permutation::identity(144)), 1.0);
+        assert_eq!(
+            block_locality_score(Grid::new(1, 1), &Permutation::identity(1)),
+            1.0
+        );
+        // Disjoint 3x3 blocks: spread <= 4, diameter 22 -> score >= 1 - 4/22.
+        let local = generators::block_local(grid, 3, 3, 7);
+        assert!(block_locality_score(grid, &local) >= 1.0 - 4.0 / 22.0);
+        // The full reversal moves the corner token across the diameter.
+        let global = generators::reversal(144);
+        assert_eq!(block_locality_score(grid, &global), 0.0);
+        for seed in 0..4 {
+            let p = generators::random(144, seed);
+            let s = block_locality_score(grid, &p);
+            assert!((0.0..=1.0).contains(&s), "seed {seed}: {s}");
+        }
     }
 
     #[test]

@@ -1,0 +1,423 @@
+//! Canonical instance keying and the sharded LRU routed-schedule cache.
+//!
+//! Real transpilation campaigns route the *same* local permutation
+//! patterns over and over, just placed at different grid positions and
+//! orientations (the blockwise locality structure the paper's Algorithm 1
+//! exploits). Naive memoization on `(grid, π)` misses all of that reuse;
+//! this module instead keys the cache on a **canonical form**:
+//!
+//! 1. restrict `π` to the bounding box of its support (the tokens that
+//!    actually move) — this normalizes *translation* and makes the key
+//!    independent of the surrounding grid size;
+//! 2. minimize over the eight [`GridSymmetry`] elements (reflections and
+//!    transposition) — two instances that are mirror images share a key.
+//!
+//! The engine routes the canonical representative on its bounding-box
+//! grid and replays the cached [`RoutingSchedule`] back through the
+//! inverse symmetry ([`CanonicalForm::replay`]), which preserves layer
+//! structure (identical depth and size) and maps box edges to coupling
+//! edges of the original grid. Differential tests in
+//! `tests/cache_differential.rs` prove the replayed schedule is feasible
+//! and realizes the original permutation for arbitrary instances.
+
+use qroute_core::RoutingSchedule;
+use qroute_perm::Permutation;
+use qroute_topology::{Grid, GridSymmetry};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Identity of a canonical routing instance: the resolved router
+/// (label *and* configuration) plus the canonical bounding-box
+/// dimensions and permutation table.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CanonicalKey {
+    /// Resolved router discriminator. The engine uses the router's
+    /// `Debug` rendering, not just its [`qroute_core::RouterKind::label`]
+    /// — two differently-configured routers sharing a label (e.g. two
+    /// `LocalityAware` option sets) must never share cached schedules.
+    pub router: String,
+    /// Canonical box rows.
+    pub rows: usize,
+    /// Canonical box columns.
+    pub cols: usize,
+    /// Canonical permutation image table on the box.
+    pub perm: Vec<usize>,
+}
+
+/// The canonical form of a `(grid, π)` instance: the representative to
+/// route, plus the vertex map to replay schedules back into the original
+/// frame.
+#[derive(Debug, Clone)]
+pub struct CanonicalForm {
+    /// The canonical bounding-box grid the representative lives on.
+    pub grid: Grid,
+    /// The canonical permutation on [`CanonicalForm::grid`].
+    pub pi: Permutation,
+    /// Canonical box vertex id → original grid vertex id (an embedding:
+    /// box edges map to grid edges).
+    to_original: Vec<usize>,
+}
+
+impl CanonicalForm {
+    /// The cache key of this form under a resolved router discriminator
+    /// (see [`CanonicalKey::router`]).
+    pub fn key(&self, router: impl Into<String>) -> CanonicalKey {
+        CanonicalKey {
+            router: router.into(),
+            rows: self.grid.rows(),
+            cols: self.grid.cols(),
+            perm: self.pi.as_slice().to_vec(),
+        }
+    }
+
+    /// Replay a schedule computed for the canonical representative back
+    /// into the original instance's frame. Depth and size are invariant;
+    /// the result is valid on the original grid and realizes the original
+    /// permutation (extended by the identity outside the box).
+    pub fn replay(&self, schedule: &RoutingSchedule) -> RoutingSchedule {
+        schedule.relabeled(|v| self.to_original[v])
+    }
+}
+
+/// Compute the canonical form of `(grid, pi)`.
+///
+/// The support bounding box is translated to the origin, and the
+/// lexicographically smallest `(rows, cols, table)` over all eight
+/// dihedral transforms is chosen — a deterministic pick, so equal-orbit
+/// instances collide on the same [`CanonicalKey`]. The identity
+/// permutation (empty support) canonicalizes to the `1 × 1` box, which
+/// every router handles with an empty schedule.
+pub fn canonicalize(grid: Grid, pi: &Permutation) -> CanonicalForm {
+    assert_eq!(grid.len(), pi.len(), "permutation does not fit the grid");
+    // Support bounding box; (0,0)..=(0,0) for the identity.
+    let (mut r0, mut c0, mut r1, mut c1) = (usize::MAX, usize::MAX, 0, 0);
+    for v in 0..pi.len() {
+        if pi.apply(v) != v {
+            let (i, j) = grid.coords(v);
+            r0 = r0.min(i);
+            c0 = c0.min(j);
+            r1 = r1.max(i);
+            c1 = c1.max(j);
+        }
+    }
+    if r0 == usize::MAX {
+        (r0, c0, r1, c1) = (0, 0, 0, 0);
+    }
+    let boxed = Grid::new(r1 - r0 + 1, c1 - c0 + 1);
+    // π restricted to the box: the support maps onto itself, and in-box
+    // fixed points stay fixed, so this is a permutation of the box.
+    let mut table = vec![0usize; boxed.len()];
+    for i in 0..boxed.rows() {
+        for j in 0..boxed.cols() {
+            let img = pi.apply(grid.index(r0 + i, c0 + j));
+            let (ir, jc) = grid.coords(img);
+            debug_assert!(ir >= r0 && ir <= r1 && jc >= c0 && jc <= c1);
+            table[boxed.index(i, j)] = boxed.index(ir - r0, jc - c0);
+        }
+    }
+
+    // Minimize (rows, cols, table) over the dihedral orbit.
+    let mut best: Option<(usize, usize, Vec<usize>, GridSymmetry)> = None;
+    for sym in GridSymmetry::all() {
+        let target = sym.target(boxed);
+        let mut cand = vec![0usize; boxed.len()];
+        for (v, &img) in table.iter().enumerate() {
+            cand[sym.apply(boxed, v)] = sym.apply(boxed, img);
+        }
+        let candidate = (target.rows(), target.cols(), cand, sym);
+        let better = match &best {
+            None => true,
+            Some((br, bc, bt, _)) => (candidate.0, candidate.1, &candidate.2) < (*br, *bc, bt),
+        };
+        if better {
+            best = Some(candidate);
+        }
+    }
+    let (rows, cols, canonical_table, sym) = best.expect("orbit is non-empty");
+    let canonical_grid = Grid::new(rows, cols);
+    let inv = sym.inverse();
+    let to_original = (0..canonical_grid.len())
+        .map(|v| {
+            let (i, j) = boxed.coords(inv.apply(canonical_grid, v));
+            grid.index(r0 + i, c0 + j)
+        })
+        .collect();
+    CanonicalForm {
+        grid: canonical_grid,
+        pi: Permutation::from_vec_unchecked(canonical_table),
+        to_original,
+    }
+}
+
+/// Hit/miss/evict counters of a [`ShardedLru`], aggregated over shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found their key.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted by capacity pressure.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; `0.0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter-wise difference against an earlier snapshot (for per-batch
+    /// statistics on a long-lived cache).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
+}
+
+/// A sharded LRU map from [`CanonicalKey`] to a cloneable value.
+///
+/// Keys are distributed over shards by a *fixed* FNV-1a hash (never the
+/// std `RandomState` — shard placement decides eviction grouping, and the
+/// engine's byte-determinism guarantee requires the same placement every
+/// run). Each shard orders its entries by recency and evicts its own
+/// least-recently-used entry when it outgrows `capacity / shards`
+/// (rounded up). Lookups touch recency; all counters are atomic, so
+/// shared references can be used concurrently — though the engine
+/// serializes cache decisions on the submit thread precisely so that
+/// hit/miss/evict sequences depend only on job order, never on worker
+/// scheduling.
+#[derive(Debug)]
+pub struct ShardedLru<V> {
+    shards: Vec<Mutex<Vec<(CanonicalKey, V)>>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<V: Clone> ShardedLru<V> {
+    /// A cache budgeted at `capacity` entries across `shards` shards
+    /// (`shards` is clamped to at least 1 and at most `capacity.max(1)`).
+    /// Each shard's budget is `capacity / shards` rounded **up**, so when
+    /// `capacity` is not a shard multiple the cache admits up to
+    /// `shards − 1` extra entries; [`ShardedLru::capacity`] reports the
+    /// exact admitted total. `capacity == 0` disables caching: every
+    /// lookup misses and inserts are dropped.
+    pub fn new(capacity: usize, shards: usize) -> ShardedLru<V> {
+        let shards = shards.max(1).min(capacity.max(1));
+        ShardedLru {
+            shards: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+            per_shard_capacity: capacity.div_ceil(shards),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Total entry budget across all shards.
+    pub fn capacity(&self) -> usize {
+        self.per_shard_capacity * self.shards.len()
+    }
+
+    fn shard_index(&self, key: &CanonicalKey) -> usize {
+        // FNV-1a over the key's bytes: deterministic across runs and
+        // machines, unlike the std hasher.
+        fn eat(h: u64, x: u64) -> u64 {
+            x.to_le_bytes()
+                .iter()
+                .fold(h, |h, &b| (h ^ b as u64).wrapping_mul(0x100000001b3))
+        }
+        let mut h: u64 = 0xcbf29ce484222325;
+        h = key
+            .router
+            .bytes()
+            .fold(h, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3));
+        h = eat(h, key.rows as u64);
+        h = eat(h, key.cols as u64);
+        for &img in &key.perm {
+            h = eat(h, img as u64);
+        }
+        (h % self.shards.len() as u64) as usize
+    }
+
+    /// Look up `key`, touching its recency on a hit.
+    pub fn get(&self, key: &CanonicalKey) -> Option<V> {
+        let mut shard = self.shards[self.shard_index(key)]
+            .lock()
+            .expect("cache shard poisoned");
+        if let Some(pos) = shard.iter().position(|(k, _)| k == key) {
+            let entry = shard.remove(pos);
+            let value = entry.1.clone();
+            shard.push(entry);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Some(value)
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Insert (or refresh) `key`, evicting the shard's least-recently-used
+    /// entry when the shard exceeds its budget.
+    pub fn insert(&self, key: CanonicalKey, value: V) {
+        if self.per_shard_capacity == 0 {
+            return;
+        }
+        let mut shard = self.shards[self.shard_index(&key)]
+            .lock()
+            .expect("cache shard poisoned");
+        if let Some(pos) = shard.iter().position(|(k, _)| *k == key) {
+            shard.remove(pos);
+        }
+        shard.push((key, value));
+        if shard.len() > self.per_shard_capacity {
+            shard.remove(0);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Aggregate counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qroute_core::{GridRouter, RouterKind};
+    use qroute_perm::generators;
+
+    fn key(tag: usize) -> CanonicalKey {
+        // Distinct degenerate keys for LRU plumbing tests.
+        CanonicalKey { router: "ats".to_string(), rows: 1, cols: tag + 1, perm: vec![0; tag + 1] }
+    }
+
+    #[test]
+    fn lru_evicts_in_recency_order() {
+        // Single shard, capacity 2: the *least recently used* entry goes,
+        // and a get() refreshes recency.
+        let lru: ShardedLru<usize> = ShardedLru::new(2, 1);
+        lru.insert(key(0), 10);
+        lru.insert(key(1), 11);
+        assert_eq!(lru.get(&key(0)), Some(10)); // 1 is now LRU
+        lru.insert(key(2), 12); // evicts 1
+        assert_eq!(lru.get(&key(1)), None);
+        assert_eq!(lru.get(&key(0)), Some(10));
+        assert_eq!(lru.get(&key(2)), Some(12));
+        let stats = lru.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 1);
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reinserting_refreshes_instead_of_evicting() {
+        let lru: ShardedLru<usize> = ShardedLru::new(2, 1);
+        lru.insert(key(0), 1);
+        lru.insert(key(1), 2);
+        lru.insert(key(0), 3); // refresh, not a third entry
+        assert_eq!(lru.stats().evictions, 0);
+        assert_eq!(lru.get(&key(0)), Some(3));
+        lru.insert(key(2), 4); // now key(1) is LRU
+        assert_eq!(lru.get(&key(1)), None);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let lru: ShardedLru<usize> = ShardedLru::new(0, 8);
+        lru.insert(key(0), 1);
+        assert_eq!(lru.get(&key(0)), None);
+        assert_eq!(lru.stats().misses, 1);
+        assert_eq!(lru.stats().hits, 0);
+    }
+
+    #[test]
+    fn sharding_never_loses_entries_under_capacity() {
+        let lru: ShardedLru<usize> = ShardedLru::new(64, 8);
+        for t in 0..32 {
+            lru.insert(key(t), t);
+        }
+        for t in 0..32 {
+            assert_eq!(lru.get(&key(t)), Some(t), "tag {t}");
+        }
+        assert_eq!(lru.stats().evictions, 0);
+    }
+
+    #[test]
+    fn canonical_identity_is_the_unit_box() {
+        let form = canonicalize(Grid::new(6, 6), &Permutation::identity(36));
+        assert_eq!((form.grid.rows(), form.grid.cols()), (1, 1));
+        assert!(form.pi.is_identity());
+    }
+
+    #[test]
+    fn translation_and_symmetry_collide_on_one_key() {
+        // A 2-cycle in the top-left corner, the same pattern translated,
+        // reflected, transposed, and on a different grid size: one orbit,
+        // one key.
+        let base = Grid::new(6, 6);
+        let mut map: Vec<usize> = (0..36).collect();
+        map.swap(base.index(0, 0), base.index(0, 1));
+        let pi = Permutation::from_vec(map).unwrap();
+        let reference = canonicalize(base, &pi).key("ats");
+
+        let mut translated: Vec<usize> = (0..36).collect();
+        translated.swap(base.index(4, 3), base.index(4, 4));
+        let vertical: Grid = base;
+        let mut vert_map: Vec<usize> = (0..36).collect();
+        vert_map.swap(vertical.index(2, 5), vertical.index(3, 5));
+        let other = Grid::new(9, 4);
+        let mut other_map: Vec<usize> = (0..36).collect();
+        other_map.swap(other.index(8, 2), other.index(8, 3));
+        for (grid, map) in [(base, translated), (vertical, vert_map), (other, other_map)] {
+            let key = canonicalize(grid, &Permutation::from_vec(map).unwrap()).key("ats");
+            assert_eq!(key, reference);
+        }
+    }
+
+    #[test]
+    fn canonical_box_prefers_smaller_row_count() {
+        // A vertical 2-cycle canonicalizes to the 1x2 (not 2x1) box.
+        let grid = Grid::new(5, 5);
+        let mut map: Vec<usize> = (0..25).collect();
+        map.swap(grid.index(1, 2), grid.index(2, 2));
+        let form = canonicalize(grid, &Permutation::from_vec(map).unwrap());
+        assert_eq!((form.grid.rows(), form.grid.cols()), (1, 2));
+    }
+
+    #[test]
+    fn replay_realizes_the_original_instance() {
+        let grid = Grid::new(7, 5);
+        let graph = grid.to_graph();
+        for seed in 0..6 {
+            let pi = generators::block_local(grid, 3, 3, seed);
+            let form = canonicalize(grid, &pi);
+            for router in [RouterKind::locality_aware(), RouterKind::Ats] {
+                let canonical_schedule = router.route(form.grid, &form.pi);
+                let replayed = form.replay(&canonical_schedule);
+                assert_eq!(replayed.depth(), canonical_schedule.depth());
+                assert_eq!(replayed.size(), canonical_schedule.size());
+                replayed.validate_on(&graph).unwrap();
+                assert!(
+                    replayed.realizes(&pi),
+                    "{} seed {seed}: replay must realize the original",
+                    router.name()
+                );
+            }
+        }
+    }
+}

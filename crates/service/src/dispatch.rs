@@ -1,0 +1,153 @@
+//! The `auto` router-selection policy.
+//!
+//! §V of the paper (and the committed benchmark matrix) splits routing
+//! workloads into three regimes with different winners: block-local
+//! instances (the locality-aware router's home turf), overlapping-window
+//! instances (where approximate token swapping is ahead), and global
+//! instances (where the hybrid clamp — locality-aware ⊓ naive — is the
+//! safe pick). This module classifies a job into one of those regimes
+//! from features that cost `O(n)` to compute — orders of magnitude less
+//! than trial-routing every candidate.
+
+use qroute_core::RouterKind;
+use qroute_perm::{metrics, Permutation};
+use qroute_topology::Grid;
+
+/// Cheap instance features the policy keys off.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceFeatures {
+    /// Sum of L1 displacements over all tokens.
+    pub total_displacement: usize,
+    /// Largest single-token L1 displacement.
+    pub max_displacement: usize,
+    /// `metrics::block_locality_score`: 1 − max cycle spread / diameter.
+    pub block_locality_score: f64,
+    /// L1 diameter of the grid.
+    pub diameter: usize,
+}
+
+/// Compute the feature vector of an instance.
+pub fn features(grid: Grid, pi: &Permutation) -> InstanceFeatures {
+    InstanceFeatures {
+        total_displacement: metrics::total_displacement(grid, pi),
+        max_displacement: metrics::max_displacement(grid, pi),
+        block_locality_score: metrics::block_locality_score(grid, pi),
+        diameter: (grid.rows() - 1) + (grid.cols() - 1),
+    }
+}
+
+/// Block-locality score at or above which an instance counts as
+/// block-local (every cycle confined to a quarter-diameter region).
+pub const LOCAL_SCORE_THRESHOLD: f64 = 0.75;
+
+/// Resolve `auto` to a concrete router for one instance:
+///
+/// * block-local (score ≥ [`LOCAL_SCORE_THRESHOLD`]) → the paper's
+///   locality-aware router;
+/// * sparse (average displacement ≤ 2 per token) or mid-range
+///   displacement (`2 · max ≤ diameter`, the overlapping-window
+///   signature) → approximate token swapping, which pays per moved token
+///   instead of per grid sweep;
+/// * global otherwise → the hybrid clamp, never deeper than the naive
+///   3-phase bound.
+///
+/// Deterministic per instance, so `auto` jobs stay byte-reproducible.
+pub fn select_router(grid: Grid, pi: &Permutation) -> RouterKind {
+    let f = features(grid, pi);
+    if f.max_displacement == 0 || f.block_locality_score >= LOCAL_SCORE_THRESHOLD {
+        RouterKind::locality_aware()
+    } else if f.total_displacement <= 2 * pi.len() || 2 * f.max_displacement <= f.diameter {
+        RouterKind::Ats
+    } else {
+        RouterKind::hybrid()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qroute_perm::generators;
+
+    #[test]
+    fn identity_and_tiny_grids_pick_locality_aware() {
+        let grid = Grid::new(1, 1);
+        assert_eq!(
+            select_router(grid, &Permutation::identity(1)).label(),
+            "locality-aware"
+        );
+        let grid = Grid::new(8, 8);
+        assert_eq!(
+            select_router(grid, &Permutation::identity(64)).label(),
+            "locality-aware"
+        );
+    }
+
+    #[test]
+    fn block_local_instances_pick_locality_aware() {
+        let grid = Grid::new(16, 16);
+        for seed in 0..5 {
+            let pi = generators::block_local(grid, 4, 4, seed);
+            assert_eq!(
+                select_router(grid, &pi).label(),
+                "locality-aware",
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_instances_pick_ats() {
+        let grid = Grid::new(16, 16);
+        // 8 moved tokens out of 256: ATS pays per token.
+        for seed in 0..5 {
+            let pi = generators::sparse_random(grid.len(), 8, seed);
+            if metrics::block_locality_score(grid, &pi) < LOCAL_SCORE_THRESHOLD {
+                assert_eq!(select_router(grid, &pi).label(), "ats", "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn global_random_instances_pick_hybrid() {
+        let grid = Grid::new(16, 16);
+        for seed in 0..5 {
+            let pi = generators::random(grid.len(), seed);
+            assert_eq!(select_router(grid, &pi).label(), "hybrid", "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn policy_matches_features() {
+        // The policy is a pure function of the features — spot-check that
+        // the three branches are each reachable and consistent.
+        let grid = Grid::new(12, 12);
+        let mut labels = std::collections::BTreeSet::new();
+        for seed in 0..8 {
+            for pi in [
+                generators::block_local(grid, 3, 3, seed),
+                generators::overlapping_blocks(grid, 4, 4, 2, 2, seed),
+                generators::random(grid.len(), seed),
+                generators::sparse_random(grid.len(), 6, seed),
+            ] {
+                let f = features(grid, &pi);
+                let got = select_router(grid, &pi).label();
+                let expect =
+                    if f.max_displacement == 0 || f.block_locality_score >= LOCAL_SCORE_THRESHOLD {
+                        "locality-aware"
+                    } else if f.total_displacement <= 2 * pi.len()
+                        || 2 * f.max_displacement <= f.diameter
+                    {
+                        "ats"
+                    } else {
+                        "hybrid"
+                    };
+                assert_eq!(got, expect);
+                labels.insert(got);
+            }
+        }
+        assert!(
+            labels.len() >= 2,
+            "workloads exercise multiple branches: {labels:?}"
+        );
+    }
+}

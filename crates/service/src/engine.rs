@@ -1,0 +1,540 @@
+//! The batched multi-worker routing engine.
+//!
+//! Architecture, in job order on the *submit* side and job-id order on
+//! the *collect* side:
+//!
+//! ```text
+//!  submit (caller thread, strictly in input order)
+//!    parse/resolve → auto-dispatch → canonicalize → cache decision
+//!        ├─ hit:  attach the cached slot (maybe still in flight)
+//!        └─ miss: insert a fresh slot, push the canonical instance
+//!                 onto the bounded work queue  ── backpressure ──┐
+//!  workers (std threads)                                         │
+//!    pop canonical instance → route → fill its slot  ◄───────────┘
+//!  collect (caller thread, strictly in job-id order)
+//!    wait on each job's slot → replay through the inverse symmetry
+//!    → emit RouteOutcome
+//! ```
+//!
+//! **Every cache decision happens on the submit thread, in input
+//! order.** That single invariant is what makes the engine
+//! byte-deterministic: hit/miss statuses, LRU evictions, and `auto`
+//! router resolution depend only on the job sequence, never on worker
+//! scheduling — so `--workers 1` and `--workers 8` produce identical
+//! output bytes (proved by `tests/engine_stress.rs`). Workers only ever
+//! compute; hits share the *slot* (not the cache entry), so an eviction
+//! between insert and use can never strand a job.
+//!
+//! Shutdown: dropping the engine closes the queue and sets a shutdown
+//! flag; workers drain remaining items without routing them and exit, so
+//! dropping mid-queue cannot deadlock.
+
+use crate::cache::{canonicalize, CacheStats, CanonicalForm, ShardedLru};
+use crate::dispatch::select_router;
+use crate::job::{CacheStatus, RouteJob, RouteOutcome};
+use qroute_core::{GridRouter, RouterKind, RoutingSchedule};
+use qroute_perm::{metrics, Permutation};
+use qroute_topology::Grid;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads (clamped to at least 1). Output bytes do not
+    /// depend on this.
+    pub workers: usize,
+    /// Total canonical-schedule cache capacity (0 disables caching).
+    pub cache_capacity: usize,
+    /// Cache shards (see [`ShardedLru`]).
+    pub cache_shards: usize,
+    /// Bounded work-queue depth: how many routed-but-not-yet-started
+    /// canonical instances may be in flight before `submit` blocks
+    /// (backpressure; clamped to at least 1).
+    pub queue_depth: usize,
+    /// Capture per-job wall-clock routing time. Off by default so
+    /// outcome lines are byte-deterministic.
+    pub timing: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            workers: 4,
+            cache_capacity: 1024,
+            cache_shards: 8,
+            queue_depth: 32,
+            timing: false,
+        }
+    }
+}
+
+/// A routed canonical instance as produced by a worker.
+#[derive(Debug, Clone)]
+struct RoutedEntry {
+    schedule: Arc<RoutingSchedule>,
+    route_ms: f64,
+}
+
+/// A write-once slot a worker fills and any number of jobs wait on.
+#[derive(Debug, Default)]
+struct RouteSlot {
+    filled: Mutex<Option<Result<RoutedEntry, String>>>,
+    ready: Condvar,
+}
+
+impl RouteSlot {
+    fn fill(&self, value: Result<RoutedEntry, String>) {
+        let mut slot = self.filled.lock().expect("slot poisoned");
+        debug_assert!(slot.is_none(), "slot filled twice");
+        *slot = Some(value);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<RoutedEntry, String> {
+        let mut slot = self.filled.lock().expect("slot poisoned");
+        while slot.is_none() {
+            slot = self.ready.wait(slot).expect("slot poisoned");
+        }
+        slot.as_ref().expect("checked above").clone()
+    }
+}
+
+/// One unit of worker work: route a canonical instance into its slot.
+struct WorkItem {
+    grid: Grid,
+    pi: Permutation,
+    router: RouterKind,
+    slot: Arc<RouteSlot>,
+    timing: bool,
+}
+
+/// A submitted-but-not-yet-collected job.
+struct PendingJob {
+    id: u64,
+    side: Option<usize>,
+    plan: Plan,
+}
+
+enum Plan {
+    Error(String),
+    Route {
+        router: &'static str,
+        cache: CacheStatus,
+        lower_bound: usize,
+        canonical: CanonicalForm,
+        grid: Grid,
+        pi: Permutation,
+        slot: Arc<RouteSlot>,
+    },
+}
+
+/// A collected result: the outcome line plus (for routed jobs) the
+/// replayed schedule in the job's original frame.
+#[derive(Debug, Clone)]
+pub struct RouteResult {
+    /// The JSONL outcome.
+    pub outcome: RouteOutcome,
+    /// The feasible schedule on the job's own grid (`None` for errored
+    /// jobs).
+    pub schedule: Option<RoutingSchedule>,
+}
+
+/// The routing engine: worker pool + canonical cache + deterministic
+/// reassembly.
+pub struct Engine {
+    config: EngineConfig,
+    cache: ShardedLru<Arc<RouteSlot>>,
+    sender: Option<SyncSender<WorkItem>>,
+    workers: Vec<JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+    next_id: u64,
+    pending: VecDeque<PendingJob>,
+}
+
+impl Engine {
+    /// Spawn the worker pool.
+    pub fn new(config: EngineConfig) -> Engine {
+        let worker_count = config.workers.max(1);
+        let (sender, receiver) = sync_channel::<WorkItem>(config.queue_depth.max(1));
+        let receiver = Arc::new(Mutex::new(receiver));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let workers = (0..worker_count)
+            .map(|_| {
+                let receiver: Arc<Mutex<Receiver<WorkItem>>> = Arc::clone(&receiver);
+                let shutdown = Arc::clone(&shutdown);
+                std::thread::spawn(move || loop {
+                    // Hold the lock only while popping, never while routing.
+                    let item = match receiver.lock().expect("queue poisoned").recv() {
+                        Ok(item) => item,
+                        Err(_) => return, // queue closed: all work done
+                    };
+                    if shutdown.load(Ordering::SeqCst) {
+                        item.slot
+                            .fill(Err("engine shut down before routing".to_string()));
+                        continue; // drain remaining items without routing
+                    }
+                    let t0 = std::time::Instant::now();
+                    let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        item.router.route(item.grid, &item.pi)
+                    }));
+                    let route_ms = if item.timing {
+                        t0.elapsed().as_secs_f64() * 1e3
+                    } else {
+                        0.0
+                    };
+                    item.slot.fill(match routed {
+                        Ok(schedule) => Ok(RoutedEntry { schedule: Arc::new(schedule), route_ms }),
+                        Err(_) => Err(format!(
+                            "router {} panicked on a {}x{} canonical instance",
+                            item.router.label(),
+                            item.grid.rows(),
+                            item.grid.cols()
+                        )),
+                    });
+                })
+            })
+            .collect();
+        Engine {
+            cache: ShardedLru::new(config.cache_capacity, config.cache_shards),
+            config,
+            sender: Some(sender),
+            workers,
+            shutdown,
+            next_id: 0,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Submit one job; returns its id (0-based submission index). Blocks
+    /// when the work queue is full (backpressure). All cache and
+    /// dispatch decisions happen here, in submission order.
+    pub fn submit(&mut self, job: &RouteJob) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let plan = match job.resolve() {
+            Err(e) => Plan::Error(e),
+            Ok((grid, pi)) => {
+                let router = match &job.router {
+                    crate::job::RouterSpec::Auto => select_router(grid, &pi),
+                    crate::job::RouterSpec::Fixed(kind) => kind.clone(),
+                };
+                let lower_bound = metrics::depth_lower_bound(grid, &pi);
+                let canonical = canonicalize(grid, &pi);
+                // Key on the router's full Debug rendering, not its
+                // label: differently-configured routers with the same
+                // label must not share cached schedules.
+                let key = canonical.key(format!("{router:?}"));
+                let (cache, slot) = match self.cache.get(&key) {
+                    Some(slot) => (CacheStatus::Hit, slot),
+                    None => {
+                        let slot = Arc::new(RouteSlot::default());
+                        self.cache.insert(key, Arc::clone(&slot));
+                        let item = WorkItem {
+                            grid: canonical.grid,
+                            pi: canonical.pi.clone(),
+                            router: router.clone(),
+                            slot: Arc::clone(&slot),
+                            timing: self.config.timing,
+                        };
+                        self.sender
+                            .as_ref()
+                            .expect("engine alive while submitting")
+                            .send(item)
+                            .expect("workers outlive the engine");
+                        (CacheStatus::Miss, slot)
+                    }
+                };
+                Plan::Route {
+                    router: router.label(),
+                    cache,
+                    lower_bound,
+                    canonical,
+                    grid,
+                    pi,
+                    slot,
+                }
+            }
+        };
+        self.pending
+            .push_back(PendingJob { id, side: Some(job.side), plan });
+        id
+    }
+
+    /// Record a job that failed before it could even be constructed
+    /// (e.g. an unparseable JSONL line), consuming the next id so output
+    /// ids keep matching input line numbers.
+    pub fn submit_error(&mut self, error: String) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending
+            .push_back(PendingJob { id, side: None, plan: Plan::Error(error) });
+        id
+    }
+
+    /// Collect the oldest uncollected job, blocking until its result is
+    /// ready. Returns `None` when everything submitted has been
+    /// collected. Results always come back in job-id order.
+    pub fn collect_next(&mut self) -> Option<RouteResult> {
+        let job = self.pending.pop_front()?;
+        Some(match job.plan {
+            Plan::Error(error) => RouteResult {
+                outcome: RouteOutcome::from_error(job.id, job.side, error),
+                schedule: None,
+            },
+            Plan::Route { router, cache, lower_bound, canonical, grid, pi, slot } => {
+                match slot.wait() {
+                    Err(e) => RouteResult {
+                        outcome: RouteOutcome::from_error(job.id, job.side, e),
+                        schedule: None,
+                    },
+                    Ok(entry) => {
+                        let schedule = canonical.replay(&entry.schedule);
+                        debug_assert!(
+                            schedule.realizes(&pi),
+                            "replayed schedule must realize the job's permutation"
+                        );
+                        debug_assert!(schedule.validate_on(&grid.to_graph()).is_ok());
+                        RouteResult {
+                            outcome: RouteOutcome {
+                                id: job.id,
+                                side: job.side,
+                                router: Some(router.to_string()),
+                                cache: Some(cache.as_str().to_string()),
+                                depth: Some(entry.schedule.depth()),
+                                size: Some(entry.schedule.size()),
+                                lower_bound: Some(lower_bound),
+                                time_ms: self.config.timing.then_some(match cache {
+                                    CacheStatus::Miss => entry.route_ms,
+                                    CacheStatus::Hit => 0.0,
+                                }),
+                                error: None,
+                            },
+                            schedule: Some(schedule),
+                        }
+                    }
+                }
+            }
+        })
+    }
+
+    /// Route a batch: submit everything in order, collect everything in
+    /// job-id order, return the outcomes.
+    pub fn run(&mut self, jobs: impl IntoIterator<Item = RouteJob>) -> Vec<RouteOutcome> {
+        self.run_detailed(jobs)
+            .into_iter()
+            .map(|r| r.outcome)
+            .collect()
+    }
+
+    /// [`Engine::run`], but also returning each job's replayed schedule.
+    pub fn run_detailed(&mut self, jobs: impl IntoIterator<Item = RouteJob>) -> Vec<RouteResult> {
+        for job in jobs {
+            self.submit(&job);
+        }
+        let mut out = Vec::new();
+        while let Some(result) = self.collect_next() {
+            out.push(result);
+        }
+        out
+    }
+
+    /// Number of submitted-but-not-yet-collected jobs. Long job streams
+    /// should interleave submission with collection once this exceeds a
+    /// window (results arrive in id order either way), keeping resident
+    /// schedules bounded instead of proportional to the stream length.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Cache counters since engine construction (snapshot-diff with
+    /// [`CacheStats::since`] for per-batch numbers).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The configuration the engine was built with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Closing the channel wakes idle workers; the flag makes busy
+        // ones drain queued items without routing them.
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.sender.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::RouterSpec;
+    use qroute_perm::generators;
+
+    fn tiny_engine(workers: usize, cache_capacity: usize) -> Engine {
+        Engine::new(EngineConfig { workers, cache_capacity, ..EngineConfig::default() })
+    }
+
+    #[test]
+    fn identical_jobs_hit_the_cache() {
+        let mut engine = tiny_engine(2, 64);
+        let job = RouteJob::from_class(6, "ats", "random", 1).unwrap();
+        let out = engine.run(vec![job.clone(), job.clone(), job]);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].cache.as_deref(), Some("miss"));
+        assert_eq!(out[1].cache.as_deref(), Some("hit"));
+        assert_eq!(out[2].cache.as_deref(), Some("hit"));
+        assert_eq!(out[0].depth, out[1].depth);
+        assert_eq!(out[0].size, out[2].size);
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+    }
+
+    #[test]
+    fn outcomes_come_back_in_submission_order() {
+        let mut engine = tiny_engine(4, 0);
+        let jobs: Vec<RouteJob> = (0..20)
+            .map(|seed| RouteJob::from_class(5, "auto", "random", seed).unwrap())
+            .collect();
+        let out = engine.run(jobs);
+        let ids: Vec<u64> = out.iter().map(|o| o.id).collect();
+        assert_eq!(ids, (0..20).collect::<Vec<u64>>());
+        // Capacity 0: nothing is ever served from cache.
+        assert!(out.iter().all(|o| o.cache.as_deref() == Some("miss")));
+    }
+
+    #[test]
+    fn error_jobs_yield_error_outcomes_in_place() {
+        let mut engine = tiny_engine(2, 16);
+        engine.submit(&RouteJob::from_class(4, "ats", "random", 0).unwrap());
+        engine.submit_error("line 2 was garbage".to_string());
+        engine.submit(&RouteJob {
+            side: 3,
+            router: RouterSpec::Auto,
+            perm: crate::job::PermSpec::Explicit(vec![0; 9]),
+        });
+        let a = engine.collect_next().unwrap();
+        let b = engine.collect_next().unwrap();
+        let c = engine.collect_next().unwrap();
+        assert!(engine.collect_next().is_none());
+        assert_eq!(a.outcome.error, None);
+        assert_eq!(b.outcome.error.as_deref(), Some("line 2 was garbage"));
+        assert_eq!(b.outcome.id, 1);
+        assert!(c.outcome.error.is_some(), "duplicate images must fail");
+        assert_eq!(c.outcome.side, Some(3));
+    }
+
+    #[test]
+    fn detailed_results_carry_feasible_schedules() {
+        let mut engine = tiny_engine(3, 64);
+        let grid = Grid::new(6, 6);
+        let jobs: Vec<RouteJob> = (0..4)
+            .map(|seed| {
+                RouteJob::explicit(
+                    6,
+                    RouterSpec::Fixed(RouterKind::locality_aware()),
+                    &generators::block_local(grid, 2, 2, seed),
+                )
+            })
+            .collect();
+        let graph = grid.to_graph();
+        for result in engine.run_detailed(jobs) {
+            let schedule = result.schedule.expect("routed job has a schedule");
+            schedule.validate_on(&graph).unwrap();
+            assert_eq!(Some(schedule.depth()), result.outcome.depth);
+            assert!(result.outcome.depth.unwrap() >= result.outcome.lower_bound.unwrap());
+        }
+    }
+
+    #[test]
+    fn symmetric_instances_share_cache_entries() {
+        // The same block pattern translated across the grid: first job
+        // misses, every translated copy hits and reports identical
+        // depth/size.
+        let grid = Grid::new(8, 8);
+        let mut jobs = Vec::new();
+        for (r, c) in [(0, 0), (0, 5), (5, 0), (5, 5)] {
+            let mut map: Vec<usize> = (0..64).collect();
+            let a = grid.index(r, c);
+            let b = grid.index(r, c + 1);
+            let d = grid.index(r + 1, c);
+            map.swap(a, b);
+            map.swap(b, d);
+            jobs.push(RouteJob::explicit(
+                8,
+                RouterSpec::Fixed(RouterKind::Ats),
+                &Permutation::from_vec(map).unwrap(),
+            ));
+        }
+        let mut engine = tiny_engine(2, 64);
+        let out = engine.run(jobs);
+        assert_eq!(out[0].cache.as_deref(), Some("miss"));
+        for o in &out[1..] {
+            assert_eq!(o.cache.as_deref(), Some("hit"));
+            assert_eq!(o.depth, out[0].depth);
+            assert_eq!(o.size, out[0].size);
+        }
+    }
+
+    #[test]
+    fn differently_configured_routers_never_share_cache_entries() {
+        use qroute_core::LocalRouteOptions;
+        // Same label ("locality-aware"), different option sets: the
+        // second job must be a cache miss routed with its own config.
+        let pi = generators::random(36, 3);
+        let default_opts = RouterKind::locality_aware();
+        let tuned = RouterKind::LocalityAware(LocalRouteOptions {
+            try_transpose: !LocalRouteOptions::default().try_transpose,
+            ..LocalRouteOptions::default()
+        });
+        let mut engine = tiny_engine(2, 64);
+        let out = engine.run(vec![
+            RouteJob::explicit(6, RouterSpec::Fixed(default_opts), &pi),
+            RouteJob::explicit(6, RouterSpec::Fixed(tuned.clone()), &pi),
+            RouteJob::explicit(6, RouterSpec::Fixed(tuned), &pi),
+        ]);
+        assert_eq!(out[0].cache.as_deref(), Some("miss"));
+        assert_eq!(
+            out[1].cache.as_deref(),
+            Some("miss"),
+            "same label, different config must not hit"
+        );
+        assert_eq!(out[2].cache.as_deref(), Some("hit"), "same config does hit");
+        assert_eq!(out[1].depth, out[2].depth);
+    }
+
+    #[test]
+    fn oversized_side_becomes_a_per_job_error() {
+        let mut engine = tiny_engine(1, 4);
+        let out = engine.run(vec![
+            RouteJob::from_class(crate::job::MAX_SIDE + 1, "ats", "random", 0).unwrap(),
+            RouteJob::from_class(4, "ats", "random", 0).unwrap(),
+        ]);
+        let err = out[0].error.as_deref().expect("oversized side errors");
+        assert!(err.contains("out of range"), "{err}");
+        assert_eq!(out[1].error, None, "the rest of the batch still routes");
+    }
+
+    #[test]
+    fn timing_capture_is_opt_in() {
+        let mut engine =
+            Engine::new(EngineConfig { workers: 1, timing: true, ..EngineConfig::default() });
+        let job = RouteJob::from_class(5, "ats", "random", 0).unwrap();
+        let out = engine.run(vec![job.clone(), job]);
+        assert!(out[0].time_ms.is_some());
+        assert_eq!(out[1].time_ms, Some(0.0), "hits report zero routing time");
+
+        let mut untimed = tiny_engine(1, 16);
+        let job = RouteJob::from_class(5, "ats", "random", 0).unwrap();
+        assert!(untimed.run(vec![job])[0].time_ms.is_none());
+    }
+}

@@ -1,0 +1,413 @@
+//! Request/response types of the routing service and their JSONL wire
+//! format.
+//!
+//! One job per line. A job names a square grid side, a router (a
+//! [`RouterKind::label`] or `"auto"` for feature-based dispatch), and a
+//! permutation — either an explicit image table (`"perm"`) or a seeded
+//! workload-class reference (`"class"` + `"seed"`, the same class labels
+//! the benchmark matrix uses):
+//!
+//! ```text
+//! {"side": 8, "router": "auto", "class": "block4", "seed": 3}
+//! {"side": 4, "router": "ats", "perm": [1, 0, 2, 3, ...]}
+//! ```
+//!
+//! One [`RouteOutcome`] line per job, in job order, with `null` for
+//! fields an errored job could not produce. With timing capture disabled
+//! (the default), outcome lines are byte-deterministic for fixed inputs
+//! regardless of worker count.
+
+use qroute_core::RouterKind;
+use qroute_perm::{generators, Permutation};
+use qroute_topology::Grid;
+use serde::Serialize;
+
+/// Largest accepted grid side (2²⁰ = 1,048,576 qubits at side 1024 —
+/// far beyond any near-term grid). The cap turns absurd `side` values
+/// into per-job error outcomes instead of multi-terabyte allocation
+/// aborts on the submit thread, and keeps `side * side` far from
+/// overflow on every platform.
+pub const MAX_SIDE: usize = 1024;
+
+/// Router requested by a job.
+#[derive(Debug, Clone)]
+pub enum RouterSpec {
+    /// Pick per job from instance features (see [`crate::dispatch`]).
+    Auto,
+    /// A fixed router kind in its default configuration.
+    Fixed(RouterKind),
+}
+
+/// Permutation payload of a job.
+#[derive(Debug, Clone)]
+pub enum PermSpec {
+    /// An explicit image table (`perm[v] = π(v)`), validated at
+    /// resolution time.
+    Explicit(Vec<usize>),
+    /// A seeded workload-class instance (benchmark class labels:
+    /// `random`, `block<B>`, `overlap<B>s<S>`, `skinny`).
+    Class {
+        /// The class label.
+        label: String,
+        /// The generator seed.
+        seed: u64,
+    },
+}
+
+/// One routing request: a square grid, a router choice, and a
+/// permutation.
+#[derive(Debug, Clone)]
+pub struct RouteJob {
+    /// Side of the square grid (`side × side` qubits).
+    pub side: usize,
+    /// Requested router.
+    pub router: RouterSpec,
+    /// Requested permutation.
+    pub perm: PermSpec,
+}
+
+impl RouteJob {
+    /// A class-reference job (`router` is a label or `"auto"`).
+    pub fn from_class(
+        side: usize,
+        router: &str,
+        class: &str,
+        seed: u64,
+    ) -> Result<RouteJob, String> {
+        Ok(RouteJob {
+            side,
+            router: parse_router(router)?,
+            perm: PermSpec::Class { label: class.to_string(), seed },
+        })
+    }
+
+    /// An explicit-permutation job.
+    pub fn explicit(side: usize, router: RouterSpec, pi: &Permutation) -> RouteJob {
+        RouteJob { side, router, perm: PermSpec::Explicit(pi.as_slice().to_vec()) }
+    }
+
+    /// Parse one JSONL line. Strict: unknown fields, missing required
+    /// fields, conflicting `perm`/`class`, and malformed values are all
+    /// errors (which the engine turns into per-job error outcomes rather
+    /// than aborting the batch).
+    pub fn from_json_line(line: &str) -> Result<RouteJob, String> {
+        let doc = serde_json::from_str(line).map_err(|e| e.to_string())?;
+        let serde_json::Value::Object(entries) = &doc else {
+            return Err("job line must be a JSON object".to_string());
+        };
+        for (field, _) in entries {
+            if !matches!(
+                field.as_str(),
+                "side" | "router" | "perm" | "class" | "seed"
+            ) {
+                return Err(format!(
+                    "unknown job field {field:?} (expected side, router, perm, class, seed)"
+                ));
+            }
+        }
+        let side = doc
+            .get("side")
+            .and_then(|v| v.as_u64())
+            .ok_or("job needs an integer \"side\"")? as usize;
+        if side == 0 {
+            return Err("\"side\" must be at least 1".to_string());
+        }
+        let router = match doc.get("router") {
+            None => RouterSpec::Auto,
+            Some(v) => parse_router(v.as_str().ok_or("\"router\" must be a string")?)?,
+        };
+        let perm = match (doc.get("perm"), doc.get("class")) {
+            (Some(_), Some(_)) => {
+                return Err("job has both \"perm\" and \"class\"; pick one".to_string())
+            }
+            (None, None) => return Err("job needs either \"perm\" or \"class\"".to_string()),
+            (Some(p), None) => {
+                if doc.get("seed").is_some() {
+                    return Err("\"seed\" only applies to class jobs".to_string());
+                }
+                let table = p
+                    .as_array()
+                    .ok_or("\"perm\" must be an array of integers")?
+                    .iter()
+                    .map(|x| {
+                        x.as_u64()
+                            .map(|v| v as usize)
+                            .ok_or_else(|| "\"perm\" must be an array of integers".to_string())
+                    })
+                    .collect::<Result<Vec<usize>, String>>()?;
+                PermSpec::Explicit(table)
+            }
+            (None, Some(c)) => PermSpec::Class {
+                label: c.as_str().ok_or("\"class\" must be a string")?.to_string(),
+                seed: doc
+                    .get("seed")
+                    .and_then(|v| v.as_u64())
+                    .ok_or("class jobs need an integer \"seed\"")?,
+            },
+        };
+        Ok(RouteJob { side, router, perm })
+    }
+
+    /// Materialize the instance: the grid and a validated permutation.
+    pub fn resolve(&self) -> Result<(Grid, Permutation), String> {
+        if self.side == 0 || self.side > MAX_SIDE {
+            // An absurd side must become a per-job error outcome, not an
+            // allocation abort that takes the whole batch down.
+            return Err(format!("side {} out of range (1..={MAX_SIDE})", self.side));
+        }
+        let grid = Grid::new(self.side, self.side);
+        let pi = match &self.perm {
+            PermSpec::Explicit(table) => {
+                if table.len() != grid.len() {
+                    return Err(format!(
+                        "\"perm\" has {} entries; side {} needs {}",
+                        table.len(),
+                        self.side,
+                        grid.len()
+                    ));
+                }
+                Permutation::from_vec(table.clone()).map_err(|e| e.to_string())?
+            }
+            PermSpec::Class { label, seed } => generate_class(grid, label, *seed)?,
+        };
+        Ok((grid, pi))
+    }
+}
+
+fn parse_router(s: &str) -> Result<RouterSpec, String> {
+    if s == "auto" {
+        Ok(RouterSpec::Auto)
+    } else {
+        Ok(RouterSpec::Fixed(s.parse::<RouterKind>()?))
+    }
+}
+
+/// Generate a benchmark-class instance from its label (`random`,
+/// `block<B>`, `overlap<B>s<S>`, `skinny`).
+fn generate_class(grid: Grid, label: &str, seed: u64) -> Result<Permutation, String> {
+    if label == "random" {
+        return Ok(generators::random(grid.len(), seed));
+    }
+    if label == "skinny" {
+        return Ok(generators::skinny_cycles(grid, seed));
+    }
+    if let Some(b) = label.strip_prefix("block") {
+        let b: usize = b
+            .parse()
+            .map_err(|_| format!("malformed block class {label:?} (want e.g. \"block4\")"))?;
+        if b == 0 {
+            return Err("block size must be at least 1".to_string());
+        }
+        return Ok(generators::block_local(grid, b, b, seed));
+    }
+    if let Some(rest) = label.strip_prefix("overlap") {
+        let parts: Vec<&str> = rest.splitn(2, 's').collect();
+        let parsed = match parts.as_slice() {
+            [b, s] => b.parse::<usize>().ok().zip(s.parse::<usize>().ok()),
+            _ => None,
+        };
+        let Some((b, s)) = parsed else {
+            return Err(format!(
+                "malformed overlap class {label:?} (want e.g. \"overlap8s4\")"
+            ));
+        };
+        if b == 0 || s == 0 {
+            return Err("overlap window and stride must be at least 1".to_string());
+        }
+        return Ok(generators::overlapping_blocks(grid, b, b, s, s, seed));
+    }
+    Err(format!(
+        "unknown class {label:?}; expected random, block<B>, overlap<B>s<S>, or skinny"
+    ))
+}
+
+/// Whether a routed result was served from the canonical cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// The canonical form was routed for this job.
+    Miss,
+    /// The canonical form was already cached (or in flight).
+    Hit,
+}
+
+impl CacheStatus {
+    /// Stable wire label.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CacheStatus::Miss => "miss",
+            CacheStatus::Hit => "hit",
+        }
+    }
+}
+
+/// One result line: metrics for a routed job, or a per-job error.
+///
+/// Field order is the wire order. `time_ms` is `null` unless the engine
+/// captured timing (timing is off by default so output bytes are
+/// deterministic); error outcomes carry `null` metrics.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RouteOutcome {
+    /// Job id: the 0-based position of the job in submission order.
+    pub id: u64,
+    /// Grid side echoed from the job (`None` when the line never parsed).
+    pub side: Option<usize>,
+    /// Resolved router label (concrete even for `auto` jobs).
+    pub router: Option<String>,
+    /// Cache status (`"hit"` / `"miss"`).
+    pub cache: Option<String>,
+    /// Schedule depth (layers).
+    pub depth: Option<usize>,
+    /// Schedule size (total swaps).
+    pub size: Option<usize>,
+    /// Depth lower bound of the instance on its own grid.
+    pub lower_bound: Option<usize>,
+    /// Wall-clock routing time for cache misses (`0.0` for hits) when
+    /// timing capture is on; `null` otherwise.
+    pub time_ms: Option<f64>,
+    /// Error message for jobs that failed to parse, resolve, or route.
+    pub error: Option<String>,
+}
+
+impl RouteOutcome {
+    /// The error outcome for job `id`.
+    pub fn from_error(id: u64, side: Option<usize>, error: String) -> RouteOutcome {
+        RouteOutcome {
+            id,
+            side,
+            router: None,
+            cache: None,
+            depth: None,
+            size: None,
+            lower_bound: None,
+            time_ms: None,
+            error: Some(error),
+        }
+    }
+
+    /// Serialize as one compact JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(self).expect("serialize outcome")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_class_and_perm_jobs() {
+        let job = RouteJob::from_json_line(
+            r#"{"side": 8, "router": "auto", "class": "overlap4s2", "seed": 5}"#,
+        )
+        .unwrap();
+        assert_eq!(job.side, 8);
+        assert!(matches!(job.router, RouterSpec::Auto));
+        let (grid, pi) = job.resolve().unwrap();
+        assert_eq!(grid.len(), 64);
+        assert_eq!(pi.len(), 64);
+
+        let job = RouteJob::from_json_line(r#"{"side": 2, "router": "ats", "perm": [1, 0, 2, 3]}"#)
+            .unwrap();
+        let (_, pi) = job.resolve().unwrap();
+        assert_eq!(pi.apply(0), 1);
+        // Router defaults to auto when omitted.
+        let job = RouteJob::from_json_line(r#"{"side": 2, "perm": [0, 1, 2, 3]}"#).unwrap();
+        assert!(matches!(job.router, RouterSpec::Auto));
+    }
+
+    #[test]
+    fn every_router_label_parses() {
+        for kind in RouterKind::all_default() {
+            let line = format!(
+                r#"{{"side": 4, "router": "{}", "class": "random", "seed": 0}}"#,
+                kind.label()
+            );
+            let job = RouteJob::from_json_line(&line).unwrap();
+            match job.router {
+                RouterSpec::Fixed(parsed) => assert_eq!(parsed.label(), kind.label()),
+                RouterSpec::Auto => panic!("{} parsed as auto", kind.label()),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_jobs_error_with_context() {
+        for (line, needle) in [
+            ("not json", "JSON"),
+            ("[1, 2]", "object"),
+            (r#"{"router": "ats", "class": "random", "seed": 0}"#, "side"),
+            (r#"{"side": 0, "class": "random", "seed": 0}"#, "side"),
+            (
+                r#"{"side": 4, "router": "warp", "class": "random", "seed": 0}"#,
+                "warp",
+            ),
+            (r#"{"side": 4, "class": "random"}"#, "seed"),
+            (r#"{"side": 4, "perm": [0], "seed": 1}"#, "seed"),
+            (r#"{"side": 4, "perm": [0], "class": "random"}"#, "pick one"),
+            (r#"{"side": 4}"#, "either"),
+            (
+                r#"{"side": 4, "class": "random", "seed": 0, "bogus": 1}"#,
+                "bogus",
+            ),
+            (r#"{"side": 4, "perm": [0, "x"]}"#, "integers"),
+        ] {
+            let err = RouteJob::from_json_line(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn resolve_rejects_malformed_class_labels() {
+        for (class, needle) in [
+            ("blockx", "block"),
+            ("block0", "at least 1"),
+            ("overlap4", "overlap"),
+            ("overlap0s1", "at least 1"),
+            ("mystery", "mystery"),
+        ] {
+            let line = format!(r#"{{"side": 4, "class": "{class}", "seed": 0}}"#);
+            let job = RouteJob::from_json_line(&line).unwrap();
+            let err = job.resolve().unwrap_err();
+            assert!(err.contains(needle), "{class}: {err}");
+        }
+    }
+
+    #[test]
+    fn resolve_validates_explicit_permutations() {
+        let short = RouteJob::from_json_line(r#"{"side": 2, "perm": [1, 0]}"#).unwrap();
+        assert!(short.resolve().unwrap_err().contains("4"));
+        // An absurd side is a per-job error, not an allocation abort.
+        let huge =
+            RouteJob::from_json_line(r#"{"side": 1000000000, "class": "random", "seed": 0}"#)
+                .unwrap();
+        assert!(huge.resolve().unwrap_err().contains("out of range"));
+        let max = RouteJob::from_class(MAX_SIDE, "ats", "skinny", 0).unwrap();
+        assert_eq!(max.side, MAX_SIDE);
+        let repeat = RouteJob::from_json_line(r#"{"side": 2, "perm": [0, 0, 2, 3]}"#).unwrap();
+        assert!(repeat.resolve().unwrap_err().contains("permutation"));
+    }
+
+    #[test]
+    fn outcome_serializes_stable_jsonl() {
+        let ok = RouteOutcome {
+            id: 3,
+            side: Some(8),
+            router: Some("ats".to_string()),
+            cache: Some("hit".to_string()),
+            depth: Some(12),
+            size: Some(40),
+            lower_bound: Some(9),
+            time_ms: None,
+            error: None,
+        };
+        assert_eq!(
+            ok.to_json_line(),
+            r#"{"id":3,"side":8,"router":"ats","cache":"hit","depth":12,"size":40,"lower_bound":9,"time_ms":null,"error":null}"#
+        );
+        let err = RouteOutcome::from_error(4, None, "boom".to_string());
+        assert_eq!(
+            err.to_json_line(),
+            r#"{"id":4,"side":null,"router":null,"cache":null,"depth":null,"size":null,"lower_bound":null,"time_ms":null,"error":"boom"}"#
+        );
+    }
+}

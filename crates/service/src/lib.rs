@@ -1,0 +1,49 @@
+//! # qroute-service
+//!
+//! A batched, cached, multi-worker **routing engine** over the
+//! single-call routers in [`qroute_core`] — the throughput layer the
+//! ROADMAP's "heavy traffic" north star asks for. Transpilation
+//! campaigns invoke routing thousands of times with highly repetitive
+//! permutation structure; this crate turns those calls into JSONL jobs
+//! that are batched, dispatched across a worker pool, and served from a
+//! symmetry-aware cache.
+//!
+//! * [`job`] — [`RouteJob`]/[`RouteOutcome`]: the serde request/response
+//!   types and their JSONL wire format (`repro batch` speaks this).
+//! * [`engine`] — [`Engine`]: bounded work queue, std-thread worker
+//!   pool, deterministic job-id-ordered output, backpressure, graceful
+//!   shutdown. Output bytes are independent of the worker count.
+//! * [`cache`] — the sharded LRU keyed on a **canonical form** of
+//!   `(grid, π)`: translation of the support bounding box plus the eight
+//!   dihedral grid symmetries, with cached schedules replayed back
+//!   through the inverse symmetry. Grid symmetry makes the cache far
+//!   more effective than naive `(grid, π)` memoization.
+//! * [`dispatch`] — the `auto` router-selection policy, driven by cheap
+//!   [`qroute_perm::metrics`] features (total L1 distance, max
+//!   displacement, block-locality score).
+//!
+//! ```
+//! use qroute_service::{Engine, EngineConfig, RouteJob};
+//!
+//! let mut engine = Engine::new(EngineConfig { workers: 2, ..EngineConfig::default() });
+//! let job = RouteJob::from_json_line(
+//!     r#"{"side": 6, "router": "auto", "class": "block2", "seed": 1}"#,
+//! ).unwrap();
+//! let outcomes = engine.run(vec![job.clone(), job]);
+//! assert_eq!(outcomes[0].cache.as_deref(), Some("miss"));
+//! assert_eq!(outcomes[1].cache.as_deref(), Some("hit"));
+//! assert_eq!(outcomes[0].depth, outcomes[1].depth);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod dispatch;
+pub mod engine;
+pub mod job;
+
+pub use cache::{canonicalize, CacheStats, CanonicalForm, CanonicalKey, ShardedLru};
+pub use dispatch::{features, select_router, InstanceFeatures};
+pub use engine::{Engine, EngineConfig, RouteResult};
+pub use job::{CacheStatus, PermSpec, RouteJob, RouteOutcome, RouterSpec, MAX_SIDE};

@@ -1,0 +1,152 @@
+//! Engine stress and determinism: hundreds of jobs across 1..=8 workers
+//! must produce byte-identical, id-ordered output, and dropping the
+//! engine with work still queued must not deadlock.
+
+use qroute_service::{Engine, EngineConfig, RouteJob};
+
+/// A mixed batch: every class, several sides and seeds, duplicates and
+/// error lines sprinkled in — the shape a real JSONL batch has.
+fn mixed_jobs(count: usize) -> (Vec<Result<RouteJob, String>>, usize) {
+    let classes = ["random", "block2", "overlap4s2", "skinny"];
+    let routers = ["auto", "locality-aware", "ats", "hybrid", "naive-grid"];
+    let mut jobs = Vec::with_capacity(count);
+    let mut errors = 0;
+    for k in 0..count {
+        if k % 23 == 7 {
+            jobs.push(Err(format!("synthetic parse failure at job {k}")));
+            errors += 1;
+            continue;
+        }
+        let side = 4 + (k % 3);
+        let class = classes[k % classes.len()];
+        // Reuse a small seed pool so duplicates (cache hits) occur.
+        let seed = (k / 7 % 5) as u64;
+        let router = routers[k % routers.len()];
+        jobs.push(RouteJob::from_class(side, router, class, seed));
+    }
+    (jobs, errors)
+}
+
+fn run_batch(workers: usize, jobs: &[Result<RouteJob, String>]) -> (String, Engine) {
+    let mut engine = Engine::new(EngineConfig {
+        workers,
+        cache_capacity: 256,
+        queue_depth: 8,
+        ..EngineConfig::default()
+    });
+    for job in jobs {
+        match job {
+            Ok(job) => engine.submit(job),
+            Err(e) => engine.submit_error(e.clone()),
+        };
+    }
+    let mut out = String::new();
+    while let Some(result) = engine.collect_next() {
+        out.push_str(&result.outcome.to_json_line());
+        out.push('\n');
+    }
+    (out, engine)
+}
+
+#[test]
+fn hundreds_of_jobs_are_ordered_and_worker_count_invariant() {
+    let (jobs, errors) = mixed_jobs(300);
+    let (reference, engine) = run_batch(1, &jobs);
+    let lines: Vec<&str> = reference.lines().collect();
+    assert_eq!(lines.len(), 300);
+
+    // Ids are exactly 0..300 in order, errors stay in place, and the
+    // seed-pool reuse produced real cache traffic.
+    for (k, line) in lines.iter().enumerate() {
+        assert!(
+            line.starts_with(&format!("{{\"id\":{k},")),
+            "line {k} out of order: {line}"
+        );
+    }
+    assert_eq!(
+        lines
+            .iter()
+            .filter(|l| !l.ends_with("\"error\":null}"))
+            .count(),
+        errors
+    );
+    let stats = engine.cache_stats();
+    assert!(stats.hits > 0, "seed reuse must hit the cache: {stats:?}");
+    assert!(stats.misses > 0);
+
+    // Worker count must not change a single output byte.
+    for workers in 2..=8 {
+        let (out, other) = run_batch(workers, &jobs);
+        assert_eq!(out, reference, "workers={workers} diverged");
+        assert_eq!(
+            other.cache_stats(),
+            stats,
+            "workers={workers} cache stats diverged"
+        );
+    }
+}
+
+#[test]
+fn shutdown_mid_queue_does_not_deadlock() {
+    // One worker, a deep backlog of side-16 random instances (each takes
+    // real routing time), queue depth 4: by the time the last submit
+    // returns, most of the batch is still queued or unstarted. Dropping
+    // the engine must terminate the pool promptly instead of deadlocking
+    // or routing out the backlog.
+    let mut engine = Engine::new(EngineConfig {
+        workers: 1,
+        cache_capacity: 0,
+        queue_depth: 4,
+        ..EngineConfig::default()
+    });
+    for seed in 0..4 {
+        engine.submit(&RouteJob::from_class(16, "hybrid", "random", seed).unwrap());
+    }
+    drop(engine); // must join, not hang (the test harness would time out)
+}
+
+#[test]
+fn collect_after_partial_submit_interleaves() {
+    // submit/collect can interleave: collect_next returns the oldest
+    // pending job and further submissions keep assigning increasing ids.
+    let mut engine = Engine::new(EngineConfig { workers: 2, ..EngineConfig::default() });
+    let a = engine.submit(&RouteJob::from_class(4, "ats", "random", 0).unwrap());
+    let first = engine.collect_next().unwrap();
+    assert_eq!(first.outcome.id, a);
+    let b = engine.submit(&RouteJob::from_class(4, "ats", "random", 1).unwrap());
+    assert_eq!(b, a + 1);
+    assert_eq!(engine.collect_next().unwrap().outcome.id, b);
+    assert!(engine.collect_next().is_none());
+}
+
+#[test]
+fn eviction_pressure_keeps_outcomes_correct_and_deterministic() {
+    // A cache far smaller than the distinct-instance count: eviction
+    // churn must not change outcomes or ordering, only hit counts.
+    let (jobs, _) = mixed_jobs(150);
+    let small = |workers| {
+        let mut engine = Engine::new(EngineConfig {
+            workers,
+            cache_capacity: 4,
+            cache_shards: 2,
+            ..EngineConfig::default()
+        });
+        let mut out = String::new();
+        for job in &jobs {
+            match job {
+                Ok(job) => engine.submit(job),
+                Err(e) => engine.submit_error(e.clone()),
+            };
+        }
+        while let Some(result) = engine.collect_next() {
+            out.push_str(&result.outcome.to_json_line());
+            out.push('\n');
+        }
+        (out, engine.cache_stats())
+    };
+    let (a, stats_a) = small(1);
+    let (b, stats_b) = small(6);
+    assert_eq!(a, b, "eviction under concurrency must stay deterministic");
+    assert_eq!(stats_a, stats_b);
+    assert!(stats_a.evictions > 0, "tiny cache must evict: {stats_a:?}");
+}

@@ -21,6 +21,9 @@
 //!   hot-path replacement for materialized all-pairs tables.
 //! * [`gridlike`] — "grid-like" architectures (grids with defects, brick
 //!   walls) used to exercise routers beyond perfect grids.
+//! * [`symmetry`] — [`GridSymmetry`]: the dihedral symmetries of a grid,
+//!   used by the routing service to canonicalize instances and replay
+//!   cached schedules through the inverse map.
 //!
 //! All vertex ids are dense `usize` indices in `0..graph.len()`, which keeps
 //! hot paths allocation- and hash-free (plain `Vec` indexing everywhere).
@@ -36,6 +39,7 @@ pub mod gridlike;
 pub mod oracle;
 pub mod path;
 pub mod product;
+pub mod symmetry;
 
 pub use cycle::Cycle;
 pub use graph::{Edge, Graph, GraphBuilder, GraphError};
@@ -45,3 +49,4 @@ pub use oracle::{
 };
 pub use path::Path;
 pub use product::Product;
+pub use symmetry::GridSymmetry;

@@ -1,0 +1,180 @@
+//! The dihedral symmetries of a grid — vertex maps for canonicalization.
+//!
+//! An `m × n` grid has eight candidate symmetries: the four flip
+//! combinations (rows, columns, both, neither) compose with an optional
+//! transposition. Flip-only elements are automorphisms of the grid; the
+//! transposing elements are isomorphisms onto the `n × m` grid. The
+//! routing service uses these maps to canonicalize `(grid, π)` instances
+//! and to replay cached schedules back through the inverse symmetry, so
+//! the whole group lives here next to [`Grid`].
+
+use crate::grid::Grid;
+
+/// One dihedral symmetry of a grid, parameterized as "flip, then maybe
+/// transpose": coordinates are first reflected (`flip_rows`: `i ↦
+/// rows-1-i`, `flip_cols`: `j ↦ cols-1-j`) and the result is then
+/// transposed (`(i, j) ↦ (j, i)`) when `transpose` is set.
+///
+/// The eight `(transpose, flip_rows, flip_cols)` combinations enumerate
+/// the full dihedral group of a rectangle (for square grids all eight are
+/// distinct automorphisms; for `m ≠ n` the transposing half maps onto the
+/// transposed grid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct GridSymmetry {
+    /// Reflect row indices (`i ↦ rows-1-i`) before transposing.
+    pub flip_rows: bool,
+    /// Reflect column indices (`j ↦ cols-1-j`) before transposing.
+    pub flip_cols: bool,
+    /// Exchange the two axes after flipping.
+    pub transpose: bool,
+}
+
+impl GridSymmetry {
+    /// The identity symmetry.
+    pub fn identity() -> GridSymmetry {
+        GridSymmetry::default()
+    }
+
+    /// All eight elements, in a fixed deterministic order (identity
+    /// first, non-transposing elements before transposing ones).
+    pub fn all() -> [GridSymmetry; 8] {
+        let mut out = [GridSymmetry::identity(); 8];
+        let mut k = 0;
+        for transpose in [false, true] {
+            for flip_rows in [false, true] {
+                for flip_cols in [false, true] {
+                    out[k] = GridSymmetry { flip_rows, flip_cols, transpose };
+                    k += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// The grid this symmetry maps `grid` onto (`grid` itself, or its
+    /// transpose for transposing elements).
+    pub fn target(&self, grid: Grid) -> Grid {
+        if self.transpose {
+            grid.transpose()
+        } else {
+            grid
+        }
+    }
+
+    /// Map a vertex id of `grid` to the corresponding vertex id of
+    /// [`GridSymmetry::target`].
+    pub fn apply(&self, grid: Grid, v: usize) -> usize {
+        let (mut i, mut j) = grid.coords(v);
+        if self.flip_rows {
+            i = grid.rows() - 1 - i;
+        }
+        if self.flip_cols {
+            j = grid.cols() - 1 - j;
+        }
+        if self.transpose {
+            self.target(grid).index(j, i)
+        } else {
+            grid.index(i, j)
+        }
+    }
+
+    /// The inverse element: applying [`GridSymmetry::apply`] on `grid`
+    /// and then the inverse on the target grid is the identity.
+    ///
+    /// Flips are involutions, so the inverse only has to undo the order:
+    /// `(T ∘ F)⁻¹ = F ∘ T = T ∘ F'` where `F'` swaps the roles of the two
+    /// flips (transposition conjugates row flips into column flips).
+    pub fn inverse(&self) -> GridSymmetry {
+        if self.transpose {
+            GridSymmetry { flip_rows: self.flip_cols, flip_cols: self.flip_rows, transpose: true }
+        } else {
+            *self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_eight_are_distinct() {
+        let mut seen = GridSymmetry::all().to_vec();
+        seen.dedup();
+        assert_eq!(seen.len(), 8);
+        assert_eq!(seen[0], GridSymmetry::identity());
+    }
+
+    #[test]
+    fn apply_is_a_bijection_onto_the_target() {
+        let grid = Grid::new(3, 5);
+        for sym in GridSymmetry::all() {
+            let target = sym.target(grid);
+            assert_eq!(target.len(), grid.len());
+            let mut hit = vec![false; grid.len()];
+            for v in 0..grid.len() {
+                let w = sym.apply(grid, v);
+                assert!(!hit[w], "{sym:?} repeats image {w}");
+                hit[w] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips_every_vertex() {
+        for grid in [Grid::new(3, 5), Grid::new(4, 4), Grid::new(1, 6)] {
+            for sym in GridSymmetry::all() {
+                let inv = sym.inverse();
+                let target = sym.target(grid);
+                assert_eq!(inv.target(target), grid);
+                for v in 0..grid.len() {
+                    assert_eq!(
+                        inv.apply(target, sym.apply(grid, v)),
+                        v,
+                        "{sym:?} on {grid:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetries_preserve_adjacency() {
+        let grid = Grid::new(4, 6);
+        let graph = grid.to_graph();
+        for sym in GridSymmetry::all() {
+            let tgraph = sym.target(grid).to_graph();
+            for &(u, v) in graph.edges() {
+                assert!(
+                    tgraph.has_edge(sym.apply(grid, u), sym.apply(grid, v)),
+                    "{sym:?} broke edge ({u}, {v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_element_matches_grid_transpose_vertex() {
+        let grid = Grid::new(3, 4);
+        let sym = GridSymmetry { transpose: true, ..GridSymmetry::identity() };
+        for v in 0..grid.len() {
+            assert_eq!(sym.apply(grid, v), grid.transpose_vertex(v));
+        }
+    }
+
+    #[test]
+    fn symmetries_preserve_l1_distance() {
+        let grid = Grid::new(5, 3);
+        for sym in GridSymmetry::all() {
+            let target = sym.target(grid);
+            for u in 0..grid.len() {
+                for v in 0..grid.len() {
+                    assert_eq!(
+                        grid.dist(u, v),
+                        target.dist(sym.apply(grid, u), sym.apply(grid, v))
+                    );
+                }
+            }
+        }
+    }
+}

@@ -17,7 +17,9 @@
 //! * [`circuit`] — quantum circuit IR and workload builders;
 //! * [`sim`] — statevector and permutation simulators for verification;
 //! * [`transpiler`] — the full mapping+routing transpiler built on the
-//!   routers.
+//!   routers;
+//! * [`service`] — the batched, cached, multi-worker routing engine with
+//!   the JSONL job API (`repro batch`).
 //!
 //! ## Quickstart
 //!
@@ -43,6 +45,7 @@ pub use qroute_circuit as circuit;
 pub use qroute_core as routing;
 pub use qroute_matching as matching;
 pub use qroute_perm as perm;
+pub use qroute_service as service;
 pub use qroute_sim as sim;
 pub use qroute_topology as topology;
 pub use qroute_transpiler as transpiler;
