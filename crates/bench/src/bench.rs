@@ -40,8 +40,8 @@ use crate::circuits::CircuitClass;
 use crate::verify::verify_transpile;
 use crate::workloads::WorkloadClass;
 use qroute_core::stats::{route_timed, SampleSummary};
-use qroute_core::RouterKind;
-use qroute_topology::Grid;
+use qroute_core::{GridRouter, RouterKind};
+use qroute_topology::{Grid, Topology};
 use qroute_transpiler::{TranspileOptions, Transpiler};
 use rayon::prelude::*;
 use serde::Serialize;
@@ -56,8 +56,11 @@ use std::fmt::Write as _;
 /// run-configuration fields; v3 — adds the routing-service throughput
 /// matrix (`service_cells`: jobs/sec and cache hit rate per side ×
 /// worker count) and the `service_sides` / `service_seeds`
+/// run-configuration fields; v4 — adds the non-grid topology matrix
+/// (`defect_cells`: router × topology kind × side on defective grids and
+/// heavy-hex lattices) and the `defect_sides` / `defect_seeds`
 /// run-configuration fields.
-pub const SCHEMA_VERSION: u64 = 3;
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Relative mean-runtime regression tolerated by the baseline check
 /// (`0.25` = 25% slower), applied only when both reports captured timing.
@@ -140,6 +143,11 @@ pub struct BenchConfig {
     pub service_sides: Vec<usize>,
     /// Seeds per workload class in each service batch (`0..service_seeds`).
     pub service_seeds: u64,
+    /// Base sides in the non-grid topology matrix (a side-`s` entry means
+    /// an `s × s` defective grid and an `s × s` heavy-hex lattice).
+    pub defect_sides: Vec<usize>,
+    /// Seeds per defect cell (`0..defect_seeds`).
+    pub defect_seeds: u64,
 }
 
 impl BenchConfig {
@@ -162,6 +170,8 @@ impl BenchConfig {
             circuit_seeds: 3,
             service_sides: vec![8, 16],
             service_seeds: 3,
+            defect_sides: vec![8, 16],
+            defect_seeds: 3,
         }
     }
 
@@ -177,6 +187,8 @@ impl BenchConfig {
             circuit_seeds: 2,
             service_sides: vec![8, 16],
             service_seeds: 2,
+            defect_sides: vec![8, 16],
+            defect_seeds: 2,
         }
     }
 }
@@ -291,6 +303,147 @@ impl ServiceBenchCell {
     }
 }
 
+/// One measured non-grid topology cell: a router × topology kind × base
+/// side aggregate over seeded random permutations of the alive vertices.
+///
+/// This matrix pins the topology-generic routing path (defective grids
+/// and heavy-hex lattices routed through [`qroute_core::GridRouter::route_on`])
+/// the same way `cells` pins the square-grid routers.
+#[derive(Debug, Clone, Serialize)]
+pub struct DefectBenchCell {
+    /// Topology kind label: `"defect"` or `"heavy-hex"`.
+    pub topology: String,
+    /// Router label as given on the axis (`"auto"` stays `"auto"`; the
+    /// dispatch policy resolves it per instance).
+    pub router: String,
+    /// Base side (the defective grid is `side × side`; heavy-hex is the
+    /// `side × side` data lattice plus its bridge vertices).
+    pub side: usize,
+    /// Total vertex count of the topology (for defective grids this
+    /// includes the dead vertices — ids are stable).
+    pub qubits: usize,
+    /// Schedule depth summary over seeds.
+    pub depth: SampleSummary,
+    /// Swap-count summary over seeds.
+    pub size: SampleSummary,
+    /// Oracle depth lower bound (max live-graph distance) summary.
+    pub lower_bound: SampleSummary,
+    /// Wall-clock routing time summary in milliseconds (all-zero with
+    /// `n = 0` when timing capture was disabled).
+    pub time_ms: SampleSummary,
+}
+
+impl DefectBenchCell {
+    /// The cell's identity within a report's defect matrix.
+    pub fn key(&self) -> (&str, &str, usize) {
+        (self.topology.as_str(), self.router.as_str(), self.side)
+    }
+}
+
+/// Relative mean-depth regression tolerance for defect cells. The
+/// token-swapping heuristics on irregular topologies legitimately trade
+/// depth as tie-breaking changes, so they get the looser 5%.
+pub const DEFECT_DEPTH_TOLERANCE: f64 = 0.05;
+
+/// The topology-kind axis of the defect matrix.
+pub const DEFECT_TOPOLOGY_AXIS: [&str; 2] = ["defect", "heavy-hex"];
+
+/// The router axis of the defect matrix: `ats` (the topology-generic
+/// router) and `auto` (pinning the dispatch fallback on non-grid
+/// topologies).
+pub const DEFECT_ROUTER_AXIS: [&str; 2] = ["ats", "auto"];
+
+/// The deterministic defect pattern for a `side × side` grid: interior
+/// vertices at `(r, c)` for `r, c ∈ {1, 5, 9, …}`. Scattered isolated
+/// holes — the residual grid always stays connected.
+pub fn defect_pattern(side: usize) -> Vec<usize> {
+    let grid = Grid::new(side, side);
+    let mut defects = Vec::new();
+    for r in (1..side).step_by(4) {
+        for c in (1..side).step_by(4) {
+            defects.push(grid.index(r, c));
+        }
+    }
+    defects
+}
+
+/// Build the benchmark topology for one kind label and base side.
+pub fn defect_topology(kind: &str, side: usize) -> Topology {
+    match kind {
+        "defect" => Topology::grid_with_defects(Grid::new(side, side), &defect_pattern(side), &[])
+            .expect("the scattered interior pattern is always valid"),
+        "heavy-hex" => Topology::heavy_hex(side, side),
+        other => panic!("unknown defect-matrix topology kind {other:?}"),
+    }
+}
+
+/// A seeded uniform permutation of the alive vertices of `topology`
+/// (fixing the dead ones).
+fn alive_random(topology: &Topology, seed: u64) -> qroute_perm::Permutation {
+    let alive: Vec<usize> = (0..topology.len())
+        .filter(|&v| topology.is_alive(v))
+        .collect();
+    let shuffled = qroute_perm::generators::random(alive.len(), seed);
+    let mut map: Vec<usize> = (0..topology.len()).collect();
+    for (k, &v) in alive.iter().enumerate() {
+        map[v] = alive[shuffled.apply(k)];
+    }
+    qroute_perm::Permutation::from_vec(map).expect("permutation of the alive vertices")
+}
+
+/// Measure one defect cell: route `seeds` random alive-vertex
+/// permutations of the topology, verify every schedule, and summarize.
+pub fn measure_defect_cell(
+    side: usize,
+    kind: &str,
+    router_label: &str,
+    seeds: u64,
+    timing: bool,
+) -> DefectBenchCell {
+    let topology = defect_topology(kind, side);
+    let graph = topology.graph();
+    let mut depths = Vec::with_capacity(seeds as usize);
+    let mut sizes = Vec::with_capacity(seeds as usize);
+    let mut lbs = Vec::with_capacity(seeds as usize);
+    let mut times = Vec::with_capacity(seeds as usize);
+    for seed in 0..seeds {
+        let pi = alive_random(&topology, seed);
+        let router = match router_label {
+            "auto" => qroute_service::select_router_on(&topology, &pi),
+            label => label.parse::<RouterKind>().expect("valid router label"),
+        };
+        let t0 = std::time::Instant::now();
+        let schedule = router
+            .route_on(&topology, &pi)
+            .expect("the defect-matrix routers accept any connected topology");
+        let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            schedule.realizes(&pi),
+            "{router_label} produced a wrong schedule on {topology}"
+        );
+        schedule
+            .validate_on(&graph)
+            .unwrap_or_else(|e| panic!("{router_label} infeasible on {topology}: {e:?}"));
+        let oracle = topology.oracle(&graph);
+        depths.push(schedule.depth() as f64);
+        sizes.push(schedule.size() as f64);
+        lbs.push(qroute_perm::metrics::depth_lower_bound_oracle(&oracle, &pi) as f64);
+        if timing {
+            times.push(elapsed_ms);
+        }
+    }
+    DefectBenchCell {
+        topology: kind.to_string(),
+        router: router_label.to_string(),
+        side,
+        qubits: topology.len(),
+        depth: SampleSummary::from_samples(&depths),
+        size: SampleSummary::from_samples(&sizes),
+        lower_bound: SampleSummary::from_samples(&lbs),
+        time_ms: SampleSummary::from_samples(&times),
+    }
+}
+
 /// The worker-count axis of the service throughput matrix. Outcome
 /// metrics are worker-count invariant by the engine's determinism
 /// guarantee; only `jobs_per_sec` varies.
@@ -364,6 +517,9 @@ pub struct BenchReport {
     pub cells: Vec<BenchCell>,
     /// The circuit cell matrix, sorted by (router, class, side).
     pub circuit_cells: Vec<CircuitBenchCell>,
+    /// The non-grid topology matrix, sorted by (topology, router, side).
+    /// Gated like the permutation matrix (mean depth, 5% tolerance).
+    pub defect_cells: Vec<DefectBenchCell>,
     /// The service throughput matrix, sorted by (side, workers).
     /// Informational (not gated): hit counts are pinned by the service
     /// test suites, and throughput is machine-dependent.
@@ -544,19 +700,39 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
             measure_circuit_cell(side, class, &router, circuit_seeds, timing)
         };
 
-    let (mut cells, mut circuit_cells): (Vec<BenchCell>, Vec<CircuitBenchCell>) = if timing {
+    let defect_seeds = config.defect_seeds;
+    let mut defect_jobs: Vec<(usize, &'static str, &'static str)> = Vec::new();
+    for &side in &config.defect_sides {
+        for kind in DEFECT_TOPOLOGY_AXIS {
+            for router in DEFECT_ROUTER_AXIS {
+                defect_jobs.push((side, kind, router));
+            }
+        }
+    }
+    let measure_defect = |(side, kind, router): (usize, &str, &str)| -> DefectBenchCell {
+        measure_defect_cell(side, kind, router, defect_seeds, timing)
+    };
+
+    let (mut cells, mut circuit_cells, mut defect_cells): (
+        Vec<BenchCell>,
+        Vec<CircuitBenchCell>,
+        Vec<DefectBenchCell>,
+    ) = if timing {
         (
             jobs.into_iter().map(measure).collect(),
             circuit_jobs.into_iter().map(measure_circuit).collect(),
+            defect_jobs.into_iter().map(measure_defect).collect(),
         )
     } else {
         (
             jobs.into_par_iter().map(measure).collect(),
             circuit_jobs.into_par_iter().map(measure_circuit).collect(),
+            defect_jobs.into_par_iter().map(measure_defect).collect(),
         )
     };
     canonical_key_order(&mut cells, BenchCell::key);
     canonical_key_order(&mut circuit_cells, CircuitBenchCell::key);
+    canonical_key_order(&mut defect_cells, DefectBenchCell::key);
     // Service cells always run serially: each cell owns a worker pool,
     // and timed throughput must not fight rayon for cores.
     let mut service_cells = Vec::new();
@@ -577,6 +753,7 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
         config: config.clone(),
         cells,
         circuit_cells,
+        defect_cells,
         service_cells,
     }
 }
@@ -701,6 +878,23 @@ impl BenchReport {
                 time_ms: summary_field(c, "time_ms")?,
             });
         }
+        let defect_cells_v = doc
+            .get("defect_cells")
+            .and_then(|v| v.as_array())
+            .ok_or("missing defect_cells array")?;
+        let mut defect_cells = Vec::with_capacity(defect_cells_v.len());
+        for c in defect_cells_v {
+            defect_cells.push(DefectBenchCell {
+                topology: str_field(c, "topology")?,
+                router: str_field(c, "router")?,
+                side: uint_field(c, "side")?,
+                qubits: uint_field(c, "qubits")?,
+                depth: summary_field(c, "depth")?,
+                size: summary_field(c, "size")?,
+                lower_bound: summary_field(c, "lower_bound")?,
+                time_ms: summary_field(c, "time_ms")?,
+            });
+        }
         let service_cells_v = doc
             .get("service_cells")
             .and_then(|v| v.as_array())
@@ -743,9 +937,15 @@ impl BenchReport {
                     .get("service_seeds")
                     .and_then(|v| v.as_u64())
                     .ok_or("missing config.service_seeds")?,
+                defect_sides: side_list(config_v, "defect_sides")?,
+                defect_seeds: config_v
+                    .get("defect_seeds")
+                    .and_then(|v| v.as_u64())
+                    .ok_or("missing config.defect_seeds")?,
             },
             cells,
             circuit_cells,
+            defect_cells,
             service_cells,
         })
     }
@@ -927,6 +1127,48 @@ pub fn check_against_baseline(current: &BenchReport, baseline: &BenchReport) -> 
             });
         }
     }
+    for base in &baseline.defect_cells {
+        let Some(cur) = current.defect_cells.iter().find(|c| c.key() == base.key()) else {
+            missing.push(format!(
+                "defect:{}/{}/side{}",
+                base.topology, base.router, base.side
+            ));
+            continue;
+        };
+        if cur.depth.n != base.depth.n {
+            seed_mismatches.push(format!(
+                "defect:{}/{}/side{}: {} seeds vs baseline {}",
+                base.topology, base.router, base.side, cur.depth.n, base.depth.n
+            ));
+            continue;
+        }
+        let depth_delta = cur.depth.mean_delta(&base.depth);
+        deltas.push(CellDelta {
+            router: base.router.clone(),
+            class: base.topology.clone(),
+            side: base.side,
+            metric: "depth".to_string(),
+            baseline_mean: base.depth.mean,
+            current_mean: cur.depth.mean,
+            delta: depth_delta,
+            tolerance: DEFECT_DEPTH_TOLERANCE,
+            regressed: depth_delta > DEFECT_DEPTH_TOLERANCE,
+        });
+        if base.time_ms.n > 0 && cur.time_ms.n > 0 {
+            let time_delta = cur.time_ms.mean_delta(&base.time_ms);
+            deltas.push(CellDelta {
+                router: base.router.clone(),
+                class: base.topology.clone(),
+                side: base.side,
+                metric: "time_ms".to_string(),
+                baseline_mean: base.time_ms.mean,
+                current_mean: cur.time_ms.mean,
+                delta: time_delta,
+                tolerance: TIME_TOLERANCE,
+                regressed: time_delta > TIME_TOLERANCE,
+            });
+        }
+    }
     let mut new_in_current: Vec<String> = current
         .cells
         .iter()
@@ -946,6 +1188,13 @@ pub fn check_against_baseline(current: &BenchReport, baseline: &BenchReport) -> 
                     side = c.side
                 )
             }),
+    );
+    new_in_current.extend(
+        current
+            .defect_cells
+            .iter()
+            .filter(|c| !baseline.defect_cells.iter().any(|b| b.key() == c.key()))
+            .map(|c| format!("defect:{}/{}/side{}", c.topology, c.router, c.side)),
     );
     CheckOutcome { deltas, missing_in_current: missing, new_in_current, seed_mismatches }
 }
@@ -993,6 +1242,8 @@ mod tests {
             circuit_seeds: 1,
             service_sides: vec![4],
             service_seeds: 1,
+            defect_sides: vec![5],
+            defect_seeds: 1,
         }
     }
 
@@ -1005,6 +1256,10 @@ mod tests {
         assert_eq!(
             report.circuit_cells.len(),
             circuit_routers().len() * CircuitClass::all_classes().len()
+        );
+        assert_eq!(
+            report.defect_cells.len(),
+            DEFECT_TOPOLOGY_AXIS.len() * DEFECT_ROUTER_AXIS.len()
         );
         assert_eq!(report.schema_version, SCHEMA_VERSION);
         // Canonical order: sorted by (router, class, side), both matrices.
@@ -1125,10 +1380,11 @@ mod tests {
         assert!(outcome.missing_in_current.is_empty());
         assert!(outcome.new_in_current.is_empty());
         // One depth comparison per permutation cell, two gated metrics
-        // per circuit cell; no timing comparisons.
+        // per circuit cell, one depth comparison per defect cell; no
+        // timing comparisons.
         assert_eq!(
             outcome.deltas.len(),
-            report.cells.len() + 2 * report.circuit_cells.len()
+            report.cells.len() + 2 * report.circuit_cells.len() + report.defect_cells.len()
         );
     }
 
@@ -1214,15 +1470,78 @@ mod tests {
     #[test]
     fn differing_seed_counts_fail_instead_of_comparing_means() {
         let current = run_bench(&tiny_config());
-        let more_seeds = run_bench(&BenchConfig { seeds: 3, circuit_seeds: 2, ..tiny_config() });
+        let more_seeds = run_bench(&BenchConfig {
+            seeds: 3,
+            circuit_seeds: 2,
+            defect_seeds: 2,
+            ..tiny_config()
+        });
         let outcome = check_against_baseline(&more_seeds, &current);
         assert!(!outcome.passed());
         assert_eq!(
             outcome.seed_mismatches.len(),
-            current.cells.len() + current.circuit_cells.len()
+            current.cells.len() + current.circuit_cells.len() + current.defect_cells.len()
         );
         // No means were diffed for mismatched cells.
         assert!(outcome.deltas.is_empty());
+    }
+
+    #[test]
+    fn defect_cells_measure_real_routes() {
+        for kind in DEFECT_TOPOLOGY_AXIS {
+            for router in DEFECT_ROUTER_AXIS {
+                let cell = measure_defect_cell(5, kind, router, 2, false);
+                assert_eq!(cell.topology, kind);
+                assert_eq!(cell.router, router);
+                assert_eq!(cell.qubits, defect_topology(kind, 5).len());
+                assert_eq!(cell.depth.n, 2);
+                assert!(
+                    cell.depth.mean >= cell.lower_bound.mean,
+                    "{kind}/{router}: {cell:?}"
+                );
+                assert!(cell.size.mean > 0.0, "random workloads must move tokens");
+                assert_eq!(cell.time_ms.n, 0, "untimed cell records no samples");
+            }
+        }
+    }
+
+    #[test]
+    fn injected_defect_regression_fails_the_check() {
+        let current = run_bench(&tiny_config());
+        let mut baseline = current.clone();
+        baseline.defect_cells[0].depth.mean /= 1.2;
+        let outcome = check_against_baseline(&current, &baseline);
+        assert!(!outcome.passed());
+        let regs = outcome.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "depth");
+        assert_eq!(regs[0].class, current.defect_cells[0].topology);
+    }
+
+    #[test]
+    fn missing_defect_cell_fails_the_check() {
+        let full = run_bench(&tiny_config());
+        let mut truncated = full.clone();
+        truncated.defect_cells.pop();
+        let outcome = check_against_baseline(&truncated, &full);
+        assert!(!outcome.passed());
+        assert!(outcome.missing_in_current[0].starts_with("defect:"));
+        let outcome = check_against_baseline(&full, &truncated);
+        assert!(outcome.passed());
+        assert_eq!(outcome.new_in_current.len(), 1);
+    }
+
+    #[test]
+    fn defect_patterns_stay_connected_and_interior() {
+        for side in [4, 5, 8, 16] {
+            let pattern = defect_pattern(side);
+            assert!(!pattern.is_empty(), "side {side}");
+            let topology = defect_topology("defect", side);
+            topology
+                .validate_routable()
+                .unwrap_or_else(|e| panic!("side {side}: {e}"));
+            assert_eq!(topology.dead_vertices(), &pattern[..]);
+        }
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //!       [--quick] [--no-time] [--baseline BENCH.json] [--check]
 //! repro batch --input jobs.jsonl [--output results.jsonl]
 //!       [--workers N] [--cache-capacity K] [--time]
+//! repro topo --kind <grid|defect|heavy-hex|brick|torus>
+//!       [--rows R] [--cols C] [--defects 6,12] [--dot]
 //! ```
 //!
 //! Markdown tables print to stdout; CSV/JSON/SVG files land in `--out`
@@ -14,14 +16,16 @@
 //! with `--baseline <file> --check`, exits 1 when a gated metric
 //! regressed past tolerance. The `batch` subcommand routes a JSONL job
 //! stream through the `qroute_service` engine with deterministic,
-//! input-ordered output. Run `repro --help` for the authoritative usage
-//! (the `USAGE` string below).
+//! input-ordered output. The `topo` subcommand materializes a coupling
+//! topology and prints a summary or Graphviz DOT. Run `repro --help`
+//! for the authoritative usage (the `USAGE` string below).
 
 use qroute_bench::bench::{self, BenchConfig, BenchReport};
 use qroute_bench::experiments;
 use qroute_bench::plot::{cells_to_chart, Scale};
 use qroute_bench::report;
 use qroute_service::{Engine, EngineConfig, RouteJob};
+use qroute_topology::{gridlike, Grid, Topology};
 use std::path::PathBuf;
 
 struct Args {
@@ -39,6 +43,11 @@ struct Args {
     workers: Option<usize>,
     cache_capacity: Option<usize>,
     time: bool,
+    kind: Option<String>,
+    rows: Option<usize>,
+    cols: Option<usize>,
+    defects: Option<Vec<usize>>,
+    dot: bool,
 }
 
 const USAGE: &str = "\
@@ -52,14 +61,17 @@ USAGE:
           [--baseline BENCH.json] [--check]
     repro batch --input jobs.jsonl [--output results.jsonl]
           [--workers N] [--cache-capacity K] [--time]
+    repro topo --kind <grid|defect|heavy-hex|brick|torus>
+          [--rows R] [--cols C] [--defects 6,12] [--dot]
 
 Markdown tables print to stdout; CSV/JSON/SVG files land in --out
 (default results/).
 
-bench writes the machine-readable BENCH.json (schema v3: env metadata +
+bench writes the machine-readable BENCH.json (schema v4: env metadata +
 per router×class×side permutation cells with depth/size/lower-bound/time
 percentiles over seeds, circuit cells with swap/routing-depth/
-invocation/time percentiles over verified transpiles, and service cells
+invocation/time percentiles over verified transpiles, defect cells
+routing non-grid topologies per topology×router×side, and service cells
 with jobs/sec + cache hit rate per side×workers) to --out.
 Bench-only flags:
     --quick           CI gate config: 2 seeds, timing off (deterministic)
@@ -82,7 +94,16 @@ Batch-only flags:
     --output F        results file (default: stdout)
     --workers N       engine worker threads (default 4)
     --cache-capacity K  canonical-cache entries (default 1024, 0 = off)
-    --time            record per-job routing time (non-deterministic)";
+    --time            record per-job routing time (non-deterministic)
+
+topo materializes one coupling topology and prints a one-line summary
+(vertex/edge counts), or its Graphviz DOT with --dot.
+Topo-only flags:
+    --kind K          grid | defect | heavy-hex | brick | torus (required)
+    --rows R          row count (default 4)
+    --cols C          column count (default 4)
+    --defects LIST    comma-separated dead vertex ids (defect kind only)
+    --dot             emit Graphviz DOT on stdout instead of the summary";
 
 fn usage_error(msg: String) -> ! {
     eprintln!("error: {msg}\n\n{USAGE}");
@@ -104,6 +125,11 @@ fn parse_args() -> Args {
     let mut workers: Option<usize> = None;
     let mut cache_capacity: Option<usize> = None;
     let mut time = false;
+    let mut kind: Option<String> = None;
+    let mut rows: Option<usize> = None;
+    let mut cols: Option<usize> = None;
+    let mut defects: Option<Vec<usize>> = None;
+    let mut dot = false;
     let mut out_set = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let flag_value = |i: &mut usize, flag: &str| -> String {
@@ -180,6 +206,42 @@ fn parse_args() -> Args {
                 }));
             }
             "--time" => time = true,
+            "--kind" => kind = Some(flag_value(&mut i, "--kind")),
+            "--rows" => {
+                let v = flag_value(&mut i, "--rows");
+                rows = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&r: &usize| r >= 1)
+                        .unwrap_or_else(|| {
+                            usage_error(format!("--rows wants a positive integer, got {v:?}"))
+                        }),
+                );
+            }
+            "--cols" => {
+                let v = flag_value(&mut i, "--cols");
+                cols = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&c: &usize| c >= 1)
+                        .unwrap_or_else(|| {
+                            usage_error(format!("--cols wants a positive integer, got {v:?}"))
+                        }),
+                );
+            }
+            "--defects" => {
+                defects = Some(
+                    flag_value(&mut i, "--defects")
+                        .split(',')
+                        .map(|s| {
+                            s.trim().parse().unwrap_or_else(|_| {
+                                usage_error(format!("--defects wants integers, got {s:?}"))
+                            })
+                        })
+                        .collect(),
+                );
+            }
+            "--dot" => dot = true,
             c if !c.starts_with('-') => match &command {
                 None => command = Some(c.to_string()),
                 Some(first) => usage_error(format!(
@@ -231,6 +293,21 @@ fn parse_args() -> Args {
             usage_error("batch requires --input <jobs.jsonl>".to_string());
         }
     }
+    if command != "topo" {
+        for (given, flag) in [
+            (kind.is_some(), "--kind"),
+            (rows.is_some(), "--rows"),
+            (cols.is_some(), "--cols"),
+            (defects.is_some(), "--defects"),
+            (dot, "--dot"),
+        ] {
+            if given {
+                usage_error(format!("{flag} only applies to the topo command"));
+            }
+        }
+    } else if kind.is_none() {
+        usage_error("topo requires --kind <grid|defect|heavy-hex|brick|torus>".to_string());
+    }
     if check && baseline.is_none() {
         usage_error("--check requires --baseline".to_string());
     }
@@ -249,6 +326,11 @@ fn parse_args() -> Args {
         workers,
         cache_capacity,
         time,
+        kind,
+        rows,
+        cols,
+        defects,
+        dot,
     }
 }
 
@@ -278,6 +360,7 @@ impl Args {
         if let Some(sides) = &self.sides {
             config.sides = sides.clone();
             config.circuit_sides = sides.clone();
+            config.defect_sides = sides.clone();
         }
         if let Some(circuit_sides) = &self.circuit_sides {
             config.circuit_sides = circuit_sides.clone();
@@ -285,6 +368,7 @@ impl Args {
         if let Some(seeds) = self.seeds {
             config.seeds = seeds;
             config.circuit_seeds = seeds;
+            config.defect_seeds = seeds;
         }
         if self.no_time {
             config.timing = false;
@@ -411,7 +495,8 @@ fn run_bench_cmd(args: &Args) {
     });
     eprintln!(
         "== Benchmark matrix: {} routers × {} permutation classes × sides {:?}, {} seeds; \
-         {} routers × {} circuit classes × sides {:?}, {} seeds; timing {} ==",
+         {} routers × {} circuit classes × sides {:?}, {} seeds; \
+         {} topologies × {} routers × sides {:?}, {} seeds; timing {} ==",
         bench::bench_routers().len(),
         qroute_bench::workloads::WorkloadClass::all_classes().len(),
         config.sides,
@@ -420,6 +505,10 @@ fn run_bench_cmd(args: &Args) {
         qroute_bench::circuits::CircuitClass::all_classes().len(),
         config.circuit_sides,
         config.circuit_seeds,
+        bench::DEFECT_TOPOLOGY_AXIS.len(),
+        bench::DEFECT_ROUTER_AXIS.len(),
+        config.defect_sides,
+        config.defect_seeds,
         if config.timing { "on" } else { "off" },
     );
     let current = bench::run_bench(&config);
@@ -430,10 +519,11 @@ fn run_bench_cmd(args: &Args) {
         .filter(|c| c.statevector_checked)
         .count();
     eprintln!(
-        "{} permutation cells + {} circuit cells measured (schema v{}); every transpile \
-         verified, {statevector_cells} circuit cells statevector-checked",
+        "{} permutation cells + {} circuit cells + {} defect cells measured (schema v{}); \
+         every transpile verified, {statevector_cells} circuit cells statevector-checked",
         current.cells.len(),
         current.circuit_cells.len(),
+        current.defect_cells.len(),
         current.schema_version
     );
 
@@ -552,6 +642,48 @@ fn run_batch_cmd(args: &Args) {
     }
 }
 
+/// Materialize the topology `--kind` describes and print either its
+/// Graphviz DOT (`--dot`) or a one-line summary. Exit 2 on parameters
+/// the topology constructors reject (out-of-range defects, too-small
+/// torus factors, ...).
+fn run_topo_cmd(args: &Args) {
+    let kind = args.kind.as_deref().expect("parse_args enforced --kind");
+    let rows = args.rows.unwrap_or(4);
+    let cols = args.cols.unwrap_or(4);
+    let defects = args.defects.clone().unwrap_or_default();
+    if !defects.is_empty() && kind != "defect" {
+        usage_error(format!(
+            "--defects only applies to --kind defect, not {kind:?}"
+        ));
+    }
+    let topology = match kind {
+        "grid" => Topology::grid(rows, cols),
+        "defect" => Topology::grid_with_defects(Grid::new(rows, cols), &defects, &[])
+            .unwrap_or_else(|e| usage_error(format!("invalid defect pattern: {e}"))),
+        "heavy-hex" => Topology::heavy_hex(rows, cols),
+        "brick" => Topology::brick_wall(rows, cols),
+        "torus" => Topology::torus(rows, cols)
+            .unwrap_or_else(|e| usage_error(format!("invalid torus: {e}"))),
+        other => usage_error(format!(
+            "unknown topology kind {other:?}; expected grid|defect|heavy-hex|brick|torus"
+        )),
+    };
+    let graph = topology.graph();
+    if args.dot {
+        // DOT identifiers cannot contain '-'.
+        print!("{}", gridlike::to_dot(&graph, &kind.replace('-', "_")));
+    } else {
+        let alive = (0..topology.len())
+            .filter(|&v| topology.is_alive(v))
+            .count();
+        println!(
+            "{topology}: {} vertices ({alive} alive), {} edges",
+            graph.len(),
+            graph.num_edges(),
+        );
+    }
+}
+
 fn main() {
     let args = parse_args();
     match args.command.as_str() {
@@ -564,6 +696,7 @@ fn main() {
         "transpile" => run_transpile(&args),
         "bench" => run_bench_cmd(&args),
         "batch" => run_batch_cmd(&args),
+        "topo" => run_topo_cmd(&args),
         "all" => {
             run_fig4(&args);
             run_fig5(&args);
@@ -574,7 +707,7 @@ fn main() {
             run_transpile(&args);
         }
         other => usage_error(format!(
-            "unknown command {other:?}; expected fig4|fig5|hybrid|skinny|ablations|optgap|transpile|bench|batch|all"
+            "unknown command {other:?}; expected fig4|fig5|hybrid|skinny|ablations|optgap|transpile|bench|batch|topo|all"
         )),
     }
 }

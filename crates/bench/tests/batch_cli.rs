@@ -20,12 +20,16 @@ fn tmp_dir(name: &str) -> PathBuf {
     dir
 }
 
-fn example_jobs() -> String {
-    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/jobs.jsonl");
+fn example_file(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("../../examples/{name}"));
     path.canonicalize()
         .expect("committed example jobs file exists")
         .display()
         .to_string()
+}
+
+fn example_jobs() -> String {
+    example_file("jobs.jsonl")
 }
 
 #[test]
@@ -101,6 +105,49 @@ fn batch_reports_cache_hits_on_the_example_file() {
         );
     }
     assert!(stdout.contains("\"cache\":\"hit\""));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn defect_example_batch_is_deterministic_and_hits_the_cache() {
+    // The committed mixed batch: old-schema square jobs, defective grids
+    // (duplicates and a reflected pattern pair sharing one canonical
+    // entry), heavy-hex/brick/torus jobs. Bytes must not depend on the
+    // worker count, and the symmetric defect jobs must hit the cache.
+    let dir = tmp_dir("defects");
+    let jobs = example_file("jobs_defects.jsonl");
+    let mut outputs = Vec::new();
+    for (name, workers) in [("w1", "1"), ("w8", "8")] {
+        let out = repro(
+            &[
+                "batch",
+                "--input",
+                &jobs,
+                "--output",
+                name,
+                "--workers",
+                workers,
+            ],
+            &dir,
+        );
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        let hits: u64 = stderr
+            .split("hits=")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("no hits= in summary:\n{stderr}"));
+        assert!(hits > 0, "symmetric defect jobs must hit:\n{stderr}");
+        assert!(stderr.contains("errors=0"), "{stderr}");
+        outputs.push(std::fs::read(dir.join(name)).expect("results file"));
+    }
+    assert!(!outputs[0].is_empty());
+    assert_eq!(outputs[0], outputs[1], "worker count must not change bytes");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -1,0 +1,81 @@
+//! End-to-end tests of `repro topo`: topology materialization, the
+//! pinned Graphviz DOT output, and flag validation.
+
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+#[test]
+fn brick_2x2_dot_output_is_pinned() {
+    let out = repro(&[
+        "topo", "--kind", "brick", "--rows", "2", "--cols", "2", "--dot",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        "graph brick {\n  0;\n  1;\n  2;\n  3;\n  0 -- 1;\n  0 -- 2;\n  2 -- 3;\n}\n"
+    );
+}
+
+#[test]
+fn summary_counts_alive_vertices_and_edges() {
+    let out = repro(&["topo", "--kind", "defect", "--defects", "5"]);
+    assert!(out.status.success());
+    // 4x4 default frame, one dead vertex, its 4 incident edges removed.
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        "defect(4x4, 1 dead vertices, 0 dead edges): 16 vertices (15 alive), 20 edges\n"
+    );
+}
+
+#[test]
+fn heavy_hex_dot_name_is_a_valid_identifier() {
+    let out = repro(&[
+        "topo",
+        "--kind",
+        "heavy-hex",
+        "--rows",
+        "2",
+        "--cols",
+        "5",
+        "--dot",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("graph heavy_hex {\n"), "{stdout}");
+    assert!(stdout.ends_with("}\n"));
+}
+
+#[test]
+fn invalid_parameters_exit_2() {
+    for args in [
+        &["topo"][..],                                        // missing --kind
+        &["topo", "--kind", "moebius"][..],                   // unknown kind
+        &["topo", "--kind", "grid", "--defects", "1"][..],    // defects on non-defect
+        &["topo", "--kind", "defect", "--defects", "99"][..], // out of range
+        &["topo", "--kind", "torus", "--rows", "2"][..],      // torus factor < 3
+        &["fig4", "--dot"][..],                               // topo-only flag elsewhere
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?} should exit 2");
+    }
+}
+
+#[test]
+fn help_documents_the_topo_subcommand() {
+    let out = repro(&["--help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["topo", "--kind", "--defects", "--dot", "heavy-hex"] {
+        assert!(stdout.contains(needle), "help missing {needle}:\n{stdout}");
+    }
+}

@@ -48,6 +48,6 @@ pub mod stats;
 pub mod token_swap;
 
 pub use local_grid::{AssignmentStrategy, LocalRouteOptions, WindowMode};
-pub use router::{GridRouter, RouterKind};
+pub use router::{GridRouter, RouterKind, UnsupportedTopology};
 pub use schedule::{RoutingSchedule, ScheduleError, SwapLayer};
 pub use stats::{route_timed, schedule_stats, SampleSummary, ScheduleStats, TimedRoute};

@@ -10,17 +10,57 @@ use crate::grid_route::{naive_grid_route, NaiveOptions};
 use crate::local_grid::{main_procedure, LocalRouteOptions};
 use crate::schedule::RoutingSchedule;
 use crate::token_swap::{
-    approximate_token_swapping_with, ats_route_grid, serial_schedule, tree_route,
+    approximate_token_swapping_with, ats_route_grid, parallel_token_swapping_with, serial_schedule,
+    tree_route,
 };
 use qroute_perm::Permutation;
-use qroute_topology::{Grid, GridOracle};
+use qroute_topology::{Grid, GridOracle, Topology};
 
-/// An object-safe router interface for grid instances.
+/// A router was asked to route a topology it does not support. The
+/// matching-based routers (locality-aware, naive-grid, hybrid) and the
+/// serpentine baseline are defined in grid coordinates and require a full
+/// grid; the token-swapping routers accept any connected topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsupportedTopology {
+    /// The router's stable label.
+    pub router: &'static str,
+    /// Human-readable description of the rejected topology.
+    pub topology: String,
+}
+
+impl std::fmt::Display for UnsupportedTopology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "router {} supports only full grids, not {} (topology-generic routers: ats, ats-serial, tree)",
+            self.router, self.topology
+        )
+    }
+}
+
+impl std::error::Error for UnsupportedTopology {}
+
+/// An object-safe router interface over [`Topology`] instances.
 pub trait GridRouter {
     /// Short stable identifier (used in benchmark tables).
     fn name(&self) -> &'static str;
-    /// Produce a schedule realizing `π` on `grid`.
-    fn route(&self, grid: Grid, pi: &Permutation) -> RoutingSchedule;
+
+    /// Produce a schedule realizing `π` on `topology`, or a typed
+    /// [`UnsupportedTopology`] error when this router is grid-only and
+    /// the topology is not a full grid.
+    fn route_on(
+        &self,
+        topology: &Topology,
+        pi: &Permutation,
+    ) -> Result<RoutingSchedule, UnsupportedTopology>;
+
+    /// Produce a schedule realizing `π` on a full `grid` — the
+    /// historical entry point; every router supports full grids, so this
+    /// cannot fail.
+    fn route(&self, grid: Grid, pi: &Permutation) -> RoutingSchedule {
+        self.route_on(&Topology::Grid(grid), pi)
+            .expect("every router supports full grids")
+    }
 }
 
 /// The routers evaluated in the paper (and our extra baselines), as a
@@ -89,6 +129,20 @@ impl RouterKind {
         ]
     }
 
+    /// Whether this kind can route the given topology: every kind
+    /// handles full grids; only the token-swapping kinds (`ats`,
+    /// `ats-serial`, `tree`) handle defective grids, heavy-hex, brick
+    /// walls and tori. The routing service checks this at submit time so
+    /// unsupported combinations become typed per-job errors instead of
+    /// worker panics.
+    pub fn supports(&self, topology: &Topology) -> bool {
+        topology.as_grid().is_some()
+            || matches!(
+                self,
+                RouterKind::Ats | RouterKind::AtsSerial | RouterKind::Tree
+            )
+    }
+
     /// The stable string label of this kind — the single source of truth
     /// for every router↔label mapping in the workspace (benchmark cells,
     /// JSONL service jobs, report tables). [`GridRouter::name`] delegates
@@ -130,31 +184,83 @@ impl GridRouter for RouterKind {
         self.label()
     }
 
-    fn route(&self, grid: Grid, pi: &Permutation) -> RoutingSchedule {
-        match self {
-            RouterKind::LocalityAware(opts) => main_procedure(grid, pi, opts),
-            RouterKind::NaiveGrid(opts) => naive_grid_route(grid, pi, opts),
-            RouterKind::Hybrid(lo, no) => {
-                let local = main_procedure(grid, pi, lo);
-                let naive = naive_grid_route(grid, pi, no);
-                if naive.depth() < local.depth() {
-                    naive
-                } else {
-                    local
+    fn route_on(
+        &self,
+        topology: &Topology,
+        pi: &Permutation,
+    ) -> Result<RoutingSchedule, UnsupportedTopology> {
+        if let Some(grid) = topology.as_grid() {
+            return Ok(match self {
+                RouterKind::LocalityAware(opts) => main_procedure(grid, pi, opts),
+                RouterKind::NaiveGrid(opts) => naive_grid_route(grid, pi, opts),
+                RouterKind::Hybrid(lo, no) => {
+                    let local = main_procedure(grid, pi, lo);
+                    let naive = naive_grid_route(grid, pi, no);
+                    if naive.depth() < local.depth() {
+                        naive
+                    } else {
+                        local
+                    }
                 }
+                RouterKind::Ats => ats_route_grid(grid, pi),
+                RouterKind::AtsSerial => {
+                    let graph = grid.to_graph();
+                    approximate_token_swapping_with(&graph, &GridOracle::new(grid), pi)
+                        .parallelized(grid.len())
+                }
+                RouterKind::Tree => {
+                    let graph = grid.to_graph();
+                    serial_schedule(&tree_route(&graph, pi)).compact(grid.len())
+                }
+                RouterKind::Snake => crate::snake::snake_route(grid, pi).compact(grid.len()),
+            });
+        }
+        if !self.supports(topology) {
+            return Err(UnsupportedTopology {
+                router: self.label(),
+                topology: topology.to_string(),
+            });
+        }
+        // Token-swapping path on an arbitrary topology. Route on the
+        // compacted frame (dead vertices removed) so the spanning-tree
+        // machinery inside ATS and the tree router never sees isolated
+        // dead vertices, then relabel the schedule back to topology ids.
+        let n = topology.len();
+        assert_eq!(pi.len(), n, "permutation size must match the topology");
+        if let Err(reason) = topology.permutation_fits(pi.as_slice()) {
+            panic!("cannot route on {topology}: {reason}");
+        }
+        let frame = topology.routing_frame();
+        let frame_pi = match &frame.to_topology {
+            None => pi.clone(),
+            Some(to_topology) => {
+                // Invert the frame map and restrict π to alive vertices
+                // (dead vertices are fixed points, checked above).
+                let mut frame_id = vec![usize::MAX; n];
+                for (f, &t) in to_topology.iter().enumerate() {
+                    frame_id[t] = f;
+                }
+                Permutation::from_vec_unchecked(
+                    to_topology.iter().map(|&t| frame_id[pi.apply(t)]).collect(),
+                )
             }
-            RouterKind::Ats => ats_route_grid(grid, pi),
+        };
+        let oracle = topology.oracle(&frame.graph);
+        let schedule = match self {
+            RouterKind::Ats => parallel_token_swapping_with(&frame.graph, &oracle, &frame_pi),
             RouterKind::AtsSerial => {
-                let graph = grid.to_graph();
-                approximate_token_swapping_with(&graph, &GridOracle::new(grid), pi)
-                    .parallelized(grid.len())
+                approximate_token_swapping_with(&frame.graph, &oracle, &frame_pi)
+                    .parallelized(frame.graph.len())
             }
             RouterKind::Tree => {
-                let graph = grid.to_graph();
-                serial_schedule(&tree_route(&graph, pi)).compact(grid.len())
+                serial_schedule(&tree_route(&frame.graph, &frame_pi)).compact(frame.graph.len())
             }
-            RouterKind::Snake => crate::snake::snake_route(grid, pi).compact(grid.len()),
-        }
+            _ => unreachable!("supports() admitted only token-swapping kinds"),
+        };
+        Ok(match &frame.to_topology {
+            None => schedule,
+            Some(to_topology) => schedule.relabeled(|v| to_topology[v]),
+        })
     }
 }
 
@@ -246,6 +352,77 @@ mod tests {
         for router in all_routers() {
             let s = router.route(grid, &Permutation::identity(1));
             assert_eq!(s.depth(), 0, "{}", router.name());
+        }
+    }
+
+    /// π over a topology's ids that permutes alive vertices randomly and
+    /// fixes every dead one.
+    fn alive_random(topology: &Topology, seed: u64) -> Permutation {
+        let n = topology.len();
+        let alive: Vec<usize> = (0..n).filter(|&v| topology.is_alive(v)).collect();
+        let shuffle = generators::random(alive.len(), seed);
+        let mut table: Vec<usize> = (0..n).collect();
+        for (k, &v) in alive.iter().enumerate() {
+            table[v] = alive[shuffle.apply(k)];
+        }
+        Permutation::from_vec(table).unwrap()
+    }
+
+    #[test]
+    fn token_swap_routers_realize_pi_on_every_topology() {
+        let topologies = [
+            Topology::grid_with_defects(Grid::new(5, 5), &[6, 18], &[(0, 1)]).unwrap(),
+            Topology::heavy_hex(3, 9),
+            Topology::brick_wall(4, 5),
+            Topology::torus(3, 5).unwrap(),
+        ];
+        for topology in &topologies {
+            let graph = topology.graph();
+            for router in [RouterKind::Ats, RouterKind::AtsSerial, RouterKind::Tree] {
+                for seed in 0..3 {
+                    let pi = alive_random(topology, seed);
+                    let s = router.route_on(topology, &pi).unwrap();
+                    assert!(s.realizes(&pi), "{router:?} on {topology} seed {seed}");
+                    s.validate_on(&graph).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_only_routers_return_typed_errors_off_grid() {
+        let topology = Topology::heavy_hex(2, 5);
+        let pi = Permutation::identity(topology.len());
+        for router in [
+            RouterKind::locality_aware(),
+            RouterKind::naive(),
+            RouterKind::hybrid(),
+            RouterKind::Snake,
+        ] {
+            assert!(!router.supports(&topology));
+            let err = router.route_on(&topology, &pi).unwrap_err();
+            assert_eq!(err.router, router.label());
+            let msg = err.to_string();
+            assert!(msg.contains("full grids"), "{msg}");
+            assert!(msg.contains("heavy-hex"), "{msg}");
+        }
+        for router in [RouterKind::Ats, RouterKind::AtsSerial, RouterKind::Tree] {
+            assert!(router.supports(&topology));
+        }
+    }
+
+    #[test]
+    fn route_on_a_full_grid_matches_route() {
+        let grid = Grid::new(5, 4);
+        let topology = Topology::from(grid);
+        for router in all_routers() {
+            for seed in 0..2 {
+                let pi = generators::random(grid.len(), seed);
+                let via_topology = router.route_on(&topology, &pi).unwrap();
+                let via_grid = router.route(grid, &pi);
+                assert_eq!(via_topology.depth(), via_grid.depth(), "{}", router.name());
+                assert_eq!(via_topology.size(), via_grid.size(), "{}", router.name());
+            }
         }
     }
 }

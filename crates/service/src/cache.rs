@@ -3,8 +3,8 @@
 //! Real transpilation campaigns route the *same* local permutation
 //! patterns over and over, just placed at different grid positions and
 //! orientations (the blockwise locality structure the paper's Algorithm 1
-//! exploits). Naive memoization on `(grid, π)` misses all of that reuse;
-//! this module instead keys the cache on a **canonical form**:
+//! exploits). Naive memoization on `(topology, π)` misses all of that
+//! reuse; this module instead keys the cache on a **canonical form**:
 //!
 //! 1. restrict `π` to the bounding box of its support (the tokens that
 //!    actually move) — this normalizes *translation* and makes the key
@@ -12,23 +12,36 @@
 //! 2. minimize over the eight [`GridSymmetry`] elements (reflections and
 //!    transposition) — two instances that are mirror images share a key.
 //!
-//! The engine routes the canonical representative on its bounding-box
-//! grid and replays the cached [`RoutingSchedule`] back through the
+//! Defective grids canonicalize the same way, carrying the defects that
+//! fall inside the support box along through the minimization (the
+//! candidate order is `(rows, cols, dead vertices, dead edges, table)`),
+//! so defect patterns that are translations or reflections of each other
+//! share one entry — and a defect *outside* the box drops out entirely,
+//! letting defective instances share entries with pristine-grid
+//! instances whose moved region looks identical. When restricting to the
+//! box would strand a moved token (the live path leaves the box), the
+//! canonical frame falls back to the whole grid, which is always
+//! routable for validated instances. Non-grid topologies (heavy-hex,
+//! brick, torus) have no dihedral normal form here and canonicalize to
+//! themselves — duplicates still share entries.
+//!
+//! The engine routes the canonical representative on its canonical
+//! topology and replays the cached [`RoutingSchedule`] back through the
 //! inverse symmetry ([`CanonicalForm::replay`]), which preserves layer
 //! structure (identical depth and size) and maps box edges to coupling
-//! edges of the original grid. Differential tests in
+//! edges of the original topology. Differential tests in
 //! `tests/cache_differential.rs` prove the replayed schedule is feasible
 //! and realizes the original permutation for arbitrary instances.
 
 use qroute_core::RoutingSchedule;
 use qroute_perm::Permutation;
-use qroute_topology::{Grid, GridSymmetry};
+use qroute_topology::{Grid, GridSymmetry, Topology};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Identity of a canonical routing instance: the resolved router
-/// (label *and* configuration) plus the canonical bounding-box
-/// dimensions and permutation table.
+/// (label *and* configuration) plus the canonical topology and
+/// permutation table.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CanonicalKey {
     /// Resolved router discriminator. The engine uses the router's
@@ -36,25 +49,24 @@ pub struct CanonicalKey {
     /// — two differently-configured routers sharing a label (e.g. two
     /// `LocalityAware` option sets) must never share cached schedules.
     pub router: String,
-    /// Canonical box rows.
-    pub rows: usize,
-    /// Canonical box columns.
-    pub cols: usize,
-    /// Canonical permutation image table on the box.
+    /// The canonical topology (a bounding-box grid or defective grid for
+    /// grid-family instances; the instance's own topology otherwise).
+    pub topology: Topology,
+    /// Canonical permutation image table on the canonical topology.
     pub perm: Vec<usize>,
 }
 
-/// The canonical form of a `(grid, π)` instance: the representative to
-/// route, plus the vertex map to replay schedules back into the original
-/// frame.
+/// The canonical form of a `(topology, π)` instance: the representative
+/// to route, plus the vertex map to replay schedules back into the
+/// original frame.
 #[derive(Debug, Clone)]
 pub struct CanonicalForm {
-    /// The canonical bounding-box grid the representative lives on.
-    pub grid: Grid,
-    /// The canonical permutation on [`CanonicalForm::grid`].
+    /// The canonical topology the representative lives on.
+    pub topology: Topology,
+    /// The canonical permutation on [`CanonicalForm::topology`].
     pub pi: Permutation,
-    /// Canonical box vertex id → original grid vertex id (an embedding:
-    /// box edges map to grid edges).
+    /// Canonical vertex id → original vertex id (an embedding: canonical
+    /// coupling edges map to coupling edges of the original topology).
     to_original: Vec<usize>,
 }
 
@@ -64,16 +76,15 @@ impl CanonicalForm {
     pub fn key(&self, router: impl Into<String>) -> CanonicalKey {
         CanonicalKey {
             router: router.into(),
-            rows: self.grid.rows(),
-            cols: self.grid.cols(),
+            topology: self.topology.clone(),
             perm: self.pi.as_slice().to_vec(),
         }
     }
 
     /// Replay a schedule computed for the canonical representative back
     /// into the original instance's frame. Depth and size are invariant;
-    /// the result is valid on the original grid and realizes the original
-    /// permutation (extended by the identity outside the box).
+    /// the result is valid on the original topology and realizes the
+    /// original permutation (extended by the identity outside the box).
     pub fn replay(&self, schedule: &RoutingSchedule) -> RoutingSchedule {
         schedule.relabeled(|v| self.to_original[v])
     }
@@ -89,7 +100,65 @@ impl CanonicalForm {
 /// every router handles with an empty schedule.
 pub fn canonicalize(grid: Grid, pi: &Permutation) -> CanonicalForm {
     assert_eq!(grid.len(), pi.len(), "permutation does not fit the grid");
-    // Support bounding box; (0,0)..=(0,0) for the identity.
+    canonicalize_windowed(grid, pi, &[], &[], support_window(grid, pi))
+        .expect("defect-free boxes are always routable")
+}
+
+/// Compute the canonical form of `(topology, pi)` — the topology-generic
+/// entry point the engine keys its cache on.
+///
+/// * Full grids delegate to [`canonicalize`] (identical keys, so pure
+///   grid jobs hit the same entries they always did).
+/// * Defective grids canonicalize like grids but carry the dead
+///   vertices/edges inside the support box through the dihedral
+///   minimization; out-of-box defects drop out. If restricting to the
+///   box disconnects the live region (a live path between moved tokens
+///   leaves the box), the canonical frame is the whole grid instead.
+/// * Heavy-hex, brick-wall and torus topologies canonicalize to
+///   themselves (identity form): exact duplicates still share entries.
+///
+/// Expects `topology` to be a constructor-normalized value (always true
+/// for values built via [`Topology`]'s constructors) and, for defective
+/// grids, one whose live region is connected ([`Topology::validate_routable`]);
+/// the engine validates both before canonicalizing.
+pub fn canonicalize_topology(topology: &Topology, pi: &Permutation) -> CanonicalForm {
+    assert_eq!(
+        topology.len(),
+        pi.len(),
+        "permutation does not fit the topology"
+    );
+    match topology {
+        Topology::Grid(grid) => canonicalize(*grid, pi),
+        Topology::GridWithDefects { grid, dead_vertices, dead_edges } => canonicalize_windowed(
+            *grid,
+            pi,
+            dead_vertices,
+            dead_edges,
+            support_window(*grid, pi),
+        )
+        .or_else(|| {
+            // Live paths leave the support box: fall back to the full
+            // frame, which is connected for validated instances.
+            let full = (0, 0, grid.rows() - 1, grid.cols() - 1);
+            canonicalize_windowed(*grid, pi, dead_vertices, dead_edges, full)
+        })
+        .unwrap_or_else(|| CanonicalForm {
+            // Unvalidated (disconnected) instance: cache it as itself.
+            topology: topology.clone(),
+            pi: pi.clone(),
+            to_original: (0..pi.len()).collect(),
+        }),
+        _ => CanonicalForm {
+            topology: topology.clone(),
+            pi: pi.clone(),
+            to_original: (0..pi.len()).collect(),
+        },
+    }
+}
+
+/// Support bounding box of `pi` on `grid`; `(0,0)..=(0,0)` for the
+/// identity.
+fn support_window(grid: Grid, pi: &Permutation) -> (usize, usize, usize, usize) {
     let (mut r0, mut c0, mut r1, mut c1) = (usize::MAX, usize::MAX, 0, 0);
     for v in 0..pi.len() {
         if pi.apply(v) != v {
@@ -101,7 +170,32 @@ pub fn canonicalize(grid: Grid, pi: &Permutation) -> CanonicalForm {
         }
     }
     if r0 == usize::MAX {
-        (r0, c0, r1, c1) = (0, 0, 0, 0);
+        (0, 0, 0, 0)
+    } else {
+        (r0, c0, r1, c1)
+    }
+}
+
+/// Canonicalize `(grid, pi)` restricted to `window`, carrying the
+/// in-window defects through the minimization. Returns `None` when the
+/// live part of the windowed instance is not connected (so routers could
+/// not run on it); the caller then widens the window.
+fn canonicalize_windowed(
+    grid: Grid,
+    pi: &Permutation,
+    dead_vertices: &[usize],
+    dead_edges: &[(usize, usize)],
+    window: (usize, usize, usize, usize),
+) -> Option<CanonicalForm> {
+    let (r0, c0, r1, c1) = window;
+    if (0..pi.len()).all(|v| pi.apply(v) == v) {
+        // Nothing moves: every instance shares the clean 1×1 box (any
+        // defects are irrelevant to an empty schedule).
+        return Some(CanonicalForm {
+            topology: Topology::grid(1, 1),
+            pi: Permutation::identity(1),
+            to_original: vec![grid.index(r0, c0)],
+        });
     }
     let boxed = Grid::new(r1 - r0 + 1, c1 - c0 + 1);
     // π restricted to the box: the support maps onto itself, and in-box
@@ -115,25 +209,90 @@ pub fn canonicalize(grid: Grid, pi: &Permutation) -> CanonicalForm {
             table[boxed.index(i, j)] = boxed.index(ir - r0, jc - c0);
         }
     }
+    // Defects that fall inside the window, in box coordinates. Defects
+    // outside cannot touch any box edge, so they drop out — which is what
+    // lets a defective instance share an entry with a pristine one whose
+    // moved region looks identical.
+    let in_window = |v: usize| {
+        let (i, j) = grid.coords(v);
+        i >= r0 && i <= r1 && j >= c0 && j <= c1
+    };
+    let to_box = |v: usize| {
+        let (i, j) = grid.coords(v);
+        boxed.index(i - r0, j - c0)
+    };
+    let box_defects: Vec<usize> = dead_vertices
+        .iter()
+        .copied()
+        .filter(|&v| in_window(v))
+        .map(to_box)
+        .collect();
+    let box_dead_edges: Vec<(usize, usize)> = dead_edges
+        .iter()
+        .filter(|&&(u, v)| in_window(u) && in_window(v))
+        .map(|&(u, v)| {
+            let (u, v) = (to_box(u), to_box(v));
+            (u.min(v), u.max(v))
+        })
+        .collect();
+    if !box_live_part_is_routable(boxed, &table, &box_defects, &box_dead_edges) {
+        return None;
+    }
 
-    // Minimize (rows, cols, table) over the dihedral orbit.
-    let mut best: Option<(usize, usize, Vec<usize>, GridSymmetry)> = None;
+    // Minimize (rows, cols, defects, dead edges, table) over the dihedral
+    // orbit. With no defects this is the original (rows, cols, table)
+    // order — empty defect lists never break a tie differently — so pure
+    // grid instances keep their historical canonical pick.
+    type Candidate = (
+        usize,
+        usize,
+        Vec<usize>,
+        Vec<(usize, usize)>,
+        Vec<usize>,
+        GridSymmetry,
+    );
+    let mut best: Option<Candidate> = None;
     for sym in GridSymmetry::all() {
         let target = sym.target(boxed);
-        let mut cand = vec![0usize; boxed.len()];
+        let mut cand_table = vec![0usize; boxed.len()];
         for (v, &img) in table.iter().enumerate() {
-            cand[sym.apply(boxed, v)] = sym.apply(boxed, img);
+            cand_table[sym.apply(boxed, v)] = sym.apply(boxed, img);
         }
-        let candidate = (target.rows(), target.cols(), cand, sym);
+        let mut cand_defects: Vec<usize> =
+            box_defects.iter().map(|&v| sym.apply(boxed, v)).collect();
+        cand_defects.sort_unstable();
+        let mut cand_edges: Vec<(usize, usize)> = box_dead_edges
+            .iter()
+            .map(|&(u, v)| {
+                let (u, v) = (sym.apply(boxed, u), sym.apply(boxed, v));
+                (u.min(v), u.max(v))
+            })
+            .collect();
+        cand_edges.sort_unstable();
         let better = match &best {
             None => true,
-            Some((br, bc, bt, _)) => (candidate.0, candidate.1, &candidate.2) < (*br, *bc, bt),
+            Some((br, bc, bd, be, bt, _)) => {
+                (
+                    target.rows(),
+                    target.cols(),
+                    &cand_defects,
+                    &cand_edges,
+                    &cand_table,
+                ) < (*br, *bc, bd, be, bt)
+            }
         };
         if better {
-            best = Some(candidate);
+            best = Some((
+                target.rows(),
+                target.cols(),
+                cand_defects,
+                cand_edges,
+                cand_table,
+                sym,
+            ));
         }
     }
-    let (rows, cols, canonical_table, sym) = best.expect("orbit is non-empty");
+    let (rows, cols, defects, dead, canonical_table, sym) = best.expect("orbit is non-empty");
     let canonical_grid = Grid::new(rows, cols);
     let inv = sym.inverse();
     let to_original = (0..canonical_grid.len())
@@ -142,11 +301,59 @@ pub fn canonicalize(grid: Grid, pi: &Permutation) -> CanonicalForm {
             grid.index(r0 + i, c0 + j)
         })
         .collect();
-    CanonicalForm {
-        grid: canonical_grid,
+    let topology = if defects.is_empty() && dead.is_empty() {
+        Topology::Grid(canonical_grid)
+    } else {
+        Topology::grid_with_defects(canonical_grid, &defects, &dead)
+            .expect("a routable box keeps its moved tokens alive")
+    };
+    Some(CanonicalForm {
+        topology,
         pi: Permutation::from_vec_unchecked(canonical_table),
         to_original,
+    })
+}
+
+/// Whether the live part of the boxed instance is connected and every
+/// moved token (and its destination) is alive. Routers reject anything
+/// less: the routing frame of the canonical topology must be a connected
+/// graph containing all moves.
+fn box_live_part_is_routable(
+    boxed: Grid,
+    table: &[usize],
+    defects: &[usize],
+    dead_edges: &[(usize, usize)],
+) -> bool {
+    if defects.is_empty() && dead_edges.is_empty() {
+        return true;
     }
+    let n = boxed.len();
+    let mut dead = vec![false; n];
+    for &d in defects {
+        dead[d] = true;
+    }
+    if (0..n).any(|v| table[v] != v && (dead[v] || dead[table[v]])) {
+        return false;
+    }
+    // One BFS over the live subgraph: connected iff it reaches every
+    // live vertex.
+    let graph = boxed.to_graph();
+    let Some(start) = (0..n).find(|&v| !dead[v]) else {
+        return false;
+    };
+    let mut seen = vec![false; n];
+    seen[start] = true;
+    let mut queue = vec![start];
+    while let Some(u) = queue.pop() {
+        for v in graph.neighbors(u) {
+            let edge = (u.min(v), u.max(v));
+            if !dead[v] && !seen[v] && !dead_edges.contains(&edge) {
+                seen[v] = true;
+                queue.push(v);
+            }
+        }
+    }
+    (0..n).all(|v| dead[v] || seen[v])
 }
 
 /// Hit/miss/evict counters of a [`ShardedLru`], aggregated over shards.
@@ -240,8 +447,48 @@ impl<V: Clone> ShardedLru<V> {
             .router
             .bytes()
             .fold(h, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3));
-        h = eat(h, key.rows as u64);
-        h = eat(h, key.cols as u64);
+        // Full grids keep the historical `rows, cols` byte sequence so
+        // shard placement (and therefore eviction grouping) of pure grid
+        // workloads is unchanged; other variants prepend a `u64::MAX` tag
+        // no grid can produce (a row count that large cannot be a key).
+        match &key.topology {
+            Topology::Grid(grid) => {
+                h = eat(h, grid.rows() as u64);
+                h = eat(h, grid.cols() as u64);
+            }
+            Topology::GridWithDefects { grid, dead_vertices, dead_edges } => {
+                h = eat(h, u64::MAX);
+                h = eat(h, 1);
+                h = eat(h, grid.rows() as u64);
+                h = eat(h, grid.cols() as u64);
+                for &d in dead_vertices {
+                    h = eat(h, d as u64);
+                }
+                h = eat(h, u64::MAX);
+                for &(u, v) in dead_edges {
+                    h = eat(h, u as u64);
+                    h = eat(h, v as u64);
+                }
+            }
+            Topology::HeavyHex { rows, cols } => {
+                h = eat(h, u64::MAX);
+                h = eat(h, 2);
+                h = eat(h, *rows as u64);
+                h = eat(h, *cols as u64);
+            }
+            Topology::BrickWall { rows, cols } => {
+                h = eat(h, u64::MAX);
+                h = eat(h, 3);
+                h = eat(h, *rows as u64);
+                h = eat(h, *cols as u64);
+            }
+            Topology::Torus { rows, cols } => {
+                h = eat(h, u64::MAX);
+                h = eat(h, 4);
+                h = eat(h, *rows as u64);
+                h = eat(h, *cols as u64);
+            }
+        }
         for &img in &key.perm {
             h = eat(h, img as u64);
         }
@@ -302,7 +549,11 @@ mod tests {
 
     fn key(tag: usize) -> CanonicalKey {
         // Distinct degenerate keys for LRU plumbing tests.
-        CanonicalKey { router: "ats".to_string(), rows: 1, cols: tag + 1, perm: vec![0; tag + 1] }
+        CanonicalKey {
+            router: "ats".to_string(),
+            topology: Topology::grid(1, tag + 1),
+            perm: vec![0; tag + 1],
+        }
     }
 
     #[test]
@@ -360,7 +611,8 @@ mod tests {
     #[test]
     fn canonical_identity_is_the_unit_box() {
         let form = canonicalize(Grid::new(6, 6), &Permutation::identity(36));
-        assert_eq!((form.grid.rows(), form.grid.cols()), (1, 1));
+        let grid = form.topology.as_grid().expect("clean canonical grid");
+        assert_eq!((grid.rows(), grid.cols()), (1, 1));
         assert!(form.pi.is_identity());
     }
 
@@ -396,7 +648,8 @@ mod tests {
         let mut map: Vec<usize> = (0..25).collect();
         map.swap(grid.index(1, 2), grid.index(2, 2));
         let form = canonicalize(grid, &Permutation::from_vec(map).unwrap());
-        assert_eq!((form.grid.rows(), form.grid.cols()), (1, 2));
+        let boxed = form.topology.as_grid().expect("clean canonical grid");
+        assert_eq!((boxed.rows(), boxed.cols()), (1, 2));
     }
 
     #[test]
@@ -406,8 +659,9 @@ mod tests {
         for seed in 0..6 {
             let pi = generators::block_local(grid, 3, 3, seed);
             let form = canonicalize(grid, &pi);
+            let canonical_grid = form.topology.as_grid().expect("clean canonical grid");
             for router in [RouterKind::locality_aware(), RouterKind::Ats] {
-                let canonical_schedule = router.route(form.grid, &form.pi);
+                let canonical_schedule = router.route(canonical_grid, &form.pi);
                 let replayed = form.replay(&canonical_schedule);
                 assert_eq!(replayed.depth(), canonical_schedule.depth());
                 assert_eq!(replayed.size(), canonical_schedule.size());
@@ -419,5 +673,153 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Conjugate a defective-grid instance by a dihedral symmetry of its
+    /// full grid: the transformed instance is "the same physical
+    /// situation seen in a mirror" and must share a canonical key.
+    fn conjugate(
+        grid: Grid,
+        sym: GridSymmetry,
+        defects: &[usize],
+        dead_edges: &[(usize, usize)],
+        pi: &Permutation,
+    ) -> (Topology, Permutation) {
+        let mut table = vec![0usize; grid.len()];
+        for v in 0..grid.len() {
+            table[sym.apply(grid, v)] = sym.apply(grid, pi.apply(v));
+        }
+        let defects: Vec<usize> = defects.iter().map(|&v| sym.apply(grid, v)).collect();
+        let dead_edges: Vec<(usize, usize)> = dead_edges
+            .iter()
+            .map(|&(u, v)| (sym.apply(grid, u), sym.apply(grid, v)))
+            .collect();
+        let topology = Topology::grid_with_defects(sym.target(grid), &defects, &dead_edges)
+            .expect("conjugated pattern stays valid");
+        (topology, Permutation::from_vec_unchecked(table))
+    }
+
+    #[test]
+    fn defect_orbit_collides_on_one_key() {
+        // A 4-cycle around a dead center vertex, versus every dihedral
+        // transform of it and a translated copy on a bigger grid: one
+        // orbit, one key.
+        let grid = Grid::new(5, 5);
+        let mut map: Vec<usize> = (0..25).collect();
+        let ring = [
+            grid.index(1, 1),
+            grid.index(1, 3),
+            grid.index(3, 3),
+            grid.index(3, 1),
+        ];
+        for w in 0..4 {
+            map[ring[w]] = ring[(w + 1) % 4];
+        }
+        let pi = Permutation::from_vec(map).unwrap();
+        let defects = [grid.index(2, 2)];
+        let topology = Topology::grid_with_defects(grid, &defects, &[]).unwrap();
+        let reference = canonicalize_topology(&topology, &pi).key("ats");
+        assert!(
+            matches!(reference.topology, Topology::GridWithDefects { .. }),
+            "in-box defect must survive canonicalization"
+        );
+
+        for sym in GridSymmetry::all() {
+            let (topology, pi) = conjugate(grid, sym, &defects, &[], &pi);
+            assert_eq!(
+                canonicalize_topology(&topology, &pi).key("ats"),
+                reference,
+                "{sym:?}"
+            );
+        }
+
+        // Same pattern translated to the bottom-right of a 7×8 grid.
+        let big = Grid::new(7, 8);
+        let mut map: Vec<usize> = (0..big.len()).collect();
+        let ring = [
+            big.index(3, 4),
+            big.index(3, 6),
+            big.index(5, 6),
+            big.index(5, 4),
+        ];
+        for w in 0..4 {
+            map[ring[w]] = ring[(w + 1) % 4];
+        }
+        let topology = Topology::grid_with_defects(big, &[big.index(4, 5)], &[]).unwrap();
+        let key = canonicalize_topology(&topology, &Permutation::from_vec(map).unwrap()).key("ats");
+        assert_eq!(key, reference);
+    }
+
+    #[test]
+    fn defect_outside_the_box_shares_the_clean_grid_entry() {
+        // The dead corner is outside the support box, so the instance
+        // canonicalizes to the same pure-grid key as its pristine twin.
+        let grid = Grid::new(4, 4);
+        let mut map: Vec<usize> = (0..16).collect();
+        map.swap(grid.index(0, 0), grid.index(0, 1));
+        let pi = Permutation::from_vec(map).unwrap();
+        let topology = Topology::grid_with_defects(grid, &[grid.index(3, 3)], &[]).unwrap();
+        let defective = canonicalize_topology(&topology, &pi);
+        assert_eq!(defective.key("ats"), canonicalize(grid, &pi).key("ats"));
+        assert!(defective.topology.as_grid().is_some());
+    }
+
+    #[test]
+    fn identity_on_a_defective_grid_is_the_clean_unit_box() {
+        let grid = Grid::new(3, 3);
+        let topology = Topology::grid_with_defects(grid, &[0], &[]).unwrap();
+        let form = canonicalize_topology(&topology, &Permutation::identity(9));
+        let unit = form.topology.as_grid().expect("clean canonical grid");
+        assert_eq!((unit.rows(), unit.cols()), (1, 1));
+        assert!(form.pi.is_identity());
+    }
+
+    #[test]
+    fn stranded_box_falls_back_to_the_full_frame() {
+        // Swapping (1,1) ↔ (1,3) with (1,2) dead: the 1×3 support box is
+        // cut in half, so the canonical frame must widen to the full grid
+        // (where the detour around the dead vertex exists).
+        let grid = Grid::new(5, 5);
+        let mut map: Vec<usize> = (0..25).collect();
+        map.swap(grid.index(1, 1), grid.index(1, 3));
+        let pi = Permutation::from_vec(map).unwrap();
+        let topology = Topology::grid_with_defects(grid, &[grid.index(1, 2)], &[]).unwrap();
+        let form = canonicalize_topology(&topology, &pi);
+        assert_eq!(form.topology.len(), 25, "full-frame fallback");
+        let schedule = RouterKind::Ats
+            .route_on(&form.topology, &form.pi)
+            .expect("ats routes any connected topology");
+        let replayed = form.replay(&schedule);
+        replayed.validate_on(&topology.graph()).unwrap();
+        assert!(replayed.realizes(&pi));
+    }
+
+    #[test]
+    fn boxed_defective_replay_realizes_the_original() {
+        // In-box dead vertex and dead edge: route the canonical
+        // representative, replay, and check validity on the original.
+        let grid = Grid::new(6, 6);
+        let mut map: Vec<usize> = (0..36).collect();
+        let ring = [
+            grid.index(2, 2),
+            grid.index(2, 4),
+            grid.index(4, 4),
+            grid.index(4, 2),
+        ];
+        for w in 0..4 {
+            map[ring[w]] = ring[(w + 1) % 4];
+        }
+        let pi = Permutation::from_vec(map).unwrap();
+        let dead_edges = [(grid.index(2, 2), grid.index(2, 3))];
+        let topology = Topology::grid_with_defects(grid, &[grid.index(3, 3)], &dead_edges).unwrap();
+        let form = canonicalize_topology(&topology, &pi);
+        assert!(matches!(form.topology, Topology::GridWithDefects { .. }));
+        let schedule = RouterKind::Ats
+            .route_on(&form.topology, &form.pi)
+            .expect("ats routes any connected topology");
+        let replayed = form.replay(&schedule);
+        assert_eq!(replayed.depth(), schedule.depth());
+        replayed.validate_on(&topology.graph()).unwrap();
+        assert!(replayed.realizes(&pi));
     }
 }

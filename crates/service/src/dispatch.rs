@@ -11,7 +11,7 @@
 
 use qroute_core::RouterKind;
 use qroute_perm::{metrics, Permutation};
-use qroute_topology::Grid;
+use qroute_topology::{Grid, Topology};
 
 /// Cheap instance features the policy keys off.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,6 +60,18 @@ pub fn select_router(grid: Grid, pi: &Permutation) -> RouterKind {
         RouterKind::Ats
     } else {
         RouterKind::hybrid()
+    }
+}
+
+/// [`select_router`] generalized over a [`Topology`]: full grids go
+/// through the feature-based three-regime policy; every other topology
+/// falls back to approximate token swapping, the only (parallel) router
+/// that accepts arbitrary connected topologies. Deterministic per
+/// instance, like [`select_router`].
+pub fn select_router_on(topology: &Topology, pi: &Permutation) -> RouterKind {
+    match topology.as_grid() {
+        Some(grid) => select_router(grid, pi),
+        None => RouterKind::Ats,
     }
 }
 
@@ -114,6 +126,19 @@ mod tests {
             let pi = generators::random(grid.len(), seed);
             assert_eq!(select_router(grid, &pi).label(), "hybrid", "seed {seed}");
         }
+    }
+
+    #[test]
+    fn non_grid_topologies_fall_back_to_ats() {
+        let topology = Topology::heavy_hex(4, 4);
+        let pi = generators::random(topology.len(), 0);
+        assert_eq!(select_router_on(&topology, &pi).label(), "ats");
+        // A full grid goes through the regular policy.
+        let pi = generators::random(64, 0);
+        assert_eq!(
+            select_router_on(&Topology::grid(8, 8), &pi).label(),
+            select_router(Grid::new(8, 8), &pi).label()
+        );
     }
 
     #[test]

@@ -29,12 +29,12 @@
 //! flag; workers drain remaining items without routing them and exit, so
 //! dropping mid-queue cannot deadlock.
 
-use crate::cache::{canonicalize, CacheStats, CanonicalForm, ShardedLru};
-use crate::dispatch::select_router;
+use crate::cache::{canonicalize_topology, CacheStats, CanonicalForm, ShardedLru};
+use crate::dispatch::select_router_on;
 use crate::job::{CacheStatus, RouteJob, RouteOutcome};
-use qroute_core::{GridRouter, RouterKind, RoutingSchedule};
+use qroute_core::{GridRouter, RouterKind, RoutingSchedule, UnsupportedTopology};
 use qroute_perm::{metrics, Permutation};
-use qroute_topology::Grid;
+use qroute_topology::Topology;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
@@ -105,7 +105,7 @@ impl RouteSlot {
 
 /// One unit of worker work: route a canonical instance into its slot.
 struct WorkItem {
-    grid: Grid,
+    topology: Topology,
     pi: Permutation,
     router: RouterKind,
     slot: Arc<RouteSlot>,
@@ -125,8 +125,8 @@ enum Plan {
         router: &'static str,
         cache: CacheStatus,
         lower_bound: usize,
-        canonical: CanonicalForm,
-        grid: Grid,
+        canonical: Box<CanonicalForm>,
+        topology: Topology,
         pi: Permutation,
         slot: Arc<RouteSlot>,
     },
@@ -179,7 +179,7 @@ impl Engine {
                     }
                     let t0 = std::time::Instant::now();
                     let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        item.router.route(item.grid, &item.pi)
+                        item.router.route_on(&item.topology, &item.pi)
                     }));
                     let route_ms = if item.timing {
                         t0.elapsed().as_secs_f64() * 1e3
@@ -187,12 +187,16 @@ impl Engine {
                         0.0
                     };
                     item.slot.fill(match routed {
-                        Ok(schedule) => Ok(RoutedEntry { schedule: Arc::new(schedule), route_ms }),
+                        Ok(Ok(schedule)) => {
+                            Ok(RoutedEntry { schedule: Arc::new(schedule), route_ms })
+                        }
+                        // Unsupported topologies are normally rejected on
+                        // the submit thread; this arm is a backstop.
+                        Ok(Err(unsupported)) => Err(unsupported.to_string()),
                         Err(_) => Err(format!(
-                            "router {} panicked on a {}x{} canonical instance",
+                            "router {} panicked on a canonical {} instance",
                             item.router.label(),
-                            item.grid.rows(),
-                            item.grid.cols()
+                            item.topology
                         )),
                     });
                 })
@@ -217,45 +221,65 @@ impl Engine {
         self.next_id += 1;
         let plan = match job.resolve() {
             Err(e) => Plan::Error(e),
-            Ok((grid, pi)) => {
+            Ok((topology, pi)) => {
                 let router = match &job.router {
-                    crate::job::RouterSpec::Auto => select_router(grid, &pi),
+                    crate::job::RouterSpec::Auto => select_router_on(&topology, &pi),
                     crate::job::RouterSpec::Fixed(kind) => kind.clone(),
                 };
-                let lower_bound = metrics::depth_lower_bound(grid, &pi);
-                let canonical = canonicalize(grid, &pi);
-                // Key on the router's full Debug rendering, not its
-                // label: differently-configured routers with the same
-                // label must not share cached schedules.
-                let key = canonical.key(format!("{router:?}"));
-                let (cache, slot) = match self.cache.get(&key) {
-                    Some(slot) => (CacheStatus::Hit, slot),
-                    None => {
-                        let slot = Arc::new(RouteSlot::default());
-                        self.cache.insert(key, Arc::clone(&slot));
-                        let item = WorkItem {
-                            grid: canonical.grid,
-                            pi: canonical.pi.clone(),
-                            router: router.clone(),
-                            slot: Arc::clone(&slot),
-                            timing: self.config.timing,
-                        };
-                        self.sender
-                            .as_ref()
-                            .expect("engine alive while submitting")
-                            .send(item)
-                            .expect("workers outlive the engine");
-                        (CacheStatus::Miss, slot)
+                if !router.supports(&topology) {
+                    // Reject before touching the cache: an unsupported
+                    // pairing must neither pollute the key space nor
+                    // reach a worker.
+                    Plan::Error(
+                        UnsupportedTopology {
+                            router: router.label(),
+                            topology: topology.to_string(),
+                        }
+                        .to_string(),
+                    )
+                } else {
+                    let lower_bound = match topology.as_grid() {
+                        Some(grid) => metrics::depth_lower_bound(grid, &pi),
+                        None => {
+                            let graph = topology.graph();
+                            let oracle = topology.oracle(&graph);
+                            metrics::depth_lower_bound_oracle(&oracle, &pi)
+                        }
+                    };
+                    let canonical = canonicalize_topology(&topology, &pi);
+                    // Key on the router's full Debug rendering, not its
+                    // label: differently-configured routers with the same
+                    // label must not share cached schedules.
+                    let key = canonical.key(format!("{router:?}"));
+                    let (cache, slot) = match self.cache.get(&key) {
+                        Some(slot) => (CacheStatus::Hit, slot),
+                        None => {
+                            let slot = Arc::new(RouteSlot::default());
+                            self.cache.insert(key, Arc::clone(&slot));
+                            let item = WorkItem {
+                                topology: canonical.topology.clone(),
+                                pi: canonical.pi.clone(),
+                                router: router.clone(),
+                                slot: Arc::clone(&slot),
+                                timing: self.config.timing,
+                            };
+                            self.sender
+                                .as_ref()
+                                .expect("engine alive while submitting")
+                                .send(item)
+                                .expect("workers outlive the engine");
+                            (CacheStatus::Miss, slot)
+                        }
+                    };
+                    Plan::Route {
+                        router: router.label(),
+                        cache,
+                        lower_bound,
+                        canonical: Box::new(canonical),
+                        topology,
+                        pi,
+                        slot,
                     }
-                };
-                Plan::Route {
-                    router: router.label(),
-                    cache,
-                    lower_bound,
-                    canonical,
-                    grid,
-                    pi,
-                    slot,
                 }
             }
         };
@@ -285,7 +309,7 @@ impl Engine {
                 outcome: RouteOutcome::from_error(job.id, job.side, error),
                 schedule: None,
             },
-            Plan::Route { router, cache, lower_bound, canonical, grid, pi, slot } => {
+            Plan::Route { router, cache, lower_bound, canonical, topology, pi, slot } => {
                 match slot.wait() {
                     Err(e) => RouteResult {
                         outcome: RouteOutcome::from_error(job.id, job.side, e),
@@ -297,7 +321,7 @@ impl Engine {
                             schedule.realizes(&pi),
                             "replayed schedule must realize the job's permutation"
                         );
-                        debug_assert!(schedule.validate_on(&grid.to_graph()).is_ok());
+                        debug_assert!(schedule.validate_on(&topology.graph()).is_ok());
                         RouteResult {
                             outcome: RouteOutcome {
                                 id: job.id,
@@ -379,6 +403,7 @@ mod tests {
     use super::*;
     use crate::job::RouterSpec;
     use qroute_perm::generators;
+    use qroute_topology::Grid;
 
     fn tiny_engine(workers: usize, cache_capacity: usize) -> Engine {
         Engine::new(EngineConfig { workers, cache_capacity, ..EngineConfig::default() })
@@ -421,6 +446,7 @@ mod tests {
             side: 3,
             router: RouterSpec::Auto,
             perm: crate::job::PermSpec::Explicit(vec![0; 9]),
+            topology: crate::job::TopologySpec::Grid,
         });
         let a = engine.collect_next().unwrap();
         let b = engine.collect_next().unwrap();
@@ -536,5 +562,82 @@ mod tests {
         let mut untimed = tiny_engine(1, 16);
         let job = RouteJob::from_class(5, "ats", "random", 0).unwrap();
         assert!(untimed.run(vec![job])[0].time_ms.is_none());
+    }
+
+    #[test]
+    fn defective_and_heavy_hex_jobs_route_and_duplicates_hit() {
+        let defect = RouteJob::from_json_line(
+            r#"{"side": 5, "router": "ats", "class": "random", "seed": 7,
+                "topology": {"kind": "defect", "defects": [12]}}"#,
+        )
+        .unwrap();
+        let hex = RouteJob::from_json_line(
+            r#"{"side": 4, "router": "ats", "class": "random", "seed": 7,
+                "topology": {"kind": "heavy-hex"}}"#,
+        )
+        .unwrap();
+        let mut engine = tiny_engine(2, 64);
+        let out = engine.run(vec![defect.clone(), defect, hex.clone(), hex]);
+        for o in &out {
+            assert_eq!(o.error, None, "job {} must route: {:?}", o.id, o.error);
+            assert_eq!(o.router.as_deref(), Some("ats"));
+            assert!(o.depth.unwrap() >= o.lower_bound.unwrap());
+        }
+        assert_eq!(out[0].cache.as_deref(), Some("miss"));
+        assert_eq!(out[1].cache.as_deref(), Some("hit"));
+        assert_eq!(out[2].cache.as_deref(), Some("miss"));
+        assert_eq!(out[3].cache.as_deref(), Some("hit"));
+    }
+
+    #[test]
+    fn reflected_defect_patterns_share_a_cache_entry() {
+        // The same dead-center 4-cycle, and its horizontal mirror: one
+        // canonical entry, so the second job is a hit.
+        let grid = Grid::new(5, 5);
+        let ring = [
+            grid.index(1, 1),
+            grid.index(1, 3),
+            grid.index(3, 3),
+            grid.index(3, 1),
+        ];
+        let mut forward: Vec<usize> = (0..25).collect();
+        let mut mirrored: Vec<usize> = (0..25).collect();
+        for w in 0..4 {
+            forward[ring[w]] = ring[(w + 1) % 4];
+            mirrored[ring[(w + 1) % 4]] = ring[w];
+        }
+        let jobs: Vec<RouteJob> = [forward, mirrored]
+            .into_iter()
+            .map(|map| {
+                RouteJob::from_json_line(&format!(
+                    r#"{{"side": 5, "router": "ats", "perm": {map:?},
+                        "topology": {{"kind": "defect", "defects": [12]}}}}"#
+                ))
+                .unwrap()
+            })
+            .collect();
+        let mut engine = tiny_engine(2, 64);
+        let out = engine.run(jobs);
+        assert_eq!(out[0].cache.as_deref(), Some("miss"));
+        assert_eq!(out[1].cache.as_deref(), Some("hit"));
+        assert_eq!(out[0].depth, out[1].depth);
+    }
+
+    #[test]
+    fn grid_only_router_on_a_non_grid_topology_is_a_typed_error_outcome() {
+        let bad = RouteJob::from_json_line(
+            r#"{"side": 4, "router": "locality-aware", "class": "random", "seed": 0,
+                "topology": {"kind": "heavy-hex"}}"#,
+        )
+        .unwrap();
+        let good = RouteJob::from_class(4, "ats", "random", 0).unwrap();
+        let mut engine = tiny_engine(2, 16);
+        let out = engine.run(vec![bad, good]);
+        let err = out[0].error.as_deref().expect("unsupported pairing errors");
+        assert!(err.contains("full grids"), "{err}");
+        assert!(err.contains("heavy-hex"), "{err}");
+        assert_eq!(out[1].error, None, "the rest of the batch still routes");
+        // The rejection never consulted the cache.
+        assert_eq!(engine.cache_stats().misses, 1);
     }
 }

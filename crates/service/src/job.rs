@@ -12,6 +12,18 @@
 //! {"side": 4, "router": "ats", "perm": [1, 0, 2, 3, ...]}
 //! ```
 //!
+//! A bare `side` keeps meaning the full `side × side` grid — every
+//! pre-existing jobs file stays byte-compatible. An optional
+//! `"topology"` object generalizes the architecture (see
+//! [`TopologySpec`]):
+//!
+//! ```text
+//! {"side": 8, "router": "ats", "class": "random", "seed": 1,
+//!  "topology": {"kind": "defect", "defects": [9, 13], "dead_edges": [[0, 1]]}}
+//! {"side": 6, "router": "auto", "class": "random", "seed": 2,
+//!  "topology": {"kind": "heavy-hex"}}
+//! ```
+//!
 //! One [`RouteOutcome`] line per job, in job order, with `null` for
 //! fields an errored job could not produce. With timing capture disabled
 //! (the default), outcome lines are byte-deterministic for fixed inputs
@@ -19,14 +31,14 @@
 
 use qroute_core::RouterKind;
 use qroute_perm::{generators, Permutation};
-use qroute_topology::Grid;
+use qroute_topology::{Grid, Topology};
 use serde::Serialize;
 
-/// Largest accepted grid side (2²⁰ = 1,048,576 qubits at side 1024 —
-/// far beyond any near-term grid). The cap turns absurd `side` values
-/// into per-job error outcomes instead of multi-terabyte allocation
-/// aborts on the submit thread, and keeps `side * side` far from
-/// overflow on every platform.
+/// Largest accepted grid side. Side 1024 means 1024² = 2²⁰ ≈ 1.05
+/// million qubits — far beyond any near-term grid. The cap turns absurd
+/// `side` values into per-job error outcomes instead of multi-terabyte
+/// allocation aborts on the submit thread, and keeps `side * side` far
+/// from overflow on every platform.
 pub const MAX_SIDE: usize = 1024;
 
 /// Router requested by a job.
@@ -54,16 +66,61 @@ pub enum PermSpec {
     },
 }
 
-/// One routing request: a square grid, a router choice, and a
+/// Architecture requested by a job — the wire form of the `"topology"`
+/// object, materialized into a [`Topology`] at resolution time (always
+/// against the job's `side × side` base dimensions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// The full square grid (`"kind": "grid"`, or no `"topology"` at
+    /// all — the byte-compatible default).
+    Grid,
+    /// A grid with dead vertices/edges (`"kind": "defect"`).
+    Defect {
+        /// Dead vertex ids on the `side × side` grid.
+        defects: Vec<usize>,
+        /// Dead coupling edges as vertex-id pairs.
+        dead_edges: Vec<(usize, usize)>,
+    },
+    /// A heavy-hex lattice with `side × side` data vertices plus bridge
+    /// vertices (`"kind": "heavy-hex"`).
+    HeavyHex,
+    /// A brick-wall lattice on `side × side` vertices
+    /// (`"kind": "brick"`).
+    Brick,
+    /// The torus `C_side □ C_side` (`"kind": "torus"`, `side >= 3`).
+    Torus,
+}
+
+impl TopologySpec {
+    /// Materialize against the job's square base grid, validating defect
+    /// patterns (range, duplicates, coupledness, emptied grids).
+    fn materialize(&self, side: usize) -> Result<Topology, String> {
+        let grid = Grid::new(side, side);
+        match self {
+            TopologySpec::Grid => Ok(Topology::Grid(grid)),
+            TopologySpec::Defect { defects, dead_edges } => {
+                Topology::grid_with_defects(grid, defects, dead_edges).map_err(|e| e.to_string())
+            }
+            TopologySpec::HeavyHex => Ok(Topology::heavy_hex(side, side)),
+            TopologySpec::Brick => Ok(Topology::brick_wall(side, side)),
+            TopologySpec::Torus => Topology::torus(side, side).map_err(|e| e.to_string()),
+        }
+    }
+}
+
+/// One routing request: an architecture, a router choice, and a
 /// permutation.
 #[derive(Debug, Clone)]
 pub struct RouteJob {
-    /// Side of the square grid (`side × side` qubits).
+    /// Side of the square base grid (`side × side` qubits for grid-family
+    /// topologies; heavy-hex adds bridge vertices on top).
     pub side: usize,
     /// Requested router.
     pub router: RouterSpec,
     /// Requested permutation.
     pub perm: PermSpec,
+    /// Requested architecture (defaults to the full square grid).
+    pub topology: TopologySpec,
 }
 
 impl RouteJob {
@@ -78,12 +135,18 @@ impl RouteJob {
             side,
             router: parse_router(router)?,
             perm: PermSpec::Class { label: class.to_string(), seed },
+            topology: TopologySpec::Grid,
         })
     }
 
     /// An explicit-permutation job.
     pub fn explicit(side: usize, router: RouterSpec, pi: &Permutation) -> RouteJob {
-        RouteJob { side, router, perm: PermSpec::Explicit(pi.as_slice().to_vec()) }
+        RouteJob {
+            side,
+            router,
+            perm: PermSpec::Explicit(pi.as_slice().to_vec()),
+            topology: TopologySpec::Grid,
+        }
     }
 
     /// Parse one JSONL line. Strict: unknown fields, missing required
@@ -98,10 +161,10 @@ impl RouteJob {
         for (field, _) in entries {
             if !matches!(
                 field.as_str(),
-                "side" | "router" | "perm" | "class" | "seed"
+                "side" | "router" | "perm" | "class" | "seed" | "topology"
             ) {
                 return Err(format!(
-                    "unknown job field {field:?} (expected side, router, perm, class, seed)"
+                    "unknown job field {field:?} (expected side, router, perm, class, seed, topology)"
                 ));
             }
         }
@@ -145,32 +208,43 @@ impl RouteJob {
                     .ok_or("class jobs need an integer \"seed\"")?,
             },
         };
-        Ok(RouteJob { side, router, perm })
+        let topology = match doc.get("topology") {
+            None => TopologySpec::Grid,
+            Some(t) => parse_topology(t)?,
+        };
+        Ok(RouteJob { side, router, perm, topology })
     }
 
-    /// Materialize the instance: the grid and a validated permutation.
-    pub fn resolve(&self) -> Result<(Grid, Permutation), String> {
+    /// Materialize the instance: the topology and a validated
+    /// permutation. Every defect-pattern pathology (out-of-range or
+    /// duplicate defect ids, dead edges that are not coupling edges,
+    /// patterns that empty or disconnect the grid, permutations moving
+    /// dead vertices) comes back as an `Err` — a per-job error outcome —
+    /// never a panic on the submit thread.
+    pub fn resolve(&self) -> Result<(Topology, Permutation), String> {
         if self.side == 0 || self.side > MAX_SIDE {
             // An absurd side must become a per-job error outcome, not an
             // allocation abort that takes the whole batch down.
             return Err(format!("side {} out of range (1..={MAX_SIDE})", self.side));
         }
-        let grid = Grid::new(self.side, self.side);
+        let topology = self.topology.materialize(self.side)?;
+        topology.validate_routable().map_err(|e| e.to_string())?;
         let pi = match &self.perm {
             PermSpec::Explicit(table) => {
-                if table.len() != grid.len() {
+                if table.len() != topology.len() {
                     return Err(format!(
-                        "\"perm\" has {} entries; side {} needs {}",
+                        "\"perm\" has {} entries; {} needs {}",
                         table.len(),
-                        self.side,
-                        grid.len()
+                        topology,
+                        topology.len()
                     ));
                 }
+                topology.permutation_fits(table)?;
                 Permutation::from_vec(table.clone()).map_err(|e| e.to_string())?
             }
-            PermSpec::Class { label, seed } => generate_class(grid, label, *seed)?,
+            PermSpec::Class { label, seed } => generate_class_on(&topology, label, *seed)?,
         };
-        Ok((grid, pi))
+        Ok((topology, pi))
     }
 }
 
@@ -180,6 +254,131 @@ fn parse_router(s: &str) -> Result<RouterSpec, String> {
     } else {
         Ok(RouterSpec::Fixed(s.parse::<RouterKind>()?))
     }
+}
+
+/// Parse the `"topology"` object. Strict like the job line itself:
+/// unknown fields, defect lists on non-defect kinds, and malformed
+/// values are all errors.
+fn parse_topology(value: &serde_json::Value) -> Result<TopologySpec, String> {
+    let serde_json::Value::Object(entries) = value else {
+        return Err("\"topology\" must be a JSON object".to_string());
+    };
+    for (field, _) in entries {
+        if !matches!(field.as_str(), "kind" | "defects" | "dead_edges") {
+            return Err(format!(
+                "unknown topology field {field:?} (expected kind, defects, dead_edges)"
+            ));
+        }
+    }
+    let kind = value
+        .get("kind")
+        .and_then(|v| v.as_str())
+        .ok_or("\"topology\" needs a string \"kind\"")?;
+    let has_defect_fields = value.get("defects").is_some() || value.get("dead_edges").is_some();
+    if kind != "defect" && has_defect_fields {
+        return Err(format!(
+            "\"defects\"/\"dead_edges\" only apply to kind \"defect\", not {kind:?}"
+        ));
+    }
+    match kind {
+        "grid" => Ok(TopologySpec::Grid),
+        "heavy-hex" => Ok(TopologySpec::HeavyHex),
+        "brick" => Ok(TopologySpec::Brick),
+        "torus" => Ok(TopologySpec::Torus),
+        "defect" => {
+            let defects = match value.get("defects") {
+                None => Vec::new(),
+                Some(d) => d
+                    .as_array()
+                    .ok_or("\"defects\" must be an array of integers")?
+                    .iter()
+                    .map(|x| {
+                        x.as_u64()
+                            .map(|v| v as usize)
+                            .ok_or_else(|| "\"defects\" must be an array of integers".to_string())
+                    })
+                    .collect::<Result<Vec<usize>, String>>()?,
+            };
+            let dead_edges = match value.get("dead_edges") {
+                None => Vec::new(),
+                Some(e) => e
+                    .as_array()
+                    .ok_or("\"dead_edges\" must be an array of [u, v] pairs")?
+                    .iter()
+                    .map(|pair| {
+                        let ints: Option<Vec<usize>> = pair.as_array().map(|xs| {
+                            xs.iter()
+                                .filter_map(|x| x.as_u64().map(|v| v as usize))
+                                .collect()
+                        });
+                        match ints.as_deref() {
+                            Some([u, v]) => Ok((*u, *v)),
+                            _ => Err("\"dead_edges\" must be an array of [u, v] pairs".to_string()),
+                        }
+                    })
+                    .collect::<Result<Vec<(usize, usize)>, String>>()?,
+            };
+            Ok(TopologySpec::Defect { defects, dead_edges })
+        }
+        other => Err(format!(
+            "unknown topology kind {other:?}; expected grid, defect, heavy-hex, brick, torus"
+        )),
+    }
+}
+
+/// Generate a benchmark-class instance on a topology. Full grids use the
+/// grid generators directly; defective grids generate on the underlying
+/// full grid and then fix every permutation cycle that visits a dead
+/// vertex (a deterministic projection, so class jobs on defective grids
+/// stay byte-reproducible); the remaining topologies have no grid
+/// coordinates and support only `random`.
+fn generate_class_on(topology: &Topology, label: &str, seed: u64) -> Result<Permutation, String> {
+    match topology {
+        Topology::Grid(grid) => generate_class(*grid, label, seed),
+        Topology::GridWithDefects { grid, .. } => {
+            let pi = generate_class(*grid, label, seed)?;
+            Ok(project_fixing_dead(topology, &pi))
+        }
+        _ => {
+            if label == "random" {
+                Ok(generators::random(topology.len(), seed))
+            } else {
+                Err(format!(
+                    "class {label:?} needs grid coordinates; \"{}\" topologies support only \"random\"",
+                    topology.kind()
+                ))
+            }
+        }
+    }
+}
+
+/// Fix every cycle of `pi` that visits a dead vertex of `topology`,
+/// leaving the other cycles untouched.
+fn project_fixing_dead(topology: &Topology, pi: &Permutation) -> Permutation {
+    let n = pi.len();
+    let mut table: Vec<usize> = (0..n).map(|v| pi.apply(v)).collect();
+    let mut visited = vec![false; n];
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        let mut cycle = Vec::new();
+        let mut v = start;
+        loop {
+            visited[v] = true;
+            cycle.push(v);
+            v = pi.apply(v);
+            if v == start {
+                break;
+            }
+        }
+        if cycle.iter().any(|&v| !topology.is_alive(v)) {
+            for &v in &cycle {
+                table[v] = v;
+            }
+        }
+    }
+    Permutation::from_vec_unchecked(table)
 }
 
 /// Generate a benchmark-class instance from its label (`random`,
@@ -302,8 +501,9 @@ mod tests {
         .unwrap();
         assert_eq!(job.side, 8);
         assert!(matches!(job.router, RouterSpec::Auto));
-        let (grid, pi) = job.resolve().unwrap();
-        assert_eq!(grid.len(), 64);
+        assert_eq!(job.topology, TopologySpec::Grid);
+        let (topology, pi) = job.resolve().unwrap();
+        assert_eq!(topology.len(), 64);
         assert_eq!(pi.len(), 64);
 
         let job = RouteJob::from_json_line(r#"{"side": 2, "router": "ats", "perm": [1, 0, 2, 3]}"#)
@@ -385,6 +585,120 @@ mod tests {
         assert_eq!(max.side, MAX_SIDE);
         let repeat = RouteJob::from_json_line(r#"{"side": 2, "perm": [0, 0, 2, 3]}"#).unwrap();
         assert!(repeat.resolve().unwrap_err().contains("permutation"));
+    }
+
+    #[test]
+    fn parses_topology_objects() {
+        let job = RouteJob::from_json_line(
+            r#"{"side": 4, "router": "ats", "class": "random", "seed": 0,
+                "topology": {"kind": "defect", "defects": [5], "dead_edges": [[0, 1]]}}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            job.topology,
+            TopologySpec::Defect { defects: vec![5], dead_edges: vec![(0, 1)] }
+        );
+        let (topology, pi) = job.resolve().unwrap();
+        assert_eq!(topology.kind(), "defect");
+        assert_eq!(pi.apply(5), 5, "class instances fix dead vertices");
+
+        for (kind, expect) in [
+            ("grid", TopologySpec::Grid),
+            ("heavy-hex", TopologySpec::HeavyHex),
+            ("brick", TopologySpec::Brick),
+            ("torus", TopologySpec::Torus),
+        ] {
+            let line = format!(
+                r#"{{"side": 4, "router": "ats", "class": "random", "seed": 0, "topology": {{"kind": "{kind}"}}}}"#
+            );
+            let job = RouteJob::from_json_line(&line).unwrap();
+            assert_eq!(job.topology, expect, "{kind}");
+            let (topology, pi) = job.resolve().unwrap();
+            assert_eq!(pi.len(), topology.len(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn malformed_topologies_error_with_context() {
+        for (line, needle) in [
+            (
+                r#"{"side": 4, "class": "random", "seed": 0, "topology": 7}"#,
+                "object",
+            ),
+            (
+                r#"{"side": 4, "class": "random", "seed": 0, "topology": {"kind": "moebius"}}"#,
+                "moebius",
+            ),
+            (
+                r#"{"side": 4, "class": "random", "seed": 0, "topology": {"defects": [1]}}"#,
+                "kind",
+            ),
+            (
+                r#"{"side": 4, "class": "random", "seed": 0, "topology": {"kind": "grid", "defects": [1]}}"#,
+                "only apply",
+            ),
+            (
+                r#"{"side": 4, "class": "random", "seed": 0, "topology": {"kind": "defect", "bogus": 1}}"#,
+                "bogus",
+            ),
+            (
+                r#"{"side": 4, "class": "random", "seed": 0, "topology": {"kind": "defect", "defects": ["x"]}}"#,
+                "integers",
+            ),
+            (
+                r#"{"side": 4, "class": "random", "seed": 0, "topology": {"kind": "defect", "dead_edges": [[0]]}}"#,
+                "pairs",
+            ),
+        ] {
+            let err = RouteJob::from_json_line(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn defect_resolution_errors_are_per_job() {
+        // Out-of-range, duplicate, emptied, disconnected, moved-dead,
+        // non-random class off-grid: all Err, never panic.
+        for (line, needle) in [
+            (
+                r#"{"side": 2, "class": "random", "seed": 0, "topology": {"kind": "defect", "defects": [4]}}"#,
+                "out of range",
+            ),
+            (
+                r#"{"side": 2, "class": "random", "seed": 0, "topology": {"kind": "defect", "defects": [1, 1]}}"#,
+                "duplicate",
+            ),
+            (
+                r#"{"side": 1, "class": "random", "seed": 0, "topology": {"kind": "defect", "defects": [0]}}"#,
+                "no alive vertex",
+            ),
+            (
+                r#"{"side": 3, "class": "random", "seed": 0, "topology": {"kind": "defect", "defects": [1, 3]}}"#,
+                "disconnects",
+            ),
+            (
+                r#"{"side": 2, "perm": [1, 0, 2, 3], "topology": {"kind": "defect", "defects": [3], "dead_edges": [[0, 3]]}}"#,
+                "not a coupling edge",
+            ),
+            (
+                r#"{"side": 2, "perm": [0, 1, 3, 2], "topology": {"kind": "defect", "defects": [3]}}"#,
+                "dead vertex",
+            ),
+            (
+                r#"{"side": 4, "class": "block2", "seed": 0, "topology": {"kind": "heavy-hex"}}"#,
+                "only \"random\"",
+            ),
+            (
+                r#"{"side": 2, "class": "random", "seed": 0, "topology": {"kind": "torus"}}"#,
+                "at least 3",
+            ),
+        ] {
+            let err = RouteJob::from_json_line(line)
+                .unwrap()
+                .resolve()
+                .unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
     }
 
     #[test]

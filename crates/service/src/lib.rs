@@ -14,13 +14,21 @@
 //!   pool, deterministic job-id-ordered output, backpressure, graceful
 //!   shutdown. Output bytes are independent of the worker count.
 //! * [`cache`] — the sharded LRU keyed on a **canonical form** of
-//!   `(grid, π)`: translation of the support bounding box plus the eight
-//!   dihedral grid symmetries, with cached schedules replayed back
-//!   through the inverse symmetry. Grid symmetry makes the cache far
-//!   more effective than naive `(grid, π)` memoization.
+//!   `(topology, π)`: translation of the support bounding box plus the
+//!   eight dihedral grid symmetries (defect patterns included — dead
+//!   vertices/edges inside the box are carried through the
+//!   minimization), with cached schedules replayed back through the
+//!   inverse symmetry. Symmetry makes the cache far more effective than
+//!   naive `(topology, π)` memoization.
 //! * [`dispatch`] — the `auto` router-selection policy, driven by cheap
 //!   [`qroute_perm::metrics`] features (total L1 distance, max
-//!   displacement, block-locality score).
+//!   displacement, block-locality score); non-grid topologies resolve to
+//!   approximate token swapping, the topology-generic router.
+//!
+//! Jobs default to square grids (`"side"` alone), but an optional
+//! `"topology"` object selects defective grids, heavy-hex, brick-wall,
+//! or torus couplings — see [`job::TopologySpec`] and the `job` module
+//! docs for the wire format.
 //!
 //! ```
 //! use qroute_service::{Engine, EngineConfig, RouteJob};
@@ -43,7 +51,9 @@ pub mod dispatch;
 pub mod engine;
 pub mod job;
 
-pub use cache::{canonicalize, CacheStats, CanonicalForm, CanonicalKey, ShardedLru};
-pub use dispatch::{features, select_router, InstanceFeatures};
+pub use cache::{
+    canonicalize, canonicalize_topology, CacheStats, CanonicalForm, CanonicalKey, ShardedLru,
+};
+pub use dispatch::{features, select_router, select_router_on, InstanceFeatures};
 pub use engine::{Engine, EngineConfig, RouteResult};
-pub use job::{CacheStatus, PermSpec, RouteJob, RouteOutcome, RouterSpec, MAX_SIDE};
+pub use job::{CacheStatus, PermSpec, RouteJob, RouteOutcome, RouterSpec, TopologySpec, MAX_SIDE};

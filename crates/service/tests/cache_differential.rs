@@ -11,8 +11,10 @@
 use proptest::prelude::*;
 use qroute_core::{GridRouter, RouterKind};
 use qroute_perm::{generators, Permutation};
-use qroute_service::{canonicalize, Engine, EngineConfig, RouteJob, RouterSpec};
-use qroute_topology::{Grid, GridSymmetry};
+use qroute_service::{
+    canonicalize, canonicalize_topology, Engine, EngineConfig, RouteJob, RouterSpec,
+};
+use qroute_topology::{Grid, GridSymmetry, Topology};
 
 /// The seeded workload used across cases: varied enough to hit every
 /// canonicalization branch (identity, thin boxes, full-support boxes).
@@ -168,7 +170,8 @@ proptest! {
         }
         // The canonical form is itself a fixed point of canonicalization.
         let form = canonicalize(grid, &pi);
-        let again = canonicalize(form.grid, &form.pi);
+        let canonical_grid = form.topology.as_grid().expect("clean canonical grid");
+        let again = canonicalize(canonical_grid, &form.pi);
         prop_assert_eq!(again.key("x"), reference);
     }
 
@@ -185,10 +188,129 @@ proptest! {
         let pi = workload(grid, kind, seed);
         let router = RouterKind::all_default()[router_idx].clone();
         let form = canonicalize(grid, &pi);
-        let cold = router.route(form.grid, &form.pi);
+        let cold = router.route(form.topology.as_grid().expect("clean canonical"), &form.pi);
         let mut engine = Engine::new(EngineConfig { workers: 1, ..EngineConfig::default() });
         let out = engine.run(vec![RouteJob::explicit(side, RouterSpec::Fixed(router), &pi)]);
         prop_assert_eq!(out[0].depth, Some(cold.depth()));
         prop_assert_eq!(out[0].size, Some(cold.size()));
+    }
+}
+
+/// A uniform permutation of the alive vertices of `topology`, fixing the
+/// dead ones (so it is a valid defective-grid job permutation).
+fn alive_random(topology: &Topology, seed: u64) -> Permutation {
+    let alive: Vec<usize> = (0..topology.len())
+        .filter(|&v| topology.is_alive(v))
+        .collect();
+    let shuffled = generators::random(alive.len(), seed);
+    let mut map: Vec<usize> = (0..topology.len()).collect();
+    for (k, &v) in alive.iter().enumerate() {
+        map[v] = alive[shuffled.apply(k)];
+    }
+    Permutation::from_vec(map).expect("permutation of the alive vertices")
+}
+
+/// Conjugate a defective square-grid instance by a dihedral symmetry:
+/// the same physical pattern viewed in a mirror.
+fn conjugate_defective(
+    grid: Grid,
+    defects: &[usize],
+    pi: &Permutation,
+    sym: GridSymmetry,
+) -> (Vec<usize>, Permutation) {
+    let mut map = vec![0usize; pi.len()];
+    for v in 0..pi.len() {
+        map[sym.apply(grid, v)] = sym.apply(grid, pi.apply(v));
+    }
+    let defects = defects.iter().map(|&v| sym.apply(grid, v)).collect();
+    (
+        defects,
+        Permutation::from_vec(map).expect("conjugated permutation"),
+    )
+}
+
+/// A defective-grid JSONL job line (router pinned to ats, the
+/// topology-generic router).
+fn defect_job(side: usize, defects: &[usize], pi: &Permutation) -> RouteJob {
+    RouteJob::from_json_line(&format!(
+        r#"{{"side": {side}, "router": "ats", "perm": {:?}, "topology": {{"kind": "defect", "defects": {:?}}}}}"#,
+        pi.as_slice(),
+        defects,
+    ))
+    .expect("well-formed defect job line")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For random defective grids: every dihedral conjugate of an
+    /// instance shares one cache entry, and each replayed schedule is
+    /// feasible on its *own* defective topology (never crossing a dead
+    /// vertex or edge) and realizes its own permutation.
+    #[test]
+    fn defective_orbits_share_entries_and_replay_feasibly(
+        side in 3usize..6,
+        d1 in 0usize..36,
+        d2 in 0usize..36,
+        seed in 0u64..1000,
+    ) {
+        let grid = Grid::new(side, side);
+        let defects: Vec<usize> = std::collections::BTreeSet::from([d1 % grid.len(), d2 % grid.len()])
+            .into_iter()
+            .collect();
+        let topology = Topology::grid_with_defects(grid, &defects, &[]).expect("deduped, in range");
+        if topology.validate_routable().is_err() {
+            // The defect pattern cut the grid: not a routable instance.
+            return Ok(());
+        }
+        let pi = alive_random(&topology, seed);
+
+        let mut jobs = vec![defect_job(side, &defects, &pi)];
+        let mut instances = vec![(defects.clone(), pi.clone())];
+        for sym in GridSymmetry::all() {
+            let (tdefects, tpi) = conjugate_defective(grid, &defects, &pi, sym);
+            jobs.push(defect_job(side, &tdefects, &tpi));
+            instances.push((tdefects, tpi));
+        }
+        let mut engine = Engine::new(EngineConfig { workers: 2, ..EngineConfig::default() });
+        let results = engine.run_detailed(jobs);
+        let cold = &results[0].outcome;
+        prop_assert_eq!(cold.cache.as_deref(), Some("miss"));
+        for (result, (idefects, ipi)) in results.iter().zip(&instances) {
+            prop_assert_eq!(result.outcome.error.as_deref(), None);
+            prop_assert_eq!(result.outcome.depth, cold.depth);
+            prop_assert_eq!(result.outcome.size, cold.size);
+            let itopology = Topology::grid_with_defects(grid, idefects, &[]).unwrap();
+            let schedule = result.schedule.as_ref().expect("routed");
+            prop_assert!(schedule.validate_on(&itopology.graph()).is_ok());
+            prop_assert!(schedule.realizes(ipi));
+        }
+        for result in &results[1..] {
+            prop_assert_eq!(result.outcome.cache.as_deref(), Some("hit"));
+        }
+    }
+
+    /// The canonical key of a defective instance is invariant over its
+    /// dihedral orbit — directly on `canonicalize_topology`, independent
+    /// of the engine.
+    #[test]
+    fn defective_canonical_key_is_orbit_invariant(
+        side in 3usize..6,
+        d1 in 0usize..36,
+        seed in 0u64..1000,
+    ) {
+        let grid = Grid::new(side, side);
+        let defects = vec![d1 % grid.len()];
+        let topology = Topology::grid_with_defects(grid, &defects, &[]).expect("in range");
+        if topology.validate_routable().is_err() {
+            return Ok(());
+        }
+        let pi = alive_random(&topology, seed);
+        let reference = canonicalize_topology(&topology, &pi).key("x");
+        for sym in GridSymmetry::all() {
+            let (tdefects, tpi) = conjugate_defective(grid, &defects, &pi, sym);
+            let ttopology = Topology::grid_with_defects(grid, &tdefects, &[]).unwrap();
+            prop_assert_eq!(canonicalize_topology(&ttopology, &tpi).key("x"), reference.clone());
+        }
     }
 }

@@ -24,6 +24,10 @@
 //! * [`symmetry`] — [`GridSymmetry`]: the dihedral symmetries of a grid,
 //!   used by the routing service to canonicalize instances and replay
 //!   cached schedules through the inverse map.
+//! * [`topology`] — [`Topology`]: a first-class architecture value
+//!   (grid, grid-with-defects, heavy-hex, brick-wall, torus) that
+//!   produces its graph, its best distance oracle, and a compacted
+//!   routing frame — the type routers and the service dispatch on.
 //!
 //! All vertex ids are dense `usize` indices in `0..graph.len()`, which keeps
 //! hot paths allocation- and hash-free (plain `Vec` indexing everywhere).
@@ -40,6 +44,7 @@ pub mod oracle;
 pub mod path;
 pub mod product;
 pub mod symmetry;
+pub mod topology;
 
 pub use cycle::Cycle;
 pub use graph::{Edge, Graph, GraphBuilder, GraphError};
@@ -50,3 +55,4 @@ pub use oracle::{
 pub use path::Path;
 pub use product::Product;
 pub use symmetry::GridSymmetry;
+pub use topology::{RoutingFrame, Topology, TopologyError, TopologyOracle};

@@ -1,0 +1,679 @@
+//! A first-class description of a routing architecture.
+//!
+//! The paper's routers are defined on the pristine `m × n` grid, but real
+//! hardware is messier: IBM-style heavy-hex lattices, brick-wall
+//! couplers, tori, and — above all — grids with *defects* (dead qubits
+//! and dead couplers, the default situation on shipped devices). This
+//! module packages each supported architecture as a [`Topology`] value
+//! that can produce
+//!
+//! * its coupling [`Graph`] ([`Topology::graph`]),
+//! * its best [`DistanceOracle`] ([`Topology::oracle`]) — closed-form
+//!   where one exists (grids, tori), a lazy BFS cache otherwise,
+//! * a compacted routing frame with dead vertices removed
+//!   ([`Topology::routing_frame`]), which token-swapping routers use so
+//!   their spanning-tree fallbacks never see isolated dead vertices.
+//!
+//! Vertex ids are **stable**: a defective grid keeps all `m · n`
+//! row-major grid ids, with dead vertices present but isolated (degree
+//! 0). Permutations over a defective grid are full-length and must fix
+//! every dead vertex — [`Topology::permutation_fits`] checks this.
+
+use crate::cycle::Cycle;
+use crate::graph::Graph;
+use crate::grid::Grid;
+use crate::gridlike;
+use crate::oracle::{CycleOracle, DistanceOracle, GridOracle, LazyBfsOracle, ProductOracle};
+use crate::product::Product;
+
+/// A routing architecture: the grid the paper targets, or one of the
+/// "grid-like" families real hardware ships.
+///
+/// Construct via [`Topology::grid`], [`Topology::grid_with_defects`],
+/// [`Topology::heavy_hex`], [`Topology::brick_wall`] or
+/// [`Topology::torus`]; the constructors validate and normalize their
+/// inputs so equal topologies compare equal (defect lists are sorted,
+/// dead edges are stored `(min, max)` and deduplicated).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// A full `m × n` grid (square or rectangular) — every router
+    /// supports this.
+    Grid(Grid),
+    /// A grid with dead vertices and/or dead edges. All `m · n` grid ids
+    /// survive; dead vertices are isolated in [`Topology::graph`].
+    GridWithDefects {
+        /// The underlying full grid.
+        grid: Grid,
+        /// Dead vertex ids, sorted and duplicate-free.
+        dead_vertices: Vec<usize>,
+        /// Dead coupling edges as `(min, max)` grid-edge pairs, sorted,
+        /// deduplicated, and not incident to a dead vertex (such edges
+        /// are already gone and are normalized away).
+        dead_edges: Vec<(usize, usize)>,
+    },
+    /// An IBM-style heavy-hex lattice with `rows × cols` data vertices
+    /// plus bridge vertices (see [`gridlike::heavy_hex`]).
+    HeavyHex {
+        /// Rows of data vertices.
+        rows: usize,
+        /// Columns of data vertices.
+        cols: usize,
+    },
+    /// A degree-≤3 brick-wall lattice on `rows × cols` vertices (see
+    /// [`gridlike::brick_wall`]).
+    BrickWall {
+        /// Vertex rows.
+        rows: usize,
+        /// Vertex columns.
+        cols: usize,
+    },
+    /// The torus `C_rows □ C_cols` with row-major pair ids (both factors
+    /// need at least three vertices).
+    Torus {
+        /// First cycle factor length.
+        rows: usize,
+        /// Second cycle factor length.
+        cols: usize,
+    },
+}
+
+/// Why a [`Topology`] could not be constructed or routed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A defect id is not a vertex of the grid.
+    DefectOutOfRange {
+        /// The offending id.
+        defect: usize,
+        /// The grid's vertex count.
+        len: usize,
+    },
+    /// The same defect id was listed twice.
+    DuplicateDefect(usize),
+    /// A dead edge names a pair that is not a coupling edge of the grid.
+    DeadEdgeNotCoupled(usize, usize),
+    /// Every vertex is dead — there is nothing left to route on.
+    EmptyResidual,
+    /// The alive part of the topology is not connected, so permutations
+    /// moving tokens across components cannot be routed.
+    Disconnected,
+    /// A torus factor has fewer than three vertices.
+    TorusTooSmall {
+        /// Requested rows.
+        rows: usize,
+        /// Requested cols.
+        cols: usize,
+    },
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::DefectOutOfRange { defect, len } => {
+                write!(
+                    f,
+                    "defect {defect} out of range for a grid with {len} vertices"
+                )
+            }
+            TopologyError::DuplicateDefect(v) => write!(f, "duplicate defect {v}"),
+            TopologyError::DeadEdgeNotCoupled(u, v) => {
+                write!(f, "dead edge ({u}, {v}) is not a coupling edge of the grid")
+            }
+            TopologyError::EmptyResidual => write!(f, "defects leave no alive vertex"),
+            TopologyError::Disconnected => {
+                write!(
+                    f,
+                    "defect pattern disconnects the alive part of the topology"
+                )
+            }
+            TopologyError::TorusTooSmall { rows, cols } => {
+                write!(
+                    f,
+                    "torus factors need at least 3 vertices (got {rows}x{cols})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A compacted view of a topology for routers that cannot tolerate
+/// isolated dead vertices (spanning-tree construction, ATS fallbacks).
+#[derive(Debug, Clone)]
+pub struct RoutingFrame {
+    /// The routing graph over alive vertices only.
+    pub graph: Graph,
+    /// Frame vertex id → topology vertex id, or `None` when no
+    /// compaction happened (the ids coincide).
+    pub to_topology: Option<Vec<usize>>,
+}
+
+impl RoutingFrame {
+    /// Map a frame vertex id back to the topology's id space.
+    #[inline]
+    pub fn to_topology_id(&self, v: usize) -> usize {
+        match &self.to_topology {
+            Some(map) => map[v],
+            None => v,
+        }
+    }
+}
+
+/// The best [`DistanceOracle`] for a topology's graph: closed-form for
+/// grids and tori, a [`LazyBfsOracle`] for everything else (defective
+/// grids, heavy-hex, brick walls).
+#[derive(Debug)]
+pub enum TopologyOracle<'g> {
+    /// Closed-form Manhattan distances.
+    Grid(GridOracle),
+    /// Closed-form torus distances (sum of wraparound factors).
+    Torus(ProductOracle<CycleOracle, CycleOracle>),
+    /// Lazy per-source BFS over the supplied graph.
+    Bfs(LazyBfsOracle<'g>),
+}
+
+impl DistanceOracle for TopologyOracle<'_> {
+    fn len(&self) -> usize {
+        match self {
+            TopologyOracle::Grid(o) => o.len(),
+            TopologyOracle::Torus(o) => o.len(),
+            TopologyOracle::Bfs(o) => o.len(),
+        }
+    }
+
+    #[inline]
+    fn dist(&self, u: usize, v: usize) -> u32 {
+        match self {
+            TopologyOracle::Grid(o) => o.dist(u, v),
+            TopologyOracle::Torus(o) => o.dist(u, v),
+            TopologyOracle::Bfs(o) => o.dist(u, v),
+        }
+    }
+}
+
+impl Topology {
+    /// A full `rows × cols` grid.
+    ///
+    /// # Panics
+    /// Panics when either dimension is zero (as [`Grid::new`] does).
+    pub fn grid(rows: usize, cols: usize) -> Topology {
+        Topology::Grid(Grid::new(rows, cols))
+    }
+
+    /// A grid with dead vertices and dead edges.
+    ///
+    /// Validates that every defect id is in range and listed once, and
+    /// that every dead edge is an actual grid edge; rejects patterns
+    /// that kill every vertex. Dead edges incident to a dead vertex are
+    /// normalized away (they are already absent), and an empty defect
+    /// pattern normalizes to [`Topology::Grid`] — so "defective" inputs
+    /// that are really pristine grids share keys and router support with
+    /// plain grid instances.
+    pub fn grid_with_defects(
+        grid: Grid,
+        defects: &[usize],
+        dead_edges: &[(usize, usize)],
+    ) -> Result<Topology, TopologyError> {
+        let n = grid.len();
+        let mut dead = vec![false; n];
+        let mut dead_vertices = Vec::with_capacity(defects.len());
+        for &d in defects {
+            if d >= n {
+                return Err(TopologyError::DefectOutOfRange { defect: d, len: n });
+            }
+            if dead[d] {
+                return Err(TopologyError::DuplicateDefect(d));
+            }
+            dead[d] = true;
+            dead_vertices.push(d);
+        }
+        if dead_vertices.len() == n {
+            return Err(TopologyError::EmptyResidual);
+        }
+        dead_vertices.sort_unstable();
+        let mut edges: Vec<(usize, usize)> = Vec::with_capacity(dead_edges.len());
+        for &(a, b) in dead_edges {
+            let (u, v) = (a.min(b), a.max(b));
+            let coupled = u < n && v < n && grid.dist(u, v) == 1;
+            if !coupled {
+                return Err(TopologyError::DeadEdgeNotCoupled(a, b));
+            }
+            if !dead[u] && !dead[v] {
+                edges.push((u, v));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        if dead_vertices.is_empty() && edges.is_empty() {
+            return Ok(Topology::Grid(grid));
+        }
+        Ok(Topology::GridWithDefects { grid, dead_vertices, dead_edges: edges })
+    }
+
+    /// A heavy-hex lattice with `rows × cols` data vertices.
+    ///
+    /// # Panics
+    /// Panics when either dimension is zero.
+    pub fn heavy_hex(rows: usize, cols: usize) -> Topology {
+        assert!(
+            rows >= 1 && cols >= 1,
+            "heavy-hex dimensions must be positive"
+        );
+        Topology::HeavyHex { rows, cols }
+    }
+
+    /// A brick-wall lattice on `rows × cols` vertices.
+    ///
+    /// # Panics
+    /// Panics when either dimension is zero.
+    pub fn brick_wall(rows: usize, cols: usize) -> Topology {
+        assert!(
+            rows >= 1 && cols >= 1,
+            "brick-wall dimensions must be positive"
+        );
+        Topology::BrickWall { rows, cols }
+    }
+
+    /// The torus `C_rows □ C_cols`; both factors need at least three
+    /// vertices.
+    pub fn torus(rows: usize, cols: usize) -> Result<Topology, TopologyError> {
+        if rows < 3 || cols < 3 {
+            return Err(TopologyError::TorusTooSmall { rows, cols });
+        }
+        Ok(Topology::Torus { rows, cols })
+    }
+
+    /// The stable kind label — also the `--kind` / JSONL `"kind"`
+    /// vocabulary of the CLI and the routing service.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Topology::Grid(_) => "grid",
+            Topology::GridWithDefects { .. } => "defect",
+            Topology::HeavyHex { .. } => "heavy-hex",
+            Topology::BrickWall { .. } => "brick",
+            Topology::Torus { .. } => "torus",
+        }
+    }
+
+    /// Number of vertices (including isolated dead vertices of a
+    /// defective grid — ids are stable, see the module docs).
+    pub fn len(&self) -> usize {
+        match self {
+            Topology::Grid(grid) => grid.len(),
+            Topology::GridWithDefects { grid, .. } => grid.len(),
+            Topology::HeavyHex { rows, cols } => heavy_hex_len(*rows, *cols),
+            Topology::BrickWall { rows, cols } => rows * cols,
+            Topology::Torus { rows, cols } => rows * cols,
+        }
+    }
+
+    /// Topologies are never empty (constructors reject emptied grids).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The underlying full grid when this topology *is* one (the only
+    /// case the matching-based routers support).
+    pub fn as_grid(&self) -> Option<Grid> {
+        match self {
+            Topology::Grid(grid) => Some(*grid),
+            _ => None,
+        }
+    }
+
+    /// Dead vertex ids (empty for defect-free topologies).
+    pub fn dead_vertices(&self) -> &[usize] {
+        match self {
+            Topology::GridWithDefects { dead_vertices, .. } => dead_vertices,
+            _ => &[],
+        }
+    }
+
+    /// Dead coupling edges (empty for defect-free topologies).
+    pub fn dead_edges(&self) -> &[(usize, usize)] {
+        match self {
+            Topology::GridWithDefects { dead_edges, .. } => dead_edges,
+            _ => &[],
+        }
+    }
+
+    /// `true` when vertex `v` carries a live qubit.
+    pub fn is_alive(&self, v: usize) -> bool {
+        !self.dead_vertices().contains(&v)
+    }
+
+    /// Materialize the coupling graph. Dead vertices of a defective grid
+    /// are present but isolated, so vertex ids match the topology's.
+    pub fn graph(&self) -> Graph {
+        match self {
+            Topology::Grid(grid) => grid.to_graph(),
+            Topology::GridWithDefects { grid, dead_vertices, dead_edges } => {
+                let n = grid.len();
+                let mut dead = vec![false; n];
+                for &d in dead_vertices {
+                    dead[d] = true;
+                }
+                let edges: Vec<(usize, usize)> = grid
+                    .to_graph()
+                    .edges()
+                    .iter()
+                    .copied()
+                    .filter(|&(u, v)| {
+                        !dead[u] && !dead[v] && !dead_edges.contains(&(u.min(v), u.max(v)))
+                    })
+                    .collect();
+                Graph::from_edges(n, edges).expect("filtered grid edges are valid")
+            }
+            Topology::HeavyHex { rows, cols } => gridlike::heavy_hex(*rows, *cols),
+            Topology::BrickWall { rows, cols } => gridlike::brick_wall(*rows, *cols),
+            Topology::Torus { rows, cols } => {
+                Product::new(Cycle::new(*rows).to_graph(), Cycle::new(*cols).to_graph()).to_graph()
+            }
+        }
+    }
+
+    /// The compacted routing frame: the graph over alive vertices only,
+    /// with a map back to topology ids when compaction happened.
+    /// Defect-free topologies return their full graph unmapped.
+    pub fn routing_frame(&self) -> RoutingFrame {
+        match self {
+            Topology::GridWithDefects { grid, dead_vertices, dead_edges } => {
+                let n = grid.len();
+                let mut dead = vec![false; n];
+                for &d in dead_vertices {
+                    dead[d] = true;
+                }
+                let mut new_id = vec![usize::MAX; n];
+                let mut to_topology = Vec::with_capacity(n - dead_vertices.len());
+                for v in 0..n {
+                    if !dead[v] {
+                        new_id[v] = to_topology.len();
+                        to_topology.push(v);
+                    }
+                }
+                let edges: Vec<(usize, usize)> = grid
+                    .to_graph()
+                    .edges()
+                    .iter()
+                    .copied()
+                    .filter(|&(u, v)| {
+                        !dead[u] && !dead[v] && !dead_edges.contains(&(u.min(v), u.max(v)))
+                    })
+                    .map(|(u, v)| (new_id[u], new_id[v]))
+                    .collect();
+                let graph = Graph::from_edges(to_topology.len(), edges)
+                    .expect("compacted defect-grid edges are valid");
+                RoutingFrame { graph, to_topology: Some(to_topology) }
+            }
+            _ => RoutingFrame { graph: self.graph(), to_topology: None },
+        }
+    }
+
+    /// The best distance oracle for `graph`: closed-form for full grids
+    /// and tori, lazy BFS otherwise.
+    ///
+    /// `graph` must be [`Topology::graph`] for the closed-form kinds; the
+    /// BFS-backed kinds (defective grids, heavy-hex, brick walls) accept
+    /// either the full graph or a [`RoutingFrame`] graph — the oracle
+    /// simply answers for whichever graph it is handed.
+    pub fn oracle<'g>(&self, graph: &'g Graph) -> TopologyOracle<'g> {
+        match self {
+            Topology::Grid(grid) => {
+                debug_assert_eq!(graph.len(), grid.len());
+                TopologyOracle::Grid(GridOracle::new(*grid))
+            }
+            Topology::Torus { rows, cols } => {
+                debug_assert_eq!(graph.len(), rows * cols);
+                TopologyOracle::Torus(ProductOracle::new(
+                    CycleOracle::new(Cycle::new(*rows)),
+                    CycleOracle::new(Cycle::new(*cols)),
+                ))
+            }
+            _ => TopologyOracle::Bfs(LazyBfsOracle::new(graph)),
+        }
+    }
+
+    /// Check that the alive part of the topology is connected (a
+    /// prerequisite for routing arbitrary alive-vertex permutations).
+    /// Grids, heavy-hex, brick walls and tori are connected by
+    /// construction; defective grids can be cut by their defect pattern.
+    pub fn validate_routable(&self) -> Result<(), TopologyError> {
+        match self {
+            Topology::GridWithDefects { .. } => {
+                let frame = self.routing_frame();
+                if frame.graph.is_empty() {
+                    return Err(TopologyError::EmptyResidual);
+                }
+                if !frame.graph.is_connected() {
+                    return Err(TopologyError::Disconnected);
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Check that `table` (a permutation image table over the topology's
+    /// ids) is the right length and fixes every dead vertex. Returns a
+    /// human-readable reason when it does not.
+    pub fn permutation_fits(&self, table: &[usize]) -> Result<(), String> {
+        if table.len() != self.len() {
+            return Err(format!(
+                "permutation has {} entries; {} has {} vertices",
+                table.len(),
+                self,
+                self.len()
+            ));
+        }
+        for &d in self.dead_vertices() {
+            if table[d] != d {
+                return Err(format!("permutation moves dead vertex {d}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl From<Grid> for Topology {
+    fn from(grid: Grid) -> Topology {
+        Topology::Grid(grid)
+    }
+}
+
+impl std::fmt::Display for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Topology::Grid(grid) => write!(f, "grid({}x{})", grid.rows(), grid.cols()),
+            Topology::GridWithDefects { grid, dead_vertices, dead_edges } => write!(
+                f,
+                "defect({}x{}, {} dead vertices, {} dead edges)",
+                grid.rows(),
+                grid.cols(),
+                dead_vertices.len(),
+                dead_edges.len()
+            ),
+            Topology::HeavyHex { rows, cols } => write!(f, "heavy-hex({rows}x{cols})"),
+            Topology::BrickWall { rows, cols } => write!(f, "brick({rows}x{cols})"),
+            Topology::Torus { rows, cols } => write!(f, "torus({rows}x{cols})"),
+        }
+    }
+}
+
+/// Vertex count of [`gridlike::heavy_hex`] without building the graph
+/// (mirrors its bridge-placement loop).
+fn heavy_hex_len(rows: usize, cols: usize) -> usize {
+    let mut total = rows * cols;
+    for i in 0..rows.saturating_sub(1) {
+        let offset = if i % 2 == 0 { 0 } else { 2 };
+        let bridges = if cols > offset {
+            (cols - offset).div_ceil(4)
+        } else {
+            0
+        };
+        total += bridges.max(1);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist;
+    use crate::oracle::ApspOracle;
+
+    #[test]
+    fn defect_constructor_validates_and_normalizes() {
+        let grid = Grid::new(3, 3);
+        let err = Topology::grid_with_defects(grid, &[9], &[]).unwrap_err();
+        assert!(matches!(
+            err,
+            TopologyError::DefectOutOfRange { defect: 9, .. }
+        ));
+        let err = Topology::grid_with_defects(grid, &[4, 4], &[]).unwrap_err();
+        assert_eq!(err, TopologyError::DuplicateDefect(4));
+        let err = Topology::grid_with_defects(grid, &[], &[(0, 2)]).unwrap_err();
+        assert_eq!(err, TopologyError::DeadEdgeNotCoupled(0, 2));
+        let err = Topology::grid_with_defects(Grid::new(1, 2), &[0, 1], &[]).unwrap_err();
+        assert_eq!(err, TopologyError::EmptyResidual);
+        // Empty patterns normalize to the plain grid …
+        let t = Topology::grid_with_defects(grid, &[], &[]).unwrap();
+        assert_eq!(t, Topology::Grid(grid));
+        // … including when the only dead edge touches a dead vertex.
+        let t = Topology::grid_with_defects(grid, &[0], &[(0, 1)]).unwrap();
+        assert_eq!(t.dead_edges(), &[] as &[(usize, usize)]);
+        assert_eq!(t.dead_vertices(), &[0]);
+        // Dead-edge order is normalized and duplicates collapse.
+        let t = Topology::grid_with_defects(grid, &[], &[(4, 1), (1, 4), (4, 3)]).unwrap();
+        assert_eq!(t.dead_edges(), &[(1, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn defect_graph_keeps_stable_ids() {
+        let grid = Grid::new(3, 3);
+        let t = Topology::grid_with_defects(grid, &[4], &[(0, 1)]).unwrap();
+        let g = t.graph();
+        assert_eq!(g.len(), 9, "dead vertices stay as isolated ids");
+        assert_eq!(g.degree(4), 0);
+        assert!(!g.has_edge(0, 1), "dead edge removed");
+        assert!(g.has_edge(0, 3));
+        // Frame compacts the dead vertex away.
+        let frame = t.routing_frame();
+        assert_eq!(frame.graph.len(), 8);
+        assert!(frame.graph.is_connected());
+        let map = frame.to_topology.as_ref().unwrap();
+        assert_eq!(map.len(), 8);
+        assert!(!map.contains(&4));
+        assert_eq!(frame.to_topology_id(0), 0);
+    }
+
+    #[test]
+    fn lens_match_graphs_across_kinds() {
+        let kinds = [
+            Topology::grid(3, 5),
+            Topology::grid_with_defects(Grid::new(4, 4), &[5, 10], &[]).unwrap(),
+            Topology::heavy_hex(3, 9),
+            Topology::heavy_hex(2, 2),
+            Topology::heavy_hex(4, 13),
+            Topology::brick_wall(3, 4),
+            Topology::torus(3, 5).unwrap(),
+        ];
+        for t in kinds {
+            assert_eq!(t.len(), t.graph().len(), "{t}");
+            assert!(!t.is_empty());
+        }
+    }
+
+    #[test]
+    fn torus_rejects_small_factors() {
+        assert!(Topology::torus(2, 5).is_err());
+        assert!(Topology::torus(5, 1).is_err());
+        assert!(Topology::torus(3, 3).is_ok());
+    }
+
+    #[test]
+    fn oracles_match_bfs_reference() {
+        let kinds = [
+            Topology::grid(3, 4),
+            Topology::grid_with_defects(Grid::new(4, 4), &[5], &[(0, 1)]).unwrap(),
+            Topology::heavy_hex(2, 5),
+            Topology::brick_wall(3, 5),
+            Topology::torus(3, 4).unwrap(),
+        ];
+        for t in kinds {
+            let graph = t.graph();
+            let oracle = t.oracle(&graph);
+            let reference = ApspOracle::new(&graph);
+            assert_eq!(oracle.len(), graph.len(), "{t}");
+            for u in 0..graph.len() {
+                for v in 0..graph.len() {
+                    assert_eq!(oracle.dist(u, v), reference.dist(u, v), "{t} u={u} v={v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn validate_routable_flags_cuts() {
+        // A dead column cuts a 1-wide corridor.
+        let grid = Grid::new(1, 3);
+        let t = Topology::grid_with_defects(grid, &[1], &[]).unwrap();
+        assert_eq!(t.validate_routable(), Err(TopologyError::Disconnected));
+        // A dead edge alone can cut a path graph too.
+        let t = Topology::grid_with_defects(grid, &[], &[(0, 1)]).unwrap();
+        assert_eq!(t.validate_routable(), Err(TopologyError::Disconnected));
+        // Scattered interior defects keep an 8x8 connected.
+        let grid = Grid::new(8, 8);
+        let t = Topology::grid_with_defects(grid, &[9, 13, 41, 45], &[]).unwrap();
+        assert_eq!(t.validate_routable(), Ok(()));
+        assert_eq!(Topology::heavy_hex(3, 9).validate_routable(), Ok(()));
+    }
+
+    #[test]
+    fn permutation_fits_checks_length_and_dead_fixing() {
+        let t = Topology::grid_with_defects(Grid::new(2, 2), &[3], &[]).unwrap();
+        assert!(t.permutation_fits(&[0, 1, 2, 3]).is_ok());
+        assert!(t
+            .permutation_fits(&[0, 1, 2])
+            .unwrap_err()
+            .contains("entries"));
+        assert!(t
+            .permutation_fits(&[0, 3, 2, 1])
+            .unwrap_err()
+            .contains("dead vertex 3"));
+    }
+
+    #[test]
+    fn heavy_hex_len_matches_builder() {
+        for rows in 1..5 {
+            for cols in 1..14 {
+                assert_eq!(
+                    heavy_hex_len(rows, cols),
+                    gridlike::heavy_hex(rows, cols).len(),
+                    "{rows}x{cols}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_and_kind_are_stable() {
+        let t = Topology::grid_with_defects(Grid::new(4, 4), &[5], &[(0, 1)]).unwrap();
+        assert_eq!(t.to_string(), "defect(4x4, 1 dead vertices, 1 dead edges)");
+        assert_eq!(t.kind(), "defect");
+        assert_eq!(Topology::grid(2, 3).kind(), "grid");
+        assert_eq!(Topology::heavy_hex(2, 2).kind(), "heavy-hex");
+        assert_eq!(Topology::brick_wall(2, 2).kind(), "brick");
+        assert_eq!(Topology::torus(3, 3).unwrap().kind(), "torus");
+    }
+
+    #[test]
+    fn unreachable_pairs_stay_unreachable_through_the_oracle() {
+        // Defect graph with an isolated dead vertex: its distance to
+        // anything alive is UNREACHABLE, to itself 0.
+        let t = Topology::grid_with_defects(Grid::new(2, 2), &[0], &[]).unwrap();
+        let graph = t.graph();
+        let oracle = t.oracle(&graph);
+        assert_eq!(oracle.dist(0, 1), dist::UNREACHABLE);
+        assert_eq!(oracle.dist(0, 0), 0);
+    }
+}
