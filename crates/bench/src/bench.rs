@@ -59,8 +59,11 @@ use std::fmt::Write as _;
 /// run-configuration fields; v4 — adds the non-grid topology matrix
 /// (`defect_cells`: router × topology kind × side on defective grids and
 /// heavy-hex lattices) and the `defect_sides` / `defect_seeds`
-/// run-configuration fields.
-pub const SCHEMA_VERSION: u64 = 4;
+/// run-configuration fields; v5 — adds the routing-daemon throughput
+/// matrix (`daemon_cells`: jobs and shared-cache counters per
+/// concurrent-client count, replaying `examples/jobs.jsonl` through a
+/// live TCP daemon) and the `daemon_clients` run-configuration field.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Relative mean-runtime regression tolerated by the baseline check
 /// (`0.25` = 25% slower), applied only when both reports captured timing.
@@ -148,6 +151,9 @@ pub struct BenchConfig {
     pub defect_sides: Vec<usize>,
     /// Seeds per defect cell (`0..defect_seeds`).
     pub defect_seeds: u64,
+    /// Concurrent-client counts in the daemon throughput matrix (each
+    /// client replays `examples/jobs.jsonl` over its own connection).
+    pub daemon_clients: Vec<usize>,
 }
 
 impl BenchConfig {
@@ -172,6 +178,7 @@ impl BenchConfig {
             service_seeds: 3,
             defect_sides: vec![8, 16],
             defect_seeds: 3,
+            daemon_clients: vec![1, 4, 8],
         }
     }
 
@@ -189,6 +196,7 @@ impl BenchConfig {
             service_seeds: 2,
             defect_sides: vec![8, 16],
             defect_seeds: 2,
+            daemon_clients: vec![1, 4, 8],
         }
     }
 }
@@ -474,10 +482,12 @@ pub fn measure_service_cell(
     seeds: u64,
     timing: bool,
 ) -> ServiceBenchCell {
-    let mut engine = qroute_service::Engine::new(qroute_service::EngineConfig {
-        workers,
-        ..qroute_service::EngineConfig::default()
-    });
+    let mut engine = qroute_service::Engine::new(
+        qroute_service::EngineConfig::builder()
+            .workers(workers)
+            .build()
+            .expect("the service worker axis is valid"),
+    );
     let jobs = service_jobs(side, seeds);
     let job_count = jobs.len();
     let t0 = std::time::Instant::now();
@@ -504,6 +514,99 @@ pub fn measure_service_cell(
     }
 }
 
+/// The JSONL job stream every daemon bench client replays — the
+/// committed example batch, so the daemon matrix exercises exactly the
+/// wire format the README documents.
+pub const DAEMON_BENCH_JOBS: &str = include_str!("../../../examples/jobs.jsonl");
+
+/// One routing-daemon throughput cell: `clients` concurrent connections
+/// each replaying [`DAEMON_BENCH_JOBS`] through a live TCP daemon.
+///
+/// The shared-cache counters are deterministic regardless of client
+/// interleaving: the shard-locked get-or-insert admits exactly one miss
+/// per distinct canonical key (the capacity far exceeds the distinct
+/// keys in the example batch, so nothing evicts), and every other lookup
+/// hits. `jobs_per_sec` is wall-clock-derived and zeroed when timing
+/// capture is off, exactly like `jobs_per_sec` in the service matrix.
+#[derive(Debug, Clone, Serialize)]
+pub struct DaemonBenchCell {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Total jobs routed across all clients.
+    pub jobs: usize,
+    /// Shared canonical-cache hits.
+    pub cache_hits: u64,
+    /// Shared canonical-cache misses (= distinct canonical keys).
+    pub cache_misses: u64,
+    /// Shared canonical-cache evictions.
+    pub cache_evictions: u64,
+    /// `cache_hits / (cache_hits + cache_misses)`.
+    pub hit_rate: f64,
+    /// Aggregate throughput across clients (`0.0` when timing capture
+    /// was disabled).
+    pub jobs_per_sec: f64,
+}
+
+impl DaemonBenchCell {
+    /// The cell's identity within a report's daemon matrix.
+    pub fn key(&self) -> usize {
+        self.clients
+    }
+}
+
+/// Measure one daemon throughput cell: bind an in-process daemon on an
+/// ephemeral port, replay [`DAEMON_BENCH_JOBS`] from `clients`
+/// concurrent connections, and snapshot the shared-cache counters after
+/// every client drained.
+pub fn measure_daemon_cell(clients: usize, timing: bool) -> DaemonBenchCell {
+    let daemon = qroute_service::Daemon::bind(
+        "127.0.0.1:0",
+        qroute_service::EngineConfig::builder()
+            .build()
+            .expect("the default engine config is valid"),
+    )
+    .expect("bind the bench daemon on an ephemeral port");
+    let addr = daemon.local_addr();
+    let t0 = std::time::Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client =
+                    qroute_service::Client::connect(addr).expect("connect to the bench daemon");
+                let outcomes = client
+                    .route_lines(DAEMON_BENCH_JOBS.lines())
+                    .expect("replay the example batch");
+                assert!(
+                    outcomes.iter().all(|l| l.ends_with("\"error\":null}")),
+                    "daemon bench batch must route cleanly"
+                );
+                outcomes.len()
+            })
+        })
+        .collect();
+    let jobs: usize = handles
+        .into_iter()
+        .map(|h| h.join().expect("bench client thread"))
+        .sum();
+    let elapsed = t0.elapsed().as_secs_f64();
+    let stats = daemon.stats();
+    daemon.shutdown();
+    daemon.join();
+    DaemonBenchCell {
+        clients,
+        jobs,
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+        cache_evictions: stats.cache_evictions,
+        hit_rate: stats.hit_rate,
+        jobs_per_sec: if timing && elapsed > 0.0 {
+            jobs as f64 / elapsed
+        } else {
+            0.0
+        },
+    }
+}
+
 /// A complete benchmark report — the `BENCH.json` document.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchReport {
@@ -524,6 +627,9 @@ pub struct BenchReport {
     /// Informational (not gated): hit counts are pinned by the service
     /// test suites, and throughput is machine-dependent.
     pub service_cells: Vec<ServiceBenchCell>,
+    /// The daemon throughput matrix, sorted by client count.
+    /// Informational (not gated), like the service matrix.
+    pub daemon_cells: Vec<DaemonBenchCell>,
 }
 
 /// The router axis of the permutation benchmark matrix: every
@@ -747,6 +853,13 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
         }
     }
     service_cells.sort_by_key(ServiceBenchCell::key);
+    // Daemon cells likewise run serially: each cell owns a live TCP
+    // daemon with its own worker pool and client threads.
+    let mut daemon_cells = Vec::new();
+    for &clients in &config.daemon_clients {
+        daemon_cells.push(measure_daemon_cell(clients, timing));
+    }
+    daemon_cells.sort_by_key(DaemonBenchCell::key);
     BenchReport {
         schema_version: SCHEMA_VERSION,
         env: BenchEnv::capture(),
@@ -755,6 +868,7 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
         circuit_cells,
         defect_cells,
         service_cells,
+        daemon_cells,
     }
 }
 
@@ -912,6 +1026,22 @@ impl BenchReport {
                 jobs_per_sec: num_field(c, "jobs_per_sec")?,
             });
         }
+        let daemon_cells_v = doc
+            .get("daemon_cells")
+            .and_then(|v| v.as_array())
+            .ok_or("missing daemon_cells array")?;
+        let mut daemon_cells = Vec::with_capacity(daemon_cells_v.len());
+        for c in daemon_cells_v {
+            daemon_cells.push(DaemonBenchCell {
+                clients: uint_field(c, "clients")?,
+                jobs: uint_field(c, "jobs")?,
+                cache_hits: u64_field(c, "cache_hits")?,
+                cache_misses: u64_field(c, "cache_misses")?,
+                cache_evictions: u64_field(c, "cache_evictions")?,
+                hit_rate: num_field(c, "hit_rate")?,
+                jobs_per_sec: num_field(c, "jobs_per_sec")?,
+            });
+        }
         Ok(BenchReport {
             schema_version: version,
             env: BenchEnv {
@@ -942,11 +1072,13 @@ impl BenchReport {
                     .get("defect_seeds")
                     .and_then(|v| v.as_u64())
                     .ok_or("missing config.defect_seeds")?,
+                daemon_clients: side_list(config_v, "daemon_clients")?,
             },
             cells,
             circuit_cells,
             defect_cells,
             service_cells,
+            daemon_cells,
         })
     }
 }
@@ -1244,6 +1376,7 @@ mod tests {
             service_seeds: 1,
             defect_sides: vec![5],
             defect_seeds: 1,
+            daemon_clients: vec![1, 2],
         }
     }
 
@@ -1339,6 +1472,42 @@ mod tests {
         }
         // Timed measurement produces a real throughput number.
         let timed = measure_service_cell(4, 2, 1, true);
+        assert!(timed.jobs_per_sec > 0.0);
+    }
+
+    #[test]
+    fn daemon_cells_cover_the_client_axis_with_deterministic_cache_counters() {
+        let report = run_bench(&tiny_config());
+        assert_eq!(report.daemon_cells.len(), 2);
+        let keys: Vec<_> = report
+            .daemon_cells
+            .iter()
+            .map(DaemonBenchCell::key)
+            .collect();
+        assert_eq!(keys, vec![1, 2]);
+        let batch_len = DAEMON_BENCH_JOBS
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .count();
+        let single = &report.daemon_cells[0];
+        assert_eq!(single.jobs, batch_len);
+        assert_eq!(single.cache_hits + single.cache_misses, batch_len as u64);
+        assert_eq!(single.cache_evictions, 0, "{single:?}");
+        assert_eq!(
+            single.jobs_per_sec, 0.0,
+            "untimed cells record no throughput"
+        );
+        // The distinct-key count is interleaving-independent: N clients
+        // replaying the same batch miss exactly once per distinct key.
+        let double = &report.daemon_cells[1];
+        assert_eq!(double.jobs, 2 * batch_len);
+        assert_eq!(double.cache_misses, single.cache_misses);
+        assert_eq!(
+            double.cache_hits,
+            2 * batch_len as u64 - single.cache_misses
+        );
+        // Timed measurement produces a real throughput number.
+        let timed = measure_daemon_cell(2, true);
         assert!(timed.jobs_per_sec > 0.0);
     }
 

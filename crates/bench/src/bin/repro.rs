@@ -7,6 +7,10 @@
 //!       [--quick] [--no-time] [--baseline BENCH.json] [--check]
 //! repro batch --input jobs.jsonl [--output results.jsonl]
 //!       [--workers N] [--cache-capacity K] [--time]
+//! repro batch --input jobs.jsonl --connect HOST:PORT [--output F]
+//! repro serve --addr HOST:PORT [--workers N] [--cache-capacity K]
+//!       [--queue-depth N] [--client-queue N]
+//! repro ctl --connect HOST:PORT (--stats | --shutdown)
 //! repro topo --kind <grid|defect|heavy-hex|brick|torus>
 //!       [--rows R] [--cols C] [--defects 6,12] [--dot]
 //! ```
@@ -16,15 +20,18 @@
 //! with `--baseline <file> --check`, exits 1 when a gated metric
 //! regressed past tolerance. The `batch` subcommand routes a JSONL job
 //! stream through the `qroute_service` engine with deterministic,
-//! input-ordered output. The `topo` subcommand materializes a coupling
-//! topology and prints a summary or Graphviz DOT. Run `repro --help`
-//! for the authoritative usage (the `USAGE` string below).
+//! input-ordered output — in-process by default, or through a running
+//! `repro serve` daemon with `--connect`. The `serve` subcommand runs
+//! the long-lived routing daemon; `ctl` queries or drains it. The
+//! `topo` subcommand materializes a coupling topology and prints a
+//! summary or Graphviz DOT. Run `repro --help` for the authoritative
+//! usage (the `USAGE` string below).
 
 use qroute_bench::bench::{self, BenchConfig, BenchReport};
 use qroute_bench::experiments;
 use qroute_bench::plot::{cells_to_chart, Scale};
 use qroute_bench::report;
-use qroute_service::{Engine, EngineConfig, RouteJob};
+use qroute_service::{Client, Daemon, Engine, EngineConfig, RouteJob};
 use qroute_topology::{gridlike, Grid, Topology};
 use std::path::PathBuf;
 
@@ -43,6 +50,12 @@ struct Args {
     workers: Option<usize>,
     cache_capacity: Option<usize>,
     time: bool,
+    addr: Option<String>,
+    queue_depth: Option<usize>,
+    client_queue: Option<usize>,
+    connect: Option<String>,
+    stats: bool,
+    shutdown: bool,
     kind: Option<String>,
     rows: Option<usize>,
     cols: Option<usize>,
@@ -61,18 +74,24 @@ USAGE:
           [--baseline BENCH.json] [--check]
     repro batch --input jobs.jsonl [--output results.jsonl]
           [--workers N] [--cache-capacity K] [--time]
+    repro batch --input jobs.jsonl --connect HOST:PORT [--output F]
+    repro serve --addr HOST:PORT [--workers N] [--cache-capacity K]
+          [--queue-depth N] [--client-queue N]
+    repro ctl --connect HOST:PORT (--stats | --shutdown)
     repro topo --kind <grid|defect|heavy-hex|brick|torus>
           [--rows R] [--cols C] [--defects 6,12] [--dot]
 
 Markdown tables print to stdout; CSV/JSON/SVG files land in --out
 (default results/).
 
-bench writes the machine-readable BENCH.json (schema v4: env metadata +
+bench writes the machine-readable BENCH.json (schema v5: env metadata +
 per router×class×side permutation cells with depth/size/lower-bound/time
 percentiles over seeds, circuit cells with swap/routing-depth/
 invocation/time percentiles over verified transpiles, defect cells
-routing non-grid topologies per topology×router×side, and service cells
-with jobs/sec + cache hit rate per side×workers) to --out.
+routing non-grid topologies per topology×router×side, service cells
+with jobs/sec + cache hit rate per side×workers, and daemon cells
+replaying the example batch through a live TCP daemon per
+concurrent-client count) to --out.
 Bench-only flags:
     --quick           CI gate config: 2 seeds, timing off (deterministic)
     --no-time         skip wall-clock capture (byte-stable output)
@@ -88,13 +107,40 @@ batch routes a JSONL job stream through the multi-worker service engine
 router is a label or \"auto\") and writes one outcome line per job, in
 input order. Output bytes are deterministic for fixed inputs regardless
 of --workers unless --time is given. Malformed jobs become per-job error
-outcomes and set exit code 1.
-Batch-only flags:
+outcomes and set exit code 1. With --connect, the same job stream is
+replayed through a running `repro serve` daemon instead of an in-process
+engine; the outcome bytes are identical to the in-process (untimed) run.
+Batch flags:
     --input F         JSONL jobs file (required)
     --output F        results file (default: stdout)
-    --workers N       engine worker threads (default 4)
-    --cache-capacity K  canonical-cache entries (default 1024, 0 = off)
-    --time            record per-job routing time (non-deterministic)
+    --workers N       engine worker threads (default 4; local mode only)
+    --cache-capacity K  canonical-cache entries (default 1024, 0 = off;
+                      local mode only)
+    --time            record per-job routing time (non-deterministic;
+                      local mode only)
+    --connect A       route through the daemon at A (host:port)
+
+serve runs the long-lived routing daemon: a TCP server speaking the
+same JSONL wire format, one request line in, one outcome line out, any
+number of concurrent client connections. Outcome order and bytes per
+connection match an untimed `repro batch` of the same lines. Stops on a
+`repro ctl --shutdown` (graceful drain: admitted jobs finish first).
+Serve flags:
+    --addr A          listen address, e.g. 127.0.0.1:7878 (required;
+                      port 0 picks an ephemeral port)
+    --workers N       routing worker threads (default 4)
+    --cache-capacity K  shared canonical-cache entries (default 1024)
+    --queue-depth N   routing work-queue bound (default 32)
+    --client-queue N  per-connection in-flight job limit; jobs past it
+                      are rejected with a backpressure error outcome
+                      (default 256)
+
+ctl sends one control request to a running daemon and prints the
+response line on stdout.
+Ctl flags:
+    --connect A       daemon address (required)
+    --stats           request the counter snapshot
+    --shutdown        request a graceful drain-and-exit
 
 topo materializes one coupling topology and prints a one-line summary
 (vertex/edge counts), or its Graphviz DOT with --dot.
@@ -125,6 +171,12 @@ fn parse_args() -> Args {
     let mut workers: Option<usize> = None;
     let mut cache_capacity: Option<usize> = None;
     let mut time = false;
+    let mut addr: Option<String> = None;
+    let mut queue_depth: Option<usize> = None;
+    let mut client_queue: Option<usize> = None;
+    let mut connect: Option<String> = None;
+    let mut stats = false;
+    let mut shutdown = false;
     let mut kind: Option<String> = None;
     let mut rows: Option<usize> = None;
     let mut cols: Option<usize> = None;
@@ -206,6 +258,26 @@ fn parse_args() -> Args {
                 }));
             }
             "--time" => time = true,
+            "--addr" => addr = Some(flag_value(&mut i, "--addr")),
+            "--queue-depth" => {
+                let v = flag_value(&mut i, "--queue-depth");
+                queue_depth = Some(v.parse().ok().filter(|&d: &usize| d >= 1).unwrap_or_else(
+                    || usage_error(format!("--queue-depth wants a positive integer, got {v:?}")),
+                ));
+            }
+            "--client-queue" => {
+                let v = flag_value(&mut i, "--client-queue");
+                client_queue = Some(v.parse().ok().filter(|&d: &usize| d >= 1).unwrap_or_else(
+                    || {
+                        usage_error(format!(
+                            "--client-queue wants a positive integer, got {v:?}"
+                        ))
+                    },
+                ));
+            }
+            "--connect" => connect = Some(flag_value(&mut i, "--connect")),
+            "--stats" => stats = true,
+            "--shutdown" => shutdown = true,
             "--kind" => kind = Some(flag_value(&mut i, "--kind")),
             "--rows" => {
                 let v = flag_value(&mut i, "--rows");
@@ -270,27 +342,86 @@ fn parse_args() -> Args {
         for (given, flag) in [
             (input.is_some(), "--input"),
             (output.is_some(), "--output"),
-            (workers.is_some(), "--workers"),
-            (cache_capacity.is_some(), "--cache-capacity"),
             (time, "--time"),
         ] {
             if given {
                 usage_error(format!("{flag} only applies to the batch command"));
             }
         }
+    }
+    if command != "batch" && command != "serve" {
+        for (given, flag) in [
+            (workers.is_some(), "--workers"),
+            (cache_capacity.is_some(), "--cache-capacity"),
+        ] {
+            if given {
+                usage_error(format!(
+                    "{flag} only applies to the batch and serve commands"
+                ));
+            }
+        }
+    }
+    if command != "serve" {
+        for (given, flag) in [
+            (addr.is_some(), "--addr"),
+            (queue_depth.is_some(), "--queue-depth"),
+            (client_queue.is_some(), "--client-queue"),
+        ] {
+            if given {
+                usage_error(format!("{flag} only applies to the serve command"));
+            }
+        }
+    } else if addr.is_none() {
+        usage_error("serve requires --addr <host:port>".to_string());
+    }
+    if command != "batch" && command != "ctl" && connect.is_some() {
+        usage_error("--connect only applies to the batch and ctl commands".to_string());
+    }
+    if command != "ctl" {
+        for (given, flag) in [(stats, "--stats"), (shutdown, "--shutdown")] {
+            if given {
+                usage_error(format!("{flag} only applies to the ctl command"));
+            }
+        }
     } else {
-        // The sweep/bench flags mean nothing to the service engine.
+        if connect.is_none() {
+            usage_error("ctl requires --connect <host:port>".to_string());
+        }
+        if stats == shutdown {
+            usage_error("ctl requires exactly one of --stats or --shutdown".to_string());
+        }
+    }
+    if matches!(command.as_str(), "batch" | "serve" | "ctl") {
+        // The sweep/bench flags mean nothing to the service layer.
         for (given, flag) in [
             (sides.is_some(), "--sides"),
             (seeds.is_some(), "--seeds"),
             (out_set, "--out"),
         ] {
             if given {
-                usage_error(format!("{flag} does not apply to the batch command"));
+                usage_error(format!("{flag} does not apply to the {command} command"));
             }
         }
+    }
+    if command == "batch" {
         if input.is_none() {
             usage_error("batch requires --input <jobs.jsonl>".to_string());
+        }
+        if connect.is_some() {
+            // The daemon owns the engine configuration; timing is off by
+            // design so daemon outcomes stay batch-identical.
+            for (given, flag) in [
+                (workers.is_some(), "--workers"),
+                (cache_capacity.is_some(), "--cache-capacity"),
+                (time, "--time"),
+            ] {
+                if given {
+                    usage_error(format!(
+                        "{flag} does not apply when batch routes through --connect \
+                         (the daemon owns its engine configuration)"
+                    ));
+                }
+            }
         }
     }
     if command != "topo" {
@@ -326,6 +457,12 @@ fn parse_args() -> Args {
         workers,
         cache_capacity,
         time,
+        addr,
+        queue_depth,
+        client_queue,
+        connect,
+        stats,
+        shutdown,
         kind,
         rows,
         cols,
@@ -566,18 +703,14 @@ fn run_bench_cmd(args: &Args) {
 
 /// Route a JSONL job stream through the service engine: one outcome
 /// line per job, in input order. Exit 1 when any job errored (after
-/// writing every outcome), 2 on I/O problems.
+/// writing every outcome), 2 on I/O problems. With `--connect`, the
+/// stream is replayed through a running daemon instead; the outcome
+/// bytes are identical to the in-process (untimed) run.
 fn run_batch_cmd(args: &Args) {
     let input_path = args.input.as_ref().expect("parse_args enforced --input");
     let text = std::fs::read_to_string(input_path).unwrap_or_else(|e| {
         eprintln!("error: cannot read {}: {e}", input_path.display());
         std::process::exit(2);
-    });
-    let mut engine = Engine::new(EngineConfig {
-        workers: args.workers.unwrap_or(4),
-        cache_capacity: args.cache_capacity.unwrap_or(1024),
-        timing: args.time,
-        ..EngineConfig::default()
     });
     let mut sink: Box<dyn std::io::Write> = match &args.output {
         Some(path) => {
@@ -589,6 +722,20 @@ fn run_batch_cmd(args: &Args) {
         }
         None => Box::new(std::io::stdout().lock()),
     };
+    if let Some(connect) = &args.connect {
+        run_batch_via_daemon(connect, &text, &mut *sink);
+        return;
+    }
+    let config = EngineConfig::builder()
+        .workers(args.workers.unwrap_or(4))
+        .cache_capacity(args.cache_capacity.unwrap_or(1024))
+        .timing(args.time)
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
+    let mut engine = Engine::new(config);
     // Interleave submission and (id-ordered) collection so resident
     // results stay bounded by the window, not the stream length.
     const PENDING_WINDOW: usize = 1024;
@@ -639,6 +786,101 @@ fn run_batch_cmd(args: &Args) {
     );
     if errors > 0 {
         std::process::exit(1);
+    }
+}
+
+/// Replay a job stream through a running daemon over one connection:
+/// same per-line protocol, same outcome bytes as the in-process engine.
+fn run_batch_via_daemon(addr: &str, text: &str, sink: &mut dyn std::io::Write) {
+    let mut client = Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("error: cannot connect to {addr}: {e}");
+        std::process::exit(2);
+    });
+    let outcomes = client.route_lines(text.lines()).unwrap_or_else(|e| {
+        eprintln!("error: daemon connection to {addr} failed: {e}");
+        std::process::exit(2);
+    });
+    let mut errors = 0usize;
+    for line in &outcomes {
+        if !line.ends_with("\"error\":null}") {
+            errors += 1;
+        }
+        writeln!(sink, "{line}").expect("write outcome line");
+    }
+    sink.flush().expect("flush outcomes");
+    eprintln!(
+        "batch summary: jobs={} errors={errors} daemon={addr}",
+        outcomes.len()
+    );
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Run the routing daemon until a `repro ctl --shutdown` (or SIGKILL)
+/// stops it; print the listen address up front and the drained counter
+/// summary on exit, both on stderr.
+fn run_serve_cmd(args: &Args) {
+    let addr = args.addr.as_deref().expect("parse_args enforced --addr");
+    let mut builder = EngineConfig::builder();
+    if let Some(workers) = args.workers {
+        builder = builder.workers(workers);
+    }
+    if let Some(capacity) = args.cache_capacity {
+        builder = builder.cache_capacity(capacity);
+    }
+    if let Some(depth) = args.queue_depth {
+        builder = builder.queue_depth(depth);
+    }
+    if let Some(depth) = args.client_queue {
+        builder = builder.client_queue_depth(depth);
+    }
+    let config = builder.build().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let daemon = Daemon::bind(addr, config).unwrap_or_else(|e| {
+        eprintln!("error: cannot bind {addr}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!("listening on {}", daemon.local_addr());
+    let stats = daemon.join();
+    eprintln!(
+        "daemon summary: jobs={} errors={} connections={} hits={} misses={} evictions={} \
+         hit_rate={:.3}",
+        stats.jobs_routed,
+        stats.jobs_errored,
+        stats.connections,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_evictions,
+        stats.hit_rate,
+    );
+}
+
+/// Send one control request to a running daemon and print the response
+/// line on stdout. Exit 2 when the daemon is unreachable.
+fn run_ctl_cmd(args: &Args) {
+    let addr = args
+        .connect
+        .as_deref()
+        .expect("parse_args enforced --connect");
+    let mut client = Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("error: cannot connect to {addr}: {e}");
+        std::process::exit(2);
+    });
+    let response = if args.stats {
+        client.stats()
+    } else {
+        assert!(args.shutdown, "parse_args enforced --stats xor --shutdown");
+        client.shutdown_server()
+    };
+    match response {
+        Ok(line) => println!("{line}"),
+        Err(e) => {
+            eprintln!("error: daemon connection to {addr} failed: {e}");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -696,6 +938,8 @@ fn main() {
         "transpile" => run_transpile(&args),
         "bench" => run_bench_cmd(&args),
         "batch" => run_batch_cmd(&args),
+        "serve" => run_serve_cmd(&args),
+        "ctl" => run_ctl_cmd(&args),
         "topo" => run_topo_cmd(&args),
         "all" => {
             run_fig4(&args);
@@ -707,7 +951,7 @@ fn main() {
             run_transpile(&args);
         }
         other => usage_error(format!(
-            "unknown command {other:?}; expected fig4|fig5|hybrid|skinny|ablations|optgap|transpile|bench|batch|topo|all"
+            "unknown command {other:?}; expected fig4|fig5|hybrid|skinny|ablations|optgap|transpile|bench|batch|serve|ctl|topo|all"
         )),
     }
 }

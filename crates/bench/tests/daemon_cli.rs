@@ -1,0 +1,284 @@
+//! End-to-end tests of `repro serve`, `repro ctl`, and `repro batch
+//! --connect`: a real daemon child process on an ephemeral port, two
+//! concurrent wire clients producing bytes identical to the in-process
+//! batch, control requests, graceful shutdown, and flag gating.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+
+fn repro(args: &[&str], cwd: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .expect("spawn repro")
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qroute_daemon_cli_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn example_jobs() -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/jobs.jsonl")
+        .canonicalize()
+        .expect("committed example jobs file exists")
+        .display()
+        .to_string()
+}
+
+/// Start `repro serve` on an ephemeral port and return the child plus
+/// the address it reported on stderr.
+fn spawn_daemon(extra: &[&str]) -> (Child, String, BufReader<std::process::ChildStderr>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn repro serve");
+    let mut stderr = BufReader::new(child.stderr.take().expect("piped stderr"));
+    let mut line = String::new();
+    stderr.read_line(&mut line).expect("read listen line");
+    let addr = line
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected serve banner: {line:?}"))
+        .trim()
+        .to_string();
+    (child, addr, stderr)
+}
+
+fn shutdown_and_reap(
+    mut child: Child,
+    addr: &str,
+    mut stderr: BufReader<std::process::ChildStderr>,
+    dir: &Path,
+) {
+    let out = repro(&["ctl", "--connect", addr, "--shutdown"], dir);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim(),
+        "{\"ok\":\"shutdown\"}"
+    );
+    let status = child.wait().expect("serve child exits after --shutdown");
+    assert!(status.success(), "serve must drain and exit 0: {status}");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut stderr, &mut rest).expect("drain serve stderr");
+    assert!(
+        rest.contains("daemon summary:"),
+        "serve must print the drained summary:\n{rest}"
+    );
+}
+
+#[test]
+fn daemon_serves_concurrent_clients_with_batch_identical_bytes() {
+    let dir = tmp_dir("roundtrip");
+    let jobs = example_jobs();
+    let (child, addr, stderr) = spawn_daemon(&[]);
+
+    let local = repro(&["batch", "--input", &jobs, "--output", "local"], &dir);
+    assert!(
+        local.status.success(),
+        "{}",
+        String::from_utf8_lossy(&local.stderr)
+    );
+
+    // Two concurrent wire clients replaying the same stream.
+    let clients: Vec<_> = ["a", "b"]
+        .map(|name| {
+            let jobs = jobs.clone();
+            let addr = addr.clone();
+            let dir = dir.clone();
+            std::thread::spawn(move || {
+                repro(
+                    &[
+                        "batch",
+                        "--input",
+                        &jobs,
+                        "--connect",
+                        &addr,
+                        "--output",
+                        name,
+                    ],
+                    &dir,
+                )
+            })
+        })
+        .into_iter()
+        .collect();
+    for (name, handle) in ["a", "b"].iter().zip(clients) {
+        let out = handle.join().expect("client thread");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let summary = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            summary.contains(&format!("daemon={addr}")),
+            "summary names the daemon:\n{summary}"
+        );
+        let reference = std::fs::read(dir.join("local")).expect("local results");
+        let via_daemon = std::fs::read(dir.join(name)).expect("daemon results");
+        assert!(!via_daemon.is_empty());
+        assert_eq!(
+            via_daemon, reference,
+            "client {name}: daemon bytes diverged from the local batch"
+        );
+    }
+
+    // The shared cache saw both replays: stats reports nonzero hits.
+    let stats = repro(&["ctl", "--connect", &addr, "--stats"], &dir);
+    assert!(
+        stats.status.success(),
+        "{}",
+        String::from_utf8_lossy(&stats.stderr)
+    );
+    let stats_line = String::from_utf8_lossy(&stats.stdout);
+    let doc: serde_json::Value =
+        serde_json::from_str(stats_line.trim()).expect("stats response is JSON");
+    let snapshot = doc.get("stats").expect("stats envelope");
+    let hits = snapshot
+        .get("cache_hits")
+        .and_then(|v| v.as_u64())
+        .expect("cache_hits field");
+    assert!(
+        hits > 0,
+        "two replays must hit the shared cache:\n{stats_line}"
+    );
+    assert!(
+        snapshot
+            .get("jobs_routed")
+            .and_then(|v| v.as_u64())
+            .unwrap()
+            > 0,
+        "{stats_line}"
+    );
+
+    shutdown_and_reap(child, &addr, stderr, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_honors_engine_config_flags() {
+    let dir = tmp_dir("config");
+    let jobs = example_jobs();
+    let (child, addr, stderr) = spawn_daemon(&[
+        "--workers",
+        "2",
+        "--cache-capacity",
+        "0",
+        "--client-queue",
+        "64",
+    ]);
+    let out = repro(&["batch", "--input", &jobs, "--connect", &addr], &dir);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Capacity 0 disables the cache: everything misses.
+    assert!(
+        !String::from_utf8_lossy(&out.stdout).contains("\"cache\":\"hit\""),
+        "cache-capacity 0 must disable hits"
+    );
+    shutdown_and_reap(child, &addr, stderr, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ctl_against_a_dead_daemon_exits_2() {
+    let dir = tmp_dir("dead");
+    // Port reserved then released: nothing is listening there.
+    let addr = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    };
+    let out = repro(&["ctl", "--connect", &addr, "--stats"], &dir);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot connect"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_and_ctl_flags_are_gated() {
+    let dir = tmp_dir("gating");
+    for (args, needle) in [
+        (&["serve"][..], "serve requires --addr"),
+        (&["ctl", "--connect", "127.0.0.1:1"][..], "exactly one of"),
+        (
+            &["ctl", "--connect", "127.0.0.1:1", "--stats", "--shutdown"][..],
+            "exactly one of",
+        ),
+        (&["ctl", "--stats"][..], "ctl requires --connect"),
+        (
+            &["batch", "--addr", "127.0.0.1:1"][..],
+            "--addr only applies",
+        ),
+        (
+            &["serve", "--addr", "127.0.0.1:1", "--time"][..],
+            "--time only applies",
+        ),
+        (
+            &[
+                "batch",
+                "--input",
+                "x",
+                "--connect",
+                "127.0.0.1:1",
+                "--workers",
+                "2",
+            ][..],
+            "--workers does not apply",
+        ),
+        (
+            &[
+                "batch",
+                "--input",
+                "x",
+                "--connect",
+                "127.0.0.1:1",
+                "--time",
+            ][..],
+            "--time does not apply",
+        ),
+        (
+            &["fig4", "--connect", "127.0.0.1:1"][..],
+            "--connect only applies",
+        ),
+    ] {
+        let out = repro(args, &dir);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{args:?}:\n{stderr}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn help_documents_serve_and_ctl() {
+    let dir = tmp_dir("help");
+    let out = repro(&["--help"], &dir);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "serve",
+        "ctl",
+        "--addr",
+        "--connect",
+        "--stats",
+        "--shutdown",
+        "--client-queue",
+        "--queue-depth",
+    ] {
+        assert!(stdout.contains(needle), "help missing {needle}:\n{stdout}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

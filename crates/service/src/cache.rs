@@ -531,6 +531,41 @@ impl<V: Clone> ShardedLru<V> {
         }
     }
 
+    /// Atomic lookup-or-insert: returns `(value, inserted)`, holding the
+    /// shard lock across the check and the insert so two threads racing
+    /// on the same key agree on exactly one inserter.
+    ///
+    /// Counter-compatible with a `get` + `insert` pair — present keys
+    /// count a hit and touch recency; absent keys count a miss, insert
+    /// `make()`, and evict the shard's LRU entry if over budget — so a
+    /// shared concurrent cache reports the same statistics shape the
+    /// engine's serialized get/insert path does. With capacity 0 the
+    /// miss is counted and `make()`'s value returned unstored.
+    pub fn get_or_insert_with(&self, key: CanonicalKey, make: impl FnOnce() -> V) -> (V, bool) {
+        if self.per_shard_capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return (make(), true);
+        }
+        let mut shard = self.shards[self.shard_index(&key)]
+            .lock()
+            .expect("cache shard poisoned");
+        if let Some(pos) = shard.iter().position(|(k, _)| *k == key) {
+            let entry = shard.remove(pos);
+            let value = entry.1.clone();
+            shard.push(entry);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (value, false);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = make();
+        shard.push((key, value.clone()));
+        if shard.len() > self.per_shard_capacity {
+            shard.remove(0);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        (value, true)
+    }
+
     /// Aggregate counters since construction.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -594,6 +629,58 @@ mod tests {
         assert_eq!(lru.get(&key(0)), None);
         assert_eq!(lru.stats().misses, 1);
         assert_eq!(lru.stats().hits, 0);
+        assert_eq!(lru.get_or_insert_with(key(0), || 2), (2, true));
+        assert_eq!(lru.get(&key(0)), None, "nothing is ever stored");
+    }
+
+    #[test]
+    fn get_or_insert_matches_get_plus_insert_counters() {
+        let lru: ShardedLru<usize> = ShardedLru::new(2, 1);
+        assert_eq!(lru.get_or_insert_with(key(0), || 10), (10, true));
+        assert_eq!(lru.get_or_insert_with(key(0), || 99), (10, false));
+        assert_eq!(lru.get_or_insert_with(key(1), || 11), (11, true));
+        // key(0) was touched by its hit, so key(1) is... no: the hit on
+        // key(0) predates key(1)'s insert, making key(0) the LRU entry.
+        assert_eq!(lru.get_or_insert_with(key(2), || 12), (12, true));
+        let stats = lru.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 3, 1));
+        assert_eq!(lru.get(&key(0)), None, "LRU entry evicted");
+        assert_eq!(lru.get(&key(1)), Some(11));
+        assert_eq!(lru.get(&key(2)), Some(12));
+    }
+
+    #[test]
+    fn shard_locked_concurrent_access_keeps_counters_consistent() {
+        // 8 threads hammer one shared cache with overlapping key sets:
+        // counters must add up exactly (hits + misses == lookups) and
+        // every thread racing on the same key must agree on one value —
+        // the per-shard locking the daemon relies on.
+        use std::sync::Arc;
+        // Per-shard budget 32 ≫ 16 keys: even if the fixed hash lumped
+        // every key into one shard, nothing could evict.
+        let lru: Arc<ShardedLru<usize>> = Arc::new(ShardedLru::new(256, 8));
+        const THREADS: usize = 8;
+        const OPS: usize = 200;
+        const DISTINCT: usize = 16;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let lru = Arc::clone(&lru);
+                std::thread::spawn(move || {
+                    for i in 0..OPS {
+                        let tag = (i + t) % DISTINCT;
+                        let (value, _) = lru.get_or_insert_with(key(tag), || tag * 7);
+                        assert_eq!(value, tag * 7, "racing inserters must agree");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = lru.stats();
+        assert_eq!(stats.hits + stats.misses, (THREADS * OPS) as u64);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.misses, DISTINCT as u64, "one inserter per key");
     }
 
     #[test]

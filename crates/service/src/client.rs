@@ -1,0 +1,106 @@
+//! A small blocking client for the routing daemon.
+//!
+//! One [`Client`] is one connection — one submit stream with the
+//! daemon's per-connection determinism guarantee. [`Client::route_lines`]
+//! pipelines a whole job list with a bounded in-flight window (staying
+//! under the daemon's admission limit), so replaying a jobs file takes
+//! one round trip per window rather than per job. Tests, `repro batch
+//! --connect`, `repro ctl`, and the `service_daemon` bench cells all
+//! drive the daemon through this type.
+
+use crate::errors::ServiceError;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Job lines a client keeps in flight before reading an outcome back.
+/// Well under the default `client_queue_depth` (256), so a pipelined
+/// replay never triggers the daemon's backpressure rejections.
+const PIPELINE_WINDOW: usize = 32;
+
+/// A blocking JSONL connection to a routing daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a daemon at `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServiceError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ServiceError::Io(e.to_string()))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| ServiceError::Io(e.to_string()))?,
+        );
+        Ok(Client { reader, writer: stream })
+    }
+
+    /// Send one raw request line (job or control).
+    pub fn send_line(&mut self, line: &str) -> Result<(), ServiceError> {
+        writeln!(self.writer, "{line}")
+            .and_then(|_| self.writer.flush())
+            .map_err(|e| ServiceError::Io(e.to_string()))
+    }
+
+    /// Receive one response line; `None` when the daemon closed the
+    /// connection.
+    pub fn recv_line(&mut self) -> Result<Option<String>, ServiceError> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Ok(None),
+            Ok(_) => {
+                while line.ends_with('\n') || line.ends_with('\r') {
+                    line.pop();
+                }
+                Ok(Some(line))
+            }
+            Err(e) => Err(ServiceError::Io(e.to_string())),
+        }
+    }
+
+    /// Replay a stream of job lines, pipelined; returns one outcome line
+    /// per non-blank job line, in submission order. Blank lines are
+    /// skipped (they produce no outcome — same as `repro batch`).
+    pub fn route_lines<'a>(
+        &mut self,
+        lines: impl IntoIterator<Item = &'a str>,
+    ) -> Result<Vec<String>, ServiceError> {
+        let mut outcomes = Vec::new();
+        let mut in_flight = 0usize;
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            self.send_line(line)?;
+            in_flight += 1;
+            if in_flight >= PIPELINE_WINDOW {
+                outcomes.push(self.expect_line()?);
+                in_flight -= 1;
+            }
+        }
+        for _ in 0..in_flight {
+            outcomes.push(self.expect_line()?);
+        }
+        Ok(outcomes)
+    }
+
+    /// Request a [`crate::StatsSnapshot`]; returns the raw
+    /// `{"stats": {...}}` response line. Call with no outcomes pending
+    /// (responses share the connection's ordered stream).
+    pub fn stats(&mut self) -> Result<String, ServiceError> {
+        self.send_line("{\"req\": \"stats\"}")?;
+        self.expect_line()
+    }
+
+    /// Ask the daemon to drain and exit; returns its acknowledgement
+    /// line (`{"ok":"shutdown"}`).
+    pub fn shutdown_server(&mut self) -> Result<String, ServiceError> {
+        self.send_line("{\"req\": \"shutdown\"}")?;
+        self.expect_line()
+    }
+
+    fn expect_line(&mut self) -> Result<String, ServiceError> {
+        self.recv_line()?
+            .ok_or_else(|| ServiceError::Io("daemon closed the connection mid-stream".to_string()))
+    }
+}

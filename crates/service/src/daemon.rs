@@ -1,0 +1,566 @@
+//! The persistent routing daemon: a long-lived TCP server speaking the
+//! JSONL job wire format, one request line in → one outcome line out.
+//!
+//! Architecture, per connection:
+//!
+//! ```text
+//!  reader thread (one per connection)
+//!    read line → admission check → parse/resolve → plan (canonicalize)
+//!      → per-shard-locked shared cache get_or_insert → dispatch miss
+//!      → enqueue wait-ticket on the connection's ordered channel ──┐
+//!  worker pool (shared, routes canonical instances)                │
+//!  writer thread (one per connection)                              │
+//!    pop ticket → wait on its slot → write outcome line  ◄─────────┘
+//! ```
+//!
+//! **Concurrency without losing determinism.** Unlike the in-process
+//! [`Engine`](crate::Engine), nothing serializes on a global submit
+//! thread: every connection plans (resolves, canonicalizes) and looks up
+//! the **shared** cache on its own reader thread, synchronized only by
+//! the cache's per-shard mutexes
+//! ([`ShardedLru::get_or_insert_with`]). The determinism guarantee is
+//! scoped *per connection*: outcome order matches that connection's
+//! submit order, and the hit/miss status on each outcome comes from a
+//! private per-connection *mirror* cache (same capacity and sharding,
+//! tracking keys only) that replays the connection's stream exactly the
+//! way a single-threaded `repro batch` would — so a connection's outcome
+//! bytes are identical to batch output for the same job list, no matter
+//! how many other clients are connected. The shared cache still dedups
+//! *computation* across connections (a mirror-miss may be served from
+//! another connection's routed slot; routers are deterministic, so
+//! depth/size are identical either way).
+//!
+//! **Admission control.** Each connection may have at most
+//! `client_queue_depth` jobs in flight (submitted, outcome not yet
+//! written). Excess job lines are rejected immediately with an in-order
+//! error outcome (code `backpressure`) — never a hang — and do not count
+//! against the limit. A client that floods without reading outcomes
+//! eventually blocks in TCP flow control, which bounds daemon memory; it
+//! cannot wedge the server.
+//!
+//! **Control requests.** A line that is a JSON object with a `"req"`
+//! field is a control request, answered in stream order like any job:
+//! `{"req": "stats"}` returns `{"stats": {...}}` (a serialized
+//! [`StatsSnapshot`]); `{"req": "shutdown"}` acknowledges with
+//! `{"ok": "shutdown"}` and begins a graceful drain: the listener stops
+//! accepting, open connections finish every accepted job, then the
+//! daemon exits. Control requests consume no job id.
+//!
+//! The daemon always runs with timing capture off (`time_ms` is `null`),
+//! keeping outcome bytes deterministic and batch-identical.
+
+use crate::cache::ShardedLru;
+use crate::engine::{plan_route, EngineConfig, RouteSlot, WorkItem, WorkerPool};
+use crate::errors::ServiceError;
+use crate::job::{CacheStatus, RouteJob, RouteOutcome};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Latency histogram bucket count: bucket `i` holds services that took
+/// `[2^(i−1), 2^i)` microseconds (bucket 0 is sub-microsecond).
+const LATENCY_BUCKETS: usize = 64;
+
+/// Jobs routed per router kind, one row of [`StatsSnapshot::routers`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RouterJobs {
+    /// The router's stable label.
+    pub router: String,
+    /// Jobs dispatched to it (cache hits included — the job was
+    /// *answered* by this router's schedule).
+    pub jobs: u64,
+}
+
+/// A point-in-time view of daemon counters, returned by
+/// [`Daemon::stats`] and the wire `{"req": "stats"}` request.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StatsSnapshot {
+    /// Successfully routed job outcomes written.
+    pub jobs_routed: u64,
+    /// Error outcomes written (parse, validation, version, backpressure,
+    /// shutdown, panic).
+    pub jobs_errored: u64,
+    /// Connections accepted since the daemon started.
+    pub connections: u64,
+    /// Jobs currently in flight across all connections (admitted,
+    /// outcome not yet written).
+    pub queue_depth: u64,
+    /// Shared-cache hits (see [`crate::CacheStats`]).
+    pub cache_hits: u64,
+    /// Shared-cache misses.
+    pub cache_misses: u64,
+    /// Shared-cache evictions.
+    pub cache_evictions: u64,
+    /// Shared-cache hit rate in `[0, 1]`.
+    pub hit_rate: f64,
+    /// Jobs per router kind, sorted by label.
+    pub routers: Vec<RouterJobs>,
+    /// Median service latency (admission → outcome written) in
+    /// milliseconds, as the upper bound of the histogram bucket.
+    pub latency_p50_ms: f64,
+    /// 99th-percentile service latency in milliseconds.
+    pub latency_p99_ms: f64,
+}
+
+/// Cumulative daemon counters (all monotone except the
+/// `in_flight` gauge).
+struct DaemonStats {
+    jobs_routed: AtomicU64,
+    jobs_errored: AtomicU64,
+    connections: AtomicU64,
+    in_flight: AtomicU64,
+    dispatch: Mutex<BTreeMap<String, u64>>,
+    latency_us: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl DaemonStats {
+    fn new() -> DaemonStats {
+        DaemonStats {
+            jobs_routed: AtomicU64::new(0),
+            jobs_errored: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            dispatch: Mutex::new(BTreeMap::new()),
+            latency_us: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record_latency(&self, since: Instant) {
+        let us = since.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        let bucket = if us == 0 {
+            0
+        } else {
+            (64 - us.leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
+        };
+        self.latency_us[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Quantile over the histogram as the upper bound (in ms) of the
+    /// bucket containing the `q`-ranked sample; `0.0` with no samples.
+    fn latency_quantile_ms(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self
+            .latency_us
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (bucket, &count) in counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                let upper_us = if bucket == 0 { 1 } else { 1u64 << bucket };
+                return upper_us as f64 / 1e3;
+            }
+        }
+        unreachable!("rank ≤ total")
+    }
+}
+
+/// State shared by the accept loop, every connection thread, and the
+/// [`Daemon`] handle.
+struct DaemonShared {
+    config: EngineConfig,
+    cache: ShardedLru<Arc<RouteSlot>>,
+    pool: WorkerPool,
+    stats: DaemonStats,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    /// Read-half clones of open connections, for shutdown wakeup.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl DaemonShared {
+    /// Idempotently begin the graceful drain: stop admitting new work,
+    /// wake blocked connection readers, and wake the accept loop.
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for conn in self.conns.lock().expect("conns poisoned").iter() {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+        // A throwaway self-connection unblocks the accept loop so it can
+        // observe the flag (std's TcpListener has no native cancel).
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        let cache = self.cache.stats();
+        StatsSnapshot {
+            jobs_routed: self.stats.jobs_routed.load(Ordering::Relaxed),
+            jobs_errored: self.stats.jobs_errored.load(Ordering::Relaxed),
+            connections: self.stats.connections.load(Ordering::Relaxed),
+            queue_depth: self.stats.in_flight.load(Ordering::Relaxed),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            hit_rate: cache.hit_rate(),
+            routers: self
+                .stats
+                .dispatch
+                .lock()
+                .expect("dispatch counters poisoned")
+                .iter()
+                .map(|(router, &jobs)| RouterJobs { router: router.clone(), jobs })
+                .collect(),
+            latency_p50_ms: self.stats.latency_quantile_ms(0.50),
+            latency_p99_ms: self.stats.latency_quantile_ms(0.99),
+        }
+    }
+}
+
+/// One entry of a connection's ordered reader → writer channel.
+enum ConnItem {
+    /// An already-final outcome (errors, rejections). `counted` marks
+    /// whether it holds an admission slot (backpressure rejections do
+    /// not).
+    Ready {
+        outcome: RouteOutcome,
+        counted: bool,
+        start: Instant,
+    },
+    /// A routed job waiting on its (possibly shared) slot.
+    Wait {
+        id: u64,
+        side: usize,
+        v: Option<u64>,
+        router: &'static str,
+        cache: CacheStatus,
+        lower_bound: usize,
+        slot: Arc<RouteSlot>,
+        start: Instant,
+    },
+    /// A control response line, written verbatim.
+    Control(String),
+}
+
+/// A running routing daemon. Bind with [`Daemon::bind`], stop with
+/// [`Daemon::shutdown`] (or a wire `{"req": "shutdown"}`), and
+/// [`Daemon::join`] to wait for the drain; dropping the handle shuts
+/// down and joins implicitly.
+pub struct Daemon {
+    shared: Arc<DaemonShared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Bind a listener on `addr` (e.g. `"127.0.0.1:0"` for an ephemeral
+    /// test port) and start serving. Timing capture is forced off so
+    /// outcome bytes stay deterministic and batch-identical.
+    pub fn bind(addr: impl ToSocketAddrs, config: EngineConfig) -> Result<Daemon, ServiceError> {
+        let config = EngineConfig { timing: false, ..config };
+        let listener = TcpListener::bind(addr).map_err(|e| ServiceError::Io(e.to_string()))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServiceError::Io(e.to_string()))?;
+        let shared = Arc::new(DaemonShared {
+            cache: ShardedLru::new(config.cache_capacity, config.cache_shards),
+            pool: WorkerPool::spawn(config.workers, config.queue_depth),
+            config,
+            stats: DaemonStats::new(),
+            shutdown: AtomicBool::new(false),
+            addr,
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, shared))
+        };
+        Ok(Daemon { shared, accept: Some(accept) })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A point-in-time counter snapshot (also served on the wire as
+    /// `{"req": "stats"}`).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// Begin the graceful drain: stop accepting connections, let every
+    /// open connection finish its admitted jobs. Idempotent; returns
+    /// immediately (use [`Daemon::join`] to wait).
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Block until the daemon has fully drained — every connection's
+    /// admitted jobs routed and written, all threads exited — and return
+    /// the final counter snapshot.
+    pub fn join(mut self) -> StatsSnapshot {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.shared.snapshot()
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.shared.begin_shutdown();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<DaemonShared>) {
+    let mut handles = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+        if let Ok(read_half) = stream.try_clone() {
+            shared.conns.lock().expect("conns poisoned").push(read_half);
+        }
+        let shared = Arc::clone(&shared);
+        handles.push(std::thread::spawn(move || serve_connection(stream, shared)));
+    }
+    // Graceful drain: every connection finishes its admitted jobs
+    // before the daemon (and with it the worker pool) goes away.
+    for handle in handles {
+        let _ = handle.join();
+    }
+}
+
+/// Reader side of one connection (the writer runs on its own thread,
+/// joined before this returns).
+fn serve_connection(stream: TcpStream, shared: Arc<DaemonShared>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    // ×2: admitted jobs can occupy at most `client_queue_depth` entries,
+    // and rejections/control responses need room to flow out without
+    // stalling the reader ahead of the admission check.
+    let (sender, receiver) = sync_channel::<ConnItem>(shared.config.client_queue_depth.max(1) * 2);
+    // The per-connection admission gauge: reader increments on admit,
+    // writer decrements as outcomes leave.
+    let in_flight = Arc::new(AtomicUsize::new(0));
+    let writer = {
+        let shared = Arc::clone(&shared);
+        let in_flight = Arc::clone(&in_flight);
+        std::thread::spawn(move || write_outcomes(write_half, receiver, in_flight, shared))
+    };
+
+    // The mirror cache that makes this connection's hit/miss statuses —
+    // and therefore its outcome bytes — identical to a single-threaded
+    // batch run of the same stream.
+    let mirror: ShardedLru<()> =
+        ShardedLru::new(shared.config.cache_capacity, shared.config.cache_shards);
+    let mut next_id: u64 = 0;
+
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue; // blank lines consume no id, exactly like batch
+        }
+        if let Some(response) = control_response(trimmed, &shared) {
+            if sender.send(ConnItem::Control(response)).is_err() {
+                break;
+            }
+            continue;
+        }
+
+        let start = Instant::now();
+        let id = next_id;
+        next_id += 1;
+        // Admission control *before* parsing: a flooding client is
+        // rejected at O(1) cost, in order, never hung.
+        let limit = shared.config.client_queue_depth;
+        if in_flight.load(Ordering::SeqCst) >= limit {
+            let outcome =
+                RouteOutcome::from_error(id, None, None, &ServiceError::Backpressure { limit });
+            shared.stats.jobs_errored.fetch_add(1, Ordering::Relaxed);
+            if sender
+                .send(ConnItem::Ready { outcome, counted: false, start })
+                .is_err()
+            {
+                break;
+            }
+            continue;
+        }
+
+        let item = match RouteJob::from_json_line(trimmed) {
+            Err(e) => {
+                shared.stats.jobs_errored.fetch_add(1, Ordering::Relaxed);
+                ConnItem::Ready {
+                    outcome: RouteOutcome::from_error(id, None, None, &e),
+                    counted: true,
+                    start,
+                }
+            }
+            Ok(job) => match plan_route(&job, &shared.config.default_router) {
+                Err(e) => {
+                    shared.stats.jobs_errored.fetch_add(1, Ordering::Relaxed);
+                    ConnItem::Ready {
+                        outcome: RouteOutcome::from_error(id, Some(job.side), job.v, &e),
+                        counted: true,
+                        start,
+                    }
+                }
+                Ok(plan) => {
+                    *shared
+                        .stats
+                        .dispatch
+                        .lock()
+                        .expect("dispatch counters poisoned")
+                        .entry(plan.router.label().to_string())
+                        .or_insert(0) += 1;
+                    // Mirror first (connection-deterministic status),
+                    // then the shared cache (cross-connection compute
+                    // dedup).
+                    let (_, mirror_inserted) = mirror.get_or_insert_with(plan.key.clone(), || ());
+                    let cache = if mirror_inserted {
+                        CacheStatus::Miss
+                    } else {
+                        CacheStatus::Hit
+                    };
+                    let (slot, inserted) = shared
+                        .cache
+                        .get_or_insert_with(plan.key, || Arc::new(RouteSlot::default()));
+                    if inserted {
+                        shared.pool.dispatch(WorkItem {
+                            topology: plan.canonical.topology.clone(),
+                            pi: plan.canonical.pi.clone(),
+                            router: plan.router.clone(),
+                            slot: Arc::clone(&slot),
+                            timing: false,
+                        });
+                    }
+                    ConnItem::Wait {
+                        id,
+                        side: job.side,
+                        v: job.v,
+                        router: plan.router.label(),
+                        cache,
+                        lower_bound: plan.lower_bound,
+                        slot,
+                        start,
+                    }
+                }
+            },
+        };
+        // Increment *before* the send so the writer's decrement can
+        // never race the gauge below zero.
+        in_flight.fetch_add(1, Ordering::SeqCst);
+        shared.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        if sender.send(item).is_err() {
+            break;
+        }
+    }
+    // EOF (or shutdown): close the channel so the writer drains what
+    // was admitted and exits.
+    drop(sender);
+    let _ = writer.join();
+}
+
+/// Handle `{"req": ...}` control lines; `None` means the line is a job.
+fn control_response(line: &str, shared: &Arc<DaemonShared>) -> Option<String> {
+    let doc = serde_json::from_str(line).ok()?;
+    let req = doc.get("req")?;
+    Some(match req.as_str() {
+        Some("stats") => {
+            let mut out = String::from("{\"stats\":");
+            shared.snapshot().write_json(&mut out);
+            out.push('}');
+            out
+        }
+        Some("shutdown") => {
+            shared.begin_shutdown();
+            "{\"ok\":\"shutdown\"}".to_string()
+        }
+        other => {
+            let err = ServiceError::Parse(format!(
+                "unknown control request {:?} (expected \"stats\" or \"shutdown\")",
+                other.unwrap_or("<non-string>")
+            ));
+            let mut out = String::from("{\"code\":");
+            err.code().write_json(&mut out);
+            out.push_str(",\"error\":");
+            err.to_string().write_json(&mut out);
+            out.push('}');
+            out
+        }
+    })
+}
+
+/// Writer side of one connection: preserves channel (= submission)
+/// order, decrements the admission gauges as outcomes leave. Keeps
+/// draining (for the gauges' sake) even after the socket breaks.
+fn write_outcomes(
+    stream: TcpStream,
+    receiver: Receiver<ConnItem>,
+    in_flight: Arc<AtomicUsize>,
+    shared: Arc<DaemonShared>,
+) {
+    let mut out = std::io::BufWriter::new(stream);
+    let mut broken = false;
+    let mut emit = |line: String, broken: &mut bool| {
+        if !*broken {
+            *broken = writeln!(out, "{line}").and_then(|_| out.flush()).is_err();
+        }
+    };
+    for item in receiver.iter() {
+        match item {
+            ConnItem::Control(line) => emit(line, &mut broken),
+            ConnItem::Ready { outcome, counted, start } => {
+                emit(outcome.to_json_line(), &mut broken);
+                if counted {
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                    shared.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+                }
+                shared.stats.record_latency(start);
+            }
+            ConnItem::Wait { id, side, v, router, cache, lower_bound, slot, start } => {
+                let outcome = match slot.wait() {
+                    Err(e) => {
+                        shared.stats.jobs_errored.fetch_add(1, Ordering::Relaxed);
+                        RouteOutcome::from_error(id, Some(side), v, &e)
+                    }
+                    Ok(entry) => {
+                        shared.stats.jobs_routed.fetch_add(1, Ordering::Relaxed);
+                        RouteOutcome {
+                            v,
+                            id,
+                            side: Some(side),
+                            router: Some(router.to_string()),
+                            cache: Some(cache.as_str().to_string()),
+                            // Depth and size are replay-invariant, so the
+                            // canonical schedule answers without replaying.
+                            depth: Some(entry.schedule.depth()),
+                            size: Some(entry.schedule.size()),
+                            lower_bound: Some(lower_bound),
+                            time_ms: None,
+                            code: None,
+                            error: None,
+                        }
+                    }
+                };
+                emit(outcome.to_json_line(), &mut broken);
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+                shared.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+                shared.stats.record_latency(start);
+            }
+        }
+    }
+}

@@ -29,9 +29,10 @@
 //! flag; workers drain remaining items without routing them and exit, so
 //! dropping mid-queue cannot deadlock.
 
-use crate::cache::{canonicalize_topology, CacheStats, CanonicalForm, ShardedLru};
+use crate::cache::{canonicalize_topology, CacheStats, CanonicalForm, CanonicalKey, ShardedLru};
 use crate::dispatch::select_router_on;
-use crate::job::{CacheStatus, RouteJob, RouteOutcome};
+use crate::errors::ServiceError;
+use crate::job::{CacheStatus, RouteJob, RouteOutcome, RouterSpec};
 use qroute_core::{GridRouter, RouterKind, RoutingSchedule, UnsupportedTopology};
 use qroute_perm::{metrics, Permutation};
 use qroute_topology::Topology;
@@ -41,7 +42,10 @@ use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-/// Engine configuration.
+/// Engine configuration. Construct via [`EngineConfig::builder`] (which
+/// validates at [`EngineConfigBuilder::build`]) or [`Default`] and
+/// struct update syntax; the daemon and `repro batch` both go through
+/// the builder.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Worker threads (clamped to at least 1). Output bytes do not
@@ -55,6 +59,14 @@ pub struct EngineConfig {
     /// canonical instances may be in flight before `submit` blocks
     /// (backpressure; clamped to at least 1).
     pub queue_depth: usize,
+    /// Per-connection in-flight job limit in the daemon: a connection
+    /// with this many uncollected jobs gets `backpressure` error
+    /// outcomes instead of queueing more (never a hang). Unused by the
+    /// in-process [`Engine`], whose `submit` blocks instead.
+    pub client_queue_depth: usize,
+    /// Router policy for jobs that do not name one (`"router"` absent
+    /// from the JSONL line).
+    pub default_router: RouterSpec,
     /// Capture per-job wall-clock routing time. Off by default so
     /// outcome lines are byte-deterministic.
     pub timing: bool,
@@ -67,34 +79,114 @@ impl Default for EngineConfig {
             cache_capacity: 1024,
             cache_shards: 8,
             queue_depth: 32,
+            client_queue_depth: 256,
+            default_router: RouterSpec::Auto,
             timing: false,
         }
     }
 }
 
+impl EngineConfig {
+    /// Start a validated configuration build from the defaults.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder { config: EngineConfig::default() }
+    }
+}
+
+/// Builder for [`EngineConfig`]: setters stage values, [`Self::build`]
+/// validates the combination and returns a typed
+/// [`ServiceError::Config`] on nonsense (zero workers, zero queue
+/// depth, ...) instead of silently clamping.
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Worker thread count (must be ≥ 1 at build time).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Total canonical-schedule cache capacity. `0` is valid: it
+    /// disables caching.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.cache_capacity = capacity;
+        self
+    }
+
+    /// Cache shard count (must be ≥ 1 at build time).
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        self.config.cache_shards = shards;
+        self
+    }
+
+    /// Bounded work-queue depth (must be ≥ 1 at build time).
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.config.queue_depth = depth;
+        self
+    }
+
+    /// Per-connection in-flight limit for the daemon (must be ≥ 1 at
+    /// build time).
+    pub fn client_queue_depth(mut self, depth: usize) -> Self {
+        self.config.client_queue_depth = depth;
+        self
+    }
+
+    /// Router policy for jobs that do not name a router.
+    pub fn default_router(mut self, router: RouterSpec) -> Self {
+        self.config.default_router = router;
+        self
+    }
+
+    /// Capture per-job wall-clock routing time (costs byte-determinism).
+    pub fn timing(mut self, timing: bool) -> Self {
+        self.config.timing = timing;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<EngineConfig, ServiceError> {
+        let c = &self.config;
+        for (value, what) in [
+            (c.workers, "workers"),
+            (c.queue_depth, "queue_depth"),
+            (c.client_queue_depth, "client_queue_depth"),
+            (c.cache_shards, "cache_shards"),
+        ] {
+            if value == 0 {
+                return Err(ServiceError::Config(format!("{what} must be at least 1")));
+            }
+        }
+        Ok(self.config)
+    }
+}
+
 /// A routed canonical instance as produced by a worker.
 #[derive(Debug, Clone)]
-struct RoutedEntry {
-    schedule: Arc<RoutingSchedule>,
-    route_ms: f64,
+pub(crate) struct RoutedEntry {
+    pub(crate) schedule: Arc<RoutingSchedule>,
+    pub(crate) route_ms: f64,
 }
 
 /// A write-once slot a worker fills and any number of jobs wait on.
 #[derive(Debug, Default)]
-struct RouteSlot {
-    filled: Mutex<Option<Result<RoutedEntry, String>>>,
+pub(crate) struct RouteSlot {
+    filled: Mutex<Option<Result<RoutedEntry, ServiceError>>>,
     ready: Condvar,
 }
 
 impl RouteSlot {
-    fn fill(&self, value: Result<RoutedEntry, String>) {
+    fn fill(&self, value: Result<RoutedEntry, ServiceError>) {
         let mut slot = self.filled.lock().expect("slot poisoned");
         debug_assert!(slot.is_none(), "slot filled twice");
         *slot = Some(value);
         self.ready.notify_all();
     }
 
-    fn wait(&self) -> Result<RoutedEntry, String> {
+    pub(crate) fn wait(&self) -> Result<RoutedEntry, ServiceError> {
         let mut slot = self.filled.lock().expect("slot poisoned");
         while slot.is_none() {
             slot = self.ready.wait(slot).expect("slot poisoned");
@@ -104,23 +196,162 @@ impl RouteSlot {
 }
 
 /// One unit of worker work: route a canonical instance into its slot.
-struct WorkItem {
-    topology: Topology,
-    pi: Permutation,
-    router: RouterKind,
-    slot: Arc<RouteSlot>,
-    timing: bool,
+pub(crate) struct WorkItem {
+    pub(crate) topology: Topology,
+    pub(crate) pi: Permutation,
+    pub(crate) router: RouterKind,
+    pub(crate) slot: Arc<RouteSlot>,
+    pub(crate) timing: bool,
+}
+
+/// The routing worker threads behind an [`Engine`] or a daemon: a
+/// bounded work queue drained by `std` threads that route canonical
+/// instances into their slots. Shared so the daemon reuses the exact
+/// routing/panic-containment/drain semantics the engine's tests pin
+/// down.
+pub(crate) struct WorkerPool {
+    sender: Option<SyncSender<WorkItem>>,
+    workers: Vec<JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl WorkerPool {
+    /// Spawn `worker_count` routing threads over a queue of
+    /// `queue_depth` pending items.
+    pub(crate) fn spawn(worker_count: usize, queue_depth: usize) -> WorkerPool {
+        let (sender, receiver) = sync_channel::<WorkItem>(queue_depth.max(1));
+        let receiver = Arc::new(Mutex::new(receiver));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let workers = (0..worker_count.max(1))
+            .map(|_| {
+                let receiver: Arc<Mutex<Receiver<WorkItem>>> = Arc::clone(&receiver);
+                let shutdown = Arc::clone(&shutdown);
+                std::thread::spawn(move || loop {
+                    // Hold the lock only while popping, never while routing.
+                    let item = match receiver.lock().expect("queue poisoned").recv() {
+                        Ok(item) => item,
+                        Err(_) => return, // queue closed: all work done
+                    };
+                    if shutdown.load(Ordering::SeqCst) {
+                        item.slot.fill(Err(ServiceError::Shutdown));
+                        continue; // drain remaining items without routing
+                    }
+                    let t0 = std::time::Instant::now();
+                    let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        item.router.route_on(&item.topology, &item.pi)
+                    }));
+                    let route_ms = if item.timing {
+                        t0.elapsed().as_secs_f64() * 1e3
+                    } else {
+                        0.0
+                    };
+                    item.slot.fill(match routed {
+                        Ok(Ok(schedule)) => {
+                            Ok(RoutedEntry { schedule: Arc::new(schedule), route_ms })
+                        }
+                        // Unsupported topologies are normally rejected on
+                        // the submit thread; this arm is a backstop.
+                        Ok(Err(unsupported)) => Err(ServiceError::Unsupported(unsupported)),
+                        Err(_) => Err(ServiceError::RouterPanic {
+                            router: item.router.label().to_string(),
+                            topology: item.topology.to_string(),
+                        }),
+                    });
+                })
+            })
+            .collect();
+        WorkerPool { sender: Some(sender), workers, shutdown }
+    }
+
+    /// Queue one canonical instance, blocking when the queue is full
+    /// (backpressure).
+    pub(crate) fn dispatch(&self, item: WorkItem) {
+        self.sender
+            .as_ref()
+            .expect("pool alive while dispatching")
+            .send(item)
+            .expect("workers outlive the pool");
+    }
+
+    /// Make workers fill every still-queued slot with
+    /// [`ServiceError::Shutdown`] instead of routing it.
+    pub(crate) fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel wakes idle workers; the flag makes busy
+        // ones drain queued items without routing them.
+        self.begin_shutdown();
+        self.sender.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Everything decided about a resolvable job *before* the cache is
+/// consulted: the resolved router, the instance, its canonical form and
+/// cache key, and the depth lower bound. Pure — safe to run on any
+/// thread (daemon connections plan on their own threads so
+/// canonicalization never serializes on a shared submit thread).
+pub(crate) struct RoutePlan {
+    pub(crate) router: RouterKind,
+    pub(crate) lower_bound: usize,
+    pub(crate) canonical: Box<CanonicalForm>,
+    pub(crate) key: CanonicalKey,
+    pub(crate) topology: Topology,
+    pub(crate) pi: Permutation,
+}
+
+/// Resolve and plan one job: materialize the instance, pick the router
+/// (job's own, else `default_router`), reject unsupported pairings
+/// before they touch any cache, bound the depth, and canonicalize.
+pub(crate) fn plan_route(
+    job: &RouteJob,
+    default_router: &RouterSpec,
+) -> Result<RoutePlan, ServiceError> {
+    let (topology, pi) = job.resolve()?;
+    let router = match job.router.as_ref().unwrap_or(default_router) {
+        RouterSpec::Auto => select_router_on(&topology, &pi),
+        RouterSpec::Fixed(kind) => kind.clone(),
+    };
+    if !router.supports(&topology) {
+        // Reject before touching the cache: an unsupported pairing must
+        // neither pollute the key space nor reach a worker.
+        return Err(ServiceError::Unsupported(UnsupportedTopology {
+            router: router.label(),
+            topology: topology.to_string(),
+        }));
+    }
+    let lower_bound = match topology.as_grid() {
+        Some(grid) => metrics::depth_lower_bound(grid, &pi),
+        None => {
+            let graph = topology.graph();
+            let oracle = topology.oracle(&graph);
+            metrics::depth_lower_bound_oracle(&oracle, &pi)
+        }
+    };
+    let canonical = canonicalize_topology(&topology, &pi);
+    // Key on the router's full Debug rendering, not its label:
+    // differently-configured routers with the same label must not share
+    // cached schedules.
+    let key = canonical.key(format!("{router:?}"));
+    Ok(RoutePlan { router, lower_bound, canonical: Box::new(canonical), key, topology, pi })
 }
 
 /// A submitted-but-not-yet-collected job.
 struct PendingJob {
     id: u64,
     side: Option<usize>,
+    v: Option<u64>,
     plan: Plan,
 }
 
 enum Plan {
-    Error(String),
+    Error(ServiceError),
     Route {
         router: &'static str,
         cache: CacheStatus,
@@ -148,9 +379,7 @@ pub struct RouteResult {
 pub struct Engine {
     config: EngineConfig,
     cache: ShardedLru<Arc<RouteSlot>>,
-    sender: Option<SyncSender<WorkItem>>,
-    workers: Vec<JoinHandle<()>>,
-    shutdown: Arc<AtomicBool>,
+    pool: WorkerPool,
     next_id: u64,
     pending: VecDeque<PendingJob>,
 }
@@ -158,56 +387,10 @@ pub struct Engine {
 impl Engine {
     /// Spawn the worker pool.
     pub fn new(config: EngineConfig) -> Engine {
-        let worker_count = config.workers.max(1);
-        let (sender, receiver) = sync_channel::<WorkItem>(config.queue_depth.max(1));
-        let receiver = Arc::new(Mutex::new(receiver));
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let workers = (0..worker_count)
-            .map(|_| {
-                let receiver: Arc<Mutex<Receiver<WorkItem>>> = Arc::clone(&receiver);
-                let shutdown = Arc::clone(&shutdown);
-                std::thread::spawn(move || loop {
-                    // Hold the lock only while popping, never while routing.
-                    let item = match receiver.lock().expect("queue poisoned").recv() {
-                        Ok(item) => item,
-                        Err(_) => return, // queue closed: all work done
-                    };
-                    if shutdown.load(Ordering::SeqCst) {
-                        item.slot
-                            .fill(Err("engine shut down before routing".to_string()));
-                        continue; // drain remaining items without routing
-                    }
-                    let t0 = std::time::Instant::now();
-                    let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        item.router.route_on(&item.topology, &item.pi)
-                    }));
-                    let route_ms = if item.timing {
-                        t0.elapsed().as_secs_f64() * 1e3
-                    } else {
-                        0.0
-                    };
-                    item.slot.fill(match routed {
-                        Ok(Ok(schedule)) => {
-                            Ok(RoutedEntry { schedule: Arc::new(schedule), route_ms })
-                        }
-                        // Unsupported topologies are normally rejected on
-                        // the submit thread; this arm is a backstop.
-                        Ok(Err(unsupported)) => Err(unsupported.to_string()),
-                        Err(_) => Err(format!(
-                            "router {} panicked on a canonical {} instance",
-                            item.router.label(),
-                            item.topology
-                        )),
-                    });
-                })
-            })
-            .collect();
         Engine {
             cache: ShardedLru::new(config.cache_capacity, config.cache_shards),
+            pool: WorkerPool::spawn(config.workers, config.queue_depth),
             config,
-            sender: Some(sender),
-            workers,
-            shutdown,
             next_id: 0,
             pending: VecDeque::new(),
         }
@@ -219,83 +402,48 @@ impl Engine {
     pub fn submit(&mut self, job: &RouteJob) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
-        let plan = match job.resolve() {
+        let plan = match plan_route(job, &self.config.default_router) {
             Err(e) => Plan::Error(e),
-            Ok((topology, pi)) => {
-                let router = match &job.router {
-                    crate::job::RouterSpec::Auto => select_router_on(&topology, &pi),
-                    crate::job::RouterSpec::Fixed(kind) => kind.clone(),
-                };
-                if !router.supports(&topology) {
-                    // Reject before touching the cache: an unsupported
-                    // pairing must neither pollute the key space nor
-                    // reach a worker.
-                    Plan::Error(
-                        UnsupportedTopology {
-                            router: router.label(),
-                            topology: topology.to_string(),
-                        }
-                        .to_string(),
-                    )
-                } else {
-                    let lower_bound = match topology.as_grid() {
-                        Some(grid) => metrics::depth_lower_bound(grid, &pi),
-                        None => {
-                            let graph = topology.graph();
-                            let oracle = topology.oracle(&graph);
-                            metrics::depth_lower_bound_oracle(&oracle, &pi)
-                        }
-                    };
-                    let canonical = canonicalize_topology(&topology, &pi);
-                    // Key on the router's full Debug rendering, not its
-                    // label: differently-configured routers with the same
-                    // label must not share cached schedules.
-                    let key = canonical.key(format!("{router:?}"));
-                    let (cache, slot) = match self.cache.get(&key) {
-                        Some(slot) => (CacheStatus::Hit, slot),
-                        None => {
-                            let slot = Arc::new(RouteSlot::default());
-                            self.cache.insert(key, Arc::clone(&slot));
-                            let item = WorkItem {
-                                topology: canonical.topology.clone(),
-                                pi: canonical.pi.clone(),
-                                router: router.clone(),
-                                slot: Arc::clone(&slot),
-                                timing: self.config.timing,
-                            };
-                            self.sender
-                                .as_ref()
-                                .expect("engine alive while submitting")
-                                .send(item)
-                                .expect("workers outlive the engine");
-                            (CacheStatus::Miss, slot)
-                        }
-                    };
-                    Plan::Route {
-                        router: router.label(),
-                        cache,
-                        lower_bound,
-                        canonical: Box::new(canonical),
-                        topology,
-                        pi,
-                        slot,
+            Ok(plan) => {
+                let (cache, slot) = match self.cache.get(&plan.key) {
+                    Some(slot) => (CacheStatus::Hit, slot),
+                    None => {
+                        let slot = Arc::new(RouteSlot::default());
+                        self.cache.insert(plan.key, Arc::clone(&slot));
+                        self.pool.dispatch(WorkItem {
+                            topology: plan.canonical.topology.clone(),
+                            pi: plan.canonical.pi.clone(),
+                            router: plan.router.clone(),
+                            slot: Arc::clone(&slot),
+                            timing: self.config.timing,
+                        });
+                        (CacheStatus::Miss, slot)
                     }
+                };
+                Plan::Route {
+                    router: plan.router.label(),
+                    cache,
+                    lower_bound: plan.lower_bound,
+                    canonical: plan.canonical,
+                    topology: plan.topology,
+                    pi: plan.pi,
+                    slot,
                 }
             }
         };
         self.pending
-            .push_back(PendingJob { id, side: Some(job.side), plan });
+            .push_back(PendingJob { id, side: Some(job.side), v: job.v, plan });
         id
     }
 
     /// Record a job that failed before it could even be constructed
     /// (e.g. an unparseable JSONL line), consuming the next id so output
     /// ids keep matching input line numbers.
-    pub fn submit_error(&mut self, error: String) -> u64 {
+    pub fn submit_error(&mut self, error: ServiceError) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
         self.pending
-            .push_back(PendingJob { id, side: None, plan: Plan::Error(error) });
+            .push_back(PendingJob { id, side: None, v: None, plan: Plan::Error(error) });
         id
     }
 
@@ -306,13 +454,13 @@ impl Engine {
         let job = self.pending.pop_front()?;
         Some(match job.plan {
             Plan::Error(error) => RouteResult {
-                outcome: RouteOutcome::from_error(job.id, job.side, error),
+                outcome: RouteOutcome::from_error(job.id, job.side, job.v, &error),
                 schedule: None,
             },
             Plan::Route { router, cache, lower_bound, canonical, topology, pi, slot } => {
                 match slot.wait() {
                     Err(e) => RouteResult {
-                        outcome: RouteOutcome::from_error(job.id, job.side, e),
+                        outcome: RouteOutcome::from_error(job.id, job.side, job.v, &e),
                         schedule: None,
                     },
                     Ok(entry) => {
@@ -324,6 +472,7 @@ impl Engine {
                         debug_assert!(schedule.validate_on(&topology.graph()).is_ok());
                         RouteResult {
                             outcome: RouteOutcome {
+                                v: job.v,
                                 id: job.id,
                                 side: job.side,
                                 router: Some(router.to_string()),
@@ -335,6 +484,7 @@ impl Engine {
                                     CacheStatus::Miss => entry.route_ms,
                                     CacheStatus::Hit => 0.0,
                                 }),
+                                code: None,
                                 error: None,
                             },
                             schedule: Some(schedule),
@@ -343,6 +493,13 @@ impl Engine {
                 }
             }
         })
+    }
+
+    /// Collect and discard every submitted-but-uncollected job, leaving
+    /// the engine empty and reusable. Blocks until in-flight canonical
+    /// routes finish (workers never abandon a slot).
+    pub fn drain(&mut self) {
+        while self.collect_next().is_some() {}
     }
 
     /// Route a batch: submit everything in order, collect everything in
@@ -355,9 +512,20 @@ impl Engine {
     }
 
     /// [`Engine::run`], but also returning each job's replayed schedule.
+    ///
+    /// Panic-safe: if the `jobs` iterator panics mid-stream, every job
+    /// it already yielded is drained before the panic resumes, so the
+    /// engine is left empty (not half-drained) and stays usable — and a
+    /// later `run` cannot return a stale predecessor's outcomes.
     pub fn run_detailed(&mut self, jobs: impl IntoIterator<Item = RouteJob>) -> Vec<RouteResult> {
-        for job in jobs {
-            self.submit(&job);
+        let submitted = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for job in jobs {
+                self.submit(&job);
+            }
+        }));
+        if let Err(panic) = submitted {
+            self.drain();
+            std::panic::resume_unwind(panic);
         }
         let mut out = Vec::new();
         while let Some(result) = self.collect_next() {
@@ -388,13 +556,10 @@ impl Engine {
 
 impl Drop for Engine {
     fn drop(&mut self) {
-        // Closing the channel wakes idle workers; the flag makes busy
-        // ones drain queued items without routing them.
-        self.shutdown.store(true, Ordering::SeqCst);
-        self.sender.take();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
+        // The pool's own Drop closes the queue and joins the workers;
+        // flagging first makes busy workers drain queued items without
+        // routing them, so dropping mid-queue cannot deadlock.
+        self.pool.begin_shutdown();
     }
 }
 
@@ -441,19 +606,22 @@ mod tests {
     fn error_jobs_yield_error_outcomes_in_place() {
         let mut engine = tiny_engine(2, 16);
         engine.submit(&RouteJob::from_class(4, "ats", "random", 0).unwrap());
-        engine.submit_error("line 2 was garbage".to_string());
+        engine.submit_error(ServiceError::Parse("line 2 was garbage".to_string()));
         engine.submit(&RouteJob {
             side: 3,
-            router: RouterSpec::Auto,
+            router: None,
             perm: crate::job::PermSpec::Explicit(vec![0; 9]),
             topology: crate::job::TopologySpec::Grid,
+            v: None,
         });
         let a = engine.collect_next().unwrap();
         let b = engine.collect_next().unwrap();
         let c = engine.collect_next().unwrap();
         assert!(engine.collect_next().is_none());
         assert_eq!(a.outcome.error, None);
+        assert_eq!(a.outcome.code, None);
         assert_eq!(b.outcome.error.as_deref(), Some("line 2 was garbage"));
+        assert_eq!(b.outcome.code, Some("parse"));
         assert_eq!(b.outcome.id, 1);
         assert!(c.outcome.error.is_some(), "duplicate images must fail");
         assert_eq!(c.outcome.side, Some(3));
@@ -637,7 +805,99 @@ mod tests {
         assert!(err.contains("full grids"), "{err}");
         assert!(err.contains("heavy-hex"), "{err}");
         assert_eq!(out[1].error, None, "the rest of the batch still routes");
+        assert_eq!(out[0].code, Some("unsupported-router"));
         // The rejection never consulted the cache.
         assert_eq!(engine.cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn builder_validates_and_default_matches_default_impl() {
+        let built = EngineConfig::builder()
+            .workers(2)
+            .cache_capacity(64)
+            .queue_depth(8)
+            .client_queue_depth(4)
+            .default_router(RouterSpec::Fixed(RouterKind::Ats))
+            .build()
+            .unwrap();
+        assert_eq!(built.workers, 2);
+        assert_eq!(built.cache_capacity, 64);
+        assert_eq!(built.queue_depth, 8);
+        assert_eq!(built.client_queue_depth, 4);
+        assert!(matches!(
+            built.default_router,
+            RouterSpec::Fixed(RouterKind::Ats)
+        ));
+
+        // A bare build() reproduces Default exactly.
+        let (built, default) = (
+            EngineConfig::builder().build().unwrap(),
+            EngineConfig::default(),
+        );
+        assert_eq!(built.workers, default.workers);
+        assert_eq!(built.cache_capacity, default.cache_capacity);
+        assert_eq!(built.cache_shards, default.cache_shards);
+        assert_eq!(built.queue_depth, default.queue_depth);
+        assert_eq!(built.client_queue_depth, default.client_queue_depth);
+        assert_eq!(built.timing, default.timing);
+
+        for (builder, what) in [
+            (EngineConfig::builder().workers(0), "workers"),
+            (EngineConfig::builder().queue_depth(0), "queue_depth"),
+            (
+                EngineConfig::builder().client_queue_depth(0),
+                "client_queue_depth",
+            ),
+            (EngineConfig::builder().cache_shards(0), "cache_shards"),
+        ] {
+            let err = builder.build().unwrap_err();
+            assert_eq!(err.code(), "config", "{what}");
+            assert!(err.to_string().contains(what), "{err}");
+        }
+    }
+
+    #[test]
+    fn routerless_jobs_follow_the_engine_default_policy() {
+        let line = r#"{"side": 4, "class": "random", "seed": 0}"#;
+        let job = RouteJob::from_json_line(line).unwrap();
+        assert!(job.router.is_none());
+        let mut pinned = Engine::new(
+            EngineConfig::builder()
+                .workers(1)
+                .default_router(RouterSpec::Fixed(RouterKind::Ats))
+                .build()
+                .unwrap(),
+        );
+        let out = pinned.run(vec![job.clone()]);
+        assert_eq!(out[0].router.as_deref(), Some("ats"));
+        // ... while a job naming its own router overrides the default.
+        let named = RouteJob::from_json_line(
+            r#"{"side": 4, "router": "tree", "class": "random", "seed": 0}"#,
+        )
+        .unwrap();
+        assert_eq!(pinned.run(vec![named])[0].router.as_deref(), Some("tree"));
+    }
+
+    #[test]
+    fn panicking_job_iterator_leaves_the_engine_drained_and_usable() {
+        let mut engine = tiny_engine(2, 16);
+        let jobs = (0..6).map(|seed| {
+            if seed == 4 {
+                panic!("iterator exploded mid-stream");
+            }
+            RouteJob::from_class(4, "ats", "random", seed).unwrap()
+        });
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.run(jobs);
+        }));
+        assert!(unwound.is_err(), "the panic must propagate");
+        // The four submitted jobs were drained, not left half-collected...
+        assert_eq!(engine.pending_len(), 0);
+        // ...and the engine still works, with fresh ids after the
+        // consumed ones.
+        let out = engine.run(vec![RouteJob::from_class(4, "ats", "random", 9).unwrap()]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, 4);
+        assert_eq!(out[0].error, None);
     }
 }

@@ -1,0 +1,179 @@
+//! The unified service-layer error type.
+//!
+//! Before this module existed, every failure mode in the service layer
+//! was a bare `String`: parse failures, resolution failures, unsupported
+//! router/topology pairings, worker panics. Daemon clients need to
+//! *branch* on error kind (retry on backpressure, fix the job on
+//! validation errors, reconnect on shutdown), so [`ServiceError`] gives
+//! every failure a stable machine-readable [`ServiceError::code`] that
+//! is carried verbatim in the `"code"` field of error outcomes, while
+//! [`std::fmt::Display`] keeps the human-readable message the `String`
+//! era produced (several tests and downstream scripts match on message
+//! fragments like `"out of range"` — those stay intact).
+
+use qroute_core::UnsupportedTopology;
+
+/// Every way a routing job, an engine, or the daemon can fail.
+///
+/// The [`ServiceError::code`] string is part of the wire protocol:
+/// clients branch on it, so codes are append-only — never rename one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The request line was not a well-formed job (bad JSON, unknown
+    /// fields, missing required fields). Code `parse`.
+    Parse(String),
+    /// The job declared a wire protocol version this service does not
+    /// speak (see the README's versioning rule: absent ⇒ v1). The
+    /// payload is the requested version. Code `version`.
+    Version(u64),
+    /// The job parsed but failed validation or resolution (side out of
+    /// range, malformed class label, permutation that does not fit,
+    /// invalid defect pattern, ...). Code `invalid-job`.
+    Invalid(String),
+    /// A grid-only router was paired with a non-grid topology. Code
+    /// `unsupported-router`.
+    Unsupported(UnsupportedTopology),
+    /// Per-client admission control rejected the job: the connection
+    /// already has `limit` jobs in flight. The job was *not* routed;
+    /// resubmit after draining outcomes. Code `backpressure`.
+    Backpressure {
+        /// The connection's in-flight limit at rejection time.
+        limit: usize,
+    },
+    /// The engine or daemon shut down before this job was routed. Code
+    /// `shutdown`.
+    Shutdown,
+    /// A router panicked on the job's canonical instance — a router bug,
+    /// contained to this job. Code `router-panic`.
+    RouterPanic {
+        /// The router's stable label.
+        router: String,
+        /// Display form of the canonical topology it panicked on.
+        topology: String,
+    },
+    /// An [`crate::EngineConfig`] failed builder validation. Code
+    /// `config`.
+    Config(String),
+    /// A socket/transport failure (client side, or daemon bind). Code
+    /// `io`.
+    Io(String),
+}
+
+impl ServiceError {
+    /// The stable machine-readable discriminator carried in the
+    /// `"code"` field of error outcomes.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServiceError::Parse(_) => "parse",
+            ServiceError::Version(_) => "version",
+            ServiceError::Invalid(_) => "invalid-job",
+            ServiceError::Unsupported(_) => "unsupported-router",
+            ServiceError::Backpressure { .. } => "backpressure",
+            ServiceError::Shutdown => "shutdown",
+            ServiceError::RouterPanic { .. } => "router-panic",
+            ServiceError::Config(_) => "config",
+            ServiceError::Io(_) => "io",
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Parse(msg) | ServiceError::Invalid(msg) | ServiceError::Io(msg) => {
+                f.write_str(msg)
+            }
+            ServiceError::Version(v) => write!(
+                f,
+                "unsupported wire version {v} (this service speaks v1; omit \"v\" or send 1)"
+            ),
+            ServiceError::Unsupported(u) => u.fmt(f),
+            ServiceError::Backpressure { limit } => write!(
+                f,
+                "client queue full ({limit} jobs in flight); collect outcomes before submitting more"
+            ),
+            ServiceError::Shutdown => f.write_str("engine shut down before routing"),
+            ServiceError::RouterPanic { router, topology } => {
+                write!(f, "router {router} panicked on a canonical {topology} instance")
+            }
+            ServiceError::Config(msg) => write!(f, "invalid engine config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let errors = [
+            ServiceError::Parse("x".into()),
+            ServiceError::Version(2),
+            ServiceError::Invalid("x".into()),
+            ServiceError::Unsupported(UnsupportedTopology {
+                router: "locality-aware",
+                topology: "heavy-hex(4x4)".into(),
+            }),
+            ServiceError::Backpressure { limit: 8 },
+            ServiceError::Shutdown,
+            ServiceError::RouterPanic { router: "ats".into(), topology: "grid(2x2)".into() },
+            ServiceError::Config("x".into()),
+            ServiceError::Io("x".into()),
+        ];
+        let codes: Vec<&str> = errors.iter().map(ServiceError::code).collect();
+        assert_eq!(
+            codes,
+            vec![
+                "parse",
+                "version",
+                "invalid-job",
+                "unsupported-router",
+                "backpressure",
+                "shutdown",
+                "router-panic",
+                "config",
+                "io",
+            ]
+        );
+        let mut dedup = codes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), codes.len(), "codes must be distinct");
+    }
+
+    #[test]
+    fn display_preserves_the_string_era_messages() {
+        // Messages existing tests and scripts grep for.
+        assert_eq!(
+            ServiceError::Invalid("side 2000000 out of range (1..=1024)".into()).to_string(),
+            "side 2000000 out of range (1..=1024)"
+        );
+        assert_eq!(
+            ServiceError::Shutdown.to_string(),
+            "engine shut down before routing"
+        );
+        let unsupported = ServiceError::Unsupported(UnsupportedTopology {
+            router: "locality-aware",
+            topology: "heavy-hex(4x4, 16+24 vertices)".into(),
+        });
+        let msg = unsupported.to_string();
+        assert!(msg.contains("full grids"), "{msg}");
+        assert!(msg.contains("heavy-hex"), "{msg}");
+        let panic =
+            ServiceError::RouterPanic { router: "ats".into(), topology: "grid(2x2)".into() };
+        assert!(panic.to_string().contains("panicked"), "{panic}");
+        assert!(
+            ServiceError::Version(3)
+                .to_string()
+                .contains("wire version 3"),
+            "{}",
+            ServiceError::Version(3)
+        );
+        assert!(ServiceError::Backpressure { limit: 4 }
+            .to_string()
+            .contains("4 jobs in flight"),);
+    }
+}

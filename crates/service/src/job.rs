@@ -28,11 +28,20 @@
 //! fields an errored job could not produce. With timing capture disabled
 //! (the default), outcome lines are byte-deterministic for fixed inputs
 //! regardless of worker count.
+//!
+//! **Versioning.** Jobs may carry an optional integer `"v"` field naming
+//! the wire protocol version; *absent means v1*, so every committed job
+//! file stays byte-compatible. A job declaring an unknown version
+//! becomes a per-job error outcome with code `version` instead of
+//! aborting the stream, and outcomes echo the job's `"v"` when (and only
+//! when) the job carried one. Error outcomes carry a stable
+//! machine-readable `"code"` field next to the human-readable `"error"`
+//! message — see [`crate::ServiceError::code`].
 
+use crate::errors::ServiceError;
 use qroute_core::RouterKind;
 use qroute_perm::{generators, Permutation};
 use qroute_topology::{Grid, Topology};
-use serde::Serialize;
 
 /// Largest accepted grid side. Side 1024 means 1024² = 2²⁰ ≈ 1.05
 /// million qubits — far beyond any near-term grid. The cap turns absurd
@@ -40,6 +49,11 @@ use serde::Serialize;
 /// allocation aborts on the submit thread, and keeps `side * side` far
 /// from overflow on every platform.
 pub const MAX_SIDE: usize = 1024;
+
+/// The wire protocol version this service speaks. Jobs with no `"v"`
+/// field are treated as this version; jobs declaring any other version
+/// become per-job error outcomes (code `version`).
+pub const WIRE_VERSION: u64 = 1;
 
 /// Router requested by a job.
 #[derive(Debug, Clone)]
@@ -115,12 +129,18 @@ pub struct RouteJob {
     /// Side of the square base grid (`side × side` qubits for grid-family
     /// topologies; heavy-hex adds bridge vertices on top).
     pub side: usize,
-    /// Requested router.
-    pub router: RouterSpec,
+    /// Requested router; `None` defers to the engine's configured
+    /// default policy ([`crate::EngineConfig::default_router`]).
+    pub router: Option<RouterSpec>,
     /// Requested permutation.
     pub perm: PermSpec,
     /// Requested architecture (defaults to the full square grid).
     pub topology: TopologySpec,
+    /// Wire protocol version the job declared (`None` when the line had
+    /// no `"v"` field — implicitly [`WIRE_VERSION`]). Echoed into the
+    /// outcome so response lines are self-describing exactly when
+    /// request lines were.
+    pub v: Option<u64>,
 }
 
 impl RouteJob {
@@ -130,12 +150,13 @@ impl RouteJob {
         router: &str,
         class: &str,
         seed: u64,
-    ) -> Result<RouteJob, String> {
+    ) -> Result<RouteJob, ServiceError> {
         Ok(RouteJob {
             side,
-            router: parse_router(router)?,
+            router: Some(parse_router(router).map_err(ServiceError::Parse)?),
             perm: PermSpec::Class { label: class.to_string(), seed },
             topology: TopologySpec::Grid,
+            v: None,
         })
     }
 
@@ -143,76 +164,23 @@ impl RouteJob {
     pub fn explicit(side: usize, router: RouterSpec, pi: &Permutation) -> RouteJob {
         RouteJob {
             side,
-            router,
+            router: Some(router),
             perm: PermSpec::Explicit(pi.as_slice().to_vec()),
             topology: TopologySpec::Grid,
+            v: None,
         }
     }
 
     /// Parse one JSONL line. Strict: unknown fields, missing required
     /// fields, conflicting `perm`/`class`, and malformed values are all
     /// errors (which the engine turns into per-job error outcomes rather
-    /// than aborting the batch).
-    pub fn from_json_line(line: &str) -> Result<RouteJob, String> {
-        let doc = serde_json::from_str(line).map_err(|e| e.to_string())?;
-        let serde_json::Value::Object(entries) = &doc else {
-            return Err("job line must be a JSON object".to_string());
-        };
-        for (field, _) in entries {
-            if !matches!(
-                field.as_str(),
-                "side" | "router" | "perm" | "class" | "seed" | "topology"
-            ) {
-                return Err(format!(
-                    "unknown job field {field:?} (expected side, router, perm, class, seed, topology)"
-                ));
-            }
-        }
-        let side = doc
-            .get("side")
-            .and_then(|v| v.as_u64())
-            .ok_or("job needs an integer \"side\"")? as usize;
-        if side == 0 {
-            return Err("\"side\" must be at least 1".to_string());
-        }
-        let router = match doc.get("router") {
-            None => RouterSpec::Auto,
-            Some(v) => parse_router(v.as_str().ok_or("\"router\" must be a string")?)?,
-        };
-        let perm = match (doc.get("perm"), doc.get("class")) {
-            (Some(_), Some(_)) => {
-                return Err("job has both \"perm\" and \"class\"; pick one".to_string())
-            }
-            (None, None) => return Err("job needs either \"perm\" or \"class\"".to_string()),
-            (Some(p), None) => {
-                if doc.get("seed").is_some() {
-                    return Err("\"seed\" only applies to class jobs".to_string());
-                }
-                let table = p
-                    .as_array()
-                    .ok_or("\"perm\" must be an array of integers")?
-                    .iter()
-                    .map(|x| {
-                        x.as_u64()
-                            .map(|v| v as usize)
-                            .ok_or_else(|| "\"perm\" must be an array of integers".to_string())
-                    })
-                    .collect::<Result<Vec<usize>, String>>()?;
-                PermSpec::Explicit(table)
-            }
-            (None, Some(c)) => PermSpec::Class {
-                label: c.as_str().ok_or("\"class\" must be a string")?.to_string(),
-                seed: doc
-                    .get("seed")
-                    .and_then(|v| v.as_u64())
-                    .ok_or("class jobs need an integer \"seed\"")?,
-            },
-        };
-        let topology = match doc.get("topology") {
-            None => TopologySpec::Grid,
-            Some(t) => parse_topology(t)?,
-        };
-        Ok(RouteJob { side, router, perm, topology })
+    /// than aborting the batch). A `"v"` field naming a version other
+    /// than [`WIRE_VERSION`] is its own error kind
+    /// ([`ServiceError::Version`]) so clients can branch on it.
+    pub fn from_json_line(line: &str) -> Result<RouteJob, ServiceError> {
+        let doc = serde_json::from_str(line).map_err(|e| ServiceError::Parse(e.to_string()))?;
+        let v = parse_version(&doc)?;
+        parse_job_fields(&doc, v).map_err(ServiceError::Parse)
     }
 
     /// Materialize the instance: the topology and a validated
@@ -221,7 +189,11 @@ impl RouteJob {
     /// patterns that empty or disconnect the grid, permutations moving
     /// dead vertices) comes back as an `Err` — a per-job error outcome —
     /// never a panic on the submit thread.
-    pub fn resolve(&self) -> Result<(Topology, Permutation), String> {
+    pub fn resolve(&self) -> Result<(Topology, Permutation), ServiceError> {
+        self.resolve_impl().map_err(ServiceError::Invalid)
+    }
+
+    fn resolve_impl(&self) -> Result<(Topology, Permutation), String> {
         if self.side == 0 || self.side > MAX_SIDE {
             // An absurd side must become a per-job error outcome, not an
             // allocation abort that takes the whole batch down.
@@ -254,6 +226,90 @@ fn parse_router(s: &str) -> Result<RouterSpec, String> {
     } else {
         Ok(RouterSpec::Fixed(s.parse::<RouterKind>()?))
     }
+}
+
+/// Extract and check the optional `"v"` field. Absent means
+/// [`WIRE_VERSION`]; any other declared version is a
+/// [`ServiceError::Version`] so the outcome's `"code"` lets clients
+/// tell "wrong protocol" apart from "malformed job".
+fn parse_version(doc: &serde_json::Value) -> Result<Option<u64>, ServiceError> {
+    match doc.get("v") {
+        None => Ok(None),
+        Some(raw) => {
+            let v = raw.as_u64().ok_or_else(|| {
+                ServiceError::Parse("\"v\" must be a nonnegative integer".to_string())
+            })?;
+            if v != WIRE_VERSION {
+                return Err(ServiceError::Version(v));
+            }
+            Ok(Some(v))
+        }
+    }
+}
+
+/// The version-agnostic part of job-line parsing (everything but `"v"`,
+/// which [`parse_version`] has already validated).
+fn parse_job_fields(doc: &serde_json::Value, v: Option<u64>) -> Result<RouteJob, String> {
+    let serde_json::Value::Object(entries) = doc else {
+        return Err("job line must be a JSON object".to_string());
+    };
+    for (field, _) in entries {
+        if !matches!(
+            field.as_str(),
+            "v" | "side" | "router" | "perm" | "class" | "seed" | "topology"
+        ) {
+            return Err(format!(
+                "unknown job field {field:?} (expected v, side, router, perm, class, seed, topology)"
+            ));
+        }
+    }
+    let side = doc
+        .get("side")
+        .and_then(|v| v.as_u64())
+        .ok_or("job needs an integer \"side\"")? as usize;
+    if side == 0 {
+        return Err("\"side\" must be at least 1".to_string());
+    }
+    let router = match doc.get("router") {
+        None => None,
+        Some(r) => Some(parse_router(
+            r.as_str().ok_or("\"router\" must be a string")?,
+        )?),
+    };
+    let perm = match (doc.get("perm"), doc.get("class")) {
+        (Some(_), Some(_)) => {
+            return Err("job has both \"perm\" and \"class\"; pick one".to_string())
+        }
+        (None, None) => return Err("job needs either \"perm\" or \"class\"".to_string()),
+        (Some(p), None) => {
+            if doc.get("seed").is_some() {
+                return Err("\"seed\" only applies to class jobs".to_string());
+            }
+            let table = p
+                .as_array()
+                .ok_or("\"perm\" must be an array of integers")?
+                .iter()
+                .map(|x| {
+                    x.as_u64()
+                        .map(|v| v as usize)
+                        .ok_or_else(|| "\"perm\" must be an array of integers".to_string())
+                })
+                .collect::<Result<Vec<usize>, String>>()?;
+            PermSpec::Explicit(table)
+        }
+        (None, Some(c)) => PermSpec::Class {
+            label: c.as_str().ok_or("\"class\" must be a string")?.to_string(),
+            seed: doc
+                .get("seed")
+                .and_then(|v| v.as_u64())
+                .ok_or("class jobs need an integer \"seed\"")?,
+        },
+    };
+    let topology = match doc.get("topology") {
+        None => TopologySpec::Grid,
+        Some(t) => parse_topology(t)?,
+    };
+    Ok(RouteJob { side, router, perm, topology, v })
 }
 
 /// Parse the `"topology"` object. Strict like the job line itself:
@@ -443,9 +499,14 @@ impl CacheStatus {
 ///
 /// Field order is the wire order. `time_ms` is `null` unless the engine
 /// captured timing (timing is off by default so output bytes are
-/// deterministic); error outcomes carry `null` metrics.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+/// deterministic); error outcomes carry `null` metrics plus a stable
+/// machine-readable `"code"`. The `"v"` field is emitted only when the
+/// job declared one, keeping v1 outcome bytes identical to the
+/// pre-versioning era.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RouteOutcome {
+    /// Echo of the job's declared wire version (`None` ⇒ field omitted).
+    pub v: Option<u64>,
     /// Job id: the 0-based position of the job in submission order.
     pub id: u64,
     /// Grid side echoed from the job (`None` when the line never parsed).
@@ -463,14 +524,23 @@ pub struct RouteOutcome {
     /// Wall-clock routing time for cache misses (`0.0` for hits) when
     /// timing capture is on; `null` otherwise.
     pub time_ms: Option<f64>,
+    /// Machine-readable error discriminator ([`ServiceError::code`]),
+    /// `null` on success. Clients branch on this, never on `error` text.
+    pub code: Option<&'static str>,
     /// Error message for jobs that failed to parse, resolve, or route.
     pub error: Option<String>,
 }
 
 impl RouteOutcome {
     /// The error outcome for job `id`.
-    pub fn from_error(id: u64, side: Option<usize>, error: String) -> RouteOutcome {
+    pub fn from_error(
+        id: u64,
+        side: Option<usize>,
+        v: Option<u64>,
+        error: &ServiceError,
+    ) -> RouteOutcome {
         RouteOutcome {
+            v,
             id,
             side,
             router: None,
@@ -479,13 +549,49 @@ impl RouteOutcome {
             size: None,
             lower_bound: None,
             time_ms: None,
-            error: Some(error),
+            code: Some(error.code()),
+            error: Some(error.to_string()),
         }
     }
 
     /// Serialize as one compact JSONL line (no trailing newline).
     pub fn to_json_line(&self) -> String {
         serde_json::to_string(self).expect("serialize outcome")
+    }
+}
+
+// Hand-written (not derived) so `"v"` can be *omitted* — rather than
+// `null` — on v1 jobs, keeping their outcome bytes identical to the
+// pre-versioning wire format.
+impl serde::Serialize for RouteOutcome {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        if let Some(v) = self.v {
+            out.push_str("\"v\":");
+            serde::Serialize::write_json(&v, out);
+            out.push(',');
+        }
+        out.push_str("\"id\":");
+        serde::Serialize::write_json(&self.id, out);
+        out.push_str(",\"side\":");
+        serde::Serialize::write_json(&self.side, out);
+        out.push_str(",\"router\":");
+        serde::Serialize::write_json(&self.router, out);
+        out.push_str(",\"cache\":");
+        serde::Serialize::write_json(&self.cache, out);
+        out.push_str(",\"depth\":");
+        serde::Serialize::write_json(&self.depth, out);
+        out.push_str(",\"size\":");
+        serde::Serialize::write_json(&self.size, out);
+        out.push_str(",\"lower_bound\":");
+        serde::Serialize::write_json(&self.lower_bound, out);
+        out.push_str(",\"time_ms\":");
+        serde::Serialize::write_json(&self.time_ms, out);
+        out.push_str(",\"code\":");
+        serde::Serialize::write_json(&self.code, out);
+        out.push_str(",\"error\":");
+        serde::Serialize::write_json(&self.error, out);
+        out.push('}');
     }
 }
 
@@ -500,8 +606,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(job.side, 8);
-        assert!(matches!(job.router, RouterSpec::Auto));
+        assert!(matches!(job.router, Some(RouterSpec::Auto)));
         assert_eq!(job.topology, TopologySpec::Grid);
+        assert_eq!(job.v, None);
         let (topology, pi) = job.resolve().unwrap();
         assert_eq!(topology.len(), 64);
         assert_eq!(pi.len(), 64);
@@ -510,9 +617,25 @@ mod tests {
             .unwrap();
         let (_, pi) = job.resolve().unwrap();
         assert_eq!(pi.apply(0), 1);
-        // Router defaults to auto when omitted.
+        // An omitted router defers to the engine's configured default.
         let job = RouteJob::from_json_line(r#"{"side": 2, "perm": [0, 1, 2, 3]}"#).unwrap();
-        assert!(matches!(job.router, RouterSpec::Auto));
+        assert!(job.router.is_none());
+    }
+
+    #[test]
+    fn version_field_round_trips() {
+        // "v": 1 is accepted and remembered.
+        let job = RouteJob::from_json_line(r#"{"v": 1, "side": 2, "perm": [0, 1, 2, 3]}"#).unwrap();
+        assert_eq!(job.v, Some(1));
+        // Unknown versions are their own error kind with a stable code.
+        let err =
+            RouteJob::from_json_line(r#"{"v": 2, "side": 2, "perm": [0, 1, 2, 3]}"#).unwrap_err();
+        assert_eq!(err, ServiceError::Version(2));
+        assert_eq!(err.code(), "version");
+        // Malformed "v" is a parse error, not a version error.
+        let err =
+            RouteJob::from_json_line(r#"{"v": "x", "side": 2, "perm": [0, 1, 2, 3]}"#).unwrap_err();
+        assert_eq!(err.code(), "parse");
     }
 
     #[test]
@@ -524,8 +647,8 @@ mod tests {
             );
             let job = RouteJob::from_json_line(&line).unwrap();
             match job.router {
-                RouterSpec::Fixed(parsed) => assert_eq!(parsed.label(), kind.label()),
-                RouterSpec::Auto => panic!("{} parsed as auto", kind.label()),
+                Some(RouterSpec::Fixed(parsed)) => assert_eq!(parsed.label(), kind.label()),
+                other => panic!("{} parsed as {other:?}", kind.label()),
             }
         }
     }
@@ -552,7 +675,7 @@ mod tests {
             (r#"{"side": 4, "perm": [0, "x"]}"#, "integers"),
         ] {
             let err = RouteJob::from_json_line(line).unwrap_err();
-            assert!(err.contains(needle), "{line}: {err}");
+            assert!(err.to_string().contains(needle), "{line}: {err}");
         }
     }
 
@@ -568,23 +691,29 @@ mod tests {
             let line = format!(r#"{{"side": 4, "class": "{class}", "seed": 0}}"#);
             let job = RouteJob::from_json_line(&line).unwrap();
             let err = job.resolve().unwrap_err();
-            assert!(err.contains(needle), "{class}: {err}");
+            assert!(err.to_string().contains(needle), "{class}: {err}");
         }
     }
 
     #[test]
     fn resolve_validates_explicit_permutations() {
         let short = RouteJob::from_json_line(r#"{"side": 2, "perm": [1, 0]}"#).unwrap();
-        assert!(short.resolve().unwrap_err().contains("4"));
+        assert!(short.resolve().unwrap_err().to_string().contains("4"));
         // An absurd side is a per-job error, not an allocation abort.
         let huge =
             RouteJob::from_json_line(r#"{"side": 1000000000, "class": "random", "seed": 0}"#)
                 .unwrap();
-        assert!(huge.resolve().unwrap_err().contains("out of range"));
+        let err = huge.resolve().unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+        assert_eq!(err.code(), "invalid-job");
         let max = RouteJob::from_class(MAX_SIDE, "ats", "skinny", 0).unwrap();
         assert_eq!(max.side, MAX_SIDE);
         let repeat = RouteJob::from_json_line(r#"{"side": 2, "perm": [0, 0, 2, 3]}"#).unwrap();
-        assert!(repeat.resolve().unwrap_err().contains("permutation"));
+        assert!(repeat
+            .resolve()
+            .unwrap_err()
+            .to_string()
+            .contains("permutation"));
     }
 
     #[test]
@@ -651,7 +780,7 @@ mod tests {
             ),
         ] {
             let err = RouteJob::from_json_line(line).unwrap_err();
-            assert!(err.contains(needle), "{line}: {err}");
+            assert!(err.to_string().contains(needle), "{line}: {err}");
         }
     }
 
@@ -697,13 +826,14 @@ mod tests {
                 .unwrap()
                 .resolve()
                 .unwrap_err();
-            assert!(err.contains(needle), "{line}: {err}");
+            assert!(err.to_string().contains(needle), "{line}: {err}");
         }
     }
 
     #[test]
     fn outcome_serializes_stable_jsonl() {
         let ok = RouteOutcome {
+            v: None,
             id: 3,
             side: Some(8),
             router: Some("ats".to_string()),
@@ -712,16 +842,41 @@ mod tests {
             size: Some(40),
             lower_bound: Some(9),
             time_ms: None,
+            code: None,
             error: None,
         };
         assert_eq!(
             ok.to_json_line(),
-            r#"{"id":3,"side":8,"router":"ats","cache":"hit","depth":12,"size":40,"lower_bound":9,"time_ms":null,"error":null}"#
+            r#"{"id":3,"side":8,"router":"ats","cache":"hit","depth":12,"size":40,"lower_bound":9,"time_ms":null,"code":null,"error":null}"#
         );
-        let err = RouteOutcome::from_error(4, None, "boom".to_string());
+        let err = RouteOutcome::from_error(4, None, None, &ServiceError::Parse("boom".to_string()));
         assert_eq!(
             err.to_json_line(),
-            r#"{"id":4,"side":null,"router":null,"cache":null,"depth":null,"size":null,"lower_bound":null,"time_ms":null,"error":"boom"}"#
+            r#"{"id":4,"side":null,"router":null,"cache":null,"depth":null,"size":null,"lower_bound":null,"time_ms":null,"code":"parse","error":"boom"}"#
+        );
+    }
+
+    #[test]
+    fn outcome_emits_v_only_when_the_job_declared_one() {
+        let versioned = RouteOutcome {
+            v: Some(1),
+            id: 0,
+            side: Some(2),
+            router: Some("ats".to_string()),
+            cache: Some("miss".to_string()),
+            depth: Some(1),
+            size: Some(1),
+            lower_bound: Some(1),
+            time_ms: None,
+            code: None,
+            error: None,
+        };
+        assert!(versioned.to_json_line().starts_with(r#"{"v":1,"id":0,"#));
+        let version_err = RouteOutcome::from_error(7, Some(2), None, &ServiceError::Version(9));
+        let line = version_err.to_json_line();
+        assert!(
+            line.contains(r#""code":"version""#) && !line.contains(r#""v":"#),
+            "{line}"
         );
     }
 }

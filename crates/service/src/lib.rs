@@ -24,6 +24,16 @@
 //!   [`qroute_perm::metrics`] features (total L1 distance, max
 //!   displacement, block-locality score); non-grid topologies resolve to
 //!   approximate token swapping, the topology-generic router.
+//! * [`daemon`] / [`client`] — a long-lived TCP server speaking the same
+//!   JSONL wire format, one stream per connection: per-connection
+//!   determinism (outcome order and bytes match `repro batch` for the
+//!   same job list), a shared concurrent cache with per-shard locking,
+//!   bounded per-client admission control, graceful drain on shutdown,
+//!   and a `stats` request returning a [`StatsSnapshot`]. The blocking
+//!   [`Client`] drives it from tests, `repro ctl`, and benchmarks.
+//! * [`errors`] — [`ServiceError`], the one error type of the service
+//!   layer, with a stable machine-readable [`ServiceError::code`]
+//!   carried in the `"code"` field of error outcomes.
 //!
 //! Jobs default to square grids (`"side"` alone), but an optional
 //! `"topology"` object selects defective grids, heavy-hex, brick-wall,
@@ -33,7 +43,7 @@
 //! ```
 //! use qroute_service::{Engine, EngineConfig, RouteJob};
 //!
-//! let mut engine = Engine::new(EngineConfig { workers: 2, ..EngineConfig::default() });
+//! let mut engine = Engine::new(EngineConfig::builder().workers(2).build().unwrap());
 //! let job = RouteJob::from_json_line(
 //!     r#"{"side": 6, "router": "auto", "class": "block2", "seed": 1}"#,
 //! ).unwrap();
@@ -47,13 +57,21 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod client;
+pub mod daemon;
 pub mod dispatch;
 pub mod engine;
+pub mod errors;
 pub mod job;
 
 pub use cache::{
     canonicalize, canonicalize_topology, CacheStats, CanonicalForm, CanonicalKey, ShardedLru,
 };
+pub use client::Client;
+pub use daemon::{Daemon, RouterJobs, StatsSnapshot};
 pub use dispatch::{features, select_router, select_router_on, InstanceFeatures};
-pub use engine::{Engine, EngineConfig, RouteResult};
-pub use job::{CacheStatus, PermSpec, RouteJob, RouteOutcome, RouterSpec, TopologySpec, MAX_SIDE};
+pub use engine::{Engine, EngineConfig, EngineConfigBuilder, RouteResult};
+pub use errors::ServiceError;
+pub use job::{
+    CacheStatus, PermSpec, RouteJob, RouteOutcome, RouterSpec, TopologySpec, MAX_SIDE, WIRE_VERSION,
+};

@@ -2,18 +2,20 @@
 //! must produce byte-identical, id-ordered output, and dropping the
 //! engine with work still queued must not deadlock.
 
-use qroute_service::{Engine, EngineConfig, RouteJob};
+use qroute_service::{Engine, EngineConfig, RouteJob, ServiceError};
 
 /// A mixed batch: every class, several sides and seeds, duplicates and
 /// error lines sprinkled in — the shape a real JSONL batch has.
-fn mixed_jobs(count: usize) -> (Vec<Result<RouteJob, String>>, usize) {
+fn mixed_jobs(count: usize) -> (Vec<Result<RouteJob, ServiceError>>, usize) {
     let classes = ["random", "block2", "overlap4s2", "skinny"];
     let routers = ["auto", "locality-aware", "ats", "hybrid", "naive-grid"];
     let mut jobs = Vec::with_capacity(count);
     let mut errors = 0;
     for k in 0..count {
         if k % 23 == 7 {
-            jobs.push(Err(format!("synthetic parse failure at job {k}")));
+            jobs.push(Err(ServiceError::Parse(format!(
+                "synthetic parse failure at job {k}"
+            ))));
             errors += 1;
             continue;
         }
@@ -27,7 +29,7 @@ fn mixed_jobs(count: usize) -> (Vec<Result<RouteJob, String>>, usize) {
     (jobs, errors)
 }
 
-fn run_batch(workers: usize, jobs: &[Result<RouteJob, String>]) -> (String, Engine) {
+fn run_batch(workers: usize, jobs: &[Result<RouteJob, ServiceError>]) -> (String, Engine) {
     let mut engine = Engine::new(EngineConfig {
         workers,
         cache_capacity: 256,
