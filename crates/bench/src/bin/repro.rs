@@ -31,7 +31,9 @@ use qroute_bench::bench::{self, BenchConfig, BenchReport};
 use qroute_bench::experiments;
 use qroute_bench::plot::{cells_to_chart, Scale};
 use qroute_bench::report;
-use qroute_service::{Client, Daemon, Engine, EngineConfig, RouteJob};
+use qroute_service::{
+    ChaosConfig, Client, Daemon, Engine, EngineConfig, RetryPolicy, RetryingClient, RouteJob,
+};
 use qroute_topology::{gridlike, Grid, Topology};
 use std::path::PathBuf;
 
@@ -53,6 +55,16 @@ struct Args {
     addr: Option<String>,
     queue_depth: Option<usize>,
     client_queue: Option<usize>,
+    default_deadline_ms: Option<u64>,
+    max_worker_restarts: Option<u64>,
+    chaos_panic_every: Option<u64>,
+    chaos_latency_ms: Option<u64>,
+    chaos_latency_every: Option<u64>,
+    chaos_drop_after_bytes: Option<u64>,
+    chaos_drop_conns: Option<u32>,
+    chaos_torn_writes: bool,
+    retries: Option<u32>,
+    retry_base_ms: Option<u64>,
     connect: Option<String>,
     stats: bool,
     shutdown: bool,
@@ -75,8 +87,13 @@ USAGE:
     repro batch --input jobs.jsonl [--output results.jsonl]
           [--workers N] [--cache-capacity K] [--time]
     repro batch --input jobs.jsonl --connect HOST:PORT [--output F]
+          [--retries N] [--retry-base-ms MS]
     repro serve --addr HOST:PORT [--workers N] [--cache-capacity K]
           [--queue-depth N] [--client-queue N]
+          [--default-deadline-ms MS] [--max-worker-restarts N]
+          [--chaos-panic-every N] [--chaos-latency-ms MS]
+          [--chaos-latency-every N] [--chaos-drop-after-bytes B]
+          [--chaos-drop-conns N] [--chaos-torn-writes]
     repro ctl --connect HOST:PORT (--stats | --shutdown)
     repro topo --kind <grid|defect|heavy-hex|brick|torus>
           [--rows R] [--cols C] [--defects 6,12] [--dot]
@@ -119,6 +136,12 @@ Batch flags:
     --time            record per-job routing time (non-deterministic;
                       local mode only)
     --connect A       route through the daemon at A (host:port)
+    --retries N       with --connect: reconnect and resubmit unanswered
+                      jobs up to N times per job on retry-safe errors
+                      (backpressure, io, shutdown); default 0 = one
+                      connection, fail fast
+    --retry-base-ms MS  with --retries: first backoff step (doubles per
+                      attempt, jittered, capped at 1000 ms; default 10)
 
 serve runs the long-lived routing daemon: a TCP server speaking the
 same JSONL wire format, one request line in, one outcome line out, any
@@ -134,6 +157,21 @@ Serve flags:
     --client-queue N  per-connection in-flight job limit; jobs past it
                       are rejected with a backpressure error outcome
                       (default 256)
+    --default-deadline-ms MS  deadline for jobs that carry none; a job
+                      past its deadline answers with a timeout outcome
+                      (default: unbounded)
+    --max-worker-restarts N  supervised respawn budget for crashed
+                      routing workers (default 64)
+Chaos flags (fault injection for resilience testing; off by default):
+    --chaos-panic-every N     panic the worker on every Nth compute
+    --chaos-latency-ms MS     injected latency per targeted compute
+    --chaos-latency-every N   target every Nth compute with the latency
+                              (default 1 when --chaos-latency-ms is set)
+    --chaos-drop-after-bytes B  sever each of the first --chaos-drop-conns
+                              connections after ~B outcome bytes
+    --chaos-drop-conns N      how many connections to sever (default 1
+                              when --chaos-drop-after-bytes is set)
+    --chaos-torn-writes       tear the final line in half when severing
 
 ctl sends one control request to a running daemon and prints the
 response line on stdout.
@@ -174,6 +212,16 @@ fn parse_args() -> Args {
     let mut addr: Option<String> = None;
     let mut queue_depth: Option<usize> = None;
     let mut client_queue: Option<usize> = None;
+    let mut default_deadline_ms: Option<u64> = None;
+    let mut max_worker_restarts: Option<u64> = None;
+    let mut chaos_panic_every: Option<u64> = None;
+    let mut chaos_latency_ms: Option<u64> = None;
+    let mut chaos_latency_every: Option<u64> = None;
+    let mut chaos_drop_after_bytes: Option<u64> = None;
+    let mut chaos_drop_conns: Option<u32> = None;
+    let mut chaos_torn_writes = false;
+    let mut retries: Option<u32> = None;
+    let mut retry_base_ms: Option<u64> = None;
     let mut connect: Option<String> = None;
     let mut stats = false;
     let mut shutdown = false;
@@ -275,6 +323,74 @@ fn parse_args() -> Args {
                     },
                 ));
             }
+            "--default-deadline-ms" => {
+                let v = flag_value(&mut i, "--default-deadline-ms");
+                default_deadline_ms = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&ms: &u64| ms >= 1)
+                        .unwrap_or_else(|| {
+                            usage_error(format!(
+                                "--default-deadline-ms wants a positive integer, got {v:?}"
+                            ))
+                        }),
+                );
+            }
+            "--max-worker-restarts" => {
+                let v = flag_value(&mut i, "--max-worker-restarts");
+                max_worker_restarts = Some(v.parse().unwrap_or_else(|_| {
+                    usage_error(format!("--max-worker-restarts wants an integer, got {v:?}"))
+                }));
+            }
+            "--chaos-panic-every" => {
+                let v = flag_value(&mut i, "--chaos-panic-every");
+                chaos_panic_every = Some(v.parse().unwrap_or_else(|_| {
+                    usage_error(format!("--chaos-panic-every wants an integer, got {v:?}"))
+                }));
+            }
+            "--chaos-latency-ms" => {
+                let v = flag_value(&mut i, "--chaos-latency-ms");
+                chaos_latency_ms = Some(v.parse().unwrap_or_else(|_| {
+                    usage_error(format!("--chaos-latency-ms wants an integer, got {v:?}"))
+                }));
+            }
+            "--chaos-latency-every" => {
+                let v = flag_value(&mut i, "--chaos-latency-every");
+                chaos_latency_every = Some(v.parse().unwrap_or_else(|_| {
+                    usage_error(format!("--chaos-latency-every wants an integer, got {v:?}"))
+                }));
+            }
+            "--chaos-drop-after-bytes" => {
+                let v = flag_value(&mut i, "--chaos-drop-after-bytes");
+                chaos_drop_after_bytes = Some(v.parse().unwrap_or_else(|_| {
+                    usage_error(format!(
+                        "--chaos-drop-after-bytes wants an integer, got {v:?}"
+                    ))
+                }));
+            }
+            "--chaos-drop-conns" => {
+                let v = flag_value(&mut i, "--chaos-drop-conns");
+                chaos_drop_conns = Some(v.parse().unwrap_or_else(|_| {
+                    usage_error(format!("--chaos-drop-conns wants an integer, got {v:?}"))
+                }));
+            }
+            "--chaos-torn-writes" => chaos_torn_writes = true,
+            "--retries" => {
+                let v = flag_value(&mut i, "--retries");
+                retries = Some(v.parse().unwrap_or_else(|_| {
+                    usage_error(format!("--retries wants an integer, got {v:?}"))
+                }));
+            }
+            "--retry-base-ms" => {
+                let v = flag_value(&mut i, "--retry-base-ms");
+                retry_base_ms = Some(v.parse().ok().filter(|&ms: &u64| ms >= 1).unwrap_or_else(
+                    || {
+                        usage_error(format!(
+                            "--retry-base-ms wants a positive integer, got {v:?}"
+                        ))
+                    },
+                ));
+            }
             "--connect" => connect = Some(flag_value(&mut i, "--connect")),
             "--stats" => stats = true,
             "--shutdown" => shutdown = true,
@@ -366,6 +482,14 @@ fn parse_args() -> Args {
             (addr.is_some(), "--addr"),
             (queue_depth.is_some(), "--queue-depth"),
             (client_queue.is_some(), "--client-queue"),
+            (default_deadline_ms.is_some(), "--default-deadline-ms"),
+            (max_worker_restarts.is_some(), "--max-worker-restarts"),
+            (chaos_panic_every.is_some(), "--chaos-panic-every"),
+            (chaos_latency_ms.is_some(), "--chaos-latency-ms"),
+            (chaos_latency_every.is_some(), "--chaos-latency-every"),
+            (chaos_drop_after_bytes.is_some(), "--chaos-drop-after-bytes"),
+            (chaos_drop_conns.is_some(), "--chaos-drop-conns"),
+            (chaos_torn_writes, "--chaos-torn-writes"),
         ] {
             if given {
                 usage_error(format!("{flag} only applies to the serve command"));
@@ -403,9 +527,35 @@ fn parse_args() -> Args {
             }
         }
     }
+    if command != "batch" {
+        for (given, flag) in [
+            (retries.is_some(), "--retries"),
+            (retry_base_ms.is_some(), "--retry-base-ms"),
+        ] {
+            if given {
+                usage_error(format!("{flag} only applies to the batch command"));
+            }
+        }
+    }
     if command == "batch" {
         if input.is_none() {
             usage_error("batch requires --input <jobs.jsonl>".to_string());
+        }
+        if connect.is_none() {
+            for (given, flag) in [
+                (retries.is_some(), "--retries"),
+                (retry_base_ms.is_some(), "--retry-base-ms"),
+            ] {
+                if given {
+                    usage_error(format!(
+                        "{flag} only applies when batch routes through --connect \
+                         (an in-process engine has no connection to retry)"
+                    ));
+                }
+            }
+        }
+        if retry_base_ms.is_some() && retries.is_none() {
+            usage_error("--retry-base-ms requires --retries".to_string());
         }
         if connect.is_some() {
             // The daemon owns the engine configuration; timing is off by
@@ -460,6 +610,16 @@ fn parse_args() -> Args {
         addr,
         queue_depth,
         client_queue,
+        default_deadline_ms,
+        max_worker_restarts,
+        chaos_panic_every,
+        chaos_latency_ms,
+        chaos_latency_every,
+        chaos_drop_after_bytes,
+        chaos_drop_conns,
+        chaos_torn_writes,
+        retries,
+        retry_base_ms,
         connect,
         stats,
         shutdown,
@@ -723,7 +883,7 @@ fn run_batch_cmd(args: &Args) {
         None => Box::new(std::io::stdout().lock()),
     };
     if let Some(connect) = &args.connect {
-        run_batch_via_daemon(connect, &text, &mut *sink);
+        run_batch_via_daemon(connect, args, &text, &mut *sink);
         return;
     }
     let config = EngineConfig::builder()
@@ -789,17 +949,40 @@ fn run_batch_cmd(args: &Args) {
     }
 }
 
-/// Replay a job stream through a running daemon over one connection:
-/// same per-line protocol, same outcome bytes as the in-process engine.
-fn run_batch_via_daemon(addr: &str, text: &str, sink: &mut dyn std::io::Write) {
-    let mut client = Client::connect(addr).unwrap_or_else(|e| {
-        eprintln!("error: cannot connect to {addr}: {e}");
-        std::process::exit(2);
-    });
-    let outcomes = client.route_lines(text.lines()).unwrap_or_else(|e| {
-        eprintln!("error: daemon connection to {addr} failed: {e}");
-        std::process::exit(2);
-    });
+/// Replay a job stream through a running daemon: same per-line
+/// protocol, same outcome bytes as the in-process engine. With
+/// `--retries`, a [`RetryingClient`] reconnects and resubmits
+/// unanswered jobs on retry-safe errors instead of failing fast.
+fn run_batch_via_daemon(addr: &str, args: &Args, text: &str, sink: &mut dyn std::io::Write) {
+    let (outcomes, resubmissions) = match args.retries {
+        Some(max_retries) if max_retries > 0 => {
+            let policy = RetryPolicy {
+                max_retries,
+                base_ms: args.retry_base_ms.unwrap_or(10),
+                ..RetryPolicy::default()
+            };
+            let mut client = RetryingClient::new(addr, policy).unwrap_or_else(|e| {
+                eprintln!("error: cannot resolve {addr}: {e}");
+                std::process::exit(2);
+            });
+            let outcomes = client.route_lines(text.lines()).unwrap_or_else(|e| {
+                eprintln!("error: daemon connection to {addr} failed: {e}");
+                std::process::exit(2);
+            });
+            (outcomes, client.retries())
+        }
+        _ => {
+            let mut client = Client::connect(addr).unwrap_or_else(|e| {
+                eprintln!("error: cannot connect to {addr}: {e}");
+                std::process::exit(2);
+            });
+            let outcomes = client.route_lines(text.lines()).unwrap_or_else(|e| {
+                eprintln!("error: daemon connection to {addr} failed: {e}");
+                std::process::exit(2);
+            });
+            (outcomes, 0)
+        }
+    };
     let mut errors = 0usize;
     for line in &outcomes {
         if !line.ends_with("\"error\":null}") {
@@ -809,7 +992,7 @@ fn run_batch_via_daemon(addr: &str, text: &str, sink: &mut dyn std::io::Write) {
     }
     sink.flush().expect("flush outcomes");
     eprintln!(
-        "batch summary: jobs={} errors={errors} daemon={addr}",
+        "batch summary: jobs={} errors={errors} daemon={addr} resubmissions={resubmissions}",
         outcomes.len()
     );
     if errors > 0 {
@@ -835,6 +1018,30 @@ fn run_serve_cmd(args: &Args) {
     if let Some(depth) = args.client_queue {
         builder = builder.client_queue_depth(depth);
     }
+    if let Some(ms) = args.default_deadline_ms {
+        builder = builder.default_deadline_ms(ms);
+    }
+    if let Some(n) = args.max_worker_restarts {
+        builder = builder.max_worker_restarts(n);
+    }
+    let chaos = ChaosConfig {
+        worker_panic_every: args.chaos_panic_every.unwrap_or(0),
+        latency_ms: args.chaos_latency_ms.unwrap_or(0),
+        // --chaos-latency-ms alone means "every compute".
+        latency_every: args
+            .chaos_latency_every
+            .unwrap_or(u64::from(args.chaos_latency_ms.is_some())),
+        drop_connection_after_bytes: args.chaos_drop_after_bytes,
+        // --chaos-drop-after-bytes alone means "the first connection".
+        drop_connections: args
+            .chaos_drop_conns
+            .unwrap_or(u32::from(args.chaos_drop_after_bytes.is_some())),
+        torn_writes: args.chaos_torn_writes,
+    };
+    if chaos.is_armed() {
+        eprintln!("warning: chaos armed — this daemon will inject faults on purpose");
+        builder = builder.chaos(chaos);
+    }
     let config = builder.build().unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(2);
@@ -847,7 +1054,7 @@ fn run_serve_cmd(args: &Args) {
     let stats = daemon.join();
     eprintln!(
         "daemon summary: jobs={} errors={} connections={} hits={} misses={} evictions={} \
-         hit_rate={:.3}",
+         hit_rate={:.3} timeouts={} worker_restarts={} retries_observed={}",
         stats.jobs_routed,
         stats.jobs_errored,
         stats.connections,
@@ -855,6 +1062,9 @@ fn run_serve_cmd(args: &Args) {
         stats.cache_misses,
         stats.cache_evictions,
         stats.hit_rate,
+        stats.timeouts,
+        stats.worker_restarts,
+        stats.retries_observed,
     );
 }
 

@@ -41,13 +41,17 @@ fn spawn_daemon(extra: &[&str]) -> (Child, String, BufReader<std::process::Child
         .spawn()
         .expect("spawn repro serve");
     let mut stderr = BufReader::new(child.stderr.take().expect("piped stderr"));
-    let mut line = String::new();
-    stderr.read_line(&mut line).expect("read listen line");
-    let addr = line
-        .strip_prefix("listening on ")
-        .unwrap_or_else(|| panic!("unexpected serve banner: {line:?}"))
-        .trim()
-        .to_string();
+    // Warnings (e.g. "chaos armed") may precede the listen banner.
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            stderr.read_line(&mut line).expect("read serve banner") > 0,
+            "serve exited before printing its listen banner"
+        );
+        if let Some(addr) = line.strip_prefix("listening on ") {
+            break addr.trim().to_string();
+        }
+    };
     (child, addr, stderr)
 }
 
@@ -208,6 +212,114 @@ fn ctl_against_a_dead_daemon_exits_2() {
 }
 
 #[test]
+fn ctl_against_a_just_shut_down_daemon_exits_2_with_one_line() {
+    let dir = tmp_dir("just_shut_down");
+    let (child, addr, stderr) = spawn_daemon(&[]);
+    shutdown_and_reap(child, &addr, stderr, &dir);
+    // The port was live moments ago; a straggling ctl must fail
+    // cleanly — nonzero exit, one diagnostic line, no panic/backtrace.
+    let out = repro(&["ctl", "--connect", &addr, "--stats"], &dir);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(out.stdout.is_empty(), "no stats from a dead daemon");
+    let diag = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        diag.trim_end().lines().count(),
+        1,
+        "one line, not a dump:\n{diag}"
+    );
+    assert!(
+        diag.contains("cannot connect") && diag.contains(&addr),
+        "{diag}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_retries_recover_from_an_injected_connection_drop() {
+    let dir = tmp_dir("retries");
+    // All-distinct canonical keys: the per-connection mirror reset on
+    // reconnect cannot change a hit/miss label, so the retried replay
+    // must be byte-identical to the local batch.
+    let jobs: String = (0..20)
+        .map(|k| {
+            format!("{{\"side\": 5, \"router\": \"ats\", \"class\": \"random\", \"seed\": {k}}}\n")
+        })
+        .collect();
+    let jobs_path = dir.join("jobs.jsonl");
+    std::fs::write(&jobs_path, &jobs).expect("write jobs");
+    let jobs_arg = jobs_path.display().to_string();
+
+    let local = repro(&["batch", "--input", &jobs_arg, "--output", "local"], &dir);
+    assert!(
+        local.status.success(),
+        "{}",
+        String::from_utf8_lossy(&local.stderr)
+    );
+
+    let (child, addr, stderr) = spawn_daemon(&[
+        "--chaos-drop-after-bytes",
+        "400",
+        "--chaos-drop-conns",
+        "1",
+        "--chaos-torn-writes",
+    ]);
+    let out = repro(
+        &[
+            "batch",
+            "--input",
+            &jobs_arg,
+            "--connect",
+            &addr,
+            "--output",
+            "wire",
+            "--retries",
+            "5",
+            "--retry-base-ms",
+            "1",
+        ],
+        &dir,
+    );
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let summary = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !summary.contains("resubmissions=0"),
+        "the injected drop must have forced a resubmission:\n{summary}"
+    );
+    assert_eq!(
+        std::fs::read(dir.join("wire")).expect("wire results"),
+        std::fs::read(dir.join("local")).expect("local results"),
+        "retried replay diverged from the local batch"
+    );
+
+    // The client reported its resubmissions to the daemon.
+    let stats = repro(&["ctl", "--connect", &addr, "--stats"], &dir);
+    assert!(
+        stats.status.success(),
+        "{}",
+        String::from_utf8_lossy(&stats.stderr)
+    );
+    let doc: serde_json::Value =
+        serde_json::from_str(String::from_utf8_lossy(&stats.stdout).trim()).expect("stats JSON");
+    let snapshot = doc.get("stats").expect("stats envelope");
+    assert!(
+        snapshot
+            .get("retries_observed")
+            .and_then(|v| v.as_u64())
+            .expect("retries_observed")
+            > 0,
+        "{}",
+        String::from_utf8_lossy(&stats.stdout)
+    );
+
+    shutdown_and_reap(child, &addr, stderr, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn serve_and_ctl_flags_are_gated() {
     let dir = tmp_dir("gating");
     for (args, needle) in [
@@ -253,6 +365,41 @@ fn serve_and_ctl_flags_are_gated() {
             &["fig4", "--connect", "127.0.0.1:1"][..],
             "--connect only applies",
         ),
+        (
+            &["batch", "--input", "x", "--retries", "2"][..],
+            "--retries only applies when batch routes through --connect",
+        ),
+        (
+            &["serve", "--addr", "127.0.0.1:1", "--retries", "2"][..],
+            "--retries only applies to the batch command",
+        ),
+        (
+            &[
+                "batch",
+                "--input",
+                "x",
+                "--connect",
+                "127.0.0.1:1",
+                "--retry-base-ms",
+                "5",
+            ][..],
+            "--retry-base-ms requires --retries",
+        ),
+        (
+            &["batch", "--input", "x", "--chaos-panic-every", "3"][..],
+            "--chaos-panic-every only applies to the serve command",
+        ),
+        (
+            &[
+                "ctl",
+                "--connect",
+                "127.0.0.1:1",
+                "--stats",
+                "--default-deadline-ms",
+                "50",
+            ][..],
+            "--default-deadline-ms only applies to the serve command",
+        ),
     ] {
         let out = repro(args, &dir);
         assert_eq!(out.status.code(), Some(2), "{args:?}");
@@ -277,6 +424,12 @@ fn help_documents_serve_and_ctl() {
         "--shutdown",
         "--client-queue",
         "--queue-depth",
+        "--retries",
+        "--retry-base-ms",
+        "--default-deadline-ms",
+        "--max-worker-restarts",
+        "--chaos-panic-every",
+        "--chaos-torn-writes",
     ] {
         assert!(stdout.contains(needle), "help missing {needle}:\n{stdout}");
     }

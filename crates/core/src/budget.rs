@@ -1,0 +1,291 @@
+//! Cooperative routing budgets: deadlines and cancellation for long
+//! router invocations.
+//!
+//! Routers are pure synchronous functions — once `route_on` starts there
+//! is no natural place to bail out when the caller stops caring (a job's
+//! deadline passed, the service is tearing down). Threading an explicit
+//! budget parameter through every router signature would churn the whole
+//! `GridRouter` surface, so this module takes the cooperative-checkpoint
+//! approach instead: a serving layer arms a [`RouteBudget`] around a
+//! router call with [`with_budget`], and the routers' round-level loops
+//! call the (extremely cheap when unarmed) [`checkpoint`] hook. When the
+//! budget is exceeded at a checkpoint, the router unwinds with a typed
+//! [`BudgetExceeded`] payload that [`with_budget`] catches and converts
+//! into an `Err` — real panics keep propagating untouched.
+//!
+//! Checkpoints sit at *round boundaries* (one token-swapping phase, one
+//! window-doubling sweep, one transpile routing round), so cancellation
+//! latency is one round, not one instruction — a deliberate trade that
+//! keeps the hook free of per-swap overhead.
+//!
+//! ```
+//! use qroute_core::budget::{self, RouteBudget};
+//! use std::time::{Duration, Instant};
+//!
+//! // An already-expired deadline: the first checkpoint aborts the call.
+//! let expired = RouteBudget::unlimited().deadline(Instant::now() - Duration::from_millis(1));
+//! let out = budget::with_budget(&expired, || {
+//!     budget::checkpoint(); // routers call this between rounds
+//!     "unreachable"
+//! });
+//! assert!(out.is_err());
+//! ```
+
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Once};
+use std::time::Instant;
+
+/// The typed panic payload [`checkpoint`] unwinds with when the active
+/// budget is exhausted. [`with_budget`] catches exactly this payload and
+/// turns it into an `Err`; any other panic keeps propagating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExceeded;
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("routing budget exceeded (deadline passed or cancelled)")
+    }
+}
+
+/// A panic payload for *intentional* unwinds (fault injection, budget
+/// aborts) that the hook installed by [`suppress_quiet_panics`] keeps
+/// off stderr. The payload names its reason for post-mortem debugging.
+#[derive(Debug, Clone, Copy)]
+pub struct QuietUnwind(
+    /// Why the unwind was raised (e.g. `"chaos-injected worker crash"`).
+    pub &'static str,
+);
+
+/// A shared cancellation flag: the serving side holds one clone and
+/// flips it, the routing side observes it at every [`checkpoint`].
+/// Cloning shares the flag (it is an `Arc` internally).
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Flip the flag; every clone observes it. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// What a router invocation is allowed to spend: an optional wall-clock
+/// deadline and an optional [`CancelToken`]. The default is unlimited —
+/// checkpoints cost one thread-local read and nothing else.
+#[derive(Clone, Debug, Default)]
+pub struct RouteBudget {
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
+}
+
+impl RouteBudget {
+    /// A budget with no deadline and no cancellation: [`with_budget`]
+    /// with this value runs the closure directly (no unwind machinery).
+    pub fn unlimited() -> RouteBudget {
+        RouteBudget::default()
+    }
+
+    /// Abort (at the next checkpoint) once `at` has passed.
+    pub fn deadline(mut self, at: Instant) -> RouteBudget {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Abort (at the next checkpoint) once `token` is cancelled.
+    pub fn cancel_token(mut self, token: CancelToken) -> RouteBudget {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Whether this budget can ever abort anything.
+    pub fn is_limited(&self) -> bool {
+        self.deadline.is_some() || self.cancel.is_some()
+    }
+
+    /// Whether the budget is exhausted *right now* (deadline passed or
+    /// token cancelled). Callers can poll this outside checkpoints, e.g.
+    /// to skip work that expired while queued.
+    pub fn is_exceeded(&self) -> bool {
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return true;
+        }
+        self.deadline.is_some_and(|at| Instant::now() >= at)
+    }
+}
+
+thread_local! {
+    /// The budget armed on this thread by [`with_budget`], if any.
+    static ACTIVE: RefCell<Option<RouteBudget>> = const { RefCell::new(None) };
+}
+
+/// The cooperative cancellation hook routers call between rounds.
+///
+/// With no budget armed on the current thread this is one thread-local
+/// read. With a budget armed it additionally checks the token and the
+/// clock, and unwinds with [`BudgetExceeded`] when the budget is
+/// exhausted — an unwind that only [`with_budget`] (which armed the
+/// budget, further up this same thread's stack) catches.
+pub fn checkpoint() {
+    let exceeded = ACTIVE.with(|b| b.borrow().as_ref().is_some_and(RouteBudget::is_exceeded));
+    if exceeded {
+        panic::panic_any(BudgetExceeded);
+    }
+}
+
+/// Run `f` with `budget` armed on this thread; `Err(BudgetExceeded)`
+/// when a [`checkpoint`] inside `f` aborted it. Real panics from `f`
+/// propagate unchanged. Nesting replaces the armed budget for the inner
+/// call and restores the outer one afterwards (also on unwind).
+pub fn with_budget<R>(budget: &RouteBudget, f: impl FnOnce() -> R) -> Result<R, BudgetExceeded> {
+    if !budget.is_limited() {
+        // Unlimited: no checkpoints can fire, so skip the TLS write and
+        // the catch_unwind entirely.
+        return Ok(f());
+    }
+    suppress_quiet_panics();
+    struct Restore(Option<RouteBudget>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            ACTIVE.with(|b| *b.borrow_mut() = prev);
+        }
+    }
+    let prev = ACTIVE.with(|b| b.borrow_mut().replace(budget.clone()));
+    let _restore = Restore(prev);
+    match panic::catch_unwind(AssertUnwindSafe(f)) {
+        Ok(value) => Ok(value),
+        Err(payload) => {
+            if payload.downcast_ref::<BudgetExceeded>().is_some() {
+                Err(BudgetExceeded)
+            } else {
+                panic::resume_unwind(payload)
+            }
+        }
+    }
+}
+
+/// Install (once, process-wide) a panic hook that keeps intentional
+/// unwinds — [`BudgetExceeded`] aborts and [`QuietUnwind`] fault
+/// injections — off stderr, delegating every other panic to the
+/// previously installed hook. [`with_budget`] installs it implicitly;
+/// call it directly before raising a [`QuietUnwind`] yourself.
+pub fn suppress_quiet_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let quiet = info.payload().downcast_ref::<BudgetExceeded>().is_some()
+                || info.payload().downcast_ref::<QuietUnwind>().is_some();
+            if !quiet {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unlimited_budget_is_a_passthrough() {
+        let out = with_budget(&RouteBudget::unlimited(), || {
+            checkpoint();
+            42
+        });
+        assert_eq!(out, Ok(42));
+    }
+
+    #[test]
+    fn expired_deadline_aborts_at_the_first_checkpoint() {
+        let budget = RouteBudget::unlimited().deadline(Instant::now() - Duration::from_millis(1));
+        let mut reached = false;
+        let out = with_budget(&budget, || {
+            checkpoint();
+            reached = true;
+        });
+        assert_eq!(out, Err(BudgetExceeded));
+        assert!(
+            !reached,
+            "checkpoint must abort before the closure finishes"
+        );
+    }
+
+    #[test]
+    fn generous_deadline_lets_work_finish() {
+        let budget = RouteBudget::unlimited().deadline(Instant::now() + Duration::from_secs(3600));
+        let out = with_budget(&budget, || {
+            for _ in 0..100 {
+                checkpoint();
+            }
+            "done"
+        });
+        assert_eq!(out, Ok("done"));
+    }
+
+    #[test]
+    fn cancellation_is_observed_cross_thread() {
+        let token = CancelToken::new();
+        let budget = RouteBudget::unlimited().cancel_token(token.clone());
+        assert!(!budget.is_exceeded());
+        let handle = {
+            let token = token.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                token.cancel();
+            })
+        };
+        let out = with_budget(&budget, || loop {
+            checkpoint();
+            std::thread::sleep(Duration::from_millis(1));
+        });
+        assert_eq!(out, Err(BudgetExceeded));
+        handle.join().unwrap();
+        assert!(token.is_cancelled());
+        assert!(budget.is_exceeded());
+    }
+
+    #[test]
+    fn real_panics_pass_through_untouched() {
+        let budget = RouteBudget::unlimited().deadline(Instant::now() + Duration::from_secs(3600));
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            let _ = with_budget(&budget, || panic!("router bug"));
+        }));
+        let payload = caught.expect_err("the panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied();
+        assert_eq!(msg, Some("router bug"));
+    }
+
+    #[test]
+    fn budgets_restore_the_outer_budget_on_exit() {
+        let outer = RouteBudget::unlimited().deadline(Instant::now() + Duration::from_secs(3600));
+        let out = with_budget(&outer, || {
+            let inner =
+                RouteBudget::unlimited().deadline(Instant::now() - Duration::from_millis(1));
+            let inner_out = with_budget(&inner, checkpoint);
+            assert_eq!(inner_out, Err(BudgetExceeded));
+            // The outer (generous) budget is armed again.
+            checkpoint();
+            "outer survived"
+        });
+        assert_eq!(out, Ok("outer survived"));
+    }
+
+    #[test]
+    fn checkpoint_outside_any_budget_is_a_no_op() {
+        checkpoint(); // must not panic
+    }
+}

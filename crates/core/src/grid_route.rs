@@ -250,6 +250,8 @@ pub fn untranspose_schedule(grid_t: Grid, schedule: RoutingSchedule) -> RoutingS
 /// extraction order — the Alon–Chung–Graham baseline the paper improves.
 pub fn naive_grid_route(grid: Grid, pi: &Permutation, opts: &NaiveOptions) -> RoutingSchedule {
     let route_once = |grid: Grid, pi: &Permutation| -> RoutingSchedule {
+        // One cooperative cancellation probe per 3-phase pass.
+        crate::budget::checkpoint();
         let mut mg = build_column_multigraph(grid, pi);
         let m = grid.rows();
         let n = grid.cols();

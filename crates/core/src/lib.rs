@@ -32,10 +32,15 @@
 //! * [`router`] — a uniform [`router::GridRouter`] trait over all of the
 //!   above plus the `Hybrid` clamp (§V: locality-aware output replaced by
 //!   the naive output whenever the latter is shallower).
+//! * [`budget`] — cooperative deadlines/cancellation for long router
+//!   calls: serving layers arm a [`RouteBudget`] with
+//!   [`budget::with_budget`], routers call [`budget::checkpoint`]
+//!   between rounds.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod exact;
 pub mod grid_route;
 pub mod line;
@@ -47,6 +52,7 @@ pub mod snake;
 pub mod stats;
 pub mod token_swap;
 
+pub use budget::{BudgetExceeded, CancelToken, RouteBudget};
 pub use local_grid::{AssignmentStrategy, LocalRouteOptions, WindowMode};
 pub use router::{GridRouter, RouterKind, UnsupportedTopology};
 pub use schedule::{RoutingSchedule, ScheduleError, SwapLayer};

@@ -141,6 +141,8 @@ pub fn find_local_matchings(
 
     let mut w = 0usize;
     while found.len() < m {
+        // One cooperative cancellation probe per window doubling.
+        crate::budget::checkpoint();
         // Slide the window over every starting row instead of tiling the
         // rows into disjoint bands. Disjoint tiling is never aligned with
         // the workload's own locality structure (for 4-row-local

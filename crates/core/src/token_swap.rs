@@ -149,6 +149,8 @@ pub fn approximate_token_swapping_with(
 
     let mut fallback_used = false;
     while !todo.is_empty() {
+        // One cooperative cancellation probe per cycle walk.
+        crate::budget::checkpoint();
         if swaps.len() > budget {
             // Theoretically unreachable per Miltzow et al.; guaranteed
             // finisher keeps the library total regardless. `dest` is not
@@ -284,6 +286,8 @@ pub fn parallel_token_swapping_with(
     let mut path: Vec<usize> = Vec::with_capacity(n);
 
     while let Some(start) = (0..n).find(|&v| dest[v] != v) {
+        // One cooperative cancellation probe per parallel round.
+        crate::budget::checkpoint();
         if schedule.depth() > budget_layers {
             let rest = Permutation::from_vec_unchecked(dest.clone());
             for (u, v) in tree_route(graph, &rest) {
@@ -441,6 +445,8 @@ pub fn tree_route(graph: &Graph, pi: &Permutation) -> Vec<(usize, usize)> {
     // vertex set is always connected in the tree and tree paths between
     // active vertices avoid retired ones... path to the *root side* only.
     for &target in order.iter().rev() {
+        // One cooperative cancellation probe per retirement.
+        crate::budget::checkpoint();
         let mut cur = at_of_token_dest[target];
         // Bubble along tree path cur -> target. Both endpoints are active;
         // the tree path runs through their common ancestor, all of which

@@ -566,6 +566,19 @@ impl<V: Clone> ShardedLru<V> {
         (value, true)
     }
 
+    /// Drop `key` from the cache, returning its value if present.
+    /// Touches no hit/miss/eviction counter — the counters describe the
+    /// deterministic lookup/capacity stream, and removal exists for
+    /// *error* eviction (a slot whose compute timed out or panicked must
+    /// not serve later duplicates), which is inherently fault-driven.
+    pub fn remove(&self, key: &CanonicalKey) -> Option<V> {
+        let mut shard = self.shards[self.shard_index(key)]
+            .lock()
+            .expect("cache shard poisoned");
+        let pos = shard.iter().position(|(k, _)| k == key)?;
+        Some(shard.remove(pos).1)
+    }
+
     /// Aggregate counters since construction.
     pub fn stats(&self) -> CacheStats {
         CacheStats {

@@ -1,0 +1,269 @@
+//! Deterministic fault injection for resilience testing.
+//!
+//! Chaos is **compiled always and armed never by default**: the only way
+//! to turn a fault on is an explicit [`ChaosConfig`] passed to
+//! [`EngineConfigBuilder::chaos`](crate::EngineConfigBuilder::chaos) —
+//! no environment variables, no global registries — so a production
+//! daemon can only misbehave if its operator asked it to, and a test
+//! can arm exactly the faults it wants without cross-test interference.
+//!
+//! Four fault families, mirroring what long-lived routing daemons
+//! actually see:
+//!
+//! * **Worker crashes** ([`ChaosConfig::worker_panic_every`]): every
+//!   k-th *compute* (canonical instance handed to a worker, counted
+//!   across the whole pool in dispatch order) kills its worker thread
+//!   after recording a `router-panic` outcome for the poisoned job —
+//!   exercising the supervisor's respawn path.
+//! * **Latency** ([`ChaosConfig::latency_ms`] every
+//!   [`ChaosConfig::latency_every`]): the worker sleeps before routing,
+//!   in budget-aware slices, so deadline handling can be tested without
+//!   pathological instances.
+//! * **Dropped connections**
+//!   ([`ChaosConfig::drop_connection_after_bytes`], budgeted by
+//!   [`ChaosConfig::drop_connections`]): the daemon's writer severs the
+//!   socket once it has written that many bytes, exercising client
+//!   reconnect/resubmit.
+//! * **Torn writes** ([`ChaosConfig::torn_writes`]): a dropped
+//!   connection additionally flushes *half* of the next outcome line
+//!   first, exercising the partial-final-line rules on both sides of
+//!   the wire.
+//!
+//! Injection decisions come from shared atomic counters, never from
+//! clocks or RNGs, so a single-worker engine injects faults into a
+//! byte-reproducible set of jobs run after run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use qroute_core::budget::RouteBudget;
+
+/// Which faults are armed. [`ChaosConfig::default`] arms nothing; the
+/// engine and daemon behave identically to a chaos-free build until a
+/// field is set.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Kill the worker thread on every k-th compute (`0` = never).
+    /// Computes are counted pool-wide in dispatch order; the k-th,
+    /// 2k-th, ... computes record a `router-panic` outcome for their
+    /// job, evict its cache slot, and crash their worker.
+    pub worker_panic_every: u64,
+    /// Sleep this long before routing an injected-latency compute.
+    /// Ignored unless [`ChaosConfig::latency_every`] is nonzero.
+    pub latency_ms: u64,
+    /// Inject [`ChaosConfig::latency_ms`] of sleep into every k-th
+    /// compute (`0` = never). Counted on the same pool-wide compute
+    /// counter as panics; when both are armed the panic wins.
+    pub latency_every: u64,
+    /// Sever a daemon connection once its writer has emitted this many
+    /// bytes (`None` = never). Budgeted by
+    /// [`ChaosConfig::drop_connections`].
+    pub drop_connection_after_bytes: Option<u64>,
+    /// How many connections the byte-triggered drop may sever (each
+    /// accepted connection consumes at most one unit of this budget).
+    pub drop_connections: u32,
+    /// When severing a connection, first flush *half* of the next
+    /// outcome line — a torn mid-line write — instead of cutting on a
+    /// line boundary.
+    pub torn_writes: bool,
+}
+
+impl ChaosConfig {
+    /// A fully disarmed configuration (same as [`Default`]).
+    pub fn off() -> ChaosConfig {
+        ChaosConfig::default()
+    }
+
+    /// Whether any fault is armed.
+    pub fn is_armed(&self) -> bool {
+        self.worker_panic_every != 0
+            || self.latency_every != 0
+            || (self.drop_connection_after_bytes.is_some() && self.drop_connections != 0)
+    }
+}
+
+/// What [`ChaosState::on_compute`] tells a worker to do with the
+/// compute it just picked up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ComputeFault {
+    /// Route normally.
+    None,
+    /// Record a `router-panic` outcome and crash the worker thread.
+    Panic,
+    /// Sleep for this long (budget-aware), then route normally.
+    Delay(Duration),
+}
+
+/// The live injection counters behind a [`ChaosConfig`] — shared by the
+/// worker pool and (in the daemon) every connection writer.
+#[derive(Debug)]
+pub struct ChaosState {
+    config: ChaosConfig,
+    /// Pool-wide computes started (1-based after `fetch_add`).
+    computes: AtomicU64,
+    injected_panics: AtomicU64,
+    injected_delays: AtomicU64,
+    /// Connection-drop budget *used* so far.
+    dropped_connections: AtomicU64,
+}
+
+impl ChaosState {
+    /// Wrap a configuration with zeroed counters.
+    pub fn new(config: ChaosConfig) -> ChaosState {
+        ChaosState {
+            config,
+            computes: AtomicU64::new(0),
+            injected_panics: AtomicU64::new(0),
+            injected_delays: AtomicU64::new(0),
+            dropped_connections: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration this state was armed with.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.config
+    }
+
+    /// Called by a worker for each compute it starts; decides the fault
+    /// for this compute from the shared dispatch-order counter.
+    pub(crate) fn on_compute(&self) -> ComputeFault {
+        if self.config.worker_panic_every == 0 && self.config.latency_every == 0 {
+            return ComputeFault::None;
+        }
+        let n = self.computes.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.config.worker_panic_every != 0 && n.is_multiple_of(self.config.worker_panic_every) {
+            self.injected_panics.fetch_add(1, Ordering::SeqCst);
+            return ComputeFault::Panic;
+        }
+        if self.config.latency_every != 0 && n.is_multiple_of(self.config.latency_every) {
+            self.injected_delays.fetch_add(1, Ordering::SeqCst);
+            return ComputeFault::Delay(Duration::from_millis(self.config.latency_ms));
+        }
+        ComputeFault::None
+    }
+
+    /// Called once per accepted daemon connection: `Some((bytes, torn))`
+    /// tells the connection's writer to sever the socket after `bytes`
+    /// written bytes (tearing the next line in half first when `torn`),
+    /// consuming one unit of the drop budget.
+    pub(crate) fn take_connection_drop(&self) -> Option<(u64, bool)> {
+        let after = self.config.drop_connection_after_bytes?;
+        let budget = self.config.drop_connections as u64;
+        // Optimistically claim a unit; give it back on overshoot. Only
+        // this method touches the counter, so the net effect is exact.
+        let used = self.dropped_connections.fetch_add(1, Ordering::SeqCst);
+        if used >= budget {
+            self.dropped_connections.fetch_sub(1, Ordering::SeqCst);
+            return None;
+        }
+        Some((after, self.config.torn_writes))
+    }
+
+    /// Worker crashes injected so far.
+    pub fn injected_panics(&self) -> u64 {
+        self.injected_panics.load(Ordering::SeqCst)
+    }
+
+    /// Latency injections so far.
+    pub fn injected_delays(&self) -> u64 {
+        self.injected_delays.load(Ordering::SeqCst)
+    }
+
+    /// Connection drops claimed so far.
+    pub fn dropped_connections(&self) -> u64 {
+        self.dropped_connections.load(Ordering::SeqCst)
+    }
+}
+
+/// Sleep `total`, in small slices, giving up early (returning `false`)
+/// as soon as `budget` is exceeded — so an injected delay cannot hold a
+/// cancelled compute hostage for the full injected latency.
+pub(crate) fn sleep_within_budget(total: Duration, budget: &RouteBudget) -> bool {
+    const SLICE: Duration = Duration::from_millis(2);
+    let mut remaining = total;
+    while remaining > Duration::ZERO {
+        if budget.is_exceeded() {
+            return false;
+        }
+        let step = remaining.min(SLICE);
+        std::thread::sleep(step);
+        remaining -= step;
+    }
+    !budget.is_exceeded()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_disarmed() {
+        assert!(!ChaosConfig::default().is_armed());
+        assert!(!ChaosConfig::off().is_armed());
+        let state = ChaosState::new(ChaosConfig::off());
+        for _ in 0..10 {
+            assert_eq!(state.on_compute(), ComputeFault::None);
+        }
+        assert_eq!(state.take_connection_drop(), None);
+        assert_eq!(state.injected_panics(), 0);
+        assert_eq!(state.dropped_connections(), 0);
+    }
+
+    #[test]
+    fn panic_every_k_targets_exactly_the_k_multiples() {
+        let state = ChaosState::new(ChaosConfig { worker_panic_every: 3, ..ChaosConfig::off() });
+        let faults: Vec<ComputeFault> = (0..9).map(|_| state.on_compute()).collect();
+        for (i, fault) in faults.iter().enumerate() {
+            let expect = if (i + 1) % 3 == 0 {
+                ComputeFault::Panic
+            } else {
+                ComputeFault::None
+            };
+            assert_eq!(*fault, expect, "compute {}", i + 1);
+        }
+        assert_eq!(state.injected_panics(), 3);
+    }
+
+    #[test]
+    fn panic_wins_over_latency_on_a_shared_multiple() {
+        let state = ChaosState::new(ChaosConfig {
+            worker_panic_every: 2,
+            latency_ms: 5,
+            latency_every: 2,
+            ..ChaosConfig::off()
+        });
+        assert_eq!(state.on_compute(), ComputeFault::None);
+        assert_eq!(state.on_compute(), ComputeFault::Panic);
+        assert_eq!(state.injected_delays(), 0);
+    }
+
+    #[test]
+    fn connection_drop_budget_is_exact() {
+        let state = ChaosState::new(ChaosConfig {
+            drop_connection_after_bytes: Some(100),
+            drop_connections: 2,
+            torn_writes: true,
+            ..ChaosConfig::off()
+        });
+        assert_eq!(state.take_connection_drop(), Some((100, true)));
+        assert_eq!(state.take_connection_drop(), Some((100, true)));
+        assert_eq!(state.take_connection_drop(), None, "budget exhausted");
+        assert_eq!(state.dropped_connections(), 2);
+    }
+
+    #[test]
+    fn budgeted_sleep_gives_up_on_an_expired_budget() {
+        use std::time::Instant;
+        let expired = RouteBudget::unlimited().deadline(Instant::now());
+        let t0 = Instant::now();
+        assert!(!sleep_within_budget(Duration::from_secs(60), &expired));
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "must not sleep it out"
+        );
+        assert!(sleep_within_budget(
+            Duration::from_millis(1),
+            &RouteBudget::unlimited()
+        ));
+    }
+}

@@ -7,10 +7,21 @@
 //! one round trip per window rather than per job. Tests, `repro batch
 //! --connect`, `repro ctl`, and the `service_daemon` bench cells all
 //! drive the daemon through this type.
+//!
+//! [`RetryingClient`] wraps the same wire protocol with a
+//! [`RetryPolicy`]: on a dropped connection (or a retry-safe error
+//! outcome — codes `backpressure`, `io`, `shutdown`, where the job was
+//! definitely not routed or its answer was lost with the socket) it
+//! reconnects with exponential, deterministically-jittered backoff and
+//! resubmits exactly the unanswered jobs, reassembling results under the
+//! *caller's* job indices. Codes like `parse` or `timeout` are final:
+//! resubmitting them would just repeat the failure.
 
 use crate::errors::ServiceError;
+use crate::job::RouteOutcome;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Job lines a client keeps in flight before reading an outcome back.
 /// Well under the default `client_queue_depth` (256), so a pipelined
@@ -43,11 +54,16 @@ impl Client {
     }
 
     /// Receive one response line; `None` when the daemon closed the
-    /// connection.
+    /// connection. A torn final line (bytes with no trailing newline —
+    /// the daemon died mid-write) is dropped and reported as a closed
+    /// connection, never surfaced as data: a fragment is not a valid
+    /// outcome and a retrying caller will get the full line on
+    /// resubmission.
     pub fn recv_line(&mut self) -> Result<Option<String>, ServiceError> {
         let mut line = String::new();
         match self.reader.read_line(&mut line) {
             Ok(0) => Ok(None),
+            Ok(_) if !line.ends_with('\n') => Ok(None),
             Ok(_) => {
                 while line.ends_with('\n') || line.ends_with('\r') {
                     line.pop();
@@ -102,5 +118,235 @@ impl Client {
     fn expect_line(&mut self) -> Result<String, ServiceError> {
         self.recv_line()?
             .ok_or_else(|| ServiceError::Io("daemon closed the connection mid-stream".to_string()))
+    }
+}
+
+/// Reconnect/resubmit policy for [`RetryingClient`]: exponential backoff
+/// from [`RetryPolicy::base_ms`] (doubling per retry, capped at
+/// [`RetryPolicy::max_ms`]) with *deterministic* jitter — the jitter is
+/// a hash of the attempt number and a caller salt, not a clock or RNG,
+/// so a retry schedule is reproducible run to run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Reconnect/resubmit cycles allowed beyond the first attempt.
+    pub max_retries: u32,
+    /// Backoff before the first retry, in milliseconds.
+    pub base_ms: u64,
+    /// Backoff ceiling in milliseconds.
+    pub max_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy { max_retries: 3, base_ms: 10, max_ms: 1000 }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry `attempt` (1-based), jittered into the
+    /// upper half of the exponential step: `[step/2, step]` where
+    /// `step = min(base_ms << (attempt-1), max_ms)`.
+    pub fn backoff_ms(&self, attempt: u32, salt: u64) -> u64 {
+        let shift = attempt.saturating_sub(1).min(16);
+        let step = self.base_ms.saturating_mul(1u64 << shift).min(self.max_ms);
+        // splitmix64 of (attempt, salt): deterministic, well-mixed.
+        let mut z = salt ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let half = step / 2;
+        half + if step == half {
+            0
+        } else {
+            z % (step - half + 1)
+        }
+    }
+}
+
+/// Whether an outcome line carries a retry-safe error code: the daemon
+/// either never routed the job (`backpressure`, `shutdown` during drain)
+/// or the failure was transport-level (`io`), so resubmitting cannot
+/// produce a second answer for a job that already has one.
+fn is_retryable_outcome(line: &str) -> bool {
+    let Ok(doc) = serde_json::from_str(line) else {
+        return false;
+    };
+    doc.get("code")
+        .and_then(|c| c.as_str())
+        .is_some_and(|code| matches!(code, "backpressure" | "io" | "shutdown"))
+}
+
+/// Rewrite the first `"id":N` in an outcome line to the caller's job
+/// index. Connection-local ids restart at 0 after every reconnect; the
+/// caller wants stable indices into the job list it submitted.
+fn rewrite_id(line: &str, id: usize) -> String {
+    match line.find("\"id\":") {
+        None => line.to_string(),
+        Some(pos) => {
+            let start = pos + "\"id\":".len();
+            let end = line[start..]
+                .find(|c: char| !c.is_ascii_digit())
+                .map_or(line.len(), |off| start + off);
+            format!("{}{}{}", &line[..start], id, &line[end..])
+        }
+    }
+}
+
+/// A daemon client that survives dropped connections: it replays job
+/// lines like [`Client::route_lines`], but on a severed socket (or a
+/// retry-safe error outcome) it reconnects per its [`RetryPolicy`] and
+/// resubmits exactly the jobs that have no answer yet. Results come back
+/// in the caller's submission order with the caller's indices in `"id"`.
+/// When its retry budget runs out, unanswered jobs get synthetic `io`
+/// error outcomes — never a hang, never a missing line.
+pub struct RetryingClient {
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    retries: u64,
+}
+
+impl RetryingClient {
+    /// Resolve `addr` and set up the client (dialing happens lazily in
+    /// [`RetryingClient::route_lines`], so constructing against a
+    /// not-yet-started daemon is fine).
+    pub fn new(
+        addr: impl ToSocketAddrs,
+        policy: RetryPolicy,
+    ) -> Result<RetryingClient, ServiceError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| ServiceError::Io(e.to_string()))?
+            .next()
+            .ok_or_else(|| ServiceError::Io("address resolved to nothing".to_string()))?;
+        Ok(RetryingClient { addr, policy, retries: 0 })
+    }
+
+    /// Total retries performed so far: reconnect attempts plus
+    /// resubmitted jobs, accumulated across calls.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Replay a stream of job lines with retries; returns one outcome
+    /// line per non-blank job line, in submission order, with `"id"`
+    /// rewritten to the line's index among them. With a healthy daemon
+    /// and no faults this is byte-identical to [`Client::route_lines`].
+    pub fn route_lines<'a>(
+        &mut self,
+        lines: impl IntoIterator<Item = &'a str>,
+    ) -> Result<Vec<String>, ServiceError> {
+        let jobs: Vec<&str> = lines
+            .into_iter()
+            .filter(|line| !line.trim().is_empty())
+            .collect();
+        let mut results: Vec<Option<String>> = vec![None; jobs.len()];
+        // Job indices still without an answer, always kept ascending so
+        // every round resubmits in the caller's original order.
+        let mut todo: Vec<usize> = (0..jobs.len()).collect();
+        let salt = jobs.len() as u64;
+        let mut attempt: u32 = 0;
+        let mut resubmissions: u64 = 0;
+        let mut last_client: Option<Client> = None;
+
+        while !todo.is_empty() {
+            let mut client = match Client::connect(self.addr) {
+                Ok(client) => client,
+                Err(e) => {
+                    if attempt >= self.policy.max_retries {
+                        for &j in &todo {
+                            results[j] = Some(
+                                RouteOutcome::from_error(j as u64, None, None, &e).to_json_line(),
+                            );
+                        }
+                        todo.clear();
+                        break;
+                    }
+                    attempt += 1;
+                    self.retries += 1;
+                    std::thread::sleep(Duration::from_millis(
+                        self.policy.backoff_ms(attempt, salt),
+                    ));
+                    continue;
+                }
+            };
+
+            // One pipelined round over everything unanswered. `pending`
+            // doubles as the conn-local id → job index map: the daemon
+            // answers in submission order, so the k-th outcome received
+            // belongs to job `pending[k]`.
+            let pending = std::mem::take(&mut todo);
+            let mut sent = 0usize;
+            let mut received = 0usize;
+            let mut dropped = false;
+            while received < pending.len() {
+                while sent < pending.len() && sent - received < PIPELINE_WINDOW && !dropped {
+                    if client.send_line(jobs[pending[sent]]).is_err() {
+                        dropped = true;
+                        break;
+                    }
+                    sent += 1;
+                }
+                if received == sent {
+                    break; // nothing in flight and nothing sendable
+                }
+                match client.recv_line() {
+                    Ok(Some(line)) => {
+                        let j = pending[received];
+                        received += 1;
+                        if is_retryable_outcome(&line) {
+                            todo.push(j);
+                        } else {
+                            results[j] = Some(rewrite_id(&line, j));
+                        }
+                    }
+                    Ok(None) | Err(_) => break, // connection gone; retry
+                }
+            }
+            // Sent-but-unanswered and never-sent jobs both go to the
+            // next round (both slices are ascending, and past `todo`
+            // entries all precede them, so order is preserved).
+            todo.extend_from_slice(&pending[received..]);
+
+            if todo.is_empty() {
+                last_client = Some(client);
+                break;
+            }
+            if attempt >= self.policy.max_retries {
+                let err =
+                    ServiceError::Io("retries exhausted before the daemon answered".to_string());
+                for &j in &todo {
+                    results[j] =
+                        Some(RouteOutcome::from_error(j as u64, None, None, &err).to_json_line());
+                }
+                todo.clear();
+                last_client = Some(client);
+                break;
+            }
+            attempt += 1;
+            let round = todo.len() as u64;
+            self.retries += round;
+            resubmissions += round;
+            std::thread::sleep(Duration::from_millis(self.policy.backoff_ms(attempt, salt)));
+        }
+
+        // Best-effort observability: tell the daemon how many
+        // resubmissions this call cost (shows up as `retries_observed`).
+        if resubmissions > 0 {
+            let report = format!("{{\"req\": \"retried\", \"n\": {resubmissions}}}");
+            let reported = last_client.as_mut().is_some_and(|c| {
+                c.send_line(&report).is_ok() && matches!(c.recv_line(), Ok(Some(_)))
+            });
+            if !reported {
+                if let Ok(mut fresh) = Client::connect(self.addr) {
+                    let _ = fresh.send_line(&report);
+                    let _ = fresh.recv_line();
+                }
+            }
+        }
+
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every job answered or synthesized"))
+            .collect())
     }
 }

@@ -44,7 +44,17 @@
 //! [`StatsSnapshot`]); `{"req": "shutdown"}` acknowledges with
 //! `{"ok": "shutdown"}` and begins a graceful drain: the listener stops
 //! accepting, open connections finish every accepted job, then the
-//! daemon exits. Control requests consume no job id.
+//! daemon exits; `{"req": "retried", "n": K}` lets a reconnecting client
+//! report K resubmissions for the `retries_observed` counter. Control
+//! requests consume no job id.
+//!
+//! **Deadlines.** A job line may carry `"deadline_ms"`; jobs without one
+//! inherit the daemon's `default_deadline_ms` (when set). The deadline
+//! is measured from admission: if it passes before the route finishes,
+//! the job gets a `timeout` error outcome, the compute is cooperatively
+//! cancelled at its next routing-round checkpoint, and the key is
+//! evicted so a later duplicate recomputes. Later jobs on the same
+//! connection are unaffected.
 //!
 //! The daemon always runs with timing capture off (`time_ms` is `null`),
 //! keeping outcome bytes deterministic and batch-identical.
@@ -53,6 +63,7 @@ use crate::cache::ShardedLru;
 use crate::engine::{plan_route, EngineConfig, RouteSlot, WorkItem, WorkerPool};
 use crate::errors::ServiceError;
 use crate::job::{CacheStatus, RouteJob, RouteOutcome};
+use qroute_core::budget::RouteBudget;
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
@@ -61,7 +72,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Latency histogram bucket count: bucket `i` holds services that took
 /// `[2^(i−1), 2^i)` microseconds (bucket 0 is sub-microsecond).
@@ -106,6 +117,17 @@ pub struct StatsSnapshot {
     pub latency_p50_ms: f64,
     /// 99th-percentile service latency in milliseconds.
     pub latency_p99_ms: f64,
+    /// `timeout` error outcomes written (jobs whose deadline passed
+    /// before their route finished). Appended field: absent in snapshots
+    /// from older daemons.
+    pub timeouts: u64,
+    /// Crashed routing workers the pool's supervisor has respawned.
+    /// Appended field.
+    pub worker_restarts: u64,
+    /// Client-side retries reported over the wire via
+    /// `{"req": "retried", "n": K}` (see
+    /// [`RetryingClient`](crate::RetryingClient)). Appended field.
+    pub retries_observed: u64,
 }
 
 /// Cumulative daemon counters (all monotone except the
@@ -115,6 +137,8 @@ struct DaemonStats {
     jobs_errored: AtomicU64,
     connections: AtomicU64,
     in_flight: AtomicU64,
+    timeouts: AtomicU64,
+    retries: AtomicU64,
     dispatch: Mutex<BTreeMap<String, u64>>,
     latency_us: [AtomicU64; LATENCY_BUCKETS],
 }
@@ -126,6 +150,8 @@ impl DaemonStats {
             jobs_errored: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
             dispatch: Mutex::new(BTreeMap::new()),
             latency_us: std::array::from_fn(|_| AtomicU64::new(0)),
         }
@@ -170,7 +196,7 @@ impl DaemonStats {
 /// [`Daemon`] handle.
 struct DaemonShared {
     config: EngineConfig,
-    cache: ShardedLru<Arc<RouteSlot>>,
+    cache: Arc<ShardedLru<Arc<RouteSlot>>>,
     pool: WorkerPool,
     stats: DaemonStats,
     shutdown: AtomicBool,
@@ -215,6 +241,9 @@ impl DaemonShared {
                 .collect(),
             latency_p50_ms: self.stats.latency_quantile_ms(0.50),
             latency_p99_ms: self.stats.latency_quantile_ms(0.99),
+            timeouts: self.stats.timeouts.load(Ordering::Relaxed),
+            worker_restarts: self.pool.restarts(),
+            retries_observed: self.stats.retries.load(Ordering::Relaxed),
         }
     }
 }
@@ -239,6 +268,14 @@ enum ConnItem {
         lower_bound: usize,
         slot: Arc<RouteSlot>,
         start: Instant,
+        /// When to stop waiting (the job's `deadline_ms`, or the
+        /// daemon-wide default, measured from admission).
+        deadline: Option<Instant>,
+        /// The same deadline in milliseconds, for the error payload.
+        deadline_ms: Option<u64>,
+        /// Whether *this connection* dispatched the slot's compute (a
+        /// wait-side timeout may only cancel a compute it owns).
+        dispatched: bool,
     },
     /// A control response line, written verbatim.
     Control(String),
@@ -263,9 +300,10 @@ impl Daemon {
         let addr = listener
             .local_addr()
             .map_err(|e| ServiceError::Io(e.to_string()))?;
+        let cache = Arc::new(ShardedLru::new(config.cache_capacity, config.cache_shards));
         let shared = Arc::new(DaemonShared {
-            cache: ShardedLru::new(config.cache_capacity, config.cache_shards),
-            pool: WorkerPool::spawn(config.workers, config.queue_depth),
+            pool: WorkerPool::spawn(&config, Arc::clone(&cache)),
+            cache,
             config,
             stats: DaemonStats::new(),
             shutdown: AtomicBool::new(false),
@@ -364,9 +402,21 @@ fn serve_connection(stream: TcpStream, shared: Arc<DaemonShared>) {
         ShardedLru::new(shared.config.cache_capacity, shared.config.cache_shards);
     let mut next_id: u64 = 0;
 
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        // A torn final line (bytes with no trailing newline at EOF —
+        // e.g. a client that died mid-write) is dropped silently: the
+        // sender never finished the request, and answering a fragment
+        // would desynchronize ids for a resubmitting client.
+        if !line.ends_with('\n') {
+            break;
+        }
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
@@ -426,6 +476,8 @@ fn serve_connection(stream: TcpStream, shared: Arc<DaemonShared>) {
                         .expect("dispatch counters poisoned")
                         .entry(plan.router.label().to_string())
                         .or_insert(0) += 1;
+                    let deadline_ms = job.deadline_ms.or(shared.config.default_deadline_ms);
+                    let deadline = deadline_ms.map(|ms| start + Duration::from_millis(ms));
                     // Mirror first (connection-deterministic status),
                     // then the shared cache (cross-connection compute
                     // dedup).
@@ -437,14 +489,23 @@ fn serve_connection(stream: TcpStream, shared: Arc<DaemonShared>) {
                     };
                     let (slot, inserted) = shared
                         .cache
-                        .get_or_insert_with(plan.key, || Arc::new(RouteSlot::default()));
+                        .get_or_insert_with(plan.key.clone(), || Arc::new(RouteSlot::default()));
                     if inserted {
+                        let budget = match deadline {
+                            None => RouteBudget::unlimited(),
+                            Some(at) => RouteBudget::unlimited()
+                                .deadline(at)
+                                .cancel_token(slot.cancel_token()),
+                        };
                         shared.pool.dispatch(WorkItem {
                             topology: plan.canonical.topology.clone(),
                             pi: plan.canonical.pi.clone(),
                             router: plan.router.clone(),
                             slot: Arc::clone(&slot),
                             timing: false,
+                            key: plan.key,
+                            budget,
+                            deadline_ms,
                         });
                     }
                     ConnItem::Wait {
@@ -456,6 +517,9 @@ fn serve_connection(stream: TcpStream, shared: Arc<DaemonShared>) {
                         lower_bound: plan.lower_bound,
                         slot,
                         start,
+                        deadline,
+                        deadline_ms,
+                        dispatched: inserted,
                     }
                 }
             },
@@ -472,6 +536,10 @@ fn serve_connection(stream: TcpStream, shared: Arc<DaemonShared>) {
     // was admitted and exits.
     drop(sender);
     let _ = writer.join();
+    // The accept loop holds a read-half clone of this socket (for
+    // shutdown wakeup), so dropping our handles alone would never send
+    // FIN; shut the connection itself down so the peer sees EOF.
+    let _ = reader.get_ref().shutdown(Shutdown::Both);
 }
 
 /// Handle `{"req": ...}` control lines; `None` means the line is a job.
@@ -489,9 +557,16 @@ fn control_response(line: &str, shared: &Arc<DaemonShared>) -> Option<String> {
             shared.begin_shutdown();
             "{\"ok\":\"shutdown\"}".to_string()
         }
+        Some("retried") => {
+            // A retrying client reporting how many resubmissions its
+            // last reconnect cycle cost (observability only).
+            let n = doc.get("n").and_then(|n| n.as_u64()).unwrap_or(1);
+            shared.stats.retries.fetch_add(n, Ordering::Relaxed);
+            "{\"ok\":\"retried\"}".to_string()
+        }
         other => {
             let err = ServiceError::Parse(format!(
-                "unknown control request {:?} (expected \"stats\" or \"shutdown\")",
+                "unknown control request {:?} (expected \"stats\", \"shutdown\", or \"retried\")",
                 other.unwrap_or("<non-string>")
             ));
             let mut out = String::from("{\"code\":");
@@ -504,6 +579,43 @@ fn control_response(line: &str, shared: &Arc<DaemonShared>) -> Option<String> {
     })
 }
 
+/// The outgoing half of one connection, with optional injected faults:
+/// after `drop_plan.0` written bytes the socket is severed (first
+/// flushing half of the next line when `drop_plan.1` asks for a torn
+/// write). Once broken — organically or by injection — lines are
+/// discarded but the channel keeps draining for the gauges' sake.
+struct ConnWriter {
+    out: std::io::BufWriter<TcpStream>,
+    broken: bool,
+    written: u64,
+    drop_plan: Option<(u64, bool)>,
+}
+
+impl ConnWriter {
+    fn emit(&mut self, line: String) {
+        if self.broken {
+            return;
+        }
+        if let Some((after, torn)) = self.drop_plan {
+            if self.written >= after {
+                if torn {
+                    let half = &line.as_bytes()[..line.len() / 2];
+                    let _ = self.out.write_all(half);
+                    let _ = self.out.flush();
+                }
+                let _ = self.out.get_ref().shutdown(Shutdown::Both);
+                self.drop_plan = None;
+                self.broken = true;
+                return;
+            }
+        }
+        self.written += line.len() as u64 + 1;
+        self.broken = writeln!(self.out, "{line}")
+            .and_then(|_| self.out.flush())
+            .is_err();
+    }
+}
+
 /// Writer side of one connection: preserves channel (= submission)
 /// order, decrements the admission gauges as outcomes leave. Keeps
 /// draining (for the gauges' sake) even after the socket breaks.
@@ -513,27 +625,57 @@ fn write_outcomes(
     in_flight: Arc<AtomicUsize>,
     shared: Arc<DaemonShared>,
 ) {
-    let mut out = std::io::BufWriter::new(stream);
-    let mut broken = false;
-    let mut emit = |line: String, broken: &mut bool| {
-        if !*broken {
-            *broken = writeln!(out, "{line}").and_then(|_| out.flush()).is_err();
-        }
+    let mut writer = ConnWriter {
+        out: std::io::BufWriter::new(stream),
+        broken: false,
+        written: 0,
+        drop_plan: shared.pool.chaos().take_connection_drop(),
     };
     for item in receiver.iter() {
         match item {
-            ConnItem::Control(line) => emit(line, &mut broken),
+            ConnItem::Control(line) => writer.emit(line),
             ConnItem::Ready { outcome, counted, start } => {
-                emit(outcome.to_json_line(), &mut broken);
+                writer.emit(outcome.to_json_line());
                 if counted {
                     in_flight.fetch_sub(1, Ordering::SeqCst);
                     shared.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
                 }
                 shared.stats.record_latency(start);
             }
-            ConnItem::Wait { id, side, v, router, cache, lower_bound, slot, start } => {
-                let outcome = match slot.wait() {
+            ConnItem::Wait {
+                id,
+                side,
+                v,
+                router,
+                cache,
+                lower_bound,
+                slot,
+                start,
+                deadline,
+                deadline_ms,
+                dispatched,
+            } => {
+                let waited = match deadline {
+                    None => slot.wait(),
+                    Some(at) => match slot.wait_until(at) {
+                        Some(result) => result,
+                        None => {
+                            // The deadline passed mid-compute. Cancel the
+                            // compute only if this connection dispatched
+                            // it: another connection's hit must not poison
+                            // a compute it merely shares.
+                            if dispatched {
+                                slot.cancel();
+                            }
+                            Err(ServiceError::Timeout { deadline_ms: deadline_ms.unwrap_or(0) })
+                        }
+                    },
+                };
+                let outcome = match waited {
                     Err(e) => {
+                        if matches!(e, ServiceError::Timeout { .. }) {
+                            shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                        }
                         shared.stats.jobs_errored.fetch_add(1, Ordering::Relaxed);
                         RouteOutcome::from_error(id, Some(side), v, &e)
                     }
@@ -556,7 +698,7 @@ fn write_outcomes(
                         }
                     }
                 };
-                emit(outcome.to_json_line(), &mut broken);
+                writer.emit(outcome.to_json_line());
                 in_flight.fetch_sub(1, Ordering::SeqCst);
                 shared.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
                 shared.stats.record_latency(start);

@@ -30,17 +30,20 @@
 //! dropping mid-queue cannot deadlock.
 
 use crate::cache::{canonicalize_topology, CacheStats, CanonicalForm, CanonicalKey, ShardedLru};
+use crate::chaos::{self, ChaosConfig, ChaosState, ComputeFault};
 use crate::dispatch::select_router_on;
 use crate::errors::ServiceError;
 use crate::job::{CacheStatus, RouteJob, RouteOutcome, RouterSpec};
+use qroute_core::budget::{self, BudgetExceeded, CancelToken, QuietUnwind, RouteBudget};
 use qroute_core::{GridRouter, RouterKind, RoutingSchedule, UnsupportedTopology};
 use qroute_perm::{metrics, Permutation};
 use qroute_topology::Topology;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Engine configuration. Construct via [`EngineConfig::builder`] (which
 /// validates at [`EngineConfigBuilder::build`]) or [`Default`] and
@@ -70,6 +73,20 @@ pub struct EngineConfig {
     /// Capture per-job wall-clock routing time. Off by default so
     /// outcome lines are byte-deterministic.
     pub timing: bool,
+    /// Deadline in milliseconds applied to every job that does not carry
+    /// its own `deadline_ms`. `None` (the default) means jobs without a
+    /// wire deadline run unbounded.
+    pub default_deadline_ms: Option<u64>,
+    /// How many crashed workers the supervisor may respawn over the
+    /// pool's lifetime. Once exhausted (and every worker is dead), the
+    /// pool stops routing and answers queued jobs with `shutdown`
+    /// errors instead of hanging.
+    pub max_worker_restarts: u64,
+    /// Base of the supervisor's exponential respawn backoff, in
+    /// milliseconds (doubles per restart, capped at 100 ms).
+    pub restart_backoff_ms: u64,
+    /// Fault injection. Disarmed by default; see [`ChaosConfig`].
+    pub chaos: ChaosConfig,
 }
 
 impl Default for EngineConfig {
@@ -82,6 +99,10 @@ impl Default for EngineConfig {
             client_queue_depth: 256,
             default_router: RouterSpec::Auto,
             timing: false,
+            default_deadline_ms: None,
+            max_worker_restarts: 64,
+            restart_backoff_ms: 1,
+            chaos: ChaosConfig::off(),
         }
     }
 }
@@ -147,6 +168,32 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Deadline (milliseconds, must be ≥ 1 at build time) for jobs that
+    /// carry no `deadline_ms` of their own.
+    pub fn default_deadline_ms(mut self, ms: u64) -> Self {
+        self.config.default_deadline_ms = Some(ms);
+        self
+    }
+
+    /// Lifetime cap on supervisor worker respawns (0 disables respawn).
+    pub fn max_worker_restarts(mut self, restarts: u64) -> Self {
+        self.config.max_worker_restarts = restarts;
+        self
+    }
+
+    /// Base of the supervisor's exponential respawn backoff, in ms.
+    pub fn restart_backoff_ms(mut self, ms: u64) -> Self {
+        self.config.restart_backoff_ms = ms;
+        self
+    }
+
+    /// Arm fault injection. The only way chaos turns on — there is no
+    /// ambient (env-var) switch.
+    pub fn chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.config.chaos = chaos;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<EngineConfig, ServiceError> {
         let c = &self.config;
@@ -159,6 +206,11 @@ impl EngineConfigBuilder {
             if value == 0 {
                 return Err(ServiceError::Config(format!("{what} must be at least 1")));
             }
+        }
+        if c.default_deadline_ms == Some(0) {
+            return Err(ServiceError::Config(
+                "default_deadline_ms must be at least 1".to_string(),
+            ));
         }
         Ok(self.config)
     }
@@ -176,6 +228,7 @@ pub(crate) struct RoutedEntry {
 pub(crate) struct RouteSlot {
     filled: Mutex<Option<Result<RoutedEntry, ServiceError>>>,
     ready: Condvar,
+    cancel: CancelToken,
 }
 
 impl RouteSlot {
@@ -186,12 +239,47 @@ impl RouteSlot {
         self.ready.notify_all();
     }
 
+    /// The token the deadline-armed compute of this slot watches.
+    pub(crate) fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Ask the compute filling this slot to give up at its next
+    /// cooperative checkpoint.
+    pub(crate) fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
     pub(crate) fn wait(&self) -> Result<RoutedEntry, ServiceError> {
         let mut slot = self.filled.lock().expect("slot poisoned");
         while slot.is_none() {
             slot = self.ready.wait(slot).expect("slot poisoned");
         }
         slot.as_ref().expect("checked above").clone()
+    }
+
+    /// [`RouteSlot::wait`] with a deadline. `None` means the deadline
+    /// passed with the slot still empty; the slot itself stays valid —
+    /// its compute may still fill it for later waiters.
+    pub(crate) fn wait_until(
+        &self,
+        deadline: Instant,
+    ) -> Option<Result<RoutedEntry, ServiceError>> {
+        let mut slot = self.filled.lock().expect("slot poisoned");
+        loop {
+            if let Some(value) = slot.as_ref() {
+                return Some(value.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _timeout) = self
+                .ready
+                .wait_timeout(slot, deadline - now)
+                .expect("slot poisoned");
+            slot = guard;
+        }
     }
 }
 
@@ -202,65 +290,269 @@ pub(crate) struct WorkItem {
     pub(crate) router: RouterKind,
     pub(crate) slot: Arc<RouteSlot>,
     pub(crate) timing: bool,
+    /// The slot's cache key, so fault paths can evict the error-bound
+    /// entry (a later duplicate then recomputes instead of replaying the
+    /// fault).
+    pub(crate) key: CanonicalKey,
+    /// The deadline/cancellation this compute must respect.
+    pub(crate) budget: RouteBudget,
+    /// The effective deadline in milliseconds, for the `timeout` error
+    /// payload (`None` = unbounded; then only cancellation can expire
+    /// the budget).
+    pub(crate) deadline_ms: Option<u64>,
+}
+
+impl WorkItem {
+    fn timeout_error(&self) -> ServiceError {
+        ServiceError::Timeout { deadline_ms: self.deadline_ms.unwrap_or(0) }
+    }
+
+    fn panic_error(&self) -> ServiceError {
+        ServiceError::RouterPanic {
+            router: self.router.label().to_string(),
+            topology: self.topology.to_string(),
+        }
+    }
+}
+
+/// Messages to the pool's supervisor thread.
+enum SupervisorMsg {
+    /// A worker thread died unwinding (sent from its [`DeathGuard`]).
+    WorkerDied,
+    /// The pool is shutting down: stop respawning, let the channel close.
+    Stop,
+}
+
+/// Dropped at the end of every worker thread; reports the death to the
+/// supervisor only when the thread is unwinding from a panic.
+struct DeathGuard {
+    deaths: mpsc::Sender<SupervisorMsg>,
+}
+
+impl Drop for DeathGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let _ = self.deaths.send(SupervisorMsg::WorkerDied);
+        }
+    }
+}
+
+/// Everything a worker thread needs, cloneable so the supervisor can
+/// respawn replacements. Holds a death-channel sender, so the channel
+/// only closes once every worker (and the supervisor's template) is
+/// gone.
+#[derive(Clone)]
+struct WorkerContext {
+    receiver: Arc<Mutex<Receiver<WorkItem>>>,
+    shutdown: Arc<AtomicBool>,
+    cache: Arc<ShardedLru<Arc<RouteSlot>>>,
+    chaos: Arc<ChaosState>,
+    deaths: mpsc::Sender<SupervisorMsg>,
+}
+
+fn spawn_worker(ctx: WorkerContext) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        // Injected crashes and budget unwinds are expected control flow;
+        // keep them off stderr (real router panics still print).
+        budget::suppress_quiet_panics();
+        let _guard = DeathGuard { deaths: ctx.deaths.clone() };
+        worker_main(&ctx);
+    })
+}
+
+fn worker_main(ctx: &WorkerContext) {
+    loop {
+        // Hold the lock only while popping, never while routing.
+        let item = match ctx.receiver.lock().expect("queue poisoned").recv() {
+            Ok(item) => item,
+            Err(_) => return, // queue closed: all work done
+        };
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            item.slot.fill(Err(ServiceError::Shutdown));
+            continue; // drain remaining items without routing
+        }
+        if item.budget.is_exceeded() {
+            // Expired while queued: answer without routing at all.
+            ctx.cache.remove(&item.key);
+            item.slot.fill(Err(item.timeout_error()));
+            continue;
+        }
+        match ctx.chaos.on_compute() {
+            ComputeFault::None => {}
+            ComputeFault::Delay(delay) => {
+                if !chaos::sleep_within_budget(delay, &item.budget) {
+                    ctx.cache.remove(&item.key);
+                    item.slot.fill(Err(item.timeout_error()));
+                    continue;
+                }
+            }
+            ComputeFault::Panic => {
+                // Record the outcome for the poisoned job first, then
+                // crash the thread to exercise the supervisor.
+                ctx.cache.remove(&item.key);
+                item.slot.fill(Err(item.panic_error()));
+                std::panic::panic_any(QuietUnwind("chaos-injected worker crash"));
+            }
+        }
+        let t0 = Instant::now();
+        let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            budget::with_budget(&item.budget, || {
+                item.router.route_on(&item.topology, &item.pi)
+            })
+        }));
+        let route_ms = if item.timing {
+            t0.elapsed().as_secs_f64() * 1e3
+        } else {
+            0.0
+        };
+        match routed {
+            Ok(Ok(Ok(schedule))) => {
+                item.slot
+                    .fill(Ok(RoutedEntry { schedule: Arc::new(schedule), route_ms }));
+            }
+            // Unsupported topologies are normally rejected on the submit
+            // thread; this arm is a backstop.
+            Ok(Ok(Err(unsupported))) => {
+                item.slot.fill(Err(ServiceError::Unsupported(unsupported)));
+            }
+            Ok(Err(BudgetExceeded)) => {
+                ctx.cache.remove(&item.key);
+                item.slot.fill(Err(item.timeout_error()));
+            }
+            Err(payload) => {
+                // A real router bug: contain it to this job, evict the
+                // poisoned key, then let the thread die so the supervisor
+                // decides whether to respawn.
+                ctx.cache.remove(&item.key);
+                item.slot.fill(Err(item.panic_error()));
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// The supervisor loop: respawn dead workers within the restart budget,
+/// and once every worker is gone for good, keep the queue drained (with
+/// `shutdown` errors) so no submitter can ever hang on a dead pool.
+fn supervise(
+    msgs: mpsc::Receiver<SupervisorMsg>,
+    mut workers: Vec<JoinHandle<()>>,
+    template: WorkerContext,
+    restarts: Arc<AtomicU64>,
+    max_restarts: u64,
+    backoff_base_ms: u64,
+) {
+    let drain_receiver = Arc::clone(&template.receiver);
+    let mut template = Some(template);
+    let mut alive = workers.len();
+    let mut used: u64 = 0;
+    loop {
+        match msgs.recv() {
+            // Every death sender is gone: all workers exited cleanly.
+            Err(_) => break,
+            Ok(SupervisorMsg::Stop) => {
+                // Drop the template (and its death sender) so the channel
+                // closes once the remaining workers exit.
+                template = None;
+            }
+            Ok(SupervisorMsg::WorkerDied) => {
+                alive = alive.saturating_sub(1);
+                let respawn = template
+                    .as_ref()
+                    .filter(|ctx| !ctx.shutdown.load(Ordering::SeqCst) && used < max_restarts)
+                    .cloned();
+                match respawn {
+                    Some(ctx) => {
+                        used += 1;
+                        // Count before the backoff sleep so stats polled
+                        // during the backoff already see the restart.
+                        restarts.fetch_add(1, Ordering::SeqCst);
+                        let backoff = backoff_base_ms
+                            .saturating_mul(1u64 << (used - 1).min(6))
+                            .min(100);
+                        if backoff > 0 {
+                            std::thread::sleep(Duration::from_millis(backoff));
+                        }
+                        workers.push(spawn_worker(ctx));
+                        alive += 1;
+                    }
+                    None if alive == 0 => {
+                        // Restart budget exhausted (or shutting down) with
+                        // no routing capacity left: answer everything
+                        // still queued with `shutdown` errors rather than
+                        // leaving waiters to hang.
+                        let receiver = Arc::clone(&drain_receiver);
+                        workers.push(std::thread::spawn(move || loop {
+                            let item = match receiver.lock().expect("queue poisoned").recv() {
+                                Ok(item) => item,
+                                Err(_) => return,
+                            };
+                            item.slot.fill(Err(ServiceError::Shutdown));
+                        }));
+                        alive = 1;
+                    }
+                    None => {}
+                }
+            }
+        }
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
 }
 
 /// The routing worker threads behind an [`Engine`] or a daemon: a
 /// bounded work queue drained by `std` threads that route canonical
-/// instances into their slots. Shared so the daemon reuses the exact
+/// instances into their slots, watched by a supervisor thread that
+/// respawns crashed workers (within `max_worker_restarts`, with
+/// exponential backoff). Shared so the daemon reuses the exact
 /// routing/panic-containment/drain semantics the engine's tests pin
 /// down.
 pub(crate) struct WorkerPool {
     sender: Option<SyncSender<WorkItem>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
+    control: Option<mpsc::Sender<SupervisorMsg>>,
     shutdown: Arc<AtomicBool>,
+    restarts: Arc<AtomicU64>,
+    chaos: Arc<ChaosState>,
 }
 
 impl WorkerPool {
-    /// Spawn `worker_count` routing threads over a queue of
-    /// `queue_depth` pending items.
-    pub(crate) fn spawn(worker_count: usize, queue_depth: usize) -> WorkerPool {
-        let (sender, receiver) = sync_channel::<WorkItem>(queue_depth.max(1));
-        let receiver = Arc::new(Mutex::new(receiver));
+    /// Spawn the configured number of routing threads (plus the
+    /// supervisor) over a bounded queue, all sharing `cache` for
+    /// fault-path evictions.
+    pub(crate) fn spawn(
+        config: &EngineConfig,
+        cache: Arc<ShardedLru<Arc<RouteSlot>>>,
+    ) -> WorkerPool {
+        let (sender, receiver) = sync_channel::<WorkItem>(config.queue_depth.max(1));
         let shutdown = Arc::new(AtomicBool::new(false));
-        let workers = (0..worker_count.max(1))
-            .map(|_| {
-                let receiver: Arc<Mutex<Receiver<WorkItem>>> = Arc::clone(&receiver);
-                let shutdown = Arc::clone(&shutdown);
-                std::thread::spawn(move || loop {
-                    // Hold the lock only while popping, never while routing.
-                    let item = match receiver.lock().expect("queue poisoned").recv() {
-                        Ok(item) => item,
-                        Err(_) => return, // queue closed: all work done
-                    };
-                    if shutdown.load(Ordering::SeqCst) {
-                        item.slot.fill(Err(ServiceError::Shutdown));
-                        continue; // drain remaining items without routing
-                    }
-                    let t0 = std::time::Instant::now();
-                    let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        item.router.route_on(&item.topology, &item.pi)
-                    }));
-                    let route_ms = if item.timing {
-                        t0.elapsed().as_secs_f64() * 1e3
-                    } else {
-                        0.0
-                    };
-                    item.slot.fill(match routed {
-                        Ok(Ok(schedule)) => {
-                            Ok(RoutedEntry { schedule: Arc::new(schedule), route_ms })
-                        }
-                        // Unsupported topologies are normally rejected on
-                        // the submit thread; this arm is a backstop.
-                        Ok(Err(unsupported)) => Err(ServiceError::Unsupported(unsupported)),
-                        Err(_) => Err(ServiceError::RouterPanic {
-                            router: item.router.label().to_string(),
-                            topology: item.topology.to_string(),
-                        }),
-                    });
-                })
-            })
+        let chaos = Arc::new(ChaosState::new(config.chaos.clone()));
+        let restarts = Arc::new(AtomicU64::new(0));
+        let (deaths, death_rx) = mpsc::channel::<SupervisorMsg>();
+        let ctx = WorkerContext {
+            receiver: Arc::new(Mutex::new(receiver)),
+            shutdown: Arc::clone(&shutdown),
+            cache,
+            chaos: Arc::clone(&chaos),
+            deaths: deaths.clone(),
+        };
+        let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+            .map(|_| spawn_worker(ctx.clone()))
             .collect();
-        WorkerPool { sender: Some(sender), workers, shutdown }
+        let (max_restarts, backoff_ms) = (config.max_worker_restarts, config.restart_backoff_ms);
+        let counter = Arc::clone(&restarts);
+        let supervisor = std::thread::spawn(move || {
+            supervise(death_rx, workers, ctx, counter, max_restarts, backoff_ms)
+        });
+        WorkerPool {
+            sender: Some(sender),
+            supervisor: Some(supervisor),
+            control: Some(deaths),
+            shutdown,
+            restarts,
+            chaos,
+        }
     }
 
     /// Queue one canonical instance, blocking when the queue is full
@@ -278,16 +570,31 @@ impl WorkerPool {
     pub(crate) fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
     }
+
+    /// How many crashed workers the supervisor has respawned.
+    pub(crate) fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::SeqCst)
+    }
+
+    /// The pool's live fault-injection state (disarmed ⇒ all zeros).
+    pub(crate) fn chaos(&self) -> &Arc<ChaosState> {
+        &self.chaos
+    }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         // Closing the channel wakes idle workers; the flag makes busy
-        // ones drain queued items without routing them.
+        // ones drain queued items without routing them. The supervisor
+        // joins every worker (original, respawned, or drainer) before
+        // exiting itself.
         self.begin_shutdown();
         self.sender.take();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        if let Some(control) = self.control.take() {
+            let _ = control.send(SupervisorMsg::Stop);
+        }
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
         }
     }
 }
@@ -360,6 +667,11 @@ enum Plan {
         topology: Topology,
         pi: Permutation,
         slot: Arc<RouteSlot>,
+        /// When to stop waiting on the slot (job deadline, or the
+        /// engine-wide default), fixed at submission time.
+        deadline: Option<Instant>,
+        /// The same deadline in milliseconds, for the error payload.
+        deadline_ms: Option<u64>,
     },
 }
 
@@ -378,7 +690,7 @@ pub struct RouteResult {
 /// reassembly.
 pub struct Engine {
     config: EngineConfig,
-    cache: ShardedLru<Arc<RouteSlot>>,
+    cache: Arc<ShardedLru<Arc<RouteSlot>>>,
     pool: WorkerPool,
     next_id: u64,
     pending: VecDeque<PendingJob>,
@@ -387,9 +699,10 @@ pub struct Engine {
 impl Engine {
     /// Spawn the worker pool.
     pub fn new(config: EngineConfig) -> Engine {
+        let cache = Arc::new(ShardedLru::new(config.cache_capacity, config.cache_shards));
         Engine {
-            cache: ShardedLru::new(config.cache_capacity, config.cache_shards),
-            pool: WorkerPool::spawn(config.workers, config.queue_depth),
+            pool: WorkerPool::spawn(&config, Arc::clone(&cache)),
+            cache,
             config,
             next_id: 0,
             pending: VecDeque::new(),
@@ -405,17 +718,31 @@ impl Engine {
         let plan = match plan_route(job, &self.config.default_router) {
             Err(e) => Plan::Error(e),
             Ok(plan) => {
+                let deadline_ms = job.deadline_ms.or(self.config.default_deadline_ms);
+                let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
                 let (cache, slot) = match self.cache.get(&plan.key) {
                     Some(slot) => (CacheStatus::Hit, slot),
                     None => {
                         let slot = Arc::new(RouteSlot::default());
-                        self.cache.insert(plan.key, Arc::clone(&slot));
+                        self.cache.insert(plan.key.clone(), Arc::clone(&slot));
+                        // Unbounded jobs keep the zero-overhead routing
+                        // path: no deadline means nobody ever cancels, so
+                        // the budget stays unarmed.
+                        let budget = match deadline {
+                            None => RouteBudget::unlimited(),
+                            Some(at) => RouteBudget::unlimited()
+                                .deadline(at)
+                                .cancel_token(slot.cancel_token()),
+                        };
                         self.pool.dispatch(WorkItem {
                             topology: plan.canonical.topology.clone(),
                             pi: plan.canonical.pi.clone(),
                             router: plan.router.clone(),
                             slot: Arc::clone(&slot),
                             timing: self.config.timing,
+                            key: plan.key,
+                            budget,
+                            deadline_ms,
                         });
                         (CacheStatus::Miss, slot)
                     }
@@ -428,6 +755,8 @@ impl Engine {
                     topology: plan.topology,
                     pi: plan.pi,
                     slot,
+                    deadline,
+                    deadline_ms,
                 }
             }
         };
@@ -457,8 +786,34 @@ impl Engine {
                 outcome: RouteOutcome::from_error(job.id, job.side, job.v, &error),
                 schedule: None,
             },
-            Plan::Route { router, cache, lower_bound, canonical, topology, pi, slot } => {
-                match slot.wait() {
+            Plan::Route {
+                router,
+                cache,
+                lower_bound,
+                canonical,
+                topology,
+                pi,
+                slot,
+                deadline,
+                deadline_ms,
+            } => {
+                let waited = match deadline {
+                    None => slot.wait(),
+                    Some(at) => match slot.wait_until(at) {
+                        Some(result) => result,
+                        None => {
+                            // The deadline passed mid-compute. Cancel the
+                            // compute only if this job dispatched it: a
+                            // cache hit's waiter must not poison the
+                            // compute another job is still entitled to.
+                            if matches!(cache, CacheStatus::Miss) {
+                                slot.cancel();
+                            }
+                            Err(ServiceError::Timeout { deadline_ms: deadline_ms.unwrap_or(0) })
+                        }
+                    },
+                };
+                match waited {
                     Err(e) => RouteResult {
                         outcome: RouteOutcome::from_error(job.id, job.side, job.v, &e),
                         schedule: None,
@@ -548,6 +903,16 @@ impl Engine {
         self.cache.stats()
     }
 
+    /// How many crashed workers the pool's supervisor has respawned.
+    pub fn worker_restarts(&self) -> u64 {
+        self.pool.restarts()
+    }
+
+    /// Live fault-injection counters (all zero when chaos is disarmed).
+    pub fn chaos(&self) -> &ChaosState {
+        self.pool.chaos()
+    }
+
     /// The configuration the engine was built with.
     pub fn config(&self) -> &EngineConfig {
         &self.config
@@ -613,6 +978,7 @@ mod tests {
             perm: crate::job::PermSpec::Explicit(vec![0; 9]),
             topology: crate::job::TopologySpec::Grid,
             v: None,
+            deadline_ms: None,
         });
         let a = engine.collect_next().unwrap();
         let b = engine.collect_next().unwrap();

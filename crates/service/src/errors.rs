@@ -43,6 +43,15 @@ pub enum ServiceError {
     /// The engine or daemon shut down before this job was routed. Code
     /// `shutdown`.
     Shutdown,
+    /// The job's deadline passed before its route finished (its compute
+    /// was cooperatively cancelled at the next routing round). The
+    /// payload is the effective deadline in milliseconds. Code
+    /// `timeout`.
+    Timeout {
+        /// The deadline that was exceeded, in milliseconds (the job's
+        /// own `deadline_ms`, or the daemon-wide default).
+        deadline_ms: u64,
+    },
     /// A router panicked on the job's canonical instance — a router bug,
     /// contained to this job. Code `router-panic`.
     RouterPanic {
@@ -70,6 +79,7 @@ impl ServiceError {
             ServiceError::Unsupported(_) => "unsupported-router",
             ServiceError::Backpressure { .. } => "backpressure",
             ServiceError::Shutdown => "shutdown",
+            ServiceError::Timeout { .. } => "timeout",
             ServiceError::RouterPanic { .. } => "router-panic",
             ServiceError::Config(_) => "config",
             ServiceError::Io(_) => "io",
@@ -93,6 +103,9 @@ impl std::fmt::Display for ServiceError {
                 "client queue full ({limit} jobs in flight); collect outcomes before submitting more"
             ),
             ServiceError::Shutdown => f.write_str("engine shut down before routing"),
+            ServiceError::Timeout { deadline_ms } => {
+                write!(f, "job exceeded its {deadline_ms} ms deadline")
+            }
             ServiceError::RouterPanic { router, topology } => {
                 write!(f, "router {router} panicked on a canonical {topology} instance")
             }
@@ -119,6 +132,7 @@ mod tests {
             }),
             ServiceError::Backpressure { limit: 8 },
             ServiceError::Shutdown,
+            ServiceError::Timeout { deadline_ms: 50 },
             ServiceError::RouterPanic { router: "ats".into(), topology: "grid(2x2)".into() },
             ServiceError::Config("x".into()),
             ServiceError::Io("x".into()),
@@ -133,6 +147,7 @@ mod tests {
                 "unsupported-router",
                 "backpressure",
                 "shutdown",
+                "timeout",
                 "router-panic",
                 "config",
                 "io",
@@ -154,6 +169,10 @@ mod tests {
         assert_eq!(
             ServiceError::Shutdown.to_string(),
             "engine shut down before routing"
+        );
+        assert_eq!(
+            ServiceError::Timeout { deadline_ms: 250 }.to_string(),
+            "job exceeded its 250 ms deadline"
         );
         let unsupported = ServiceError::Unsupported(UnsupportedTopology {
             router: "locality-aware",

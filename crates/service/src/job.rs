@@ -141,6 +141,13 @@ pub struct RouteJob {
     /// outcome so response lines are self-describing exactly when
     /// request lines were.
     pub v: Option<u64>,
+    /// Optional per-job deadline in milliseconds, measured from
+    /// admission. A job still routing when it expires is cooperatively
+    /// cancelled and answered with a `timeout` error outcome; `None`
+    /// falls back to the engine's configured default deadline (itself
+    /// `None` — no deadline — by default). Append-only wire field: v1
+    /// lines without it parse exactly as before.
+    pub deadline_ms: Option<u64>,
 }
 
 impl RouteJob {
@@ -157,6 +164,7 @@ impl RouteJob {
             perm: PermSpec::Class { label: class.to_string(), seed },
             topology: TopologySpec::Grid,
             v: None,
+            deadline_ms: None,
         })
     }
 
@@ -168,6 +176,7 @@ impl RouteJob {
             perm: PermSpec::Explicit(pi.as_slice().to_vec()),
             topology: TopologySpec::Grid,
             v: None,
+            deadline_ms: None,
         }
     }
 
@@ -256,10 +265,11 @@ fn parse_job_fields(doc: &serde_json::Value, v: Option<u64>) -> Result<RouteJob,
     for (field, _) in entries {
         if !matches!(
             field.as_str(),
-            "v" | "side" | "router" | "perm" | "class" | "seed" | "topology"
+            "v" | "side" | "router" | "perm" | "class" | "seed" | "topology" | "deadline_ms"
         ) {
             return Err(format!(
-                "unknown job field {field:?} (expected v, side, router, perm, class, seed, topology)"
+                "unknown job field {field:?} (expected v, side, router, perm, class, seed, \
+                 topology, deadline_ms)"
             ));
         }
     }
@@ -309,7 +319,19 @@ fn parse_job_fields(doc: &serde_json::Value, v: Option<u64>) -> Result<RouteJob,
         None => TopologySpec::Grid,
         Some(t) => parse_topology(t)?,
     };
-    Ok(RouteJob { side, router, perm, topology, v })
+    let deadline_ms = match doc.get("deadline_ms") {
+        None => None,
+        Some(d) => {
+            let ms = d
+                .as_u64()
+                .ok_or("\"deadline_ms\" must be a nonnegative integer")?;
+            if ms == 0 {
+                return Err("\"deadline_ms\" must be at least 1".to_string());
+            }
+            Some(ms)
+        }
+    };
+    Ok(RouteJob { side, router, perm, topology, v, deadline_ms })
 }
 
 /// Parse the `"topology"` object. Strict like the job line itself:
@@ -636,6 +658,30 @@ mod tests {
         let err =
             RouteJob::from_json_line(r#"{"v": "x", "side": 2, "perm": [0, 1, 2, 3]}"#).unwrap_err();
         assert_eq!(err.code(), "parse");
+    }
+
+    #[test]
+    fn deadline_field_parses_and_validates() {
+        let job = RouteJob::from_json_line(
+            r#"{"side": 4, "class": "random", "seed": 0, "deadline_ms": 250}"#,
+        )
+        .unwrap();
+        assert_eq!(job.deadline_ms, Some(250));
+        let job = RouteJob::from_json_line(r#"{"side": 4, "class": "random", "seed": 0}"#).unwrap();
+        assert_eq!(job.deadline_ms, None, "absent deadline stays absent");
+        for (line, needle) in [
+            (
+                r#"{"side": 4, "class": "random", "seed": 0, "deadline_ms": "soon"}"#,
+                "nonnegative integer",
+            ),
+            (
+                r#"{"side": 4, "class": "random", "seed": 0, "deadline_ms": 0}"#,
+                "at least 1",
+            ),
+        ] {
+            let err = RouteJob::from_json_line(line).unwrap_err();
+            assert!(err.to_string().contains(needle), "{line}: {err}");
+        }
     }
 
     #[test]

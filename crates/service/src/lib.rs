@@ -34,6 +34,12 @@
 //! * [`errors`] — [`ServiceError`], the one error type of the service
 //!   layer, with a stable machine-readable [`ServiceError::code`]
 //!   carried in the `"code"` field of error outcomes.
+//! * [`chaos`] — deterministic fault injection (worker crashes, injected
+//!   latency, dropped/torn connections), compiled always but armed only
+//!   through [`EngineConfigBuilder::chaos`]. Together with per-job
+//!   deadlines (`deadline_ms`), supervised worker respawn, and the
+//!   retrying [`RetryingClient`], it forms the resilience layer — see
+//!   the README's "Resilience" section.
 //!
 //! Jobs default to square grids (`"side"` alone), but an optional
 //! `"topology"` object selects defective grids, heavy-hex, brick-wall,
@@ -57,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod daemon;
 pub mod dispatch;
@@ -67,7 +74,8 @@ pub mod job;
 pub use cache::{
     canonicalize, canonicalize_topology, CacheStats, CanonicalForm, CanonicalKey, ShardedLru,
 };
-pub use client::Client;
+pub use chaos::{ChaosConfig, ChaosState};
+pub use client::{Client, RetryPolicy, RetryingClient};
 pub use daemon::{Daemon, RouterJobs, StatsSnapshot};
 pub use dispatch::{features, select_router, select_router_on, InstanceFeatures};
 pub use engine::{Engine, EngineConfig, EngineConfigBuilder, RouteResult};

@@ -1,0 +1,283 @@
+//! Fault-injection integration: armed chaos must poison exactly the
+//! targeted jobs (everything else byte-identical to a clean run), the
+//! supervisor must respawn crashed workers and report the count, jobs
+//! must time out against their deadlines while the connection survives,
+//! and the retrying client must reassemble a full, in-order result set
+//! across dropped and torn connections — with no test ever hanging.
+
+use qroute_service::{
+    ChaosConfig, Client, Daemon, Engine, EngineConfig, RetryPolicy, RetryingClient, RouteJob,
+};
+use std::time::Duration;
+
+/// Jobs with pairwise-distinct canonical keys (random permutations,
+/// distinct seeds): every job is a miss in every run, so hit/miss labels
+/// cannot drift between clean and faulted runs.
+fn distinct_job_lines(count: usize) -> Vec<String> {
+    (0..count)
+        .map(|k| {
+            format!("{{\"side\": 5, \"router\": \"ats\", \"class\": \"random\", \"seed\": {k}}}")
+        })
+        .collect()
+}
+
+fn run_on(engine: &mut Engine, lines: &[String]) -> Vec<String> {
+    for line in lines {
+        match RouteJob::from_json_line(line) {
+            Ok(job) => engine.submit(&job),
+            Err(e) => engine.submit_error(e),
+        };
+    }
+    let mut out = Vec::new();
+    while let Some(result) = engine.collect_next() {
+        out.push(result.outcome.to_json_line());
+    }
+    out
+}
+
+fn route_refs(client: &mut Client, lines: &[String]) -> Vec<String> {
+    let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+    client.route_lines(refs).expect("replay the stream")
+}
+
+#[test]
+fn injected_worker_panics_poison_only_their_jobs_and_are_respawned() {
+    let lines = distinct_job_lines(12);
+    let clean = run_on(
+        &mut Engine::new(EngineConfig::builder().workers(1).build().unwrap()),
+        &lines,
+    );
+
+    // With one worker, pool-wide compute order equals submission order,
+    // so `worker_panic_every: 4` targets exactly jobs 3, 7, 11.
+    let mut engine = Engine::new(
+        EngineConfig::builder()
+            .workers(1)
+            .restart_backoff_ms(1)
+            .chaos(ChaosConfig { worker_panic_every: 4, ..ChaosConfig::off() })
+            .build()
+            .unwrap(),
+    );
+    let chaotic = run_on(&mut engine, &lines);
+    assert_eq!(chaotic.len(), clean.len());
+    for (k, (with_faults, reference)) in chaotic.iter().zip(clean.iter()).enumerate() {
+        if (k + 1) % 4 == 0 {
+            assert!(
+                with_faults.contains("\"code\":\"router-panic\""),
+                "job {k} should be the poisoned one: {with_faults}"
+            );
+        } else {
+            assert_eq!(
+                with_faults, reference,
+                "non-faulted job {k} must be byte-identical to the clean run"
+            );
+        }
+    }
+    assert_eq!(
+        engine.chaos().injected_panics(),
+        3,
+        "counters match the faults"
+    );
+
+    // Every crash was followed by a supervised respawn (the last one may
+    // still be in its backoff when run() returns, so poll briefly).
+    let mut restarts = engine.worker_restarts();
+    for _ in 0..200 {
+        if restarts == 3 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        restarts = engine.worker_restarts();
+    }
+    assert_eq!(restarts, 3, "one respawn per injected crash");
+}
+
+#[test]
+fn restart_exhaustion_answers_with_shutdown_errors_not_hangs() {
+    // Every compute crashes its worker; after two respawns the budget is
+    // gone, and the remaining queued jobs must still be answered.
+    let mut engine = Engine::new(
+        EngineConfig::builder()
+            .workers(1)
+            .max_worker_restarts(2)
+            .restart_backoff_ms(1)
+            .chaos(ChaosConfig { worker_panic_every: 1, ..ChaosConfig::off() })
+            .build()
+            .unwrap(),
+    );
+    let outcomes = run_on(&mut engine, &distinct_job_lines(6));
+    for (k, line) in outcomes.iter().enumerate() {
+        let expect = if k < 3 { "router-panic" } else { "shutdown" };
+        assert!(
+            line.contains(&format!("\"code\":\"{expect}\"")),
+            "job {k}: expected {expect}: {line}"
+        );
+    }
+    assert_eq!(engine.worker_restarts(), 2, "the respawn budget was spent");
+    assert_eq!(engine.chaos().injected_panics(), 3);
+}
+
+#[test]
+fn a_deadline_exceeded_job_times_out_while_later_jobs_complete() {
+    // Compute #3 sleeps "30 s"; only job 2 carries a deadline, so the
+    // budget-aware sleep gives up at ~400 ms and the worker moves on.
+    let config = EngineConfig::builder()
+        .workers(1)
+        .chaos(ChaosConfig { latency_ms: 30_000, latency_every: 3, ..ChaosConfig::off() })
+        .build()
+        .unwrap();
+    let daemon = Daemon::bind("127.0.0.1:0", config).expect("bind");
+    let mut client = Client::connect(daemon.local_addr()).expect("connect");
+    let lines: Vec<String> = (0..5)
+        .map(|k| {
+            let deadline = if k == 2 { ", \"deadline_ms\": 400" } else { "" };
+            format!(
+                "{{\"side\": 5, \"router\": \"ats\", \"class\": \"random\", \
+                 \"seed\": {k}{deadline}}}"
+            )
+        })
+        .collect();
+    let outcomes = route_refs(&mut client, &lines);
+    assert_eq!(outcomes.len(), 5);
+    for (k, line) in outcomes.iter().enumerate() {
+        if k == 2 {
+            assert!(line.contains("\"code\":\"timeout\""), "job {k}: {line}");
+            assert!(line.contains("exceeded its 400 ms deadline"), "{line}");
+        } else {
+            assert!(
+                line.ends_with("\"error\":null}"),
+                "job {k} on the same connection must still route: {line}"
+            );
+        }
+    }
+    let stats = daemon.stats();
+    assert_eq!(
+        stats.timeouts, 1,
+        "exactly the injected-latency job timed out"
+    );
+    assert_eq!(stats.jobs_routed, 4);
+    assert_eq!(stats.worker_restarts, 0, "a timeout is not a crash");
+}
+
+#[test]
+fn retrying_client_survives_dropped_and_torn_connections() {
+    let lines = distinct_job_lines(20);
+
+    // Reference bytes: the same stream through a clean daemon.
+    let clean = Daemon::bind("127.0.0.1:0", EngineConfig::builder().build().unwrap()).unwrap();
+    let mut plain = Client::connect(clean.local_addr()).expect("connect clean");
+    let reference = route_refs(&mut plain, &lines);
+    drop(plain);
+    drop(clean);
+
+    // Chaos daemon: the first two connections are severed after ~700
+    // written bytes, tearing an outcome line in half on the way out.
+    let config = EngineConfig::builder()
+        .chaos(ChaosConfig {
+            drop_connection_after_bytes: Some(700),
+            drop_connections: 2,
+            torn_writes: true,
+            ..ChaosConfig::off()
+        })
+        .build()
+        .unwrap();
+    let daemon = Daemon::bind("127.0.0.1:0", config).expect("bind");
+    let mut client = RetryingClient::new(
+        daemon.local_addr(),
+        RetryPolicy { max_retries: 8, base_ms: 1, max_ms: 20 },
+    )
+    .expect("resolve");
+    let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+    let outcomes = client.route_lines(refs).expect("route with retries");
+
+    // All 20 jobs answered, in order, byte-identical to the clean run
+    // (all-distinct keys ⇒ the per-connection mirror reset on reconnect
+    // cannot change a hit/miss label).
+    assert_eq!(outcomes, reference);
+    assert!(
+        client.retries() > 0,
+        "the drops must actually have happened"
+    );
+    let stats = daemon.stats();
+    assert!(
+        stats.connections >= 3,
+        "at least two reconnects: {}",
+        stats.connections
+    );
+    assert!(
+        stats.retries_observed > 0,
+        "the client reports its resubmissions: {stats:?}"
+    );
+}
+
+#[test]
+fn resilience_counters_travel_the_wire() {
+    let config = EngineConfig::builder()
+        .workers(1)
+        .restart_backoff_ms(1)
+        .chaos(ChaosConfig { worker_panic_every: 5, ..ChaosConfig::off() })
+        .build()
+        .unwrap();
+    let daemon = Daemon::bind("127.0.0.1:0", config).expect("bind");
+    let mut client = Client::connect(daemon.local_addr()).expect("connect");
+    let outcomes = route_refs(&mut client, &distinct_job_lines(6));
+    assert!(
+        outcomes[4].contains("\"code\":\"router-panic\""),
+        "compute 5 is the poisoned one: {}",
+        outcomes[4]
+    );
+    assert!(
+        outcomes[5].ends_with("\"error\":null}"),
+        "the respawned worker routes the next job: {}",
+        outcomes[5]
+    );
+
+    client
+        .send_line("{\"req\": \"retried\", \"n\": 3}")
+        .expect("send retried report");
+    assert_eq!(
+        client.recv_line().expect("ack").as_deref(),
+        Some("{\"ok\":\"retried\"}")
+    );
+
+    let stats_line = client.stats().expect("stats over the wire");
+    let doc: serde_json::Value = serde_json::from_str(&stats_line).expect("stats is JSON");
+    let stats = doc.get("stats").expect("stats envelope");
+    let field = |key: &str| {
+        stats
+            .get(key)
+            .and_then(|v| v.as_u64())
+            .unwrap_or_else(|| panic!("missing {key} in {stats_line}"))
+    };
+    assert_eq!(field("timeouts"), 0);
+    assert_eq!(field("worker_restarts"), 1);
+    assert_eq!(field("retries_observed"), 3);
+
+    let snapshot = daemon.stats();
+    assert_eq!(snapshot.worker_restarts, 1);
+    assert_eq!(snapshot.retries_observed, 3);
+    assert_eq!(snapshot.timeouts, 0);
+}
+
+#[test]
+fn retry_backoff_is_deterministic_bounded_and_jittered() {
+    let policy = RetryPolicy { max_retries: 5, base_ms: 10, max_ms: 80 };
+    for attempt in 1..=6u32 {
+        let ms = policy.backoff_ms(attempt, 42);
+        assert_eq!(
+            ms,
+            policy.backoff_ms(attempt, 42),
+            "deterministic per (attempt, salt)"
+        );
+        let step = (10u64 << (attempt - 1).min(16)).min(80);
+        assert!(
+            ms >= step / 2 && ms <= step,
+            "attempt {attempt}: {ms} outside [{}, {step}]",
+            step / 2
+        );
+    }
+    // The jitter actually varies with the salt.
+    let spread: std::collections::BTreeSet<u64> =
+        (0..16).map(|salt| policy.backoff_ms(3, salt)).collect();
+    assert!(spread.len() > 1, "all salts gave {spread:?}");
+}

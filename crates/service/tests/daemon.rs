@@ -251,6 +251,94 @@ fn stats_and_shutdown_control_requests_work_over_the_wire() {
 }
 
 #[test]
+fn a_client_dying_mid_stream_leaves_the_daemon_healthy() {
+    let daemon = Daemon::bind("127.0.0.1:0", EngineConfig::builder().build().unwrap()).unwrap();
+    let addr = daemon.local_addr();
+    let lines = job_lines(2, 10);
+    {
+        // Send ten jobs, read three outcomes, then drop the socket with
+        // seven answers still in flight.
+        let mut dying = Client::connect(addr).expect("connect");
+        for line in &lines {
+            dying.send_line(line).expect("send");
+        }
+        for k in 0..3 {
+            dying
+                .recv_line()
+                .expect("read outcome")
+                .unwrap_or_else(|| panic!("outcome {k} before the kill"));
+        }
+    }
+    // The daemon must absorb the abandoned work: the writer drains what
+    // was admitted (discarding lines into the dead socket), the gauges
+    // come back to zero, and nothing wedges.
+    let mut depth = daemon.stats().queue_depth;
+    for _ in 0..500 {
+        if depth == 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        depth = daemon.stats().queue_depth;
+    }
+    assert_eq!(depth, 0, "abandoned jobs must drain");
+    let after_kill = daemon.stats();
+
+    // A later connection sees correct shared-cache state: the killed
+    // client's stream was fully computed, so replaying it adds no new
+    // misses — and the bytes still match the single-threaded batch.
+    let mut client = Client::connect(addr).expect("connect after the kill");
+    assert_eq!(daemon_bytes(&mut client, &lines), engine_reference(&lines));
+    let stats = daemon.stats();
+    assert_eq!(
+        stats.cache_misses, after_kill.cache_misses,
+        "every canonical key was already computed before the kill"
+    );
+    assert_eq!(stats.connections, 2);
+}
+
+#[test]
+fn a_torn_final_job_line_is_dropped_silently() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{Shutdown, TcpStream};
+
+    let daemon = Daemon::bind("127.0.0.1:0", EngineConfig::builder().build().unwrap()).unwrap();
+    let addr = daemon.local_addr();
+    let mut raw = TcpStream::connect(addr).expect("connect raw");
+    // One whole job line, then a fragment with no newline — a client
+    // that died mid-write.
+    raw.write_all(b"{\"side\": 4, \"router\": \"ats\", \"class\": \"random\", \"seed\": 0}\n")
+        .expect("whole line");
+    raw.write_all(b"{\"side\": 4, \"rout")
+        .expect("torn fragment");
+    raw.shutdown(Shutdown::Write).expect("half-close");
+
+    let mut reader = BufReader::new(raw.try_clone().expect("read half"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("first outcome");
+    assert!(line.starts_with("{\"id\":0,"), "{line}");
+    // The fragment produces nothing — not even an error outcome: the
+    // next read is EOF.
+    line.clear();
+    assert_eq!(
+        reader.read_line(&mut line).expect("EOF"),
+        0,
+        "the torn line must be dropped, got: {line}"
+    );
+
+    // And the daemon is untouched: no error was counted for the
+    // fragment, and it still serves new connections.
+    let stats = daemon.stats();
+    assert_eq!(stats.jobs_errored, 0, "a torn line is not a parse error");
+    assert_eq!(stats.jobs_routed, 1);
+    let mut client = Client::connect(addr).expect("connect after torn line");
+    let out = daemon_bytes(
+        &mut client,
+        &["{\"side\": 4, \"router\": \"ats\", \"class\": \"random\", \"seed\": 1}".to_string()],
+    );
+    assert!(out.ends_with("\"error\":null}\n"), "{out}");
+}
+
+#[test]
 fn blank_lines_consume_no_job_id_on_the_wire() {
     let daemon = Daemon::bind("127.0.0.1:0", EngineConfig::builder().build().unwrap()).unwrap();
     let mut client = Client::connect(daemon.local_addr()).expect("connect");

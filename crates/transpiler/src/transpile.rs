@@ -109,6 +109,8 @@ impl Transpiler {
         let adjacent = |a: usize, b: usize| self.grid.dist(a, b) == 1;
 
         while !queue.is_done() {
+            // One cooperative cancellation probe per routing round.
+            qroute_core::budget::checkpoint();
             // Drain every executable ready gate.
             loop {
                 let front = queue.ready_front();
