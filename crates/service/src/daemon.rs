@@ -70,7 +70,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -113,7 +113,8 @@ pub struct StatsSnapshot {
     /// Jobs per router kind, sorted by label.
     pub routers: Vec<RouterJobs>,
     /// Median service latency (admission → outcome written) in
-    /// milliseconds, as the upper bound of the histogram bucket.
+    /// milliseconds, at the geometric midpoint of the histogram bucket
+    /// holding the median sample.
     pub latency_p50_ms: f64,
     /// 99th-percentile service latency in milliseconds.
     pub latency_p99_ms: f64,
@@ -167,8 +168,17 @@ impl DaemonStats {
         self.latency_us[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Quantile over the histogram as the upper bound (in ms) of the
-    /// bucket containing the `q`-ranked sample; `0.0` with no samples.
+    /// Quantile over the histogram, reported at the *geometric midpoint*
+    /// (in ms) of the bucket containing the `q`-ranked sample; `0.0`
+    /// with no samples.
+    ///
+    /// Bucket `b ≥ 1` covers `[2^(b−1), 2^b)` µs; its geometric midpoint
+    /// is `2^b/√2` (bucket 0 is sub-microsecond, reported as 0.5 µs).
+    /// Reporting the midpoint instead of the upper bound halves the
+    /// worst-case overstatement of p50/p99 from 2× to √2×. The rank is
+    /// the inverse empirical CDF, `⌊q·total⌋ + 1` clamped to `total`, so
+    /// an exact-boundary rank (q=0.5 with an even sample count) selects
+    /// the upper median instead of rounding down a bucket.
     fn latency_quantile_ms(&self, q: f64) -> f64 {
         let counts: Vec<u64> = self
             .latency_us
@@ -179,13 +189,17 @@ impl DaemonStats {
         if total == 0 {
             return 0.0;
         }
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let rank = (((q * total as f64).floor() as u64) + 1).min(total);
         let mut seen = 0;
         for (bucket, &count) in counts.iter().enumerate() {
             seen += count;
             if seen >= rank {
-                let upper_us = if bucket == 0 { 1 } else { 1u64 << bucket };
-                return upper_us as f64 / 1e3;
+                let midpoint_us = if bucket == 0 {
+                    0.5
+                } else {
+                    (1u64 << bucket) as f64 / std::f64::consts::SQRT_2
+                };
+                return midpoint_us / 1e3;
             }
         }
         unreachable!("rank ≤ total")
@@ -212,7 +226,15 @@ impl DaemonShared {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        for conn in self.conns.lock().expect("conns poisoned").iter() {
+        // A connection thread that panicked while holding the lock must
+        // not take shutdown down with it: the registry is a plain list
+        // of read-half clones, safe to use after a poison.
+        for conn in self
+            .conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+        {
             let _ = conn.shutdown(Shutdown::Read);
         }
         // A throwaway self-connection unblocks the accept loop so it can
@@ -231,11 +253,13 @@ impl DaemonShared {
             cache_misses: cache.misses,
             cache_evictions: cache.evictions,
             hit_rate: cache.hit_rate(),
+            // Plain monotone counters: still meaningful after a panic
+            // poisoned the lock, so stats must keep answering.
             routers: self
                 .stats
                 .dispatch
                 .lock()
-                .expect("dispatch counters poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .iter()
                 .map(|(router, &jobs)| RouterJobs { router: router.clone(), jobs })
                 .collect(),
@@ -364,7 +388,11 @@ fn accept_loop(listener: TcpListener, shared: Arc<DaemonShared>) {
         let Ok(stream) = stream else { continue };
         shared.stats.connections.fetch_add(1, Ordering::Relaxed);
         if let Ok(read_half) = stream.try_clone() {
-            shared.conns.lock().expect("conns poisoned").push(read_half);
+            shared
+                .conns
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(read_half);
         }
         let shared = Arc::clone(&shared);
         handles.push(std::thread::spawn(move || serve_connection(stream, shared)));
@@ -473,7 +501,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<DaemonShared>) {
                         .stats
                         .dispatch
                         .lock()
-                        .expect("dispatch counters poisoned")
+                        .unwrap_or_else(PoisonError::into_inner)
                         .entry(plan.router.label().to_string())
                         .or_insert(0) += 1;
                     let deadline_ms = job.deadline_ms.or(shared.config.default_deadline_ms);
@@ -704,5 +732,120 @@ fn write_outcomes(
                 shared.stats.record_latency(start);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with_buckets(buckets: &[(usize, u64)]) -> DaemonStats {
+        let stats = DaemonStats::new();
+        for &(bucket, count) in buckets {
+            stats.latency_us[bucket].store(count, Ordering::Relaxed);
+        }
+        stats
+    }
+
+    fn midpoint_ms(bucket: usize) -> f64 {
+        if bucket == 0 {
+            0.5 / 1e3
+        } else {
+            (1u64 << bucket) as f64 / std::f64::consts::SQRT_2 / 1e3
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let stats = stats_with_buckets(&[]);
+        assert_eq!(stats.latency_quantile_ms(0.50), 0.0);
+        assert_eq!(stats.latency_quantile_ms(0.99), 0.0);
+    }
+
+    #[test]
+    fn single_sample_reports_the_bucket_geometric_midpoint() {
+        // One sample in bucket 3, i.e. [4, 8) µs: every quantile must be
+        // the geometric midpoint 8/√2 ≈ 5.66 µs — not the 8 µs upper
+        // bound, which overstates the true latency by up to 2×.
+        let stats = stats_with_buckets(&[(3, 1)]);
+        for q in [0.01, 0.50, 0.99] {
+            let got = stats.latency_quantile_ms(q);
+            assert!((got - midpoint_ms(3)).abs() < 1e-12, "q={q}: {got}");
+        }
+        // Sub-microsecond bucket reports half a microsecond.
+        let zero = stats_with_buckets(&[(0, 5)]);
+        assert!((zero.latency_quantile_ms(0.5) - midpoint_ms(0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_rank_selects_the_upper_median() {
+        // Two samples in bucket 2, two in bucket 5: with an even count,
+        // q=0.5 lands exactly on a bucket boundary. The inverse-CDF rank
+        // ⌊0.5·4⌋+1 = 3 selects the *upper* median bucket; the pre-fix
+        // ⌈0.5·4⌉ = 2 rounded down into bucket 2.
+        let stats = stats_with_buckets(&[(2, 2), (5, 2)]);
+        let p50 = stats.latency_quantile_ms(0.50);
+        assert!((p50 - midpoint_ms(5)).abs() < 1e-12, "p50={p50}");
+        // Below the boundary the lower bucket still answers…
+        let p25 = stats.latency_quantile_ms(0.25);
+        assert!((p25 - midpoint_ms(2)).abs() < 1e-12, "p25={p25}");
+        // …and the top rank clamps to the last sample.
+        let p99 = stats.latency_quantile_ms(0.99);
+        assert!((p99 - midpoint_ms(5)).abs() < 1e-12, "p99={p99}");
+    }
+
+    #[test]
+    fn quantile_rank_never_exceeds_total() {
+        let stats = stats_with_buckets(&[(1, 1), (7, 1)]);
+        assert!((stats.latency_quantile_ms(1.0) - midpoint_ms(7)).abs() < 1e-12);
+        assert!((stats.latency_quantile_ms(0.0) - midpoint_ms(1)).abs() < 1e-12);
+    }
+
+    /// Chaos: a connection thread that panics while holding a shared
+    /// mutex poisons it. Stats served over the wire and the graceful
+    /// drain must both survive (pre-fix, the `expect("… poisoned")`
+    /// calls turned one crashed connection into a daemon-wide outage).
+    #[test]
+    fn poisoned_shared_locks_still_answer_stats_and_drain() {
+        let daemon = Daemon::bind("127.0.0.1:0", EngineConfig::default()).unwrap();
+        let addr = daemon.local_addr();
+
+        // Route one job first so the dispatch map is non-empty.
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(b"{\"side\": 4, \"router\": \"ats\", \"class\": \"random\", \"seed\": 1}\n")
+            .unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"depth\""), "{line}");
+
+        // Panic a thread mid-update while it holds each shared lock.
+        for _ in 0..2 {
+            let shared = Arc::clone(&daemon.shared);
+            let _ = std::thread::spawn(move || {
+                let _conns = shared.conns.lock().unwrap();
+                let _dispatch = shared.stats.dispatch.lock().unwrap();
+                panic!("injected chaos: poison the shared daemon locks");
+            })
+            .join();
+        }
+
+        // `ctl --stats` over the wire must still answer, with the
+        // dispatch counters intact.
+        conn.write_all(b"{\"req\": \"stats\"}\n").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"jobs_routed\":1"), "{line}");
+        assert!(line.contains("\"ats\""), "{line}");
+
+        // And the graceful drain must still complete.
+        drop(conn);
+        daemon.shutdown();
+        let final_stats = daemon.join();
+        assert_eq!(final_stats.jobs_routed, 1);
+        assert_eq!(
+            final_stats.routers,
+            vec![RouterJobs { router: "ats".into(), jobs: 1 }]
+        );
     }
 }

@@ -20,6 +20,9 @@ pub struct InstanceFeatures {
     pub total_displacement: usize,
     /// Largest single-token L1 displacement.
     pub max_displacement: usize,
+    /// Number of tokens that move at all (the permutation's support
+    /// size) — the density signal behind the pathfinder regime.
+    pub moved_tokens: usize,
     /// `metrics::block_locality_score`: 1 − max cycle spread / diameter.
     pub block_locality_score: f64,
     /// L1 diameter of the grid.
@@ -31,6 +34,7 @@ pub fn features(grid: Grid, pi: &Permutation) -> InstanceFeatures {
     InstanceFeatures {
         total_displacement: metrics::total_displacement(grid, pi),
         max_displacement: metrics::max_displacement(grid, pi),
+        moved_tokens: pi.support_size(),
         block_locality_score: metrics::block_locality_score(grid, pi),
         diameter: (grid.rows() - 1) + (grid.cols() - 1),
     }
@@ -40,21 +44,34 @@ pub fn features(grid: Grid, pi: &Permutation) -> InstanceFeatures {
 /// block-local (every cycle confined to a quarter-diameter region).
 pub const LOCAL_SCORE_THRESHOLD: f64 = 0.75;
 
+/// A permutation moving at most this fraction of its tokens counts as a
+/// sparse partial permutation — the pathfinder regime, checked *before*
+/// block locality because a handful of local 2-cycles is still cheaper
+/// per token than any full-grid matching sweep.
+pub const SPARSE_SUPPORT_FRACTION: f64 = 0.25;
+
 /// Resolve `auto` to a concrete router for one instance:
 ///
+/// * identity → the paper's locality-aware router (free either way);
+/// * sparse partial permutation (support ≤ [`SPARSE_SUPPORT_FRACTION`]
+///   of the tokens) → the pathfinder router, whose negotiated per-token
+///   search pays per moved token instead of per grid sweep;
 /// * block-local (score ≥ [`LOCAL_SCORE_THRESHOLD`]) → the paper's
 ///   locality-aware router;
-/// * sparse (average displacement ≤ 2 per token) or mid-range
+/// * small average displacement (≤ 2 per token) or mid-range
 ///   displacement (`2 · max ≤ diameter`, the overlapping-window
-///   signature) → approximate token swapping, which pays per moved token
-///   instead of per grid sweep;
+///   signature) → approximate token swapping;
 /// * global otherwise → the hybrid clamp, never deeper than the naive
 ///   3-phase bound.
 ///
 /// Deterministic per instance, so `auto` jobs stay byte-reproducible.
 pub fn select_router(grid: Grid, pi: &Permutation) -> RouterKind {
     let f = features(grid, pi);
-    if f.max_displacement == 0 || f.block_locality_score >= LOCAL_SCORE_THRESHOLD {
+    if f.max_displacement == 0 {
+        RouterKind::locality_aware()
+    } else if (f.moved_tokens as f64) <= SPARSE_SUPPORT_FRACTION * pi.len() as f64 {
+        RouterKind::pathfinder()
+    } else if f.block_locality_score >= LOCAL_SCORE_THRESHOLD {
         RouterKind::locality_aware()
     } else if f.total_displacement <= 2 * pi.len() || 2 * f.max_displacement <= f.diameter {
         RouterKind::Ats
@@ -64,14 +81,22 @@ pub fn select_router(grid: Grid, pi: &Permutation) -> RouterKind {
 }
 
 /// [`select_router`] generalized over a [`Topology`]: full grids go
-/// through the feature-based three-regime policy; every other topology
-/// falls back to approximate token swapping, the only (parallel) router
-/// that accepts arbitrary connected topologies. Deterministic per
-/// instance, like [`select_router`].
+/// through the feature-based policy; every other topology picks between
+/// the two topology-generic parallel routers — pathfinder for sparse
+/// partial permutations (support ≤ [`SPARSE_SUPPORT_FRACTION`]),
+/// approximate token swapping otherwise. Deterministic per instance,
+/// like [`select_router`].
 pub fn select_router_on(topology: &Topology, pi: &Permutation) -> RouterKind {
     match topology.as_grid() {
         Some(grid) => select_router(grid, pi),
-        None => RouterKind::Ats,
+        None => {
+            let moved = pi.support_size();
+            if moved > 0 && (moved as f64) <= SPARSE_SUPPORT_FRACTION * pi.len() as f64 {
+                RouterKind::pathfinder()
+            } else {
+                RouterKind::Ats
+            }
+        }
     }
 }
 
@@ -108,15 +133,29 @@ mod tests {
     }
 
     #[test]
-    fn sparse_instances_pick_ats() {
+    fn sparse_instances_pick_pathfinder() {
         let grid = Grid::new(16, 16);
-        // 8 moved tokens out of 256: ATS pays per token.
+        // 8 moved tokens out of 256: per-token search pays per token,
+        // regardless of how block-local the pairs happen to be.
         for seed in 0..5 {
             let pi = generators::sparse_random(grid.len(), 8, seed);
-            if metrics::block_locality_score(grid, &pi) < LOCAL_SCORE_THRESHOLD {
-                assert_eq!(select_router(grid, &pi).label(), "ats", "seed {seed}");
-            }
+            assert_eq!(
+                select_router(grid, &pi).label(),
+                "pathfinder",
+                "seed {seed}"
+            );
+            let pairs = generators::sparse_pairs(grid, 8, 4, seed);
+            assert_eq!(
+                select_router(grid, &pairs).label(),
+                "pathfinder",
+                "local pairs seed {seed}"
+            );
         }
+        // Right at the density boundary: 64 of 256 still sparse, 65 not.
+        let at = generators::sparse_random(grid.len(), 64, 1);
+        assert_eq!(select_router(grid, &at).label(), "pathfinder");
+        let above = generators::sparse_random(grid.len(), 65, 1);
+        assert_ne!(select_router(grid, &above).label(), "pathfinder");
     }
 
     #[test]
@@ -129,10 +168,16 @@ mod tests {
     }
 
     #[test]
-    fn non_grid_topologies_fall_back_to_ats() {
+    fn non_grid_topologies_split_between_ats_and_pathfinder() {
         let topology = Topology::heavy_hex(4, 4);
         let pi = generators::random(topology.len(), 0);
         assert_eq!(select_router_on(&topology, &pi).label(), "ats");
+        // A sparse instance on the same topology goes to pathfinder, and
+        // the identity stays with ATS (both are free on it).
+        let sparse = generators::sparse_random(topology.len(), 4, 0);
+        assert_eq!(select_router_on(&topology, &sparse).label(), "pathfinder");
+        let id = Permutation::identity(topology.len());
+        assert_eq!(select_router_on(&topology, &id).label(), "ats");
         // A full grid goes through the regular policy.
         let pi = generators::random(64, 0);
         assert_eq!(
@@ -156,16 +201,19 @@ mod tests {
             ] {
                 let f = features(grid, &pi);
                 let got = select_router(grid, &pi).label();
-                let expect =
-                    if f.max_displacement == 0 || f.block_locality_score >= LOCAL_SCORE_THRESHOLD {
-                        "locality-aware"
-                    } else if f.total_displacement <= 2 * pi.len()
-                        || 2 * f.max_displacement <= f.diameter
-                    {
-                        "ats"
-                    } else {
-                        "hybrid"
-                    };
+                let expect = if f.max_displacement == 0 {
+                    "locality-aware"
+                } else if (f.moved_tokens as f64) <= SPARSE_SUPPORT_FRACTION * pi.len() as f64 {
+                    "pathfinder"
+                } else if f.block_locality_score >= LOCAL_SCORE_THRESHOLD {
+                    "locality-aware"
+                } else if f.total_displacement <= 2 * pi.len()
+                    || 2 * f.max_displacement <= f.diameter
+                {
+                    "ats"
+                } else {
+                    "hybrid"
+                };
                 assert_eq!(got, expect);
                 labels.insert(got);
             }

@@ -71,7 +71,7 @@ pub enum PermSpec {
     /// resolution time.
     Explicit(Vec<usize>),
     /// A seeded workload-class instance (benchmark class labels:
-    /// `random`, `block<B>`, `overlap<B>s<S>`, `skinny`).
+    /// `random`, `block<B>`, `overlap<B>s<S>`, `skinny`, `sparse-pairs`).
     Class {
         /// The class label.
         label: String,
@@ -460,13 +460,22 @@ fn project_fixing_dead(topology: &Topology, pi: &Permutation) -> Permutation {
 }
 
 /// Generate a benchmark-class instance from its label (`random`,
-/// `block<B>`, `overlap<B>s<S>`, `skinny`).
+/// `block<B>`, `overlap<B>s<S>`, `skinny`, `sparse-pairs`).
 fn generate_class(grid: Grid, label: &str, seed: u64) -> Result<Permutation, String> {
     if label == "random" {
         return Ok(generators::random(grid.len(), seed));
     }
     if label == "skinny" {
         return Ok(generators::skinny_cycles(grid, seed));
+    }
+    if label == "sparse-pairs" {
+        // Same parameterization as the bench matrix's sparse class.
+        return Ok(generators::sparse_pairs(
+            grid,
+            (grid.len() / 16).max(1),
+            (grid.rows().max(grid.cols()) / 4).max(2),
+            seed,
+        ));
     }
     if let Some(b) = label.strip_prefix("block") {
         let b: usize = b
@@ -494,7 +503,7 @@ fn generate_class(grid: Grid, label: &str, seed: u64) -> Result<Permutation, Str
         return Ok(generators::overlapping_blocks(grid, b, b, s, s, seed));
     }
     Err(format!(
-        "unknown class {label:?}; expected random, block<B>, overlap<B>s<S>, or skinny"
+        "unknown class {label:?}; expected random, block<B>, overlap<B>s<S>, skinny, or sparse-pairs"
     ))
 }
 
@@ -639,6 +648,14 @@ mod tests {
             .unwrap();
         let (_, pi) = job.resolve().unwrap();
         assert_eq!(pi.apply(0), 1);
+
+        // The sparse-pairs bench class resolves to a sparse involution.
+        let job = RouteJob::from_json_line(
+            r#"{"side": 16, "router": "auto", "class": "sparse-pairs", "seed": 0}"#,
+        )
+        .unwrap();
+        let (_, pi) = job.resolve().unwrap();
+        assert_eq!(pi.support_size(), 32);
         // An omitted router defers to the engine's configured default.
         let job = RouteJob::from_json_line(r#"{"side": 2, "perm": [0, 1, 2, 3]}"#).unwrap();
         assert!(job.router.is_none());
