@@ -7,10 +7,11 @@
 //!       [--quick] [--no-time] [--baseline BENCH.json] [--check]
 //! repro batch --input jobs.jsonl [--output results.jsonl]
 //!       [--workers N] [--cache-capacity K] [--time]
+//!       [--trace out.jsonl [--trace-format jsonl|chrome]]
 //! repro batch --input jobs.jsonl --connect HOST:PORT [--output F]
 //! repro serve --addr HOST:PORT [--workers N] [--cache-capacity K]
 //!       [--queue-depth N] [--client-queue N]
-//! repro ctl --connect HOST:PORT (--stats | --shutdown)
+//! repro ctl --connect HOST:PORT (--stats [--pretty] | --metrics | --shutdown)
 //! repro topo --kind <grid|defect|heavy-hex|brick|torus>
 //!       [--rows R] [--cols C] [--defects 6,12] [--dot]
 //! ```
@@ -32,7 +33,8 @@ use qroute_bench::experiments;
 use qroute_bench::plot::{cells_to_chart, Scale};
 use qroute_bench::report;
 use qroute_service::{
-    ChaosConfig, Client, Daemon, Engine, EngineConfig, RetryPolicy, RetryingClient, RouteJob,
+    render_stats_table, ChaosConfig, Client, Daemon, Engine, EngineConfig, RetryPolicy,
+    RetryingClient, RouteJob,
 };
 use qroute_topology::{gridlike, Grid, Topology};
 use std::path::PathBuf;
@@ -68,7 +70,11 @@ struct Args {
     retry_base_ms: Option<u64>,
     connect: Option<String>,
     stats: bool,
+    metrics: bool,
+    pretty: bool,
     shutdown: bool,
+    trace: Option<PathBuf>,
+    trace_format: Option<String>,
     kind: Option<String>,
     rows: Option<usize>,
     cols: Option<usize>,
@@ -88,6 +94,7 @@ USAGE:
           [--baseline BENCH.json] [--check]
     repro batch --input jobs.jsonl [--output results.jsonl]
           [--workers N] [--cache-capacity K] [--time]
+          [--trace out.jsonl [--trace-format jsonl|chrome]]
     repro batch --input jobs.jsonl --connect HOST:PORT [--output F]
           [--retries N] [--retry-base-ms MS]
     repro serve --addr HOST:PORT [--workers N] [--cache-capacity K]
@@ -96,7 +103,7 @@ USAGE:
           [--chaos-panic-every N] [--chaos-latency-ms MS]
           [--chaos-latency-every N] [--chaos-drop-after-bytes B]
           [--chaos-drop-conns N] [--chaos-torn-writes]
-    repro ctl --connect HOST:PORT (--stats | --shutdown)
+    repro ctl --connect HOST:PORT (--stats [--pretty] | --metrics | --shutdown)
     repro topo --kind <grid|defect|heavy-hex|brick|torus>
           [--rows R] [--cols C] [--defects 6,12] [--dot]
 
@@ -143,6 +150,13 @@ Batch flags:
                       local mode only)
     --time            record per-job routing time (non-deterministic;
                       local mode only)
+    --trace F         write a structured trace of router internals
+                      (phase spans, per-round counters, cache and
+                      dispatch events) to F; local mode only. Routing
+                      output bytes are unchanged by tracing.
+    --trace-format X  trace encoding: jsonl (default; one record per
+                      line) or chrome (trace_event array for
+                      chrome://tracing / Perfetto)
     --connect A       route through the daemon at A (host:port)
     --retries N       with --connect: reconnect and resubmit unanswered
                       jobs up to N times per job on retry-safe errors
@@ -186,7 +200,12 @@ ctl sends one control request to a running daemon and prints the
 response line on stdout.
 Ctl flags:
     --connect A       daemon address (required)
-    --stats           request the counter snapshot
+    --stats           request the counter snapshot (one JSON line)
+    --pretty          with --stats: render the snapshot as an aligned
+                      text table instead of raw JSON
+    --metrics         request the Prometheus text exposition of the
+                      daemon's metrics registry (counters, gauges,
+                      latency histogram) and print it verbatim
     --shutdown        request a graceful drain-and-exit
 
 topo materializes one coupling topology and prints a one-line summary
@@ -234,7 +253,11 @@ fn parse_args() -> Args {
     let mut retry_base_ms: Option<u64> = None;
     let mut connect: Option<String> = None;
     let mut stats = false;
+    let mut metrics = false;
+    let mut pretty = false;
     let mut shutdown = false;
+    let mut trace: Option<PathBuf> = None;
+    let mut trace_format: Option<String> = None;
     let mut kind: Option<String> = None;
     let mut rows: Option<usize> = None;
     let mut cols: Option<usize> = None;
@@ -412,7 +435,17 @@ fn parse_args() -> Args {
             }
             "--connect" => connect = Some(flag_value(&mut i, "--connect")),
             "--stats" => stats = true,
+            "--metrics" => metrics = true,
+            "--pretty" => pretty = true,
             "--shutdown" => shutdown = true,
+            "--trace" => trace = Some(PathBuf::from(flag_value(&mut i, "--trace"))),
+            "--trace-format" => {
+                let v = flag_value(&mut i, "--trace-format");
+                if v != "jsonl" && v != "chrome" {
+                    usage_error(format!("--trace-format wants jsonl or chrome, got {v:?}"));
+                }
+                trace_format = Some(v);
+            }
             "--kind" => kind = Some(flag_value(&mut i, "--kind")),
             "--rows" => {
                 let v = flag_value(&mut i, "--rows");
@@ -534,7 +567,12 @@ fn parse_args() -> Args {
         usage_error("--connect only applies to the batch and ctl commands".to_string());
     }
     if command != "ctl" {
-        for (given, flag) in [(stats, "--stats"), (shutdown, "--shutdown")] {
+        for (given, flag) in [
+            (stats, "--stats"),
+            (metrics, "--metrics"),
+            (pretty, "--pretty"),
+            (shutdown, "--shutdown"),
+        ] {
             if given {
                 usage_error(format!("{flag} only applies to the ctl command"));
             }
@@ -543,8 +581,13 @@ fn parse_args() -> Args {
         if connect.is_none() {
             usage_error("ctl requires --connect <host:port>".to_string());
         }
-        if stats == shutdown {
-            usage_error("ctl requires exactly one of --stats or --shutdown".to_string());
+        if [stats, metrics, shutdown].iter().filter(|&&b| b).count() != 1 {
+            usage_error(
+                "ctl requires exactly one of --stats, --metrics, or --shutdown".to_string(),
+            );
+        }
+        if pretty && !stats {
+            usage_error("--pretty only applies to ctl --stats".to_string());
         }
     }
     if matches!(command.as_str(), "batch" | "serve" | "ctl") {
@@ -568,6 +611,19 @@ fn parse_args() -> Args {
                 usage_error(format!("{flag} only applies to the batch command"));
             }
         }
+    }
+    if command != "batch" {
+        for (given, flag) in [
+            (trace.is_some(), "--trace"),
+            (trace_format.is_some(), "--trace-format"),
+        ] {
+            if given {
+                usage_error(format!("{flag} only applies to the batch command"));
+            }
+        }
+    }
+    if trace_format.is_some() && trace.is_none() {
+        usage_error("--trace-format requires --trace".to_string());
     }
     if command == "batch" {
         if input.is_none() {
@@ -596,6 +652,7 @@ fn parse_args() -> Args {
                 (workers.is_some(), "--workers"),
                 (cache_capacity.is_some(), "--cache-capacity"),
                 (time, "--time"),
+                (trace.is_some(), "--trace"),
             ] {
                 if given {
                     usage_error(format!(
@@ -655,7 +712,11 @@ fn parse_args() -> Args {
         retry_base_ms,
         connect,
         stats,
+        metrics,
+        pretty,
         shutdown,
+        trace,
+        trace_format,
         kind,
         rows,
         cols,
@@ -940,6 +1001,48 @@ fn run_bench_cmd(args: &Args) {
 /// writing every outcome), 2 on I/O problems. With `--connect`, the
 /// stream is replayed through a running daemon instead; the outcome
 /// bytes are identical to the in-process (untimed) run.
+/// The installed `--trace` subscriber for a local batch run. Installed
+/// globally (the engine routes jobs on its own worker threads, which a
+/// thread-local subscriber would never arm); [`BatchTracer::finish`]
+/// disarms and closes the output.
+enum BatchTracer {
+    Jsonl(std::sync::Arc<qroute_obs::trace::JsonlSubscriber>),
+    Chrome(std::sync::Arc<qroute_obs::trace::ChromeSubscriber>),
+}
+
+impl BatchTracer {
+    fn install(path: &std::path::Path, format: Option<&str>) -> BatchTracer {
+        let file = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot create {}: {e}", path.display());
+            std::process::exit(2);
+        });
+        let writer: Box<dyn std::io::Write + Send> = Box::new(std::io::BufWriter::new(file));
+        let (tracer, sub): (
+            BatchTracer,
+            std::sync::Arc<dyn qroute_obs::trace::Subscriber>,
+        ) = match format {
+            Some("chrome") => {
+                let sub = std::sync::Arc::new(qroute_obs::trace::ChromeSubscriber::new(writer));
+                (BatchTracer::Chrome(std::sync::Arc::clone(&sub)), sub)
+            }
+            _ => {
+                let sub = std::sync::Arc::new(qroute_obs::trace::JsonlSubscriber::new(writer));
+                (BatchTracer::Jsonl(std::sync::Arc::clone(&sub)), sub)
+            }
+        };
+        qroute_obs::trace::install_global(Some(sub));
+        tracer
+    }
+
+    fn finish(self) {
+        qroute_obs::trace::install_global(None);
+        match self {
+            BatchTracer::Jsonl(sub) => sub.finish(),
+            BatchTracer::Chrome(sub) => sub.finish(),
+        }
+    }
+}
+
 fn run_batch_cmd(args: &Args) {
     let input_path = args.input.as_ref().expect("parse_args enforced --input");
     let text = std::fs::read_to_string(input_path).unwrap_or_else(|e| {
@@ -960,6 +1063,10 @@ fn run_batch_cmd(args: &Args) {
         run_batch_via_daemon(connect, args, &text, &mut *sink);
         return;
     }
+    let tracer = args
+        .trace
+        .as_ref()
+        .map(|path| BatchTracer::install(path, args.trace_format.as_deref()));
     let config = EngineConfig::builder()
         .workers(args.workers.unwrap_or(4))
         .cache_capacity(args.cache_capacity.unwrap_or(1024))
@@ -1002,6 +1109,9 @@ fn run_batch_cmd(args: &Args) {
     }
     sink.flush().expect("flush outcomes");
     drop(sink);
+    if let Some(tracer) = tracer {
+        tracer.finish();
+    }
     let elapsed = t0.elapsed().as_secs_f64();
     let stats = engine.cache_stats();
     eprintln!(
@@ -1158,16 +1268,50 @@ fn run_ctl_cmd(args: &Args) {
     });
     let response = if args.stats {
         client.stats()
+    } else if args.metrics {
+        client.metrics()
     } else {
-        assert!(args.shutdown, "parse_args enforced --stats xor --shutdown");
+        assert!(
+            args.shutdown,
+            "parse_args enforced exactly one ctl request flag"
+        );
         client.shutdown_server()
     };
-    match response {
-        Ok(line) => println!("{line}"),
+    let line = match response {
+        Ok(line) => line,
         Err(e) => {
             eprintln!("error: daemon connection to {addr} failed: {e}");
             std::process::exit(2);
         }
+    };
+    if args.metrics {
+        // The wire carries the Prometheus text as one JSON-escaped
+        // string ({"metrics": "..."}); unwrap it back to raw exposition.
+        let value: serde_json::Value = serde_json::from_str(&line).unwrap_or_else(|e| {
+            eprintln!("error: malformed metrics response {line:?}: {e}");
+            std::process::exit(2);
+        });
+        match value.get("metrics").and_then(serde_json::Value::as_str) {
+            Some(text) => print!("{text}"),
+            None => {
+                eprintln!("error: daemon answered without a metrics payload: {line}");
+                std::process::exit(2);
+            }
+        }
+    } else if args.pretty {
+        let value: serde_json::Value = serde_json::from_str(&line).unwrap_or_else(|e| {
+            eprintln!("error: malformed stats response {line:?}: {e}");
+            std::process::exit(2);
+        });
+        match value.get("stats") {
+            Some(stats) => print!("{}", render_stats_table(stats)),
+            None => {
+                eprintln!("error: daemon answered without a stats payload: {line}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        println!("{line}");
     }
 }
 

@@ -343,11 +343,15 @@ pub fn local_grid_route_single(
     opts: &LocalRouteOptions,
 ) -> RoutingSchedule {
     assert_eq!(grid.len(), pi.len(), "permutation size must match grid");
-    let mut mg = build_column_multigraph(grid, pi);
-    let mut matchings = find_local_matchings(grid, &mut mg, opts.window);
-    rebalance_parallel_edges(&mg, &mut matchings);
-    let sigmas = build_sigmas(grid, &mg, &matchings, opts.assignment);
-    grid_route_with_sigmas(grid, pi, &sigmas, opts.line)
+    let sigmas = qroute_obs::trace::span("locality.matchings", || {
+        let mut mg = build_column_multigraph(grid, pi);
+        let mut matchings = find_local_matchings(grid, &mut mg, opts.window);
+        rebalance_parallel_edges(&mg, &mut matchings);
+        build_sigmas(grid, &mg, &matchings, opts.assignment)
+    });
+    qroute_obs::trace::span("locality.line_routing", || {
+        grid_route_with_sigmas(grid, pi, &sigmas, opts.line)
+    })
 }
 
 /// Algorithm 1, the main procedure: run `LocalGridRoute` on `(G, π)` and —

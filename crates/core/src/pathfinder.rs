@@ -117,6 +117,8 @@ struct AstarScratch {
     closed: Vec<u32>,
     epoch: u32,
     heap: BinaryHeap<(Reverse<u64>, usize)>,
+    /// Lifetime count of heap pops, for per-round trace deltas.
+    pops: u64,
 }
 
 impl AstarScratch {
@@ -128,6 +130,7 @@ impl AstarScratch {
             closed: vec![0; n],
             epoch: 0,
             heap: BinaryHeap::new(),
+            pops: 0,
         }
     }
 
@@ -159,6 +162,7 @@ impl AstarScratch {
         self.heap
             .push((Reverse(avail[src] + oracle.dist(src, dst) as u64), src));
         while let Some((_, v)) = self.heap.pop() {
+            self.pops += 1;
             if self.closed[v] == self.epoch {
                 continue;
             }
@@ -303,6 +307,16 @@ pub fn pathfinder_route_with(
             break;
         }
         if rounds >= cap {
+            qroute_obs::trace::event(
+                "pathfinder.fallback",
+                &[
+                    ("round", qroute_obs::FieldValue::U64(rounds as u64)),
+                    (
+                        "residual",
+                        qroute_obs::FieldValue::U64(pending.len() as u64),
+                    ),
+                ],
+            );
             // Hand the residual to ATS: the token at `v` still has to
             // reach `π(tok[v])`, which is a permutation of positions.
             let residual =
@@ -328,6 +342,8 @@ pub fn pathfinder_route_with(
             blocked[pi.apply(t)] += 1;
         }
         let mut queue: VecDeque<(usize, u32)> = pending.iter().map(|&t| (t, 0)).collect();
+        let round_pops_base = scratch.pops;
+        let mut ripups: u64 = 0;
         while let Some((t, tries)) = queue.pop_front() {
             let (src, dst) = (at[t], pi.apply(t));
             if src == dst {
@@ -353,6 +369,7 @@ pub fn pathfinder_route_with(
                 // is spent. (The first token of a round always commits —
                 // nothing is claimed yet — so every round makes
                 // progress.)
+                ripups += 1;
                 for &v in &path {
                     if claimed[v] {
                         history[v] = history[v].saturating_add(opts.history_increment);
@@ -387,6 +404,26 @@ pub fn pathfinder_route_with(
             } else {
                 blocked[src] += 1;
             }
+        }
+        if qroute_obs::trace::armed() {
+            // The `O(n)` history scan only runs with a subscriber armed.
+            let max_history = history.iter().copied().max().unwrap_or(0);
+            qroute_obs::trace::event(
+                "pathfinder.round",
+                &[
+                    ("round", qroute_obs::FieldValue::U64(rounds as u64)),
+                    (
+                        "pops",
+                        qroute_obs::FieldValue::U64(scratch.pops - round_pops_base),
+                    ),
+                    ("ripups", qroute_obs::FieldValue::U64(ripups)),
+                    (
+                        "max_history",
+                        qroute_obs::FieldValue::U64(u64::from(max_history)),
+                    ),
+                    ("pending", qroute_obs::FieldValue::U64(pending.len() as u64)),
+                ],
+            );
         }
     }
 

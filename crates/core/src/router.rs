@@ -205,6 +205,28 @@ impl GridRouter for RouterKind {
         topology: &Topology,
         pi: &Permutation,
     ) -> Result<RoutingSchedule, UnsupportedTopology> {
+        // The top-level routing span: with no subscriber installed this
+        // is one TLS read before the real body runs (no clock reads, no
+        // allocations), so the disarmed path is byte- and
+        // behavior-identical to the uninstrumented router.
+        qroute_obs::trace::span_with(
+            "route",
+            &[
+                ("router", qroute_obs::FieldValue::Str(self.label())),
+                ("n", qroute_obs::FieldValue::U64(topology.len() as u64)),
+            ],
+            || self.route_on_untraced(topology, pi),
+        )
+    }
+}
+
+impl RouterKind {
+    /// [`GridRouter::route_on`] minus the tracing span.
+    fn route_on_untraced(
+        &self,
+        topology: &Topology,
+        pi: &Permutation,
+    ) -> Result<RoutingSchedule, UnsupportedTopology> {
         if let Some(grid) = topology.as_grid() {
             return Ok(match self {
                 RouterKind::LocalityAware(opts) => main_procedure(grid, pi, opts),

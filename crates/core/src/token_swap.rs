@@ -289,6 +289,16 @@ pub fn parallel_token_swapping_with(
         // One cooperative cancellation probe per parallel round.
         crate::budget::checkpoint();
         if schedule.depth() > budget_layers {
+            qroute_obs::trace::event(
+                "ats.fallback",
+                &[
+                    ("round", qroute_obs::FieldValue::U64(round)),
+                    (
+                        "depth",
+                        qroute_obs::FieldValue::U64(schedule.depth() as u64),
+                    ),
+                ],
+            );
             let rest = Permutation::from_vec_unchecked(dest.clone());
             for (u, v) in tree_route(graph, &rest) {
                 schedule.push_layer(SwapLayer::new(vec![(u, v)]));
@@ -315,6 +325,17 @@ pub fn parallel_token_swapping_with(
             }
         }
         if !layer.is_empty() {
+            qroute_obs::trace::event(
+                "ats.round",
+                &[
+                    ("round", qroute_obs::FieldValue::U64(round)),
+                    ("kind", qroute_obs::FieldValue::Str("happy")),
+                    (
+                        "swaps",
+                        qroute_obs::FieldValue::U64(layer.swaps.len() as u64),
+                    ),
+                ],
+            );
             for &(u, v) in &layer.swaps {
                 dest.swap(u, v);
             }
@@ -376,6 +397,15 @@ pub fn parallel_token_swapping_with(
         // cycle or a home token, so every stuck phase makes progress.
         debug_assert!(!chains.is_empty());
         let maxlen = chains.iter().map(Vec::len).max().unwrap_or(0);
+        qroute_obs::trace::event(
+            "ats.round",
+            &[
+                ("round", qroute_obs::FieldValue::U64(round)),
+                ("kind", qroute_obs::FieldValue::Str("stuck")),
+                ("chains", qroute_obs::FieldValue::U64(chains.len() as u64)),
+                ("max_chain", qroute_obs::FieldValue::U64(maxlen as u64)),
+            ],
+        );
         for j in 0..maxlen {
             let mut layer = SwapLayer::default();
             for ch in &chains {

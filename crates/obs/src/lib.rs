@@ -1,0 +1,36 @@
+//! # qroute-obs
+//!
+//! The observability substrate of the routing stack: a lock-free
+//! **metrics registry** with a Prometheus text-exposition encoder, and
+//! **zero-cost tracing hooks** with thread-local / process-global
+//! subscribers.
+//!
+//! * [`metrics`] — [`Registry`] of named [`Counter`]s, [`Gauge`]s, and
+//!   [`Log2Histogram`]s (the daemon's 64-bucket geometric-midpoint
+//!   latency histogram, generalized and reusable), with
+//!   [`RegistrySnapshot`] merge and
+//!   [`RegistrySnapshot::to_prometheus`].
+//! * [`trace`] — [`trace::span`]/[`trace::event`] hooks modeled on
+//!   `qroute_core::budget`'s thread-local pattern: the disarmed path is
+//!   one TLS read plus one relaxed atomic load, zero allocations, no
+//!   clock reads. Subscribers emit JSONL trace records
+//!   ([`trace::JsonlSubscriber`]) or the Chrome `trace_event` array
+//!   format ([`trace::ChromeSubscriber`]).
+//!
+//! This crate sits *below* `qroute_core`: routers call the trace hooks
+//! directly, and the service layer hangs its `StatsSnapshot` counters on
+//! a [`Registry`]. With no subscriber installed and no metrics
+//! requested, instrumented code paths produce byte-identical output to
+//! uninstrumented ones — the hooks measure, they never steer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    Counter, Gauge, HistogramSnapshot, Log2Histogram, MetricKind, Registry, RegistrySnapshot,
+    HISTOGRAM_BUCKETS,
+};
+pub use trace::{FieldValue, Subscriber, TraceRecord};

@@ -1,0 +1,694 @@
+//! The metrics registry: named counters, gauges, and log2 histograms
+//! with snapshot/merge and a Prometheus text-exposition encoder.
+//!
+//! Registration (naming a metric, attaching a label set) takes a mutex
+//! once; the returned [`Counter`]/[`Gauge`]/[`Log2Histogram`] handles are
+//! `Arc`-shared atomics, so the *update* path is lock-free and safe to
+//! hit from any thread — the same discipline the daemon's original
+//! hand-rolled `AtomicU64` counters followed, now behind names the
+//! Prometheus encoder can export.
+//!
+//! [`Log2Histogram`] generalizes the daemon's private 64-bucket
+//! `latency_us` array: bucket `i ≥ 1` holds samples in `[2^(i−1), 2^i)`
+//! (bucket 0 is the sub-unit bucket), and quantiles are reported at the
+//! *geometric midpoint* of the bucket holding the ceil-rank sample —
+//! exactly the semantics the daemon's p50/p99 fix pinned (midpoint
+//! instead of upper bound halves the worst-case overstatement; the rank
+//! `⌊q·total⌋ + 1` clamped to `total` selects the upper median on exact
+//! boundaries).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Bucket count of a [`Log2Histogram`] — enough for the full `u64`
+/// range of sample values.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotone counter handle. Cloning shares the underlying atomic.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add 1.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Overwrite the value. Exists for *mirroring* an external monotone
+    /// source (e.g. cache counters owned by `ShardedLru`) into the
+    /// registry at snapshot time; do not mix with [`Counter::inc`] on
+    /// the same handle.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+}
+
+/// A gauge handle (a value that goes up and down). Cloning shares the
+/// underlying atomic.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Add 1.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtract 1 (saturating in practice: callers pair inc/dec).
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A lock-free base-2 logarithmic histogram over `u64` samples.
+///
+/// Bucket 0 holds samples of value 0 (sub-unit); bucket `i ≥ 1` holds
+/// `[2^(i−1), 2^i)`. Recording is one atomic add; snapshots are relaxed
+/// loads. The unit is whatever the caller records (the daemon records
+/// microseconds); [`Log2Histogram::quantile`] answers in that same unit.
+#[derive(Debug)]
+pub struct Log2Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    /// Exact sum of recorded samples (for the Prometheus `_sum` series).
+    sum: AtomicU64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Log2Histogram {
+        Log2Histogram::new()
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Log2Histogram {
+        Log2Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index a sample value falls into.
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Point-in-time copy of the bucket counts and sum.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Quantile `q ∈ [0, 1]` at the geometric midpoint of the bucket
+    /// holding the `⌊q·total⌋ + 1`-ranked sample (clamped to `total`),
+    /// in the recorded unit; `0.0` with no samples. See the module docs
+    /// for why midpoint + ceil-rank.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.snapshot().quantile(q)
+    }
+}
+
+/// An owned copy of a [`Log2Histogram`]'s state, supporting quantiles
+/// and merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`Log2Histogram`] for boundaries).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Exact sum of recorded samples.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot { buckets: [0; HISTOGRAM_BUCKETS], sum: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Samples in the snapshot.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Geometric midpoint of bucket `b` in the recorded unit: `2^b/√2`
+    /// for `b ≥ 1`, `0.5` for the sub-unit bucket 0.
+    pub fn bucket_midpoint(bucket: usize) -> f64 {
+        if bucket == 0 {
+            0.5
+        } else {
+            (1u128 << bucket) as f64 / std::f64::consts::SQRT_2
+        }
+    }
+
+    /// Quantile with the same contract as [`Log2Histogram::quantile`].
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (((q * total as f64).floor() as u64) + 1).min(total);
+        let mut seen = 0;
+        for (bucket, &count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Self::bucket_midpoint(bucket);
+            }
+        }
+        unreachable!("rank ≤ total")
+    }
+
+    /// Fold another snapshot in (bucket-wise counter sums). Merging the
+    /// snapshots of two histograms is equivalent to recording both
+    /// sample streams into one histogram.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+    }
+}
+
+/// What a registry metric is, for the Prometheus `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone counter.
+    Counter,
+    /// Up/down gauge.
+    Gauge,
+    /// [`Log2Histogram`].
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// A label set, sorted by label name (registration sorts it).
+type Labels = Vec<(String, String)>;
+
+enum Series {
+    Scalar(Arc<AtomicU64>),
+    Histogram(Arc<Log2Histogram>),
+}
+
+struct MetricFamily {
+    help: String,
+    kind: MetricKind,
+    series: BTreeMap<Labels, Series>,
+}
+
+/// A named collection of metrics. Registration locks a mutex; every
+/// returned handle updates lock-free. Metric and label ordering is
+/// stable (BTree order), so the Prometheus exposition of a given state
+/// is byte-deterministic.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, MetricFamily>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn with_family<T>(
+        &self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Series,
+        read: impl FnOnce(&Series) -> T,
+    ) -> T {
+        let mut sorted: Labels = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        sorted.sort();
+        let mut families = self.families.lock().unwrap_or_else(PoisonError::into_inner);
+        let family = families
+            .entry(name.to_string())
+            .or_insert_with(|| MetricFamily {
+                help: help.to_string(),
+                kind,
+                series: BTreeMap::new(),
+            });
+        assert_eq!(
+            family.kind, kind,
+            "metric {name:?} registered twice with different kinds"
+        );
+        read(family.series.entry(sorted).or_insert_with(make))
+    }
+
+    /// Register (or look up) an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.labeled_counter(name, help, &[])
+    }
+
+    /// Register (or look up) a counter with a label set. The same
+    /// `(name, labels)` pair always returns a handle to the same atomic.
+    pub fn labeled_counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        self.with_family(
+            name,
+            help,
+            MetricKind::Counter,
+            labels,
+            || Series::Scalar(Arc::new(AtomicU64::new(0))),
+            |s| match s {
+                Series::Scalar(a) => Counter(Arc::clone(a)),
+                Series::Histogram(_) => unreachable!("kind checked"),
+            },
+        )
+    }
+
+    /// Register (or look up) an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.with_family(
+            name,
+            help,
+            MetricKind::Gauge,
+            &[],
+            || Series::Scalar(Arc::new(AtomicU64::new(0))),
+            |s| match s {
+                Series::Scalar(a) => Gauge(Arc::clone(a)),
+                Series::Histogram(_) => unreachable!("kind checked"),
+            },
+        )
+    }
+
+    /// Register (or look up) an unlabeled [`Log2Histogram`].
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Log2Histogram> {
+        self.with_family(
+            name,
+            help,
+            MetricKind::Histogram,
+            &[],
+            || Series::Histogram(Arc::new(Log2Histogram::new())),
+            |s| match s {
+                Series::Scalar(_) => unreachable!("kind checked"),
+                Series::Histogram(h) => Arc::clone(h),
+            },
+        )
+    }
+
+    /// Every `(labels, value)` series of a counter/gauge family, in
+    /// stable label order; empty for unknown names.
+    pub fn series_values(&self, name: &str) -> Vec<(Labels, u64)> {
+        let families = self.families.lock().unwrap_or_else(PoisonError::into_inner);
+        match families.get(name) {
+            None => Vec::new(),
+            Some(family) => family
+                .series
+                .iter()
+                .filter_map(|(labels, series)| match series {
+                    Series::Scalar(a) => Some((labels.clone(), a.load(Ordering::Relaxed))),
+                    Series::Histogram(_) => None,
+                })
+                .collect(),
+        }
+    }
+
+    /// A point-in-time copy of every metric, for merge and encoding.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let families = self.families.lock().unwrap_or_else(PoisonError::into_inner);
+        RegistrySnapshot {
+            families: families
+                .iter()
+                .map(|(name, family)| {
+                    let series = family
+                        .series
+                        .iter()
+                        .map(|(labels, series)| {
+                            let value = match series {
+                                Series::Scalar(a) => {
+                                    SeriesSnapshot::Value(a.load(Ordering::Relaxed))
+                                }
+                                Series::Histogram(h) => {
+                                    SeriesSnapshot::Histogram(Box::new(h.snapshot()))
+                                }
+                            };
+                            (labels.clone(), value)
+                        })
+                        .collect();
+                    (
+                        name.clone(),
+                        FamilySnapshot { help: family.help.clone(), kind: family.kind, series },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Prometheus text exposition of the current state (see
+    /// [`RegistrySnapshot::to_prometheus`]).
+    pub fn to_prometheus(&self) -> String {
+        self.snapshot().to_prometheus()
+    }
+}
+
+/// One series' value in a [`RegistrySnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeriesSnapshot {
+    /// A counter or gauge reading.
+    Value(u64),
+    /// A histogram's buckets and sum (boxed: 64 buckets dwarf the
+    /// scalar variant).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// One metric family in a [`RegistrySnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilySnapshot {
+    /// The `# HELP` text.
+    pub help: String,
+    /// The `# TYPE`.
+    pub kind: MetricKind,
+    /// Series by sorted label set.
+    pub series: BTreeMap<Labels, SeriesSnapshot>,
+}
+
+/// An owned, mergeable copy of a [`Registry`]'s state.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Families by metric name (stable order).
+    pub families: BTreeMap<String, FamilySnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Fold another snapshot in: counters and histograms add; gauges add
+    /// too (merging makes sense for gauges that partition a total, like
+    /// per-process queue depths). Families/series missing on one side
+    /// are copied through.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (name, theirs) in &other.families {
+            match self.families.get_mut(name) {
+                None => {
+                    self.families.insert(name.clone(), theirs.clone());
+                }
+                Some(mine) => {
+                    assert_eq!(
+                        mine.kind, theirs.kind,
+                        "metric {name:?} has mismatched kinds across snapshots"
+                    );
+                    for (labels, value) in &theirs.series {
+                        match (mine.series.get_mut(labels), value) {
+                            (None, v) => {
+                                mine.series.insert(labels.clone(), v.clone());
+                            }
+                            (Some(SeriesSnapshot::Value(a)), SeriesSnapshot::Value(b)) => *a += b,
+                            (Some(SeriesSnapshot::Histogram(a)), SeriesSnapshot::Histogram(b)) => {
+                                a.merge(b)
+                            }
+                            _ => panic!("metric {name:?} has mismatched series shapes"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Encode the snapshot in the Prometheus text exposition format:
+    /// `# HELP`/`# TYPE` headers, one sample line per series, stable
+    /// metric and label ordering, label values escaped per the spec
+    /// (backslash, double quote, newline). Histograms emit cumulative
+    /// `_bucket{le="..."}` series at the power-of-two bucket boundaries
+    /// (suppressing empty leading/trailing runs), an exact `_sum`, and
+    /// `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, family) in &self.families {
+            out.push_str("# HELP ");
+            out.push_str(name);
+            out.push(' ');
+            escape_help(&family.help, &mut out);
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(family.kind.as_str());
+            out.push('\n');
+            for (labels, value) in &family.series {
+                match value {
+                    SeriesSnapshot::Value(v) => {
+                        out.push_str(name);
+                        write_labels(labels, &[], &mut out);
+                        out.push(' ');
+                        out.push_str(&v.to_string());
+                        out.push('\n');
+                    }
+                    SeriesSnapshot::Histogram(h) => {
+                        // Cumulative buckets. The upper bound of bucket i
+                        // is 2^i; runs of empty buckets past the last
+                        // occupied one collapse into the +Inf line.
+                        let last = h
+                            .buckets
+                            .iter()
+                            .rposition(|&c| c != 0)
+                            .map_or(0, |i| i + 1)
+                            .min(HISTOGRAM_BUCKETS - 1);
+                        let mut cumulative = 0u64;
+                        for (i, &count) in h.buckets.iter().enumerate().take(last + 1) {
+                            cumulative += count;
+                            out.push_str(name);
+                            out.push_str("_bucket");
+                            let le = (1u128 << i).to_string();
+                            write_labels(labels, &[("le", &le)], &mut out);
+                            out.push(' ');
+                            out.push_str(&cumulative.to_string());
+                            out.push('\n');
+                        }
+                        let total = h.total();
+                        out.push_str(name);
+                        out.push_str("_bucket");
+                        write_labels(labels, &[("le", "+Inf")], &mut out);
+                        out.push(' ');
+                        out.push_str(&total.to_string());
+                        out.push('\n');
+                        out.push_str(name);
+                        out.push_str("_sum");
+                        write_labels(labels, &[], &mut out);
+                        out.push(' ');
+                        out.push_str(&h.sum.to_string());
+                        out.push('\n');
+                        out.push_str(name);
+                        out.push_str("_count");
+                        write_labels(labels, &[], &mut out);
+                        out.push(' ');
+                        out.push_str(&total.to_string());
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Write a `{k="v",...}` label block (nothing when empty). `extra` pairs
+/// (the histogram `le`) append after the series labels.
+fn write_labels(labels: &[(String, String)], extra: &[(&str, &str)], out: &mut String) {
+    if labels.is_empty() && extra.is_empty() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .chain(extra.iter().copied())
+    {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// Escape a `# HELP` text (backslash and newline, per the spec).
+fn escape_help(help: &str, out: &mut String) {
+    for c in help.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_match_the_daemon_formula() {
+        // Bucket i ≥ 1 holds [2^(i−1), 2^i); bucket 0 holds zero.
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(1023), 10);
+        assert_eq!(Log2Histogram::bucket_of(1024), 11);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn quantile_reports_the_geometric_midpoint() {
+        let h = Log2Histogram::new();
+        h.record(5); // bucket 3: [4, 8)
+        for q in [0.01, 0.5, 0.99] {
+            let got = h.quantile(q);
+            let mid = 8.0 / std::f64::consts::SQRT_2;
+            assert!((got - mid).abs() < 1e-12, "q={q}: {got}");
+        }
+        let z = Log2Histogram::new();
+        z.record(0);
+        assert!((z.quantile(0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_rank_selects_the_upper_median() {
+        let h = Log2Histogram::new();
+        for v in [2, 2, 16, 16] {
+            h.record(v);
+        }
+        // ⌊0.5·4⌋+1 = 3 lands in the upper bucket.
+        assert!((h.quantile(0.5) - HistogramSnapshot::bucket_midpoint(5)).abs() < 1e-12);
+        assert!((h.quantile(0.25) - HistogramSnapshot::bucket_midpoint(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_concatenated_records() {
+        let a = Log2Histogram::new();
+        let b = Log2Histogram::new();
+        let both = Log2Histogram::new();
+        for v in [0u64, 1, 7, 300] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [2u64, 7, 100_000] {
+            b.record(v);
+            both.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, both.snapshot());
+    }
+
+    #[test]
+    fn registry_handles_share_state_and_order_is_stable() {
+        let registry = Registry::new();
+        let c1 = registry.counter("zzz_total", "last");
+        let c2 = registry.counter("zzz_total", "last");
+        c1.add(3);
+        c2.inc();
+        assert_eq!(c1.get(), 4);
+        registry.gauge("aaa_depth", "first").set(7);
+        let text = registry.to_prometheus();
+        let aaa = text.find("aaa_depth").unwrap();
+        let zzz = text.find("zzz_total").unwrap();
+        assert!(aaa < zzz, "BTree order: {text}");
+    }
+
+    #[test]
+    fn labeled_series_sort_by_label_set() {
+        let registry = Registry::new();
+        registry
+            .labeled_counter("jobs_total", "per router", &[("router", "b")])
+            .add(2);
+        registry
+            .labeled_counter("jobs_total", "per router", &[("router", "a")])
+            .add(1);
+        let series = registry.series_values("jobs_total");
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].0[0].1, "a");
+        assert_eq!(series[0].1, 1);
+        assert_eq!(series[1].0[0].1, "b");
+        assert_eq!(series[1].1, 2);
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counters_and_histograms() {
+        let r1 = Registry::new();
+        let r2 = Registry::new();
+        r1.counter("jobs_total", "j").add(2);
+        r2.counter("jobs_total", "j").add(5);
+        r1.histogram("lat_us", "l").record(3);
+        r2.histogram("lat_us", "l").record(300);
+        r2.counter("only_total", "o").add(1);
+        let mut merged = r1.snapshot();
+        merged.merge(&r2.snapshot());
+        let jobs = &merged.families["jobs_total"].series[&vec![]];
+        assert_eq!(*jobs, SeriesSnapshot::Value(7));
+        let SeriesSnapshot::Histogram(h) = &merged.families["lat_us"].series[&vec![]] else {
+            panic!("histogram series expected");
+        };
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.sum, 303);
+        assert!(merged.families.contains_key("only_total"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Integration tests for the metrics registry: a pinned Prometheus
+//! exposition golden, and deterministic property tests for
+//! [`Log2Histogram`] (quantile monotonicity, merge/record equivalence,
+//! bucket boundaries).
+
+use proptest::collection;
+use proptest::prelude::*;
+use qroute_obs::{HistogramSnapshot, Log2Histogram, Registry, HISTOGRAM_BUCKETS};
+
+/// Golden: the exact exposition of a small registry is pinned — family
+/// order (BTree over metric names), HELP/TYPE headers, label escaping,
+/// cumulative histogram buckets with trailing-empty suppression, exact
+/// `_sum`, and `_count`.
+#[test]
+fn prometheus_exposition_is_pinned() {
+    let registry = Registry::new();
+    registry.counter("demo_jobs_total", "Jobs routed").add(5);
+    registry
+        .labeled_counter(
+            "demo_router_jobs_total",
+            "Per-router jobs",
+            &[("router", "ats")],
+        )
+        .add(2);
+    registry
+        .labeled_counter(
+            "demo_router_jobs_total",
+            "Per-router jobs",
+            &[("router", "sna\"ke\\path")],
+        )
+        .inc();
+    registry.gauge("demo_queue_depth", "Jobs in flight").set(3);
+    let latency = registry.histogram("demo_latency_us", "Latency\nmicroseconds");
+    for value in [0, 1, 3, 100] {
+        latency.record(value);
+    }
+    let expected = concat!(
+        "# HELP demo_jobs_total Jobs routed\n",
+        "# TYPE demo_jobs_total counter\n",
+        "demo_jobs_total 5\n",
+        "# HELP demo_latency_us Latency\\nmicroseconds\n",
+        "# TYPE demo_latency_us histogram\n",
+        "demo_latency_us_bucket{le=\"1\"} 1\n",
+        "demo_latency_us_bucket{le=\"2\"} 2\n",
+        "demo_latency_us_bucket{le=\"4\"} 3\n",
+        "demo_latency_us_bucket{le=\"8\"} 3\n",
+        "demo_latency_us_bucket{le=\"16\"} 3\n",
+        "demo_latency_us_bucket{le=\"32\"} 3\n",
+        "demo_latency_us_bucket{le=\"64\"} 3\n",
+        "demo_latency_us_bucket{le=\"128\"} 4\n",
+        "demo_latency_us_bucket{le=\"256\"} 4\n",
+        "demo_latency_us_bucket{le=\"+Inf\"} 4\n",
+        "demo_latency_us_sum 104\n",
+        "demo_latency_us_count 4\n",
+        "# HELP demo_queue_depth Jobs in flight\n",
+        "# TYPE demo_queue_depth gauge\n",
+        "demo_queue_depth 3\n",
+        "# HELP demo_router_jobs_total Per-router jobs\n",
+        "# TYPE demo_router_jobs_total counter\n",
+        "demo_router_jobs_total{router=\"ats\"} 2\n",
+        "demo_router_jobs_total{router=\"sna\\\"ke\\\\path\"} 1\n",
+    );
+    assert_eq!(registry.to_prometheus(), expected);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `quantile(q)` never decreases as `q` grows, over a sampled grid.
+    #[test]
+    fn quantiles_are_monotone_in_q(values in collection::vec(0u64..1_000_000, 1..200)) {
+        let histogram = Log2Histogram::new();
+        for &value in &values {
+            histogram.record(value);
+        }
+        let snapshot = histogram.snapshot();
+        let mut prev = f64::NEG_INFINITY;
+        for step in 0..=20 {
+            let q = f64::from(step) / 20.0;
+            let current = snapshot.quantile(q);
+            prop_assert!(
+                current >= prev,
+                "quantile({q}) = {current} below quantile at previous grid point {prev}"
+            );
+            prev = current;
+        }
+    }
+
+    /// Merging two snapshots equals recording both sample streams into
+    /// one histogram — bucket-exact and sum-exact.
+    #[test]
+    fn merge_equals_recording_both_streams(
+        first in collection::vec(0u64..1_000_000, 0..100),
+        second in collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let ha = Log2Histogram::new();
+        for &value in &first {
+            ha.record(value);
+        }
+        let hb = Log2Histogram::new();
+        for &value in &second {
+            hb.record(value);
+        }
+        let mut merged = ha.snapshot();
+        merged.merge(&hb.snapshot());
+        let combined = Log2Histogram::new();
+        for &value in first.iter().chain(second.iter()) {
+            combined.record(value);
+        }
+        prop_assert_eq!(merged, combined.snapshot());
+    }
+
+    /// Bucket `s ≥ 1` covers exactly `[2^(s−1), 2^s)`: both endpoints of
+    /// the closed-open range land in `s`, and the value just below the
+    /// lower boundary lands in `s − 1`.
+    #[test]
+    fn bucket_boundaries_are_powers_of_two(shift in 1usize..63) {
+        let lo = 1u64 << (shift - 1);
+        let hi = (1u64 << shift) - 1;
+        prop_assert_eq!(Log2Histogram::bucket_of(lo), shift);
+        prop_assert_eq!(Log2Histogram::bucket_of(hi), shift);
+        let below = Log2Histogram::bucket_of(lo - 1);
+        prop_assert_eq!(below, if shift == 1 { 0 } else { shift - 1 });
+    }
+}
+
+/// The top bucket absorbs everything at and above `2^62`, including
+/// `u64::MAX`; value 0 gets the dedicated sub-unit bucket.
+#[test]
+fn bucket_extremes_clamp() {
+    assert_eq!(Log2Histogram::bucket_of(0), 0);
+    assert_eq!(Log2Histogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    assert_eq!(Log2Histogram::bucket_of(1u64 << 63), HISTOGRAM_BUCKETS - 1);
+}
+
+/// An empty snapshot answers finite zero for every quantile.
+#[test]
+fn empty_histogram_quantiles_are_zero() {
+    let snapshot = HistogramSnapshot::default();
+    for q in [0.0, 0.5, 0.99, 1.0] {
+        assert_eq!(snapshot.quantile(q), 0.0);
+    }
+}

@@ -495,19 +495,48 @@ impl<V: Clone> ShardedLru<V> {
         (h % self.shards.len() as u64) as usize
     }
 
+    /// Lock shard `idx`. With a trace subscriber armed, the wait for the
+    /// shard mutex is measured and emitted as a `cache.shard_lock` event;
+    /// disarmed, this is exactly the bare `lock()` — no clock reads.
+    fn lock_shard(&self, idx: usize) -> std::sync::MutexGuard<'_, Vec<(CanonicalKey, V)>> {
+        if !qroute_obs::trace::armed() {
+            return self.shards[idx].lock().expect("cache shard poisoned");
+        }
+        let start = std::time::Instant::now();
+        let guard = self.shards[idx].lock().expect("cache shard poisoned");
+        qroute_obs::trace::event(
+            "cache.shard_lock",
+            &[
+                ("shard", qroute_obs::FieldValue::U64(idx as u64)),
+                (
+                    "wait_us",
+                    qroute_obs::FieldValue::U64(start.elapsed().as_micros() as u64),
+                ),
+            ],
+        );
+        guard
+    }
+
     /// Look up `key`, touching its recency on a hit.
     pub fn get(&self, key: &CanonicalKey) -> Option<V> {
-        let mut shard = self.shards[self.shard_index(key)]
-            .lock()
-            .expect("cache shard poisoned");
+        let idx = self.shard_index(key);
+        let mut shard = self.lock_shard(idx);
         if let Some(pos) = shard.iter().position(|(k, _)| k == key) {
             let entry = shard.remove(pos);
             let value = entry.1.clone();
             shard.push(entry);
             self.hits.fetch_add(1, Ordering::Relaxed);
+            qroute_obs::trace::event(
+                "cache.hit",
+                &[("shard", qroute_obs::FieldValue::U64(idx as u64))],
+            );
             Some(value)
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            qroute_obs::trace::event(
+                "cache.miss",
+                &[("shard", qroute_obs::FieldValue::U64(idx as u64))],
+            );
             None
         }
     }
@@ -518,9 +547,8 @@ impl<V: Clone> ShardedLru<V> {
         if self.per_shard_capacity == 0 {
             return;
         }
-        let mut shard = self.shards[self.shard_index(&key)]
-            .lock()
-            .expect("cache shard poisoned");
+        let idx = self.shard_index(&key);
+        let mut shard = self.lock_shard(idx);
         if let Some(pos) = shard.iter().position(|(k, _)| *k == key) {
             shard.remove(pos);
         }
@@ -528,6 +556,10 @@ impl<V: Clone> ShardedLru<V> {
         if shard.len() > self.per_shard_capacity {
             shard.remove(0);
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            qroute_obs::trace::event(
+                "cache.eviction",
+                &[("shard", qroute_obs::FieldValue::U64(idx as u64))],
+            );
         }
     }
 
@@ -546,22 +578,33 @@ impl<V: Clone> ShardedLru<V> {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return (make(), true);
         }
-        let mut shard = self.shards[self.shard_index(&key)]
-            .lock()
-            .expect("cache shard poisoned");
+        let idx = self.shard_index(&key);
+        let mut shard = self.lock_shard(idx);
         if let Some(pos) = shard.iter().position(|(k, _)| *k == key) {
             let entry = shard.remove(pos);
             let value = entry.1.clone();
             shard.push(entry);
             self.hits.fetch_add(1, Ordering::Relaxed);
+            qroute_obs::trace::event(
+                "cache.hit",
+                &[("shard", qroute_obs::FieldValue::U64(idx as u64))],
+            );
             return (value, false);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        qroute_obs::trace::event(
+            "cache.miss",
+            &[("shard", qroute_obs::FieldValue::U64(idx as u64))],
+        );
         let value = make();
         shard.push((key, value.clone()));
         if shard.len() > self.per_shard_capacity {
             shard.remove(0);
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            qroute_obs::trace::event(
+                "cache.eviction",
+                &[("shard", qroute_obs::FieldValue::U64(idx as u64))],
+            );
         }
         (value, true)
     }
@@ -572,9 +615,7 @@ impl<V: Clone> ShardedLru<V> {
     /// *error* eviction (a slot whose compute timed out or panicked must
     /// not serve later duplicates), which is inherently fault-driven.
     pub fn remove(&self, key: &CanonicalKey) -> Option<V> {
-        let mut shard = self.shards[self.shard_index(key)]
-            .lock()
-            .expect("cache shard poisoned");
+        let mut shard = self.lock_shard(self.shard_index(key));
         let pos = shard.iter().position(|(k, _)| k == key)?;
         Some(shard.remove(pos).1)
     }
@@ -594,6 +635,17 @@ mod tests {
     use super::*;
     use qroute_core::{GridRouter, RouterKind};
     use qroute_perm::generators;
+
+    /// Empty-state audit: the hit-rate ratio of a cache that has never
+    /// been looked up is a finite literal zero, never NaN from 0/0.
+    #[test]
+    fn empty_cache_stats_hit_rate_is_finite_zero() {
+        let stats = CacheStats::default();
+        assert_eq!(stats.hit_rate(), 0.0);
+        assert!(stats.hit_rate().is_finite());
+        let fresh: ShardedLru<u64> = ShardedLru::new(8, 2);
+        assert_eq!(fresh.stats().hit_rate(), 0.0);
+    }
 
     fn key(tag: usize) -> CanonicalKey {
         // Distinct degenerate keys for LRU plumbing tests.

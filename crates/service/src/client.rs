@@ -108,6 +108,14 @@ impl Client {
         self.expect_line()
     }
 
+    /// Request the daemon's Prometheus text exposition; returns the raw
+    /// `{"metrics": "..."}` response line (the exposition rides as one
+    /// JSON-escaped string). Call with no outcomes pending.
+    pub fn metrics(&mut self) -> Result<String, ServiceError> {
+        self.send_line("{\"req\": \"metrics\"}")?;
+        self.expect_line()
+    }
+
     /// Ask the daemon to drain and exit; returns its acknowledgement
     /// line (`{"ok":"shutdown"}`).
     pub fn shutdown_server(&mut self) -> Result<String, ServiceError> {

@@ -41,7 +41,9 @@
 //! **Control requests.** A line that is a JSON object with a `"req"`
 //! field is a control request, answered in stream order like any job:
 //! `{"req": "stats"}` returns `{"stats": {...}}` (a serialized
-//! [`StatsSnapshot`]); `{"req": "shutdown"}` acknowledges with
+//! [`StatsSnapshot`]); `{"req": "metrics"}` returns
+//! `{"metrics": "..."}` — the registry's Prometheus text exposition as
+//! one JSON-escaped string; `{"req": "shutdown"}` acknowledges with
 //! `{"ok": "shutdown"}` and begins a graceful drain: the listener stops
 //! accepting, open connections finish every accepted job, then the
 //! daemon exits; `{"req": "retried", "n": K}` lets a reconnecting client
@@ -64,19 +66,16 @@ use crate::engine::{plan_route, EngineConfig, RouteSlot, WorkItem, WorkerPool};
 use crate::errors::ServiceError;
 use crate::job::{CacheStatus, RouteJob, RouteOutcome};
 use qroute_core::budget::RouteBudget;
+use qroute_obs::{Counter, Gauge, Log2Histogram, Registry};
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-
-/// Latency histogram bucket count: bucket `i` holds services that took
-/// `[2^(i−1), 2^i)` microseconds (bucket 0 is sub-microsecond).
-const LATENCY_BUCKETS: usize = 64;
 
 /// Jobs routed per router kind, one row of [`StatsSnapshot::routers`].
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -131,78 +130,102 @@ pub struct StatsSnapshot {
     pub retries_observed: u64,
 }
 
-/// Cumulative daemon counters (all monotone except the
-/// `in_flight` gauge).
+/// Cumulative daemon counters (all monotone except the `in_flight`
+/// gauge), held as handles into a [`Registry`] so the same atomics feed
+/// both [`StatsSnapshot`] (the versioned JSON wire format, unchanged)
+/// and the Prometheus exposition served by `{"req": "metrics"}`.
 struct DaemonStats {
-    jobs_routed: AtomicU64,
-    jobs_errored: AtomicU64,
-    connections: AtomicU64,
-    in_flight: AtomicU64,
-    timeouts: AtomicU64,
-    retries: AtomicU64,
-    dispatch: Mutex<BTreeMap<String, u64>>,
-    latency_us: [AtomicU64; LATENCY_BUCKETS],
+    registry: Registry,
+    jobs_routed: Counter,
+    jobs_errored: Counter,
+    connections: Counter,
+    in_flight: Gauge,
+    timeouts: Counter,
+    retries: Counter,
+    /// Per-router handle cache; each entry is also registered as
+    /// `qroute_router_jobs_total{router="..."}`, so the snapshot and the
+    /// exposition read the same atomic.
+    dispatch: Mutex<BTreeMap<String, Counter>>,
+    latency_us: Arc<Log2Histogram>,
+    /// Mirrors of counters owned elsewhere ([`ShardedLru`], the worker
+    /// pool supervisor), overwritten at scrape/snapshot time.
+    cache_hits: Counter,
+    cache_misses: Counter,
+    cache_evictions: Counter,
+    worker_restarts: Gauge,
 }
 
 impl DaemonStats {
     fn new() -> DaemonStats {
+        let registry = Registry::new();
         DaemonStats {
-            jobs_routed: AtomicU64::new(0),
-            jobs_errored: AtomicU64::new(0),
-            connections: AtomicU64::new(0),
-            in_flight: AtomicU64::new(0),
-            timeouts: AtomicU64::new(0),
-            retries: AtomicU64::new(0),
+            jobs_routed: registry.counter("qroute_jobs_total", "Successfully routed job outcomes"),
+            jobs_errored: registry.counter(
+                "qroute_job_errors_total",
+                "Error outcomes (parse, validation, backpressure, shutdown, timeout, panic)",
+            ),
+            connections: registry.counter(
+                "qroute_connections_total",
+                "Connections accepted since start",
+            ),
+            in_flight: registry.gauge(
+                "qroute_queue_depth",
+                "Jobs in flight across all connections (admitted, outcome not yet written)",
+            ),
+            timeouts: registry.counter(
+                "qroute_timeouts_total",
+                "Jobs whose deadline passed before their route finished",
+            ),
+            retries: registry.counter(
+                "qroute_retries_observed_total",
+                "Client-side retries reported via {\"req\": \"retried\"}",
+            ),
             dispatch: Mutex::new(BTreeMap::new()),
-            latency_us: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency_us: registry.histogram(
+                "qroute_service_latency_us",
+                "Service latency (admission to outcome written) in microseconds",
+            ),
+            cache_hits: registry.counter("qroute_cache_hits_total", "Shared-cache hits"),
+            cache_misses: registry.counter("qroute_cache_misses_total", "Shared-cache misses"),
+            cache_evictions: registry
+                .counter("qroute_cache_evictions_total", "Shared-cache evictions"),
+            worker_restarts: registry.gauge(
+                "qroute_worker_restarts",
+                "Crashed routing workers respawned by the pool supervisor",
+            ),
+            registry,
         }
+    }
+
+    /// The per-router dispatch counter for `label`, registering the
+    /// labeled Prometheus series on first use. Monotone counters stay
+    /// meaningful after a panic poisoned the lock, so handle lookup
+    /// recovers from poison like every other stats path.
+    fn dispatch_counter(&self, label: &str) -> Counter {
+        self.dispatch
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(label.to_string())
+            .or_insert_with(|| {
+                self.registry.labeled_counter(
+                    "qroute_router_jobs_total",
+                    "Jobs dispatched per router kind (cache hits included)",
+                    &[("router", label)],
+                )
+            })
+            .clone()
     }
 
     fn record_latency(&self, since: Instant) {
         let us = since.elapsed().as_micros().min(u64::MAX as u128) as u64;
-        let bucket = if us == 0 {
-            0
-        } else {
-            (64 - us.leading_zeros() as usize).min(LATENCY_BUCKETS - 1)
-        };
-        self.latency_us[bucket].fetch_add(1, Ordering::Relaxed);
+        self.latency_us.record(us);
     }
 
-    /// Quantile over the histogram, reported at the *geometric midpoint*
-    /// (in ms) of the bucket containing the `q`-ranked sample; `0.0`
-    /// with no samples.
-    ///
-    /// Bucket `b ≥ 1` covers `[2^(b−1), 2^b)` µs; its geometric midpoint
-    /// is `2^b/√2` (bucket 0 is sub-microsecond, reported as 0.5 µs).
-    /// Reporting the midpoint instead of the upper bound halves the
-    /// worst-case overstatement of p50/p99 from 2× to √2×. The rank is
-    /// the inverse empirical CDF, `⌊q·total⌋ + 1` clamped to `total`, so
-    /// an exact-boundary rank (q=0.5 with an even sample count) selects
-    /// the upper median instead of rounding down a bucket.
+    /// Quantile over the latency histogram in milliseconds: the
+    /// [`Log2Histogram`] geometric-midpoint/ceil-rank contract (see
+    /// `qroute_obs::metrics`), scaled from the recorded microseconds.
     fn latency_quantile_ms(&self, q: f64) -> f64 {
-        let counts: Vec<u64> = self
-            .latency_us
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0.0;
-        }
-        let rank = (((q * total as f64).floor() as u64) + 1).min(total);
-        let mut seen = 0;
-        for (bucket, &count) in counts.iter().enumerate() {
-            seen += count;
-            if seen >= rank {
-                let midpoint_us = if bucket == 0 {
-                    0.5
-                } else {
-                    (1u64 << bucket) as f64 / std::f64::consts::SQRT_2
-                };
-                return midpoint_us / 1e3;
-            }
-        }
-        unreachable!("rank ≤ total")
+        self.latency_us.quantile(q) / 1e3
     }
 }
 
@@ -245,10 +268,10 @@ impl DaemonShared {
     fn snapshot(&self) -> StatsSnapshot {
         let cache = self.cache.stats();
         StatsSnapshot {
-            jobs_routed: self.stats.jobs_routed.load(Ordering::Relaxed),
-            jobs_errored: self.stats.jobs_errored.load(Ordering::Relaxed),
-            connections: self.stats.connections.load(Ordering::Relaxed),
-            queue_depth: self.stats.in_flight.load(Ordering::Relaxed),
+            jobs_routed: self.stats.jobs_routed.get(),
+            jobs_errored: self.stats.jobs_errored.get(),
+            connections: self.stats.connections.get(),
+            queue_depth: self.stats.in_flight.get(),
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             cache_evictions: cache.evictions,
@@ -261,14 +284,26 @@ impl DaemonShared {
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
                 .iter()
-                .map(|(router, &jobs)| RouterJobs { router: router.clone(), jobs })
+                .map(|(router, jobs)| RouterJobs { router: router.clone(), jobs: jobs.get() })
                 .collect(),
             latency_p50_ms: self.stats.latency_quantile_ms(0.50),
             latency_p99_ms: self.stats.latency_quantile_ms(0.99),
-            timeouts: self.stats.timeouts.load(Ordering::Relaxed),
+            timeouts: self.stats.timeouts.get(),
             worker_restarts: self.pool.restarts(),
-            retries_observed: self.stats.retries.load(Ordering::Relaxed),
+            retries_observed: self.stats.retries.get(),
         }
+    }
+
+    /// Prometheus text exposition of the registry, with the counters
+    /// owned outside [`DaemonStats`] (shared cache, pool supervisor)
+    /// mirrored in first. Served by `{"req": "metrics"}`.
+    fn prometheus(&self) -> String {
+        let cache = self.cache.stats();
+        self.stats.cache_hits.set(cache.hits);
+        self.stats.cache_misses.set(cache.misses);
+        self.stats.cache_evictions.set(cache.evictions);
+        self.stats.worker_restarts.set(self.pool.restarts());
+        self.stats.registry.to_prometheus()
     }
 }
 
@@ -386,7 +421,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<DaemonShared>) {
             break;
         }
         let Ok(stream) = stream else { continue };
-        shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+        shared.stats.connections.inc();
         if let Ok(read_half) = stream.try_clone() {
             shared
                 .conns
@@ -468,7 +503,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<DaemonShared>) {
         if in_flight.load(Ordering::SeqCst) >= limit {
             let outcome =
                 RouteOutcome::from_error(id, None, None, &ServiceError::Backpressure { limit });
-            shared.stats.jobs_errored.fetch_add(1, Ordering::Relaxed);
+            shared.stats.jobs_errored.inc();
             if sender
                 .send(ConnItem::Ready { outcome, counted: false, start })
                 .is_err()
@@ -480,7 +515,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<DaemonShared>) {
 
         let item = match RouteJob::from_json_line(trimmed) {
             Err(e) => {
-                shared.stats.jobs_errored.fetch_add(1, Ordering::Relaxed);
+                shared.stats.jobs_errored.inc();
                 ConnItem::Ready {
                     outcome: RouteOutcome::from_error(id, None, None, &e),
                     counted: true,
@@ -489,7 +524,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<DaemonShared>) {
             }
             Ok(job) => match plan_route(&job, &shared.config.default_router) {
                 Err(e) => {
-                    shared.stats.jobs_errored.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.jobs_errored.inc();
                     ConnItem::Ready {
                         outcome: RouteOutcome::from_error(id, Some(job.side), job.v, &e),
                         counted: true,
@@ -497,13 +532,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<DaemonShared>) {
                     }
                 }
                 Ok(plan) => {
-                    *shared
-                        .stats
-                        .dispatch
-                        .lock()
-                        .unwrap_or_else(PoisonError::into_inner)
-                        .entry(plan.router.label().to_string())
-                        .or_insert(0) += 1;
+                    shared.stats.dispatch_counter(plan.router.label()).inc();
                     let deadline_ms = job.deadline_ms.or(shared.config.default_deadline_ms);
                     let deadline = deadline_ms.map(|ms| start + Duration::from_millis(ms));
                     // Mirror first (connection-deterministic status),
@@ -555,7 +584,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<DaemonShared>) {
         // Increment *before* the send so the writer's decrement can
         // never race the gauge below zero.
         in_flight.fetch_add(1, Ordering::SeqCst);
-        shared.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        shared.stats.in_flight.inc();
         if sender.send(item).is_err() {
             break;
         }
@@ -581,6 +610,14 @@ fn control_response(line: &str, shared: &Arc<DaemonShared>) -> Option<String> {
             out.push('}');
             out
         }
+        Some("metrics") => {
+            // Prometheus text exposition is multi-line; the JSONL wire
+            // carries it as one escaped string field.
+            let mut out = String::from("{\"metrics\":");
+            shared.prometheus().write_json(&mut out);
+            out.push('}');
+            out
+        }
         Some("shutdown") => {
             shared.begin_shutdown();
             "{\"ok\":\"shutdown\"}".to_string()
@@ -589,12 +626,12 @@ fn control_response(line: &str, shared: &Arc<DaemonShared>) -> Option<String> {
             // A retrying client reporting how many resubmissions its
             // last reconnect cycle cost (observability only).
             let n = doc.get("n").and_then(|n| n.as_u64()).unwrap_or(1);
-            shared.stats.retries.fetch_add(n, Ordering::Relaxed);
+            shared.stats.retries.add(n);
             "{\"ok\":\"retried\"}".to_string()
         }
         other => {
             let err = ServiceError::Parse(format!(
-                "unknown control request {:?} (expected \"stats\", \"shutdown\", or \"retried\")",
+                "unknown control request {:?} (expected \"stats\", \"metrics\", \"shutdown\", or \"retried\")",
                 other.unwrap_or("<non-string>")
             ));
             let mut out = String::from("{\"code\":");
@@ -666,7 +703,7 @@ fn write_outcomes(
                 writer.emit(outcome.to_json_line());
                 if counted {
                     in_flight.fetch_sub(1, Ordering::SeqCst);
-                    shared.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    shared.stats.in_flight.dec();
                 }
                 shared.stats.record_latency(start);
             }
@@ -702,13 +739,13 @@ fn write_outcomes(
                 let outcome = match waited {
                     Err(e) => {
                         if matches!(e, ServiceError::Timeout { .. }) {
-                            shared.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                            shared.stats.timeouts.inc();
                         }
-                        shared.stats.jobs_errored.fetch_add(1, Ordering::Relaxed);
+                        shared.stats.jobs_errored.inc();
                         RouteOutcome::from_error(id, Some(side), v, &e)
                     }
                     Ok(entry) => {
-                        shared.stats.jobs_routed.fetch_add(1, Ordering::Relaxed);
+                        shared.stats.jobs_routed.inc();
                         RouteOutcome {
                             v,
                             id,
@@ -728,7 +765,7 @@ fn write_outcomes(
                 };
                 writer.emit(outcome.to_json_line());
                 in_flight.fetch_sub(1, Ordering::SeqCst);
-                shared.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+                shared.stats.in_flight.dec();
                 shared.stats.record_latency(start);
             }
         }
@@ -742,7 +779,12 @@ mod tests {
     fn stats_with_buckets(buckets: &[(usize, u64)]) -> DaemonStats {
         let stats = DaemonStats::new();
         for &(bucket, count) in buckets {
-            stats.latency_us[bucket].store(count, Ordering::Relaxed);
+            // Record a representative value of the bucket: 0 for the
+            // sub-microsecond bucket, the lower bound 2^(b−1) otherwise.
+            let value = if bucket == 0 { 0 } else { 1u64 << (bucket - 1) };
+            for _ in 0..count {
+                stats.latency_us.record(value);
+            }
         }
         stats
     }
@@ -753,6 +795,30 @@ mod tests {
         } else {
             (1u64 << bucket) as f64 / std::f64::consts::SQRT_2 / 1e3
         }
+    }
+
+    /// Empty-state audit: every derived field of a fresh daemon's
+    /// snapshot (ratios, quantiles) must be a finite literal zero — not
+    /// NaN from 0/0, not Inf, not `null` on the wire.
+    #[test]
+    fn fresh_daemon_snapshot_has_finite_zero_derived_fields() {
+        let daemon = Daemon::bind("127.0.0.1:0", EngineConfig::default()).unwrap();
+        let stats = daemon.stats();
+        assert_eq!(stats.hit_rate, 0.0);
+        assert_eq!(stats.latency_p50_ms, 0.0);
+        assert_eq!(stats.latency_p99_ms, 0.0);
+        assert!(stats.hit_rate.is_finite());
+        assert!(stats.latency_p50_ms.is_finite());
+        assert!(stats.latency_p99_ms.is_finite());
+        assert!(stats.routers.is_empty());
+        let mut line = String::new();
+        stats.write_json(&mut line);
+        // The serde shim writes non-finite floats as `null`; a fresh
+        // snapshot must never contain one.
+        assert!(!line.contains("null"), "{line}");
+        assert!(line.contains("\"hit_rate\":0.0"), "{line}");
+        assert!(line.contains("\"latency_p50_ms\":0.0"), "{line}");
+        assert!(line.contains("\"latency_p99_ms\":0.0"), "{line}");
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub const SPARSE_SUPPORT_FRACTION: f64 = 0.25;
 /// Deterministic per instance, so `auto` jobs stay byte-reproducible.
 pub fn select_router(grid: Grid, pi: &Permutation) -> RouterKind {
     let f = features(grid, pi);
-    if f.max_displacement == 0 {
+    let picked = if f.max_displacement == 0 {
         RouterKind::locality_aware()
     } else if (f.moved_tokens as f64) <= SPARSE_SUPPORT_FRACTION * pi.len() as f64 {
         RouterKind::pathfinder()
@@ -77,7 +77,31 @@ pub fn select_router(grid: Grid, pi: &Permutation) -> RouterKind {
         RouterKind::Ats
     } else {
         RouterKind::hybrid()
-    }
+    };
+    qroute_obs::trace::event(
+        "dispatch.auto",
+        &[
+            ("picked", qroute_obs::FieldValue::Str(picked.label())),
+            (
+                "total_displacement",
+                qroute_obs::FieldValue::U64(f.total_displacement as u64),
+            ),
+            (
+                "max_displacement",
+                qroute_obs::FieldValue::U64(f.max_displacement as u64),
+            ),
+            (
+                "moved_tokens",
+                qroute_obs::FieldValue::U64(f.moved_tokens as u64),
+            ),
+            (
+                "block_locality_score",
+                qroute_obs::FieldValue::F64(f.block_locality_score),
+            ),
+            ("diameter", qroute_obs::FieldValue::U64(f.diameter as u64)),
+        ],
+    );
+    picked
 }
 
 /// [`select_router`] generalized over a [`Topology`]: full grids go
@@ -91,11 +115,20 @@ pub fn select_router_on(topology: &Topology, pi: &Permutation) -> RouterKind {
         Some(grid) => select_router(grid, pi),
         None => {
             let moved = pi.support_size();
-            if moved > 0 && (moved as f64) <= SPARSE_SUPPORT_FRACTION * pi.len() as f64 {
+            let picked = if moved > 0 && (moved as f64) <= SPARSE_SUPPORT_FRACTION * pi.len() as f64
+            {
                 RouterKind::pathfinder()
             } else {
                 RouterKind::Ats
-            }
+            };
+            qroute_obs::trace::event(
+                "dispatch.auto",
+                &[
+                    ("picked", qroute_obs::FieldValue::Str(picked.label())),
+                    ("moved_tokens", qroute_obs::FieldValue::U64(moved as u64)),
+                ],
+            );
+            picked
         }
     }
 }

@@ -762,6 +762,16 @@ impl Engine {
         };
         self.pending
             .push_back(PendingJob { id, side: Some(job.side), v: job.v, plan });
+        qroute_obs::trace::event(
+            "engine.submit",
+            &[
+                ("job", qroute_obs::FieldValue::U64(id)),
+                (
+                    "pending",
+                    qroute_obs::FieldValue::U64(self.pending.len() as u64),
+                ),
+            ],
+        );
         id
     }
 

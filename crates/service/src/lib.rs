@@ -70,6 +70,7 @@ pub mod dispatch;
 pub mod engine;
 pub mod errors;
 pub mod job;
+pub mod pretty;
 
 pub use cache::{
     canonicalize, canonicalize_topology, CacheStats, CanonicalForm, CanonicalKey, ShardedLru,
@@ -83,3 +84,4 @@ pub use errors::ServiceError;
 pub use job::{
     CacheStatus, PermSpec, RouteJob, RouteOutcome, RouterSpec, TopologySpec, MAX_SIDE, WIRE_VERSION,
 };
+pub use pretty::render_stats_table;

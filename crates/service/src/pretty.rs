@@ -1,0 +1,133 @@
+//! Human-readable rendering of wire responses, for `repro ctl --pretty`.
+//!
+//! The JSON wire format is append-only versioned, so the renderer is
+//! *generic* over the stats object: every scalar field becomes one
+//! aligned `key value` row (underscores become spaces, in wire order —
+//! a field appended by a newer daemon renders without a code change),
+//! and the `routers` array expands into indented per-router rows.
+//! Fields whose key ends in `_rate` or `_ms` render with four decimals;
+//! other numbers render as integers when integral.
+
+use serde_json::Value;
+
+/// Render one number the way the table wants it: four decimals for
+/// rates/latencies (`fractional`), plain integer otherwise (falling
+/// back to four decimals for non-integral values).
+fn render_number(x: f64, fractional: bool) -> String {
+    if fractional || x.fract() != 0.0 {
+        format!("{x:.4}")
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+fn render_scalar(key: &str, value: &Value) -> String {
+    let fractional = key.ends_with("_rate") || key.ends_with("_ms");
+    match value {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Number(x) => render_number(*x, fractional),
+        Value::String(s) => s.clone(),
+        other => serde_json::to_string(other).unwrap_or_default(),
+    }
+}
+
+/// Render a `StatsSnapshot` JSON object (the payload of a wire
+/// `{"stats": {...}}` response) as an aligned two-column text table.
+/// Non-object input falls back to pretty-printed JSON.
+pub fn render_stats_table(stats: &Value) -> String {
+    let Value::Object(entries) = stats else {
+        return serde_json::to_string_pretty(stats).unwrap_or_default();
+    };
+    let mut rows: Vec<(String, String)> = Vec::new();
+    for (key, value) in entries {
+        match value {
+            Value::Array(routers) => {
+                rows.push((key.replace('_', " "), String::new()));
+                for router in routers {
+                    let name = router
+                        .get("router")
+                        .and_then(Value::as_str)
+                        .unwrap_or("<unknown>");
+                    let jobs = router
+                        .get("jobs")
+                        .map(|v| render_scalar("jobs", v))
+                        .unwrap_or_default();
+                    rows.push((format!("  {name}"), jobs));
+                }
+            }
+            other => rows.push((key.replace('_', " "), render_scalar(key, other))),
+        }
+    }
+    let key_width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    let value_width = rows.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (key, value) in &rows {
+        if value.is_empty() {
+            out.push_str(key);
+        } else {
+            out.push_str(&format!("{key:<key_width$}  {value:>value_width$}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Golden: the exact table rendering of a representative snapshot is
+    /// pinned — alignment, underscore expansion, four-decimal rates and
+    /// latencies, indented router rows.
+    #[test]
+    fn stats_table_rendering_is_pinned() {
+        let line = concat!(
+            "{\"jobs_routed\":42,\"jobs_errored\":1,\"connections\":3,",
+            "\"queue_depth\":0,\"cache_hits\":12,\"cache_misses\":30,",
+            "\"cache_evictions\":0,\"hit_rate\":0.2857142857142857,",
+            "\"routers\":[{\"router\":\"ats\",\"jobs\":12},",
+            "{\"router\":\"locality-aware\",\"jobs\":30}],",
+            "\"latency_p50_ms\":0.3547,\"latency_p99_ms\":1.4484,",
+            "\"timeouts\":0,\"worker_restarts\":0,\"retries_observed\":0}",
+        );
+        let stats = serde_json::from_str(line).unwrap();
+        let expected = concat!(
+            "jobs routed           42\n",
+            "jobs errored           1\n",
+            "connections            3\n",
+            "queue depth            0\n",
+            "cache hits            12\n",
+            "cache misses          30\n",
+            "cache evictions        0\n",
+            "hit rate          0.2857\n",
+            "routers\n",
+            "  ats                 12\n",
+            "  locality-aware      30\n",
+            "latency p50 ms    0.3547\n",
+            "latency p99 ms    1.4484\n",
+            "timeouts               0\n",
+            "worker restarts        0\n",
+            "retries observed       0\n",
+        );
+        assert_eq!(render_stats_table(&stats), expected);
+    }
+
+    /// Append-only wire evolution: a field this renderer has never heard
+    /// of still renders as a row instead of vanishing.
+    #[test]
+    fn unknown_appended_fields_still_render() {
+        let stats = serde_json::from_str("{\"jobs_routed\":1,\"future_field\":7}").unwrap();
+        let table = render_stats_table(&stats);
+        assert!(table.contains("future field  7"), "{table}");
+    }
+
+    #[test]
+    fn non_object_input_falls_back_to_json() {
+        let v = serde_json::from_str("[1,2]").unwrap();
+        assert_eq!(
+            render_stats_table(&v),
+            serde_json::to_string_pretty(&v).unwrap()
+        );
+    }
+}

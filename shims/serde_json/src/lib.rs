@@ -98,6 +98,39 @@ impl Value {
     }
 }
 
+impl serde::Serialize for Value {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => b.write_json(out),
+            Value::Number(x) => x.write_json(out),
+            Value::String(s) => serde::write_json_string(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    serde::write_json_string(key, out);
+                    out.push(':');
+                    value.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
 /// Maximum container nesting the parser accepts (matches real
 /// serde_json's default recursion limit) — deeper input gets a parse
 /// error instead of a stack overflow.
